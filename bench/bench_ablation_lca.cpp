@@ -1,0 +1,74 @@
+// Ablation A2: LCA strategies. The cousin-distance definition is
+// LCA-based [4, 17]; the naive miner issues O(n²) queries, so query
+// cost matters. Compares the Euler-tour sparse-table index (O(1) query)
+// against depth-climbing, and measures index build cost.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/uniform_generator.h"
+#include "paper_params.h"
+#include "tree/lca.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+Tree MakeTree(int32_t size) {
+  UniformTreeOptions gen;
+  gen.tree_size = size;
+  gen.alphabet_size = bench::kAlphabetSize;
+  Rng rng(1200 + size);
+  return GenerateUniformTree(gen, rng);
+}
+
+std::vector<std::pair<NodeId, NodeId>> RandomQueries(const Tree& tree,
+                                                     int count) {
+  Rng rng(99);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    queries.emplace_back(static_cast<NodeId>(rng.Uniform(tree.size())),
+                         static_cast<NodeId>(rng.Uniform(tree.size())));
+  }
+  return queries;
+}
+
+void BM_LcaIndexBuild(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  for (auto _ : state) {
+    LcaIndex index(tree);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_LcaIndexBuild)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_LcaIndexQuery(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  LcaIndex index(tree);
+  auto queries = RandomQueries(tree, 1024);
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = queries[next++ & 1023];
+    benchmark::DoNotOptimize(index.Lca(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LcaIndexQuery)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_NaiveLcaQuery(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  auto queries = RandomQueries(tree, 1024);
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = queries[next++ & 1023];
+    benchmark::DoNotOptimize(NaiveLca(tree, u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveLcaQuery)->Arg(200)->Arg(2000)->Arg(20000);
+
+}  // namespace
+}  // namespace cousins
+
+BENCHMARK_MAIN();

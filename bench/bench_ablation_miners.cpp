@@ -1,0 +1,73 @@
+// Ablation A1: the production miner (exact-LCA level sweep with flat
+// multisets and an open-addressing accumulator) against the
+// paper-faithful Fig. 3 transcription and the brute-force oracle.
+//
+// Run with --benchmark_filter=... to narrow; all miners produce
+// identical output (property-tested), so this measures pure
+// implementation cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/naive_mining.h"
+#include "core/paper_mining.h"
+#include "core/single_tree_mining.h"
+#include "paper_params.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using bench::PaperFanoutOptions;
+using bench::PaperMiningOptions;
+
+Tree MakeTree(int32_t size) {
+  FanoutTreeOptions gen = PaperFanoutOptions();
+  gen.tree_size = size;
+  Rng rng(900 + size);
+  return GenerateFanoutTree(gen, rng);
+}
+
+void BM_MineFast(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  const MiningOptions opt = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineSingleTree(tree, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_MineFast)->Arg(50)->Arg(200)->Arg(800)->Arg(1600);
+
+void BM_MineFastUnordered(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  const MiningOptions opt = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineSingleTreeUnordered(tree, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_MineFastUnordered)->Arg(50)->Arg(200)->Arg(800)->Arg(1600);
+
+void BM_MinePaperFaithful(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  const MiningOptions opt = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineSingleTreePaper(tree, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_MinePaperFaithful)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_MineNaive(benchmark::State& state) {
+  Tree tree = MakeTree(static_cast<int32_t>(state.range(0)));
+  const MiningOptions opt = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineSingleTreeNaive(tree, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_MineNaive)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+}  // namespace cousins
+
+BENCHMARK_MAIN();

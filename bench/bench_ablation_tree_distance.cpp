@@ -1,0 +1,66 @@
+// Ablation A3: cost and behaviour of the four Eq. (6) tree-distance
+// variants (labels / dist / occur / dist_occur) on phylogeny-shaped
+// trees, plus profile computation vs. distance evaluation split.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/yule_generator.h"
+#include "paper_params.h"
+#include "phylo/tree_distance.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using bench::PaperMiningOptions;
+using bench::PaperPhyloOptions;
+
+std::pair<Tree, Tree> MakePair() {
+  Rng rng(777);
+  auto labels = std::make_shared<LabelTable>();
+  YulePhylogenyOptions gen = PaperPhyloOptions();
+  gen.alphabet_size = 500;  // overlap so distances are informative
+  Tree a = GenerateYulePhylogeny(gen, rng, labels);
+  Tree b = GenerateYulePhylogeny(gen, rng, labels);
+  return {std::move(a), std::move(b)};
+}
+
+void BM_TreeDistance(benchmark::State& state) {
+  auto [a, b] = MakePair();
+  const auto abstraction =
+      static_cast<CousinItemAbstraction>(state.range(0));
+  const MiningOptions mining = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CousinTreeDistance(a, b, abstraction, mining));
+  }
+  state.SetLabel(AbstractionName(abstraction));
+}
+BENCHMARK(BM_TreeDistance)->DenseRange(0, 3);
+
+void BM_CousinProfile(benchmark::State& state) {
+  auto [a, b] = MakePair();
+  const MiningOptions mining = PaperMiningOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CousinProfile(
+        a, CousinItemAbstraction::kDistanceAndOccurrence, mining));
+  }
+}
+BENCHMARK(BM_CousinProfile);
+
+void BM_ProfileDistanceOnly(benchmark::State& state) {
+  auto [a, b] = MakePair();
+  const MiningOptions mining = PaperMiningOptions();
+  auto pa = CousinProfile(a, CousinItemAbstraction::kDistanceAndOccurrence,
+                          mining);
+  auto pb = CousinProfile(b, CousinItemAbstraction::kDistanceAndOccurrence,
+                          mining);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProfileDistance(pa, pb));
+  }
+}
+BENCHMARK(BM_ProfileDistanceOnly);
+
+}  // namespace
+}  // namespace cousins
+
+BENCHMARK_MAIN();

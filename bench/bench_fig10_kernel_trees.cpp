@@ -1,0 +1,90 @@
+// Figure 10: time to find kernel trees as a function of the number of
+// groups (the paper sweeps 2..5 groups of ascomycete phylogenies).
+//
+// Paper setup: groups of equally parsimonious PHYLIP trees over 32
+// ascomycetes (LSU rDNA); groups share some but not all taxa; the
+// kernel trees minimize average pairwise t_dist_dist_occur. We simulate
+// the groups (DESIGN.md substitutions). Paper finding: time grows with
+// the number of groups (roughly linearly at this scale, each group
+// contributing its profile computations plus the cross-group distance
+// matrix).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/yule_generator.h"
+#include "paper_params.h"
+#include "phylo/kernel_trees.h"
+#include "seq/jukes_cantor.h"
+#include "seq/parsimony_search.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace cousins;
+using namespace cousins::bench;
+
+int main() {
+  CsvWriter csv;
+  csv.WriteComment(
+      "Figure 10: kernel-tree search time vs number of groups "
+      "(32-taxon simulated ascomycete groups, t_dist_dist_occur)");
+  csv.WriteComment(
+      "paper: ~10s at 2 groups to ~45s at 5 groups (2004 hardware); "
+      "shape = monotone increase with group count");
+  csv.WriteRow({"num_groups", "kernel_seconds", "avg_pairwise_distance",
+                "exact"});
+
+  // Build five groups once; the g-group experiment uses the first g.
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(3245);
+  std::vector<std::string> world = MakeTaxa(32);
+  std::vector<std::vector<Tree>> all_groups;
+  for (int g = 0; g < 5; ++g) {
+    std::vector<std::string> subset;
+    for (int i = 0; i < 32; ++i) {
+      if (i % 2 == 0 || (i % 5) == g) subset.push_back(world[i]);
+    }
+    Tree model = RandomCoalescentTree(subset, rng, labels, 0.06);
+    SimulateOptions sim;
+    sim.num_sites = 500;
+    Alignment alignment = SimulateAlignment(model, sim, rng);
+    ParsimonySearchOptions search;
+    search.max_trees = 8;
+    search.num_restarts = 1;
+    std::vector<Tree> group;
+    for (ScoredTree& st :
+         SearchParsimoniousTrees(alignment, search, labels)) {
+      group.push_back(std::move(st.tree));
+    }
+    all_groups.push_back(std::move(group));
+  }
+
+  const int32_t reps = ScaledReps(10);
+  double prev = 0;
+  bool monotone = true;
+  for (int g = 1; g <= 5; ++g) {
+    std::vector<std::vector<Tree>> groups(all_groups.begin(),
+                                          all_groups.begin() + g);
+    KernelTreeOptions options;
+    options.mining = PaperMiningOptions();
+    Stopwatch sw;
+    KernelTreeResult result;
+    for (int32_t r = 0; r < reps; ++r) {
+      result = FindKernelTrees(groups, options);
+    }
+    const double seconds = sw.ElapsedSeconds() / reps;
+    csv.WriteRow({std::to_string(g), std::to_string(seconds),
+                  std::to_string(result.average_pairwise_distance),
+                  result.exact ? "yes" : "no"});
+    if (g >= 2 && seconds + 1e-9 < prev) monotone = false;
+    if (g >= 2) prev = seconds;
+  }
+  csv.WriteComment(monotone
+                       ? "shape check: OK — time increases with the "
+                         "number of groups (2..5), as in the paper"
+                       : "shape check: MISMATCH — not monotone over "
+                         "2..5 groups");
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Figure 5: Single_Tree_Mining running time vs. tree size for
+// maxdist ∈ {0.5, 1, 1.5, 2}.
+//
+// Paper setup: 1,000 synthetic trees per point (Tables 2-3), sizes up to
+// 1,250 nodes. Paper findings: (i) time grows superlinearly with tree
+// size; (ii) larger maxdist is uniformly slower (more level pairs per
+// LCA and more aggregation work).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/single_tree_mining.h"
+#include "paper_params.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+using namespace cousins;
+using namespace cousins::bench;
+
+int main() {
+  CsvWriter csv;
+  csv.WriteComment(
+      "Figure 5: Single_Tree_Mining time vs tree size and maxdist");
+  csv.WriteComment(
+      "paper: curves ordered maxdist 2 > 1.5 > 1 > 0.5, each growing "
+      "superlinearly up to ~0.3s at 1250 nodes (2004 hardware)");
+  csv.WriteRow({"maxdist", "tree_size", "avg_time_ms_per_tree", "trees"});
+
+  const int32_t reps = ScaledReps(100);
+  // Distances 0.5, 1, 1.5, 2 as twice-values.
+  bool ordered_by_maxdist = true;
+  std::vector<double> prev_curve;
+  for (int twice_maxdist : {1, 2, 3, 4}) {
+    MiningOptions mining;
+    mining.twice_maxdist = twice_maxdist;
+    std::vector<double> curve;
+    for (int32_t size : {50, 100, 250, 500, 750, 1000, 1250}) {
+      FanoutTreeOptions gen = PaperFanoutOptions();
+      gen.tree_size = size;
+      Rng rng(5000 + size + twice_maxdist);
+      std::vector<Tree> trees;
+      trees.reserve(reps);
+      auto labels = std::make_shared<LabelTable>();
+      for (int32_t i = 0; i < reps; ++i) {
+        trees.push_back(GenerateFanoutTree(gen, rng, labels));
+      }
+      Stopwatch sw;
+      int64_t sink = 0;
+      for (const Tree& tree : trees) {
+        sink += static_cast<int64_t>(MineSingleTree(tree, mining).size());
+      }
+      const double ms = sw.ElapsedSeconds() * 1000.0 / reps;
+      curve.push_back(ms);
+      csv.WriteRow({FormatHalfDistance(twice_maxdist),
+                    std::to_string(size), std::to_string(ms),
+                    std::to_string(reps)});
+      (void)sink;
+    }
+    // Compare curves at the largest size: bigger maxdist must be slower.
+    if (!prev_curve.empty() && curve.back() < prev_curve.back()) {
+      ordered_by_maxdist = false;
+    }
+    prev_curve = curve;
+  }
+  csv.WriteComment(ordered_by_maxdist
+                       ? "shape check: OK — larger maxdist is slower at "
+                         "the largest tree size, matching the paper"
+                       : "shape check: MISMATCH — maxdist ordering broken");
+  return ordered_by_maxdist ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// The paper's experimental parameters (Tables 2 and 3) and shared
+// harness helpers for the figure-regeneration benches.
+//
+// Every bench prints CSV rows (re-plottable directly) plus '#' comment
+// lines stating what the paper reports for the same experiment, so
+// bench output and EXPERIMENTS.md can be cross-checked mechanically.
+//
+// Environment knobs:
+//   COUSINS_BENCH_REPS       multiplies per-point repetition counts
+//                            (default 1.0; use e.g. 10 for paper-scale
+//                            averaging over 1,000 trees per point).
+//   COUSINS_FIG6_MAX_TREES   largest forest size in the Figure 6 sweep
+//                            (default 50,000; the paper ran 1,000,000 —
+//                            set that for the full, slower run).
+
+#ifndef COUSINS_BENCH_PAPER_PARAMS_H_
+#define COUSINS_BENCH_PAPER_PARAMS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/cousin_pair.h"
+#include "core/multi_tree_mining.h"
+#include "gen/fanout_generator.h"
+#include "gen/yule_generator.h"
+
+namespace cousins::bench {
+
+// --- Table 2: algorithm parameters -----------------------------------
+inline constexpr int64_t kMinOccur = 1;
+inline constexpr int kTwiceMaxdist = 3;  // maxdist = 1.5
+inline constexpr int kMinSup = 2;
+
+// --- Table 3: synthetic tree parameters ------------------------------
+inline constexpr int32_t kTreeSize = 200;
+inline constexpr int32_t kNumTrees = 1000;
+inline constexpr int32_t kFanout = 5;
+inline constexpr int32_t kAlphabetSize = 200;
+
+// --- Figure 7: TreeBASE corpus statistics ----------------------------
+inline constexpr int32_t kPhyloMinNodes = 50;
+inline constexpr int32_t kPhyloMaxNodes = 200;
+inline constexpr int32_t kPhyloMaxChildren = 9;
+inline constexpr int32_t kPhyloAlphabet = 18870;
+
+inline MiningOptions PaperMiningOptions() {
+  MiningOptions opt;
+  opt.twice_maxdist = kTwiceMaxdist;
+  opt.min_occur = kMinOccur;
+  return opt;
+}
+
+inline MultiTreeMiningOptions PaperMultiOptions() {
+  MultiTreeMiningOptions opt;
+  opt.per_tree = PaperMiningOptions();
+  opt.min_support = kMinSup;
+  return opt;
+}
+
+inline FanoutTreeOptions PaperFanoutOptions() {
+  FanoutTreeOptions opt;
+  opt.tree_size = kTreeSize;
+  opt.fanout = kFanout;
+  opt.alphabet_size = kAlphabetSize;
+  return opt;
+}
+
+inline YulePhylogenyOptions PaperPhyloOptions() {
+  YulePhylogenyOptions opt;
+  opt.min_nodes = kPhyloMinNodes;
+  opt.max_nodes = kPhyloMaxNodes;
+  opt.max_children = kPhyloMaxChildren;
+  opt.alphabet_size = kPhyloAlphabet;
+  return opt;
+}
+
+/// Reads a positive value from the environment, with a default.
+inline double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const double parsed = std::atof(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Repetition count scaled by COUSINS_BENCH_REPS (>= 1).
+inline int32_t ScaledReps(int32_t base) {
+  const double scaled = base * EnvScale("COUSINS_BENCH_REPS", 1.0);
+  return scaled < 1 ? 1 : static_cast<int32_t>(scaled);
+}
+
+}  // namespace cousins::bench
+
+#endif  // COUSINS_BENCH_PAPER_PARAMS_H_

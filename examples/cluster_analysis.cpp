@@ -1,0 +1,124 @@
+// Postprocessing parsimonious trees by clustering (the workflow of
+// Stockham, Wang & Warnow [37] that the paper cites in §5.2 and lists
+// as future work in §7): when one consensus over-collapses a
+// heterogeneous set of equally parsimonious trees, cluster the set
+// under the cousin tree distance and summarize each cluster separately.
+//
+//   ./build/examples/cluster_analysis [k] [nexus_or_newick_file]
+//
+// Without a file it builds a deliberately bimodal demo set: parsimonious
+// trees from two different underlying phylogenies over the same taxa.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "gen/yule_generator.h"
+#include "phylo/clustering.h"
+#include "phylo/similarity.h"
+#include "seq/jukes_cantor.h"
+#include "seq/parsimony_search.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+#include "util/rng.h"
+
+using namespace cousins;
+
+int main(int argc, char** argv) {
+  const int32_t k = argc > 1 ? std::atoi(argv[1]) : 2;
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees;
+
+  if (argc > 2) {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<std::vector<NamedTree>> named =
+        ParseNexusTrees(buffer.str(), labels);
+    if (named.ok() && !named->empty()) {
+      for (NamedTree& nt : *named) trees.push_back(std::move(nt.tree));
+    } else {
+      Result<std::vector<Tree>> forest =
+          ParseNewickForest(buffer.str(), labels);
+      if (!forest.ok()) {
+        std::fprintf(stderr, "parse error: %s\n",
+                     forest.status().ToString().c_str());
+        return 1;
+      }
+      trees = std::move(forest).value();
+    }
+  } else {
+    // Demo: two conflicting evolutionary histories over the same taxa
+    // produce a bimodal set of near-parsimonious trees.
+    Rng rng(9);
+    std::vector<std::string> taxa = MakeTaxa(12);
+    for (int source = 0; source < 2; ++source) {
+      Tree model = RandomCoalescentTree(taxa, rng, labels, 0.08);
+      SimulateOptions sim;
+      sim.num_sites = 120;
+      Alignment alignment = SimulateAlignment(model, sim, rng);
+      ParsimonySearchOptions search;
+      search.max_trees = 6;
+      search.num_restarts = 2;
+      for (ScoredTree& st :
+           SearchParsimoniousTrees(alignment, search, labels)) {
+        trees.push_back(std::move(st.tree));
+      }
+    }
+    std::printf("Built a demo set: %zu trees from two conflicting "
+                "histories over 12 taxa.\n\n",
+                trees.size());
+  }
+
+  ClusteringOptions options;
+  options.k = k;
+  Result<TreeClustering> clustering = ClusterTrees(trees, options);
+  if (!clustering.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n",
+                 clustering.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("k-medoids under t_dist_dist_occur (k=%d): total "
+              "within-cluster distance %.4f\n",
+              k, clustering->total_distance);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    std::printf("  tree %2zu -> cluster %d\n", i,
+                clustering->assignment[i]);
+  }
+
+  Result<std::vector<Tree>> per_cluster =
+      ClusterConsensus(trees, options, ConsensusMethod::kMajority);
+  if (per_cluster.ok()) {
+    std::printf("\nPer-cluster majority consensus vs. one global "
+                "consensus:\n");
+    MiningOptions mining;
+    for (int32_t c = 0; c < k; ++c) {
+      std::vector<Tree> members;
+      for (size_t i = 0; i < trees.size(); ++i) {
+        if (clustering->assignment[i] == c) members.push_back(trees[i]);
+      }
+      if (members.empty()) continue;
+      const double score =
+          AverageSimilarityScore((*per_cluster)[c], members, mining);
+      std::printf("  cluster %d (%zu trees): score %.3f  %s\n", c,
+                  members.size(), score,
+                  ToNewick((*per_cluster)[c]).c_str());
+    }
+    Result<Tree> global =
+        ConsensusTree(trees, ConsensusMethod::kMajority);
+    if (global.ok()) {
+      std::printf("  global (%zu trees): score %.3f  %s\n", trees.size(),
+                  AverageSimilarityScore(*global, trees, mining),
+                  ToNewick(*global).c_str());
+    }
+  } else {
+    std::printf("\n(per-cluster consensus unavailable: %s)\n",
+                per_cluster.status().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "core/cousin_distance.h"
+
+namespace cousins {
+
+int TwiceCousinDistance(const Tree& tree, const LcaIndex& lca, NodeId u,
+                        NodeId v) {
+  if (u == v) return kUndefinedDistance;
+  if (!tree.has_label(u) || !tree.has_label(v)) return kUndefinedDistance;
+  const NodeId a = lca.Lca(u, v);
+  if (a == u || a == v) return kUndefinedDistance;  // ancestor-related
+  const int32_t hu = tree.depth(u) - tree.depth(a);
+  const int32_t hv = tree.depth(v) - tree.depth(a);
+  return TwiceDistanceFromHeights(hu, hv);
+}
+
+}  // namespace cousins

@@ -1,0 +1,62 @@
+// Cousin distance (paper §2, Fig. 2) and the level arithmetic of
+// Eq. (1)-(3).
+//
+// Distances take half-integer values (0 = siblings, 0.5 = aunt-niece,
+// 1 = first cousins, 1.5 = first cousins once removed, ...). To keep
+// them exact and hashable we represent a distance d as the integer 2·d
+// ("twice-distance") everywhere in the API; FormatHalfDistance() renders
+// the paper's notation.
+
+#ifndef COUSINS_CORE_COUSIN_DISTANCE_H_
+#define COUSINS_CORE_COUSIN_DISTANCE_H_
+
+#include <cstdint>
+
+#include "tree/lca.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// Sentinel: the pair is not a cousin pair (ancestor-related, unlabeled,
+/// or generation gap exceeding the cutoff).
+inline constexpr int kUndefinedDistance = -1;
+
+/// Wildcard twice-distance ("@" in the paper): aggregate over distances.
+inline constexpr int kAnyDistance = -2;
+
+/// Fig. 2: cousin distance from the two nodes' heights below their LCA
+/// (height = number of edges from the LCA; siblings have height 1).
+/// Returns 2·d, or kUndefinedDistance when |hu − hv| > 1 — the paper's
+/// heuristic one-generation cutoff (see GeneralizedMining for the
+/// uncapped variant).
+constexpr int TwiceDistanceFromHeights(int32_t hu, int32_t hv) {
+  if (hu <= 0 || hv <= 0) return kUndefinedDistance;
+  if (hu == hv) return 2 * (hu - 1);
+  const int32_t lo = hu < hv ? hu : hv;
+  const int32_t hi = hu < hv ? hv : hu;
+  if (hi - lo == 1) return 2 * lo - 1;  // min(hu, hv) − 0.5, doubled
+  return kUndefinedDistance;
+}
+
+/// Eq. (1): my_level(d) = ⌈d⌉ + 1 — how many levels the deeper node of a
+/// d-cousin pair sits below the LCA.
+constexpr int32_t MyLevel(int twice_distance) {
+  return (twice_distance + 1) / 2 + 1;
+}
+
+/// Eq. (2)-(3): mycousin_level(d) = my_level(d) − 2(⌈d⌉ − d) — the level
+/// of the shallower node below the LCA.
+constexpr int32_t MyCousinLevel(int twice_distance) {
+  return MyLevel(twice_distance) - (twice_distance % 2);
+}
+
+/// Computes the cousin distance of two nodes of `tree` per Fig. 2 using
+/// the given LCA index. Returns 2·d, or kUndefinedDistance for
+/// ancestor-related pairs, pairs with an unlabeled member, u == v, and
+/// gaps beyond the cutoff.
+int TwiceCousinDistance(const Tree& tree, const LcaIndex& lca, NodeId u,
+                        NodeId v);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_COUSIN_DISTANCE_H_

@@ -1,0 +1,35 @@
+#include "core/cousin_pair.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace cousins {
+
+std::string FormatCousinPairItem(const LabelTable& labels,
+                                 const CousinPairItem& item) {
+  std::string out = "(";
+  out += labels.Name(item.label1);
+  out += ", ";
+  out += labels.Name(item.label2);
+  out += ", ";
+  out += item.twice_distance == kAnyDistance
+             ? "@"
+             : FormatHalfDistance(item.twice_distance);
+  out += ", ";
+  out += item.occurrences == kAnyOccurrence
+             ? "@"
+             : std::to_string(item.occurrences);
+  out += ")";
+  return out;
+}
+
+void CanonicalizeItems(std::vector<CousinPairItem>* items) {
+  for (CousinPairItem& item : *items) {
+    if (item.label1 > item.label2) std::swap(item.label1, item.label2);
+  }
+  std::sort(items->begin(), items->end());
+}
+
+}  // namespace cousins

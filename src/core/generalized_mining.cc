@@ -1,0 +1,171 @@
+#include "core/generalized_mining.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "core/level_sweep.h"
+#include "tree/lca.h"
+#include "util/strings.h"
+
+namespace cousins {
+namespace {
+
+using internal::LabelCounts;
+using internal::NodeLevels;
+
+struct GenKey {
+  LabelId label1;
+  LabelId label2;
+  int32_t horizontal;
+  int32_t vertical;
+
+  friend bool operator==(const GenKey&, const GenKey&) = default;
+};
+
+struct GenKeyHash {
+  size_t operator()(const GenKey& k) const {
+    uint64_t h = static_cast<uint32_t>(k.label1);
+    h = h * 0x9E3779B97F4A7C15ULL + static_cast<uint32_t>(k.label2);
+    h = h * 0x9E3779B97F4A7C15ULL + static_cast<uint32_t>(k.horizontal);
+    h = h * 0x9E3779B97F4A7C15ULL + static_cast<uint32_t>(k.vertical);
+    h ^= h >> 29;
+    return static_cast<size_t>(h * 0xBF58476D1CE4E5B9ULL);
+  }
+};
+
+using Accumulator = std::unordered_map<GenKey, int64_t, GenKeyHash>;
+
+void Add(Accumulator* acc, LabelId x, LabelId y, int32_t horizontal,
+         int32_t vertical, int64_t count) {
+  if (count == 0) return;
+  GenKey key{std::min(x, y), std::max(x, y), horizontal, vertical};
+  (*acc)[key] += count;
+}
+
+/// Counts exact-LCA pairs at depths (m, n) below `a`, m >= n >= 1; same
+/// inclusion–exclusion as the Fig. 2 miner.
+void CountPairsAtLevels(const Tree& tree, NodeId a,
+                        const std::vector<NodeLevels>& maps, int32_t m,
+                        int32_t n, Accumulator* acc) {
+  const NodeLevels& mine = maps[a];
+  const LabelCounts& at_m = mine[m];
+  const LabelCounts& at_n = mine[n];
+  if (at_m.empty() || at_n.empty()) return;
+  const std::vector<NodeId>& kids = tree.children(a);
+  const int32_t horizontal = n - 1;
+  const int32_t vertical = m - n;
+
+  if (m == n) {
+    for (const auto& [x, cx] : at_m) {
+      for (const auto& [y, cy] : at_m) {
+        if (x > y) continue;
+        int64_t same_child = 0;
+        for (NodeId c : kids) {
+          const LabelCounts& cm = maps[c][m - 1];
+          auto ix = cm.find(x);
+          if (ix == cm.end()) continue;
+          auto iy = x == y ? ix : cm.find(y);
+          if (iy == cm.end()) continue;
+          same_child += ix->second * iy->second;
+        }
+        int64_t cross = cx * cy - same_child;
+        if (x == y) cross /= 2;
+        Add(acc, x, y, horizontal, vertical, cross);
+      }
+    }
+    return;
+  }
+
+  for (const auto& [x, cx] : at_m) {
+    for (const auto& [y, cy] : at_n) {
+      int64_t same_child = 0;
+      for (NodeId c : kids) {
+        const LabelCounts& cm = maps[c][m - 1];
+        const LabelCounts& cn = maps[c][n - 1];
+        auto ix = cm.find(x);
+        if (ix == cm.end()) continue;
+        auto iy = cn.find(y);
+        if (iy == cn.end()) continue;
+        same_child += ix->second * iy->second;
+      }
+      Add(acc, x, y, horizontal, vertical, cx * cy - same_child);
+    }
+  }
+}
+
+std::vector<GeneralizedPairItem> Finalize(const Accumulator& acc,
+                                          int64_t min_occur) {
+  std::vector<GeneralizedPairItem> items;
+  items.reserve(acc.size());
+  for (const auto& [key, count] : acc) {
+    if (count >= min_occur) {
+      items.push_back(GeneralizedPairItem{key.label1, key.label2,
+                                          key.horizontal, key.vertical,
+                                          count});
+    }
+  }
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace
+
+std::vector<GeneralizedPairItem> MineGeneralized(
+    const Tree& tree, const GeneralizedMiningOptions& options) {
+  if (tree.empty() || options.max_horizontal < 0 || options.max_vertical < 0) {
+    return {};
+  }
+  const int32_t max_level = options.max_horizontal + 1 + options.max_vertical;
+  Accumulator acc;
+  internal::SweepDescendantLevels(
+      tree, max_level, [&](NodeId a, const std::vector<NodeLevels>& maps) {
+        for (int32_t n = 1; n <= options.max_horizontal + 1; ++n) {
+          for (int32_t m = n; m <= n + options.max_vertical; ++m) {
+            CountPairsAtLevels(tree, a, maps, m, n, &acc);
+          }
+        }
+      });
+  return Finalize(acc, options.min_occur);
+}
+
+std::vector<GeneralizedPairItem> MineGeneralizedNaive(
+    const Tree& tree, const GeneralizedMiningOptions& options) {
+  if (tree.empty() || options.max_horizontal < 0 || options.max_vertical < 0) {
+    return {};
+  }
+  LcaIndex lca(tree);
+  Accumulator acc;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (!tree.has_label(u)) continue;
+    for (NodeId v = u + 1; v < tree.size(); ++v) {
+      if (!tree.has_label(v)) continue;
+      const NodeId a = lca.Lca(u, v);
+      if (a == u || a == v) continue;
+      const int32_t hu = tree.depth(u) - tree.depth(a);
+      const int32_t hv = tree.depth(v) - tree.depth(a);
+      const int32_t horizontal = std::min(hu, hv) - 1;
+      const int32_t vertical = std::abs(hu - hv);
+      if (horizontal > options.max_horizontal ||
+          vertical > options.max_vertical) {
+        continue;
+      }
+      Add(&acc, tree.label(u), tree.label(v), horizontal, vertical, 1);
+    }
+  }
+  return Finalize(acc, options.min_occur);
+}
+
+std::string FormatGeneralizedItem(const LabelTable& labels,
+                                  const GeneralizedPairItem& item) {
+  std::string out = "(";
+  out += labels.Name(item.label1);
+  out += ", ";
+  out += labels.Name(item.label2);
+  out += ", h=" + std::to_string(item.horizontal);
+  out += ", v=" + std::to_string(item.vertical);
+  out += ", " + std::to_string(item.occurrences) + ")";
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,64 @@
+// Generalized cousin mining — the extension the paper sketches in §2
+// ("one upper limit parameter for inter-generational (vertical) distance
+// and another upper limit parameter for horizontal distance") and lists
+// as future work in §7.
+//
+// A pair of labeled, non-ancestor-related nodes u, v with heights hu, hv
+// below their LCA has
+//     horizontal(u, v) = min(hu, hv) − 1   (0 = sibling/aunt side)
+//     vertical(u, v)   = |hu − hv|          (generations removed)
+// Fig. 2's cousin distance is recovered as horizontal + vertical/2 with
+// the paper's cutoff vertical <= 1; this miner lifts the cutoff.
+
+#ifndef COUSINS_CORE_GENERALIZED_MINING_H_
+#define COUSINS_CORE_GENERALIZED_MINING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/label_table.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct GeneralizedMiningOptions {
+  /// Maximum horizontal distance (min(hu, hv) − 1).
+  int32_t max_horizontal = 1;
+  /// Maximum vertical distance (|hu − hv|); the paper hard-codes 1.
+  int32_t max_vertical = 2;
+  /// Minimum occurrences within the tree.
+  int64_t min_occur = 1;
+};
+
+/// A generalized cousin pair item: unordered label pair with its
+/// (horizontal, vertical) kinship and occurrence count.
+struct GeneralizedPairItem {
+  LabelId label1 = kNoLabel;
+  LabelId label2 = kNoLabel;
+  int32_t horizontal = 0;
+  int32_t vertical = 0;
+  int64_t occurrences = 0;
+
+  friend bool operator==(const GeneralizedPairItem&,
+                         const GeneralizedPairItem&) = default;
+  friend auto operator<=>(const GeneralizedPairItem&,
+                          const GeneralizedPairItem&) = default;
+};
+
+/// Mines all generalized cousin pair items of `tree`; canonical order.
+/// Uses the same exact-LCA level sweep as MineSingleTree, iterating all
+/// level pairs (m, n) admitted by the caps instead of Eq. (1)-(2).
+std::vector<GeneralizedPairItem> MineGeneralized(
+    const Tree& tree, const GeneralizedMiningOptions& options = {});
+
+/// Reference oracle (all node pairs + LCA); used by property tests.
+std::vector<GeneralizedPairItem> MineGeneralizedNaive(
+    const Tree& tree, const GeneralizedMiningOptions& options = {});
+
+std::string FormatGeneralizedItem(const LabelTable& labels,
+                                  const GeneralizedPairItem& item);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_GENERALIZED_MINING_H_

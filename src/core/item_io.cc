@@ -1,0 +1,152 @@
+#include "core/item_io.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cousins {
+namespace {
+
+/// CSV-escapes one field (quotes when needed).
+void AppendField(const std::string& field, std::string* out) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n') needs_quote = true;
+  }
+  if (!needs_quote) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+/// Splits a CSV line honoring quotes.
+Result<std::vector<std::string>> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields(1);
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          fields.back() += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        fields.back() += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.emplace_back();
+    } else {
+      fields.back() += c;
+    }
+  }
+  if (quoted) {
+    return Status::InvalidArgument("unterminated quote in CSV line");
+  }
+  return fields;
+}
+
+/// Parses "0", "1.5", or "@" into a twice-distance.
+Result<int> ParseDistanceField(const std::string& field) {
+  if (field == "@") return kAnyDistance;
+  double d = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), d);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return Status::InvalidArgument("bad distance '" + field + "'");
+  }
+  const double doubled = d * 2;
+  if (doubled < 0 || doubled != std::floor(doubled)) {
+    return Status::InvalidArgument("distance '" + field +
+                                   "' is not a multiple of 0.5");
+  }
+  return static_cast<int>(doubled);
+}
+
+}  // namespace
+
+std::string ItemsToCsv(const LabelTable& labels,
+                       const std::vector<CousinPairItem>& items) {
+  std::string out = "label1,label2,distance,occurrences\n";
+  for (const CousinPairItem& item : items) {
+    AppendField(labels.Name(item.label1), &out);
+    out += ',';
+    AppendField(labels.Name(item.label2), &out);
+    out += ',';
+    out += item.twice_distance == kAnyDistance
+               ? "@"
+               : FormatHalfDistance(item.twice_distance);
+    out += ',';
+    out += std::to_string(item.occurrences);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
+                                                 LabelTable* labels) {
+  COUSINS_CHECK(labels != nullptr);
+  std::vector<CousinPairItem> items;
+  bool header_seen = false;
+  for (std::string_view raw : Split(csv, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      header_seen = true;  // first data-looking line is the header
+      continue;
+    }
+    COUSINS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             SplitCsvLine(line));
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          "expected 4 fields, got " + std::to_string(fields.size()) +
+          " in '" + std::string(line) + "'");
+    }
+    COUSINS_ASSIGN_OR_RETURN(int twice_d, ParseDistanceField(fields[2]));
+    int64_t occ = 0;
+    auto [ptr, ec] = std::from_chars(
+        fields[3].data(), fields[3].data() + fields[3].size(), occ);
+    if (ec != std::errc() || ptr != fields[3].data() + fields[3].size()) {
+      return Status::InvalidArgument("bad occurrence count '" + fields[3] +
+                                     "'");
+    }
+    LabelId l1 = labels->Intern(fields[0]);
+    LabelId l2 = labels->Intern(fields[1]);
+    if (l1 > l2) std::swap(l1, l2);
+    items.push_back(CousinPairItem{l1, l2, twice_d, occ});
+  }
+  return items;
+}
+
+std::string FrequentPairsToCsv(
+    const LabelTable& labels, const std::vector<FrequentCousinPair>& pairs) {
+  std::string out = "label1,label2,distance,support,occurrences\n";
+  for (const FrequentCousinPair& pair : pairs) {
+    AppendField(labels.Name(pair.label1), &out);
+    out += ',';
+    AppendField(labels.Name(pair.label2), &out);
+    out += ',';
+    out += pair.twice_distance == kAnyDistance
+               ? "@"
+               : FormatHalfDistance(pair.twice_distance);
+    out += ',';
+    out += std::to_string(pair.support);
+    out += ',';
+    out += std::to_string(pair.total_occurrences);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cousins

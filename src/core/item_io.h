@@ -1,0 +1,32 @@
+// CSV serialization of mined results, so pipelines can hand cousin-pair
+// items between processes (and the cousins_cli output can be reloaded).
+
+#ifndef COUSINS_CORE_ITEM_IO_H_
+#define COUSINS_CORE_ITEM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "core/multi_tree_mining.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// "label1,label2,distance,occurrences" rows with a header; distance in
+/// the paper's decimal notation ("1.5") or "@".
+std::string ItemsToCsv(const LabelTable& labels,
+                       const std::vector<CousinPairItem>& items);
+
+/// Parses ItemsToCsv output; labels are interned into `labels`. Fails on
+/// malformed rows; '#' comment lines and the header are skipped.
+Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
+                                                 LabelTable* labels);
+
+/// "label1,label2,distance,support,occurrences" rows for frequent pairs.
+std::string FrequentPairsToCsv(const LabelTable& labels,
+                               const std::vector<FrequentCousinPair>& pairs);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_ITEM_IO_H_

@@ -1,0 +1,65 @@
+// Internal machinery shared by the fast single-tree miner and the
+// generalized (vertical/horizontal-cap) miner.
+//
+// SweepDescendantLevels walks a tree bottom-up maintaining, for every
+// node, label-count maps of its labeled descendants at each relative
+// depth 0..max_level ("level maps"). For each internal node `a` it
+// invokes a visitor that can read each child subtree's maps and the
+// merged (aggregate) maps of `a`; pair counting at exact-LCA `a` is then
+// inclusion–exclusion: aggregate products minus same-child products.
+// Child maps are freed as soon as their parent has been visited, so peak
+// memory is O(width · max_level) label entries.
+
+#ifndef COUSINS_CORE_LEVEL_SWEEP_H_
+#define COUSINS_CORE_LEVEL_SWEEP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cousins {
+namespace internal {
+
+/// label -> number of descendants with that label at one relative depth.
+using LabelCounts = std::unordered_map<LabelId, int64_t>;
+
+/// levels[k] = LabelCounts at relative depth k below the node
+/// (levels[0] holds the node's own label, if any).
+using NodeLevels = std::vector<LabelCounts>;
+
+/// Visits every node that has children, bottom-up. `visit(a, maps)` may
+/// read maps[c] for each child c of a (depths 0..max_level below c) and
+/// maps[a] (depths 0..max_level below a, already merged). max_level >= 1.
+template <typename Visitor>
+void SweepDescendantLevels(const Tree& tree, int32_t max_level,
+                           Visitor&& visit) {
+  COUSINS_CHECK(max_level >= 1);
+  if (tree.empty()) return;
+  std::vector<NodeLevels> maps(tree.size());
+  // Node ids are preorder, so descending order visits children first.
+  for (NodeId a = tree.size() - 1; a >= 0; --a) {
+    NodeLevels& mine = maps[a];
+    mine.resize(max_level + 1);
+    if (tree.has_label(a)) mine[0][tree.label(a)] = 1;
+    const std::vector<NodeId>& kids = tree.children(a);
+    for (NodeId c : kids) {
+      for (int32_t level = 1; level <= max_level; ++level) {
+        for (const auto& [label, count] : maps[c][level - 1]) {
+          mine[level][label] += count;
+        }
+      }
+    }
+    if (!kids.empty()) visit(a, maps);
+    for (NodeId c : kids) {
+      maps[c].clear();
+      maps[c].shrink_to_fit();
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_LEVEL_SWEEP_H_

@@ -1,0 +1,108 @@
+#include "core/multi_tree_mining.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/strings.h"
+
+namespace cousins {
+
+MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
+    : options_(options) {}
+
+void MultiTreeMiner::AddTree(const Tree& tree) {
+  if (labels_ == nullptr) {
+    labels_ = tree.labels_ptr();
+  } else {
+    COUSINS_CHECK(labels_ == tree.labels_ptr() &&
+                  "all trees in a forest must share one LabelTable");
+  }
+  ++tree_count_;
+
+  const std::vector<CousinPairItem> items =
+      MineSingleTreeUnordered(tree, options_.per_tree);
+  if (!options_.ignore_distance) {
+    for (const CousinPairItem& item : items) {
+      Tally& t = tallies_[{item.label1, item.label2, item.twice_distance}];
+      ++t.support;
+      t.total_occurrences += item.occurrences;
+    }
+    return;
+  }
+
+  // Distance-ignored support: a tree supports (a, b, @) once no matter
+  // how many distinct distances realize the pair in it.
+  std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
+  for (const CousinPairItem& item : items) {
+    per_pair[{item.label1, item.label2, kAnyDistance}] += item.occurrences;
+  }
+  for (const auto& [key, occ] : per_pair) {
+    Tally& t = tallies_[key];
+    ++t.support;
+    t.total_occurrences += occ;
+  }
+}
+
+void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
+  COUSINS_CHECK(options_.min_support == other.options_.min_support &&
+                options_.ignore_distance == other.options_.ignore_distance &&
+                options_.per_tree.twice_maxdist ==
+                    other.options_.per_tree.twice_maxdist &&
+                options_.per_tree.min_occur ==
+                    other.options_.per_tree.min_occur);
+  if (other.labels_ != nullptr) {
+    if (labels_ == nullptr) {
+      labels_ = other.labels_;
+    } else {
+      COUSINS_CHECK(labels_ == other.labels_);
+    }
+  }
+  tree_count_ += other.tree_count_;
+  for (const auto& [key, tally] : other.tallies_) {
+    Tally& mine = tallies_[key];
+    mine.support += tally.support;
+    mine.total_occurrences += tally.total_occurrences;
+  }
+}
+
+std::vector<FrequentCousinPair> MultiTreeMiner::FrequentPairs() const {
+  std::vector<FrequentCousinPair> out;
+  for (const auto& [key, tally] : tallies_) {
+    if (tally.support >= options_.min_support) {
+      out.push_back(FrequentCousinPair{key.label1, key.label2,
+                                       key.twice_distance, tally.support,
+                                       tally.total_occurrences});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.label1, a.label2, a.twice_distance) <
+                     std::tie(b.label1, b.label2, b.twice_distance);
+            });
+  return out;
+}
+
+std::vector<FrequentCousinPair> MineMultipleTrees(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options) {
+  MultiTreeMiner miner(options);
+  for (const Tree& tree : trees) miner.AddTree(tree);
+  return miner.FrequentPairs();
+}
+
+std::string FormatFrequentPair(const LabelTable& labels,
+                               const FrequentCousinPair& pair) {
+  std::string out = "(";
+  out += labels.Name(pair.label1);
+  out += ", ";
+  out += labels.Name(pair.label2);
+  out += ", ";
+  out += pair.twice_distance == kAnyDistance
+             ? "@"
+             : FormatHalfDistance(pair.twice_distance);
+  out += ") support=" + std::to_string(pair.support);
+  out += " occ=" + std::to_string(pair.total_occurrences);
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,96 @@
+// Multiple_Tree_Mining (paper §3): frequent cousin pairs across a forest.
+//
+// A cousin pair (with a distance value d, or with distance ignored — the
+// paper's "@") is frequent if at least `min_support` trees contain it
+// with at least `min_occur` occurrences. Complexity O(N²_total) where
+// N_total = Σ|Tᵢ|, i.e. linear in the number of trees for bounded tree
+// size — the shape Figure 6/7 demonstrates.
+//
+// MultiTreeMiner is incremental (AddTree streams trees through without
+// retaining them), which is how the 10⁶-tree experiment of Figure 6 runs
+// in constant memory.
+
+#ifndef COUSINS_CORE_MULTI_TREE_MINING_H_
+#define COUSINS_CORE_MULTI_TREE_MINING_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "core/single_tree_mining.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct MultiTreeMiningOptions {
+  /// Per-tree mining parameters (maxdist, minoccur; Table 2 defaults).
+  MiningOptions per_tree;
+  /// minsup: minimum number of trees containing the pair. Default 2,
+  /// the paper's Table 2 value.
+  int min_support = 2;
+  /// When true, support is counted per label pair regardless of the
+  /// cousin distance (the paper's "@" abstraction).
+  bool ignore_distance = false;
+};
+
+/// A frequent cousin pair with its support (number of containing trees)
+/// and the total occurrence count summed over all containing trees.
+struct FrequentCousinPair {
+  LabelId label1 = kNoLabel;
+  LabelId label2 = kNoLabel;
+  /// 2·d, or kAnyDistance under ignore_distance.
+  int twice_distance = kUndefinedDistance;
+  int support = 0;
+  int64_t total_occurrences = 0;
+
+  friend bool operator==(const FrequentCousinPair&,
+                         const FrequentCousinPair&) = default;
+};
+
+/// Incremental frequent-pair counter over a stream of trees. All trees
+/// must share one LabelTable.
+class MultiTreeMiner {
+ public:
+  explicit MultiTreeMiner(MultiTreeMiningOptions options = {});
+
+  /// Mines one tree and folds its items into the support counts. The
+  /// tree is not retained.
+  void AddTree(const Tree& tree);
+
+  /// Number of trees added so far.
+  int tree_count() const { return tree_count_; }
+
+  /// Folds another miner's tallies into this one (used by the parallel
+  /// sharded miner). Both must have identical options and label tables.
+  void MergeFrom(const MultiTreeMiner& other);
+
+  /// All pairs with support >= min_support, sorted by descending
+  /// support, then canonical label/distance order.
+  std::vector<FrequentCousinPair> FrequentPairs() const;
+
+ private:
+  struct Tally {
+    int support = 0;
+    int64_t total_occurrences = 0;
+  };
+
+  MultiTreeMiningOptions options_;
+  std::shared_ptr<LabelTable> labels_;  // identity check across trees
+  std::unordered_map<CousinPairKey, Tally, CousinPairKeyHash> tallies_;
+  int tree_count_ = 0;
+};
+
+/// Convenience wrapper: mines a whole forest at once.
+std::vector<FrequentCousinPair> MineMultipleTrees(
+    const std::vector<Tree>& trees,
+    const MultiTreeMiningOptions& options = {});
+
+/// "(a, b, 1.5) support=2 occ=5" rendering for reports.
+std::string FormatFrequentPair(const LabelTable& labels,
+                               const FrequentCousinPair& pair);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_MULTI_TREE_MINING_H_

@@ -1,0 +1,43 @@
+#include "core/naive_mining.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/cousin_distance.h"
+#include "tree/lca.h"
+
+namespace cousins {
+
+std::vector<CousinPairItem> MineSingleTreeNaive(
+    const Tree& tree, const MiningOptions& options) {
+  std::vector<CousinPairItem> items;
+  if (tree.empty() || options.twice_maxdist < 0) return items;
+
+  LcaIndex lca(tree);
+  std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> acc;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (!tree.has_label(u)) continue;
+    for (NodeId v = u + 1; v < tree.size(); ++v) {
+      if (!tree.has_label(v)) continue;
+      const int twice_d = TwiceCousinDistance(tree, lca, u, v);
+      if (twice_d == kUndefinedDistance || twice_d > options.twice_maxdist) {
+        continue;
+      }
+      CousinPairKey key{std::min(tree.label(u), tree.label(v)),
+                        std::max(tree.label(u), tree.label(v)), twice_d};
+      ++acc[key];
+    }
+  }
+
+  items.reserve(acc.size());
+  for (const auto& [key, count] : acc) {
+    if (count >= options.min_occur) {
+      items.push_back(CousinPairItem{key.label1, key.label2,
+                                     key.twice_distance, count});
+    }
+  }
+  CanonicalizeItems(&items);
+  return items;
+}
+
+}  // namespace cousins

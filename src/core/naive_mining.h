@@ -1,0 +1,22 @@
+// Brute-force reference miner: examine every node pair, compute its
+// cousin distance via an LCA index, and aggregate. Θ(|T|²) always.
+// Exists purely as an oracle for property tests and as the ablation
+// baseline; never use it in production paths.
+
+#ifndef COUSINS_CORE_NAIVE_MINING_H_
+#define COUSINS_CORE_NAIVE_MINING_H_
+
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// Identical contract and output to MineSingleTree.
+std::vector<CousinPairItem> MineSingleTreeNaive(
+    const Tree& tree, const MiningOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_NAIVE_MINING_H_

@@ -1,0 +1,102 @@
+#include "core/paper_mining.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "tree/traversal.h"
+
+namespace cousins {
+namespace {
+
+/// Packs an unordered node-id pair for the Step-9 duplicate set.
+uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+/// All nodes exactly `levels` edges below `a` (Step 7's downward walk).
+void CollectAtDepth(const Tree& tree, NodeId a, int32_t levels,
+                    std::vector<NodeId>* out) {
+  out->clear();
+  std::vector<std::pair<NodeId, int32_t>> stack = {{a, 0}};
+  while (!stack.empty()) {
+    auto [v, depth] = stack.back();
+    stack.pop_back();
+    if (depth == levels) {
+      out->push_back(v);
+      continue;
+    }
+    for (NodeId c : tree.children(v)) stack.emplace_back(c, depth + 1);
+  }
+}
+
+bool IsAncestorWithin(const Tree& tree, NodeId anc, NodeId v,
+                      int32_t max_steps) {
+  for (int32_t i = 0; i <= max_steps && v != kNoNode; ++i) {
+    if (v == anc) return true;
+    v = tree.parent(v);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<CousinPairItem> MineSingleTreePaper(
+    const Tree& tree, const MiningOptions& options) {
+  std::vector<CousinPairItem> items;
+  if (tree.empty() || options.twice_maxdist < 0) return items;
+
+  std::unordered_set<uint64_t> found;  // Step 9 duplicate suppression
+  std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> acc;
+  std::vector<NodeId> cousins;
+
+  // Step 1: every node x whose children set is non-empty.
+  for (NodeId x = 0; x < tree.size(); ++x) {
+    const std::vector<NodeId>& siblings = tree.children(x);
+    if (siblings.empty()) continue;
+    // Step 3: valid distance values ascending, so each node pair is first
+    // seen at its true (smallest) distance.
+    for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
+      const int32_t m = MyLevel(twice_d);
+      const int32_t n = MyCousinLevel(twice_d);
+      // Steps 5-7: from a node of the children set (depth x+1), go m
+      // levels up — i.e. m-1 levels up from x — then n levels down.
+      const NodeId a = ClimbUp(tree, x, m - 1);
+      if (a == kNoNode) continue;
+      CollectAtDepth(tree, a, n, &cousins);
+      // Step 8: combine all siblings of u with all siblings of v.
+      for (NodeId u : siblings) {
+        if (!tree.has_label(u)) continue;
+        for (NodeId v : cousins) {
+          if (v == u || !tree.has_label(v)) continue;
+          // The definition excludes ancestor-related pairs; the walk can
+          // descend back into u's own path when n <= m.
+          if (IsAncestorWithin(tree, v, u, m)) continue;
+          // Step 9: a pair found at a smaller distance (deeper LCA) must
+          // not be re-counted at this one.
+          if (!found.insert(PairKey(u, v)).second) continue;
+          CousinPairKey key{std::min(tree.label(u), tree.label(v)),
+                            std::max(tree.label(u), tree.label(v)),
+                            twice_d};
+          ++acc[key];  // Step 12 aggregation
+        }
+      }
+    }
+  }
+
+  items.reserve(acc.size());
+  for (const auto& [key, count] : acc) {
+    if (count >= options.min_occur) {
+      items.push_back(CousinPairItem{key.label1, key.label2,
+                                     key.twice_distance, count});
+    }
+  }
+  CanonicalizeItems(&items);
+  return items;
+}
+
+}  // namespace cousins

@@ -1,0 +1,27 @@
+// Paper-faithful transcription of Fig. 3's Single_Tree_Mining.
+//
+// For every children set, for every valid distance d (ascending), it
+// walks my_level(d) levels up to an ancestor, my_cousin_level(d) levels
+// down to the candidate cousins, forms sibling × sibling pairs (Step 8),
+// and suppresses node pairs already found at a smaller distance with the
+// Step-9 duplicate check. Kept as an executable specification: the fast
+// miner is property-tested against it, and the ablation bench compares
+// their costs.
+
+#ifndef COUSINS_CORE_PAPER_MINING_H_
+#define COUSINS_CORE_PAPER_MINING_H_
+
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// Identical contract and output to MineSingleTree.
+std::vector<CousinPairItem> MineSingleTreePaper(
+    const Tree& tree, const MiningOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_PAPER_MINING_H_

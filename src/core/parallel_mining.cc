@@ -1,0 +1,39 @@
+#include "core/parallel_mining.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace cousins {
+
+std::vector<FrequentCousinPair> MineMultipleTreesParallel(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    int32_t num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int32_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  num_threads =
+      std::min<int32_t>(num_threads, static_cast<int32_t>(trees.size()));
+  if (num_threads <= 1) return MineMultipleTrees(trees, options);
+
+  std::vector<MultiTreeMiner> shards(num_threads, MultiTreeMiner(options));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (int32_t w = 0; w < num_threads; ++w) {
+      workers.emplace_back([&, w]() {
+        // Strided sharding keeps per-thread work balanced even when
+        // tree sizes trend over the corpus.
+        for (size_t i = w; i < trees.size(); i += num_threads) {
+          shards[w].AddTree(trees[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  MultiTreeMiner merged(options);
+  for (const MultiTreeMiner& shard : shards) merged.MergeFrom(shard);
+  return merged.FrequentPairs();
+}
+
+}  // namespace cousins

@@ -1,0 +1,24 @@
+// Parallel Multiple_Tree_Mining: shards a forest across worker threads,
+// each running the single-tree miner with thread-local tallies, then
+// merges. Results are bit-identical to the sequential MineMultipleTrees
+// (merging is commutative integer addition).
+
+#ifndef COUSINS_CORE_PARALLEL_MINING_H_
+#define COUSINS_CORE_PARALLEL_MINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+
+namespace cousins {
+
+/// Like MineMultipleTrees but mining trees on `num_threads` workers
+/// (0 = std::thread::hardware_concurrency). Deterministic output.
+std::vector<FrequentCousinPair> MineMultipleTreesParallel(
+    const std::vector<Tree>& trees,
+    const MultiTreeMiningOptions& options = {}, int32_t num_threads = 0);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_PARALLEL_MINING_H_

@@ -1,0 +1,130 @@
+#include "core/single_tree_mining.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/pair_count_map.h"
+
+namespace cousins {
+namespace {
+
+using internal::PackLabelPair;
+using internal::PairCountMap;
+using internal::UnpackFirst;
+using internal::UnpackSecond;
+
+/// Label multiset at one relative depth, as a label-sorted flat vector —
+/// cache-friendly for the cross-product loops, no hashing.
+using FlatCounts = std::vector<std::pair<LabelId, int64_t>>;
+
+/// Sorts and combines duplicate labels in place.
+void Normalize(FlatCounts* counts) {
+  std::sort(counts->begin(), counts->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t out = 0;
+  for (size_t i = 0; i < counts->size();) {
+    size_t j = i;
+    int64_t total = 0;
+    while (j < counts->size() && (*counts)[j].first == (*counts)[i].first) {
+      total += (*counts)[j].second;
+      ++j;
+    }
+    (*counts)[out++] = {(*counts)[i].first, total};
+    i = j;
+  }
+  counts->resize(out);
+}
+
+/// Emits sign * (cross product of two label multisets) into acc.
+void AddProduct(const FlatCounts& a, const FlatCounts& b, int64_t sign,
+                PairCountMap* acc) {
+  for (const auto& [x, cx] : a) {
+    const int64_t scaled = sign * cx;
+    for (const auto& [y, cy] : b) {
+      acc->Add(PackLabelPair(x, y), scaled * cy);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CousinPairItem> MineSingleTreeUnordered(
+    const Tree& tree, const MiningOptions& options) {
+  std::vector<CousinPairItem> items;
+  if (tree.empty() || options.twice_maxdist < 0) return items;
+
+  const int32_t max_level = MyLevel(options.twice_maxdist);
+  // levels[v][k] = labels of v's descendants at depth k below v.
+  std::vector<std::vector<FlatCounts>> levels(tree.size());
+  // One accumulator per distance value; even distances collect ordered
+  // pairs and are halved at the end.
+  std::vector<PairCountMap> acc(options.twice_maxdist + 1);
+
+  // Preorder ids make descending order a valid postorder.
+  for (NodeId a = tree.size() - 1; a >= 0; --a) {
+    std::vector<FlatCounts>& mine = levels[a];
+    mine.resize(max_level + 1);
+    if (tree.has_label(a)) mine[0].push_back({tree.label(a), 1});
+    const std::vector<NodeId>& kids = tree.children(a);
+    // Children's vectors are still needed below for the same-child
+    // subtraction, so aggregate by copy.
+    for (NodeId c : kids) {
+      for (int32_t level = 1; level <= max_level; ++level) {
+        const FlatCounts& child = levels[c][level - 1];
+        mine[level].insert(mine[level].end(), child.begin(), child.end());
+      }
+    }
+    for (int32_t level = 1; level <= max_level; ++level) {
+      Normalize(&mine[level]);
+    }
+
+    if (!kids.empty()) {
+      for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
+        const int32_t m = MyLevel(twice_d);
+        const int32_t n = MyCousinLevel(twice_d);
+        const FlatCounts& at_m = mine[m];
+        const FlatCounts& at_n = mine[n];
+        if (at_m.empty() || at_n.empty()) continue;
+        // Exact-LCA inclusion–exclusion: aggregate product minus
+        // same-child products. For m == n (even distance) this counts
+        // ordered pairs and the diagonal cancels; halved at finalize.
+        AddProduct(at_m, at_n, +1, &acc[twice_d]);
+        for (NodeId c : kids) {
+          const FlatCounts& cm = levels[c][m - 1];
+          if (cm.empty()) continue;
+          const FlatCounts& cn = levels[c][n - 1];
+          if (cn.empty()) continue;
+          AddProduct(cm, cn, -1, &acc[twice_d]);
+        }
+      }
+    }
+    for (NodeId c : kids) {
+      levels[c].clear();
+      levels[c].shrink_to_fit();
+    }
+  }
+
+  size_t total = 0;
+  for (const PairCountMap& m : acc) total += m.size();
+  items.reserve(total);
+  for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
+    const bool ordered = twice_d % 2 == 0;  // m == n counts both orders
+    acc[twice_d].ForEach([&](uint64_t key, int64_t count) {
+      if (ordered) count /= 2;
+      if (count >= options.min_occur && count > 0) {
+        items.push_back(CousinPairItem{UnpackFirst(key), UnpackSecond(key),
+                                       twice_d, count});
+      }
+    });
+  }
+  return items;
+}
+
+std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
+                                           const MiningOptions& options) {
+  std::vector<CousinPairItem> items = MineSingleTreeUnordered(tree, options);
+  CanonicalizeItems(&items);
+  return items;
+}
+
+}  // namespace cousins

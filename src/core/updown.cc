@@ -1,0 +1,66 @@
+#include "core/updown.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "tree/lca.h"
+
+namespace cousins {
+
+std::vector<UpDownItem> UpDownHistogram(const Tree& tree,
+                                        const UpDownOptions& options) {
+  std::vector<UpDownItem> items;
+  if (tree.empty()) return items;
+  LcaIndex lca(tree);
+  std::map<std::tuple<LabelId, LabelId, int32_t, int32_t>, int64_t> acc;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (!tree.has_label(u)) continue;
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (v == u || !tree.has_label(v)) continue;
+      const NodeId a = lca.Lca(u, v);
+      const int32_t up = tree.depth(u) - tree.depth(a);
+      const int32_t down = tree.depth(v) - tree.depth(a);
+      if (up > options.max_up || down > options.max_down) continue;
+      ++acc[{tree.label(u), tree.label(v), up, down}];
+    }
+  }
+  for (const auto& [key, count] : acc) {
+    if (count >= options.min_occur) {
+      items.push_back(UpDownItem{std::get<0>(key), std::get<1>(key),
+                                 std::get<2>(key), std::get<3>(key),
+                                 count});
+    }
+  }
+  return items;  // std::map iteration is already canonical order
+}
+
+double UpDownSimilarity(const std::vector<UpDownItem>& a,
+                        const std::vector<UpDownItem>& b) {
+  // Both inputs are canonically sorted; merge-join on the item key.
+  int64_t inter = 0;
+  int64_t uni = 0;
+  size_t i = 0;
+  size_t j = 0;
+  auto key = [](const UpDownItem& it) {
+    return std::tie(it.from, it.to, it.up, it.down);
+  };
+  while (i < a.size() && j < b.size()) {
+    if (key(a[i]) < key(b[j])) {
+      uni += a[i++].occurrences;
+    } else if (key(b[j]) < key(a[i])) {
+      uni += b[j++].occurrences;
+    } else {
+      inter += std::min(a[i].occurrences, b[j].occurrences);
+      uni += std::max(a[i].occurrences, b[j].occurrences);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) uni += a[i].occurrences;
+  for (; j < b.size(); ++j) uni += b[j].occurrences;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace cousins

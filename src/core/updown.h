@@ -1,0 +1,51 @@
+// UpDown kinship histograms — the vertical generalization the paper
+// points to via the TreeRank measure [39].
+//
+// For an ordered pair of labeled nodes (u, v), up(u, v) is the number of
+// edges from u to lca(u, v) and down(u, v) the number from the LCA to v.
+// Unlike cousin distance, UpDown has no generation-gap cutoff and keeps
+// ancestor–descendant pairs (up = 0 or down = 0), so it complements the
+// cousin-pair measure for trees with labeled internal nodes.
+
+#ifndef COUSINS_CORE_UPDOWN_H_
+#define COUSINS_CORE_UPDOWN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/label_table.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct UpDownOptions {
+  /// Caps on the up and down legs; pairs exceeding either are dropped.
+  int32_t max_up = 3;
+  int32_t max_down = 3;
+  int64_t min_occur = 1;
+};
+
+/// Ordered label pair with its (up, down) kinship and occurrence count.
+struct UpDownItem {
+  LabelId from = kNoLabel;
+  LabelId to = kNoLabel;
+  int32_t up = 0;
+  int32_t down = 0;
+  int64_t occurrences = 0;
+
+  friend bool operator==(const UpDownItem&, const UpDownItem&) = default;
+  friend auto operator<=>(const UpDownItem&, const UpDownItem&) = default;
+};
+
+/// All UpDown items of `tree` in canonical (sorted) order.
+std::vector<UpDownItem> UpDownHistogram(const Tree& tree,
+                                        const UpDownOptions& options = {});
+
+/// Jaccard similarity of two histograms with multiset (min/max count)
+/// intersection/union semantics; 1 when both are empty.
+double UpDownSimilarity(const std::vector<UpDownItem>& a,
+                        const std::vector<UpDownItem>& b);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_UPDOWN_H_

@@ -1,0 +1,69 @@
+#include "core/weighted_mining.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "core/cousin_distance.h"
+#include "tree/lca.h"
+#include "util/strings.h"
+
+namespace cousins {
+
+std::vector<WeightedPairItem> MineWeighted(
+    const Tree& tree, const WeightedMiningOptions& options) {
+  COUSINS_CHECK(options.bucket_width > 0);
+  std::vector<WeightedPairItem> items;
+  if (tree.empty() || options.twice_maxdist < 0) return items;
+
+  // Weighted depth from the root, per node.
+  std::vector<double> weighted_depth(tree.size(), 0.0);
+  for (NodeId v = 1; v < tree.size(); ++v) {
+    weighted_depth[v] =
+        weighted_depth[tree.parent(v)] + tree.branch_length(v);
+  }
+
+  LcaIndex lca(tree);
+  std::map<std::tuple<LabelId, LabelId, int, int32_t>, int64_t> acc;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (!tree.has_label(u)) continue;
+    for (NodeId v = u + 1; v < tree.size(); ++v) {
+      if (!tree.has_label(v)) continue;
+      const int twice_d = TwiceCousinDistance(tree, lca, u, v);
+      if (twice_d == kUndefinedDistance ||
+          twice_d > options.twice_maxdist) {
+        continue;
+      }
+      const NodeId a = lca.Lca(u, v);
+      const double weighted_path = (weighted_depth[u] - weighted_depth[a]) +
+                                   (weighted_depth[v] - weighted_depth[a]);
+      const auto bucket = static_cast<int32_t>(
+          std::floor(weighted_path / options.bucket_width));
+      ++acc[{std::min(tree.label(u), tree.label(v)),
+             std::max(tree.label(u), tree.label(v)), twice_d, bucket}];
+    }
+  }
+  for (const auto& [key, count] : acc) {
+    if (count >= options.min_occur) {
+      items.push_back(WeightedPairItem{std::get<0>(key), std::get<1>(key),
+                                       std::get<2>(key), std::get<3>(key),
+                                       count});
+    }
+  }
+  return items;  // std::map iteration is canonical order
+}
+
+std::string FormatWeightedItem(const LabelTable& labels,
+                               const WeightedPairItem& item) {
+  std::string out = "(";
+  out += labels.Name(item.label1);
+  out += ", ";
+  out += labels.Name(item.label2);
+  out += ", " + FormatHalfDistance(item.twice_distance);
+  out += ", w" + std::to_string(item.weight_bucket);
+  out += ", " + std::to_string(item.occurrences) + ")";
+  return out;
+}
+
+}  // namespace cousins

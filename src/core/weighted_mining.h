@@ -1,0 +1,61 @@
+// Weighted-edge cousin mining — §7 future work (i): "extending the
+// proposed techniques to trees whose edges have weights".
+//
+// The topological definition (Fig. 2) is kept as the qualification rule
+// — a pair must still be cousins within the maxdist/generation-gap
+// cutoff — and each qualifying pair additionally carries its *weighted*
+// separation: the sum of branch lengths from both nodes up to the LCA.
+// Because weights are continuous, items aggregate by a configurable
+// bucket width (weight_bucket = floor(weighted_path / bucket_width)),
+// so unit-weight trees with bucket width (h_u + h_v) reduce exactly to
+// the unweighted items.
+
+#ifndef COUSINS_CORE_WEIGHTED_MINING_H_
+#define COUSINS_CORE_WEIGHTED_MINING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/label_table.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct WeightedMiningOptions {
+  /// Topological qualification, as in MiningOptions (2·d units).
+  int twice_maxdist = 3;
+  /// Bucket width for the weighted path length (> 0).
+  double bucket_width = 1.0;
+  /// Minimum occurrences of (labels, distance, bucket) within the tree.
+  int64_t min_occur = 1;
+};
+
+/// A weighted cousin pair item: the unweighted item key plus the
+/// weighted-path bucket.
+struct WeightedPairItem {
+  LabelId label1 = kNoLabel;
+  LabelId label2 = kNoLabel;
+  /// Topological cousin distance (2·d).
+  int twice_distance = kUndefinedDistance;
+  /// floor((w_up + w_down) / bucket_width).
+  int32_t weight_bucket = 0;
+  int64_t occurrences = 0;
+
+  friend bool operator==(const WeightedPairItem&,
+                         const WeightedPairItem&) = default;
+  friend auto operator<=>(const WeightedPairItem&,
+                          const WeightedPairItem&) = default;
+};
+
+/// Mines all weighted cousin pair items of `tree`; canonical order.
+std::vector<WeightedPairItem> MineWeighted(
+    const Tree& tree, const WeightedMiningOptions& options = {});
+
+std::string FormatWeightedItem(const LabelTable& labels,
+                               const WeightedPairItem& item);
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_WEIGHTED_MINING_H_

@@ -1,0 +1,113 @@
+#include "freetree/free_tree.h"
+
+#include <utility>
+
+#include "tree/builder.h"
+
+namespace cousins {
+
+Result<FreeTree> FreeTree::Create(
+    std::vector<LabelId> labels_per_node,
+    std::vector<std::pair<int32_t, int32_t>> edges,
+    std::shared_ptr<LabelTable> labels) {
+  const auto n = static_cast<int32_t>(labels_per_node.size());
+  if (n == 0) return Status::InvalidArgument("free tree must be non-empty");
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  if (static_cast<int32_t>(edges.size()) != n - 1) {
+    return Status::InvalidArgument(
+        "a free tree on " + std::to_string(n) + " nodes needs exactly " +
+        std::to_string(n - 1) + " edges, got " +
+        std::to_string(edges.size()));
+  }
+  std::vector<std::vector<int32_t>> adjacency(n);
+  for (auto [u, v] : edges) {
+    if (u < 0 || u >= n || v < 0 || v >= n || u == v) {
+      return Status::InvalidArgument("bad edge (" + std::to_string(u) +
+                                     ", " + std::to_string(v) + ")");
+    }
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+  // n-1 edges + connected => acyclic.
+  std::vector<char> seen(n, 0);
+  std::vector<int32_t> stack = {0};
+  seen[0] = 1;
+  int32_t visited = 1;
+  while (!stack.empty()) {
+    int32_t v = stack.back();
+    stack.pop_back();
+    for (int32_t w : adjacency[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument("free tree is not connected");
+  }
+
+  FreeTree t;
+  t.labels_ = std::move(labels);
+  t.label_ = std::move(labels_per_node);
+  t.adjacency_ = std::move(adjacency);
+  t.edges_ = std::move(edges);
+  return t;
+}
+
+FreeTree FreeTree::FromRootedTree(const Tree& tree) {
+  FreeTree t;
+  t.labels_ = tree.labels_ptr();
+  const int32_t n = tree.size();
+  t.label_.resize(n);
+  t.adjacency_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    t.label_[v] = tree.label(v);
+    if (v != tree.root()) {
+      t.adjacency_[v].push_back(tree.parent(v));
+      t.adjacency_[tree.parent(v)].push_back(v);
+      t.edges_.emplace_back(tree.parent(v), v);
+    }
+  }
+  return t;
+}
+
+FreeTree::Rooted FreeTree::RootAtEdge(int32_t edge_index) const {
+  COUSINS_CHECK(edge_index >= 0 && edge_index < edge_count());
+  auto [left, right] = edges_[edge_index];
+
+  TreeBuilder b(labels_);
+  std::vector<int32_t> orig_id;
+  NodeId root = b.AddRoot();  // the artificial node r of Fig. 11
+  orig_id.push_back(-1);
+
+  // Orient both halves away from the artificial root with a DFS that
+  // never traverses the subdivided edge.
+  struct Frame {
+    int32_t node;
+    int32_t from;   // free-tree node we arrived from (-1 for the halves)
+    NodeId parent;  // rooted-tree parent
+  };
+  std::vector<Frame> stack = {{right, left, root}, {left, right, root}};
+  while (!stack.empty()) {
+    auto [node, from, parent] = stack.back();
+    stack.pop_back();
+    NodeId id = b.AddChildWithLabelId(parent, label_[node]);
+    orig_id.push_back(node);
+    for (int32_t w : adjacency_[node]) {
+      if (w != from) stack.push_back({w, node, id});
+    }
+  }
+
+  Rooted out;
+  std::vector<NodeId> old_to_new;
+  out.tree = std::move(b).Build(&old_to_new);
+  out.orig_id.resize(orig_id.size());
+  for (size_t old = 0; old < orig_id.size(); ++old) {
+    out.orig_id[old_to_new[old]] = orig_id[old];
+  }
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,148 @@
+#include "freetree/free_tree_mining.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+#include "tree/lca.h"
+
+namespace cousins {
+namespace {
+
+using Accumulator =
+    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash>;
+
+std::vector<CousinPairItem> Finalize(const Accumulator& acc,
+                                     int64_t min_occur) {
+  std::vector<CousinPairItem> items;
+  items.reserve(acc.size());
+  for (const auto& [key, count] : acc) {
+    if (count >= min_occur) {
+      items.push_back(CousinPairItem{key.label1, key.label2,
+                                     key.twice_distance, count});
+    }
+  }
+  CanonicalizeItems(&items);
+  return items;
+}
+
+}  // namespace
+
+std::vector<CousinPairItem> MineFreeTree(const FreeTree& graph,
+                                         const MiningOptions& options,
+                                         int32_t root_edge_index) {
+  if (graph.size() < 2 || options.twice_maxdist < 0) return {};
+
+  const FreeTree::Rooted rooted = graph.RootAtEdge(root_edge_index);
+  const Tree& tree = rooted.tree;
+  const NodeId root = tree.root();
+  LcaIndex lca(tree);
+
+  Accumulator acc;
+  for (NodeId u = 0; u < tree.size(); ++u) {
+    if (!tree.has_label(u)) continue;
+    for (NodeId v = u + 1; v < tree.size(); ++v) {
+      if (!tree.has_label(v)) continue;
+      const NodeId a = lca.Lca(u, v);
+      int32_t edges = tree.depth(u) + tree.depth(v) - 2 * tree.depth(a);
+      // Eq. (10): a path through the artificial root crosses the
+      // subdivided edge of Fig. 11, which counts one edge in G but two
+      // in T_r.
+      if (a == root) edges -= 1;
+      const int twice_d = edges - 2;  // Eq. (7) doubled
+      if (twice_d < 0 || twice_d > options.twice_maxdist) continue;
+      CousinPairKey key{std::min(tree.label(u), tree.label(v)),
+                        std::max(tree.label(u), tree.label(v)), twice_d};
+      ++acc[key];
+    }
+  }
+  return Finalize(acc, options.min_occur);
+}
+
+std::vector<CousinPairItem> MineFreeTreeBfs(const FreeTree& graph,
+                                            const MiningOptions& options) {
+  if (graph.size() < 2 || options.twice_maxdist < 0) return {};
+  const int32_t max_edges = options.twice_maxdist + 2;
+
+  Accumulator acc;
+  std::vector<int32_t> dist(graph.size());
+  std::vector<int32_t> queue;
+  for (int32_t u = 0; u < graph.size(); ++u) {
+    if (!graph.has_label(u)) continue;
+    // Bounded BFS from u.
+    std::fill(dist.begin(), dist.end(), -1);
+    queue.clear();
+    queue.push_back(u);
+    dist[u] = 0;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      const int32_t v = queue[qi];
+      if (dist[v] == max_edges) continue;
+      for (int32_t w : graph.neighbors(v)) {
+        if (dist[w] == -1) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (int32_t v : queue) {
+      if (v <= u || !graph.has_label(v)) continue;
+      const int twice_d = dist[v] - 2;
+      if (twice_d < 0 || twice_d > options.twice_maxdist) continue;
+      CousinPairKey key{std::min(graph.label(u), graph.label(v)),
+                        std::max(graph.label(u), graph.label(v)), twice_d};
+      ++acc[key];
+    }
+  }
+  return Finalize(acc, options.min_occur);
+}
+
+std::vector<FrequentCousinPair> MineMultipleFreeTrees(
+    const std::vector<FreeTree>& graphs,
+    const MultiTreeMiningOptions& options) {
+  struct Tally {
+    int support = 0;
+    int64_t total_occurrences = 0;
+  };
+  std::unordered_map<CousinPairKey, Tally, CousinPairKeyHash> tallies;
+  for (const FreeTree& graph : graphs) {
+    COUSINS_CHECK(graph.labels_ptr() == graphs[0].labels_ptr());
+    const std::vector<CousinPairItem> items =
+        MineFreeTreeBfs(graph, options.per_tree);
+    if (!options.ignore_distance) {
+      for (const CousinPairItem& item : items) {
+        Tally& t = tallies[{item.label1, item.label2, item.twice_distance}];
+        ++t.support;
+        t.total_occurrences += item.occurrences;
+      }
+      continue;
+    }
+    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
+    for (const CousinPairItem& item : items) {
+      per_pair[{item.label1, item.label2, kAnyDistance}] +=
+          item.occurrences;
+    }
+    for (const auto& [key, occ] : per_pair) {
+      Tally& t = tallies[key];
+      ++t.support;
+      t.total_occurrences += occ;
+    }
+  }
+
+  std::vector<FrequentCousinPair> out;
+  for (const auto& [key, tally] : tallies) {
+    if (tally.support >= options.min_support) {
+      out.push_back(FrequentCousinPair{key.label1, key.label2,
+                                       key.twice_distance, tally.support,
+                                       tally.total_occurrences});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.label1, a.label2, a.twice_distance) <
+                     std::tie(b.label1, b.label2, b.twice_distance);
+            });
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,50 @@
+#include "gen/fanout_generator.h"
+
+#include <string>
+#include <utility>
+
+#include "tree/builder.h"
+
+namespace cousins {
+
+void InternAlphabet(int32_t alphabet_size, LabelTable* labels) {
+  for (int32_t i = 0; i < alphabet_size; ++i) {
+    labels->Intern("L" + std::to_string(i));
+  }
+}
+
+Tree GenerateFanoutTree(const FanoutTreeOptions& options, Rng& rng,
+                        std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(options.tree_size >= 1);
+  COUSINS_CHECK(options.fanout >= 1);
+  COUSINS_CHECK(options.alphabet_size >= 1);
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  InternAlphabet(options.alphabet_size, labels.get());
+
+  auto random_label = [&]() -> LabelId {
+    if (!rng.NextBool(options.labeled_fraction)) return kNoLabel;
+    return labels->Find(
+        "L" + std::to_string(rng.Uniform(options.alphabet_size)));
+  };
+
+  TreeBuilder b(labels);
+  NodeId root = b.AddRoot();
+  if (LabelId l = random_label(); l != kNoLabel) {
+    b.SetLabel(root, labels->Name(l));
+  }
+  // Breadth-first attachment: `frontier` is the queue of nodes that have
+  // not yet received their children.
+  std::vector<NodeId> frontier = {root};
+  size_t next = 0;
+  while (b.size() < options.tree_size && next < frontier.size()) {
+    NodeId parent = frontier[next++];
+    for (int32_t i = 0; i < options.fanout && b.size() < options.tree_size;
+         ++i) {
+      NodeId c = b.AddChildWithLabelId(parent, random_label());
+      frontier.push_back(c);
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

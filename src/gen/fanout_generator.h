@@ -1,0 +1,41 @@
+// Fixed-fanout random labeled trees — the synthetic workload of the
+// paper's Table 3 (tree_size, fanout, alphabet_size) used by Figures
+// 4-6.
+
+#ifndef COUSINS_GEN_FANOUT_GENERATOR_H_
+#define COUSINS_GEN_FANOUT_GENERATOR_H_
+
+#include <memory>
+
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct FanoutTreeOptions {
+  /// Total number of nodes (Table 3 default 200).
+  int32_t tree_size = 200;
+  /// Children per internal node (Table 3 default 5). The last internal
+  /// node may receive fewer to hit tree_size exactly.
+  int32_t fanout = 5;
+  /// Size of the label alphabet (Table 3 default 200); labels are drawn
+  /// uniformly with replacement and named "L0".."L<n-1>".
+  int32_t alphabet_size = 200;
+  /// Fraction of nodes that receive a label (1.0 = all, as in the
+  /// synthetic experiments).
+  double labeled_fraction = 1.0;
+};
+
+/// Generates a complete-ish tree: nodes are attached breadth-first, each
+/// internal node receiving exactly `fanout` children until `tree_size`
+/// nodes exist. Labels are uniform over the alphabet.
+Tree GenerateFanoutTree(const FanoutTreeOptions& options, Rng& rng,
+                        std::shared_ptr<LabelTable> labels = nullptr);
+
+/// Interns "L0".."L<alphabet_size-1>" into `labels` (idempotent); the
+/// generators above call it implicitly, exposed for forest setup.
+void InternAlphabet(int32_t alphabet_size, LabelTable* labels);
+
+}  // namespace cousins
+
+#endif  // COUSINS_GEN_FANOUT_GENERATOR_H_

@@ -1,0 +1,35 @@
+#include "gen/seed_plants.h"
+
+#include "tree/newick.h"
+#include "util/check.h"
+
+namespace cousins {
+
+const char* const kSeedPlantTaxa[8] = {
+    "Cycadales",   "Ginkgoales", "Coniferales", "Ephedra",
+    "Welwitschia", "Gnetum",     "Angiosperms", "Outgroup",
+};
+
+// T1: anthophyte hypothesis (gnetophytes sister to angiosperms).
+// T2: gnetophytes + (Ephedra, angiosperm) variant.
+// T3, T4: hypotheses placing (Ginkgoales, Ephedra) as first cousins
+//         once removed (cousin distance 1.5).
+const char* const kSeedPlantStudyNewick =
+    "(Outgroup,(Cycadales,(Ginkgoales,(Coniferales,(((Gnetum,Welwitschia)"
+    ",Ephedra),Angiosperms)))));\n"
+    "(Outgroup,(Cycadales,(Ginkgoales,(Coniferales,((Gnetum,Welwitschia),"
+    "(Ephedra,Angiosperms))))));\n"
+    "(Outgroup,(Angiosperms,((Cycadales,Ginkgoales),(Coniferales,((Gnetum"
+    ",Welwitschia),Ephedra)))));\n"
+    "(Outgroup,((Cycadales,Ginkgoales),((Coniferales,Angiosperms),((Gnetum"
+    ",Welwitschia),Ephedra))));\n";
+
+std::vector<Tree> SeedPlantStudy(std::shared_ptr<LabelTable> labels) {
+  Result<std::vector<Tree>> forest =
+      ParseNewickForest(kSeedPlantStudyNewick, std::move(labels));
+  COUSINS_CHECK(forest.ok());
+  COUSINS_CHECK(forest->size() == 4);
+  return std::move(forest).value();
+}
+
+}  // namespace cousins

@@ -1,0 +1,32 @@
+// The seed-plant study used in the paper's Figure 8 (Doyle & Donoghue
+// [11], maintained in TreeBASE): four competing hypotheses over eight
+// taxa. The original TreeBASE topologies are not included in the paper,
+// so these are hand-encoded hypothesis trees consistent with everything
+// the paper reports: (Gnetum, Welwitschia) is a frequent cousin pair at
+// distance 0 in all four trees, and (Ginkgoales, Ephedra) at distance
+// 1.5 in exactly two of them (see DESIGN.md's substitution table).
+
+#ifndef COUSINS_GEN_SEED_PLANTS_H_
+#define COUSINS_GEN_SEED_PLANTS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// The eight taxa of the study.
+extern const char* const kSeedPlantTaxa[8];
+
+/// The four hypothesis trees as a ';'-separated Newick forest.
+extern const char* const kSeedPlantStudyNewick;
+
+/// Parses the study into trees over a shared label table (fresh if
+/// null). Aborts on malformed embedded data (programming error).
+std::vector<Tree> SeedPlantStudy(
+    std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace cousins
+
+#endif  // COUSINS_GEN_SEED_PLANTS_H_

@@ -1,0 +1,72 @@
+#include "gen/study_corpus.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "gen/yule_generator.h"
+#include "tree/edit.h"
+
+namespace cousins {
+namespace {
+
+/// A few random subtree swaps; attempts may fail (ancestor pairs), so
+/// bound the retries.
+Tree Perturb(const Tree& tree, int32_t moves, Rng& rng) {
+  Tree current = tree;
+  int32_t applied = 0;
+  for (int32_t attempts = 0; applied < moves && attempts < 20 * moves + 20;
+       ++attempts) {
+    const auto u = static_cast<NodeId>(rng.Uniform(current.size()));
+    const auto v = static_cast<NodeId>(rng.Uniform(current.size()));
+    Result<Tree> swapped = SwapSubtrees(current, u, v);
+    if (swapped.ok()) {
+      current = std::move(swapped).value();
+      ++applied;
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+std::vector<Study> GenerateStudyCorpus(const StudyCorpusOptions& options,
+                                       Rng& rng,
+                                       std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(options.num_studies >= 0);
+  COUSINS_CHECK(options.min_taxa >= 2);
+  COUSINS_CHECK(options.max_taxa >= options.min_taxa);
+  COUSINS_CHECK(options.min_trees_per_study >= 1);
+  COUSINS_CHECK(options.max_trees_per_study >=
+                options.min_trees_per_study);
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+
+  std::vector<Study> corpus;
+  corpus.reserve(options.num_studies);
+  for (int32_t s = 0; s < options.num_studies; ++s) {
+    const auto num_taxa = static_cast<int32_t>(
+        rng.UniformInt(options.min_taxa, options.max_taxa));
+    // Sample study taxa from the global pool without replacement.
+    std::vector<std::string> taxa;
+    std::unordered_set<uint64_t> used;
+    while (static_cast<int32_t>(taxa.size()) < num_taxa) {
+      const uint64_t pick = rng.Uniform(options.taxon_pool);
+      if (used.insert(pick).second) {
+        taxa.push_back("taxon" + std::to_string(pick));
+      }
+    }
+    Study study;
+    Tree model = RandomCoalescentTree(taxa, rng, labels);
+    const auto num_trees = static_cast<int32_t>(rng.UniformInt(
+        options.min_trees_per_study, options.max_trees_per_study));
+    study.trees.push_back(model);
+    for (int32_t t = 1; t < num_trees; ++t) {
+      study.trees.push_back(
+          Perturb(model, options.perturbation_moves, rng));
+    }
+    corpus.push_back(std::move(study));
+  }
+  return corpus;
+}
+
+}  // namespace cousins

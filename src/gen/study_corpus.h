@@ -1,0 +1,48 @@
+// TreeBASE-like study corpora. §5.1 applies Multiple_Tree_Mining "to
+// the phylogenies associated with each study in TreeBASE": a study is a
+// set of related trees (competing hypotheses / equally parsimonious
+// variants) over one taxon set. This generator produces corpora with
+// that structure — per study, a model phylogeny plus NNI-perturbed
+// variants — so per-study pattern mining can be exercised at corpus
+// scale without the proprietary dump.
+
+#ifndef COUSINS_GEN_STUDY_CORPUS_H_
+#define COUSINS_GEN_STUDY_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct StudyCorpusOptions {
+  int32_t num_studies = 50;
+  /// Trees per study, uniform in [min, max].
+  int32_t min_trees_per_study = 2;
+  int32_t max_trees_per_study = 6;
+  /// Taxa per study, uniform in [min, max].
+  int32_t min_taxa = 8;
+  int32_t max_taxa = 40;
+  /// Global taxon pool (TreeBASE: 18,870); studies sample from it, so
+  /// taxa recur across studies as in the real corpus.
+  int32_t taxon_pool = 18870;
+  /// Random subtree swaps applied to derive each variant tree.
+  int32_t perturbation_moves = 3;
+};
+
+struct Study {
+  std::vector<Tree> trees;
+};
+
+/// Generates a study-structured corpus over a shared LabelTable (fresh
+/// if null). Deterministic given the Rng state.
+std::vector<Study> GenerateStudyCorpus(
+    const StudyCorpusOptions& options, Rng& rng,
+    std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace cousins
+
+#endif  // COUSINS_GEN_STUDY_CORPUS_H_

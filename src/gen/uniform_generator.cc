@@ -1,0 +1,77 @@
+#include "gen/uniform_generator.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/fanout_generator.h"
+#include "tree/builder.h"
+
+namespace cousins {
+
+Tree GenerateUniformTree(const UniformTreeOptions& options, Rng& rng,
+                         std::shared_ptr<LabelTable> labels) {
+  const int32_t n = options.tree_size;
+  COUSINS_CHECK(n >= 1);
+  COUSINS_CHECK(options.alphabet_size >= 1);
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  InternAlphabet(options.alphabet_size, labels.get());
+
+  auto random_label = [&]() -> LabelId {
+    if (!rng.NextBool(options.labeled_fraction)) return kNoLabel;
+    return labels->Find(
+        "L" + std::to_string(rng.Uniform(options.alphabet_size)));
+  };
+
+  // Decode a uniform Prüfer sequence into adjacency lists.
+  std::vector<std::vector<int32_t>> adj(n);
+  if (n >= 2) {
+    std::vector<int32_t> prufer(n - 2);
+    for (int32_t& p : prufer) {
+      p = static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(n)));
+    }
+    std::vector<int32_t> degree(n, 1);
+    for (int32_t p : prufer) ++degree[p];
+    // Standard linear decode with a moving leaf pointer (the tree being
+    // decoded keeps >= 2 leaves at every stage, so the scans stay in
+    // bounds; asserted defensively).
+    int32_t ptr = 0;
+    while (degree[ptr] != 1) ++ptr;
+    int32_t leaf = ptr;
+    for (int32_t p : prufer) {
+      adj[leaf].push_back(p);
+      adj[p].push_back(leaf);
+      if (--degree[p] == 1 && p < ptr) {
+        leaf = p;
+      } else {
+        ++ptr;
+        while (ptr < n && degree[ptr] != 1) ++ptr;
+        COUSINS_CHECK(ptr < n);
+        leaf = ptr;
+      }
+    }
+    // Join the final two vertices of degree 1: `leaf` and n-1.
+    adj[leaf].push_back(n - 1);
+    adj[n - 1].push_back(leaf);
+  }
+
+  // Root the free tree at vertex 0 by BFS.
+  TreeBuilder b(labels);
+  std::vector<NodeId> built(n, kNoNode);
+  built[0] = b.AddRoot();
+  if (LabelId l = random_label(); l != kNoLabel) {
+    b.SetLabel(built[0], labels->Name(l));
+  }
+  std::vector<int32_t> queue = {0};
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int32_t v = queue[qi];
+    for (int32_t w : adj[v]) {
+      if (built[w] != kNoNode) continue;
+      built[w] = b.AddChildWithLabelId(built[v], random_label());
+      queue.push_back(w);
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

@@ -1,0 +1,33 @@
+// Uniform random trees via Prüfer sequences — our stand-in for the
+// Holmes–Diaconis random-walk generator [19] the paper used to sample
+// "a large number of random trees from the whole tree space".
+//
+// A uniformly random Prüfer sequence of length n−2 decodes to a
+// uniformly random labeled tree on n vertices (Cayley's bijection); we
+// root it at vertex 0. Shapes range from paths to stars, exercising the
+// miners across the whole tree space rather than one parametric family.
+
+#ifndef COUSINS_GEN_UNIFORM_GENERATOR_H_
+#define COUSINS_GEN_UNIFORM_GENERATOR_H_
+
+#include <memory>
+
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct UniformTreeOptions {
+  int32_t tree_size = 200;
+  int32_t alphabet_size = 200;
+  /// Fraction of nodes carrying a label.
+  double labeled_fraction = 1.0;
+};
+
+/// Uniformly random rooted labeled tree on tree_size nodes.
+Tree GenerateUniformTree(const UniformTreeOptions& options, Rng& rng,
+                         std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace cousins
+
+#endif  // COUSINS_GEN_UNIFORM_GENERATOR_H_

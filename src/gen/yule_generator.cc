@@ -1,0 +1,111 @@
+#include "gen/yule_generator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tree/builder.h"
+
+namespace cousins {
+
+std::vector<std::string> MakeTaxa(int32_t n) {
+  std::vector<std::string> taxa;
+  taxa.reserve(n);
+  for (int32_t i = 0; i < n; ++i) taxa.push_back("taxon" + std::to_string(i));
+  return taxa;
+}
+
+Tree GenerateYulePhylogeny(const YulePhylogenyOptions& options, Rng& rng,
+                           std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(options.min_nodes >= 1);
+  COUSINS_CHECK(options.max_nodes >= options.min_nodes);
+  COUSINS_CHECK(options.max_children >= 2);
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+
+  const int32_t target =
+      static_cast<int32_t>(rng.UniformInt(options.min_nodes,
+                                          options.max_nodes));
+  TreeBuilder b(labels);
+  std::vector<NodeId> leaves = {b.AddRoot()};
+  while (b.size() < target) {
+    // Expand a uniformly random current leaf into a speciation event.
+    const size_t pick = rng.Uniform(leaves.size());
+    const NodeId parent = leaves[pick];
+    leaves[pick] = leaves.back();
+    leaves.pop_back();
+    int32_t k = 2;
+    if (options.max_children > 2 && rng.NextBool(options.multifurcation_prob)) {
+      k = static_cast<int32_t>(rng.UniformInt(3, options.max_children));
+    }
+    for (int32_t i = 0; i < k; ++i) {
+      leaves.push_back(b.AddChild(parent));
+    }
+  }
+  // Label the final leaves with random taxa; internal nodes stay
+  // unlabeled like real phylogenies.
+  for (NodeId leaf : leaves) {
+    b.SetLabel(leaf,
+               "taxon" + std::to_string(rng.Uniform(options.alphabet_size)));
+  }
+  return std::move(b).Build();
+}
+
+namespace {
+
+/// Lightweight top-down emit of a bottom-up (coalescent) structure.
+struct Proto {
+  std::string taxon;  // empty for internal nodes
+  double branch_length = 1.0;
+  std::vector<int> kids;  // indices into the proto arena
+};
+
+}  // namespace
+
+Tree RandomCoalescentTree(const std::vector<std::string>& taxa, Rng& rng,
+                          std::shared_ptr<LabelTable> labels,
+                          double branch_scale) {
+  COUSINS_CHECK(!taxa.empty());
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+
+  auto exp_length = [&]() {
+    return -std::log(1.0 - rng.NextDouble()) * branch_scale;
+  };
+
+  std::vector<Proto> arena;
+  std::vector<int> pool;
+  arena.reserve(2 * taxa.size());
+  for (const std::string& t : taxa) {
+    arena.push_back(Proto{t, exp_length(), {}});
+    pool.push_back(static_cast<int>(arena.size()) - 1);
+  }
+  // Coalesce two random lineages until one remains.
+  while (pool.size() > 1) {
+    const size_t i = rng.Uniform(pool.size());
+    const int a = pool[i];
+    pool[i] = pool.back();
+    pool.pop_back();
+    const size_t j = rng.Uniform(pool.size());
+    const int c = pool[j];
+    arena.push_back(Proto{"", exp_length(), {a, c}});
+    pool[j] = static_cast<int>(arena.size()) - 1;
+  }
+
+  TreeBuilder b(labels);
+  // Iterative preorder emit.
+  struct Frame {
+    int proto;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{pool[0], kNoNode}};
+  while (!stack.empty()) {
+    auto [p, parent] = stack.back();
+    stack.pop_back();
+    const Proto& proto = arena[p];
+    NodeId v = parent == kNoNode
+                   ? b.AddRoot(proto.taxon)
+                   : b.AddChild(parent, proto.taxon, proto.branch_length);
+    for (int kid : proto.kids) stack.push_back({kid, v});
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

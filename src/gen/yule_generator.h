@@ -1,0 +1,55 @@
+// Phylogeny-shaped random trees.
+//
+// GenerateYulePhylogeny reproduces the TreeBASE corpus statistics the
+// paper reports for Figure 7: 50-200 nodes per tree, 2-9 children per
+// internal node (most internal nodes binary), leaf labels drawn from an
+// 18,870-taxon alphabet, unlabeled internal nodes.
+//
+// RandomCoalescentTree builds a random binary tree over an explicit
+// taxon set with exponential branch lengths — the model trees for the
+// sequence-evolution substrate (§5.2-5.3) and start trees for the
+// parsimony search.
+
+#ifndef COUSINS_GEN_YULE_GENERATOR_H_
+#define COUSINS_GEN_YULE_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct YulePhylogenyOptions {
+  /// Node-count target is drawn uniformly from [min_nodes, max_nodes].
+  int32_t min_nodes = 50;
+  int32_t max_nodes = 200;
+  /// Children per speciation event: 2 with probability
+  /// 1 − multifurcation_prob, else uniform in [3, max_children].
+  int32_t max_children = 9;
+  double multifurcation_prob = 0.15;
+  /// Taxon alphabet size (TreeBASE: 18,870). Leaves are labeled
+  /// "taxon<i>" with i uniform over the alphabet.
+  int32_t alphabet_size = 18870;
+};
+
+/// Grows a tree by a Yule process: repeatedly expand a uniformly chosen
+/// leaf into a speciation event until the node target is reached.
+/// Internal nodes are unlabeled, as in real phylogenies.
+Tree GenerateYulePhylogeny(const YulePhylogenyOptions& options, Rng& rng,
+                           std::shared_ptr<LabelTable> labels = nullptr);
+
+/// Random binary tree whose leaves are exactly `taxa` (random coalescent
+/// topology); edge lengths are Exp(1) · branch_scale.
+Tree RandomCoalescentTree(const std::vector<std::string>& taxa, Rng& rng,
+                          std::shared_ptr<LabelTable> labels = nullptr,
+                          double branch_scale = 0.1);
+
+/// "taxon0".."taxon<n-1>" convenience taxon set.
+std::vector<std::string> MakeTaxa(int32_t n);
+
+}  // namespace cousins
+
+#endif  // COUSINS_GEN_YULE_GENERATOR_H_

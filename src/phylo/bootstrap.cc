@@ -1,0 +1,84 @@
+#include "phylo/bootstrap.h"
+
+#include <unordered_map>
+
+#include "phylo/clusters.h"
+#include "seq/neighbor_joining.h"
+#include "util/bitset.h"
+
+namespace cousins {
+
+Result<std::vector<ClusterSupport>> BootstrapSupport(
+    const Tree& reference, const Alignment& alignment,
+    const BootstrapOptions& options, Rng& rng) {
+  if (options.replicates <= 0) {
+    return Status::InvalidArgument("replicates must be positive");
+  }
+  if (alignment.num_sites() == 0) {
+    return Status::InvalidArgument("empty alignment");
+  }
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTree(reference));
+  for (int32_t i = 0; i < taxa.size(); ++i) {
+    if (alignment.RowOf(reference.labels().Name(taxa.label_of(i))) < 0) {
+      return Status::NotFound(
+          "taxon '" + reference.labels().Name(taxa.label_of(i)) +
+          "' missing from alignment");
+    }
+  }
+
+  // Reference clusters, keyed for counting, remembering their nodes.
+  std::unordered_map<Bitset, int64_t, BitsetHash> hits;
+  std::vector<std::pair<NodeId, Bitset>> reference_clusters;
+  {
+    const int32_t n = taxa.size();
+    std::vector<Bitset> below(reference.size(), Bitset(n));
+    for (NodeId v = reference.size() - 1; v >= 0; --v) {
+      if (reference.is_leaf(v)) {
+        below[v].Set(taxa.index_of(reference.label(v)));
+      }
+      if (v != reference.root()) below[reference.parent(v)] |= below[v];
+    }
+    for (NodeId v = 0; v < reference.size(); ++v) {
+      if (reference.is_leaf(v)) continue;
+      const int32_t count = below[v].Count();
+      if (count < 2 || count >= n) continue;
+      reference_clusters.emplace_back(v, below[v]);
+      hits.try_emplace(below[v], 0);
+    }
+  }
+
+  const int32_t sites = alignment.num_sites();
+  for (int32_t r = 0; r < options.replicates; ++r) {
+    // Resample columns with replacement.
+    Alignment replicate;
+    replicate.rows.resize(alignment.rows.size());
+    for (size_t row = 0; row < alignment.rows.size(); ++row) {
+      replicate.rows[row].taxon = alignment.rows[row].taxon;
+      replicate.rows[row].bases.resize(sites);
+    }
+    for (int32_t s = 0; s < sites; ++s) {
+      const auto pick = static_cast<int32_t>(rng.Uniform(sites));
+      for (size_t row = 0; row < alignment.rows.size(); ++row) {
+        replicate.rows[row].bases[s] = alignment.rows[row].bases[pick];
+      }
+    }
+    Tree tree = NeighborJoiningTree(replicate, reference.labels_ptr());
+    COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> clusters,
+                             TreeClusters(tree, taxa));
+    for (const Bitset& c : clusters) {
+      auto it = hits.find(c);
+      if (it != hits.end()) ++it->second;
+    }
+  }
+
+  std::vector<ClusterSupport> out;
+  out.reserve(reference_clusters.size());
+  for (const auto& [node, cluster] : reference_clusters) {
+    out.push_back(ClusterSupport{
+        node, static_cast<double>(hits.at(cluster)) /
+                  static_cast<double>(options.replicates)});
+  }
+  return out;
+}
+
+}  // namespace cousins

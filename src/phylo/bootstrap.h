@@ -1,0 +1,41 @@
+// Nonparametric bootstrap support for clusters (Felsenstein): resample
+// alignment columns with replacement, rebuild a tree per replicate, and
+// report the fraction of replicates containing each cluster of the
+// reference tree. Exercises the full substrate chain
+// (alignment -> NJ -> clusters) and gives the consensus/similarity
+// analyses a statistically grounded companion.
+
+#ifndef COUSINS_PHYLO_BOOTSTRAP_H_
+#define COUSINS_PHYLO_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct BootstrapOptions {
+  int32_t replicates = 100;
+};
+
+struct ClusterSupport {
+  /// The internal node of the reference tree the cluster belongs to.
+  NodeId node = kNoNode;
+  /// Fraction of replicates whose tree contains the cluster, in [0, 1].
+  double support = 0.0;
+};
+
+/// Bootstrap support of every nontrivial cluster of `reference`
+/// (typically the NJ tree of `alignment`), using NJ on each resampled
+/// replicate. Fails if reference taxa and alignment disagree.
+Result<std::vector<ClusterSupport>> BootstrapSupport(
+    const Tree& reference, const Alignment& alignment,
+    const BootstrapOptions& options, Rng& rng);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_BOOTSTRAP_H_

@@ -1,0 +1,158 @@
+#include "phylo/clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+/// All-pairs distance matrix from precomputed profiles.
+std::vector<std::vector<double>> DistanceMatrix(
+    const std::vector<Tree>& trees, const ClusteringOptions& options) {
+  const auto n = static_cast<int32_t>(trees.size());
+  std::vector<std::vector<CousinPairItem>> profiles;
+  profiles.reserve(n);
+  for (const Tree& t : trees) {
+    profiles.push_back(CousinProfile(t, options.abstraction, options.mining));
+  }
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = ProfileDistance(profiles[i], profiles[j]);
+    }
+  }
+  return d;
+}
+
+/// Greedy farthest-point seeding (deterministic given the start pick).
+std::vector<int32_t> SeedMedoids(const std::vector<std::vector<double>>& d,
+                                 int32_t k, int32_t first) {
+  std::vector<int32_t> medoids = {first};
+  const auto n = static_cast<int32_t>(d.size());
+  while (static_cast<int32_t>(medoids.size()) < k) {
+    int32_t best = -1;
+    double best_dist = -1.0;
+    for (int32_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (int32_t m : medoids) nearest = std::min(nearest, d[i][m]);
+      if (nearest > best_dist) {
+        best_dist = nearest;
+        best = i;
+      }
+    }
+    medoids.push_back(best);
+  }
+  return medoids;
+}
+
+double AssignToMedoids(const std::vector<std::vector<double>>& d,
+                       const std::vector<int32_t>& medoids,
+                       std::vector<int32_t>* assignment) {
+  const auto n = static_cast<int32_t>(d.size());
+  assignment->assign(n, 0);
+  double total = 0.0;
+  for (int32_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      const double dist = d[i][medoids[c]];
+      if (dist < best) {
+        best = dist;
+        (*assignment)[i] = static_cast<int32_t>(c);
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<TreeClustering> ClusterTrees(const std::vector<Tree>& trees,
+                                    const ClusteringOptions& options) {
+  const auto n = static_cast<int32_t>(trees.size());
+  if (options.k < 1 || options.k > n) {
+    return Status::InvalidArgument(
+        "k must be in [1, #trees]; got k=" + std::to_string(options.k) +
+        " for " + std::to_string(n) + " trees");
+  }
+  for (const Tree& t : trees) {
+    COUSINS_CHECK(t.labels_ptr() == trees[0].labels_ptr());
+  }
+
+  const std::vector<std::vector<double>> d = DistanceMatrix(trees, options);
+  Rng rng(options.seed);
+  TreeClustering best;
+  best.total_distance = std::numeric_limits<double>::infinity();
+
+  for (int32_t restart = 0; restart < std::max(options.restarts, 1);
+       ++restart) {
+    const auto first =
+        restart == 0 ? 0 : static_cast<int32_t>(rng.Uniform(n));
+    std::vector<int32_t> medoids = SeedMedoids(d, options.k, first);
+    std::vector<int32_t> assignment;
+    double total = AssignToMedoids(d, medoids, &assignment);
+
+    for (int32_t iter = 0; iter < options.max_iterations; ++iter) {
+      // Update step: each cluster's medoid becomes its member with the
+      // smallest intra-cluster distance sum.
+      bool changed = false;
+      for (int32_t c = 0; c < options.k; ++c) {
+        double best_sum = std::numeric_limits<double>::infinity();
+        int32_t best_medoid = medoids[c];
+        for (int32_t i = 0; i < n; ++i) {
+          if (assignment[i] != c) continue;
+          double sum = 0.0;
+          for (int32_t j = 0; j < n; ++j) {
+            if (assignment[j] == c) sum += d[i][j];
+          }
+          if (sum < best_sum) {
+            best_sum = sum;
+            best_medoid = i;
+          }
+        }
+        if (best_medoid != medoids[c]) {
+          medoids[c] = best_medoid;
+          changed = true;
+        }
+      }
+      const double new_total = AssignToMedoids(d, medoids, &assignment);
+      if (!changed && new_total >= total - 1e-15) break;
+      total = new_total;
+    }
+
+    if (total < best.total_distance) {
+      best.total_distance = total;
+      best.medoids = medoids;
+      best.assignment = assignment;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<Tree>> ClusterConsensus(const std::vector<Tree>& trees,
+                                           const ClusteringOptions& options,
+                                           ConsensusMethod method) {
+  COUSINS_ASSIGN_OR_RETURN(TreeClustering clustering,
+                           ClusterTrees(trees, options));
+  std::vector<Tree> out;
+  out.reserve(options.k);
+  for (int32_t c = 0; c < options.k; ++c) {
+    std::vector<Tree> members;
+    for (size_t i = 0; i < trees.size(); ++i) {
+      if (clustering.assignment[i] == c) members.push_back(trees[i]);
+    }
+    if (members.empty()) {
+      // Farthest-point seeding cannot produce an empty cluster unless
+      // there are duplicate trees claiming everything; represent such a
+      // cluster by its medoid.
+      members.push_back(trees[clustering.medoids[c]]);
+    }
+    COUSINS_ASSIGN_OR_RETURN(Tree consensus, ConsensusTree(members, method));
+    out.push_back(std::move(consensus));
+  }
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,60 @@
+// Phylogenetic data clustering under the cousin tree distance — the
+// application the paper points to in §7 (future work (ii)), following
+// the postprocessing-by-clustering workflow of Stockham, Wang & Warnow
+// [37]: when the set of equally parsimonious trees is too heterogeneous
+// for one informative consensus, partition it into clusters and derive
+// a consensus tree per cluster.
+//
+// Clustering is k-medoids (PAM-style alternation) over any of the
+// Eq. (6) distance variants, with deterministic seeding.
+
+#ifndef COUSINS_PHYLO_CLUSTERING_H_
+#define COUSINS_PHYLO_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "phylo/consensus.h"
+#include "phylo/tree_distance.h"
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct ClusteringOptions {
+  /// Number of clusters.
+  int32_t k = 2;
+  /// Distance variant (Eq. 6) and mining parameters.
+  CousinItemAbstraction abstraction =
+      CousinItemAbstraction::kDistanceAndOccurrence;
+  MiningOptions mining;
+  /// Alternation rounds cap and random restarts.
+  int32_t max_iterations = 50;
+  int32_t restarts = 4;
+  uint64_t seed = 11;
+};
+
+struct TreeClustering {
+  /// assignment[i] = cluster of trees[i], in [0, k).
+  std::vector<int32_t> assignment;
+  /// medoid[c] = index into trees of cluster c's medoid.
+  std::vector<int32_t> medoids;
+  /// Sum over trees of the distance to their cluster medoid.
+  double total_distance = 0.0;
+};
+
+/// k-medoids clustering of `trees` (all sharing one LabelTable) under
+/// the cousin tree distance. Fails if k < 1 or k > |trees|.
+Result<TreeClustering> ClusterTrees(const std::vector<Tree>& trees,
+                                    const ClusteringOptions& options = {});
+
+/// The [37] workflow: cluster, then build one consensus per cluster.
+/// All trees must share one taxon set (a consensus-method requirement).
+/// Returns k consensus trees, indexed by cluster.
+Result<std::vector<Tree>> ClusterConsensus(
+    const std::vector<Tree>& trees, const ClusteringOptions& options = {},
+    ConsensusMethod method = ConsensusMethod::kMajority);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_CLUSTERING_H_

@@ -1,0 +1,159 @@
+#include "phylo/clusters.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "tree/builder.h"
+
+namespace cousins {
+
+Result<TaxonIndex> TaxonIndex::FromTree(const Tree& tree) {
+  TaxonIndex idx;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (!tree.is_leaf(v)) continue;
+    if (!tree.has_label(v)) {
+      return Status::InvalidArgument("unlabeled leaf (node " +
+                                     std::to_string(v) + ")");
+    }
+    const LabelId label = tree.label(v);
+    if (idx.index_.contains(label)) {
+      return Status::InvalidArgument("duplicate taxon '" +
+                                     tree.label_name(v) + "'");
+    }
+    idx.InternTaxon(label);
+  }
+  return idx;
+}
+
+Result<TaxonIndex> TaxonIndex::FromTrees(const std::vector<Tree>& trees) {
+  if (trees.empty()) {
+    return Status::InvalidArgument("no trees given");
+  }
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex idx, FromTree(trees[0]));
+  for (size_t i = 1; i < trees.size(); ++i) {
+    COUSINS_CHECK(trees[i].labels_ptr() == trees[0].labels_ptr());
+    COUSINS_ASSIGN_OR_RETURN(TaxonIndex other, FromTree(trees[i]));
+    if (other.size() != idx.size()) {
+      return Status::InvalidArgument(
+          "tree " + std::to_string(i) + " has " +
+          std::to_string(other.size()) + " taxa, expected " +
+          std::to_string(idx.size()));
+    }
+    for (int32_t t = 0; t < other.size(); ++t) {
+      if (idx.index_of(other.label_of(t)) < 0) {
+        return Status::InvalidArgument("tree " + std::to_string(i) +
+                                       " has a taxon absent from tree 0");
+      }
+    }
+  }
+  return idx;
+}
+
+int32_t TaxonIndex::InternTaxon(LabelId label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  const auto i = static_cast<int32_t>(taxa_.size());
+  taxa_.push_back(label);
+  index_.emplace(label, i);
+  return i;
+}
+
+Result<std::vector<Bitset>> TreeClusters(const Tree& tree,
+                                         const TaxonIndex& taxa) {
+  const int32_t n = taxa.size();
+  std::vector<Bitset> below(tree.size(), Bitset(n));
+  // Ids are preorder, so ascending-id reverse iteration is bottom-up.
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    if (tree.is_leaf(v)) {
+      if (!tree.has_label(v)) {
+        return Status::InvalidArgument("unlabeled leaf in tree");
+      }
+      const int32_t t = taxa.index_of(tree.label(v));
+      if (t < 0) {
+        return Status::InvalidArgument("leaf taxon '" +
+                                       tree.label_name(v) +
+                                       "' missing from TaxonIndex");
+      }
+      below[v].Set(t);
+    }
+    if (v != tree.root()) below[tree.parent(v)] |= below[v];
+  }
+
+  std::unordered_set<Bitset, BitsetHash> seen;
+  std::vector<Bitset> clusters;
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (tree.is_leaf(v)) continue;
+    const int32_t count = below[v].Count();
+    if (count < 2 || count >= n) continue;  // trivial
+    if (seen.insert(below[v]).second) clusters.push_back(below[v]);
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+Result<Tree> BuildTreeFromClusters(const std::vector<Bitset>& clusters,
+                                   const TaxonIndex& taxa,
+                                   std::shared_ptr<LabelTable> labels) {
+  const int32_t n = taxa.size();
+  if (n == 0) return Status::InvalidArgument("empty taxon set");
+  COUSINS_CHECK(labels != nullptr);
+
+  // Deduplicate, drop trivial clusters, sort by size descending so a
+  // cluster's parent always precedes it.
+  std::vector<Bitset> work;
+  {
+    std::unordered_set<Bitset, BitsetHash> seen;
+    for (const Bitset& c : clusters) {
+      COUSINS_CHECK(c.size() == n);
+      const int32_t count = c.Count();
+      if (count < 2 || count >= n) continue;
+      if (seen.insert(c).second) work.push_back(c);
+    }
+  }
+  std::sort(work.begin(), work.end(), [](const Bitset& a, const Bitset& b) {
+    if (a.Count() != b.Count()) return a.Count() > b.Count();
+    return a < b;  // deterministic tie-break
+  });
+
+  for (size_t i = 0; i < work.size(); ++i) {
+    for (size_t j = i + 1; j < work.size(); ++j) {
+      if (!ClustersCompatible(work[i], work[j])) {
+        return Status::FailedPrecondition(
+            "cluster set is not pairwise compatible");
+      }
+    }
+  }
+
+  TreeBuilder b(std::move(labels));
+  const NodeId root = b.AddRoot();
+  // node_of[i] = tree node of work[i]; parent of work[i] is the smallest
+  // strictly containing cluster, which (sorted by size desc) is the
+  // last-seen superset.
+  std::vector<NodeId> node_of(work.size());
+  for (size_t i = 0; i < work.size(); ++i) {
+    NodeId parent = root;
+    for (size_t j = i; j-- > 0;) {
+      if (work[i].IsSubsetOf(work[j])) {
+        parent = node_of[j];
+        break;
+      }
+    }
+    node_of[i] = b.AddChild(parent);
+  }
+  // Attach each taxon to the smallest cluster containing it.
+  for (int32_t t = 0; t < n; ++t) {
+    NodeId parent = root;
+    // Scanning from smallest (end) up finds the tightest cluster first.
+    for (size_t j = work.size(); j-- > 0;) {
+      if (work[j].Test(t)) {
+        parent = node_of[j];
+        break;
+      }
+    }
+    b.AddChildWithLabelId(parent, taxa.label_of(t));
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

@@ -1,0 +1,73 @@
+// Clusters (taxon bipartitions) — the substrate for all five consensus
+// methods of §5.2.
+//
+// A cluster of a rooted phylogeny is the set of leaf taxa below an
+// internal node. Consensus methods operate on the multiset of
+// nontrivial clusters (2 <= |C| < #taxa) collected across input trees.
+
+#ifndef COUSINS_PHYLO_CLUSTERS_H_
+#define COUSINS_PHYLO_CLUSTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/bitset.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Dense index over the taxa (leaf labels) of a tree set. All consensus
+/// inputs must have identical taxon sets; kernel-tree groups may overlap
+/// partially and use per-group indices.
+class TaxonIndex {
+ public:
+  /// Index over the leaf labels of `tree`. Fails if a leaf is unlabeled
+  /// or a label repeats (phylogeny taxa are unique).
+  static Result<TaxonIndex> FromTree(const Tree& tree);
+
+  /// Index over trees[0]'s taxa; fails unless every tree has exactly
+  /// the same taxon set.
+  static Result<TaxonIndex> FromTrees(const std::vector<Tree>& trees);
+
+  int32_t size() const { return static_cast<int32_t>(taxa_.size()); }
+
+  /// LabelId of taxon i.
+  LabelId label_of(int32_t i) const { return taxa_[i]; }
+
+  /// Dense index of a label, or -1 if it is not a taxon here.
+  int32_t index_of(LabelId label) const {
+    auto it = index_.find(label);
+    return it == index_.end() ? -1 : it->second;
+  }
+
+  /// Adds a taxon if absent; returns its index. Used by kernel-tree
+  /// groups with partially overlapping taxa.
+  int32_t InternTaxon(LabelId label);
+
+ private:
+  std::vector<LabelId> taxa_;
+  std::unordered_map<LabelId, int32_t> index_;
+};
+
+/// The nontrivial clusters of `tree` under `taxa`, deduplicated (unary
+/// chains collapse) and sorted canonically. Fails if some leaf of `tree`
+/// is not in `taxa`.
+Result<std::vector<Bitset>> TreeClusters(const Tree& tree,
+                                         const TaxonIndex& taxa);
+
+/// Builds the rooted tree realizing a pairwise-compatible cluster set:
+/// the root holds all taxa, every cluster becomes an internal node
+/// nested inside the smallest cluster containing it, and each taxon
+/// hangs from the smallest cluster containing it. Fails on incompatible
+/// input. Trivial clusters need not be included.
+Result<Tree> BuildTreeFromClusters(const std::vector<Bitset>& clusters,
+                                   const TaxonIndex& taxa,
+                                   std::shared_ptr<LabelTable> labels);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_CLUSTERS_H_

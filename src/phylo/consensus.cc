@@ -1,0 +1,305 @@
+#include "phylo/consensus.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "tree/builder.h"
+#include "tree/lca.h"
+
+namespace cousins {
+namespace {
+
+/// Occurrence count of every distinct nontrivial cluster across trees.
+Result<std::vector<std::pair<Bitset, int>>> CountClusters(
+    const std::vector<Tree>& trees, const TaxonIndex& taxa) {
+  std::unordered_map<Bitset, int, BitsetHash> counts;
+  for (const Tree& tree : trees) {
+    COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> clusters,
+                             TreeClusters(tree, taxa));
+    for (const Bitset& c : clusters) ++counts[c];
+  }
+  std::vector<std::pair<Bitset, int>> out(counts.begin(), counts.end());
+  std::sort(out.begin(), out.end());  // canonical order
+  return out;
+}
+
+/// Semi-strict: clusters occurring somewhere and compatible with every
+/// cluster of every tree. (Any two survivors are mutually compatible:
+/// each occurs in some tree, and the other is compatible with all
+/// clusters of that tree.)
+std::vector<Bitset> SemiStrictClusters(
+    const std::vector<std::pair<Bitset, int>>& counted) {
+  std::vector<Bitset> out;
+  for (const auto& [cluster, count] : counted) {
+    bool ok = true;
+    for (const auto& [other, other_count] : counted) {
+      if (!ClustersCompatible(cluster, other)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(cluster);
+  }
+  return out;
+}
+
+/// Nelson [30] (operationalized as in Page's COMPONENT manual [31]):
+/// among the replicated components (count >= 2), find the clique of
+/// mutually compatible clusters with the greatest total replication.
+/// Exact branch & bound with a deterministic tie-break; falls back to a
+/// greedy clique if the search budget is exhausted (never observed at
+/// phylogenetic scales, but the worst case is exponential).
+class NelsonClique {
+ public:
+  explicit NelsonClique(std::vector<std::pair<Bitset, int>> vertices)
+      : vertices_(std::move(vertices)) {
+    // Heaviest first: improves both pruning and the greedy fallback.
+    std::sort(vertices_.begin(), vertices_.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const size_t n = vertices_.size();
+    compatible_.assign(n, std::vector<char>(n, 0));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        compatible_[i][j] = compatible_[j][i] =
+            ClustersCompatible(vertices_[i].first, vertices_[j].first);
+      }
+    }
+    suffix_weight_.assign(n + 1, 0);
+    for (size_t i = n; i-- > 0;) {
+      suffix_weight_[i] = suffix_weight_[i + 1] + vertices_[i].second;
+    }
+  }
+
+  std::vector<Bitset> Solve() {
+    std::vector<size_t> current;
+    Branch(0, 0, &current);
+    std::vector<Bitset> out;
+    out.reserve(best_set_.size());
+    for (size_t i : best_set_) out.push_back(vertices_[i].first);
+    return out;
+  }
+
+ private:
+  void Branch(size_t next, int weight, std::vector<size_t>* current) {
+    if (weight > best_weight_) {
+      best_weight_ = weight;
+      best_set_ = *current;
+    }
+    if (next >= vertices_.size()) return;
+    if (++explored_ > kBudget) return;  // greedy-completed by ordering
+    if (weight + suffix_weight_[next] <= best_weight_) return;  // bound
+    for (size_t i = next; i < vertices_.size(); ++i) {
+      if (weight + suffix_weight_[i] <= best_weight_) break;
+      bool fits = true;
+      for (size_t j : *current) {
+        if (!compatible_[i][j]) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      current->push_back(i);
+      Branch(i + 1, weight + vertices_[i].second, current);
+      current->pop_back();
+    }
+  }
+
+  static constexpr int64_t kBudget = 5'000'000;
+
+  std::vector<std::pair<Bitset, int>> vertices_;
+  std::vector<std::vector<char>> compatible_;
+  std::vector<int> suffix_weight_;
+  std::vector<size_t> best_set_;
+  int best_weight_ = -1;
+  int64_t explored_ = 0;
+};
+
+/// Adams consensus: recursively partition the taxa by the product
+/// (common refinement) of the trees' root partitions.
+class AdamsBuilder {
+ public:
+  AdamsBuilder(const std::vector<Tree>& trees, const TaxonIndex& taxa,
+               std::shared_ptr<LabelTable> labels)
+      : trees_(trees), taxa_(taxa), builder_(std::move(labels)) {
+    leaf_of_.resize(trees.size());
+    for (size_t i = 0; i < trees.size(); ++i) {
+      leaf_of_[i].assign(taxa.size(), kNoNode);
+      const Tree& t = trees[i];
+      for (NodeId v = 0; v < t.size(); ++v) {
+        if (t.is_leaf(v)) leaf_of_[i][taxa.index_of(t.label(v))] = v;
+      }
+      lca_.emplace_back(t);
+    }
+  }
+
+  Tree Build() {
+    std::vector<int32_t> all(taxa_.size());
+    for (int32_t t = 0; t < taxa_.size(); ++t) all[t] = t;
+    BuildNode(all, kNoNode);
+    return std::move(builder_).Build();
+  }
+
+ private:
+  void BuildNode(const std::vector<int32_t>& group, NodeId parent) {
+    if (group.size() == 1) {
+      const LabelId label = taxa_.label_of(group[0]);
+      if (parent == kNoNode) {
+        NodeId r = builder_.AddRoot();
+        builder_.SetLabel(r, trees_[0].labels().Name(label));
+      } else {
+        builder_.AddChildWithLabelId(parent, label);
+      }
+      return;
+    }
+    const NodeId self =
+        parent == kNoNode ? builder_.AddRoot() : builder_.AddChild(parent);
+
+    // For each tree, the block of each taxon under the LCA of `group`;
+    // the product partition groups taxa whose block vectors agree.
+    // Keys are per-tree child node ids; std::map gives deterministic
+    // block enumeration (refined below by smallest taxon).
+    std::vector<NodeId> group_lca(trees_.size());
+    for (size_t i = 0; i < trees_.size(); ++i) {
+      NodeId lca = leaf_of_[i][group[0]];
+      for (size_t g = 1; g < group.size(); ++g) {
+        lca = lca_[i].Lca(lca, leaf_of_[i][group[g]]);
+      }
+      group_lca[i] = lca;
+    }
+    std::map<std::vector<NodeId>, std::vector<int32_t>> blocks;
+    for (int32_t taxon : group) {
+      std::vector<NodeId> key;
+      key.reserve(trees_.size());
+      for (size_t i = 0; i < trees_.size(); ++i) {
+        key.push_back(BlockOf(i, group_lca[i], taxon));
+      }
+      blocks[key].push_back(taxon);
+    }
+    COUSINS_CHECK(blocks.size() >= 2 &&
+                  "LCA of a group always splits it into >= 2 blocks");
+
+    // Deterministic child order: by smallest contained taxon.
+    std::vector<const std::vector<int32_t>*> ordered;
+    ordered.reserve(blocks.size());
+    for (const auto& [key, taxa_in_block] : blocks) {
+      ordered.push_back(&taxa_in_block);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto* a, const auto* b) {
+                return a->front() < b->front();
+              });
+    for (const auto* block : ordered) BuildNode(*block, self);
+  }
+
+  /// The child of `lca` (= lca of the group in tree i) on the path
+  /// toward `taxon`'s leaf.
+  NodeId BlockOf(size_t i, NodeId lca, int32_t taxon) {
+    const Tree& t = trees_[i];
+    NodeId v = leaf_of_[i][taxon];
+    COUSINS_CHECK(v != lca);
+    while (t.parent(v) != lca) v = t.parent(v);
+    return v;
+  }
+
+  const std::vector<Tree>& trees_;
+  const TaxonIndex& taxa_;
+  TreeBuilder builder_;
+  std::vector<std::vector<NodeId>> leaf_of_;
+  std::vector<LcaIndex> lca_;
+};
+
+}  // namespace
+
+std::string ConsensusMethodName(ConsensusMethod method) {
+  switch (method) {
+    case ConsensusMethod::kStrict:
+      return "strict";
+    case ConsensusMethod::kMajority:
+      return "majority";
+    case ConsensusMethod::kSemiStrict:
+      return "semi";
+    case ConsensusMethod::kAdams:
+      return "Adams";
+    case ConsensusMethod::kNelson:
+      return "Nelson";
+    case ConsensusMethod::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+Result<Tree> ConsensusTree(const std::vector<Tree>& trees,
+                           ConsensusMethod method,
+                           const ConsensusOptions& options) {
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTrees(trees));
+  const auto labels = trees[0].labels_ptr();
+
+  if (method == ConsensusMethod::kAdams) {
+    AdamsBuilder builder(trees, taxa, labels);
+    return builder.Build();
+  }
+
+  COUSINS_ASSIGN_OR_RETURN(auto counted, CountClusters(trees, taxa));
+  std::vector<Bitset> selected;
+  switch (method) {
+    case ConsensusMethod::kStrict:
+      for (const auto& [cluster, count] : counted) {
+        if (count == static_cast<int>(trees.size())) {
+          selected.push_back(cluster);
+        }
+      }
+      break;
+    case ConsensusMethod::kMajority: {
+      const double cutoff = options.majority_threshold *
+                            static_cast<double>(trees.size());
+      for (const auto& [cluster, count] : counted) {
+        if (static_cast<double>(count) > cutoff) selected.push_back(cluster);
+      }
+      break;
+    }
+    case ConsensusMethod::kSemiStrict:
+      selected = SemiStrictClusters(counted);
+      break;
+    case ConsensusMethod::kNelson: {
+      std::vector<std::pair<Bitset, int>> replicated;
+      for (const auto& [cluster, count] : counted) {
+        if (count >= 2) replicated.emplace_back(cluster, count);
+      }
+      NelsonClique clique(std::move(replicated));
+      selected = clique.Solve();
+      break;
+    }
+    case ConsensusMethod::kGreedy: {
+      // Most-replicated first (deterministic tie-break), keep whatever
+      // is compatible with everything kept so far.
+      std::vector<std::pair<Bitset, int>> ordered(counted.begin(),
+                                                  counted.end());
+      std::sort(ordered.begin(), ordered.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      for (const auto& [cluster, count] : ordered) {
+        bool compatible = true;
+        for (const Bitset& kept : selected) {
+          if (!ClustersCompatible(cluster, kept)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) selected.push_back(cluster);
+      }
+      break;
+    }
+    case ConsensusMethod::kAdams:
+      COUSINS_CHECK(false);
+  }
+  return BuildTreeFromClusters(selected, taxa, labels);
+}
+
+}  // namespace cousins

@@ -1,0 +1,73 @@
+// The five consensus-tree methods the paper evaluates in §5.2:
+// Adams [1], strict [9], majority [26], semi-strict (combinable
+// component) [5], and Nelson [30].
+//
+// All methods take a set of rooted phylogenies over one taxon set and
+// return a single rooted consensus phylogeny:
+//   - strict:      clusters present in every input tree;
+//   - majority:    clusters present in more than half the input trees
+//                  (threshold configurable);
+//   - semi-strict: clusters present somewhere and compatible with every
+//                  input tree (combinable components);
+//   - Nelson:      the maximum-replication clique of mutually compatible
+//                  clusters (exact max-weight clique, deterministic
+//                  tie-break);
+//   - Adams:       recursive product of the root partitions.
+
+#ifndef COUSINS_PHYLO_CONSENSUS_H_
+#define COUSINS_PHYLO_CONSENSUS_H_
+
+#include <string>
+#include <vector>
+
+#include "phylo/clusters.h"
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+enum class ConsensusMethod {
+  kStrict,
+  kMajority,
+  kSemiStrict,
+  kAdams,
+  kNelson,
+  /// Majority-rule extended ("greedy") consensus: start from the
+  /// majority clusters and keep adding the most-replicated remaining
+  /// compatible clusters. Not part of the paper's five; provided as the
+  /// standard sixth method for comparison.
+  kGreedy,
+};
+
+/// Human-readable method name ("majority", ...).
+std::string ConsensusMethodName(ConsensusMethod method);
+
+/// The paper's five methods (Fig. 9's comparison set), for sweeping.
+inline constexpr ConsensusMethod kAllConsensusMethods[] = {
+    ConsensusMethod::kMajority, ConsensusMethod::kNelson,
+    ConsensusMethod::kAdams, ConsensusMethod::kStrict,
+    ConsensusMethod::kSemiStrict,
+};
+
+/// The five plus the greedy extension.
+inline constexpr ConsensusMethod kAllConsensusMethodsExtended[] = {
+    ConsensusMethod::kMajority, ConsensusMethod::kNelson,
+    ConsensusMethod::kAdams,    ConsensusMethod::kStrict,
+    ConsensusMethod::kSemiStrict, ConsensusMethod::kGreedy,
+};
+
+struct ConsensusOptions {
+  /// Majority rule: keep clusters in > majority_threshold · #trees
+  /// trees. 0.5 is the standard majority rule.
+  double majority_threshold = 0.5;
+};
+
+/// Computes the consensus of `trees` (all over the same taxon set,
+/// sharing one LabelTable). Fails on empty input or mismatched taxa.
+Result<Tree> ConsensusTree(const std::vector<Tree>& trees,
+                           ConsensusMethod method,
+                           const ConsensusOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_CONSENSUS_H_

@@ -1,0 +1,168 @@
+#include "phylo/kernel_trees.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cousins {
+namespace {
+
+/// Pairwise distances between trees of different groups, computed once
+/// from precomputed profiles.
+class DistanceTable {
+ public:
+  DistanceTable(const std::vector<std::vector<Tree>>& groups,
+                const KernelTreeOptions& options) {
+    offsets_.reserve(groups.size() + 1);
+    offsets_.push_back(0);
+    for (const auto& group : groups) {
+      COUSINS_CHECK(!group.empty());
+      offsets_.push_back(offsets_.back() +
+                         static_cast<int32_t>(group.size()));
+    }
+    profiles_.reserve(offsets_.back());
+    for (const auto& group : groups) {
+      for (const Tree& tree : group) {
+        profiles_.push_back(
+            CousinProfile(tree, options.abstraction, options.mining));
+      }
+    }
+    const int32_t total = offsets_.back();
+    dist_.assign(static_cast<size_t>(total) * total, 0.0);
+    for (int32_t i = 0; i < total; ++i) {
+      for (int32_t j = i + 1; j < total; ++j) {
+        const double d = ProfileDistance(profiles_[i], profiles_[j]);
+        dist_[static_cast<size_t>(i) * total + j] = d;
+        dist_[static_cast<size_t>(j) * total + i] = d;
+      }
+    }
+    total_ = total;
+  }
+
+  double Distance(int32_t group_a, int32_t index_a, int32_t group_b,
+                  int32_t index_b) const {
+    const int32_t i = offsets_[group_a] + index_a;
+    const int32_t j = offsets_[group_b] + index_b;
+    return dist_[static_cast<size_t>(i) * total_ + j];
+  }
+
+ private:
+  std::vector<std::vector<CousinPairItem>> profiles_;
+  std::vector<int32_t> offsets_;
+  std::vector<double> dist_;
+  int32_t total_ = 0;
+};
+
+double TotalPairwise(const DistanceTable& table,
+                     const std::vector<int32_t>& selected) {
+  double total = 0.0;
+  for (size_t a = 0; a < selected.size(); ++a) {
+    for (size_t b = a + 1; b < selected.size(); ++b) {
+      total += table.Distance(static_cast<int32_t>(a), selected[a],
+                              static_cast<int32_t>(b), selected[b]);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
+                                 const KernelTreeOptions& options) {
+  COUSINS_CHECK(!groups.empty());
+  const auto g = static_cast<int32_t>(groups.size());
+  DistanceTable table(groups, options);
+
+  KernelTreeResult result;
+  result.selected.assign(g, 0);
+  if (g == 1) {
+    result.exact = true;
+    return result;
+  }
+  const double pairs = static_cast<double>(g) * (g - 1) / 2.0;
+
+  int64_t combinations = 1;
+  bool exhaustive = true;
+  for (const auto& group : groups) {
+    combinations *= static_cast<int64_t>(group.size());
+    if (combinations > options.exhaustive_limit) {
+      exhaustive = false;
+      break;
+    }
+  }
+
+  if (exhaustive) {
+    std::vector<int32_t> current(g, 0);
+    std::vector<int32_t> best = current;
+    double best_total = TotalPairwise(table, current);
+    // Odometer enumeration of the product space.
+    while (true) {
+      int32_t pos = g - 1;
+      while (pos >= 0 &&
+             current[pos] + 1 >= static_cast<int32_t>(groups[pos].size())) {
+        current[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+      ++current[pos];
+      const double total = TotalPairwise(table, current);
+      if (total < best_total) {
+        best_total = total;
+        best = current;
+      }
+    }
+    result.selected = best;
+    result.average_pairwise_distance = best_total / pairs;
+    result.exact = true;
+    return result;
+  }
+
+  // Coordinate descent with random restarts: repeatedly re-optimize one
+  // group's choice given the others until a fixed point.
+  Rng rng(options.seed);
+  std::vector<int32_t> best;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (int32_t restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int32_t> current(g);
+    for (int32_t a = 0; a < g; ++a) {
+      current[a] = restart == 0
+                       ? 0
+                       : static_cast<int32_t>(rng.Uniform(groups[a].size()));
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int32_t a = 0; a < g; ++a) {
+        double best_sum = std::numeric_limits<double>::infinity();
+        int32_t best_choice = current[a];
+        for (int32_t i = 0; i < static_cast<int32_t>(groups[a].size());
+             ++i) {
+          double sum = 0.0;
+          for (int32_t b = 0; b < g; ++b) {
+            if (b != a) sum += table.Distance(a, i, b, current[b]);
+          }
+          if (sum < best_sum) {
+            best_sum = sum;
+            best_choice = i;
+          }
+        }
+        if (best_choice != current[a]) {
+          current[a] = best_choice;
+          changed = true;
+        }
+      }
+    }
+    const double total = TotalPairwise(table, current);
+    if (total < best_total) {
+      best_total = total;
+      best = current;
+    }
+  }
+  result.selected = best;
+  result.average_pairwise_distance = best_total / pairs;
+  result.exact = false;
+  return result;
+}
+
+}  // namespace cousins

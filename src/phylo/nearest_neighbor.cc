@@ -1,0 +1,46 @@
+#include "phylo/nearest_neighbor.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cousins {
+
+CousinProfileIndex::CousinProfileIndex(const std::vector<Tree>& corpus,
+                                       CousinItemAbstraction abstraction,
+                                       const MiningOptions& mining)
+    : abstraction_(abstraction), mining_(mining) {
+  profiles_.reserve(corpus.size());
+  for (const Tree& tree : corpus) {
+    profiles_.push_back(CousinProfile(tree, abstraction_, mining_));
+  }
+}
+
+std::vector<TreeMatch> CousinProfileIndex::Query(const Tree& query,
+                                                 int32_t k) const {
+  const std::vector<CousinPairItem> query_profile =
+      CousinProfile(query, abstraction_, mining_);
+  std::vector<TreeMatch> matches;
+  matches.reserve(profiles_.size());
+  for (int32_t i = 0; i < size(); ++i) {
+    matches.push_back(
+        TreeMatch{i, ProfileDistance(query_profile, profiles_[i])});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const TreeMatch& a, const TreeMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.index < b.index;
+            });
+  if (k < 0) k = 0;
+  if (k < static_cast<int32_t>(matches.size())) matches.resize(k);
+  return matches;
+}
+
+double CousinProfileIndex::DistanceTo(const Tree& query,
+                                      int32_t index) const {
+  COUSINS_CHECK(index >= 0 && index < size());
+  return ProfileDistance(CousinProfile(query, abstraction_, mining_),
+                         profiles_[index]);
+}
+
+}  // namespace cousins

@@ -1,0 +1,57 @@
+// Nearest-neighbor search in a phylogeny corpus — the TreeRank
+// application [39] the paper builds on: given a query tree, rank the
+// database trees by similarity. Here similarity is 1 − t_dist (Eq. 6);
+// profiles are precomputed once per corpus so queries cost one profile
+// mining plus a linear scan of merge-joins.
+
+#ifndef COUSINS_PHYLO_NEAREST_NEIGHBOR_H_
+#define COUSINS_PHYLO_NEAREST_NEIGHBOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/tree_distance.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// A ranked corpus hit.
+struct TreeMatch {
+  /// Index of the tree within the corpus.
+  int32_t index = 0;
+  /// Cousin tree distance to the query (smaller = closer).
+  double distance = 0.0;
+
+  friend bool operator==(const TreeMatch&, const TreeMatch&) = default;
+};
+
+/// Precomputed cousin-pair profiles over a corpus of trees. The corpus
+/// trees themselves are not retained.
+class CousinProfileIndex {
+ public:
+  /// Builds profiles for `corpus` under the given abstraction/options.
+  /// All trees must share one LabelTable (the query's table).
+  CousinProfileIndex(const std::vector<Tree>& corpus,
+                     CousinItemAbstraction abstraction =
+                         CousinItemAbstraction::kDistanceAndOccurrence,
+                     const MiningOptions& mining = {});
+
+  int32_t size() const { return static_cast<int32_t>(profiles_.size()); }
+
+  /// The k nearest corpus trees to `query`, ascending distance
+  /// (deterministic index tie-break). k is clamped to the corpus size.
+  std::vector<TreeMatch> Query(const Tree& query, int32_t k) const;
+
+  /// Distance of `query` to one corpus entry.
+  double DistanceTo(const Tree& query, int32_t index) const;
+
+ private:
+  CousinItemAbstraction abstraction_;
+  MiningOptions mining_;
+  std::vector<std::vector<CousinPairItem>> profiles_;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_NEAREST_NEIGHBOR_H_

@@ -1,0 +1,35 @@
+#include "phylo/robinson_foulds.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "phylo/clusters.h"
+#include "util/bitset.h"
+
+namespace cousins {
+
+Result<RobinsonFouldsResult> RobinsonFoulds(const Tree& t1,
+                                            const Tree& t2) {
+  std::vector<Tree> pair;
+  pair.push_back(t1);
+  pair.push_back(t2);
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTrees(pair));
+  COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> c1, TreeClusters(t1, taxa));
+  COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> c2, TreeClusters(t2, taxa));
+
+  std::unordered_set<Bitset, BitsetHash> set2(c2.begin(), c2.end());
+  size_t shared = 0;
+  for (const Bitset& c : c1) shared += set2.contains(c);
+
+  RobinsonFouldsResult result;
+  const double symmetric_diff =
+      static_cast<double>(c1.size() - shared + c2.size() - shared);
+  result.distance = symmetric_diff / 2.0;
+  const double max_possible =
+      static_cast<double>(c1.size() + c2.size()) / 2.0;
+  result.normalized =
+      max_possible == 0 ? 0.0 : result.distance / max_possible;
+  return result;
+}
+
+}  // namespace cousins

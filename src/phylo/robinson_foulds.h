@@ -1,0 +1,33 @@
+// Robinson–Foulds distance — the classic same-taxa tree comparison
+// measure implemented by COMPONENT [31]. The paper positions the
+// cousin-pair distance against it (§5.3: COMPONENT "doesn't work" for
+// trees with different taxa) and lists a quantitative comparison as
+// future work (§7); this module provides the baseline for that
+// comparison (see bench_ablation_distances).
+
+#ifndef COUSINS_PHYLO_ROBINSON_FOULDS_H_
+#define COUSINS_PHYLO_ROBINSON_FOULDS_H_
+
+#include <cstdint>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct RobinsonFouldsResult {
+  /// |clusters(T1) Δ clusters(T2)| / 2 over nontrivial clusters.
+  double distance = 0.0;
+  /// distance normalized by the maximum possible for the input pair
+  /// ((|C1| + |C2|) / 2); 0 when both trees are stars.
+  double normalized = 0.0;
+};
+
+/// Rooted Robinson–Foulds distance. Fails unless both trees are over
+/// exactly the same taxon set (the restriction the cousin-pair distance
+/// removes).
+Result<RobinsonFouldsResult> RobinsonFoulds(const Tree& t1, const Tree& t2);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_ROBINSON_FOULDS_H_

@@ -1,0 +1,74 @@
+#include "phylo/similarity.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+#include "core/single_tree_mining.h"
+
+namespace cousins {
+namespace {
+
+struct LabelPairHash {
+  size_t operator()(const std::pair<LabelId, LabelId>& p) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32 |
+         static_cast<uint32_t>(p.second)) *
+        0x9E3779B97F4A7C15ULL);
+  }
+};
+
+/// label pair -> minimum twice-distance among its items.
+std::unordered_map<std::pair<LabelId, LabelId>, int, LabelPairHash>
+MinDistances(const std::vector<CousinPairItem>& items) {
+  std::unordered_map<std::pair<LabelId, LabelId>, int, LabelPairHash> out;
+  for (const CousinPairItem& item : items) {
+    auto [it, inserted] =
+        out.try_emplace({item.label1, item.label2}, item.twice_distance);
+    if (!inserted && item.twice_distance < it->second) {
+      it->second = item.twice_distance;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double CousinSimilarityScore(const std::vector<CousinPairItem>& consensus,
+                             const std::vector<CousinPairItem>& original) {
+  const auto dist_c = MinDistances(consensus);
+  const auto dist_t = MinDistances(original);
+  double score = 0.0;
+  for (const auto& [pair, dc] : dist_c) {
+    auto it = dist_t.find(pair);
+    if (it == dist_t.end()) continue;
+    // twice-distances halve back to d; |Δd| = |Δ(2d)| / 2.
+    const double delta = std::abs(dc - it->second) / 2.0;
+    score += std::exp2(-delta);
+  }
+  return score;
+}
+
+double CousinSimilarityScore(const Tree& consensus, const Tree& original,
+                             const MiningOptions& options) {
+  COUSINS_CHECK(consensus.labels_ptr() == original.labels_ptr());
+  return CousinSimilarityScore(MineSingleTree(consensus, options),
+                               MineSingleTree(original, options));
+}
+
+double AverageSimilarityScore(const Tree& consensus,
+                              const std::vector<Tree>& originals,
+                              const MiningOptions& options) {
+  COUSINS_CHECK(!originals.empty());
+  const std::vector<CousinPairItem> consensus_items =
+      MineSingleTree(consensus, options);
+  double total = 0.0;
+  for (const Tree& original : originals) {
+    total += CousinSimilarityScore(consensus_items,
+                                   MineSingleTree(original, options));
+  }
+  return total / static_cast<double>(originals.size());
+}
+
+}  // namespace cousins

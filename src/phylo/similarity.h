@@ -1,0 +1,39 @@
+// Consensus-quality similarity score, Eq. (4)-(5) of §5.2.
+//
+// sim(C, T) = Σᵢ 1 / 2^{|c_dist_C(cpᵢ) − c_dist_T(cpᵢ)|} over the cousin
+// pairs cpᵢ whose labels occur (as a cousin pair item) in both C and T.
+// A shared pair with equal distances contributes 1; diverging distances
+// decay geometrically.
+//
+// Phylogeny taxa are unique, so a shared label pair has a single cousin
+// distance per tree; for general trees where a pair occurs at several
+// distances we take the minimum distance in each tree (a documented
+// interpretation of Eq. (4), which implicitly assumes uniqueness).
+
+#ifndef COUSINS_PHYLO_SIMILARITY_H_
+#define COUSINS_PHYLO_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// sim(C, T) per Eq. (4). Both trees must share one LabelTable.
+double CousinSimilarityScore(const Tree& consensus, const Tree& original,
+                             const MiningOptions& options = {});
+
+/// Same, over precomputed canonical item vectors (avoids re-mining).
+double CousinSimilarityScore(const std::vector<CousinPairItem>& consensus,
+                             const std::vector<CousinPairItem>& original);
+
+/// Average similarity of a consensus against the parsimonious set it
+/// summarizes, Eq. (5): (Σ_T sim(C, T)) / |set|.
+double AverageSimilarityScore(const Tree& consensus,
+                              const std::vector<Tree>& originals,
+                              const MiningOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_SIMILARITY_H_

@@ -1,0 +1,187 @@
+#include "phylo/supertree.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_set>
+
+#include "phylo/clusters.h"
+#include "tree/builder.h"
+#include "tree/restrict.h"
+#include "tree/traversal.h"
+
+namespace cousins {
+namespace {
+
+/// Union-find over dense indices.
+class Dsu {
+ public:
+  explicit Dsu(int32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int32_t Find(int32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int32_t a, int32_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int32_t> parent_;
+};
+
+class SupertreeBuilder {
+ public:
+  SupertreeBuilder(const std::vector<Tree>& sources,
+                   const SupertreeOptions& options,
+                   std::shared_ptr<LabelTable> labels)
+      : sources_(sources), options_(options), builder_(std::move(labels)) {
+    for (const Tree& s : sources) {
+      std::vector<LabelId> taxa;
+      for (NodeId v = 0; v < s.size(); ++v) {
+        if (s.is_leaf(v)) taxa.push_back(s.label(v));
+      }
+      source_taxa_.emplace_back(taxa.begin(), taxa.end());
+    }
+  }
+
+  Result<Tree> Build(const std::vector<LabelId>& all_taxa) {
+    COUSINS_RETURN_IF_ERROR(BuildNode(all_taxa, kNoNode));
+    return std::move(builder_).Build();
+  }
+
+ private:
+  /// Connected components of S under the union of the active sources'
+  /// root partitions (the BUILD merge graph). Returns the component
+  /// list, each sorted; components are ordered by smallest label.
+  Result<std::vector<std::vector<LabelId>>> Components(
+      const std::vector<LabelId>& taxa,
+      const std::vector<size_t>& active) {
+    std::map<LabelId, int32_t> index;
+    for (size_t i = 0; i < taxa.size(); ++i) {
+      index[taxa[i]] = static_cast<int32_t>(i);
+    }
+    Dsu dsu(static_cast<int32_t>(taxa.size()));
+    for (size_t s : active) {
+      std::vector<LabelId> keep;
+      for (LabelId t : taxa) {
+        if (source_taxa_[s].contains(t)) keep.push_back(t);
+      }
+      if (keep.size() < 2) continue;
+      COUSINS_ASSIGN_OR_RETURN(Tree restricted,
+                               RestrictToLabels(sources_[s], keep));
+      // Union taxa within each child cluster of the restricted root.
+      for (NodeId c : restricted.children(restricted.root())) {
+        std::vector<LabelId> leaves = SubtreeLeafLabels(restricted, c);
+        for (size_t i = 1; i < leaves.size(); ++i) {
+          dsu.Union(index.at(leaves[0]), index.at(leaves[i]));
+        }
+      }
+    }
+    std::map<int32_t, std::vector<LabelId>> groups;
+    for (size_t i = 0; i < taxa.size(); ++i) {
+      groups[dsu.Find(static_cast<int32_t>(i))].push_back(taxa[i]);
+    }
+    std::vector<std::vector<LabelId>> components;
+    components.reserve(groups.size());
+    for (auto& [root, members] : groups) {
+      std::sort(members.begin(), members.end());
+      components.push_back(std::move(members));
+    }
+    std::sort(components.begin(), components.end());
+    return components;
+  }
+
+  Status BuildNode(const std::vector<LabelId>& taxa, NodeId parent) {
+    if (taxa.size() == 1) {
+      if (parent == kNoNode) {
+        NodeId r = builder_.AddRoot();
+        builder_.SetLabel(r, builder_.labels()->Name(taxa[0]));
+      } else {
+        builder_.AddChildWithLabelId(parent, taxa[0]);
+      }
+      return Status::OK();
+    }
+
+    std::vector<size_t> active(sources_.size());
+    std::iota(active.begin(), active.end(), size_t{0});
+    COUSINS_ASSIGN_OR_RETURN(auto components, Components(taxa, active));
+    while (components.size() == 1 && !active.empty()) {
+      if (options_.strict) {
+        return Status::FailedPrecondition(
+            "sources are incompatible: BUILD cannot split a " +
+            std::to_string(taxa.size()) + "-taxon component");
+      }
+      // Greedy: ignore the last contributing source at this level.
+      active.pop_back();
+      COUSINS_ASSIGN_OR_RETURN(components, Components(taxa, active));
+    }
+    if (components.size() == 1) {
+      // No constraints left: resolve as a star.
+      const NodeId self =
+          parent == kNoNode ? builder_.AddRoot() : builder_.AddChild(parent);
+      for (LabelId t : taxa) builder_.AddChildWithLabelId(self, t);
+      return Status::OK();
+    }
+
+    const NodeId self =
+        parent == kNoNode ? builder_.AddRoot() : builder_.AddChild(parent);
+    for (const std::vector<LabelId>& component : components) {
+      COUSINS_RETURN_IF_ERROR(BuildNode(component, self));
+    }
+    return Status::OK();
+  }
+
+  const std::vector<Tree>& sources_;
+  const SupertreeOptions& options_;
+  TreeBuilder builder_;
+  std::vector<std::unordered_set<LabelId>> source_taxa_;
+};
+
+}  // namespace
+
+Result<Tree> BuildSupertree(const std::vector<Tree>& sources,
+                            const SupertreeOptions& options) {
+  if (sources.empty()) {
+    return Status::InvalidArgument("no source trees");
+  }
+  std::unordered_set<LabelId> taxon_set;
+  for (const Tree& s : sources) {
+    COUSINS_CHECK(s.labels_ptr() == sources[0].labels_ptr());
+    COUSINS_ASSIGN_OR_RETURN(TaxonIndex idx, TaxonIndex::FromTree(s));
+    for (int32_t i = 0; i < idx.size(); ++i) {
+      taxon_set.insert(idx.label_of(i));
+    }
+  }
+  std::vector<LabelId> all_taxa(taxon_set.begin(), taxon_set.end());
+  std::sort(all_taxa.begin(), all_taxa.end());
+
+  SupertreeBuilder builder(sources, options, sources[0].labels_ptr());
+  return builder.Build(all_taxa);
+}
+
+Result<bool> Displays(const Tree& supertree, const Tree& source) {
+  COUSINS_CHECK(supertree.labels_ptr() == source.labels_ptr());
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTree(source));
+  std::vector<LabelId> keep;
+  for (int32_t i = 0; i < taxa.size(); ++i) keep.push_back(taxa.label_of(i));
+  COUSINS_ASSIGN_OR_RETURN(Tree restricted,
+                           RestrictToLabels(supertree, keep));
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex restricted_taxa,
+                           TaxonIndex::FromTree(restricted));
+  if (restricted_taxa.size() != taxa.size()) return false;
+  COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> source_clusters,
+                           TreeClusters(source, taxa));
+  COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> restricted_clusters,
+                           TreeClusters(restricted, taxa));
+  std::unordered_set<Bitset, BitsetHash> have(restricted_clusters.begin(),
+                                              restricted_clusters.end());
+  for (const Bitset& c : source_clusters) {
+    if (!have.contains(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace cousins

@@ -1,0 +1,43 @@
+// Supertree assembly from overlapping source phylogenies — the
+// application §5.3 motivates: kernel trees "constitute a good starting
+// point in building a supertree for the phylogenies in the groups".
+//
+// Implements the classic BUILD algorithm (Aho, Sagiv, Szymanski &
+// Ullman; see also the Semple–Steel treatment): recursively partition
+// the taxa by the connected components induced by the source trees'
+// root partitions. If the sources are compatible the result displays
+// every source tree; otherwise BUILD reports the conflict (strict
+// mode) or greedily ignores the minority constraint set at the stuck
+// level (greedy mode).
+
+#ifndef COUSINS_PHYLO_SUPERTREE_H_
+#define COUSINS_PHYLO_SUPERTREE_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct SupertreeOptions {
+  /// If true, incompatible sources fail with FailedPrecondition; if
+  /// false, conflicts are resolved greedily by dropping the
+  /// least-supported merge edges at the stuck recursion level.
+  bool strict = true;
+};
+
+/// Builds a rooted supertree over the union of the sources' taxa. All
+/// sources must share one LabelTable and have uniquely-labeled leaves.
+/// In strict mode the result provably displays every source tree
+/// (restriction of the supertree to a source's taxa refines it).
+Result<Tree> BuildSupertree(const std::vector<Tree>& sources,
+                            const SupertreeOptions& options = {});
+
+/// True iff `supertree` displays `source`: restricting the supertree to
+/// the source's taxa yields every nontrivial cluster of the source.
+Result<bool> Displays(const Tree& supertree, const Tree& source);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_SUPERTREE_H_

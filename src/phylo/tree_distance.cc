@@ -1,0 +1,91 @@
+#include "phylo/tree_distance.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "core/single_tree_mining.h"
+
+namespace cousins {
+
+std::string AbstractionName(CousinItemAbstraction abstraction) {
+  switch (abstraction) {
+    case CousinItemAbstraction::kLabelsOnly:
+      return "labels";
+    case CousinItemAbstraction::kDistance:
+      return "dist";
+    case CousinItemAbstraction::kOccurrence:
+      return "occur";
+    case CousinItemAbstraction::kDistanceAndOccurrence:
+      return "dist_occur";
+  }
+  return "unknown";
+}
+
+std::vector<CousinPairItem> CousinProfile(const Tree& tree,
+                                          CousinItemAbstraction abstraction,
+                                          const MiningOptions& options) {
+  std::vector<CousinPairItem> items = MineSingleTree(tree, options);
+  const bool keep_distance =
+      abstraction == CousinItemAbstraction::kDistance ||
+      abstraction == CousinItemAbstraction::kDistanceAndOccurrence;
+  const bool keep_occurrence =
+      abstraction == CousinItemAbstraction::kOccurrence ||
+      abstraction == CousinItemAbstraction::kDistanceAndOccurrence;
+  if (keep_distance && keep_occurrence) return items;
+
+  // Re-aggregate under the abstraction ("@" wildcards).
+  std::map<std::tuple<LabelId, LabelId, int>, int64_t> agg;
+  for (const CousinPairItem& item : items) {
+    const int d = keep_distance ? item.twice_distance : kAnyDistance;
+    agg[{item.label1, item.label2, d}] += item.occurrences;
+  }
+  std::vector<CousinPairItem> out;
+  out.reserve(agg.size());
+  for (const auto& [key, occ] : agg) {
+    out.push_back(CousinPairItem{std::get<0>(key), std::get<1>(key),
+                                 std::get<2>(key),
+                                 keep_occurrence ? occ : 1});
+  }
+  return out;  // map iteration order is canonical
+}
+
+double ProfileDistance(const std::vector<CousinPairItem>& a,
+                       const std::vector<CousinPairItem>& b) {
+  // Merge-join on (label1, label2, distance); occurrences use min/max
+  // multiset semantics (paper footnote 2).
+  auto key = [](const CousinPairItem& it) {
+    return std::tie(it.label1, it.label2, it.twice_distance);
+  };
+  int64_t inter = 0;
+  int64_t uni = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (key(a[i]) < key(b[j])) {
+      uni += a[i++].occurrences;
+    } else if (key(b[j]) < key(a[i])) {
+      uni += b[j++].occurrences;
+    } else {
+      inter += std::min(a[i].occurrences, b[j].occurrences);
+      uni += std::max(a[i].occurrences, b[j].occurrences);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) uni += a[i].occurrences;
+  for (; j < b.size(); ++j) uni += b[j].occurrences;
+  if (uni == 0) return 0.0;
+  return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CousinTreeDistance(const Tree& t1, const Tree& t2,
+                          CousinItemAbstraction abstraction,
+                          const MiningOptions& options) {
+  COUSINS_CHECK(t1.labels_ptr() == t2.labels_ptr());
+  return ProfileDistance(CousinProfile(t1, abstraction, options),
+                         CousinProfile(t2, abstraction, options));
+}
+
+}  // namespace cousins

@@ -1,0 +1,66 @@
+// Cousin-pair tree distance, Eq. (6) of §5.3 — a distance on phylogenies
+// that, unlike COMPONENT's measures [31], does not require identical
+// taxon sets.
+//
+//   t_dist(T1, T2) = 1 − |cpi(T1) ∩ cpi(T2)| / |cpi(T1) ∪ cpi(T2)|
+//
+// (a Jaccard distance; the paper's text calls the ratio itself the
+// "distance" but minimizing kernel-tree distance is only meaningful for
+// the complement, so we expose the complement and note the convention
+// in EXPERIMENTS.md). Per footnote 2, intersection/union of item sets
+// with occurrence counts use min/max multiset semantics.
+//
+// Four abstractions of the cousin pair items give the paper's four
+// variants t_dist, t_dist_dist, t_dist_occur, t_dist_dist_occur.
+
+#ifndef COUSINS_PHYLO_TREE_DISTANCE_H_
+#define COUSINS_PHYLO_TREE_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+enum class CousinItemAbstraction {
+  /// (a, b, @, @): label pairs only.
+  kLabelsOnly,
+  /// (a, b, d, @): label pairs with distances.
+  kDistance,
+  /// (a, b, @, occ): label pairs with occurrence multiplicities.
+  kOccurrence,
+  /// (a, b, d, occ): full items.
+  kDistanceAndOccurrence,
+};
+
+std::string AbstractionName(CousinItemAbstraction abstraction);
+
+inline constexpr CousinItemAbstraction kAllAbstractions[] = {
+    CousinItemAbstraction::kLabelsOnly,
+    CousinItemAbstraction::kDistance,
+    CousinItemAbstraction::kOccurrence,
+    CousinItemAbstraction::kDistanceAndOccurrence,
+};
+
+/// A tree's cousin-pair profile under an abstraction: canonical items
+/// with occurrence 1 where occurrences are abstracted away. Distances
+/// computed from profiles of the same abstraction are Eq. (6) values.
+std::vector<CousinPairItem> CousinProfile(const Tree& tree,
+                                          CousinItemAbstraction abstraction,
+                                          const MiningOptions& options = {});
+
+/// Eq. (6) over two precomputed profiles (min/max multiset semantics).
+/// Returns a value in [0, 1]; 0 when both profiles are empty.
+double ProfileDistance(const std::vector<CousinPairItem>& a,
+                       const std::vector<CousinPairItem>& b);
+
+/// Eq. (6) between two trees sharing one LabelTable.
+double CousinTreeDistance(const Tree& t1, const Tree& t2,
+                          CousinItemAbstraction abstraction,
+                          const MiningOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_TREE_DISTANCE_H_

@@ -1,0 +1,51 @@
+#include "phylo/tree_stats.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "phylo/clusters.h"
+
+namespace cousins {
+
+Result<TreeStats> ComputeTreeStats(const Tree& tree) {
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTree(tree));
+  TreeStats stats;
+  stats.num_taxa = taxa.size();
+
+  // Leaves below each node, bottom-up (preorder ids).
+  std::vector<int32_t> leaves_below(tree.size(), 0);
+  int64_t depth_sum = 0;
+  int64_t colless_sum = 0;
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    if (tree.is_leaf(v)) {
+      leaves_below[v] = 1;
+      depth_sum += tree.depth(v);
+    } else {
+      ++stats.num_internal;
+      for (NodeId c : tree.children(v)) leaves_below[v] += leaves_below[c];
+      if (tree.children(v).size() == 2) {
+        colless_sum += std::abs(leaves_below[tree.children(v)[0]] -
+                                leaves_below[tree.children(v)[1]]);
+      }
+    }
+  }
+
+  COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> clusters,
+                           TreeClusters(tree, taxa));
+  const int32_t n = stats.num_taxa;
+  stats.resolution =
+      n < 3 ? 1.0
+            : static_cast<double>(clusters.size()) /
+                  static_cast<double>(n - 2);
+  stats.colless =
+      n < 3 ? 0.0
+            : static_cast<double>(colless_sum) /
+                  (static_cast<double>(n - 1) * (n - 2) / 2.0);
+  stats.sackin =
+      n == 0 ? 0.0
+             : static_cast<double>(depth_sum) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace cousins

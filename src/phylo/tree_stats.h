@@ -1,0 +1,37 @@
+// Descriptive statistics of phylogenies — resolution and balance
+// indices used when comparing consensus methods (a fully resolved
+// consensus is only better if it is also faithful; Fig. 9's similarity
+// score captures faithfulness, these capture resolution).
+
+#ifndef COUSINS_PHYLO_TREE_STATS_H_
+#define COUSINS_PHYLO_TREE_STATS_H_
+
+#include <cstdint>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct TreeStats {
+  int32_t num_taxa = 0;
+  int32_t num_internal = 0;
+  /// Nontrivial clusters present / maximum possible (num_taxa − 2 for a
+  /// rooted tree); 1 = fully resolved binary, 0 = star. Defined as 1
+  /// for trees with fewer than 3 taxa.
+  double resolution = 0.0;
+  /// Colless imbalance: Σ over binary internal nodes of |L − R|,
+  /// normalized by (n−1)(n−2)/2; 0 = perfectly balanced, 1 =
+  /// caterpillar. Multifurcations contribute 0.
+  double colless = 0.0;
+  /// Sackin index: mean leaf depth.
+  double sackin = 0.0;
+};
+
+/// Computes the statistics; fails on trees with unlabeled/duplicate
+/// leaves (same contract as TaxonIndex).
+Result<TreeStats> ComputeTreeStats(const Tree& tree);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_TREE_STATS_H_

@@ -1,0 +1,66 @@
+#include "phylo/triplet_distance.h"
+
+#include <vector>
+
+#include "phylo/clusters.h"
+#include "tree/lca.h"
+
+namespace cousins {
+namespace {
+
+/// Resolution of {a, b, c}: 0 = ab|c, 1 = ac|b, 2 = bc|a, 3 = star.
+int ResolveTriplet(const Tree& tree, const LcaIndex& lca, NodeId a,
+                   NodeId b, NodeId c) {
+  const NodeId ab = lca.Lca(a, b);
+  const NodeId ac = lca.Lca(a, c);
+  const NodeId bc = lca.Lca(b, c);
+  const NodeId all = lca.Lca(ab, c);
+  const int32_t depth_all = tree.depth(all);
+  if (tree.depth(ab) > depth_all) return 0;
+  if (tree.depth(ac) > depth_all) return 1;
+  if (tree.depth(bc) > depth_all) return 2;
+  return 3;
+}
+
+}  // namespace
+
+Result<TripletDistanceResult> TripletDistance(const Tree& t1,
+                                              const Tree& t2) {
+  std::vector<Tree> pair = {t1, t2};
+  COUSINS_ASSIGN_OR_RETURN(TaxonIndex taxa, TaxonIndex::FromTrees(pair));
+  const int32_t n = taxa.size();
+
+  // Leaf node of each taxon in each tree.
+  std::vector<NodeId> leaf1(n, kNoNode);
+  std::vector<NodeId> leaf2(n, kNoNode);
+  for (NodeId v = 0; v < t1.size(); ++v) {
+    if (t1.is_leaf(v)) leaf1[taxa.index_of(t1.label(v))] = v;
+  }
+  for (NodeId v = 0; v < t2.size(); ++v) {
+    if (t2.is_leaf(v)) leaf2[taxa.index_of(t2.label(v))] = v;
+  }
+
+  LcaIndex lca1(t1);
+  LcaIndex lca2(t2);
+  TripletDistanceResult result;
+  for (int32_t a = 0; a < n; ++a) {
+    for (int32_t b = a + 1; b < n; ++b) {
+      for (int32_t c = b + 1; c < n; ++c) {
+        ++result.triplets;
+        const int r1 =
+            ResolveTriplet(t1, lca1, leaf1[a], leaf1[b], leaf1[c]);
+        const int r2 =
+            ResolveTriplet(t2, lca2, leaf2[a], leaf2[b], leaf2[c]);
+        result.disagreements += r1 != r2;
+      }
+    }
+  }
+  result.normalized =
+      result.triplets == 0
+          ? 0.0
+          : static_cast<double>(result.disagreements) /
+                static_cast<double>(result.triplets);
+  return result;
+}
+
+}  // namespace cousins

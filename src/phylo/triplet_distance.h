@@ -1,0 +1,36 @@
+// Rooted triplet distance — with Robinson–Foulds, the other classic
+// same-taxa comparison COMPONENT [31] popularized: the fraction of
+// 3-taxon subsets {a, b, c} on which two trees disagree about which
+// pair is closest. Another baseline for the paper's §7 comparison of
+// the cousin-pair distance against established measures.
+
+#ifndef COUSINS_PHYLO_TRIPLET_DISTANCE_H_
+#define COUSINS_PHYLO_TRIPLET_DISTANCE_H_
+
+#include <cstdint>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct TripletDistanceResult {
+  /// Number of 3-taxon subsets resolved differently.
+  int64_t disagreements = 0;
+  /// Total subsets, C(n, 3).
+  int64_t triplets = 0;
+  /// disagreements / triplets (0 when n < 3).
+  double normalized = 0.0;
+};
+
+/// Triplet distance between two trees over the same taxa. A triplet is
+/// resolved as ab|c when lca(a, b) is a strict descendant of
+/// lca(a, b, c); star triplets (multifurcations) count as a distinct
+/// resolution. O(n³) with O(1) LCA queries — fine at phylogenetic
+/// scales. Fails unless the taxon sets are identical.
+Result<TripletDistanceResult> TripletDistance(const Tree& t1,
+                                              const Tree& t2);
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_TRIPLET_DISTANCE_H_

@@ -1,0 +1,87 @@
+#include "seq/alignment.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace cousins {
+
+char BaseToChar(uint8_t base) {
+  static constexpr char kBases[] = "ACGT";
+  COUSINS_DCHECK(base < kNumBases);
+  return kBases[base];
+}
+
+int32_t CharToBase(char c) {
+  switch (c) {
+    case 'A':
+    case 'a':
+      return 0;
+    case 'C':
+    case 'c':
+      return 1;
+    case 'G':
+    case 'g':
+      return 2;
+    case 'T':
+    case 't':
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+int32_t Alignment::RowOf(const std::string& taxon) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].taxon == taxon) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+Result<Alignment> ParseFasta(const std::string& text) {
+  Alignment alignment;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      TaxonSequence row;
+      row.taxon = std::string(StripWhitespace(line.substr(1)));
+      if (row.taxon.empty()) {
+        return Status::InvalidArgument("FASTA header with empty name");
+      }
+      alignment.rows.push_back(std::move(row));
+      continue;
+    }
+    if (alignment.rows.empty()) {
+      return Status::InvalidArgument("FASTA sequence before first header");
+    }
+    for (char c : line) {
+      const int32_t base = CharToBase(c);
+      if (base < 0) {
+        return Status::InvalidArgument(std::string("invalid base '") + c +
+                                       "'");
+      }
+      alignment.rows.back().bases.push_back(static_cast<uint8_t>(base));
+    }
+  }
+  for (const TaxonSequence& row : alignment.rows) {
+    if (static_cast<int32_t>(row.bases.size()) != alignment.num_sites()) {
+      return Status::InvalidArgument("ragged alignment at taxon '" +
+                                     row.taxon + "'");
+    }
+  }
+  return alignment;
+}
+
+std::string ToFasta(const Alignment& alignment) {
+  std::string out;
+  for (const TaxonSequence& row : alignment.rows) {
+    out += '>';
+    out += row.taxon;
+    out += '\n';
+    for (uint8_t b : row.bases) out += BaseToChar(b);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cousins

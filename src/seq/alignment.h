@@ -1,0 +1,53 @@
+// Molecular sequence alignments — the input the paper feeds PHYLIP to
+// obtain equally parsimonious trees (§5.2: 500 nucleotides from 16 Mus
+// species; §5.3: LSU rDNA from 32 ascomycetes).
+
+#ifndef COUSINS_SEQ_ALIGNMENT_H_
+#define COUSINS_SEQ_ALIGNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace cousins {
+
+/// DNA bases are encoded 0..3 (A, C, G, T).
+inline constexpr int32_t kNumBases = 4;
+
+/// Decodes "ACGT"[base].
+char BaseToChar(uint8_t base);
+
+/// Encodes a base character (case-insensitive); returns -1 if invalid.
+int32_t CharToBase(char c);
+
+/// One aligned sequence.
+struct TaxonSequence {
+  std::string taxon;
+  std::vector<uint8_t> bases;  // values in [0, kNumBases)
+};
+
+/// A multiple alignment: equal-length sequences over named taxa.
+struct Alignment {
+  std::vector<TaxonSequence> rows;
+
+  int32_t num_taxa() const { return static_cast<int32_t>(rows.size()); }
+  int32_t num_sites() const {
+    return rows.empty() ? 0 : static_cast<int32_t>(rows[0].bases.size());
+  }
+
+  /// Row index of a taxon name, or -1.
+  int32_t RowOf(const std::string& taxon) const;
+};
+
+/// Parses a simple FASTA string (">name" headers; ACGT bodies). Fails
+/// on ragged rows or invalid characters.
+Result<Alignment> ParseFasta(const std::string& text);
+
+/// Serializes to FASTA.
+std::string ToFasta(const Alignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_ALIGNMENT_H_

@@ -1,0 +1,158 @@
+#include "seq/ambiguity.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cousins {
+
+uint8_t IupacToMask(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A':
+      return 0b0001;
+    case 'C':
+      return 0b0010;
+    case 'G':
+      return 0b0100;
+    case 'T':
+    case 'U':
+      return 0b1000;
+    case 'R':  // puRine: A or G
+      return 0b0101;
+    case 'Y':  // pYrimidine: C or T
+      return 0b1010;
+    case 'S':  // Strong: C or G
+      return 0b0110;
+    case 'W':  // Weak: A or T
+      return 0b1001;
+    case 'K':  // Keto: G or T
+      return 0b1100;
+    case 'M':  // aMino: A or C
+      return 0b0011;
+    case 'B':  // not A
+      return 0b1110;
+    case 'D':  // not C
+      return 0b1101;
+    case 'H':  // not G
+      return 0b1011;
+    case 'V':  // not T
+      return 0b0111;
+    case 'N':
+    case 'X':
+    case '?':
+    case '-':
+    case '.':
+      return 0b1111;
+    default:
+      return 0;
+  }
+}
+
+int32_t MaskedAlignment::RowOf(const std::string& taxon) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].taxon == taxon) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+Result<MaskedAlignment> ParseFastaIupac(const std::string& text) {
+  MaskedAlignment alignment;
+  for (std::string_view raw : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      MaskedRow row;
+      row.taxon = std::string(StripWhitespace(line.substr(1)));
+      if (row.taxon.empty()) {
+        return Status::InvalidArgument("FASTA header with empty name");
+      }
+      alignment.rows.push_back(std::move(row));
+      continue;
+    }
+    if (alignment.rows.empty()) {
+      return Status::InvalidArgument("FASTA sequence before first header");
+    }
+    for (char c : line) {
+      const uint8_t mask = IupacToMask(c);
+      if (mask == 0) {
+        return Status::InvalidArgument(std::string("invalid IUPAC code '") +
+                                       c + "'");
+      }
+      alignment.rows.back().masks.push_back(mask);
+    }
+  }
+  for (const MaskedRow& row : alignment.rows) {
+    if (static_cast<int32_t>(row.masks.size()) != alignment.num_sites()) {
+      return Status::InvalidArgument("ragged alignment at taxon '" +
+                                     row.taxon + "'");
+    }
+  }
+  return alignment;
+}
+
+MaskedAlignment ToMasked(const Alignment& alignment) {
+  MaskedAlignment out;
+  out.rows.reserve(alignment.rows.size());
+  for (const TaxonSequence& row : alignment.rows) {
+    MaskedRow masked;
+    masked.taxon = row.taxon;
+    masked.masks.reserve(row.bases.size());
+    for (uint8_t b : row.bases) {
+      masked.masks.push_back(static_cast<uint8_t>(1u << b));
+    }
+    out.rows.push_back(std::move(masked));
+  }
+  return out;
+}
+
+Result<int64_t> FitchScoreAmbiguous(const Tree& tree,
+                                    const MaskedAlignment& alignment) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  const int32_t sites = alignment.num_sites();
+  if (sites == 0) return Status::InvalidArgument("empty alignment");
+
+  std::vector<std::vector<uint8_t>> state(tree.size());
+  int64_t score = 0;
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {  // postorder
+    const auto& kids = tree.children(v);
+    if (kids.empty()) {
+      if (!tree.has_label(v)) {
+        return Status::InvalidArgument("unlabeled leaf (node " +
+                                       std::to_string(v) + ")");
+      }
+      const int32_t row = alignment.RowOf(tree.label_name(v));
+      if (row < 0) {
+        return Status::NotFound("taxon '" + tree.label_name(v) +
+                                "' missing from alignment");
+      }
+      state[v] = alignment.rows[row].masks;
+      continue;
+    }
+    if (kids.size() != 2) {
+      return Status::InvalidArgument(
+          "Fitch requires binary internal nodes; node " +
+          std::to_string(v) + " has " + std::to_string(kids.size()) +
+          " children");
+    }
+    const std::vector<uint8_t>& a = state[kids[0]];
+    const std::vector<uint8_t>& b = state[kids[1]];
+    std::vector<uint8_t>& mine = state[v];
+    mine.resize(sites);
+    for (int32_t s = 0; s < sites; ++s) {
+      const uint8_t inter = a[s] & b[s];
+      if (inter != 0) {
+        mine[s] = inter;
+      } else {
+        mine[s] = a[s] | b[s];
+        ++score;
+      }
+    }
+    state[kids[0]].clear();
+    state[kids[0]].shrink_to_fit();
+    state[kids[1]].clear();
+    state[kids[1]].shrink_to_fit();
+  }
+  return score;
+}
+
+}  // namespace cousins

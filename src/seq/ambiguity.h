@@ -1,0 +1,57 @@
+// IUPAC ambiguity codes and gap handling — real alignments (the LSU
+// rDNA and Mus data behind §5.2-5.3) contain N's, gaps, and partial
+// ambiguity codes; Fitch parsimony handles them naturally by starting
+// leaves from state *sets* instead of single bases.
+
+#ifndef COUSINS_SEQ_AMBIGUITY_H_
+#define COUSINS_SEQ_AMBIGUITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// 4-bit state-set encoding: bit 0 = A, 1 = C, 2 = G, 3 = T.
+/// Handles the full IUPAC nucleotide alphabet; gaps ('-', '.') and
+/// unknowns ('N', '?', 'X') map to the full set 0xF (no parsimony
+/// information). Returns 0 for invalid characters.
+uint8_t IupacToMask(char c);
+
+/// One row of a masked alignment.
+struct MaskedRow {
+  std::string taxon;
+  std::vector<uint8_t> masks;  // nonzero 4-bit state sets
+};
+
+/// An alignment whose sites are state sets.
+struct MaskedAlignment {
+  std::vector<MaskedRow> rows;
+
+  int32_t num_taxa() const { return static_cast<int32_t>(rows.size()); }
+  int32_t num_sites() const {
+    return rows.empty() ? 0 : static_cast<int32_t>(rows[0].masks.size());
+  }
+  int32_t RowOf(const std::string& taxon) const;
+};
+
+/// FASTA with IUPAC codes and gaps; fails on ragged rows or characters
+/// outside the IUPAC alphabet.
+Result<MaskedAlignment> ParseFastaIupac(const std::string& text);
+
+/// Widens an exact alignment into masks (for mixing code paths).
+MaskedAlignment ToMasked(const Alignment& alignment);
+
+/// Fitch parsimony over state sets (binary trees): identical to
+/// FitchScore on unambiguous data; ambiguous sites can only lower the
+/// score (the leaf is free to take any of its states).
+Result<int64_t> FitchScoreAmbiguous(const Tree& tree,
+                                    const MaskedAlignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_AMBIGUITY_H_

@@ -1,0 +1,64 @@
+#include "seq/fitch.h"
+
+#include <vector>
+
+namespace cousins {
+
+Result<int64_t> FitchScore(const Tree& tree, const Alignment& alignment) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  const int32_t sites = alignment.num_sites();
+  if (sites == 0) return Status::InvalidArgument("empty alignment");
+
+  // state[v][s]: bitmask (bits 0..3 = A,C,G,T) of the Fitch state set.
+  std::vector<std::vector<uint8_t>> state(tree.size());
+  int64_t score = 0;
+
+  // Preorder ids: descending order is a valid postorder.
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    const auto& kids = tree.children(v);
+    if (kids.empty()) {
+      if (!tree.has_label(v)) {
+        return Status::InvalidArgument("unlabeled leaf (node " +
+                                       std::to_string(v) + ")");
+      }
+      const int32_t row = alignment.RowOf(tree.label_name(v));
+      if (row < 0) {
+        return Status::NotFound("taxon '" + tree.label_name(v) +
+                                "' missing from alignment");
+      }
+      state[v].resize(sites);
+      for (int32_t s = 0; s < sites; ++s) {
+        state[v][s] =
+            static_cast<uint8_t>(1u << alignment.rows[row].bases[s]);
+      }
+      continue;
+    }
+    if (kids.size() != 2) {
+      return Status::InvalidArgument(
+          "Fitch requires binary internal nodes; node " +
+          std::to_string(v) + " has " + std::to_string(kids.size()) +
+          " children");
+    }
+    const std::vector<uint8_t>& a = state[kids[0]];
+    const std::vector<uint8_t>& b = state[kids[1]];
+    std::vector<uint8_t>& mine = state[v];
+    mine.resize(sites);
+    for (int32_t s = 0; s < sites; ++s) {
+      const uint8_t inter = a[s] & b[s];
+      if (inter != 0) {
+        mine[s] = inter;
+      } else {
+        mine[s] = a[s] | b[s];
+        ++score;
+      }
+    }
+    // Children's state vectors are no longer needed.
+    state[kids[0]].clear();
+    state[kids[0]].shrink_to_fit();
+    state[kids[1]].clear();
+    state[kids[1]].shrink_to_fit();
+  }
+  return score;
+}
+
+}  // namespace cousins

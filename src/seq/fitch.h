@@ -1,0 +1,24 @@
+// Fitch small parsimony [14]: the minimum number of substitutions a
+// rooted binary tree requires to explain an alignment. This is the
+// objective PHYLIP's maximum-parsimony programs optimize; together with
+// the NNI search it replaces PHYLIP in the §5.2-5.3 experiments.
+
+#ifndef COUSINS_SEQ_FITCH_H_
+#define COUSINS_SEQ_FITCH_H_
+
+#include <cstdint>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Parsimony score of `tree` (rooted, binary internal nodes, labeled
+/// leaves) against `alignment`. Fails if a leaf's taxon is missing from
+/// the alignment or an internal node is not binary.
+Result<int64_t> FitchScore(const Tree& tree, const Alignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_FITCH_H_

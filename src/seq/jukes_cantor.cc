@@ -1,0 +1,79 @@
+#include "seq/jukes_cantor.h"
+
+#include <cmath>
+
+namespace cousins {
+
+Alignment SimulateAlignment(const Tree& model_tree,
+                            const SimulateOptions& options, Rng& rng) {
+  COUSINS_CHECK(!model_tree.empty());
+  COUSINS_CHECK(options.num_sites > 0);
+
+  const int32_t n = model_tree.size();
+  const int32_t sites = options.num_sites;
+  std::vector<std::vector<uint8_t>> seq(n);
+
+  // Root sequence: uniform bases.
+  seq[model_tree.root()].resize(sites);
+  for (int32_t s = 0; s < sites; ++s) {
+    seq[model_tree.root()][s] = static_cast<uint8_t>(rng.Uniform(kNumBases));
+  }
+
+  // Preorder ids guarantee parents are simulated before children.
+  for (NodeId v = 1; v < n; ++v) {
+    const double t = model_tree.branch_length(v) * options.rate;
+    // P(site differs from parent, specific target base) per JC69.
+    const double p_change = (1.0 - std::exp(-4.0 * t / 3.0)) * 3.0 / 4.0;
+    const std::vector<uint8_t>& parent = seq[model_tree.parent(v)];
+    std::vector<uint8_t>& mine = seq[v];
+    mine.resize(sites);
+    for (int32_t s = 0; s < sites; ++s) {
+      if (rng.NextBool(p_change)) {
+        // One of the three other bases, uniformly.
+        uint8_t b = static_cast<uint8_t>(rng.Uniform(kNumBases - 1));
+        if (b >= parent[s]) ++b;
+        mine[s] = b;
+      } else {
+        mine[s] = parent[s];
+      }
+    }
+  }
+
+  Alignment alignment;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!model_tree.is_leaf(v)) continue;
+    COUSINS_CHECK(model_tree.has_label(v) && "leaves must carry taxa");
+    alignment.rows.push_back(
+        TaxonSequence{model_tree.label_name(v), std::move(seq[v])});
+  }
+  return alignment;
+}
+
+double JukesCantorDistance(const std::vector<uint8_t>& a,
+                           const std::vector<uint8_t>& b) {
+  COUSINS_CHECK(a.size() == b.size());
+  COUSINS_CHECK(!a.empty());
+  int64_t mismatches = 0;
+  for (size_t i = 0; i < a.size(); ++i) mismatches += a[i] != b[i];
+  const double p = static_cast<double>(mismatches) /
+                   static_cast<double>(a.size());
+  constexpr double kSaturated = 10.0;
+  if (p >= 0.75) return kSaturated;
+  const double d = -0.75 * std::log(1.0 - p / 0.75);
+  return d < kSaturated ? d : kSaturated;
+}
+
+std::vector<std::vector<double>> JukesCantorMatrix(
+    const Alignment& alignment) {
+  const int32_t n = alignment.num_taxa();
+  std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j = i + 1; j < n; ++j) {
+      m[i][j] = m[j][i] = JukesCantorDistance(alignment.rows[i].bases,
+                                              alignment.rows[j].bases);
+    }
+  }
+  return m;
+}
+
+}  // namespace cousins

@@ -1,0 +1,42 @@
+// Jukes–Cantor sequence evolution along a model tree — the synthetic
+// substitute for the paper's real gene alignments [23, 24].
+//
+// Under JC69 every substitution is equally likely; along a branch of
+// length t (expected substitutions per site) a site changes to each of
+// the three other bases with probability (1 − e^{−4t/3}) / 4.
+
+#ifndef COUSINS_SEQ_JUKES_CANTOR_H_
+#define COUSINS_SEQ_JUKES_CANTOR_H_
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+#include "util/rng.h"
+
+namespace cousins {
+
+struct SimulateOptions {
+  /// Number of alignment columns (the paper's Mus study used 500).
+  int32_t num_sites = 500;
+  /// Multiplier applied to every branch length.
+  double rate = 1.0;
+};
+
+/// Evolves sequences down `model_tree` (branch lengths = expected
+/// substitutions per site × rate) and returns the leaf alignment. Every
+/// leaf must be labeled; leaf labels become taxon names.
+Alignment SimulateAlignment(const Tree& model_tree,
+                            const SimulateOptions& options, Rng& rng);
+
+/// JC69 distance estimate between two sequences:
+/// d = −(3/4)·ln(1 − (4/3)·p̂) with p̂ the observed mismatch fraction;
+/// saturated pairs (p̂ >= 3/4) are clamped to a large finite distance.
+double JukesCantorDistance(const std::vector<uint8_t>& a,
+                           const std::vector<uint8_t>& b);
+
+/// All-pairs JC distance matrix of an alignment.
+std::vector<std::vector<double>> JukesCantorMatrix(
+    const Alignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_JUKES_CANTOR_H_

@@ -1,0 +1,133 @@
+#include "seq/neighbor_joining.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "seq/jukes_cantor.h"
+#include "tree/builder.h"
+#include "util/check.h"
+
+namespace cousins {
+namespace {
+
+/// Bottom-up construction arena (emitted top-down at the end).
+struct Proto {
+  std::string taxon;
+  double branch_length = 0.0;
+  std::vector<int> kids;
+};
+
+}  // namespace
+
+Tree NeighborJoiningFromMatrix(const std::vector<std::string>& taxa,
+                               const std::vector<std::vector<double>>& dist,
+                               std::shared_ptr<LabelTable> labels) {
+  const auto n = static_cast<int32_t>(taxa.size());
+  COUSINS_CHECK(n >= 2);
+  COUSINS_CHECK(static_cast<int32_t>(dist.size()) == n);
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+
+  std::vector<Proto> arena;
+  arena.reserve(2 * n);
+  std::vector<int> active;       // arena index per active cluster
+  std::vector<std::vector<double>> d = dist;  // working distances
+  std::vector<int> col(n);       // active slot -> matrix row
+  for (int32_t i = 0; i < n; ++i) {
+    arena.push_back(Proto{taxa[i], 0.0, {}});
+    active.push_back(i);
+    col[i] = i;
+  }
+  // The working matrix grows as clusters are created.
+  auto matrix_at = [&](int a, int b) -> double& { return d[a][b]; };
+
+  while (active.size() > 2) {
+    const auto r = static_cast<int32_t>(active.size());
+    // Row sums over active clusters.
+    std::vector<double> rsum(r, 0.0);
+    for (int32_t i = 0; i < r; ++i) {
+      for (int32_t j = 0; j < r; ++j) {
+        if (i != j) rsum[i] += matrix_at(col[i], col[j]);
+      }
+    }
+    // Minimize the Q criterion (deterministic tie-break on indices).
+    int32_t bi = 0;
+    int32_t bj = 1;
+    double best_q = std::numeric_limits<double>::infinity();
+    for (int32_t i = 0; i < r; ++i) {
+      for (int32_t j = i + 1; j < r; ++j) {
+        const double q = (r - 2) * matrix_at(col[i], col[j]) - rsum[i] -
+                         rsum[j];
+        if (q < best_q) {
+          best_q = q;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    const double dij = matrix_at(col[bi], col[bj]);
+    double li = dij / 2.0;
+    if (r > 2) li += (rsum[bi] - rsum[bj]) / (2.0 * (r - 2));
+    li = std::clamp(li, 0.0, dij);
+    const double lj = dij - li;
+    arena[active[bi]].branch_length = li;
+    arena[active[bj]].branch_length = lj;
+    arena.push_back(Proto{"", 0.0, {active[bi], active[bj]}});
+    const int merged = static_cast<int>(arena.size()) - 1;
+
+    // New matrix row for the merged cluster.
+    const int new_row = static_cast<int>(d.size());
+    d.emplace_back(new_row + 1, 0.0);
+    for (auto& row : d) row.resize(new_row + 1, 0.0);
+    for (int32_t k = 0; k < r; ++k) {
+      if (k == bi || k == bj) continue;
+      const double dk = (matrix_at(col[bi], col[k]) +
+                         matrix_at(col[bj], col[k]) - dij) /
+                        2.0;
+      d[new_row][col[k]] = d[col[k]][new_row] = std::max(dk, 0.0);
+    }
+
+    // Replace bi with the merged cluster; drop bj.
+    active[bi] = merged;
+    col[bi] = new_row;
+    active.erase(active.begin() + bj);
+    col.erase(col.begin() + bj);
+  }
+
+  // Root on the final edge.
+  const double final_d =
+      std::max(matrix_at(col[0], col[1]), 0.0);
+  arena[active[0]].branch_length = final_d / 2.0;
+  arena[active[1]].branch_length = final_d / 2.0;
+  arena.push_back(Proto{"", 0.0, {active[0], active[1]}});
+
+  TreeBuilder b(std::move(labels));
+  struct Frame {
+    int proto;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{static_cast<int>(arena.size()) - 1, kNoNode}};
+  while (!stack.empty()) {
+    auto [p, parent] = stack.back();
+    stack.pop_back();
+    const Proto& proto = arena[p];
+    const NodeId v =
+        parent == kNoNode
+            ? b.AddRoot(proto.taxon)
+            : b.AddChild(parent, proto.taxon, proto.branch_length);
+    for (int kid : proto.kids) stack.push_back({kid, v});
+  }
+  return std::move(b).Build();
+}
+
+Tree NeighborJoiningTree(const Alignment& alignment,
+                         std::shared_ptr<LabelTable> labels) {
+  std::vector<std::string> taxa;
+  taxa.reserve(alignment.rows.size());
+  for (const TaxonSequence& row : alignment.rows) taxa.push_back(row.taxon);
+  return NeighborJoiningFromMatrix(taxa, JukesCantorMatrix(alignment),
+                                   std::move(labels));
+}
+
+}  // namespace cousins

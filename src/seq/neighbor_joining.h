@@ -1,0 +1,29 @@
+// Neighbor joining (Saitou & Nei) — builds the distance-based start
+// tree for the parsimony search, mirroring common practice with PHYLIP.
+
+#ifndef COUSINS_SEQ_NEIGHBOR_JOINING_H_
+#define COUSINS_SEQ_NEIGHBOR_JOINING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// NJ over an explicit distance matrix. Returns a rooted binary tree
+/// (the unrooted NJ tree rooted on its final join edge) whose leaves are
+/// `taxa`. Requires >= 2 taxa and a symmetric matrix.
+Tree NeighborJoiningFromMatrix(const std::vector<std::string>& taxa,
+                               const std::vector<std::vector<double>>& dist,
+                               std::shared_ptr<LabelTable> labels);
+
+/// NJ over Jukes–Cantor distances of an alignment.
+Tree NeighborJoiningTree(const Alignment& alignment,
+                         std::shared_ptr<LabelTable> labels);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_NEIGHBOR_JOINING_H_

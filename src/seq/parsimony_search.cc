@@ -1,0 +1,175 @@
+#include "seq/parsimony_search.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "gen/yule_generator.h"
+#include "seq/fitch.h"
+#include "seq/neighbor_joining.h"
+#include "tree/canonical.h"
+#include "tree/edit.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+/// Bounded pool of the best distinct topologies seen so far.
+class TreePool {
+ public:
+  explicit TreePool(int32_t capacity) : capacity_(capacity) {}
+
+  /// Inserts unless a topologically identical tree is present. Returns
+  /// true if the tree is new.
+  bool Insert(const Tree& tree, int64_t score) {
+    std::string canon = CanonicalForm(tree);
+    auto [it, inserted] = by_canon_.try_emplace(std::move(canon), score);
+    if (!inserted) return false;
+    trees_.push_back(ScoredTree{tree, score});
+    return true;
+  }
+
+  /// Best `capacity` trees, score ascending (stable canonical tie-break).
+  std::vector<ScoredTree> Best() {
+    std::sort(trees_.begin(), trees_.end(),
+              [](const ScoredTree& a, const ScoredTree& b) {
+                if (a.score != b.score) return a.score < b.score;
+                return CanonicalForm(a.tree) < CanonicalForm(b.tree);
+              });
+    if (static_cast<int32_t>(trees_.size()) > capacity_) {
+      trees_.resize(capacity_);
+    }
+    return trees_;
+  }
+
+ private:
+  int32_t capacity_;
+  std::map<std::string, int64_t> by_canon_;
+  std::vector<ScoredTree> trees_;
+};
+
+/// All rooted-NNI neighbors of a binary tree: for every internal,
+/// non-root node c with sibling s and children {x, y}, swap s with x and
+/// s with y.
+std::vector<Tree> NniNeighbors(const Tree& tree) {
+  std::vector<Tree> out;
+  for (NodeId c = 1; c < tree.size(); ++c) {
+    if (tree.is_leaf(c)) continue;
+    const NodeId p = tree.parent(c);
+    NodeId sibling = kNoNode;
+    for (NodeId other : tree.children(p)) {
+      if (other != c) sibling = other;
+    }
+    if (sibling == kNoNode) continue;  // unary chain; nothing to swap
+    for (NodeId kid : tree.children(c)) {
+      Result<Tree> swapped = SwapSubtrees(tree, sibling, kid);
+      if (swapped.ok()) out.push_back(std::move(swapped).value());
+    }
+  }
+  return out;
+}
+
+/// A random sample of SPR rearrangements of `tree`.
+std::vector<Tree> SprSample(const Tree& tree, int32_t samples, Rng& rng) {
+  std::vector<Tree> out;
+  out.reserve(samples);
+  int32_t attempts = 0;
+  while (static_cast<int32_t>(out.size()) < samples &&
+         attempts < samples * 10 + 10) {
+    ++attempts;
+    const auto prune = static_cast<NodeId>(rng.Uniform(tree.size()));
+    const auto regraft = static_cast<NodeId>(rng.Uniform(tree.size()));
+    Result<Tree> moved = SprMove(tree, prune, regraft);
+    if (moved.ok()) out.push_back(std::move(moved).value());
+  }
+  return out;
+}
+
+/// Hill climb from `start` over the NNI neighborhood plus a random SPR
+/// sample; records every evaluated tree into the pool and returns the
+/// local optimum's score.
+int64_t HillClimb(Tree start, const Alignment& alignment,
+                  int32_t spr_samples, Rng& rng, TreePool* pool) {
+  Tree current = std::move(start);
+  int64_t current_score = FitchScore(current, alignment).value();
+  pool->Insert(current, current_score);
+  while (true) {
+    bool improved = false;
+    Tree best_neighbor;
+    int64_t best_score = current_score;
+    std::vector<Tree> neighbors = NniNeighbors(current);
+    if (spr_samples > 0) {
+      for (Tree& spr : SprSample(current, spr_samples, rng)) {
+        neighbors.push_back(std::move(spr));
+      }
+    }
+    for (Tree& neighbor : neighbors) {
+      // SPR can leave non-binary shapes only via invalid inputs (which
+      // SprMove rejects), so Fitch always applies here.
+      const int64_t score = FitchScore(neighbor, alignment).value();
+      pool->Insert(neighbor, score);
+      if (score < best_score) {
+        best_score = score;
+        best_neighbor = std::move(neighbor);
+        improved = true;
+      }
+    }
+    if (!improved) return current_score;
+    current = std::move(best_neighbor);
+    current_score = best_score;
+  }
+}
+
+/// Breadth-first exploration of the equal-score plateau around the best
+/// trees found, collecting distinct equally parsimonious topologies.
+void ExplorePlateau(const Alignment& alignment, int64_t target_score,
+                    int32_t budget, TreePool* pool,
+                    std::vector<ScoredTree> seeds) {
+  std::deque<Tree> frontier;
+  for (ScoredTree& seed : seeds) {
+    if (seed.score == target_score) frontier.push_back(std::move(seed.tree));
+  }
+  int32_t expansions = 0;
+  while (!frontier.empty() && expansions < budget) {
+    Tree current = std::move(frontier.front());
+    frontier.pop_front();
+    ++expansions;
+    for (Tree& neighbor : NniNeighbors(current)) {
+      const int64_t score = FitchScore(neighbor, alignment).value();
+      if (pool->Insert(neighbor, score) && score == target_score) {
+        frontier.push_back(std::move(neighbor));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ScoredTree> SearchParsimoniousTrees(
+    const Alignment& alignment, const ParsimonySearchOptions& options,
+    std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(alignment.num_taxa() >= 3);
+  COUSINS_CHECK(labels != nullptr);
+  Rng rng(options.seed);
+
+  std::vector<std::string> taxa;
+  taxa.reserve(alignment.rows.size());
+  for (const TaxonSequence& row : alignment.rows) taxa.push_back(row.taxon);
+
+  TreePool pool(options.max_trees);
+  int64_t best = HillClimb(NeighborJoiningTree(alignment, labels),
+                           alignment, options.spr_samples, rng, &pool);
+  for (int32_t r = 0; r < options.num_restarts; ++r) {
+    const int64_t score =
+        HillClimb(RandomCoalescentTree(taxa, rng, labels), alignment,
+                  options.spr_samples, rng, &pool);
+    best = std::min(best, score);
+  }
+  ExplorePlateau(alignment, best, options.plateau_budget, &pool,
+                 pool.Best());
+  return pool.Best();
+}
+
+}  // namespace cousins

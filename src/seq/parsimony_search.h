@@ -1,0 +1,50 @@
+// Heuristic maximum-parsimony search — the PHYLIP substitute producing
+// the sets of (near-)equally parsimonious trees that §5.2-5.3 feed to
+// the consensus and kernel-tree experiments.
+//
+// Strategy (mirroring common MP practice): start from the NJ tree plus
+// random coalescent restarts, hill-climb with NNI moves under the Fitch
+// score, then explore the plateau of equal-score neighbors to collect
+// distinct equally parsimonious topologies. Returned trees are distinct
+// as unordered topologies (AHU-canonical dedup), best score first.
+
+#ifndef COUSINS_SEQ_PARSIMONY_SEARCH_H_
+#define COUSINS_SEQ_PARSIMONY_SEARCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct ParsimonySearchOptions {
+  /// Number of trees to return (the paper sweeps 5..35).
+  int32_t max_trees = 35;
+  /// Random-restart hill climbs in addition to the NJ start.
+  int32_t num_restarts = 4;
+  /// Budget for exploring equal-score plateaus (tree expansions).
+  int32_t plateau_budget = 400;
+  /// Random SPR moves evaluated per hill-climb step in addition to the
+  /// full NNI neighborhood (0 disables SPR). SPR escapes local optima
+  /// NNI cannot, at ~one Fitch evaluation per sample.
+  int32_t spr_samples = 0;
+  uint64_t seed = 7;
+};
+
+struct ScoredTree {
+  Tree tree;
+  int64_t score = 0;
+};
+
+/// Searches for the `max_trees` best distinct topologies. All taxa of
+/// the alignment appear as leaves of every returned tree.
+std::vector<ScoredTree> SearchParsimoniousTrees(
+    const Alignment& alignment, const ParsimonySearchOptions& options,
+    std::shared_ptr<LabelTable> labels);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_PARSIMONY_SEARCH_H_

@@ -1,0 +1,109 @@
+#include "seq/phylip.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace cousins {
+namespace {
+
+Status AppendBases(std::string_view chunk, std::vector<uint8_t>* bases) {
+  for (char c : chunk) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int32_t b = CharToBase(c);
+    if (b < 0) {
+      return Status::InvalidArgument(std::string("invalid base '") + c +
+                                     "'");
+    }
+    bases->push_back(static_cast<uint8_t>(b));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Alignment> ParsePhylip(const std::string& text) {
+  std::vector<std::string_view> lines;
+  for (std::string_view raw : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (!line.empty()) lines.push_back(line);
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty PHYLIP input");
+
+  // Header: "<ntaxa> <nsites>".
+  int32_t ntaxa = 0;
+  int32_t nsites = 0;
+  {
+    std::string_view header = lines[0];
+    const char* begin = header.data();
+    const char* end = header.data() + header.size();
+    auto r1 = std::from_chars(begin, end, ntaxa);
+    if (r1.ec != std::errc()) {
+      return Status::InvalidArgument("bad PHYLIP header");
+    }
+    const char* second = r1.ptr;
+    while (second < end &&
+           std::isspace(static_cast<unsigned char>(*second))) {
+      ++second;
+    }
+    auto r2 = std::from_chars(second, end, nsites);
+    if (r2.ec != std::errc() || ntaxa <= 0 || nsites <= 0) {
+      return Status::InvalidArgument("bad PHYLIP header");
+    }
+  }
+  if (static_cast<int32_t>(lines.size()) < 1 + ntaxa) {
+    return Status::InvalidArgument("PHYLIP input shorter than the header "
+                                   "declares");
+  }
+
+  Alignment alignment;
+  alignment.rows.resize(ntaxa);
+  // First block: name + initial chunk per taxon.
+  for (int32_t i = 0; i < ntaxa; ++i) {
+    std::string_view line = lines[1 + i];
+    size_t name_end = 0;
+    while (name_end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[name_end]))) {
+      ++name_end;
+    }
+    alignment.rows[i].taxon = std::string(line.substr(0, name_end));
+    if (alignment.rows[i].taxon.empty()) {
+      return Status::InvalidArgument("missing taxon name in PHYLIP row");
+    }
+    COUSINS_RETURN_IF_ERROR(
+        AppendBases(line.substr(name_end), &alignment.rows[i].bases));
+  }
+  // Interleaved continuation blocks cycle through the taxa in order.
+  size_t next_line = 1 + ntaxa;
+  int32_t row = 0;
+  while (next_line < lines.size()) {
+    COUSINS_RETURN_IF_ERROR(
+        AppendBases(lines[next_line], &alignment.rows[row].bases));
+    ++next_line;
+    row = (row + 1) % ntaxa;
+  }
+
+  for (const TaxonSequence& r : alignment.rows) {
+    if (static_cast<int32_t>(r.bases.size()) != nsites) {
+      return Status::InvalidArgument(
+          "taxon '" + r.taxon + "' has " + std::to_string(r.bases.size()) +
+          " sites, header declares " + std::to_string(nsites));
+    }
+  }
+  return alignment;
+}
+
+std::string ToPhylip(const Alignment& alignment) {
+  std::string out = std::to_string(alignment.num_taxa()) + " " +
+                    std::to_string(alignment.num_sites()) + "\n";
+  for (const TaxonSequence& row : alignment.rows) {
+    out += row.taxon;
+    out += "  ";
+    for (uint8_t b : row.bases) out += BaseToChar(b);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,30 @@
+// PHYLIP alignment format — the input format of the package the paper
+// used for its §5.2-5.3 tree reconstructions. Supports sequential and
+// relaxed-interleaved layouts:
+//
+//    4 6
+//   human  ACGTAC
+//   chimp  ACGTAA
+//   ...
+
+#ifndef COUSINS_SEQ_PHYLIP_H_
+#define COUSINS_SEQ_PHYLIP_H_
+
+#include <string>
+
+#include "seq/alignment.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Parses a PHYLIP alignment (sequential or interleaved). Names are
+/// whitespace-delimited (relaxed format, not column-10 fixed). Fails on
+/// count mismatches, ragged data, or invalid bases.
+Result<Alignment> ParsePhylip(const std::string& text);
+
+/// Serializes to sequential relaxed PHYLIP.
+std::string ToPhylip(const Alignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_PHYLIP_H_

@@ -1,0 +1,164 @@
+#include "seq/sankoff.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace cousins {
+namespace {
+
+/// Large-but-safe "impossible" cost (never overflows when summed).
+constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
+
+/// Resolves each leaf's alignment row once; shared by both scorers.
+Result<std::vector<int32_t>> LeafRows(const Tree& tree,
+                                      const Alignment& alignment) {
+  std::vector<int32_t> row_of(tree.size(), -1);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (!tree.is_leaf(v)) continue;
+    if (!tree.has_label(v)) {
+      return Status::InvalidArgument("unlabeled leaf (node " +
+                                     std::to_string(v) + ")");
+    }
+    row_of[v] = alignment.RowOf(tree.label_name(v));
+    if (row_of[v] < 0) {
+      return Status::NotFound("taxon '" + tree.label_name(v) +
+                              "' missing from alignment");
+    }
+  }
+  return row_of;
+}
+
+}  // namespace
+
+SubstitutionCosts UnitCosts() {
+  SubstitutionCosts costs;
+  for (int i = 0; i < kNumBases; ++i) {
+    for (int j = 0; j < kNumBases; ++j) costs[i][j] = i == j ? 0 : 1;
+  }
+  return costs;
+}
+
+SubstitutionCosts TransitionTransversionCosts(int64_t transition,
+                                              int64_t transversion) {
+  SubstitutionCosts costs;
+  // Purines A(0), G(2); pyrimidines C(1), T(3).
+  auto is_purine = [](int b) { return b == 0 || b == 2; };
+  for (int i = 0; i < kNumBases; ++i) {
+    for (int j = 0; j < kNumBases; ++j) {
+      if (i == j) {
+        costs[i][j] = 0;
+      } else if (is_purine(i) == is_purine(j)) {
+        costs[i][j] = transition;
+      } else {
+        costs[i][j] = transversion;
+      }
+    }
+  }
+  return costs;
+}
+
+Result<int64_t> SankoffScore(const Tree& tree, const Alignment& alignment,
+                             const SubstitutionCosts& costs) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  if (alignment.num_sites() == 0) {
+    return Status::InvalidArgument("empty alignment");
+  }
+  COUSINS_ASSIGN_OR_RETURN(std::vector<int32_t> row_of,
+                           LeafRows(tree, alignment));
+
+  const int32_t sites = alignment.num_sites();
+  // dp[v][s * 4 + b] = min cost of v's subtree with v in state b.
+  std::vector<std::vector<int64_t>> dp(tree.size());
+  int64_t total = 0;
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {  // postorder
+    std::vector<int64_t>& mine = dp[v];
+    mine.assign(static_cast<size_t>(sites) * kNumBases, 0);
+    if (tree.is_leaf(v)) {
+      const std::vector<uint8_t>& bases = alignment.rows[row_of[v]].bases;
+      for (int32_t s = 0; s < sites; ++s) {
+        for (int b = 0; b < kNumBases; ++b) {
+          mine[s * kNumBases + b] = bases[s] == b ? 0 : kInfinity;
+        }
+      }
+    } else {
+      for (NodeId c : tree.children(v)) {
+        const std::vector<int64_t>& child = dp[c];
+        for (int32_t s = 0; s < sites; ++s) {
+          for (int b = 0; b < kNumBases; ++b) {
+            int64_t best = kInfinity;
+            for (int t = 0; t < kNumBases; ++t) {
+              best = std::min(best,
+                              child[s * kNumBases + t] + costs[b][t]);
+            }
+            mine[s * kNumBases + b] += best;
+          }
+        }
+        dp[c].clear();
+        dp[c].shrink_to_fit();
+      }
+    }
+    if (v == tree.root()) {
+      for (int32_t s = 0; s < sites; ++s) {
+        int64_t best = kInfinity;
+        for (int b = 0; b < kNumBases; ++b) {
+          best = std::min(best, mine[s * kNumBases + b]);
+        }
+        total += best;
+      }
+    }
+  }
+  return total;
+}
+
+Result<int64_t> HartiganScore(const Tree& tree,
+                              const Alignment& alignment) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  if (alignment.num_sites() == 0) {
+    return Status::InvalidArgument("empty alignment");
+  }
+  COUSINS_ASSIGN_OR_RETURN(std::vector<int32_t> row_of,
+                           LeafRows(tree, alignment));
+
+  const int32_t sites = alignment.num_sites();
+  // upper[v][s]: bitmask of Hartigan's upper (preferred) state set.
+  std::vector<std::vector<uint8_t>> upper(tree.size());
+  int64_t total = 0;
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    std::vector<uint8_t>& mine = upper[v];
+    mine.resize(sites);
+    if (tree.is_leaf(v)) {
+      const std::vector<uint8_t>& bases = alignment.rows[row_of[v]].bases;
+      for (int32_t s = 0; s < sites; ++s) {
+        mine[s] = static_cast<uint8_t>(1u << bases[s]);
+      }
+      continue;
+    }
+    const auto degree = static_cast<int32_t>(tree.children(v).size());
+    for (int32_t s = 0; s < sites; ++s) {
+      // k[b] = number of children whose upper set contains b.
+      int32_t k[kNumBases] = {0, 0, 0, 0};
+      for (NodeId c : tree.children(v)) {
+        const uint8_t mask = upper[c][s];
+        for (int b = 0; b < kNumBases; ++b) k[b] += (mask >> b) & 1;
+      }
+      const int32_t best = *std::max_element(k, k + kNumBases);
+      uint8_t mask = 0;
+      for (int b = 0; b < kNumBases; ++b) {
+        if (k[b] == best) mask |= 1u << b;
+      }
+      mine[s] = mask;
+      // Hartigan: the minimum number of changes in v's child edges is
+      // degree - max frequency; summed over internal nodes this is the
+      // exact unit-cost parsimony length.
+      total += degree - best;
+    }
+    for (NodeId c : tree.children(v)) {
+      upper[c].clear();
+      upper[c].shrink_to_fit();
+    }
+  }
+  return total;
+}
+
+}  // namespace cousins

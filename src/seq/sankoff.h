@@ -1,0 +1,49 @@
+// Generalized parsimony for arbitrary-arity rooted trees.
+//
+// Fitch (seq/fitch.h) is binary-only, but the paper's consensus trees
+// are multifurcating. Two generalizations are provided:
+//   - SankoffScore: dynamic programming over per-state costs; supports
+//     an arbitrary substitution-cost matrix and any arity. The exact
+//     reference.
+//   - HartiganScore: Hartigan's (1973) counting rule for unit costs,
+//     O(sites · nodes · 4); property-tested equal to Sankoff with unit
+//     costs and to Fitch on binary trees.
+
+#ifndef COUSINS_SEQ_SANKOFF_H_
+#define COUSINS_SEQ_SANKOFF_H_
+
+#include <array>
+#include <cstdint>
+
+#include "seq/alignment.h"
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// cost[i][j] = cost of substituting base i by base j along one edge.
+using SubstitutionCosts =
+    std::array<std::array<int64_t, kNumBases>, kNumBases>;
+
+/// The unit-cost (parsimony) matrix: 0 on the diagonal, 1 elsewhere.
+SubstitutionCosts UnitCosts();
+
+/// A transition/transversion-weighted matrix (transversions cost
+/// `transversion`, transitions `transition`): A<->G and C<->T are
+/// transitions.
+SubstitutionCosts TransitionTransversionCosts(int64_t transition,
+                                              int64_t transversion);
+
+/// Minimum total substitution cost of `tree` explaining `alignment`
+/// under `costs`. Any arity; fails on unlabeled/missing-taxon leaves.
+Result<int64_t> SankoffScore(const Tree& tree, const Alignment& alignment,
+                             const SubstitutionCosts& costs);
+
+/// Unit-cost parsimony score via Hartigan's rule. Any arity; equals
+/// FitchScore on binary trees and SankoffScore(UnitCosts()) always.
+Result<int64_t> HartiganScore(const Tree& tree,
+                              const Alignment& alignment);
+
+}  // namespace cousins
+
+#endif  // COUSINS_SEQ_SANKOFF_H_

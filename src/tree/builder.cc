@@ -1,0 +1,103 @@
+#include "tree/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cousins {
+
+TreeBuilder::TreeBuilder(std::shared_ptr<LabelTable> labels)
+    : labels_(labels ? std::move(labels)
+                     : std::make_shared<LabelTable>()) {}
+
+NodeId TreeBuilder::AddRoot(std::string_view label) {
+  COUSINS_CHECK(parent_.empty());
+  parent_.push_back(kNoNode);
+  label_.push_back(label.empty() ? kNoLabel : labels_->Intern(label));
+  branch_length_.push_back(0.0);
+  return 0;
+}
+
+NodeId TreeBuilder::AddChild(NodeId parent, std::string_view label,
+                             double branch_length) {
+  return AddChildWithLabelId(
+      parent, label.empty() ? kNoLabel : labels_->Intern(label),
+      branch_length);
+}
+
+NodeId TreeBuilder::AddChildWithLabelId(NodeId parent, LabelId label,
+                                        double branch_length) {
+  COUSINS_CHECK(parent >= 0 && parent < size());
+  auto id = static_cast<NodeId>(parent_.size());
+  parent_.push_back(parent);
+  label_.push_back(label);
+  branch_length_.push_back(branch_length);
+  return id;
+}
+
+void TreeBuilder::SetLabel(NodeId v, std::string_view label) {
+  COUSINS_CHECK(v >= 0 && v < size());
+  label_[v] = label.empty() ? kNoLabel : labels_->Intern(label);
+}
+
+void TreeBuilder::SetBranchLength(NodeId v, double branch_length) {
+  COUSINS_CHECK(v >= 0 && v < size());
+  branch_length_[v] = branch_length;
+}
+
+Tree TreeBuilder::Build(std::vector<NodeId>* old_to_new) && {
+  Tree t;
+  t.labels_ = std::move(labels_);
+  const auto n = static_cast<int32_t>(parent_.size());
+  if (n == 0) {
+    if (old_to_new != nullptr) old_to_new->clear();
+    return t;
+  }
+
+  // Children lists in insertion order (insertion order is a valid
+  // topological order because AddChild requires an existing parent).
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 1; v < n; ++v) children[parent_[v]].push_back(v);
+
+  // Renumber to preorder so the root is 0 and parent(v) < v.
+  std::vector<NodeId> order;  // order[new_id] = old_id
+  order.reserve(n);
+  std::vector<NodeId> stack = {0};
+  while (!stack.empty()) {
+    NodeId old_id = stack.back();
+    stack.pop_back();
+    order.push_back(old_id);
+    // Push in reverse so the first-added child is visited first; the
+    // tree is unordered, this just keeps numbering intuitive.
+    for (auto it = children[old_id].rbegin(); it != children[old_id].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  COUSINS_CHECK(static_cast<int32_t>(order.size()) == n);
+
+  std::vector<NodeId> new_id(n);
+  for (NodeId i = 0; i < n; ++i) new_id[order[i]] = i;
+  if (old_to_new != nullptr) *old_to_new = new_id;
+
+  t.parent_.resize(n);
+  t.children_.resize(n);
+  t.label_.resize(n);
+  t.depth_.resize(n);
+  t.branch_length_.resize(n);
+  t.leaf_count_ = 0;
+  t.height_ = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId old_id = order[i];
+    NodeId p = parent_[old_id] == kNoNode ? kNoNode : new_id[parent_[old_id]];
+    t.parent_[i] = p;
+    t.label_[i] = label_[old_id];
+    t.branch_length_[i] = branch_length_[old_id];
+    t.depth_[i] = p == kNoNode ? 0 : t.depth_[p] + 1;
+    t.height_ = std::max(t.height_, t.depth_[i]);
+    if (p != kNoNode) t.children_[p].push_back(i);
+    if (children[old_id].empty()) ++t.leaf_count_;
+  }
+  return t;
+}
+
+}  // namespace cousins

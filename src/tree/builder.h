@@ -1,0 +1,67 @@
+// TreeBuilder: the only way to construct a Tree.
+//
+// Usage:
+//   TreeBuilder b;                       // fresh label table
+//   NodeId r = b.AddRoot();              // unlabeled root
+//   NodeId a = b.AddChild(r, "a");
+//   b.AddChild(a, "x", /*branch_length=*/0.3);
+//   Tree t = std::move(b).Build();
+//
+// Nodes are created in the order added; Build() renumbers to a preorder
+// (root = 0) so downstream code can rely on parent(v) < v.
+
+#ifndef COUSINS_TREE_BUILDER_H_
+#define COUSINS_TREE_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+class TreeBuilder {
+ public:
+  /// If `labels` is null a fresh table is created. Pass a shared table
+  /// when building a forest whose trees must agree on label ids.
+  explicit TreeBuilder(std::shared_ptr<LabelTable> labels = nullptr);
+
+  /// Adds the root; must be the first node added, exactly once.
+  NodeId AddRoot(std::string_view label = {});
+
+  /// Adds a child of `parent` (which must already exist).
+  NodeId AddChild(NodeId parent, std::string_view label = {},
+                  double branch_length = 1.0);
+
+  /// Adds a child with an already-interned label id (kNoLabel allowed).
+  NodeId AddChildWithLabelId(NodeId parent, LabelId label,
+                             double branch_length = 1.0);
+
+  /// Sets or replaces the label of an existing node (Newick supplies an
+  /// internal node's label after its subtree).
+  void SetLabel(NodeId v, std::string_view label);
+
+  /// Sets the length of the edge above an existing node.
+  void SetBranchLength(NodeId v, double branch_length);
+
+  /// Number of nodes added so far.
+  int32_t size() const { return static_cast<int32_t>(parent_.size()); }
+
+  const std::shared_ptr<LabelTable>& labels() const { return labels_; }
+
+  /// Finalizes the tree. The builder is consumed. Build() renumbers
+  /// nodes to preorder; if `old_to_new` is non-null it receives the
+  /// permutation from builder-time ids to final Tree ids.
+  Tree Build(std::vector<NodeId>* old_to_new = nullptr) &&;
+
+ private:
+  std::shared_ptr<LabelTable> labels_;
+  std::vector<NodeId> parent_;
+  std::vector<LabelId> label_;
+  std::vector<double> branch_length_;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_BUILDER_H_

@@ -1,0 +1,29 @@
+#include "tree/canonical.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cousins {
+
+std::string CanonicalForm(const Tree& tree, NodeId v) {
+  std::vector<std::string> child_forms;
+  child_forms.reserve(tree.children(v).size());
+  for (NodeId c : tree.children(v)) {
+    child_forms.push_back(CanonicalForm(tree, c));
+  }
+  std::sort(child_forms.begin(), child_forms.end());
+  std::string out = "(";
+  if (tree.has_label(v)) out += std::to_string(tree.label(v));
+  for (const std::string& f : child_forms) out += f;
+  out += ")";
+  return out;
+}
+
+bool UnorderedIsomorphic(const Tree& a, const Tree& b) {
+  COUSINS_CHECK(a.labels_ptr() == b.labels_ptr());
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return CanonicalForm(a) == CanonicalForm(b);
+}
+
+}  // namespace cousins

@@ -1,0 +1,33 @@
+// Canonical forms for rooted unordered labeled trees.
+//
+// Two trees are unordered-isomorphic iff their canonical strings are
+// equal (AHU-style encoding with sorted child encodings). Used by tests
+// (sibling-order invariance) and by the parsimony search to deduplicate
+// equally parsimonious topologies.
+
+#ifndef COUSINS_TREE_CANONICAL_H_
+#define COUSINS_TREE_CANONICAL_H_
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// AHU canonical string of the subtree rooted at v. Node labels are
+/// embedded by their interned ids, so trees must share a label table for
+/// their canonical forms to be comparable.
+std::string CanonicalForm(const Tree& tree, NodeId v);
+
+/// Canonical string of the whole tree.
+inline std::string CanonicalForm(const Tree& tree) {
+  return CanonicalForm(tree, tree.root());
+}
+
+/// True iff the trees are isomorphic as rooted unordered labeled trees.
+/// Requires a shared label table.
+bool UnorderedIsomorphic(const Tree& a, const Tree& b);
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_CANONICAL_H_

@@ -1,0 +1,158 @@
+#include "tree/edit.h"
+
+#include <utility>
+#include <vector>
+
+#include "tree/builder.h"
+
+namespace cousins {
+namespace {
+
+bool IsAncestor(const Tree& tree, NodeId anc, NodeId v) {
+  while (v != kNoNode && tree.depth(v) >= tree.depth(anc)) {
+    if (v == anc) return true;
+    v = tree.parent(v);
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Tree> SwapSubtrees(const Tree& tree, NodeId u, NodeId v) {
+  if (!tree.Valid(u) || !tree.Valid(v)) {
+    return Status::InvalidArgument("invalid node id");
+  }
+  if (u == v) return Status::InvalidArgument("u == v");
+  if (u == tree.root() || v == tree.root()) {
+    return Status::InvalidArgument("cannot swap the root");
+  }
+  if (IsAncestor(tree, u, v) || IsAncestor(tree, v, u)) {
+    return Status::InvalidArgument("u and v are ancestor-related");
+  }
+
+  // Emit a copy, substituting v's subtree at u's position and vice
+  // versa (the substitution applies once; inside a grafted subtree the
+  // original structure is kept).
+  TreeBuilder b(tree.labels_ptr());
+  struct Frame {
+    NodeId orig;
+    NodeId parent;   // new-tree parent
+    bool substitute; // whether the u<->v substitution is still active
+  };
+  std::vector<Frame> stack = {{tree.root(), kNoNode, true}};
+  while (!stack.empty()) {
+    auto [orig, parent, substitute] = stack.back();
+    stack.pop_back();
+    NodeId source = orig;
+    bool child_substitute = substitute;
+    if (substitute && (orig == u || orig == v)) {
+      source = orig == u ? v : u;
+      child_substitute = false;
+    }
+    const NodeId copy =
+        parent == kNoNode
+            ? b.AddRoot()
+            : b.AddChildWithLabelId(parent, tree.label(source),
+                                    tree.branch_length(source));
+    if (parent == kNoNode && tree.has_label(source)) {
+      b.SetLabel(copy, tree.label_name(source));
+    }
+    for (NodeId c : tree.children(source)) {
+      stack.push_back({c, copy, child_substitute});
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Tree> SprMove(const Tree& tree, NodeId prune, NodeId regraft) {
+  if (!tree.Valid(prune) || !tree.Valid(regraft)) {
+    return Status::InvalidArgument("invalid node id");
+  }
+  if (prune == tree.root()) {
+    return Status::InvalidArgument("cannot prune the root");
+  }
+  if (regraft == prune || IsAncestor(tree, prune, regraft)) {
+    return Status::InvalidArgument(
+        "regraft point lies inside the pruned subtree");
+  }
+
+  // Mutable mirror of the topology (original node ids).
+  const int32_t n = tree.size();
+  std::vector<std::vector<NodeId>> kids(n);
+  std::vector<NodeId> parent(n);
+  for (NodeId v = 0; v < n; ++v) {
+    kids[v] = tree.children(v);
+    parent[v] = tree.parent(v);
+  }
+  NodeId root = tree.root();
+
+  // Detach `prune`.
+  NodeId p = parent[prune];
+  std::erase(kids[p], prune);
+  NodeId suppressed = kNoNode;
+  if (kids[p].size() == 1) {
+    const NodeId only = kids[p][0];
+    if (p == root) {
+      root = only;
+      parent[only] = kNoNode;
+    } else {
+      // Splice p out: its remaining child takes its place.
+      for (NodeId& c : kids[parent[p]]) {
+        if (c == p) c = only;
+      }
+      parent[only] = parent[p];
+    }
+    suppressed = p;
+  }
+  if (regraft == suppressed) {
+    return Status::InvalidArgument(
+        "regraft edge was suppressed by the prune");
+  }
+
+  // Regraft on the edge above `regraft` via a fresh node (id n).
+  const NodeId fresh = n;
+  kids.emplace_back();
+  parent.push_back(kNoNode);
+  if (regraft == root) {
+    kids[fresh] = {regraft, prune};
+    parent[regraft] = fresh;
+    parent[prune] = fresh;
+    root = fresh;
+  } else {
+    for (NodeId& c : kids[parent[regraft]]) {
+      if (c == regraft) c = fresh;
+    }
+    parent[fresh] = parent[regraft];
+    kids[fresh] = {regraft, prune};
+    parent[regraft] = fresh;
+    parent[prune] = fresh;
+  }
+
+  // Emit (skipping the suppressed node, which is now unreachable).
+  TreeBuilder b(tree.labels_ptr());
+  struct Frame {
+    NodeId orig;
+    NodeId parent_copy;
+  };
+  std::vector<Frame> stack = {{root, kNoNode}};
+  while (!stack.empty()) {
+    auto [orig, parent_copy] = stack.back();
+    stack.pop_back();
+    const bool is_fresh = orig == fresh;
+    NodeId copy;
+    if (parent_copy == kNoNode) {
+      copy = b.AddRoot();
+      if (!is_fresh && tree.has_label(orig)) {
+        b.SetLabel(copy, tree.label_name(orig));
+      }
+    } else {
+      copy = b.AddChildWithLabelId(
+          parent_copy, is_fresh ? kNoLabel : tree.label(orig),
+          is_fresh ? 1.0 : tree.branch_length(orig));
+    }
+    for (NodeId c : kids[orig]) stack.push_back({c, copy});
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

@@ -1,0 +1,26 @@
+// Tree surgery used by the parsimony search (NNI moves).
+
+#ifndef COUSINS_TREE_EDIT_H_
+#define COUSINS_TREE_EDIT_H_
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Returns a copy of `tree` with the subtrees rooted at u and v
+/// exchanged. Fails if u and v are equal, ancestor-related, or either is
+/// the root. Branch lengths travel with their subtrees.
+Result<Tree> SwapSubtrees(const Tree& tree, NodeId u, NodeId v);
+
+/// Subtree prune and regraft: detaches the subtree rooted at `prune`
+/// (suppressing its parent if left unary) and reattaches it on the edge
+/// above `regraft` via a fresh unlabeled node; regrafting above the
+/// root creates a new root. Fails if `prune` is the root, `regraft`
+/// lies inside the pruned subtree, or `regraft` is the node suppressed
+/// by the prune. Node ids refer to the input tree.
+Result<Tree> SprMove(const Tree& tree, NodeId prune, NodeId regraft);
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_EDIT_H_

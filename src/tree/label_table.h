@@ -1,0 +1,60 @@
+// Label interning. The paper's trees carry string labels from a large
+// alphabet (TreeBASE: 18,870 distinct taxa); interning makes cousin-pair
+// keys integer pairs, so hashing and comparison are O(1) regardless of
+// label length.
+
+#ifndef COUSINS_TREE_LABEL_TABLE_H_
+#define COUSINS_TREE_LABEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cousins {
+
+/// Dense integer id of an interned label. Valid ids are >= 0.
+using LabelId = int32_t;
+
+/// Sentinel for "this node has no label" (internal phylogeny nodes).
+inline constexpr LabelId kNoLabel = -1;
+
+/// Bidirectional string<->LabelId map. A single LabelTable is shared by
+/// all trees in a forest so label ids are comparable across trees.
+class LabelTable {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  LabelId Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    auto id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `name`, or kNoLabel if it was never interned.
+  LabelId Find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? kNoLabel : it->second;
+  }
+
+  /// The string for a valid label id.
+  const std::string& Name(LabelId id) const {
+    COUSINS_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+    return names_[id];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> index_;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_LABEL_TABLE_H_

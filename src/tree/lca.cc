@@ -1,0 +1,80 @@
+#include "tree/lca.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cousins {
+
+LcaIndex::LcaIndex(const Tree& tree) : tree_(tree) {
+  COUSINS_CHECK(!tree.empty());
+  const int32_t n = tree.size();
+  first_visit_.assign(n, -1);
+  euler_.reserve(2 * n);
+  euler_depth_.reserve(2 * n);
+
+  // Iterative Euler tour: push (node, next-child-index) frames.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  stack.emplace_back(tree.root(), 0);
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    if (next_child == 0) {
+      first_visit_[v] = static_cast<int32_t>(euler_.size());
+      euler_.push_back(v);
+      euler_depth_.push_back(tree.depth(v));
+    }
+    if (next_child < tree.children(v).size()) {
+      NodeId c = tree.children(v)[next_child++];
+      stack.emplace_back(c, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        euler_.push_back(stack.back().first);
+        euler_depth_.push_back(tree.depth(stack.back().first));
+      }
+    }
+  }
+
+  const auto m = static_cast<int32_t>(euler_.size());
+  const int levels = std::bit_width(static_cast<uint32_t>(m));
+  sparse_.resize(levels);
+  sparse_[0].resize(m);
+  for (int32_t i = 0; i < m; ++i) sparse_[0][i] = i;
+  for (int k = 1; k < levels; ++k) {
+    const int32_t span = 1 << k;
+    sparse_[k].resize(m - span + 1);
+    for (int32_t i = 0; i + span <= m; ++i) {
+      int32_t left = sparse_[k - 1][i];
+      int32_t right = sparse_[k - 1][i + span / 2];
+      sparse_[k][i] =
+          euler_depth_[left] <= euler_depth_[right] ? left : right;
+    }
+  }
+}
+
+NodeId LcaIndex::Lca(NodeId u, NodeId v) const {
+  COUSINS_DCHECK(tree_.Valid(u) && tree_.Valid(v));
+  int32_t a = first_visit_[u];
+  int32_t b = first_visit_[v];
+  if (a > b) std::swap(a, b);
+  const int k = std::bit_width(static_cast<uint32_t>(b - a + 1)) - 1;
+  int32_t left = sparse_[k][a];
+  int32_t right = sparse_[k][b - (1 << k) + 1];
+  return euler_[euler_depth_[left] <= euler_depth_[right] ? left : right];
+}
+
+int32_t LcaIndex::PathLength(NodeId u, NodeId v) const {
+  NodeId a = Lca(u, v);
+  return tree_.depth(u) + tree_.depth(v) - 2 * tree_.depth(a);
+}
+
+NodeId NaiveLca(const Tree& tree, NodeId u, NodeId v) {
+  while (tree.depth(u) > tree.depth(v)) u = tree.parent(u);
+  while (tree.depth(v) > tree.depth(u)) v = tree.parent(v);
+  while (u != v) {
+    u = tree.parent(u);
+    v = tree.parent(v);
+  }
+  return u;
+}
+
+}  // namespace cousins

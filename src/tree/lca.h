@@ -1,0 +1,45 @@
+// Least common ancestor queries.
+//
+// The cousin-distance definition (§2, Fig. 2) is phrased in terms of the
+// LCA. The naive miner issues O(n²) LCA queries, so we provide the
+// classic Euler-tour + sparse-table index with O(n log n) preprocessing
+// and O(1) queries (Bender & Farach-Colton [4]), plus a naive
+// depth-climbing reference used to validate it.
+
+#ifndef COUSINS_TREE_LCA_H_
+#define COUSINS_TREE_LCA_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// O(1)-query LCA index over an immutable tree. The indexed tree must
+/// outlive the index.
+class LcaIndex {
+ public:
+  explicit LcaIndex(const Tree& tree);
+
+  /// Least common ancestor of u and v.
+  NodeId Lca(NodeId u, NodeId v) const;
+
+  /// Edges on the path between u and v (0 when u == v).
+  int32_t PathLength(NodeId u, NodeId v) const;
+
+ private:
+  const Tree& tree_;
+  std::vector<int32_t> first_visit_;   // node -> first index in euler_
+  std::vector<NodeId> euler_;          // Euler tour of nodes
+  std::vector<int32_t> euler_depth_;   // depth of euler_[i]
+  // sparse_[k][i] = index (into euler_) of the min-depth entry in
+  // euler_[i, i + 2^k).
+  std::vector<std::vector<int32_t>> sparse_;
+};
+
+/// Reference LCA by climbing parents; O(depth) per query.
+NodeId NaiveLca(const Tree& tree, NodeId u, NodeId v);
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_LCA_H_

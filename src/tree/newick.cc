@@ -1,0 +1,267 @@
+#include "tree/newick.h"
+
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+#include "tree/builder.h"
+#include "util/strings.h"
+
+namespace cousins {
+namespace {
+
+// Characters that terminate an unquoted label.
+bool IsStructural(char c) {
+  return c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
+         c == '[';
+}
+
+/// Recursive-descent Newick parser over a string_view cursor.
+class NewickParser {
+ public:
+  NewickParser(std::string_view text, std::shared_ptr<LabelTable> labels)
+      : text_(text), labels_(std::move(labels)), builder_(labels_) {}
+
+  Result<Tree> Parse() {
+    SkipSpace();
+    if (AtEnd()) return Status::InvalidArgument("empty Newick string");
+    COUSINS_RETURN_IF_ERROR(ParseNode(kNoNode));
+    SkipSpace();
+    if (!AtEnd() && Peek() == ';') Advance();
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          "trailing characters after Newick tree at offset " +
+          std::to_string(pos_));
+    }
+    return std::move(builder_).Build();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void Advance() { ++pos_; }
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '[') {
+        // Bracket comment; unterminated comments consume to the end,
+        // which the caller reports as trailing garbage / missing tokens.
+        while (!AtEnd() && Peek() != ']') Advance();
+        if (!AtEnd()) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  // node := ['(' node (',' node)* ')'] [label] [':' number]
+  Status ParseNode(NodeId parent) {
+    SkipSpace();
+    NodeId self;
+    bool had_children = false;
+    if (!AtEnd() && Peek() == '(') {
+      had_children = true;
+      self = parent == kNoNode ? builder_.AddRoot()
+                               : builder_.AddChild(parent);
+      Advance();  // '('
+      while (true) {
+        COUSINS_RETURN_IF_ERROR(ParseNode(self));
+        SkipSpace();
+        if (AtEnd()) {
+          return Status::InvalidArgument("unterminated '(' in Newick");
+        }
+        if (Peek() == ',') {
+          Advance();
+          continue;
+        }
+        if (Peek() == ')') {
+          Advance();
+          break;
+        }
+        return Status::InvalidArgument(
+            "expected ',' or ')' at offset " + std::to_string(pos_));
+      }
+    } else {
+      self = parent == kNoNode ? builder_.AddRoot()
+                               : builder_.AddChild(parent);
+    }
+
+    SkipSpace();
+    // Optional label.
+    std::string label;
+    Status st = ParseLabel(&label);
+    if (!st.ok()) return st;
+    if (!label.empty()) {
+      SetLabel(self, label);
+    } else if (!had_children && parent != kNoNode) {
+      // A bare leaf with no label is legal Newick but almost always a
+      // typo like "(a,,b)"; we accept it as an unlabeled leaf.
+    }
+
+    SkipSpace();
+    if (!AtEnd() && Peek() == ':') {
+      Advance();
+      double len = 0;
+      COUSINS_RETURN_IF_ERROR(ParseNumber(&len));
+      SetBranchLength(self, len);
+    }
+    return Status::OK();
+  }
+
+  Status ParseLabel(std::string* out) {
+    out->clear();
+    if (AtEnd()) return Status::OK();
+    if (Peek() == '\'') {
+      Advance();
+      while (true) {
+        if (AtEnd()) {
+          return Status::InvalidArgument("unterminated quoted label");
+        }
+        char c = Peek();
+        Advance();
+        if (c == '\'') {
+          if (!AtEnd() && Peek() == '\'') {  // '' escapes a quote
+            out->push_back('\'');
+            Advance();
+            continue;
+          }
+          return Status::OK();
+        }
+        out->push_back(c);
+      }
+    }
+    while (!AtEnd()) {
+      char c = Peek();
+      if (IsStructural(c) || std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      }
+      out->push_back(c);
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (!AtEnd() && !IsStructural(Peek()) &&
+           !std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), *out);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Status::InvalidArgument("bad branch length '" +
+                                     std::string(token) + "'");
+    }
+    return Status::OK();
+  }
+
+  void SetLabel(NodeId v, std::string_view label) {
+    builder_.SetLabel(v, label);
+  }
+  void SetBranchLength(NodeId v, double len) {
+    builder_.SetBranchLength(v, len);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::shared_ptr<LabelTable> labels_;
+  TreeBuilder builder_;
+};
+
+}  // namespace
+
+Result<Tree> ParseNewick(std::string_view text,
+                         std::shared_ptr<LabelTable> labels) {
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  NewickParser parser(text, labels);
+  return parser.Parse();
+}
+
+Result<std::vector<Tree>> ParseNewickForest(
+    std::string_view text, std::shared_ptr<LabelTable> labels) {
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  // Drop '#'-comment lines first; trees are then split on ';'.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (std::string_view line : Split(text, '\n')) {
+    if (StripWhitespace(line).empty() || StripWhitespace(line)[0] == '#') {
+      continue;
+    }
+    cleaned.append(line);
+    cleaned.push_back('\n');
+  }
+  std::vector<Tree> out;
+  for (std::string_view piece : Split(cleaned, ';')) {
+    std::string_view trimmed = StripWhitespace(piece);
+    if (trimmed.empty()) continue;
+    COUSINS_ASSIGN_OR_RETURN(Tree t, ParseNewick(trimmed, labels));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& label) {
+  if (label.empty()) return true;
+  for (char c : label) {
+    if (IsStructural(c) || c == '\'' || c == ')' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendLabel(const std::string& label, std::string* out) {
+  if (!NeedsQuoting(label)) {
+    *out += label;
+    return;
+  }
+  *out += '\'';
+  for (char c : label) {
+    if (c == '\'') *out += '\'';
+    *out += c;
+  }
+  *out += '\'';
+}
+
+void WriteNode(const Tree& tree, NodeId v, const NewickWriteOptions& options,
+               std::string* out) {
+  const auto& kids = tree.children(v);
+  if (!kids.empty()) {
+    *out += '(';
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (i > 0) *out += ',';
+      WriteNode(tree, kids[i], options, out);
+    }
+    *out += ')';
+  }
+  if (tree.has_label(v) && (kids.empty() || options.write_internal_labels)) {
+    AppendLabel(tree.label_name(v), out);
+  }
+  if (options.write_branch_lengths && v != tree.root()) {
+    *out += ':';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", tree.branch_length(v));
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+std::string ToNewick(const Tree& tree, const NewickWriteOptions& options) {
+  std::string out;
+  if (!tree.empty()) WriteNode(tree, tree.root(), options, &out);
+  out += ';';
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,46 @@
+// Newick tree format parser and writer.
+//
+// TreeBASE and PHYLIP exchange phylogenies as Newick strings, e.g.
+//   ((Gnetum,Welwitschia),Ephedra,Outgroup);
+// The parser supports the common dialect: unquoted and single-quoted
+// labels ('' escapes a quote), internal-node labels, branch lengths
+// (":0.5"), bracket comments ("[...]"), and arbitrary whitespace.
+
+#ifndef COUSINS_TREE_NEWICK_H_
+#define COUSINS_TREE_NEWICK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Parses one Newick tree (the trailing ';' is optional). Labels are
+/// interned into `labels` (a fresh table if null).
+Result<Tree> ParseNewick(std::string_view text,
+                         std::shared_ptr<LabelTable> labels = nullptr);
+
+/// Parses a ';'-separated sequence of Newick trees sharing one label
+/// table. Blank entries and '#'-comment lines are skipped.
+Result<std::vector<Tree>> ParseNewickForest(
+    std::string_view text, std::shared_ptr<LabelTable> labels = nullptr);
+
+/// Options for Newick serialization.
+struct NewickWriteOptions {
+  /// Emit ":<branch_length>" after each non-root node.
+  bool write_branch_lengths = false;
+  /// Emit labels on internal nodes (leaf labels are always written).
+  bool write_internal_labels = true;
+};
+
+/// Serializes `tree` as a Newick string, including the trailing ';'.
+/// Labels needing quotes (spaces, punctuation) are single-quoted.
+std::string ToNewick(const Tree& tree, const NewickWriteOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_NEWICK_H_

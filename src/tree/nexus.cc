@@ -1,0 +1,290 @@
+#include "tree/nexus.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <utility>
+
+#include "tree/builder.h"
+#include "tree/newick.h"
+#include "util/strings.h"
+
+namespace cousins {
+namespace {
+
+std::string StripBracketComments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  int depth = 0;
+  for (char c : text) {
+    if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      if (depth > 0) --depth;
+    } else if (depth == 0) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(
+                          static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Pulls the next whitespace- or quote-delimited token from `s` starting
+/// at *pos; returns false at end. Quoted tokens ('' escapes a quote)
+/// come back unquoted.
+bool NextToken(std::string_view s, size_t* pos, std::string* out) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos]))) {
+    ++*pos;
+  }
+  if (*pos >= s.size()) return false;
+  out->clear();
+  if (s[*pos] == '\'') {
+    ++*pos;
+    while (*pos < s.size()) {
+      char c = s[(*pos)++];
+      if (c == '\'') {
+        if (*pos < s.size() && s[*pos] == '\'') {
+          out->push_back('\'');
+          ++*pos;
+          continue;
+        }
+        return true;
+      }
+      out->push_back(c);
+    }
+    return true;  // unterminated quote: treat as ending at EOF
+  }
+  while (*pos < s.size() &&
+         !std::isspace(static_cast<unsigned char>(s[*pos])) &&
+         s[*pos] != ',' && s[*pos] != '=') {
+    out->push_back(s[(*pos)++]);
+  }
+  return !out->empty();
+}
+
+using TranslateMap = std::unordered_map<std::string, std::string>;
+
+/// Splits on `sep` outside single-quoted regions ('' escapes a quote).
+std::vector<std::string_view> SplitOutsideQuotes(std::string_view s,
+                                                 char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  bool quoted = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\'') {
+      quoted = !quoted;  // '' toggles twice, net unchanged
+    } else if (s[i] == sep && !quoted) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+Status ParseTranslate(std::string_view body, TranslateMap* translate) {
+  // body: "1 Homo_sapiens, 2 'Pan troglodytes', ..." (keyword removed).
+  for (std::string_view entry : SplitOutsideQuotes(body, ',')) {
+    std::string_view trimmed = StripWhitespace(entry);
+    if (trimmed.empty()) continue;
+    size_t pos = 0;
+    std::string token;
+    std::string name;
+    if (!NextToken(trimmed, &pos, &token) ||
+        !NextToken(trimmed, &pos, &name)) {
+      return Status::InvalidArgument(
+          "bad TRANSLATE entry '" + std::string(trimmed) + "'");
+    }
+    (*translate)[token] = name;
+  }
+  return Status::OK();
+}
+
+/// Rebuilds `tree` onto the shared table, mapping labels through the
+/// translate table.
+Tree ApplyTranslation(const Tree& tree, const TranslateMap& translate,
+                      const std::shared_ptr<LabelTable>& labels) {
+  TreeBuilder b(labels);
+  struct Frame {
+    NodeId orig;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{tree.root(), kNoNode}};
+  while (!stack.empty()) {
+    auto [orig, parent] = stack.back();
+    stack.pop_back();
+    std::string name;
+    if (tree.has_label(orig)) {
+      name = tree.label_name(orig);
+      auto it = translate.find(name);
+      if (it != translate.end()) name = it->second;
+    }
+    NodeId copy = parent == kNoNode
+                      ? b.AddRoot(name)
+                      : b.AddChild(parent, name,
+                                   tree.branch_length(orig));
+    for (NodeId c : tree.children(orig)) stack.push_back({c, copy});
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace
+
+std::string ToNexus(const std::vector<NamedTree>& trees,
+                    const NexusWriteOptions& options) {
+  std::string out = "#NEXUS\nBEGIN TREES;\n";
+  NewickWriteOptions newick_options;
+  newick_options.write_branch_lengths = options.write_branch_lengths;
+
+  // Number taxa across all trees in first-appearance order.
+  std::unordered_map<std::string, int> number_of;
+  std::vector<std::string> ordered;
+  if (options.use_translate_table) {
+    for (const NamedTree& nt : trees) {
+      const Tree& t = nt.tree;
+      for (NodeId v = 0; v < t.size(); ++v) {
+        if (!t.is_leaf(v) || !t.has_label(v)) continue;
+        if (number_of.emplace(t.label_name(v),
+                              static_cast<int>(ordered.size()) + 1)
+                .second) {
+          ordered.push_back(t.label_name(v));
+        }
+      }
+    }
+    if (!ordered.empty()) {
+      out += "  TRANSLATE\n";
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        out += "    " + std::to_string(i + 1) + " ";
+        // Quote names that need it, NEXUS-style.
+        bool plain = true;
+        for (char c : ordered[i]) {
+          if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+              c == ';' || c == '\'' || c == '(' || c == ')') {
+            plain = false;
+          }
+        }
+        if (plain && !ordered[i].empty()) {
+          out += ordered[i];
+        } else {
+          out += '\'';
+          for (char c : ordered[i]) {
+            if (c == '\'') out += '\'';
+            out += c;
+          }
+          out += '\'';
+        }
+        out += i + 1 < ordered.size() ? ",\n" : ";\n";
+      }
+    }
+  }
+
+  for (size_t i = 0; i < trees.size(); ++i) {
+    const NamedTree& nt = trees[i];
+    std::string name =
+        nt.name.empty() ? "tree_" + std::to_string(i) : nt.name;
+    Tree to_write = nt.tree;
+    if (options.use_translate_table) {
+      // Rebuild with numeric leaf labels on a scratch table.
+      TreeBuilder b(std::make_shared<LabelTable>());
+      struct Frame {
+        NodeId orig;
+        NodeId parent;
+      };
+      std::vector<Frame> stack = {{nt.tree.root(), kNoNode}};
+      while (!stack.empty()) {
+        auto [orig, parent] = stack.back();
+        stack.pop_back();
+        std::string label;
+        if (nt.tree.has_label(orig)) {
+          label = nt.tree.label_name(orig);
+          if (nt.tree.is_leaf(orig)) {
+            label = std::to_string(number_of.at(label));
+          }
+        }
+        NodeId copy =
+            parent == kNoNode
+                ? b.AddRoot(label)
+                : b.AddChild(parent, label, nt.tree.branch_length(orig));
+        for (NodeId c : nt.tree.children(orig)) stack.push_back({c, copy});
+      }
+      to_write = std::move(b).Build();
+    }
+    out += "  TREE " + name + " = " + ToNewick(to_write, newick_options) +
+           "\n";
+  }
+  out += "END;\n";
+  return out;
+}
+
+Result<std::vector<NamedTree>> ParseNexusTrees(
+    const std::string& text, std::shared_ptr<LabelTable> labels) {
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  const std::string cleaned = StripBracketComments(text);
+
+  std::vector<NamedTree> out;
+  bool in_trees_block = false;
+  TranslateMap translate;
+  for (std::string_view raw : Split(cleaned, ';')) {
+    std::string_view statement = StripWhitespace(raw);
+    // The "#NEXUS" header is a line, not a ';'-terminated statement, so
+    // it prefixes whatever statement follows it; drop such lines.
+    while (!statement.empty() && statement[0] == '#') {
+      const size_t eol = statement.find('\n');
+      if (eol == std::string_view::npos) {
+        statement = {};
+        break;
+      }
+      statement = StripWhitespace(statement.substr(eol + 1));
+    }
+    if (statement.empty()) continue;
+    const std::string lower = ToLower(statement);
+
+    if (!in_trees_block) {
+      if (StartsWith(lower, "begin")) {
+        std::string_view rest =
+            StripWhitespace(statement.substr(5));
+        if (StartsWith(ToLower(rest), "trees")) {
+          in_trees_block = true;
+          translate.clear();
+        }
+      }
+      continue;
+    }
+    if (lower == "end" || lower == "endblock") {
+      in_trees_block = false;
+      continue;
+    }
+    if (StartsWith(lower, "translate")) {
+      COUSINS_RETURN_IF_ERROR(
+          ParseTranslate(statement.substr(9), &translate));
+      continue;
+    }
+    if (StartsWith(lower, "tree ") || StartsWith(lower, "tree\t")) {
+      const size_t eq = statement.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("TREE statement without '='");
+      }
+      NamedTree named;
+      named.name =
+          std::string(StripWhitespace(statement.substr(4, eq - 4)));
+      std::string_view newick = StripWhitespace(statement.substr(eq + 1));
+      // Parse into a scratch table, then rename through TRANSLATE onto
+      // the shared table.
+      auto scratch = std::make_shared<LabelTable>();
+      COUSINS_ASSIGN_OR_RETURN(Tree parsed, ParseNewick(newick, scratch));
+      named.tree = ApplyTranslation(parsed, translate, labels);
+      out.push_back(std::move(named));
+      continue;
+    }
+    // Other statements inside the block (e.g. LINK) are ignored.
+  }
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,46 @@
+// Minimal NEXUS TREES-block parser.
+//
+// TreeBASE — the corpus behind the paper's Figures 7-8 — exchanges
+// phylogenies as NEXUS files. This parser handles the subset needed to
+// ingest such files: a (case-insensitive) "BEGIN TREES; ... END;" block
+// with an optional TRANSLATE table mapping tokens to taxon names and
+// one or more "TREE <name> = [&R] <newick>;" statements. Bracket
+// comments are stripped; everything outside TREES blocks is ignored.
+
+#ifndef COUSINS_TREE_NEXUS_H_
+#define COUSINS_TREE_NEXUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct NamedTree {
+  std::string name;
+  Tree tree;
+};
+
+/// Parses every TREE statement of every TREES block in `text`, applying
+/// TRANSLATE tables. All trees share `labels` (fresh if null).
+Result<std::vector<NamedTree>> ParseNexusTrees(
+    const std::string& text, std::shared_ptr<LabelTable> labels = nullptr);
+
+struct NexusWriteOptions {
+  /// Emit a TRANSLATE table (taxa numbered 1..n) instead of inline
+  /// taxon names, as TreeBASE exports do.
+  bool use_translate_table = true;
+  bool write_branch_lengths = false;
+};
+
+/// Serializes trees as "#NEXUS\nBEGIN TREES; ... END;". Unnamed trees
+/// are called "tree_<i>". Round-trips through ParseNexusTrees.
+std::string ToNexus(const std::vector<NamedTree>& trees,
+                    const NexusWriteOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_NEXUS_H_

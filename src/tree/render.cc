@@ -1,0 +1,44 @@
+#include "tree/render.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace cousins {
+namespace {
+
+void RenderNode(const Tree& tree, NodeId v, const std::string& prefix,
+                bool last, bool root, const RenderOptions& options,
+                std::string* out) {
+  *out += prefix;
+  if (!root) *out += last ? "└── " : "├── ";
+  if (tree.has_label(v)) {
+    *out += tree.label_name(v);
+  } else {
+    *out += "*";
+  }
+  if (options.show_ids) *out += " (#" + std::to_string(v) + ")";
+  if (options.show_branch_lengths && !root) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ":%g", tree.branch_length(v));
+    *out += buf;
+  }
+  *out += '\n';
+  const std::vector<NodeId>& kids = tree.children(v);
+  for (size_t i = 0; i < kids.size(); ++i) {
+    const std::string child_prefix =
+        root ? prefix : prefix + (last ? "    " : "│   ");
+    RenderNode(tree, kids[i], child_prefix, i + 1 == kids.size(), false,
+               options, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderAscii(const Tree& tree, const RenderOptions& options) {
+  std::string out;
+  if (tree.empty()) return out;
+  RenderNode(tree, tree.root(), "", true, true, options, &out);
+  return out;
+}
+
+}  // namespace cousins

@@ -1,0 +1,30 @@
+// ASCII rendering of rooted trees for terminals and logs.
+
+#ifndef COUSINS_TREE_RENDER_H_
+#define COUSINS_TREE_RENDER_H_
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+struct RenderOptions {
+  /// Show "(#<id>)" next to unlabeled nodes.
+  bool show_ids = false;
+  /// Append ":<branch length>" to every non-root node.
+  bool show_branch_lengths = false;
+};
+
+/// Renders `tree` as indented ASCII art, one node per line:
+///
+///   root
+///   ├── a
+///   │   ├── x
+///   │   └── y
+///   └── b
+std::string RenderAscii(const Tree& tree, const RenderOptions& options = {});
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_RENDER_H_

@@ -1,0 +1,79 @@
+#include "tree/restrict.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "tree/builder.h"
+
+namespace cousins {
+namespace {
+
+/// Bottom-up construction skeleton for the induced tree.
+struct Proto {
+  LabelId label = kNoLabel;
+  double branch_length = 0.0;
+  std::vector<int> kids;
+};
+
+}  // namespace
+
+Result<Tree> RestrictToLabels(const Tree& tree,
+                              const std::vector<LabelId>& keep) {
+  if (tree.empty()) return Status::InvalidArgument("empty tree");
+  const std::unordered_set<LabelId> kept(keep.begin(), keep.end());
+
+  std::vector<Proto> arena;
+  // proto_of[v] = arena index of v's surviving image, or -1.
+  std::vector<int> proto_of(tree.size(), -1);
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {  // postorder
+    if (tree.is_leaf(v)) {
+      if (!tree.has_label(v) || !kept.contains(tree.label(v))) continue;
+      arena.push_back(
+          Proto{tree.label(v), tree.branch_length(v), {}});
+      proto_of[v] = static_cast<int>(arena.size()) - 1;
+      continue;
+    }
+    std::vector<int> kids;
+    for (NodeId c : tree.children(v)) {
+      if (proto_of[c] >= 0) kids.push_back(proto_of[c]);
+    }
+    if (kids.empty()) continue;
+    if (kids.size() == 1) {
+      // Unary suppression: the surviving child absorbs this edge.
+      arena[kids[0]].branch_length += tree.branch_length(v);
+      proto_of[v] = kids[0];
+      continue;
+    }
+    arena.push_back(
+        Proto{tree.label(v), tree.branch_length(v), std::move(kids)});
+    proto_of[v] = static_cast<int>(arena.size()) - 1;
+  }
+
+  const int root_proto = proto_of[tree.root()];
+  if (root_proto < 0) {
+    return Status::NotFound("no leaf of the tree carries a kept label");
+  }
+
+  TreeBuilder b(tree.labels_ptr());
+  struct Frame {
+    int proto;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{root_proto, kNoNode}};
+  while (!stack.empty()) {
+    auto [p, parent] = stack.back();
+    stack.pop_back();
+    const Proto& proto = arena[p];
+    NodeId v = parent == kNoNode
+                   ? b.AddRoot()
+                   : b.AddChildWithLabelId(parent, proto.label,
+                                           proto.branch_length);
+    if (parent == kNoNode && proto.label != kNoLabel) {
+      b.SetLabel(v, tree.labels().Name(proto.label));
+    }
+    for (int kid : proto.kids) stack.push_back({kid, v});
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace cousins

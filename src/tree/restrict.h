@@ -1,0 +1,25 @@
+// Induced subtrees: restrict a phylogeny to a subset of its taxa — the
+// operation underlying supertree workflows (§5.3), where studies share
+// some but not all taxa.
+
+#ifndef COUSINS_TREE_RESTRICT_H_
+#define COUSINS_TREE_RESTRICT_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/result.h"
+
+namespace cousins {
+
+/// Returns the topology induced on the leaves whose labels appear in
+/// `keep`: other leaves are removed, internal nodes left with a single
+/// child are suppressed (their branch lengths summed), and empty
+/// branches are dropped. Internal labels are preserved on surviving
+/// nodes. Fails if no leaf matches.
+Result<Tree> RestrictToLabels(const Tree& tree,
+                              const std::vector<LabelId>& keep);
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_RESTRICT_H_

@@ -1,0 +1,54 @@
+#include "tree/traversal.h"
+
+#include <numeric>
+
+namespace cousins {
+
+std::vector<NodeId> PreorderIds(const Tree& tree) {
+  std::vector<NodeId> order(tree.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+std::vector<NodeId> PostorderIds(const Tree& tree) {
+  // Reverse preorder with children reversed is a valid postorder; since
+  // ids are preorder-numbered, descending id order already puts children
+  // before parents.
+  std::vector<NodeId> order(tree.size());
+  for (NodeId v = 0; v < tree.size(); ++v) order[v] = tree.size() - 1 - v;
+  return order;
+}
+
+std::vector<int32_t> SubtreeSizes(const Tree& tree) {
+  std::vector<int32_t> size(tree.size(), 1);
+  for (NodeId v = tree.size() - 1; v > 0; --v) {
+    size[tree.parent(v)] += size[v];
+  }
+  return size;
+}
+
+NodeId ClimbUp(const Tree& tree, NodeId v, int32_t levels) {
+  COUSINS_CHECK(levels >= 0);
+  while (levels-- > 0) {
+    if (v == kNoNode) return kNoNode;
+    v = tree.parent(v);
+  }
+  return v;
+}
+
+std::vector<LabelId> SubtreeLeafLabels(const Tree& tree, NodeId v) {
+  std::vector<LabelId> out;
+  std::vector<NodeId> stack = {v};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    if (tree.is_leaf(u)) {
+      if (tree.has_label(u)) out.push_back(tree.label(u));
+      continue;
+    }
+    for (NodeId c : tree.children(u)) stack.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace cousins

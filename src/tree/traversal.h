@@ -1,0 +1,31 @@
+// Traversal orders and per-node aggregates used across the library.
+
+#ifndef COUSINS_TREE_TRAVERSAL_H_
+#define COUSINS_TREE_TRAVERSAL_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cousins {
+
+/// Node ids in preorder (parents before children). Because Build()
+/// renumbers to preorder this is just 0..n-1, provided for readability.
+std::vector<NodeId> PreorderIds(const Tree& tree);
+
+/// Node ids in postorder (children before parents).
+std::vector<NodeId> PostorderIds(const Tree& tree);
+
+/// subtree_size[v] = number of nodes in the subtree rooted at v.
+std::vector<int32_t> SubtreeSizes(const Tree& tree);
+
+/// Walks `levels` edges toward the root from v; returns kNoNode if the
+/// walk passes the root. levels must be >= 0.
+NodeId ClimbUp(const Tree& tree, NodeId v, int32_t levels);
+
+/// All labeled-leaf label ids of the subtree rooted at v (unsorted).
+std::vector<LabelId> SubtreeLeafLabels(const Tree& tree, NodeId v);
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_TRAVERSAL_H_

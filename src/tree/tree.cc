@@ -1,0 +1,5 @@
+#include "tree/tree.h"
+
+// Tree itself is a passive data holder; its behaviour lives in the
+// builder, traversal, and canonical-form translation units. This file
+// exists so the target has a home for future non-inline members.

@@ -1,0 +1,118 @@
+// Rooted unordered labeled tree — the paper's quadruple T = (V, N, λ, E)
+// (§2): V is the node set, N the numbering function (our arena index),
+// λ the partial labeling function, E the parent-child relation.
+//
+// Trees are immutable after construction (build one with TreeBuilder or
+// ParseNewick). "Unordered" means sibling order carries no meaning; the
+// mining algorithms never depend on it, and tests shuffle sibling order
+// to prove it.
+
+#ifndef COUSINS_TREE_TREE_H_
+#define COUSINS_TREE_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/label_table.h"
+#include "util/check.h"
+
+namespace cousins {
+
+/// Dense node identifier; the paper's numbering function N. The root is
+/// always id 0 in a built tree.
+using NodeId = int32_t;
+
+/// Sentinel for "no node" (parent of the root, missing lookups).
+inline constexpr NodeId kNoNode = -1;
+
+class TreeBuilder;
+
+/// An immutable rooted unordered labeled tree. Nodes may or may not carry
+/// a label (phylogeny internal nodes typically do not). Optional branch
+/// lengths support the weighted-edge extension and the sequence
+/// simulator's model trees.
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Number of nodes, the paper's |T|.
+  int32_t size() const { return static_cast<int32_t>(parent_.size()); }
+  bool empty() const { return parent_.empty(); }
+
+  /// Root node id (0 for any non-empty tree).
+  NodeId root() const {
+    COUSINS_DCHECK(!empty());
+    return 0;
+  }
+
+  NodeId parent(NodeId v) const {
+    COUSINS_DCHECK(Valid(v));
+    return parent_[v];
+  }
+
+  const std::vector<NodeId>& children(NodeId v) const {
+    COUSINS_DCHECK(Valid(v));
+    return children_[v];
+  }
+
+  bool is_leaf(NodeId v) const { return children(v).empty(); }
+
+  /// Number of edges from the root (root has depth 0).
+  int32_t depth(NodeId v) const {
+    COUSINS_DCHECK(Valid(v));
+    return depth_[v];
+  }
+
+  /// Label id of v, or kNoLabel if v is unlabeled.
+  LabelId label(NodeId v) const {
+    COUSINS_DCHECK(Valid(v));
+    return label_[v];
+  }
+
+  bool has_label(NodeId v) const { return label(v) != kNoLabel; }
+
+  /// Label string of a labeled node.
+  const std::string& label_name(NodeId v) const {
+    return labels().Name(label(v));
+  }
+
+  /// Length of the edge (parent(v), v); 1.0 unless set at build time.
+  /// The root's value is meaningless and fixed at 0.
+  double branch_length(NodeId v) const {
+    COUSINS_DCHECK(Valid(v));
+    return branch_length_[v];
+  }
+
+  /// The shared label table (common to every tree in a forest).
+  const LabelTable& labels() const {
+    COUSINS_DCHECK(labels_ != nullptr);
+    return *labels_;
+  }
+  const std::shared_ptr<LabelTable>& labels_ptr() const { return labels_; }
+
+  /// Number of leaves.
+  int32_t leaf_count() const { return leaf_count_; }
+
+  /// Maximum depth over all nodes (height of the tree in edges).
+  int32_t height() const { return height_; }
+
+  bool Valid(NodeId v) const { return v >= 0 && v < size(); }
+
+ private:
+  friend class TreeBuilder;
+
+  std::shared_ptr<LabelTable> labels_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<LabelId> label_;
+  std::vector<int32_t> depth_;
+  std::vector<double> branch_length_;
+  int32_t leaf_count_ = 0;
+  int32_t height_ = 0;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_TREE_H_

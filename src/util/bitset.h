@@ -1,0 +1,133 @@
+// Dynamic fixed-width bitset used for taxon clusters (bipartitions).
+
+#ifndef COUSINS_UTIL_BITSET_H_
+#define COUSINS_UTIL_BITSET_H_
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cousins {
+
+/// Fixed-width bitset whose width is chosen at construction. Supports
+/// the set algebra consensus methods need: subset/disjointness tests,
+/// intersection, popcount, ordering (for canonical output), hashing.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(int32_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  int32_t size() const { return bits_; }
+
+  void Set(int32_t i) {
+    COUSINS_DCHECK(i >= 0 && i < bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(int32_t i) {
+    COUSINS_DCHECK(i >= 0 && i < bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  bool Test(int32_t i) const {
+    COUSINS_DCHECK(i >= 0 && i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  int32_t Count() const {
+    int32_t c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  /// True if every set bit of *this is set in other.
+  bool IsSubsetOf(const Bitset& other) const {
+    COUSINS_DCHECK(bits_ == other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const Bitset& other) const {
+    COUSINS_DCHECK(bits_ == other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  Bitset& operator|=(const Bitset& other) {
+    COUSINS_DCHECK(bits_ == other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  Bitset& operator&=(const Bitset& other) {
+    COUSINS_DCHECK(bits_ == other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+  /// Lexicographic on (width, words); a stable canonical order.
+  friend std::strong_ordering operator<=>(const Bitset& a, const Bitset& b) {
+    if (auto c = a.bits_ <=> b.bits_; c != 0) return c;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      if (auto c = a.words_[i] <=> b.words_[i]; c != 0) return c;
+    }
+    return std::strong_ordering::equal;
+  }
+
+  size_t Hash() const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL + static_cast<uint32_t>(bits_);
+    for (uint64_t w : words_) {
+      h ^= w + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<int32_t> Ones() const {
+    std::vector<int32_t> out;
+    for (int32_t w = 0; w < static_cast<int32_t>(words_.size()); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        out.push_back(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  int32_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+/// Two clusters are compatible iff they are disjoint or nested — the
+/// condition for coexisting in one rooted tree.
+inline bool ClustersCompatible(const Bitset& a, const Bitset& b) {
+  return !a.Intersects(b) || a.IsSubsetOf(b) || b.IsSubsetOf(a);
+}
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_BITSET_H_

@@ -1,0 +1,29 @@
+// Internal invariant checking. COUSINS_CHECK is active in all build
+// types (invariant violations in a mining library are corruption-class
+// bugs, not recoverable conditions); COUSINS_DCHECK compiles out in
+// release builds.
+
+#ifndef COUSINS_UTIL_CHECK_H_
+#define COUSINS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define COUSINS_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifndef NDEBUG
+#define COUSINS_DCHECK(cond) COUSINS_CHECK(cond)
+#else
+#define COUSINS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // COUSINS_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+namespace cousins {
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc(',', out_);
+    std::string escaped = Escape(fields[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), out_);
+  }
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void CsvWriter::WriteComment(const std::string& text) {
+  std::fprintf(out_, "# %s\n", text.c_str());
+  std::fflush(out_);
+}
+
+}  // namespace cousins

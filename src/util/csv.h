@@ -1,0 +1,37 @@
+// Tiny CSV emitter used by the benchmark harnesses so every figure's
+// series can be re-plotted directly from bench output.
+
+#ifndef COUSINS_UTIL_CSV_H_
+#define COUSINS_UTIL_CSV_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cousins {
+
+/// Writes rows as comma-separated values to a FILE* (stdout by default).
+/// Values containing commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::FILE* out = stdout) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+  void WriteRow(std::initializer_list<std::string> fields) {
+    WriteRow(std::vector<std::string>(fields));
+  }
+
+  /// Writes a "# ..." comment line (ignored by CSV readers configured
+  /// with comment='#'; used for paper-comparison annotations).
+  void WriteComment(const std::string& text);
+
+ private:
+  static std::string Escape(const std::string& field);
+
+  std::FILE* out_;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_CSV_H_

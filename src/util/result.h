@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr.
+
+#ifndef COUSINS_UTIL_RESULT_H_
+#define COUSINS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cousins {
+
+/// Holds either a T or a non-OK Status. Accessing value() on an error
+/// result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit
+  // conversions so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace cousins
+
+#define COUSINS_MACRO_CONCAT_INNER(a, b) a##b
+#define COUSINS_MACRO_CONCAT(a, b) COUSINS_MACRO_CONCAT_INNER(a, b)
+
+#define COUSINS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`.
+#define COUSINS_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  COUSINS_ASSIGN_OR_RETURN_IMPL(                                           \
+      COUSINS_MACRO_CONCAT(_cousins_result_tmp_, __LINE__), lhs, rexpr)
+
+#endif  // COUSINS_UTIL_RESULT_H_

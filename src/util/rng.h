@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components in this library take an explicit Rng& so that
+// tests, examples, and benchmarks are reproducible. The engine is
+// xoshiro256**, seeded via splitmix64 (the reference seeding procedure).
+
+#ifndef COUSINS_UTIL_RNG_H_
+#define COUSINS_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace cousins {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit seed via splitmix64.
+  void Seed(uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses Lemire's unbiased
+  /// rejection method.
+  uint64_t Uniform(uint64_t bound) {
+    COUSINS_CHECK(bound > 0);
+    // Fast path that is exact for bounds far below 2^64.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    COUSINS_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_RNG_H_

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch for the figure-regeneration harnesses.
+
+#ifndef COUSINS_UTIL_STOPWATCH_H_
+#define COUSINS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cousins {
+
+/// Measures elapsed wall time; Restart() returns the lap in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns elapsed seconds and resets the stopwatch.
+  double Restart() {
+    double s = ElapsedSeconds();
+    start_ = Clock::now();
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_STOPWATCH_H_

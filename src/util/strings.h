@@ -1,0 +1,31 @@
+// Small string helpers shared by parsers and report writers.
+
+#ifndef COUSINS_UTIL_STRINGS_H_
+#define COUSINS_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cousins {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a half-integer cousin distance (stored as 2*d) as "0", "0.5",
+/// "1", "1.5", ... — the notation used throughout the paper.
+std::string FormatHalfDistance(int twice_distance);
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_STRINGS_H_

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "seq/alignment.h"
+
+namespace cousins {
+namespace {
+
+TEST(BaseCodingTest, RoundTrip) {
+  for (uint8_t b = 0; b < kNumBases; ++b) {
+    EXPECT_EQ(CharToBase(BaseToChar(b)), b);
+  }
+  EXPECT_EQ(CharToBase('a'), 0);
+  EXPECT_EQ(CharToBase('t'), 3);
+  EXPECT_EQ(CharToBase('N'), -1);
+  EXPECT_EQ(CharToBase('-'), -1);
+}
+
+TEST(FastaTest, ParsesTwoSequences) {
+  Result<Alignment> a = ParseFasta(">tax1\nACGT\n>tax2\nTGCA\n");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->num_taxa(), 2);
+  EXPECT_EQ(a->num_sites(), 4);
+  EXPECT_EQ(a->rows[0].taxon, "tax1");
+  EXPECT_EQ(a->rows[0].bases, (std::vector<uint8_t>{0, 1, 2, 3}));
+  EXPECT_EQ(a->RowOf("tax2"), 1);
+  EXPECT_EQ(a->RowOf("nope"), -1);
+}
+
+TEST(FastaTest, MultilineSequencesAndCase) {
+  Result<Alignment> a = ParseFasta(">x\nac\ngt\n>y\nACGT\n");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_sites(), 4);
+  EXPECT_EQ(a->rows[0].bases, a->rows[1].bases);
+}
+
+TEST(FastaTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseFasta(">x\nACG\n>y\nACGT\n").ok());
+}
+
+TEST(FastaTest, RejectsInvalidBase) {
+  EXPECT_FALSE(ParseFasta(">x\nACGN\n").ok());
+}
+
+TEST(FastaTest, RejectsSequenceBeforeHeader) {
+  EXPECT_FALSE(ParseFasta("ACGT\n>x\nACGT\n").ok());
+}
+
+TEST(FastaTest, RejectsEmptyName) {
+  EXPECT_FALSE(ParseFasta(">\nACGT\n").ok());
+}
+
+TEST(FastaTest, EmptyInputIsEmptyAlignment) {
+  Result<Alignment> a = ParseFasta("");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_taxa(), 0);
+  EXPECT_EQ(a->num_sites(), 0);
+}
+
+TEST(FastaTest, RoundTrip) {
+  const std::string text = ">alpha\nACGTAC\n>beta\nTTGGCC\n";
+  Alignment a = ParseFasta(text).value();
+  EXPECT_EQ(ToFasta(a), text);
+}
+
+}  // namespace
+}  // namespace cousins

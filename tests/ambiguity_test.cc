@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "seq/ambiguity.h"
+#include "seq/fitch.h"
+#include "seq/jukes_cantor.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(IupacTest, ExactBases) {
+  EXPECT_EQ(IupacToMask('A'), 0b0001);
+  EXPECT_EQ(IupacToMask('c'), 0b0010);
+  EXPECT_EQ(IupacToMask('G'), 0b0100);
+  EXPECT_EQ(IupacToMask('t'), 0b1000);
+  EXPECT_EQ(IupacToMask('U'), 0b1000);  // RNA
+}
+
+TEST(IupacTest, AmbiguityCodes) {
+  EXPECT_EQ(IupacToMask('R'), 0b0101);  // A|G
+  EXPECT_EQ(IupacToMask('Y'), 0b1010);  // C|T
+  EXPECT_EQ(IupacToMask('N'), 0b1111);
+  EXPECT_EQ(IupacToMask('-'), 0b1111);
+  EXPECT_EQ(IupacToMask('?'), 0b1111);
+  EXPECT_EQ(IupacToMask('B'), 0b1110);  // not A
+  EXPECT_EQ(IupacToMask('V'), 0b0111);  // not T
+  EXPECT_EQ(IupacToMask('Z'), 0);       // invalid
+}
+
+TEST(ParseFastaIupacTest, AcceptsGapsAndCodes) {
+  auto a = ParseFastaIupac(">x\nACGT-N\n>y\nRYWSKM\n");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->num_taxa(), 2);
+  EXPECT_EQ(a->num_sites(), 6);
+  EXPECT_EQ(a->rows[0].masks[4], 0b1111);
+}
+
+TEST(ParseFastaIupacTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseFastaIupac(">x\nAC!T\n").ok());
+  EXPECT_FALSE(ParseFastaIupac(">x\nAC\n>y\nACGT\n").ok());
+}
+
+TEST(FitchAmbiguousTest, MatchesPlainFitchOnExactData) {
+  Rng rng(21);
+  Tree truth = RandomCoalescentTree(MakeTaxa(9), rng, nullptr, 0.15);
+  SimulateOptions sim;
+  sim.num_sites = 60;
+  Alignment exact = SimulateAlignment(truth, sim, rng);
+  EXPECT_EQ(FitchScoreAmbiguous(truth, ToMasked(exact)).value(),
+            FitchScore(truth, exact).value());
+}
+
+TEST(FitchAmbiguousTest, GapsAddNoCost) {
+  // All-N rows are parsimony-free regardless of topology.
+  auto a = ParseFastaIupac(">w\nNNNN\n>x\nNNNN\n>y\nNNNN\n>z\nNNNN\n");
+  ASSERT_TRUE(a.ok());
+  Tree t = MustParse("((w,x),(y,z));");
+  EXPECT_EQ(FitchScoreAmbiguous(t, *a).value(), 0);
+}
+
+TEST(FitchAmbiguousTest, AmbiguityOnlyLowersTheScore) {
+  // A A G G needs 1 change; replacing one G by N lets the tree explain
+  // the site with 0 extra freedom but the changed pattern A A N G still
+  // needs... N can take A or G, intersection logic gives 1 or fewer.
+  auto exact = ParseFastaIupac(">w\nA\n>x\nA\n>y\nG\n>z\nG\n");
+  auto fuzzy = ParseFastaIupac(">w\nA\n>x\nA\n>y\nN\n>z\nG\n");
+  Tree t = MustParse("((w,x),(y,z));");
+  const int64_t exact_score = FitchScoreAmbiguous(t, *exact).value();
+  const int64_t fuzzy_score = FitchScoreAmbiguous(t, *fuzzy).value();
+  EXPECT_LE(fuzzy_score, exact_score);
+  EXPECT_EQ(exact_score, 1);
+}
+
+TEST(FitchAmbiguousTest, PartialAmbiguityResolvesOptimally) {
+  // R = {A,G}: site pattern A R G G costs nothing extra beyond A ? G G
+  // resolved as G... w=A x=R y=G z=G on ((w,x),(y,z)):
+  //   (w,x): {A} ∩ {A,G} = {A}; (y,z): {G}; root: {A} ∩ {G} = ∅ -> 1.
+  auto a = ParseFastaIupac(">w\nA\n>x\nR\n>y\nG\n>z\nG\n");
+  Tree t = MustParse("((w,x),(y,z));");
+  EXPECT_EQ(FitchScoreAmbiguous(t, *a).value(), 1);
+}
+
+TEST(FitchAmbiguousTest, ErrorsMirrorPlainFitch) {
+  auto a = ParseFastaIupac(">w\nA\n>x\nA\n");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(FitchScoreAmbiguous(MustParse("(w,x,y);"), *a).ok());
+  EXPECT_FALSE(FitchScoreAmbiguous(MustParse("(w,q);"), *a).ok());
+  EXPECT_FALSE(FitchScoreAmbiguous(Tree(), *a).ok());
+  EXPECT_FALSE(
+      FitchScoreAmbiguous(MustParse("(w,x);"), MaskedAlignment()).ok());
+}
+
+}  // namespace
+}  // namespace cousins

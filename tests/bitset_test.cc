@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/bitset.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset b(100);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3);
+}
+
+TEST(BitsetTest, NoneAndCount) {
+  Bitset b(70);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0);
+  b.Set(69);
+  EXPECT_FALSE(b.None());
+  EXPECT_EQ(b.Count(), 1);
+}
+
+TEST(BitsetTest, SubsetAndIntersect) {
+  Bitset a(10);
+  Bitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(1);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  Bitset c(10);
+  c.Set(5);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(c.IsSubsetOf(c));
+}
+
+TEST(BitsetTest, EmptySetIsSubsetOfAll) {
+  Bitset empty(10);
+  Bitset b(10);
+  b.Set(3);
+  EXPECT_TRUE(empty.IsSubsetOf(b));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+  EXPECT_FALSE(empty.Intersects(b));
+}
+
+TEST(BitsetTest, OrAndAssign) {
+  Bitset a(130);
+  Bitset b(130);
+  a.Set(0);
+  a.Set(128);
+  b.Set(64);
+  a |= b;
+  EXPECT_EQ(a.Count(), 3);
+  Bitset c(130);
+  c.Set(64);
+  c.Set(1);
+  a &= c;
+  EXPECT_EQ(a.Count(), 1);
+  EXPECT_TRUE(a.Test(64));
+}
+
+TEST(BitsetTest, OnesAscending) {
+  Bitset b(200);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  std::vector<int32_t> ones = b.Ones();
+  EXPECT_EQ(ones, (std::vector<int32_t>{5, 64, 199}));
+}
+
+TEST(BitsetTest, EqualityAndOrdering) {
+  Bitset a(10);
+  Bitset b(10);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(b < a);  // empty words < set words
+}
+
+TEST(BitsetTest, HashCollisionsAreRare) {
+  Rng rng(5);
+  std::unordered_set<size_t> hashes;
+  const int kSets = 500;
+  for (int i = 0; i < kSets; ++i) {
+    Bitset b(128);
+    for (int j = 0; j < 10; ++j) {
+      b.Set(static_cast<int32_t>(rng.Uniform(128)));
+    }
+    hashes.insert(b.Hash());
+  }
+  // Distinct random sets should nearly all hash distinctly.
+  EXPECT_GT(static_cast<int>(hashes.size()), kSets - 10);
+}
+
+TEST(ClustersCompatibleTest, DisjointNestedOverlapping) {
+  Bitset a(8);
+  Bitset b(8);
+  Bitset c(8);
+  a.Set(0);
+  a.Set(1);
+  b.Set(2);
+  b.Set(3);
+  c.Set(1);
+  c.Set(2);
+  EXPECT_TRUE(ClustersCompatible(a, b));   // disjoint
+  EXPECT_FALSE(ClustersCompatible(a, c));  // overlapping, not nested
+  Bitset big(8);
+  big.Set(0);
+  big.Set(1);
+  big.Set(2);
+  EXPECT_TRUE(ClustersCompatible(a, big));  // nested
+  EXPECT_TRUE(ClustersCompatible(big, a));  // symmetric
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/yule_generator.h"
+#include "phylo/bootstrap.h"
+#include "seq/jukes_cantor.h"
+#include "seq/neighbor_joining.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(BootstrapTest, SupportsAreInUnitInterval) {
+  Rng rng(31);
+  Tree truth = RandomCoalescentTree(MakeTaxa(8), rng, nullptr, 0.1);
+  SimulateOptions sim;
+  sim.num_sites = 200;
+  Alignment a = SimulateAlignment(truth, sim, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  BootstrapOptions opt;
+  opt.replicates = 50;
+  auto supports = BootstrapSupport(nj, a, opt, rng);
+  ASSERT_TRUE(supports.ok()) << supports.status().ToString();
+  EXPECT_FALSE(supports->empty());
+  for (const ClusterSupport& s : *supports) {
+    EXPECT_GE(s.support, 0.0);
+    EXPECT_LE(s.support, 1.0);
+    EXPECT_FALSE(nj.is_leaf(s.node));
+  }
+}
+
+TEST(BootstrapTest, StrongSignalGivesHighSupport) {
+  // Long alignment + clock-like tree: NJ is extremely stable, so every
+  // reference cluster should be recovered by nearly all replicates.
+  Rng rng(33);
+  Tree truth = RandomCoalescentTree(MakeTaxa(6), rng, nullptr, 0.15);
+  SimulateOptions sim;
+  sim.num_sites = 4000;
+  Alignment a = SimulateAlignment(truth, sim, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  BootstrapOptions opt;
+  opt.replicates = 30;
+  auto supports = BootstrapSupport(nj, a, opt, rng).value();
+  // Rooted clusters that span NJ's arbitrary root placement can be
+  // unstable even under strong signal, so assert that the best clusters
+  // are rock solid and the average is clearly above chance.
+  double mean = 0;
+  double best = 0;
+  for (const ClusterSupport& s : supports) {
+    mean += s.support;
+    best = std::max(best, s.support);
+  }
+  mean /= static_cast<double>(supports.size());
+  EXPECT_GT(best, 0.9);
+  EXPECT_GT(mean, 0.4);
+}
+
+TEST(BootstrapTest, NoSignalGivesLowSupport) {
+  // One site carries almost no phylogenetic information; supports for a
+  // random reference tree's clusters should be far from 1.
+  Rng rng(35);
+  Tree reference = RandomCoalescentTree(MakeTaxa(8), rng, nullptr, 0.1);
+  SimulateOptions sim;
+  sim.num_sites = 4;
+  Alignment a = SimulateAlignment(reference, sim, rng);
+  BootstrapOptions opt;
+  opt.replicates = 40;
+  auto supports = BootstrapSupport(reference, a, opt, rng).value();
+  double mean = 0;
+  for (const ClusterSupport& s : supports) mean += s.support;
+  mean /= static_cast<double>(supports.size());
+  EXPECT_LT(mean, 0.9);
+}
+
+TEST(BootstrapTest, ErrorsOnBadInput) {
+  Rng rng(37);
+  Tree truth = RandomCoalescentTree(MakeTaxa(5), rng, nullptr, 0.1);
+  SimulateOptions sim;
+  sim.num_sites = 50;
+  Alignment a = SimulateAlignment(truth, sim, rng);
+  BootstrapOptions opt;
+  opt.replicates = 0;
+  EXPECT_FALSE(BootstrapSupport(truth, a, opt, rng).ok());
+  opt.replicates = 5;
+  EXPECT_FALSE(BootstrapSupport(truth, Alignment(), opt, rng).ok());
+  Tree other = RandomCoalescentTree(MakeTaxa(9), rng, truth.labels_ptr());
+  EXPECT_FALSE(BootstrapSupport(other, a, opt, rng).ok());
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/uniform_generator.h"
+#include "tree/builder.h"
+#include "tree/canonical.h"
+#include "tree/newick.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(CanonicalTest, SiblingOrderIrrelevant) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = ParseNewick("((A,B)x,(C,D)y)r;", labels).value();
+  Tree b = ParseNewick("((D,C)y,(B,A)x)r;", labels).value();
+  EXPECT_EQ(CanonicalForm(a), CanonicalForm(b));
+  EXPECT_TRUE(UnorderedIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, DifferentTopologiesDiffer) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = ParseNewick("((A,B),C);", labels).value();
+  Tree b = ParseNewick("((A,C),B);", labels).value();
+  EXPECT_NE(CanonicalForm(a), CanonicalForm(b));
+  EXPECT_FALSE(UnorderedIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, LabelsMatter) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = ParseNewick("(A,B);", labels).value();
+  Tree b = ParseNewick("(A,C);", labels).value();
+  EXPECT_FALSE(UnorderedIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, UnlabeledVsLabeledDiffer) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = ParseNewick("(A,B)r;", labels).value();
+  Tree b = ParseNewick("(A,B);", labels).value();
+  EXPECT_FALSE(UnorderedIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, SizeMismatchShortCircuits) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = ParseNewick("(A,B);", labels).value();
+  Tree b = ParseNewick("(A,B,C);", labels).value();
+  EXPECT_FALSE(UnorderedIsomorphic(a, b));
+}
+
+/// Rebuilds `tree` with every child list order reversed.
+Tree ReverseChildren(const Tree& tree) {
+  TreeBuilder b(tree.labels_ptr());
+  struct Frame {
+    NodeId orig;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{tree.root(), kNoNode}};
+  while (!stack.empty()) {
+    auto [orig, parent] = stack.back();
+    stack.pop_back();
+    NodeId copy = parent == kNoNode
+                      ? b.AddRoot()
+                      : b.AddChildWithLabelId(parent, tree.label(orig));
+    if (parent == kNoNode && tree.has_label(orig)) {
+      b.SetLabel(copy, tree.label_name(orig));
+    }
+    // Pushing in forward order pops (and therefore adds) in reverse.
+    for (NodeId c : tree.children(orig)) stack.push_back({c, copy});
+  }
+  return std::move(b).Build();
+}
+
+class CanonicalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CanonicalProperty, InvariantUnderChildReversal) {
+  Rng rng(GetParam());
+  UniformTreeOptions opts;
+  opts.tree_size = 80;
+  opts.alphabet_size = 6;  // heavy label collisions stress the encoding
+  Tree t = GenerateUniformTree(opts, rng);
+  Tree reversed = ReverseChildren(t);
+  EXPECT_TRUE(UnorderedIsomorphic(t, reversed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanonicalProperty,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cousins

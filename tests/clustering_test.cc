@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clustering.h"
+#include "test_util.h"
+#include "tree/canonical.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+/// Two well-separated families of trees: perturbations of ((A..F
+/// caterpillar)) vs. perturbations of a balanced shape over disjoint
+/// sibling pairs.
+std::vector<Tree> TwoFamilies(std::shared_ptr<LabelTable> labels) {
+  std::vector<Tree> trees;
+  // Family 1: caterpillars (indices 0..2).
+  trees.push_back(MustParse("(((((A,B),C),D),E),F);", labels));
+  trees.push_back(MustParse("(((((A,B),C),D),F),E);", labels));
+  trees.push_back(MustParse("(((((B,A),C),E),D),F);", labels));
+  // Family 2: balanced (indices 3..5).
+  trees.push_back(MustParse("((A,D),(B,E),(C,F));", labels));
+  trees.push_back(MustParse("((A,D),(B,E),(F,C));", labels));
+  trees.push_back(MustParse("((D,A),(E,B),(C,F));", labels));
+  return trees;
+}
+
+TEST(ClusteringTest, SeparatesObviousFamilies) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 2;
+  auto result = ClusterTrees(trees, opt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignment.size(), 6u);
+  // Trees 0-2 together, trees 3-5 together.
+  EXPECT_EQ(result->assignment[0], result->assignment[1]);
+  EXPECT_EQ(result->assignment[0], result->assignment[2]);
+  EXPECT_EQ(result->assignment[3], result->assignment[4]);
+  EXPECT_EQ(result->assignment[3], result->assignment[5]);
+  EXPECT_NE(result->assignment[0], result->assignment[3]);
+}
+
+TEST(ClusteringTest, MedoidsBelongToTheirClusters) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 2;
+  auto result = ClusterTrees(trees, opt);
+  ASSERT_TRUE(result.ok());
+  for (int32_t c = 0; c < opt.k; ++c) {
+    EXPECT_EQ(result->assignment[result->medoids[c]], c);
+  }
+}
+
+TEST(ClusteringTest, SingleClusterMinimizesTotalDistance) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 1;
+  auto result = ClusterTrees(trees, opt);
+  ASSERT_TRUE(result.ok());
+  // Verify optimality against every possible medoid by brute force.
+  double best = 1e18;
+  for (size_t m = 0; m < trees.size(); ++m) {
+    double total = 0;
+    for (const Tree& t : trees) {
+      total += CousinTreeDistance(trees[m], t, opt.abstraction, opt.mining);
+    }
+    best = std::min(best, total);
+  }
+  EXPECT_NEAR(result->total_distance, best, 1e-9);
+}
+
+TEST(ClusteringTest, KEqualsNGivesZeroDistance) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = static_cast<int32_t>(trees.size());
+  auto result = ClusterTrees(trees, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_distance, 0.0);
+}
+
+TEST(ClusteringTest, RejectsBadK) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(ClusterTrees(trees, opt).ok());
+  opt.k = 7;
+  EXPECT_FALSE(ClusterTrees(trees, opt).ok());
+}
+
+TEST(ClusteringTest, DeterministicGivenSeed) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 2;
+  auto a = ClusterTrees(trees, opt);
+  auto b = ClusterTrees(trees, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->medoids, b->medoids);
+}
+
+TEST(ClusteringTest, ClusterConsensusSummarizesEachFamily) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = TwoFamilies(labels);
+  ClusteringOptions opt;
+  opt.k = 2;
+  auto consensus = ClusterConsensus(trees, opt,
+                                    ConsensusMethod::kMajority);
+  ASSERT_TRUE(consensus.ok()) << consensus.status().ToString();
+  ASSERT_EQ(consensus->size(), 2u);
+  // One consensus contains the caterpillar's (A,B) cherry; the other
+  // contains (A,D). Identify by cluster content rather than order.
+  std::set<std::string> forms;
+  for (const Tree& t : *consensus) forms.insert(CanonicalForm(t));
+  EXPECT_EQ(forms.size(), 2u);
+}
+
+TEST(ClusteringTest, WorksOnRandomPhylogenies) {
+  Rng rng(71);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(10);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 12; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa, rng, labels));
+  }
+  for (int32_t k : {1, 2, 3, 4}) {
+    ClusteringOptions opt;
+    opt.k = k;
+    auto result = ClusterTrees(trees, opt);
+    ASSERT_TRUE(result.ok());
+    std::set<int32_t> used(result->assignment.begin(),
+                           result->assignment.end());
+    EXPECT_LE(static_cast<int32_t>(used.size()), k);
+    for (int32_t c : result->assignment) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, k);
+    }
+  }
+}
+
+TEST(ClusteringTest, MoreClustersNeverIncreaseTotalDistance) {
+  Rng rng(72);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(8);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 10; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa, rng, labels));
+  }
+  double prev = 1e18;
+  for (int32_t k : {1, 2, 4, 8}) {
+    ClusteringOptions opt;
+    opt.k = k;
+    opt.restarts = 6;
+    auto result = ClusterTrees(trees, opt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->total_distance, prev + 1e-9) << "k=" << k;
+    prev = result->total_distance;
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "test_util.h"
+#include "tree/canonical.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+Bitset MakeCluster(const TaxonIndex& taxa, const LabelTable& labels,
+                   const std::vector<std::string>& names) {
+  Bitset b(taxa.size());
+  for (const std::string& name : names) {
+    b.Set(taxa.index_of(labels.Find(name)));
+  }
+  return b;
+}
+
+TEST(TaxonIndexTest, FromTreeCollectsLeaves) {
+  Tree t = MustParse("((A,B)x,(C,D)y)r;");
+  Result<TaxonIndex> idx = TaxonIndex::FromTree(t);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->size(), 4);
+  EXPECT_GE(idx->index_of(t.labels().Find("A")), 0);
+  EXPECT_EQ(idx->index_of(t.labels().Find("x")), -1);  // internal label
+}
+
+TEST(TaxonIndexTest, RejectsDuplicateTaxa) {
+  EXPECT_FALSE(TaxonIndex::FromTree(MustParse("(A,A);")).ok());
+}
+
+TEST(TaxonIndexTest, RejectsUnlabeledLeaf) {
+  EXPECT_FALSE(TaxonIndex::FromTree(MustParse("(A,);")).ok());
+}
+
+TEST(TaxonIndexTest, FromTreesRequiresIdenticalTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> same = {MustParse("((A,B),C);", labels),
+                            MustParse("(A,(B,C));", labels)};
+  EXPECT_TRUE(TaxonIndex::FromTrees(same).ok());
+  std::vector<Tree> diff = {MustParse("((A,B),C);", labels),
+                            MustParse("(A,(B,D));", labels)};
+  EXPECT_FALSE(TaxonIndex::FromTrees(diff).ok());
+  std::vector<Tree> more = {MustParse("((A,B),C);", labels),
+                            MustParse("(A,B,C,D);", labels)};
+  EXPECT_FALSE(TaxonIndex::FromTrees(more).ok());
+  EXPECT_FALSE(TaxonIndex::FromTrees({}).ok());
+}
+
+TEST(TreeClustersTest, NontrivialClustersOnly) {
+  Tree t = MustParse("((A,B)x,(C,D)y)r;");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<Bitset> clusters = TreeClusters(t, taxa).value();
+  // {A,B} and {C,D}; the root cluster {A,B,C,D} is trivial.
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_NE(std::find(clusters.begin(), clusters.end(),
+                      MakeCluster(taxa, t.labels(), {"A", "B"})),
+            clusters.end());
+  EXPECT_NE(std::find(clusters.begin(), clusters.end(),
+                      MakeCluster(taxa, t.labels(), {"C", "D"})),
+            clusters.end());
+}
+
+TEST(TreeClustersTest, UnaryChainsDeduplicate) {
+  Tree t = MustParse("(((A,B)x)y,C)r;");  // x and y hold the same cluster
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<Bitset> clusters = TreeClusters(t, taxa).value();
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(TreeClustersTest, CaterpillarClusters) {
+  Tree t = MustParse("((((A,B)w,C)x,D)y,E)r;");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<Bitset> clusters = TreeClusters(t, taxa).value();
+  EXPECT_EQ(clusters.size(), 3u);  // {A,B}, {A,B,C}, {A,B,C,D}
+}
+
+TEST(BuildTreeFromClustersTest, RoundTripsTreeClusters) {
+  Rng rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    YulePhylogenyOptions gen;
+    gen.min_nodes = 20;
+    gen.max_nodes = 40;
+    gen.alphabet_size = 1000000;  // effectively unique taxa
+    Tree t = GenerateYulePhylogeny(gen, rng);
+    Result<TaxonIndex> taxa = TaxonIndex::FromTree(t);
+    if (!taxa.ok()) continue;  // rare duplicate taxon draw
+    std::vector<Bitset> clusters = TreeClusters(t, *taxa).value();
+    Tree rebuilt =
+        BuildTreeFromClusters(clusters, *taxa, t.labels_ptr()).value();
+    std::vector<Bitset> rebuilt_clusters =
+        TreeClusters(rebuilt, *taxa).value();
+    EXPECT_EQ(clusters, rebuilt_clusters) << "trial " << trial;
+  }
+}
+
+TEST(BuildTreeFromClustersTest, EmptyClusterSetGivesStar) {
+  Tree t = MustParse("((A,B)x,(C,D)y)r;");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  Tree star = BuildTreeFromClusters({}, taxa, t.labels_ptr()).value();
+  EXPECT_EQ(star.size(), 5);  // root + 4 leaves
+  EXPECT_EQ(star.children(star.root()).size(), 4u);
+}
+
+TEST(BuildTreeFromClustersTest, RejectsIncompatibleClusters) {
+  Tree t = MustParse("(A,B,C,D);");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<Bitset> bad = {
+      MakeCluster(taxa, t.labels(), {"A", "B"}),
+      MakeCluster(taxa, t.labels(), {"B", "C"}),
+  };
+  EXPECT_FALSE(BuildTreeFromClusters(bad, taxa, t.labels_ptr()).ok());
+}
+
+TEST(BuildTreeFromClustersTest, NestedChain) {
+  Tree t = MustParse("(A,B,C,D,E);");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<Bitset> chain = {
+      MakeCluster(taxa, t.labels(), {"A", "B"}),
+      MakeCluster(taxa, t.labels(), {"A", "B", "C"}),
+      MakeCluster(taxa, t.labels(), {"A", "B", "C", "D"}),
+  };
+  Tree built = BuildTreeFromClusters(chain, taxa, t.labels_ptr()).value();
+  auto expected = MustParse("((((A,B),C),D),E);", t.labels_ptr());
+  EXPECT_TRUE(UnorderedIsomorphic(built, expected));
+}
+
+TEST(BuildTreeFromClustersTest, IgnoresTrivialAndDuplicateClusters) {
+  Tree t = MustParse("(A,B,C);");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  Bitset ab = MakeCluster(taxa, t.labels(), {"A", "B"});
+  Bitset all = MakeCluster(taxa, t.labels(), {"A", "B", "C"});
+  Bitset single = MakeCluster(taxa, t.labels(), {"C"});
+  Tree built = BuildTreeFromClusters({ab, ab, all, single}, taxa,
+                                     t.labels_ptr())
+                   .value();
+  auto expected = MustParse("((A,B),C);", t.labels_ptr());
+  EXPECT_TRUE(UnorderedIsomorphic(built, expected));
+}
+
+}  // namespace
+}  // namespace cousins

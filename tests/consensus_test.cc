@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "phylo/consensus.h"
+#include "test_util.h"
+#include "tree/canonical.h"
+#include "tree/newick.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+std::vector<Tree> ParseForest(const std::string& text,
+                              std::shared_ptr<LabelTable> labels) {
+  return ParseNewickForest(text, std::move(labels)).value();
+}
+
+std::set<Bitset> ClustersOf(const Tree& t, const TaxonIndex& taxa) {
+  auto v = TreeClusters(t, taxa).value();
+  return {v.begin(), v.end()};
+}
+
+TEST(ConsensusTest, IdenticalInputsReproduceTheTree) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees =
+      ParseForest("((A,B),(C,D));((A,B),(C,D));((A,B),(C,D));", labels);
+  for (ConsensusMethod method : kAllConsensusMethods) {
+    Tree c = ConsensusTree(trees, method).value();
+    EXPECT_TRUE(UnorderedIsomorphic(
+        c, MustParse("((A,B),(C,D));", labels)))
+        << ConsensusMethodName(method);
+  }
+}
+
+TEST(ConsensusTest, StrictKeepsOnlyUnanimousClusters) {
+  auto labels = std::make_shared<LabelTable>();
+  // {A,B} in all three; {C,D} in two of three.
+  std::vector<Tree> trees = ParseForest(
+      "((A,B),(C,D),E);((A,B),(C,D),E);((A,B),C,D,E);", labels);
+  Tree c = ConsensusTree(trees, ConsensusMethod::kStrict).value();
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  std::set<Bitset> clusters = ClustersOf(c, taxa);
+  EXPECT_EQ(clusters.size(), 1u);
+}
+
+TEST(ConsensusTest, MajorityKeepsMajorityClusters) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = ParseForest(
+      "((A,B),(C,D),E);((A,B),(C,D),E);((A,B),C,D,E);", labels);
+  Tree c = ConsensusTree(trees, ConsensusMethod::kMajority).value();
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  std::set<Bitset> clusters = ClustersOf(c, taxa);
+  EXPECT_EQ(clusters.size(), 2u);  // {A,B} (3/3) and {C,D} (2/3)
+}
+
+TEST(ConsensusTest, MajorityThresholdIsStrict) {
+  auto labels = std::make_shared<LabelTable>();
+  // {A,B} in exactly half the trees: > 0.5 fails, so excluded.
+  std::vector<Tree> trees =
+      ParseForest("((A,B),C,D);((A,B),C,D);(A,B,(C,D));(A,B,(C,D));",
+                  labels);
+  Tree c = ConsensusTree(trees, ConsensusMethod::kMajority).value();
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  EXPECT_TRUE(ClustersOf(c, taxa).empty());
+}
+
+TEST(ConsensusTest, SemiStrictKeepsCompatibleClusters) {
+  auto labels = std::make_shared<LabelTable>();
+  // Tree 1 resolves {A,B}; tree 2 is a star. {A,B} is compatible with
+  // both, so semi-strict keeps it while strict does not.
+  std::vector<Tree> trees = ParseForest("((A,B),C,D);(A,B,C,D);", labels);
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  Tree semi = ConsensusTree(trees, ConsensusMethod::kSemiStrict).value();
+  EXPECT_EQ(ClustersOf(semi, taxa).size(), 1u);
+  Tree strict = ConsensusTree(trees, ConsensusMethod::kStrict).value();
+  EXPECT_TRUE(ClustersOf(strict, taxa).empty());
+}
+
+TEST(ConsensusTest, SemiStrictDropsConflictingClusters) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees =
+      ParseForest("((A,B),C,D);((B,C),A,D);", labels);
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  Tree semi = ConsensusTree(trees, ConsensusMethod::kSemiStrict).value();
+  EXPECT_TRUE(ClustersOf(semi, taxa).empty());
+}
+
+TEST(ConsensusTest, NelsonPicksHeaviestClique) {
+  auto labels = std::make_shared<LabelTable>();
+  // {A,B} replicated 2x and {A,B,C} replicated 2x are compatible (total
+  // 4); {C,D} replicated 2x conflicts with {A,B,C} (shares C, not
+  // nested) and alone weighs 2.
+  std::vector<Tree> trees = ParseForest(
+      "(((A,B)x,C)y,D,E);"
+      "(((A,B)x,C)y,D,E);"
+      "((A,B)x,(C,D)z,E);"
+      "(A,B,(C,D)z,E);",
+      labels);
+  // Counts: {A,B}: 3, {A,B,C}: 2, {C,D}: 2.
+  // Cliques: {AB, ABC} = 5 vs {AB, CD} = 5 vs ... wait {A,B} and {C,D}
+  // are disjoint hence compatible: {AB(3), CD(2)} = 5, {AB(3), ABC(2)}
+  // = 5 — tie. Make ABC win by adding one more supporting tree.
+  trees.push_back(MustParse("(((A,B)x,C)y,D,E);", labels));
+  // Now {A,B}: 4, {A,B,C}: 3, {C,D}: 2 — best clique {AB, ABC} = 7.
+  Tree c = ConsensusTree(trees, ConsensusMethod::kNelson).value();
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  std::set<Bitset> clusters = ClustersOf(c, taxa);
+  EXPECT_EQ(clusters.size(), 2u);
+  Bitset ab(taxa.size());
+  ab.Set(taxa.index_of(labels->Find("A")));
+  ab.Set(taxa.index_of(labels->Find("B")));
+  EXPECT_TRUE(clusters.contains(ab));
+}
+
+TEST(ConsensusTest, AdamsPreservesCommonNesting) {
+  auto labels = std::make_shared<LabelTable>();
+  // Classic Adams example: both trees agree A,B are "together deep down"
+  // relative to D even though the exact clusters differ.
+  std::vector<Tree> trees =
+      ParseForest("(((A,B),C),D);(((A,C),B),D);", labels);
+  Tree adams = ConsensusTree(trees, ConsensusMethod::kAdams).value();
+  // Root partition product: tree1 root blocks {ABC|D}, tree2 {ACB|D} =>
+  // blocks {A,B,C} and {D}. Within {A,B,C}: tree1 LCA splits {AB|C},
+  // tree2 splits {AC|B}; product = {A}{B}{C} (a star).
+  Tree expected = MustParse("((A,B,C),D);", labels);
+  EXPECT_TRUE(UnorderedIsomorphic(adams, expected))
+      << ToNewick(adams);
+}
+
+TEST(ConsensusTest, AdamsOnIdenticalTreesKeepsShape) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees =
+      ParseForest("(((A,B),C),D);(((A,B),C),D);", labels);
+  Tree adams = ConsensusTree(trees, ConsensusMethod::kAdams).value();
+  EXPECT_TRUE(
+      UnorderedIsomorphic(adams, MustParse("(((A,B),C),D);", labels)));
+}
+
+TEST(ConsensusTest, SingleTreeConsensusIsIdentityForClusterMethods) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> one = {MustParse("(((A,B),C),(D,E));", labels)};
+  for (ConsensusMethod method : kAllConsensusMethods) {
+    if (method == ConsensusMethod::kNelson) continue;  // needs count >= 2
+    Tree c = ConsensusTree(one, method).value();
+    EXPECT_TRUE(UnorderedIsomorphic(c, one[0]))
+        << ConsensusMethodName(method);
+  }
+}
+
+TEST(ConsensusTest, ErrorsOnMismatchedTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees =
+      ParseForest("((A,B),C);((A,B),D);", labels);
+  for (ConsensusMethod method : kAllConsensusMethods) {
+    EXPECT_FALSE(ConsensusTree(trees, method).ok());
+  }
+}
+
+TEST(ConsensusTest, MethodNames) {
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kStrict), "strict");
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kMajority), "majority");
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kSemiStrict), "semi");
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kAdams), "Adams");
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kNelson), "Nelson");
+}
+
+// Structural properties on random parsimonious-like tree sets.
+class ConsensusProperty : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<Tree> RandomTreeSet(uint64_t seed, int32_t num_taxa,
+                                int32_t num_trees,
+                                std::shared_ptr<LabelTable> labels) {
+  Rng rng(seed);
+  std::vector<std::string> taxa = MakeTaxa(num_taxa);
+  std::vector<Tree> trees;
+  for (int32_t i = 0; i < num_trees; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa, rng, labels));
+  }
+  return trees;
+}
+
+TEST_P(ConsensusProperty, StrictClustersAreSubsetOfMajorityAndSemi) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomTreeSet(GetParam(), 12, 7, labels);
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  std::set<Bitset> strict = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kStrict).value(), taxa);
+  std::set<Bitset> majority = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kMajority).value(), taxa);
+  std::set<Bitset> semi = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kSemiStrict).value(), taxa);
+  for (const Bitset& c : strict) {
+    EXPECT_TRUE(majority.contains(c));
+    EXPECT_TRUE(semi.contains(c));
+  }
+}
+
+TEST_P(ConsensusProperty, MajorityClustersAppearInMostTrees) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomTreeSet(GetParam() + 50, 10, 5, labels);
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  std::set<Bitset> majority = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kMajority).value(), taxa);
+  for (const Bitset& c : majority) {
+    int count = 0;
+    for (const Tree& t : trees) count += ClustersOf(t, taxa).contains(c);
+    EXPECT_GT(count * 2, static_cast<int>(trees.size()));
+  }
+}
+
+TEST_P(ConsensusProperty, AllMethodsPreserveTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomTreeSet(GetParam() + 99, 14, 6, labels);
+  for (ConsensusMethod method : kAllConsensusMethods) {
+    Tree c = ConsensusTree(trees, method).value();
+    TaxonIndex original = TaxonIndex::FromTrees(trees).value();
+    TaxonIndex consensus_taxa = TaxonIndex::FromTree(c).value();
+    EXPECT_EQ(consensus_taxa.size(), original.size())
+        << ConsensusMethodName(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsensusProperty,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace cousins

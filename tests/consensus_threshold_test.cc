@@ -1,0 +1,111 @@
+// Majority-rule threshold sweeps and Nelson determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "phylo/consensus.h"
+#include "tree/canonical.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::set<Bitset> ClustersOf(const Tree& t, const TaxonIndex& taxa) {
+  auto v = TreeClusters(t, taxa).value();
+  return {v.begin(), v.end()};
+}
+
+class MajorityThreshold : public ::testing::TestWithParam<double> {};
+
+TEST_P(MajorityThreshold, HigherThresholdsKeepFewerClusters) {
+  Rng rng(GetParam() * 1000 + 3);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa_names = MakeTaxa(10);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 9; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa_names, rng, labels));
+  }
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+
+  ConsensusOptions low;
+  low.majority_threshold = GetParam();
+  ConsensusOptions high;
+  high.majority_threshold = std::min(GetParam() + 0.25, 0.99);
+
+  std::set<Bitset> low_clusters = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kMajority, low).value(), taxa);
+  std::set<Bitset> high_clusters = ClustersOf(
+      ConsensusTree(trees, ConsensusMethod::kMajority, high).value(),
+      taxa);
+  for (const Bitset& c : high_clusters) {
+    EXPECT_TRUE(low_clusters.contains(c));
+  }
+}
+
+TEST_P(MajorityThreshold, ThresholdSemanticsExact) {
+  Rng rng(GetParam() * 977 + 11);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa_names = MakeTaxa(8);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 7; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa_names, rng, labels));
+  }
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  ConsensusOptions opt;
+  opt.majority_threshold = GetParam();
+  Tree consensus =
+      ConsensusTree(trees, ConsensusMethod::kMajority, opt).value();
+  for (const Bitset& c : ClustersOf(consensus, taxa)) {
+    int count = 0;
+    for (const Tree& t : trees) count += ClustersOf(t, taxa).contains(c);
+    EXPECT_GT(count, GetParam() * trees.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MajorityThreshold,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.9));
+
+TEST(NelsonDeterminismTest, RepeatedRunsIdentical) {
+  Rng rng(404);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa_names = MakeTaxa(10);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 8; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa_names, rng, labels));
+  }
+  Tree first = ConsensusTree(trees, ConsensusMethod::kNelson).value();
+  for (int run = 0; run < 3; ++run) {
+    Tree again = ConsensusTree(trees, ConsensusMethod::kNelson).value();
+    EXPECT_TRUE(UnorderedIsomorphic(first, again));
+  }
+}
+
+TEST(NelsonDeterminismTest, CliqueBeatsMajorityWeightWise) {
+  // Nelson maximizes total replication over compatible clusters, so its
+  // total replication is >= majority's (majority clusters are mutually
+  // compatible and all replicated when #trees >= 3).
+  Rng rng(505);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa_names = MakeTaxa(9);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 7; ++i) {
+    trees.push_back(RandomCoalescentTree(taxa_names, rng, labels));
+  }
+  TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+  auto weight = [&](const Tree& consensus) {
+    int total = 0;
+    for (const Bitset& c : ClustersOf(consensus, taxa)) {
+      for (const Tree& t : trees) total += ClustersOf(t, taxa).contains(c);
+    }
+    return total;
+  };
+  Tree nelson = ConsensusTree(trees, ConsensusMethod::kNelson).value();
+  Tree majority = ConsensusTree(trees, ConsensusMethod::kMajority).value();
+  EXPECT_GE(weight(nelson), weight(majority));
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/cousin_distance.h"
+#include "test_util.h"
+#include "tree/lca.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::FamilyTree;
+using testing_util::FindByLabel;
+
+TEST(HeightsToDistanceTest, PaperFig2Definition) {
+  // Equal heights h: d = h - 1.
+  EXPECT_EQ(TwiceDistanceFromHeights(1, 1), 0);  // siblings
+  EXPECT_EQ(TwiceDistanceFromHeights(2, 2), 2);  // first cousins
+  EXPECT_EQ(TwiceDistanceFromHeights(3, 3), 4);  // second cousins
+  EXPECT_EQ(TwiceDistanceFromHeights(4, 4), 6);
+  // Gap of one generation: d = min - 0.5.
+  EXPECT_EQ(TwiceDistanceFromHeights(1, 2), 1);  // aunt-niece (0.5)
+  EXPECT_EQ(TwiceDistanceFromHeights(2, 1), 1);  // symmetric
+  EXPECT_EQ(TwiceDistanceFromHeights(2, 3), 3);  // once removed (1.5)
+  EXPECT_EQ(TwiceDistanceFromHeights(3, 4), 5);  // 2.5
+  // Gap >= 2 is undefined (the paper's cutoff).
+  EXPECT_EQ(TwiceDistanceFromHeights(1, 3), kUndefinedDistance);
+  EXPECT_EQ(TwiceDistanceFromHeights(2, 5), kUndefinedDistance);
+  // Heights below 1 mean ancestor-related; undefined.
+  EXPECT_EQ(TwiceDistanceFromHeights(0, 1), kUndefinedDistance);
+  EXPECT_EQ(TwiceDistanceFromHeights(0, 0), kUndefinedDistance);
+}
+
+TEST(LevelArithmeticTest, Eq1And2MatchPaper) {
+  // d = 0: both nodes are 1 below the LCA.
+  EXPECT_EQ(MyLevel(0), 1);
+  EXPECT_EQ(MyCousinLevel(0), 1);
+  // d = 0.5 (aunt-niece): deeper node 2 below, shallower 1 below.
+  EXPECT_EQ(MyLevel(1), 2);
+  EXPECT_EQ(MyCousinLevel(1), 1);
+  // d = 1 (first cousins): both 2 below.
+  EXPECT_EQ(MyLevel(2), 2);
+  EXPECT_EQ(MyCousinLevel(2), 2);
+  // d = 1.5: 3 and 2.
+  EXPECT_EQ(MyLevel(3), 3);
+  EXPECT_EQ(MyCousinLevel(3), 2);
+  // d = 2: 3 and 3.
+  EXPECT_EQ(MyLevel(4), 3);
+  EXPECT_EQ(MyCousinLevel(4), 3);
+  // d = 2.5: 4 and 3.
+  EXPECT_EQ(MyLevel(5), 4);
+  EXPECT_EQ(MyCousinLevel(5), 3);
+}
+
+TEST(LevelArithmeticTest, LevelsInvertDistance) {
+  for (int twice_d = 0; twice_d <= 20; ++twice_d) {
+    EXPECT_EQ(TwiceDistanceFromHeights(MyLevel(twice_d),
+                                       MyCousinLevel(twice_d)),
+              twice_d);
+  }
+}
+
+// The worked example of §2: c against its relatives in T1.
+TEST(CousinDistanceTest, PaperSection2WorkedExample) {
+  Tree t = FamilyTree();
+  LcaIndex lca(t);
+  const NodeId c = FindByLabel(t, "c");
+  auto dist = [&](const std::string& other) {
+    return TwiceCousinDistance(t, lca, c, FindByLabel(t, other));
+  };
+  EXPECT_EQ(dist("s"), 0);     // siblings: 0
+  EXPECT_EQ(dist("aunt"), 1);  // aunt-niece: 0.5
+  EXPECT_EQ(dist("e"), 2);     // first cousins: 1
+  EXPECT_EQ(dist("g"), 3);     // first cousin once removed: 1.5
+  EXPECT_EQ(dist("h"), 4);     // second cousins: 2
+  EXPECT_EQ(dist("f"), 5);     // second cousins once removed: 2.5
+}
+
+TEST(CousinDistanceTest, SymmetricInArguments) {
+  Tree t = FamilyTree();
+  LcaIndex lca(t);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    for (NodeId v = 0; v < t.size(); ++v) {
+      EXPECT_EQ(TwiceCousinDistance(t, lca, u, v),
+                TwiceCousinDistance(t, lca, v, u));
+    }
+  }
+}
+
+TEST(CousinDistanceTest, ParentChildAndAncestorsUndefined) {
+  Tree t = FamilyTree();
+  LcaIndex lca(t);
+  const NodeId c = FindByLabel(t, "c");
+  const NodeId p = FindByLabel(t, "p");
+  const NodeId gp = FindByLabel(t, "gp");
+  const NodeId gg = FindByLabel(t, "gg");
+  EXPECT_EQ(TwiceCousinDistance(t, lca, c, p), kUndefinedDistance);
+  EXPECT_EQ(TwiceCousinDistance(t, lca, c, gp), kUndefinedDistance);
+  EXPECT_EQ(TwiceCousinDistance(t, lca, c, gg), kUndefinedDistance);
+}
+
+TEST(CousinDistanceTest, SelfUndefined) {
+  Tree t = FamilyTree();
+  LcaIndex lca(t);
+  const NodeId c = FindByLabel(t, "c");
+  EXPECT_EQ(TwiceCousinDistance(t, lca, c, c), kUndefinedDistance);
+}
+
+TEST(CousinDistanceTest, UnlabeledNodesUndefined) {
+  Tree t = testing_util::MustParse("((c,s),(e));");  // unlabeled internals
+  LcaIndex lca(t);
+  const NodeId c = FindByLabel(t, "c");
+  // c's uncle (the unlabeled internal node above e) has no label.
+  const NodeId uncle = t.parent(FindByLabel(t, "e"));
+  EXPECT_EQ(TwiceCousinDistance(t, lca, c, uncle), kUndefinedDistance);
+}
+
+TEST(CousinDistanceTest, GenerationGapTwoUndefined) {
+  // x at height 1, y at height 3 under the root.
+  Tree t = testing_util::MustParse("(x,(((y)a)b))r;");
+  LcaIndex lca(t);
+  EXPECT_EQ(TwiceCousinDistance(t, lca, FindByLabel(t, "x"),
+                                FindByLabel(t, "y")),
+            kUndefinedDistance);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "tree/canonical.h"
+#include "tree/edit.h"
+#include "tree/newick.h"
+
+namespace cousins {
+namespace {
+
+NodeId Find(const Tree& t, const std::string& name) {
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.has_label(v) && t.label_name(v) == name) return v;
+  }
+  return kNoNode;
+}
+
+TEST(SwapSubtreesTest, SwapsLeaves) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = ParseNewick("((A,B)x,(C,D)y)r;", labels).value();
+  Result<Tree> swapped = SwapSubtrees(t, Find(t, "A"), Find(t, "C"));
+  ASSERT_TRUE(swapped.ok());
+  Tree expected = ParseNewick("((C,B)x,(A,D)y)r;", labels).value();
+  EXPECT_TRUE(UnorderedIsomorphic(*swapped, expected));
+}
+
+TEST(SwapSubtreesTest, SwapsInternalSubtrees) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = ParseNewick("(((A,B)ab,C)l,(D,(E,F)ef)m)r;", labels).value();
+  Result<Tree> swapped = SwapSubtrees(t, Find(t, "ab"), Find(t, "ef"));
+  ASSERT_TRUE(swapped.ok());
+  Tree expected = ParseNewick("(((E,F)ef,C)l,(D,(A,B)ab)m)r;", labels).value();
+  EXPECT_TRUE(UnorderedIsomorphic(*swapped, expected));
+}
+
+TEST(SwapSubtreesTest, PreservesSizeAndLabels) {
+  Tree t = ParseNewick("((A,B)x,(C,(D,E)de)y)r;").value();
+  Result<Tree> swapped = SwapSubtrees(t, Find(t, "B"), Find(t, "de"));
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->size(), t.size());
+  EXPECT_EQ(swapped->leaf_count(), t.leaf_count());
+  // B is now under y's old position; D,E under x.
+  Tree expected = ParseNewick(
+      "((A,(D,E)de)x,(C,B)y)r;", t.labels_ptr()).value();
+  EXPECT_TRUE(UnorderedIsomorphic(*swapped, expected));
+}
+
+TEST(SwapSubtreesTest, RejectsAncestorPairs) {
+  Tree t = ParseNewick("((A,B)x,C)r;").value();
+  EXPECT_FALSE(SwapSubtrees(t, Find(t, "x"), Find(t, "A")).ok());
+  EXPECT_FALSE(SwapSubtrees(t, Find(t, "A"), Find(t, "x")).ok());
+}
+
+TEST(SwapSubtreesTest, RejectsRootAndSelf) {
+  Tree t = ParseNewick("((A,B)x,C)r;").value();
+  EXPECT_FALSE(SwapSubtrees(t, 0, Find(t, "A")).ok());
+  EXPECT_FALSE(SwapSubtrees(t, Find(t, "A"), Find(t, "A")).ok());
+  EXPECT_FALSE(SwapSubtrees(t, -1, Find(t, "A")).ok());
+}
+
+TEST(SwapSubtreesTest, DoubleSwapIsIdentity) {
+  Tree t = ParseNewick("((A,B)x,(C,D)y)r;").value();
+  Tree once = SwapSubtrees(t, Find(t, "A"), Find(t, "D")).value();
+  Tree twice =
+      SwapSubtrees(once, Find(once, "A"), Find(once, "D")).value();
+  EXPECT_TRUE(UnorderedIsomorphic(t, twice));
+}
+
+TEST(SwapSubtreesTest, BranchLengthsTravelWithSubtrees) {
+  Tree t = ParseNewick("((A:1,B:2)x:3,(C:4,D:5)y:6)r;").value();
+  Tree swapped = SwapSubtrees(t, Find(t, "A"), Find(t, "C")).value();
+  EXPECT_DOUBLE_EQ(swapped.branch_length(Find(swapped, "A")), 1.0);
+  EXPECT_DOUBLE_EQ(swapped.branch_length(Find(swapped, "C")), 4.0);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "seq/fitch.h"
+#include "seq/jukes_cantor.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+Alignment Make(const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::string fasta;
+  for (const auto& [name, seq] : rows) {
+    fasta += ">" + name + "\n" + seq + "\n";
+  }
+  return ParseFasta(fasta).value();
+}
+
+TEST(FitchTest, HandComputedFourTaxa) {
+  // Site pattern A A G G on ((A1,A2),(G1,G2)) needs 1 change;
+  // on ((A1,G1),(A2,G2)) it needs 2.
+  Alignment a = Make({{"w", "A"}, {"x", "A"}, {"y", "G"}, {"z", "G"}});
+  Tree grouped = MustParse("((w,x),(y,z));");
+  Tree split = MustParse("((w,y),(x,z));");
+  EXPECT_EQ(FitchScore(grouped, a).value(), 1);
+  EXPECT_EQ(FitchScore(split, a).value(), 2);
+}
+
+TEST(FitchTest, ConstantSitesCostNothing) {
+  Alignment a =
+      Make({{"w", "AAAA"}, {"x", "AAAA"}, {"y", "AAAA"}, {"z", "AAAA"}});
+  Tree t = MustParse("((w,x),(y,z));");
+  EXPECT_EQ(FitchScore(t, a).value(), 0);
+}
+
+TEST(FitchTest, SitesAreAdditive) {
+  Alignment a = Make({{"w", "AC"}, {"x", "AG"}, {"y", "GC"}, {"z", "GG"}});
+  Tree t = MustParse("((w,x),(y,z));");
+  Alignment site1 = Make({{"w", "A"}, {"x", "A"}, {"y", "G"}, {"z", "G"}});
+  Alignment site2 = Make({{"w", "C"}, {"x", "G"}, {"y", "C"}, {"z", "G"}});
+  EXPECT_EQ(FitchScore(t, a).value(),
+            FitchScore(t, site1).value() + FitchScore(t, site2).value());
+}
+
+TEST(FitchTest, ScoreBoundsPerSite) {
+  // Any site costs at most (#distinct bases present - 1) and at least
+  // (#distinct - 1 >= 1 when not constant ... >= 1 if non-constant).
+  Alignment a = Make({{"w", "A"}, {"x", "C"}, {"y", "G"}, {"z", "T"}});
+  Tree t = MustParse("((w,x),(y,z));");
+  EXPECT_EQ(FitchScore(t, a).value(), 3);
+}
+
+TEST(FitchTest, TrueTopologyScoresBest) {
+  // Simulate on a clock-like model tree; its Fitch score should not
+  // exceed a random tree's on the same data (overwhelmingly lower).
+  Rng rng(7);
+  std::vector<std::string> taxa = MakeTaxa(12);
+  Tree truth = RandomCoalescentTree(taxa, rng, nullptr, 0.05);
+  SimulateOptions opt;
+  opt.num_sites = 300;
+  Alignment a = SimulateAlignment(truth, opt, rng);
+  const int64_t true_score = FitchScore(truth, a).value();
+  int wins = 0;
+  for (int i = 0; i < 10; ++i) {
+    Tree random_tree = RandomCoalescentTree(taxa, rng, truth.labels_ptr());
+    wins += FitchScore(random_tree, a).value() >= true_score;
+  }
+  EXPECT_GE(wins, 9);
+}
+
+TEST(FitchTest, ErrorsOnMissingTaxon) {
+  Alignment a = Make({{"w", "A"}, {"x", "A"}});
+  Tree t = MustParse("((w,x),(y,z));");
+  Result<int64_t> r = FitchScore(t, a);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FitchTest, ErrorsOnMultifurcation) {
+  Alignment a = Make({{"w", "A"}, {"x", "A"}, {"y", "A"}});
+  Tree t = MustParse("(w,x,y);");
+  EXPECT_FALSE(FitchScore(t, a).ok());
+}
+
+TEST(FitchTest, ErrorsOnUnlabeledLeafAndEmptyInputs) {
+  Alignment a = Make({{"w", "A"}, {"x", "A"}});
+  EXPECT_FALSE(FitchScore(MustParse("(w,);"), a).ok());
+  EXPECT_FALSE(FitchScore(Tree(), a).ok());
+  EXPECT_FALSE(FitchScore(MustParse("(w,x);"), Alignment()).ok());
+}
+
+}  // namespace
+}  // namespace cousins

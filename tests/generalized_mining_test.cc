@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/generalized_mining.h"
+#include "core/single_tree_mining.h"
+#include "gen/uniform_generator.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::FamilyTree;
+using testing_util::MustParse;
+
+int64_t Occ(const Tree& t, const std::vector<GeneralizedPairItem>& items,
+            const std::string& a, const std::string& b, int32_t horizontal,
+            int32_t vertical) {
+  LabelId la = t.labels().Find(a);
+  LabelId lb = t.labels().Find(b);
+  if (la > lb) std::swap(la, lb);
+  for (const GeneralizedPairItem& item : items) {
+    if (item.label1 == la && item.label2 == lb &&
+        item.horizontal == horizontal && item.vertical == vertical) {
+      return item.occurrences;
+    }
+  }
+  return 0;
+}
+
+TEST(GeneralizedMiningTest, FamilyTreeKinship) {
+  Tree t = FamilyTree();
+  GeneralizedMiningOptions opt;
+  opt.max_horizontal = 3;
+  opt.max_vertical = 3;
+  auto items = MineGeneralized(t, opt);
+  EXPECT_EQ(Occ(t, items, "c", "s", 0, 0), 1);     // siblings
+  EXPECT_EQ(Occ(t, items, "aunt", "c", 0, 1), 1);  // aunt-niece
+  EXPECT_EQ(Occ(t, items, "c", "e", 1, 0), 1);     // first cousins
+  EXPECT_EQ(Occ(t, items, "c", "g", 1, 1), 1);     // once removed
+  EXPECT_EQ(Occ(t, items, "c", "h", 2, 0), 1);     // second cousins
+  EXPECT_EQ(Occ(t, items, "c", "f", 2, 1), 1);
+}
+
+TEST(GeneralizedMiningTest, LiftsTheGenerationCutoff) {
+  // x at height 1, y at height 3: vertical gap 2 — undefined for the
+  // Fig. 2 distance, but mined here as (h=0, v=2).
+  Tree t = MustParse("(x,((y)a)b)r;");
+  GeneralizedMiningOptions opt;
+  opt.max_horizontal = 2;
+  opt.max_vertical = 2;
+  auto items = MineGeneralized(t, opt);
+  EXPECT_EQ(Occ(t, items, "x", "y", 0, 2), 1);
+  // The classic miner must not see this pair.
+  MiningOptions classic;
+  classic.twice_maxdist = 10;
+  for (const CousinPairItem& item : MineSingleTree(t, classic)) {
+    EXPECT_FALSE(item.label1 == t.labels().Find("x") &&
+                 item.label2 == t.labels().Find("y"));
+  }
+}
+
+TEST(GeneralizedMiningTest, VerticalCapZeroKeepsEqualHeightsOnly) {
+  Tree t = FamilyTree();
+  GeneralizedMiningOptions opt;
+  opt.max_horizontal = 3;
+  opt.max_vertical = 0;
+  for (const GeneralizedPairItem& item : MineGeneralized(t, opt)) {
+    EXPECT_EQ(item.vertical, 0);
+  }
+}
+
+TEST(GeneralizedMiningTest, MinOccurFilters) {
+  Tree t = MustParse("((a,a)x,(a,a)y)r;");
+  GeneralizedMiningOptions opt;
+  opt.max_horizontal = 1;
+  opt.max_vertical = 1;
+  opt.min_occur = 3;
+  auto items = MineGeneralized(t, opt);
+  for (const GeneralizedPairItem& item : items) {
+    EXPECT_GE(item.occurrences, 3);
+  }
+  // (a, a) cross pairs at (h=1, v=0): 2*2 = 4 >= 3 kept.
+  EXPECT_EQ(Occ(t, items, "a", "a", 1, 0), 4);
+  // sibling pairs within each: occurrences 2 < 3, dropped.
+  EXPECT_EQ(Occ(t, items, "a", "a", 0, 0), 0);
+}
+
+TEST(GeneralizedMiningTest, FormatItem) {
+  LabelTable labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  GeneralizedPairItem item{labels.Find("a"), labels.Find("b"), 1, 2, 7};
+  EXPECT_EQ(FormatGeneralizedItem(labels, item), "(a, b, h=1, v=2, 7)");
+}
+
+// Property: with vertical cap 1, generalized items map exactly onto the
+// classic cousin-pair items via twice_d = 2·horizontal + vertical.
+class GeneralizedVsClassic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralizedVsClassic, CapOneEquivalence) {
+  Rng rng(GetParam());
+  UniformTreeOptions gen;
+  gen.tree_size = 80;
+  gen.alphabet_size = 8;
+  Tree t = GenerateUniformTree(gen, rng);
+
+  GeneralizedMiningOptions gopt;
+  gopt.max_horizontal = 2;
+  gopt.max_vertical = 1;
+  std::vector<CousinPairItem> mapped;
+  for (const GeneralizedPairItem& item : MineGeneralized(t, gopt)) {
+    mapped.push_back(CousinPairItem{item.label1, item.label2,
+                                    2 * item.horizontal + item.vertical,
+                                    item.occurrences});
+  }
+  CanonicalizeItems(&mapped);
+
+  MiningOptions copt;
+  copt.twice_maxdist = 5;  // h<=2, v<=1 <=> d <= 2.5
+  EXPECT_EQ(mapped, MineSingleTree(t, copt));
+}
+
+TEST_P(GeneralizedVsClassic, FastMatchesNaive) {
+  Rng rng(GetParam() + 100);
+  UniformTreeOptions gen;
+  gen.tree_size = 70;
+  gen.alphabet_size = 6;
+  gen.labeled_fraction = 0.7;
+  Tree t = GenerateUniformTree(gen, rng);
+  for (int32_t maxh : {0, 1, 2}) {
+    for (int32_t maxv : {0, 1, 2, 3}) {
+      GeneralizedMiningOptions opt;
+      opt.max_horizontal = maxh;
+      opt.max_vertical = maxv;
+      EXPECT_EQ(MineGeneralized(t, opt), MineGeneralizedNaive(t, opt))
+          << "h=" << maxh << " v=" << maxv;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizedVsClassic,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace cousins

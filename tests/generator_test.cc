@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/fanout_generator.h"
+#include "gen/uniform_generator.h"
+#include "gen/yule_generator.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(FanoutGeneratorTest, ExactSizeAndFanout) {
+  Rng rng(1);
+  FanoutTreeOptions opts;
+  opts.tree_size = 31;  // complete 5-ary would be 1+5+25
+  opts.fanout = 5;
+  Tree t = GenerateFanoutTree(opts, rng);
+  EXPECT_EQ(t.size(), 31);
+  // Every internal node except possibly the last-filled has <= fanout
+  // children; no node exceeds fanout.
+  for (NodeId v = 0; v < t.size(); ++v) {
+    EXPECT_LE(t.children(v).size(), 5u);
+  }
+}
+
+TEST(FanoutGeneratorTest, SingleNode) {
+  Rng rng(2);
+  FanoutTreeOptions opts;
+  opts.tree_size = 1;
+  Tree t = GenerateFanoutTree(opts, rng);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.is_leaf(0));
+}
+
+TEST(FanoutGeneratorTest, LabelsComeFromAlphabet) {
+  Rng rng(3);
+  FanoutTreeOptions opts;
+  opts.tree_size = 200;
+  opts.alphabet_size = 7;
+  Tree t = GenerateFanoutTree(opts, rng);
+  std::set<std::string> seen;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    ASSERT_TRUE(t.has_label(v));
+    seen.insert(t.label_name(v));
+  }
+  EXPECT_LE(seen.size(), 7u);
+  EXPECT_GE(seen.size(), 5u);  // overwhelmingly likely
+  for (const std::string& name : seen) {
+    EXPECT_EQ(name[0], 'L');
+  }
+}
+
+TEST(FanoutGeneratorTest, LabeledFractionZero) {
+  Rng rng(4);
+  FanoutTreeOptions opts;
+  opts.tree_size = 50;
+  opts.labeled_fraction = 0.0;
+  Tree t = GenerateFanoutTree(opts, rng);
+  for (NodeId v = 0; v < t.size(); ++v) EXPECT_FALSE(t.has_label(v));
+}
+
+TEST(FanoutGeneratorTest, BushyVsDeep) {
+  Rng rng(5);
+  FanoutTreeOptions opts;
+  opts.tree_size = 200;
+  opts.fanout = 2;
+  const int32_t deep_height = GenerateFanoutTree(opts, rng).height();
+  opts.fanout = 50;
+  const int32_t bushy_height = GenerateFanoutTree(opts, rng).height();
+  EXPECT_GT(deep_height, bushy_height);
+}
+
+TEST(FanoutGeneratorTest, DeterministicGivenSeed) {
+  FanoutTreeOptions opts;
+  Rng a(42);
+  Rng b(42);
+  Tree ta = GenerateFanoutTree(opts, a);
+  Tree tb = GenerateFanoutTree(opts, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (NodeId v = 0; v < ta.size(); ++v) {
+    EXPECT_EQ(ta.parent(v), tb.parent(v));
+  }
+}
+
+TEST(UniformGeneratorTest, CorrectSizeAndValidity) {
+  Rng rng(6);
+  for (int32_t n : {1, 2, 3, 10, 100}) {
+    UniformTreeOptions opts;
+    opts.tree_size = n;
+    Tree t = GenerateUniformTree(opts, rng);
+    EXPECT_EQ(t.size(), n);
+    for (NodeId v = 1; v < t.size(); ++v) EXPECT_LT(t.parent(v), v);
+  }
+}
+
+TEST(UniformGeneratorTest, ShapesVary) {
+  Rng rng(7);
+  UniformTreeOptions opts;
+  opts.tree_size = 50;
+  std::set<int32_t> heights;
+  for (int i = 0; i < 50; ++i) {
+    heights.insert(GenerateUniformTree(opts, rng).height());
+  }
+  EXPECT_GT(heights.size(), 5u);  // samples many different shapes
+}
+
+TEST(YuleGeneratorTest, NodeCountWithinBounds) {
+  Rng rng(8);
+  YulePhylogenyOptions opts;
+  for (int i = 0; i < 30; ++i) {
+    Tree t = GenerateYulePhylogeny(opts, rng);
+    EXPECT_GE(t.size(), opts.min_nodes);
+    // A final multifurcation may overshoot by at most max_children - 1.
+    EXPECT_LE(t.size(), opts.max_nodes + opts.max_children - 1);
+  }
+}
+
+TEST(YuleGeneratorTest, InternalUnlabeledLeavesLabeled) {
+  Rng rng(9);
+  YulePhylogenyOptions opts;
+  Tree t = GenerateYulePhylogeny(opts, rng);
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) {
+      EXPECT_TRUE(t.has_label(v));
+    } else {
+      EXPECT_FALSE(t.has_label(v));
+      EXPECT_GE(t.children(v).size(), 2u);
+      EXPECT_LE(t.children(v).size(),
+                static_cast<size_t>(opts.max_children));
+    }
+  }
+}
+
+TEST(YuleGeneratorTest, MostSpeciationsBinary) {
+  Rng rng(10);
+  YulePhylogenyOptions opts;
+  int binary = 0;
+  int internal = 0;
+  for (int i = 0; i < 10; ++i) {
+    Tree t = GenerateYulePhylogeny(opts, rng);
+    for (NodeId v = 0; v < t.size(); ++v) {
+      if (t.is_leaf(v)) continue;
+      ++internal;
+      binary += t.children(v).size() == 2;
+    }
+  }
+  EXPECT_GT(binary, internal * 3 / 4);  // "most internal nodes have 2"
+}
+
+TEST(CoalescentTest, LeavesAreExactlyTheTaxa) {
+  Rng rng(11);
+  std::vector<std::string> taxa = MakeTaxa(16);
+  Tree t = RandomCoalescentTree(taxa, rng);
+  std::set<std::string> leaves;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) {
+      ASSERT_TRUE(t.has_label(v));
+      leaves.insert(t.label_name(v));
+    } else {
+      EXPECT_EQ(t.children(v).size(), 2u);  // strictly binary
+    }
+  }
+  EXPECT_EQ(leaves.size(), 16u);
+  EXPECT_EQ(t.size(), 31);  // 2n-1 nodes for a binary tree on n leaves
+}
+
+TEST(CoalescentTest, SingleTaxon) {
+  Rng rng(12);
+  Tree t = RandomCoalescentTree({"only"}, rng);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.label_name(0), "only");
+}
+
+TEST(CoalescentTest, BranchLengthsPositive) {
+  Rng rng(13);
+  Tree t = RandomCoalescentTree(MakeTaxa(8), rng, nullptr, 0.2);
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_GT(t.branch_length(v), 0.0);
+    EXPECT_LT(t.branch_length(v), 10.0);  // exp tail, sanity bound
+  }
+}
+
+TEST(MakeTaxaTest, NamesAndCount) {
+  std::vector<std::string> taxa = MakeTaxa(3);
+  ASSERT_EQ(taxa.size(), 3u);
+  EXPECT_EQ(taxa[0], "taxon0");
+  EXPECT_EQ(taxa[2], "taxon2");
+}
+
+}  // namespace
+}  // namespace cousins

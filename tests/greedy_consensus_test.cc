@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "phylo/consensus.h"
+#include "tree/canonical.h"
+#include "tree/newick.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::set<Bitset> ClustersOf(const Tree& t, const TaxonIndex& taxa) {
+  auto v = TreeClusters(t, taxa).value();
+  return {v.begin(), v.end()};
+}
+
+TEST(GreedyConsensusTest, RefinesMajority) {
+  auto labels = std::make_shared<LabelTable>();
+  // {A,B} in 2/3 (majority); {C,D} in 1/3 only but compatible with
+  // everything kept: greedy adds it, majority does not.
+  auto forest = ParseNewickForest(
+      "((A,B),(C,D),E);((A,B),C,D,E);((A,C),B,D,E);", labels);
+  ASSERT_TRUE(forest.ok());
+  TaxonIndex taxa = TaxonIndex::FromTrees(*forest).value();
+  Tree majority =
+      ConsensusTree(*forest, ConsensusMethod::kMajority).value();
+  Tree greedy = ConsensusTree(*forest, ConsensusMethod::kGreedy).value();
+  std::set<Bitset> majority_clusters = ClustersOf(majority, taxa);
+  std::set<Bitset> greedy_clusters = ClustersOf(greedy, taxa);
+  for (const Bitset& c : majority_clusters) {
+    EXPECT_TRUE(greedy_clusters.contains(c));
+  }
+  EXPECT_GT(greedy_clusters.size(), majority_clusters.size());
+}
+
+TEST(GreedyConsensusTest, PrefersMoreReplicatedOnConflict) {
+  auto labels = std::make_shared<LabelTable>();
+  // {A,B} appears twice, conflicting {B,C} once: greedy keeps {A,B}.
+  auto forest = ParseNewickForest(
+      "((A,B),C,D);((A,B),C,D);((B,C),A,D);", labels);
+  ASSERT_TRUE(forest.ok());
+  TaxonIndex taxa = TaxonIndex::FromTrees(*forest).value();
+  Tree greedy = ConsensusTree(*forest, ConsensusMethod::kGreedy).value();
+  Bitset ab(taxa.size());
+  ab.Set(taxa.index_of(labels->Find("A")));
+  ab.Set(taxa.index_of(labels->Find("B")));
+  EXPECT_TRUE(ClustersOf(greedy, taxa).contains(ab));
+}
+
+TEST(GreedyConsensusTest, PropertySupersetOfMajorityOnRandomSets) {
+  Rng rng(606);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa_names = MakeTaxa(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Tree> trees;
+    for (int i = 0; i < 7; ++i) {
+      trees.push_back(RandomCoalescentTree(taxa_names, rng, labels));
+    }
+    TaxonIndex taxa = TaxonIndex::FromTrees(trees).value();
+    std::set<Bitset> majority = ClustersOf(
+        ConsensusTree(trees, ConsensusMethod::kMajority).value(), taxa);
+    std::set<Bitset> greedy = ClustersOf(
+        ConsensusTree(trees, ConsensusMethod::kGreedy).value(), taxa);
+    for (const Bitset& c : majority) {
+      EXPECT_TRUE(greedy.contains(c)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(GreedyConsensusTest, MethodNameAndExtendedList) {
+  EXPECT_EQ(ConsensusMethodName(ConsensusMethod::kGreedy), "greedy");
+  bool found = false;
+  for (ConsensusMethod m : kAllConsensusMethodsExtended) {
+    found |= m == ConsensusMethod::kGreedy;
+  }
+  EXPECT_TRUE(found);
+  for (ConsensusMethod m : kAllConsensusMethods) {
+    EXPECT_NE(m, ConsensusMethod::kGreedy);  // paper set stays pure
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,151 @@
+// End-to-end tests across the full pipeline the paper's applications
+// use: simulate sequences -> search parsimonious trees -> build
+// consensus trees -> score them with cousin-pair similarity; and the
+// kernel-tree pipeline over overlapping groups.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/multi_tree_mining.h"
+#include "core/naive_mining.h"
+#include "tree/newick.h"
+#include "gen/yule_generator.h"
+#include "phylo/consensus.h"
+#include "phylo/kernel_trees.h"
+#include "phylo/similarity.h"
+#include "seq/jukes_cantor.h"
+#include "seq/parsimony_search.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(IntegrationTest, ConsensusQualityPipeline) {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(101);
+  Tree truth = RandomCoalescentTree(MakeTaxa(12), rng, labels, 0.08);
+  SimulateOptions sim;
+  sim.num_sites = 60;  // low signal => many near-ties
+  Alignment alignment = SimulateAlignment(truth, sim, rng);
+
+  ParsimonySearchOptions search;
+  search.max_trees = 10;
+  search.num_restarts = 2;
+  std::vector<ScoredTree> scored =
+      SearchParsimoniousTrees(alignment, search, labels);
+  ASSERT_GE(scored.size(), 3u);
+  std::vector<Tree> trees;
+  for (ScoredTree& st : scored) trees.push_back(std::move(st.tree));
+
+  MiningOptions mining;  // Table 2 defaults
+  std::map<std::string, double> score_by_method;
+  for (ConsensusMethod method : kAllConsensusMethods) {
+    Result<Tree> consensus = ConsensusTree(trees, method);
+    ASSERT_TRUE(consensus.ok()) << ConsensusMethodName(method) << ": "
+                                << consensus.status().ToString();
+    const double score = AverageSimilarityScore(*consensus, trees, mining);
+    EXPECT_GE(score, 0.0);
+    score_by_method[ConsensusMethodName(method)] = score;
+  }
+  // Strict consensus is the least resolved; majority refines it, so its
+  // similarity score should be at least as high.
+  EXPECT_GE(score_by_method["majority"], score_by_method["strict"] - 1e-9);
+}
+
+TEST(IntegrationTest, ForestMiningMatchesPerTreeRecount) {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(103);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 30;
+  gen.max_nodes = 60;
+  gen.alphabet_size = 50;
+  std::vector<Tree> forest;
+  for (int i = 0; i < 25; ++i) {
+    forest.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  MultiTreeMiningOptions opt;
+  opt.min_support = 3;
+  auto frequent = MineMultipleTrees(forest, opt);
+  ASSERT_FALSE(frequent.empty());
+  // Recount the support of every reported pair with the naive miner.
+  for (const FrequentCousinPair& p : frequent) {
+    int support = 0;
+    for (const Tree& t : forest) {
+      for (const CousinPairItem& item :
+           MineSingleTreeNaive(t, opt.per_tree)) {
+        if (item.label1 == p.label1 && item.label2 == p.label2 &&
+            item.twice_distance == p.twice_distance) {
+          ++support;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(support, p.support)
+        << FormatFrequentPair(*labels, p);
+  }
+}
+
+TEST(IntegrationTest, KernelTreesAcrossOverlappingGroups) {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(107);
+  // Three groups over partially overlapping taxon subsets of a 20-taxon
+  // world, each group = parsimonious-ish variants of one model tree.
+  std::vector<std::string> world = MakeTaxa(20);
+  std::vector<std::vector<Tree>> groups;
+  for (int g = 0; g < 3; ++g) {
+    std::vector<std::string> subset;
+    for (int i = 0; i < 20; ++i) {
+      if (i % 3 == g || i % 2 == 0) subset.push_back(world[i]);
+    }
+    Tree model = RandomCoalescentTree(subset, rng, labels, 0.08);
+    SimulateOptions sim;
+    sim.num_sites = 80;
+    Alignment a = SimulateAlignment(model, sim, rng);
+    ParsimonySearchOptions search;
+    search.max_trees = 4;
+    search.num_restarts = 1;
+    std::vector<Tree> group;
+    for (ScoredTree& st : SearchParsimoniousTrees(a, search, labels)) {
+      group.push_back(std::move(st.tree));
+    }
+    ASSERT_FALSE(group.empty());
+    groups.push_back(std::move(group));
+  }
+  KernelTreeResult result = FindKernelTrees(groups);
+  ASSERT_EQ(result.selected.size(), 3u);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_GE(result.selected[g], 0);
+    EXPECT_LT(result.selected[g],
+              static_cast<int32_t>(groups[g].size()));
+  }
+  EXPECT_GE(result.average_pairwise_distance, 0.0);
+  EXPECT_LE(result.average_pairwise_distance, 1.0);
+}
+
+TEST(IntegrationTest, NewickForestToFrequentPatterns) {
+  // The Fig. 8-style workflow: read a study's trees, mine co-occurring
+  // patterns with Table 2 defaults.
+  const std::string study =
+      "(((Gnetum,Welwitschia)gnt,Ephedra)gne,Angiosperms,Outgroup);"
+      "(((Gnetum,Welwitschia)gnt,Angiosperms)ant,Ephedra,Outgroup);"
+      "((Gnetum,Welwitschia)gnt,(Ephedra,Angiosperms)x,Outgroup);";
+  auto forest = ParseNewickForest(study);
+  ASSERT_TRUE(forest.ok());
+  MultiTreeMiningOptions opt;  // minsup 2, maxdist 1.5, minoccur 1
+  auto frequent = MineMultipleTrees(*forest, opt);
+  const LabelTable& labels = (*forest)[0].labels();
+  // (Gnetum, Welwitschia) at distance 0 must be frequent with support 3.
+  bool found = false;
+  for (const FrequentCousinPair& p : frequent) {
+    if (p.label1 == labels.Find("Gnetum") &&
+        p.label2 == labels.Find("Welwitschia") && p.twice_distance == 0) {
+      EXPECT_EQ(p.support, 3);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/item_io.h"
+#include "core/multi_tree_mining.h"
+#include "core/single_tree_mining.h"
+#include "test_util.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(ItemIoTest, RoundTripsMinedItems) {
+  Tree t = testing_util::FamilyTree();
+  MiningOptions opt;
+  opt.twice_maxdist = 5;
+  std::vector<CousinPairItem> items = MineSingleTree(t, opt);
+  const std::string csv = ItemsToCsv(t.labels(), items);
+
+  LabelTable fresh;
+  Result<std::vector<CousinPairItem>> back = ItemsFromCsv(csv, &fresh);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), items.size());
+  // Label ids are table-relative (label1 <= label2 is an id order), so
+  // compare name-normalized tuples.
+  auto normalize = [](const LabelTable& labels,
+                      const std::vector<CousinPairItem>& v) {
+    std::multiset<std::tuple<std::string, std::string, int, int64_t>> out;
+    for (const CousinPairItem& item : v) {
+      std::string a = labels.Name(item.label1);
+      std::string b = labels.Name(item.label2);
+      if (a > b) std::swap(a, b);
+      out.insert({a, b, item.twice_distance, item.occurrences});
+    }
+    return out;
+  };
+  EXPECT_EQ(normalize(fresh, *back), normalize(t.labels(), items));
+}
+
+TEST(ItemIoTest, QuotedLabelsSurvive) {
+  LabelTable labels;
+  CousinPairItem item{labels.Intern("Homo sapiens"),
+                      labels.Intern("with,comma"), 3, 2};
+  const std::string csv = ItemsToCsv(labels, {item});
+  LabelTable fresh;
+  auto back = ItemsFromCsv(csv, &fresh);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ(fresh.Name((*back)[0].label1), "Homo sapiens");
+  EXPECT_EQ(fresh.Name((*back)[0].label2), "with,comma");
+  EXPECT_EQ((*back)[0].twice_distance, 3);
+}
+
+TEST(ItemIoTest, WildcardDistanceRoundTrips) {
+  LabelTable labels;
+  CousinPairItem item{labels.Intern("a"), labels.Intern("b"), kAnyDistance,
+                      7};
+  LabelTable fresh;
+  auto back = ItemsFromCsv(ItemsToCsv(labels, {item}), &fresh);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].twice_distance, kAnyDistance);
+  EXPECT_EQ((*back)[0].occurrences, 7);
+}
+
+TEST(ItemIoTest, SkipsCommentsAndBlankLines) {
+  LabelTable labels;
+  auto back = ItemsFromCsv(
+      "# produced by cousins\nlabel1,label2,distance,occurrences\n\n"
+      "a,b,1.5,2\n",
+      &labels);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].twice_distance, 3);
+}
+
+TEST(ItemIoTest, RejectsMalformedRows) {
+  LabelTable labels;
+  EXPECT_FALSE(ItemsFromCsv("h\na,b,1.5\n", &labels).ok());       // 3 fields
+  EXPECT_FALSE(ItemsFromCsv("h\na,b,x,1\n", &labels).ok());       // bad dist
+  EXPECT_FALSE(ItemsFromCsv("h\na,b,0.3,1\n", &labels).ok());     // not /0.5
+  EXPECT_FALSE(ItemsFromCsv("h\na,b,1,many\n", &labels).ok());    // bad occ
+  EXPECT_FALSE(ItemsFromCsv("h\n\"a,b,1,1\n", &labels).ok());     // quote
+}
+
+TEST(ItemIoTest, EmptyCsvIsEmpty) {
+  LabelTable labels;
+  auto back = ItemsFromCsv("", &labels);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(ItemIoTest, FrequentPairsCsv) {
+  LabelTable labels;
+  FrequentCousinPair pair{labels.Intern("Gnetum"),
+                          labels.Intern("Welwitschia"), 0, 4, 4};
+  const std::string csv = FrequentPairsToCsv(labels, {pair});
+  EXPECT_EQ(csv,
+            "label1,label2,distance,support,occurrences\n"
+            "Gnetum,Welwitschia,0,4,4\n");
+}
+
+}  // namespace
+}  // namespace cousins

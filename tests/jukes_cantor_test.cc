@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/yule_generator.h"
+#include "seq/jukes_cantor.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(SimulateTest, ZeroLengthBranchesCopySequences) {
+  Tree t = MustParse("(A:0,B:0)r;");
+  Rng rng(1);
+  SimulateOptions opt;
+  opt.num_sites = 200;
+  Alignment a = SimulateAlignment(t, opt, rng);
+  ASSERT_EQ(a.num_taxa(), 2);
+  EXPECT_EQ(a.rows[0].bases, a.rows[1].bases);
+}
+
+TEST(SimulateTest, LongBranchesSaturateAtThreeQuartersMismatch) {
+  Tree t = MustParse("(A:100,B:100)r;");
+  Rng rng(2);
+  SimulateOptions opt;
+  opt.num_sites = 5000;
+  Alignment a = SimulateAlignment(t, opt, rng);
+  int mismatches = 0;
+  for (int s = 0; s < opt.num_sites; ++s) {
+    mismatches += a.rows[0].bases[s] != a.rows[1].bases[s];
+  }
+  EXPECT_NEAR(mismatches / 5000.0, 0.75, 0.03);
+}
+
+TEST(SimulateTest, MismatchRateTracksBranchLength) {
+  // p = (3/4)(1 - e^{-4t/3}); for t = 0.3 per branch (0.6 total path),
+  // expected leaf-leaf mismatch ≈ 0.75(1 - e^{-0.8}) ≈ 0.4129.
+  Tree t = MustParse("(A:0.3,B:0.3)r;");
+  Rng rng(3);
+  SimulateOptions opt;
+  opt.num_sites = 20000;
+  Alignment a = SimulateAlignment(t, opt, rng);
+  int mismatches = 0;
+  for (int s = 0; s < opt.num_sites; ++s) {
+    mismatches += a.rows[0].bases[s] != a.rows[1].bases[s];
+  }
+  EXPECT_NEAR(mismatches / 20000.0, 0.4129, 0.02);
+}
+
+TEST(SimulateTest, AllLeavesPresent) {
+  Rng rng(4);
+  Tree t = RandomCoalescentTree(MakeTaxa(16), rng);
+  SimulateOptions opt;
+  opt.num_sites = 50;
+  Alignment a = SimulateAlignment(t, opt, rng);
+  EXPECT_EQ(a.num_taxa(), 16);
+  EXPECT_EQ(a.num_sites(), 50);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_GE(a.RowOf("taxon" + std::to_string(i)), 0);
+  }
+}
+
+TEST(SimulateTest, RateScalesBranches) {
+  Tree t = MustParse("(A:1,B:1)r;");
+  SimulateOptions slow;
+  slow.num_sites = 5000;
+  slow.rate = 0.01;
+  Rng rng1(5);
+  Alignment a = SimulateAlignment(t, slow, rng1);
+  int mismatches = 0;
+  for (int s = 0; s < slow.num_sites; ++s) {
+    mismatches += a.rows[0].bases[s] != a.rows[1].bases[s];
+  }
+  EXPECT_LT(mismatches / 5000.0, 0.05);
+}
+
+TEST(JukesCantorDistanceTest, IdenticalSequencesZero) {
+  std::vector<uint8_t> s = {0, 1, 2, 3, 0, 1};
+  EXPECT_DOUBLE_EQ(JukesCantorDistance(s, s), 0.0);
+}
+
+TEST(JukesCantorDistanceTest, KnownValue) {
+  // 1 mismatch in 10 sites: d = -(3/4) ln(1 - (4/3)(0.1)).
+  std::vector<uint8_t> a = {0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<uint8_t> b = {1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(JukesCantorDistance(a, b),
+              -0.75 * std::log(1.0 - 0.4 / 3.0), 1e-12);
+}
+
+TEST(JukesCantorDistanceTest, SaturationClamped) {
+  std::vector<uint8_t> a = {0, 0, 0, 0};
+  std::vector<uint8_t> b = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(JukesCantorDistance(a, b), 10.0);
+}
+
+TEST(JukesCantorMatrixTest, SymmetricZeroDiagonal) {
+  Rng rng(6);
+  Tree t = RandomCoalescentTree(MakeTaxa(6), rng);
+  SimulateOptions opt;
+  opt.num_sites = 100;
+  Alignment a = SimulateAlignment(t, opt, rng);
+  auto m = JukesCantorMatrix(a);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(m[i][i], 0.0);
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], m[j][i]);
+      EXPECT_GE(m[i][j], 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "gen/yule_generator.h"
+#include "phylo/kernel_trees.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+std::vector<std::vector<Tree>> TwoObviousGroups(
+    std::shared_ptr<LabelTable> labels) {
+  // Group 1 trees: one matches group 2's trees exactly, one is alien.
+  std::vector<std::vector<Tree>> groups(2);
+  groups[0].push_back(MustParse("((A,B)x,(C,D)y)r;", labels));
+  groups[0].push_back(MustParse("((P,Q)x,(R,S)y)r;", labels));
+  groups[1].push_back(MustParse("((A,B)x,(C,D)y)r;", labels));
+  groups[1].push_back(MustParse("((A,C)x,(B,D)y)r;", labels));
+  return groups;
+}
+
+TEST(KernelTreesTest, PicksMatchingRepresentatives) {
+  auto labels = std::make_shared<LabelTable>();
+  auto groups = TwoObviousGroups(labels);
+  KernelTreeResult result = FindKernelTrees(groups);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.selected, (std::vector<int32_t>{0, 0}));
+  EXPECT_DOUBLE_EQ(result.average_pairwise_distance, 0.0);
+}
+
+TEST(KernelTreesTest, SingleGroupTrivial) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::vector<Tree>> groups(1);
+  groups[0].push_back(MustParse("((A,B)x,C)r;", labels));
+  groups[0].push_back(MustParse("((A,C)x,B)r;", labels));
+  KernelTreeResult result = FindKernelTrees(groups);
+  EXPECT_TRUE(result.exact);
+  EXPECT_DOUBLE_EQ(result.average_pairwise_distance, 0.0);
+  ASSERT_EQ(result.selected.size(), 1u);
+}
+
+TEST(KernelTreesTest, LocalSearchMatchesExhaustiveOnSmallInstances) {
+  Rng rng(41);
+  auto labels = std::make_shared<LabelTable>();
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 15;
+  gen.max_nodes = 30;
+  gen.alphabet_size = 25;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::vector<Tree>> groups(3);
+    for (auto& group : groups) {
+      for (int i = 0; i < 4; ++i) {
+        group.push_back(GenerateYulePhylogeny(gen, rng, labels));
+      }
+    }
+    KernelTreeOptions exhaustive;
+    KernelTreeResult exact = FindKernelTrees(groups, exhaustive);
+    ASSERT_TRUE(exact.exact);
+
+    KernelTreeOptions local = exhaustive;
+    local.exhaustive_limit = 1;  // force local search
+    KernelTreeResult approx = FindKernelTrees(groups, local);
+    EXPECT_FALSE(approx.exact);
+    EXPECT_NEAR(approx.average_pairwise_distance,
+                exact.average_pairwise_distance, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(KernelTreesTest, ExhaustiveBeatsArbitraryChoice) {
+  Rng rng(43);
+  auto labels = std::make_shared<LabelTable>();
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 15;
+  gen.max_nodes = 30;
+  gen.alphabet_size = 20;
+  std::vector<std::vector<Tree>> groups(3);
+  for (auto& group : groups) {
+    for (int i = 0; i < 3; ++i) {
+      group.push_back(GenerateYulePhylogeny(gen, rng, labels));
+    }
+  }
+  KernelTreeOptions opt;
+  KernelTreeResult best = FindKernelTrees(groups, opt);
+  // The optimum is no worse than the all-zeros selection.
+  double all_zero = 0.0;
+  int pairs = 0;
+  for (size_t a = 0; a < groups.size(); ++a) {
+    for (size_t b = a + 1; b < groups.size(); ++b) {
+      all_zero += CousinTreeDistance(groups[a][0], groups[b][0],
+                                     opt.abstraction, opt.mining);
+      ++pairs;
+    }
+  }
+  EXPECT_LE(best.average_pairwise_distance, all_zero / pairs + 1e-12);
+}
+
+TEST(KernelTreesTest, AbstractionAffectsSelectionSpaceConsistently) {
+  auto labels = std::make_shared<LabelTable>();
+  auto groups = TwoObviousGroups(labels);
+  for (CousinItemAbstraction abstraction : kAllAbstractions) {
+    KernelTreeOptions opt;
+    opt.abstraction = abstraction;
+    KernelTreeResult result = FindKernelTrees(groups, opt);
+    // The identical pair is optimal under every abstraction.
+    EXPECT_EQ(result.selected, (std::vector<int32_t>{0, 0}))
+        << AbstractionName(abstraction);
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "gen/uniform_generator.h"
+#include "gen/yule_generator.h"
+#include "tree/lca.h"
+#include "tree/newick.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(LcaTest, HandComputedExamples) {
+  //      r
+  //     a   b     (a, b children of r)
+  //  x   y   z    (x, y under a; z under b)
+  Tree t = ParseNewick("((x,y)a,(z)b)r;").value();
+  LcaIndex lca(t);
+  const NodeId r = 0;
+  const NodeId a = t.children(r)[0];
+  const NodeId x = t.children(a)[0];
+  const NodeId y = t.children(a)[1];
+  const NodeId b = t.children(r)[1];
+  const NodeId z = t.children(b)[0];
+
+  EXPECT_EQ(lca.Lca(x, y), a);
+  EXPECT_EQ(lca.Lca(x, z), r);
+  EXPECT_EQ(lca.Lca(a, b), r);
+  EXPECT_EQ(lca.Lca(x, a), a);  // ancestor of itself
+  EXPECT_EQ(lca.Lca(x, x), x);
+  EXPECT_EQ(lca.Lca(r, z), r);
+}
+
+TEST(LcaTest, PathLength) {
+  Tree t = ParseNewick("((x,y)a,(z)b)r;").value();
+  LcaIndex lca(t);
+  const NodeId a = t.children(0)[0];
+  const NodeId x = t.children(a)[0];
+  const NodeId y = t.children(a)[1];
+  const NodeId b = t.children(0)[1];
+  const NodeId z = t.children(b)[0];
+  EXPECT_EQ(lca.PathLength(x, x), 0);
+  EXPECT_EQ(lca.PathLength(x, y), 2);
+  EXPECT_EQ(lca.PathLength(x, z), 4);
+  EXPECT_EQ(lca.PathLength(x, a), 1);
+}
+
+TEST(LcaTest, SingleNodeTree) {
+  Tree t = ParseNewick("A;").value();
+  LcaIndex lca(t);
+  EXPECT_EQ(lca.Lca(0, 0), 0);
+}
+
+TEST(LcaTest, ChainTree) {
+  Tree t = ParseNewick("((((e)d)c)b)a;").value();
+  LcaIndex lca(t);
+  for (NodeId u = 0; u < t.size(); ++u) {
+    for (NodeId v = u; v < t.size(); ++v) {
+      EXPECT_EQ(lca.Lca(u, v), u);  // ids are preorder along the chain
+    }
+  }
+}
+
+class LcaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LcaProperty, MatchesNaiveOnUniformTrees) {
+  Rng rng(GetParam());
+  UniformTreeOptions opts;
+  opts.tree_size = 120;
+  Tree t = GenerateUniformTree(opts, rng);
+  LcaIndex lca(t);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto u = static_cast<NodeId>(rng.Uniform(t.size()));
+    const auto v = static_cast<NodeId>(rng.Uniform(t.size()));
+    EXPECT_EQ(lca.Lca(u, v), NaiveLca(t, u, v))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+TEST_P(LcaProperty, MatchesNaiveOnPhylogenies) {
+  Rng rng(GetParam() + 1000);
+  YulePhylogenyOptions opts;
+  Tree t = GenerateYulePhylogeny(opts, rng);
+  LcaIndex lca(t);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto u = static_cast<NodeId>(rng.Uniform(t.size()));
+    const auto v = static_cast<NodeId>(rng.Uniform(t.size()));
+    EXPECT_EQ(lca.Lca(u, v), NaiveLca(t, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcaProperty,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,141 @@
+// Property tests: the three single-tree miners (fast exact-LCA sweep,
+// paper-faithful Fig. 3 transcription, brute-force oracle) must produce
+// identical canonical item vectors on every tree, and the result must
+// not depend on sibling order (the trees are unordered).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/naive_mining.h"
+#include "core/paper_mining.h"
+#include "core/single_tree_mining.h"
+#include "gen/fanout_generator.h"
+#include "gen/uniform_generator.h"
+#include "gen/yule_generator.h"
+#include "test_util.h"
+#include "tree/builder.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::ItemsToString;
+
+void ExpectAllMinersAgree(const Tree& t, const MiningOptions& opt) {
+  auto fast = MineSingleTree(t, opt);
+  auto paper = MineSingleTreePaper(t, opt);
+  auto naive = MineSingleTreeNaive(t, opt);
+  ASSERT_EQ(fast, naive) << "fast vs naive, maxdist(x2)="
+                         << opt.twice_maxdist << "\nfast:\n"
+                         << ItemsToString(t.labels(), fast) << "naive:\n"
+                         << ItemsToString(t.labels(), naive);
+  ASSERT_EQ(paper, naive) << "paper vs naive, maxdist(x2)="
+                          << opt.twice_maxdist;
+}
+
+// Sweep (seed, twice_maxdist) across tree families.
+class MinerAgreement
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(MinerAgreement, UniformTrees) {
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed);
+  UniformTreeOptions opts;
+  opts.tree_size = 80;
+  opts.alphabet_size = 8;  // many repeated labels
+  Tree t = GenerateUniformTree(opts, rng);
+  MiningOptions mining;
+  mining.twice_maxdist = twice_maxdist;
+  ExpectAllMinersAgree(t, mining);
+}
+
+TEST_P(MinerAgreement, FanoutTrees) {
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed + 500);
+  FanoutTreeOptions opts;
+  opts.tree_size = 120;
+  opts.fanout = static_cast<int32_t>(2 + seed % 7);
+  opts.alphabet_size = 10;
+  Tree t = GenerateFanoutTree(opts, rng);
+  MiningOptions mining;
+  mining.twice_maxdist = twice_maxdist;
+  ExpectAllMinersAgree(t, mining);
+}
+
+TEST_P(MinerAgreement, Phylogenies) {
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed + 900);
+  YulePhylogenyOptions opts;
+  opts.min_nodes = 40;
+  opts.max_nodes = 90;
+  opts.alphabet_size = 30;  // small alphabet: repeated taxa across leaves
+  Tree t = GenerateYulePhylogeny(opts, rng);
+  MiningOptions mining;
+  mining.twice_maxdist = twice_maxdist;
+  ExpectAllMinersAgree(t, mining);
+}
+
+TEST_P(MinerAgreement, PartiallyLabeledTrees) {
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed + 1300);
+  UniformTreeOptions opts;
+  opts.tree_size = 70;
+  opts.alphabet_size = 6;
+  opts.labeled_fraction = 0.5;
+  Tree t = GenerateUniformTree(opts, rng);
+  MiningOptions mining;
+  mining.twice_maxdist = twice_maxdist;
+  ExpectAllMinersAgree(t, mining);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedAndMaxdist, MinerAgreement,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 8),
+                       ::testing::Values(0, 1, 2, 3, 4, 6)));
+
+/// Rebuilds `tree` with children attached in a seed-shuffled order.
+Tree ShuffleSiblings(const Tree& tree, Rng& rng) {
+  TreeBuilder b(tree.labels_ptr());
+  struct Frame {
+    NodeId orig;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{tree.root(), kNoNode}};
+  while (!stack.empty()) {
+    auto [orig, parent] = stack.back();
+    stack.pop_back();
+    NodeId copy = parent == kNoNode
+                      ? b.AddRoot()
+                      : b.AddChildWithLabelId(parent, tree.label(orig));
+    if (parent == kNoNode && tree.has_label(orig)) {
+      b.SetLabel(copy, tree.label_name(orig));
+    }
+    std::vector<NodeId> kids = tree.children(orig);
+    for (size_t i = kids.size(); i > 1; --i) {
+      std::swap(kids[i - 1], kids[rng.Uniform(i)]);
+    }
+    for (NodeId c : kids) stack.push_back({c, copy});
+  }
+  return std::move(b).Build();
+}
+
+class SiblingOrderInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SiblingOrderInvariance, MiningIgnoresSiblingOrder) {
+  Rng rng(GetParam());
+  UniformTreeOptions opts;
+  opts.tree_size = 90;
+  opts.alphabet_size = 9;
+  Tree t = GenerateUniformTree(opts, rng);
+  Tree shuffled = ShuffleSiblings(t, rng);
+  MiningOptions mining;
+  mining.twice_maxdist = 4;
+  EXPECT_EQ(MineSingleTree(t, mining), MineSingleTree(shuffled, mining));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SiblingOrderInvariance,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,137 @@
+// Cross-cutting invariants of the mining pipeline, property-tested over
+// parameter grids.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/cousin_distance.h"
+#include "core/single_tree_mining.h"
+#include "gen/fanout_generator.h"
+#include "gen/uniform_generator.h"
+#include "tree/builder.h"
+#include "tree/lca.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+/// Rebuilds `tree` replacing label i by permuted[i] names.
+Tree PermuteLabels(const Tree& tree, Rng& rng) {
+  const auto n = static_cast<int32_t>(tree.labels().size());
+  std::vector<int32_t> perm(n);
+  for (int32_t i = 0; i < n; ++i) perm[i] = i;
+  for (int32_t i = n - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.Uniform(i + 1)]);
+  }
+  auto fresh = std::make_shared<LabelTable>();
+  TreeBuilder b(fresh);
+  struct Frame {
+    NodeId orig;
+    NodeId parent;
+  };
+  std::vector<Frame> stack = {{tree.root(), kNoNode}};
+  while (!stack.empty()) {
+    auto [orig, parent] = stack.back();
+    stack.pop_back();
+    std::string name;
+    if (tree.has_label(orig)) {
+      name = "renamed" + std::to_string(perm[tree.label(orig)]);
+    }
+    NodeId copy = parent == kNoNode ? b.AddRoot(name)
+                                    : b.AddChild(parent, name);
+    for (NodeId c : tree.children(orig)) stack.push_back({c, copy});
+  }
+  return std::move(b).Build();
+}
+
+class MiningInvariants
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(MiningInvariants, TotalOccurrencesEqualQualifyingNodePairs) {
+  // Σ item occurrences == number of node pairs with defined distance
+  // <= maxdist (counted directly via the LCA definition).
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed);
+  UniformTreeOptions gen;
+  gen.tree_size = 70;
+  gen.alphabet_size = 7;
+  gen.labeled_fraction = 0.8;
+  Tree t = GenerateUniformTree(gen, rng);
+
+  MiningOptions opt;
+  opt.twice_maxdist = twice_maxdist;
+  int64_t mined_total = 0;
+  for (const CousinPairItem& item : MineSingleTree(t, opt)) {
+    mined_total += item.occurrences;
+  }
+
+  LcaIndex lca(t);
+  int64_t direct = 0;
+  for (NodeId u = 0; u < t.size(); ++u) {
+    for (NodeId v = u + 1; v < t.size(); ++v) {
+      const int d = TwiceCousinDistance(t, lca, u, v);
+      direct += d != kUndefinedDistance && d <= twice_maxdist;
+    }
+  }
+  EXPECT_EQ(mined_total, direct);
+}
+
+TEST_P(MiningInvariants, MaxdistMonotone) {
+  // Items at maxdist D are exactly the <=D subset of items at D+1.
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed + 7000);
+  FanoutTreeOptions gen;
+  gen.tree_size = 100;
+  gen.alphabet_size = 12;
+  Tree t = GenerateFanoutTree(gen, rng);
+
+  MiningOptions small;
+  small.twice_maxdist = twice_maxdist;
+  MiningOptions big;
+  big.twice_maxdist = twice_maxdist + 1;
+  auto small_items = MineSingleTree(t, small);
+  std::vector<CousinPairItem> filtered;
+  for (const CousinPairItem& item : MineSingleTree(t, big)) {
+    if (item.twice_distance <= twice_maxdist) filtered.push_back(item);
+  }
+  EXPECT_EQ(small_items, filtered);
+}
+
+TEST_P(MiningInvariants, LabelPermutationInvariance) {
+  // Renaming labels bijectively permutes items without changing their
+  // multiset of (distance, occurrences).
+  auto [seed, twice_maxdist] = GetParam();
+  Rng rng(seed + 9000);
+  UniformTreeOptions gen;
+  gen.tree_size = 60;
+  gen.alphabet_size = 6;
+  Tree t = GenerateUniformTree(gen, rng);
+  Tree renamed = PermuteLabels(t, rng);
+
+  MiningOptions opt;
+  opt.twice_maxdist = twice_maxdist;
+  auto a = MineSingleTree(t, opt);
+  auto b = MineSingleTree(renamed, opt);
+  ASSERT_EQ(a.size(), b.size());
+  std::multiset<std::pair<int, int64_t>> profile_a;
+  std::multiset<std::pair<int, int64_t>> profile_b;
+  for (const CousinPairItem& item : a) {
+    profile_a.insert({item.twice_distance, item.occurrences});
+  }
+  for (const CousinPairItem& item : b) {
+    profile_b.insert({item.twice_distance, item.occurrences});
+  }
+  EXPECT_EQ(profile_a, profile_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MiningInvariants,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 6),
+                       ::testing::Values(0, 1, 2, 3, 5)));
+
+}  // namespace
+}  // namespace cousins

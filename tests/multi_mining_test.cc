@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/multi_tree_mining.h"
+#include "gen/yule_generator.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+/// Finds support of (a, b) at twice-distance d (kAnyDistance allowed).
+int Support(const LabelTable& labels,
+            const std::vector<FrequentCousinPair>& pairs,
+            const std::string& a, const std::string& b, int twice_d) {
+  LabelId la = labels.Find(a);
+  LabelId lb = labels.Find(b);
+  if (la > lb) std::swap(la, lb);
+  for (const FrequentCousinPair& p : pairs) {
+    if (p.label1 == la && p.label2 == lb && p.twice_distance == twice_d) {
+      return p.support;
+    }
+  }
+  return 0;
+}
+
+/// The §2 "frequent cousin pair" example: T1 has (c, e) at distance 1,
+/// T2 has (c, e) at 2.5 (not counted at 1), T3 has (c, e) at 1 and at 0.
+std::vector<Tree> Section2Forest(std::shared_ptr<LabelTable> labels) {
+  std::vector<Tree> trees;
+  // (c, e) first cousins.
+  trees.push_back(MustParse("((c)x,(e)y)r;", labels));
+  // (c, e) second cousins once removed (heights 3 and 4 below the root).
+  trees.push_back(MustParse("(((c)a)b,(((e)w)v)u)r;", labels));
+  // (c, e) both siblings (distance 0) and first cousins (distance 1).
+  trees.push_back(MustParse("((c,e)x,(c)y)r;", labels));
+  return trees;
+}
+
+TEST(MultiTreeMiningTest, SupportWithDistance) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = Section2Forest(labels);
+  MultiTreeMiningOptions opt;
+  opt.per_tree.twice_maxdist = 5;
+  opt.min_support = 2;
+  auto pairs = MineMultipleTrees(trees, opt);
+  // (c, e) at distance 1 occurs in trees 1 and 3 => support 2.
+  EXPECT_EQ(Support(*labels, pairs, "c", "e", 2), 2);
+  // At distance 2.5 only tree 2 has it: below minsup, absent.
+  EXPECT_EQ(Support(*labels, pairs, "c", "e", 5), 0);
+}
+
+TEST(MultiTreeMiningTest, SupportIgnoringDistance) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = Section2Forest(labels);
+  MultiTreeMiningOptions opt;
+  opt.per_tree.twice_maxdist = 5;
+  opt.min_support = 3;
+  opt.ignore_distance = true;
+  auto pairs = MineMultipleTrees(trees, opt);
+  // Ignoring distance, (c, e) occurs in all three trees.
+  EXPECT_EQ(Support(*labels, pairs, "c", "e", kAnyDistance), 3);
+}
+
+TEST(MultiTreeMiningTest, IgnoreDistanceCountsTreeOnce) {
+  auto labels = std::make_shared<LabelTable>();
+  // (c, e) occurs at two distances within the single tree; support = 1.
+  std::vector<Tree> trees = {MustParse("((c,e)x,(c)y)r;", labels)};
+  MultiTreeMiningOptions opt;
+  opt.per_tree.twice_maxdist = 4;
+  opt.min_support = 1;
+  opt.ignore_distance = true;
+  auto pairs = MineMultipleTrees(trees, opt);
+  EXPECT_EQ(Support(*labels, pairs, "c", "e", kAnyDistance), 1);
+}
+
+TEST(MultiTreeMiningTest, MinSupportFilters) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = {
+      MustParse("(a,b);", labels),
+      MustParse("(a,b);", labels),
+      MustParse("(a,c);", labels),
+  };
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  auto pairs = MineMultipleTrees(trees, opt);
+  EXPECT_EQ(Support(*labels, pairs, "a", "b", 0), 2);
+  EXPECT_EQ(Support(*labels, pairs, "a", "c", 0), 0);  // support 1
+}
+
+TEST(MultiTreeMiningTest, TotalOccurrencesAccumulate) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = {
+      MustParse("(a,b,(a,b)x);", labels),  // (a,b,0) occurs twice here
+      MustParse("(a,b);", labels),
+  };
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  auto pairs = MineMultipleTrees(trees, opt);
+  for (const FrequentCousinPair& p : pairs) {
+    if (p.label1 == labels->Find("a") && p.label2 == labels->Find("b") &&
+        p.twice_distance == 0) {
+      EXPECT_EQ(p.support, 2);
+      EXPECT_EQ(p.total_occurrences, 3);
+      return;
+    }
+  }
+  FAIL() << "(a, b, 0) not found";
+}
+
+TEST(MultiTreeMiningTest, ResultsSortedBySupport) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = {
+      MustParse("(a,b);", labels),
+      MustParse("(a,b,c);", labels),
+      MustParse("(a,b,c);", labels),
+  };
+  MultiTreeMiningOptions opt;
+  opt.min_support = 1;
+  auto pairs = MineMultipleTrees(trees, opt);
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_GE(pairs[i - 1].support, pairs[i].support);
+  }
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(pairs[0].support, 3);  // (a, b, 0) in all three
+}
+
+TEST(MultiTreeMiningTest, StreamingEqualsBatch) {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(17);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 30;
+  gen.max_nodes = 60;
+  gen.alphabet_size = 40;
+  std::vector<Tree> trees;
+  for (int i = 0; i < 20; ++i) {
+    trees.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  MultiTreeMiner streaming(opt);
+  for (const Tree& t : trees) streaming.AddTree(t);
+  EXPECT_EQ(streaming.tree_count(), 20);
+  auto batch = MineMultipleTrees(trees, opt);
+  auto streamed = streaming.FrequentPairs();
+  EXPECT_EQ(batch, streamed);
+}
+
+TEST(MultiTreeMiningTest, PerTreeMinOccurApplies) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = {
+      MustParse("(a,b,(a,b)x);", labels),  // (a,b,0) twice
+      MustParse("(a,b);", labels),         // (a,b,0) once
+  };
+  MultiTreeMiningOptions opt;
+  opt.per_tree.min_occur = 2;
+  opt.min_support = 1;
+  auto pairs = MineMultipleTrees(trees, opt);
+  // Only the first tree passes the per-tree occurrence bar.
+  EXPECT_EQ(Support(*labels, pairs, "a", "b", 0), 1);
+}
+
+TEST(MultiTreeMiningTest, FormatFrequentPair) {
+  auto labels = std::make_shared<LabelTable>();
+  labels->Intern("Gnetum");
+  labels->Intern("Welwitschia");
+  FrequentCousinPair p{labels->Find("Gnetum"), labels->Find("Welwitschia"),
+                       0, 4, 4};
+  EXPECT_EQ(FormatFrequentPair(*labels, p),
+            "(Gnetum, Welwitschia, 0) support=4 occ=4");
+  p.twice_distance = kAnyDistance;
+  EXPECT_EQ(FormatFrequentPair(*labels, p),
+            "(Gnetum, Welwitschia, @) support=4 occ=4");
+}
+
+TEST(MultiTreeMiningTest, EmptyForest) {
+  MultiTreeMiner miner;
+  EXPECT_EQ(miner.tree_count(), 0);
+  EXPECT_TRUE(miner.FrequentPairs().empty());
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/nearest_neighbor.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+std::vector<Tree> SmallCorpus(std::shared_ptr<LabelTable> labels) {
+  std::vector<Tree> corpus;
+  corpus.push_back(MustParse("((A,B),(C,D));", labels));
+  corpus.push_back(MustParse("((A,C),(B,D));", labels));
+  corpus.push_back(MustParse("((A,D),(B,C));", labels));
+  corpus.push_back(MustParse("((P,Q),(R,S));", labels));
+  return corpus;
+}
+
+TEST(NearestNeighborTest, ExactMatchRanksFirstAtDistanceZero) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> corpus = SmallCorpus(labels);
+  CousinProfileIndex index(corpus);
+  Tree query = MustParse("((B,A),(D,C));", labels);  // == corpus[0]
+  auto matches = index.Query(query, 4);
+  ASSERT_EQ(matches.size(), 4u);
+  EXPECT_EQ(matches[0].index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+  // The disjoint-taxa tree is the farthest.
+  EXPECT_EQ(matches[3].index, 3);
+  EXPECT_DOUBLE_EQ(matches[3].distance, 1.0);
+}
+
+TEST(NearestNeighborTest, ResultsAscendAndKClamps) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> corpus = SmallCorpus(labels);
+  CousinProfileIndex index(corpus);
+  Tree query = MustParse("((A,B),C,D);", labels);
+  auto all = index.Query(query, 100);
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].distance, all[i - 1].distance);
+  }
+  EXPECT_EQ(index.Query(query, 2).size(), 2u);
+  EXPECT_TRUE(index.Query(query, 0).empty());
+}
+
+TEST(NearestNeighborTest, DistanceToMatchesQuery) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> corpus = SmallCorpus(labels);
+  CousinProfileIndex index(corpus);
+  Tree query = MustParse("((A,B),(C,D));", labels);
+  auto matches = index.Query(query, 4);
+  for (const TreeMatch& m : matches) {
+    EXPECT_DOUBLE_EQ(index.DistanceTo(query, m.index), m.distance);
+  }
+}
+
+TEST(NearestNeighborTest, FindsPerturbationsOfTheQuery) {
+  // Corpus = one family of similar trees + unrelated trees; a family
+  // member query must rank family members above the unrelated ones.
+  Rng rng(88);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> family_taxa = MakeTaxa(10);
+  std::vector<Tree> corpus;
+  Tree base = RandomCoalescentTree(family_taxa, rng, labels);
+  corpus.push_back(base);
+  // Unrelated trees over a disjoint taxon set.
+  std::vector<std::string> other_taxa;
+  for (int i = 0; i < 10; ++i) {
+    other_taxa.push_back("other" + std::to_string(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    corpus.push_back(RandomCoalescentTree(other_taxa, rng, labels));
+  }
+  CousinProfileIndex index(corpus);
+  auto matches = index.Query(base, 6);
+  EXPECT_EQ(matches[0].index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(matches[i].distance, 1.0);  // no shared taxa
+  }
+}
+
+TEST(NearestNeighborTest, AbstractionChangesRanking) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> corpus = SmallCorpus(labels);
+  CousinProfileIndex labels_only(corpus,
+                                 CousinItemAbstraction::kLabelsOnly);
+  Tree query = MustParse("((A,B),(C,D));", labels);
+  auto matches = labels_only.Query(query, 4);
+  EXPECT_EQ(matches[0].index, 0);
+  EXPECT_DOUBLE_EQ(matches[0].distance, 0.0);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "seq/jukes_cantor.h"
+#include "seq/neighbor_joining.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+/// True iff {a, b} form a cherry (sibling leaves) somewhere in `t`.
+bool IsCherry(const Tree& t, const std::string& a, const std::string& b) {
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.children(v).size() != 2) continue;
+    NodeId l = t.children(v)[0];
+    NodeId r = t.children(v)[1];
+    if (!t.is_leaf(l) || !t.is_leaf(r)) continue;
+    std::set<std::string> pair = {t.label_name(l), t.label_name(r)};
+    if (pair == std::set<std::string>{a, b}) return true;
+  }
+  return false;
+}
+
+TEST(NeighborJoiningTest, RecoversAdditiveTreeCherries) {
+  // Distances from the additive tree ((A:1,B:1):2,(C:1,D:1):2) with the
+  // root edge split: d(A,B)=2, d(C,D)=2, cross pairs = 6.
+  std::vector<std::vector<double>> d = {
+      {0, 2, 6, 6},
+      {2, 0, 6, 6},
+      {6, 6, 0, 2},
+      {6, 6, 2, 0},
+  };
+  Tree t = NeighborJoiningFromMatrix({"A", "B", "C", "D"}, d, nullptr);
+  EXPECT_EQ(t.leaf_count(), 4);
+  EXPECT_TRUE(IsCherry(t, "A", "B") || IsCherry(t, "C", "D"));
+  // NJ on 4 taxa resolves both cherries of the true unrooted topology;
+  // rooting on the last edge keeps at least one intact, and neither
+  // wrong cherry may appear.
+  EXPECT_FALSE(IsCherry(t, "A", "C"));
+  EXPECT_FALSE(IsCherry(t, "A", "D"));
+  EXPECT_FALSE(IsCherry(t, "B", "C"));
+  EXPECT_FALSE(IsCherry(t, "B", "D"));
+}
+
+TEST(NeighborJoiningTest, TwoTaxa) {
+  std::vector<std::vector<double>> d = {{0, 3}, {3, 0}};
+  Tree t = NeighborJoiningFromMatrix({"A", "B"}, d, nullptr);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.leaf_count(), 2);
+  EXPECT_DOUBLE_EQ(t.branch_length(1) + t.branch_length(2), 3.0);
+}
+
+TEST(NeighborJoiningTest, BinaryWithAllTaxa) {
+  Rng rng(11);
+  Tree truth = RandomCoalescentTree(MakeTaxa(10), rng, nullptr, 0.1);
+  SimulateOptions opt;
+  opt.num_sites = 400;
+  Alignment a = SimulateAlignment(truth, opt, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  EXPECT_EQ(nj.leaf_count(), 10);
+  for (NodeId v = 0; v < nj.size(); ++v) {
+    if (!nj.is_leaf(v)) {
+      EXPECT_EQ(nj.children(v).size(), 2u);
+    }
+  }
+  // Every taxon appears exactly once.
+  EXPECT_TRUE(TaxonIndex::FromTree(nj).ok());
+}
+
+TEST(NeighborJoiningTest, RecoversSimulatedCladesMostly) {
+  // With generous sequence data, NJ should recover most nontrivial
+  // clusters of a clock-like model tree.
+  Rng rng(13);
+  Tree truth = RandomCoalescentTree(MakeTaxa(8), rng, nullptr, 0.08);
+  SimulateOptions opt;
+  opt.num_sites = 2000;
+  Alignment a = SimulateAlignment(truth, opt, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  TaxonIndex taxa = TaxonIndex::FromTree(truth).value();
+  auto truth_clusters = TreeClusters(truth, taxa).value();
+  auto nj_clusters = TreeClusters(nj, taxa).value();
+  std::set<Bitset> nj_set(nj_clusters.begin(), nj_clusters.end());
+  int recovered = 0;
+  for (const Bitset& c : truth_clusters) recovered += nj_set.contains(c);
+  // Rooting may break clusters that span the root, so expect most, not
+  // all, of the truth clusters.
+  EXPECT_GE(recovered * 2, static_cast<int>(truth_clusters.size()));
+}
+
+TEST(NeighborJoiningTest, BranchLengthsNonNegative) {
+  Rng rng(17);
+  Tree truth = RandomCoalescentTree(MakeTaxa(7), rng, nullptr, 0.1);
+  SimulateOptions opt;
+  opt.num_sites = 200;
+  Alignment a = SimulateAlignment(truth, opt, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  for (NodeId v = 1; v < nj.size(); ++v) {
+    EXPECT_GE(nj.branch_length(v), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "gen/uniform_generator.h"
+#include "tree/canonical.h"
+#include "tree/newick.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(NewickParseTest, SingleLeaf) {
+  Result<Tree> t = ParseNewick("A;");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->size(), 1);
+  EXPECT_EQ(t->label_name(0), "A");
+}
+
+TEST(NewickParseTest, SimpleCherry) {
+  Result<Tree> t = ParseNewick("(A,B);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 3);
+  EXPECT_FALSE(t->has_label(t->root()));
+  EXPECT_EQ(t->children(t->root()).size(), 2u);
+  EXPECT_EQ(t->leaf_count(), 2);
+}
+
+TEST(NewickParseTest, InternalLabels) {
+  Result<Tree> t = ParseNewick("((A,B)ab,C)root;");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->label_name(t->root()), "root");
+  NodeId ab = t->children(t->root())[0];
+  EXPECT_EQ(t->label_name(ab), "ab");
+}
+
+TEST(NewickParseTest, TrailingSemicolonOptional) {
+  EXPECT_TRUE(ParseNewick("(A,B)").ok());
+  EXPECT_TRUE(ParseNewick("(A,B);").ok());
+}
+
+TEST(NewickParseTest, BranchLengths) {
+  Result<Tree> t = ParseNewick("(A:0.5,B:1.25e1)r:3;");
+  ASSERT_TRUE(t.ok());
+  NodeId a = t->children(t->root())[0];
+  NodeId b = t->children(t->root())[1];
+  EXPECT_DOUBLE_EQ(t->branch_length(a), 0.5);
+  EXPECT_DOUBLE_EQ(t->branch_length(b), 12.5);
+}
+
+TEST(NewickParseTest, QuotedLabels) {
+  Result<Tree> t = ParseNewick("('Homo sapiens','it''s',B);");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->label_name(t->children(0)[0]), "Homo sapiens");
+  EXPECT_EQ(t->label_name(t->children(0)[1]), "it's");
+}
+
+TEST(NewickParseTest, WhitespaceAndComments) {
+  Result<Tree> t = ParseNewick("  ( A , [a comment] B ) r ;  ");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 3);
+  EXPECT_EQ(t->label_name(0), "r");
+}
+
+TEST(NewickParseTest, MultifurcationAndNesting) {
+  Result<Tree> t = ParseNewick("(A,B,C,(D,E,F)def)r;");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->children(t->root()).size(), 4u);
+  EXPECT_EQ(t->leaf_count(), 6);
+}
+
+TEST(NewickParseTest, ErrorEmpty) {
+  EXPECT_FALSE(ParseNewick("").ok());
+  EXPECT_FALSE(ParseNewick("   ").ok());
+}
+
+TEST(NewickParseTest, ErrorUnbalanced) {
+  EXPECT_FALSE(ParseNewick("((A,B);").ok());
+  EXPECT_FALSE(ParseNewick("(A,B));").ok());
+}
+
+TEST(NewickParseTest, ErrorTrailingGarbage) {
+  EXPECT_FALSE(ParseNewick("(A,B); extra").ok());
+}
+
+TEST(NewickParseTest, ErrorBadBranchLength) {
+  EXPECT_FALSE(ParseNewick("(A:xyz,B);").ok());
+  EXPECT_FALSE(ParseNewick("(A:,B);").ok());
+}
+
+TEST(NewickParseTest, ErrorUnterminatedQuote) {
+  EXPECT_FALSE(ParseNewick("('abc,B);").ok());
+}
+
+TEST(NewickParseTest, SharedLabelTable) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t1 = ParseNewick("(A,B);", labels).value();
+  Tree t2 = ParseNewick("(B,A);", labels).value();
+  EXPECT_EQ(t1.labels_ptr().get(), t2.labels_ptr().get());
+  EXPECT_EQ(t1.label(t1.children(0)[0]), t2.label(t2.children(0)[1]));
+}
+
+TEST(NewickForestTest, ParsesMultipleTrees) {
+  Result<std::vector<Tree>> forest =
+      ParseNewickForest("(A,B);\n# comment line\n(C,(A,B));\n\n(A,C);");
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  EXPECT_EQ(forest->size(), 3u);
+  EXPECT_EQ((*forest)[1].leaf_count(), 3);
+  // All trees share the forest's label table.
+  EXPECT_EQ((*forest)[0].labels_ptr().get(),
+            (*forest)[2].labels_ptr().get());
+}
+
+TEST(NewickForestTest, PropagatesParseErrors) {
+  EXPECT_FALSE(ParseNewickForest("(A,B);((C;").ok());
+}
+
+TEST(NewickWriteTest, SimpleRoundTrip) {
+  const std::string in = "((A,B)ab,C)r;";
+  Tree t = ParseNewick(in).value();
+  EXPECT_EQ(ToNewick(t), in);
+}
+
+TEST(NewickWriteTest, QuotesWhenNeeded) {
+  Tree t = ParseNewick("('Homo sapiens','a''b');").value();
+  EXPECT_EQ(ToNewick(t), "('Homo sapiens','a''b');");
+}
+
+TEST(NewickWriteTest, BranchLengthsOption) {
+  Tree t = ParseNewick("(A:0.5,B:2)r;").value();
+  NewickWriteOptions opts;
+  opts.write_branch_lengths = true;
+  EXPECT_EQ(ToNewick(t, opts), "(A:0.5,B:2)r;");
+}
+
+TEST(NewickWriteTest, SuppressInternalLabels) {
+  Tree t = ParseNewick("((A,B)ab,C)r;").value();
+  NewickWriteOptions opts;
+  opts.write_internal_labels = false;
+  EXPECT_EQ(ToNewick(t, opts), "((A,B),C);");
+}
+
+// Property: parse(write(T)) is isomorphic to T for random trees.
+class NewickRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NewickRoundTrip, RandomTreeSurvivesRoundTrip) {
+  Rng rng(GetParam());
+  UniformTreeOptions opts;
+  opts.tree_size = 60;
+  opts.alphabet_size = 15;
+  opts.labeled_fraction = 0.8;
+  Tree t = GenerateUniformTree(opts, rng);
+  Result<Tree> back = ParseNewick(ToNewick(t), t.labels_ptr());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(UnorderedIsomorphic(t, *back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NewickRoundTrip,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "tree/canonical.h"
+#include "tree/nexus.h"
+#include "tree/newick.h"
+
+namespace cousins {
+namespace {
+
+TEST(NexusTest, ParsesTreesBlockWithTranslate) {
+  const std::string nexus = R"(#NEXUS
+BEGIN TAXA;
+  DIMENSIONS NTAX=3;
+END;
+BEGIN TREES;
+  TRANSLATE
+    1 Homo_sapiens,
+    2 Pan_troglodytes,
+    3 Gorilla_gorilla;
+  TREE tree1 = [&R] ((1,2),3);
+  TREE tree2 = ((1,3),2);
+END;
+)";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].name, "tree1");
+  EXPECT_EQ((*result)[1].name, "tree2");
+  const Tree& t1 = (*result)[0].tree;
+  Tree expected =
+      ParseNewick("((Homo_sapiens,Pan_troglodytes),Gorilla_gorilla);",
+                  t1.labels_ptr())
+          .value();
+  EXPECT_TRUE(UnorderedIsomorphic(t1, expected));
+}
+
+TEST(NexusTest, QuotedTranslateNames) {
+  const std::string nexus = R"(
+begin trees;
+  translate 1 'Homo sapiens', 2 'Pan';
+  tree t = (1,2);
+end;
+)";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  const Tree& t = (*result)[0].tree;
+  bool found = false;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.has_label(v) && t.label_name(v) == "Homo sapiens") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NexusTest, NoTranslateTableKeepsLabels) {
+  const std::string nexus =
+      "BEGIN TREES; TREE a = ((x,y),z); END;";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  const Tree& t = (*result)[0].tree;
+  Tree expected = ParseNewick("((x,y),z);", t.labels_ptr()).value();
+  EXPECT_TRUE(UnorderedIsomorphic(t, expected));
+}
+
+TEST(NexusTest, CaseInsensitiveKeywords) {
+  const std::string nexus =
+      "Begin Trees; Tree T1 = (a,b); End;";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(NexusTest, IgnoresOtherBlocksAndStatements) {
+  const std::string nexus = R"(#NEXUS
+BEGIN CHARACTERS;
+  MATRIX x ACGT;
+END;
+BEGIN TREES;
+  LINK Taxa = taxa1;
+  TREE only = (a,(b,c));
+END;
+BEGIN NOTES;
+  TEXT whatever;
+END;
+)";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(NexusTest, MultipleTreesBlocksAndSharedLabels) {
+  const std::string nexus = R"(
+BEGIN TREES; TRANSLATE 1 alpha, 2 beta; TREE a = (1,2); END;
+BEGIN TREES; TREE b = (alpha,beta); END;
+)";
+  auto labels = std::make_shared<LabelTable>();
+  auto result = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Second block has no translate table; labels line up anyway.
+  EXPECT_TRUE(
+      UnorderedIsomorphic((*result)[0].tree, (*result)[1].tree));
+}
+
+TEST(NexusTest, BranchLengthsSurviveTranslation) {
+  const std::string nexus =
+      "BEGIN TREES; TRANSLATE 1 a, 2 b; TREE t = (1:0.5,2:1.5); END;";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  const Tree& t = (*result)[0].tree;
+  double total = 0;
+  for (NodeId v = 1; v < t.size(); ++v) total += t.branch_length(v);
+  EXPECT_DOUBLE_EQ(total, 2.0);
+}
+
+TEST(NexusTest, ErrorOnBadTreeStatement) {
+  EXPECT_FALSE(
+      ParseNexusTrees("BEGIN TREES; TREE broken (a,b); END;").ok());
+  EXPECT_FALSE(
+      ParseNexusTrees("BEGIN TREES; TREE t = ((a,b); END;").ok());
+}
+
+TEST(NexusTest, EmptyInputYieldsNoTrees) {
+  auto result = ParseNexusTrees("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+  auto no_block = ParseNexusTrees("#NEXUS\nBEGIN TAXA; END;");
+  ASSERT_TRUE(no_block.ok());
+  EXPECT_TRUE(no_block->empty());
+}
+
+TEST(NexusTest, CommentsStripped) {
+  const std::string nexus =
+      "BEGIN TREES; TREE t = [comment [nested]] (a,b); END;";
+  auto result = ParseNexusTrees(nexus);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "tree/canonical.h"
+#include "tree/nexus.h"
+#include "tree/newick.h"
+
+namespace cousins {
+namespace {
+
+std::vector<NamedTree> Sample(std::shared_ptr<LabelTable> labels) {
+  std::vector<NamedTree> trees;
+  trees.push_back(
+      {"mp1", ParseNewick("((Homo,Pan),Gorilla);", labels).value()});
+  trees.push_back(
+      {"mp2", ParseNewick("((Homo,Gorilla),Pan);", labels).value()});
+  return trees;
+}
+
+TEST(NexusWriteTest, RoundTripsWithTranslateTable) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<NamedTree> original = Sample(labels);
+  const std::string nexus = ToNexus(original);
+  EXPECT_NE(nexus.find("#NEXUS"), std::string::npos);
+  EXPECT_NE(nexus.find("TRANSLATE"), std::string::npos);
+
+  auto back = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 2u);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, original[i].name);
+    EXPECT_TRUE(
+        UnorderedIsomorphic((*back)[i].tree, original[i].tree));
+  }
+}
+
+TEST(NexusWriteTest, RoundTripsWithoutTranslateTable) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<NamedTree> original = Sample(labels);
+  NexusWriteOptions options;
+  options.use_translate_table = false;
+  const std::string nexus = ToNexus(original, options);
+  EXPECT_EQ(nexus.find("TRANSLATE"), std::string::npos);
+  auto back = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(
+        UnorderedIsomorphic((*back)[i].tree, original[i].tree));
+  }
+}
+
+TEST(NexusWriteTest, QuotedTaxaInTranslateTable) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<NamedTree> trees;
+  trees.push_back(
+      {"t", ParseNewick("('Homo sapiens','Pan, maybe');", labels).value()});
+  const std::string nexus = ToNexus(trees);
+  auto back = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << nexus;
+  EXPECT_TRUE(UnorderedIsomorphic((*back)[0].tree, trees[0].tree));
+}
+
+TEST(NexusWriteTest, UnnamedTreesGetIndexes) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<NamedTree> trees;
+  trees.push_back({"", ParseNewick("(a,b);", labels).value()});
+  const std::string nexus = ToNexus(trees);
+  auto back = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0].name, "tree_0");
+}
+
+TEST(NexusWriteTest, BranchLengthsOption) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<NamedTree> trees;
+  trees.push_back({"t", ParseNewick("(a:0.5,b:2.5);", labels).value()});
+  NexusWriteOptions options;
+  options.write_branch_lengths = true;
+  const std::string nexus = ToNexus(trees, options);
+  auto back = ParseNexusTrees(nexus, labels);
+  ASSERT_TRUE(back.ok());
+  const Tree& t = (*back)[0].tree;
+  double total = 0;
+  for (NodeId v = 1; v < t.size(); ++v) total += t.branch_length(v);
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "core/pair_count_map.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using internal::PackLabelPair;
+using internal::PairCountMap;
+using internal::UnpackFirst;
+using internal::UnpackSecond;
+
+TEST(PackLabelPairTest, CanonicalizesOrder) {
+  EXPECT_EQ(PackLabelPair(3, 7), PackLabelPair(7, 3));
+  EXPECT_NE(PackLabelPair(3, 7), PackLabelPair(3, 8));
+}
+
+TEST(PackLabelPairTest, RoundTrips) {
+  const uint64_t key = PackLabelPair(12345, 678);
+  EXPECT_EQ(UnpackFirst(key), 678);   // min in the high word
+  EXPECT_EQ(UnpackSecond(key), 12345);
+  const uint64_t same = PackLabelPair(42, 42);
+  EXPECT_EQ(UnpackFirst(same), 42);
+  EXPECT_EQ(UnpackSecond(same), 42);
+}
+
+TEST(PairCountMapTest, AddAndIterate) {
+  PairCountMap m;
+  m.Add(PackLabelPair(1, 2), 5);
+  m.Add(PackLabelPair(2, 1), 3);  // same key
+  m.Add(PackLabelPair(1, 3), 7);
+  EXPECT_EQ(m.size(), 2u);
+  std::map<uint64_t, int64_t> seen;
+  m.ForEach([&](uint64_t key, int64_t count) { seen[key] = count; });
+  EXPECT_EQ(seen[PackLabelPair(1, 2)], 8);
+  EXPECT_EQ(seen[PackLabelPair(1, 3)], 7);
+}
+
+TEST(PairCountMapTest, ZeroDeltaIsNoop) {
+  PairCountMap m;
+  m.Add(PackLabelPair(1, 2), 0);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(PairCountMapTest, NegativeDeltasSupported) {
+  PairCountMap m;
+  m.Add(PackLabelPair(4, 5), 10);
+  m.Add(PackLabelPair(4, 5), -4);
+  int64_t value = 0;
+  m.ForEach([&](uint64_t, int64_t count) { value = count; });
+  EXPECT_EQ(value, 6);
+}
+
+TEST(PairCountMapTest, ClearResets) {
+  PairCountMap m;
+  for (int i = 0; i < 100; ++i) m.Add(PackLabelPair(i, i + 1), 1);
+  EXPECT_EQ(m.size(), 100u);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  int entries = 0;
+  m.ForEach([&](uint64_t, int64_t) { ++entries; });
+  EXPECT_EQ(entries, 0);
+}
+
+TEST(PairCountMapTest, GrowsPastInitialCapacityCorrectly) {
+  // Stress rehash: verify against std::map on tens of thousands of
+  // random updates.
+  PairCountMap m;
+  std::map<uint64_t, int64_t> reference;
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = static_cast<LabelId>(rng.Uniform(500));
+    const auto b = static_cast<LabelId>(rng.Uniform(500));
+    const auto delta = static_cast<int64_t>(rng.UniformInt(-3, 5));
+    if (delta == 0) continue;
+    const uint64_t key = PackLabelPair(a, b);
+    m.Add(key, delta);
+    reference[key] += delta;
+  }
+  // Zero-net entries may be dropped at rehash (documented); compare the
+  // nonzero contents only.
+  std::map<uint64_t, int64_t> actual;
+  m.ForEach([&](uint64_t key, int64_t count) {
+    if (count != 0) actual[key] = count;
+  });
+  std::erase_if(reference, [](const auto& kv) { return kv.second == 0; });
+  EXPECT_EQ(actual, reference);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/parallel_mining.h"
+#include "gen/fanout_generator.h"
+#include "gen/yule_generator.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::vector<Tree> RandomForest(int count, uint64_t seed,
+                               std::shared_ptr<LabelTable> labels) {
+  Rng rng(seed);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 30;
+  gen.max_nodes = 80;
+  gen.alphabet_size = 60;
+  std::vector<Tree> trees;
+  for (int i = 0; i < count; ++i) {
+    trees.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  return trees;
+}
+
+class ParallelMining : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(ParallelMining, MatchesSequentialExactly) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(40, 123, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  auto sequential = MineMultipleTrees(trees, opt);
+  auto parallel = MineMultipleTreesParallel(trees, opt, GetParam());
+  EXPECT_EQ(sequential, parallel) << "threads=" << GetParam();
+}
+
+TEST_P(ParallelMining, MatchesSequentialIgnoringDistance) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(30, 321, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 3;
+  opt.ignore_distance = true;
+  EXPECT_EQ(MineMultipleTrees(trees, opt),
+            MineMultipleTreesParallel(trees, opt, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelMining,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelMiningTest, DefaultThreadCountWorks) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(10, 9, labels);
+  MultiTreeMiningOptions opt;
+  EXPECT_EQ(MineMultipleTrees(trees, opt),
+            MineMultipleTreesParallel(trees, opt, 0));
+}
+
+TEST(ParallelMiningTest, MoreThreadsThanTrees) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(3, 77, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 1;
+  EXPECT_EQ(MineMultipleTrees(trees, opt),
+            MineMultipleTreesParallel(trees, opt, 64));
+}
+
+TEST(ParallelMiningTest, EmptyForest) {
+  EXPECT_TRUE(MineMultipleTreesParallel({}, {}, 4).empty());
+}
+
+TEST(MergeFromTest, AccumulatesAcrossMiners) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(12, 55, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  MultiTreeMiner whole(opt);
+  for (const Tree& t : trees) whole.AddTree(t);
+  MultiTreeMiner left(opt);
+  MultiTreeMiner right(opt);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    (i % 2 == 0 ? left : right).AddTree(trees[i]);
+  }
+  left.MergeFrom(right);
+  EXPECT_EQ(left.tree_count(), whole.tree_count());
+  EXPECT_EQ(left.FrequentPairs(), whole.FrequentPairs());
+}
+
+}  // namespace
+}  // namespace cousins

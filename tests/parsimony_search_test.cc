@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "seq/fitch.h"
+#include "seq/jukes_cantor.h"
+#include "seq/neighbor_joining.h"
+#include "seq/parsimony_search.h"
+#include "tree/canonical.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+Alignment SimulatedData(uint64_t seed, int32_t num_taxa, int32_t sites,
+                        std::shared_ptr<LabelTable> labels) {
+  Rng rng(seed);
+  Tree truth = RandomCoalescentTree(MakeTaxa(num_taxa), rng, labels, 0.08);
+  SimulateOptions opt;
+  opt.num_sites = sites;
+  return SimulateAlignment(truth, opt, rng);
+}
+
+TEST(ParsimonySearchTest, ReturnsDistinctSortedTrees) {
+  auto labels = std::make_shared<LabelTable>();
+  Alignment a = SimulatedData(3, 10, 120, labels);
+  ParsimonySearchOptions opt;
+  opt.max_trees = 12;
+  opt.num_restarts = 2;
+  auto trees = SearchParsimoniousTrees(a, opt, labels);
+  ASSERT_GE(trees.size(), 2u);
+  EXPECT_LE(trees.size(), 12u);
+  std::set<std::string> canon;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_TRUE(canon.insert(CanonicalForm(trees[i].tree)).second)
+        << "duplicate topology at " << i;
+    if (i > 0) {
+      EXPECT_GE(trees[i].score, trees[i - 1].score);
+    }
+    // Scores are faithful.
+    EXPECT_EQ(trees[i].score, FitchScore(trees[i].tree, a).value());
+  }
+}
+
+TEST(ParsimonySearchTest, AllTreesContainAllTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  Alignment a = SimulatedData(5, 9, 100, labels);
+  ParsimonySearchOptions opt;
+  opt.max_trees = 8;
+  for (const ScoredTree& st : SearchParsimoniousTrees(a, opt, labels)) {
+    EXPECT_EQ(st.tree.leaf_count(), 9);
+    EXPECT_TRUE(TaxonIndex::FromTree(st.tree).ok());
+  }
+}
+
+TEST(ParsimonySearchTest, BeatsOrMatchesNeighborJoining) {
+  auto labels = std::make_shared<LabelTable>();
+  Alignment a = SimulatedData(7, 12, 150, labels);
+  ParsimonySearchOptions opt;
+  opt.max_trees = 5;
+  auto trees = SearchParsimoniousTrees(a, opt, labels);
+  ASSERT_FALSE(trees.empty());
+  const int64_t nj_score =
+      FitchScore(NeighborJoiningTree(a, labels), a).value();
+  EXPECT_LE(trees[0].score, nj_score);
+}
+
+TEST(ParsimonySearchTest, DeterministicGivenSeed) {
+  auto labels1 = std::make_shared<LabelTable>();
+  auto labels2 = std::make_shared<LabelTable>();
+  Alignment a1 = SimulatedData(11, 8, 80, labels1);
+  Alignment a2 = SimulatedData(11, 8, 80, labels2);
+  ParsimonySearchOptions opt;
+  opt.max_trees = 6;
+  auto t1 = SearchParsimoniousTrees(a1, opt, labels1);
+  auto t2 = SearchParsimoniousTrees(a2, opt, labels2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].score, t2[i].score);
+    EXPECT_EQ(CanonicalForm(t1[i].tree), CanonicalForm(t2[i].tree));
+  }
+}
+
+TEST(ParsimonySearchTest, PlateauCollectsEquallyParsimoniousTrees) {
+  // Low-signal data (few sites) produces score ties; the plateau walk
+  // should surface several equally parsimonious topologies.
+  auto labels = std::make_shared<LabelTable>();
+  Alignment a = SimulatedData(13, 10, 30, labels);
+  ParsimonySearchOptions opt;
+  opt.max_trees = 20;
+  opt.num_restarts = 3;
+  auto trees = SearchParsimoniousTrees(a, opt, labels);
+  ASSERT_GE(trees.size(), 3u);
+  int ties = 0;
+  for (const ScoredTree& st : trees) ties += st.score == trees[0].score;
+  EXPECT_GE(ties, 2) << "expected at least two equally parsimonious trees";
+}
+
+}  // namespace
+}  // namespace cousins

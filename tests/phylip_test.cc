@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "seq/phylip.h"
+
+namespace cousins {
+namespace {
+
+TEST(PhylipTest, SequentialFormat) {
+  auto a = ParsePhylip("2 6\nhuman  ACGTAC\nchimp  ACGTAA\n");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->num_taxa(), 2);
+  EXPECT_EQ(a->num_sites(), 6);
+  EXPECT_EQ(a->rows[0].taxon, "human");
+  EXPECT_EQ(a->rows[1].bases[5], 0u);  // A
+}
+
+TEST(PhylipTest, InterleavedFormat) {
+  auto a = ParsePhylip(
+      "2 8\n"
+      "human  ACGT\n"
+      "chimp  ACGA\n"
+      "TTTT\n"
+      "GGGG\n");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->num_sites(), 8);
+  EXPECT_EQ(a->rows[0].bases[4], 3u);  // T
+  EXPECT_EQ(a->rows[1].bases[4], 2u);  // G
+}
+
+TEST(PhylipTest, SpacesInsideSequencesIgnored) {
+  auto a = ParsePhylip("1 8\nx  ACGT ACGT\n");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_sites(), 8);
+}
+
+TEST(PhylipTest, Errors) {
+  EXPECT_FALSE(ParsePhylip("").ok());
+  EXPECT_FALSE(ParsePhylip("junk\nx ACG\n").ok());     // bad header
+  EXPECT_FALSE(ParsePhylip("2 4\nx ACGT\n").ok());     // too few rows
+  EXPECT_FALSE(ParsePhylip("1 4\nx ACG\n").ok());      // short sequence
+  EXPECT_FALSE(ParsePhylip("1 4\nx ACGTT\n").ok());    // long sequence
+  EXPECT_FALSE(ParsePhylip("1 4\nx ACNZ\n").ok());     // invalid base
+  EXPECT_FALSE(ParsePhylip("0 4\n").ok());             // zero taxa
+}
+
+TEST(PhylipTest, RoundTrip) {
+  const std::string text = "2 4\nalpha  ACGT\nbeta  TGCA\n";
+  Alignment a = ParsePhylip(text).value();
+  Alignment b = ParsePhylip(ToPhylip(a)).value();
+  ASSERT_EQ(b.num_taxa(), a.num_taxa());
+  for (int i = 0; i < a.num_taxa(); ++i) {
+    EXPECT_EQ(b.rows[i].taxon, a.rows[i].taxon);
+    EXPECT_EQ(b.rows[i].bases, a.rows[i].bases);
+  }
+}
+
+TEST(PhylipTest, InteroperatesWithFasta) {
+  Alignment a = ParsePhylip("2 4\nx  ACGT\ny  TTTT\n").value();
+  Alignment b = ParseFasta(">x\nACGT\n>y\nTTTT\n").value();
+  ASSERT_EQ(a.num_taxa(), b.num_taxa());
+  for (int i = 0; i < a.num_taxa(); ++i) {
+    EXPECT_EQ(a.rows[i].taxon, b.rows[i].taxon);
+    EXPECT_EQ(a.rows[i].bases, b.rows[i].bases);
+  }
+}
+
+}  // namespace
+}  // namespace cousins

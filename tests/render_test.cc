@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "tree/newick.h"
+#include "tree/render.h"
+
+namespace cousins {
+namespace {
+
+TEST(RenderTest, SimpleTree) {
+  Tree t = ParseNewick("((x,y)a,b)r;").value();
+  const std::string art = RenderAscii(t);
+  EXPECT_EQ(art,
+            "r\n"
+            "├── a\n"
+            "│   ├── x\n"
+            "│   └── y\n"
+            "└── b\n");
+}
+
+TEST(RenderTest, UnlabeledNodesAsStar) {
+  Tree t = ParseNewick("(x,y);").value();
+  const std::string art = RenderAscii(t);
+  EXPECT_EQ(art,
+            "*\n"
+            "├── x\n"
+            "└── y\n");
+}
+
+TEST(RenderTest, SingleNode) {
+  Tree t = ParseNewick("only;").value();
+  EXPECT_EQ(RenderAscii(t), "only\n");
+  EXPECT_EQ(RenderAscii(Tree()), "");
+}
+
+TEST(RenderTest, ShowIdsAndBranchLengths) {
+  Tree t = ParseNewick("(x:2.5)r;").value();
+  RenderOptions options;
+  options.show_ids = true;
+  options.show_branch_lengths = true;
+  EXPECT_EQ(RenderAscii(t, options),
+            "r (#0)\n"
+            "└── x (#1):2.5\n");
+}
+
+TEST(RenderTest, EveryNodeOnItsOwnLine) {
+  Tree t = ParseNewick("((a,b,c)x,(d,(e,f)g)h)r;").value();
+  const std::string art = RenderAscii(t);
+  int lines = 0;
+  for (char c : art) lines += c == '\n';
+  EXPECT_EQ(lines, t.size());
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "tree/canonical.h"
+#include "tree/restrict.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+std::vector<LabelId> Ids(const Tree& t,
+                         const std::vector<std::string>& names) {
+  std::vector<LabelId> out;
+  for (const std::string& n : names) out.push_back(t.labels().Find(n));
+  return out;
+}
+
+TEST(RestrictTest, KeepsInducedTopology) {
+  Tree t = MustParse("(((A,B)ab,C)abc,(D,E)de)r;");
+  Result<Tree> r = RestrictToLabels(t, Ids(t, {"A", "B", "D"}));
+  ASSERT_TRUE(r.ok());
+  Tree expected = MustParse("((A,B)ab,D)r;", t.labels_ptr());
+  EXPECT_TRUE(UnorderedIsomorphic(*r, expected));
+}
+
+TEST(RestrictTest, CollapsesUnaryChains) {
+  Tree t = MustParse("(((A,B)ab,C)abc,D)r;");
+  Result<Tree> r = RestrictToLabels(t, Ids(t, {"A", "B"}));
+  ASSERT_TRUE(r.ok());
+  // Only the (A,B) cherry survives; abc/r collapse away entirely, so
+  // the result's root is the ab node.
+  EXPECT_EQ(r->leaf_count(), 2);
+  EXPECT_EQ(r->size(), 3);
+  EXPECT_EQ(r->label_name(r->root()), "ab");
+}
+
+TEST(RestrictTest, SingleKeptLeaf) {
+  Tree t = MustParse("((A,B),C);");
+  Result<Tree> r = RestrictToLabels(t, Ids(t, {"C"}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1);
+  EXPECT_EQ(r->label_name(r->root()), "C");
+}
+
+TEST(RestrictTest, BranchLengthsSumAcrossSuppressedNodes) {
+  Tree t = MustParse("(((A:1,B:1)x:2,C:1)y:3,D:10)r;");
+  Result<Tree> r = RestrictToLabels(t, Ids(t, {"A", "B", "D"}));
+  ASSERT_TRUE(r.ok());
+  // y is suppressed: x absorbs y's edge, so x's branch is 2 + 3 = 5.
+  for (NodeId v = 0; v < r->size(); ++v) {
+    if (r->has_label(v) && r->label_name(v) == "x") {
+      EXPECT_DOUBLE_EQ(r->branch_length(v), 5.0);
+    }
+  }
+}
+
+TEST(RestrictTest, NoMatchingLeafFails) {
+  Tree t = MustParse("((A,B),C);");
+  EXPECT_FALSE(RestrictToLabels(t, {}).ok());
+  LabelId bogus = t.labels_ptr()->Intern("Z");
+  EXPECT_FALSE(RestrictToLabels(t, {bogus}).ok());
+}
+
+TEST(RestrictTest, FullSetIsIdentityModuloUnaryChains) {
+  Tree t = MustParse("((A,B)x,(C,D)y)r;");
+  TaxonIndex taxa = TaxonIndex::FromTree(t).value();
+  std::vector<LabelId> all;
+  for (int32_t i = 0; i < taxa.size(); ++i) all.push_back(taxa.label_of(i));
+  Result<Tree> r = RestrictToLabels(t, all);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(UnorderedIsomorphic(*r, t));
+}
+
+TEST(RestrictTest, RestrictionPreservesClusters) {
+  // Property: clusters of the restricted tree = nontrivial projections
+  // of the original clusters.
+  Rng rng(91);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(14);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t = RandomCoalescentTree(taxa, rng, labels);
+    // Keep a random half of the taxa.
+    std::vector<LabelId> keep;
+    for (const std::string& name : taxa) {
+      if (rng.NextBool(0.5)) keep.push_back(labels->Find(name));
+    }
+    if (keep.size() < 3) continue;
+    Result<Tree> r = RestrictToLabels(t, keep);
+    ASSERT_TRUE(r.ok());
+    TaxonIndex sub = TaxonIndex::FromTree(*r).value();
+    EXPECT_EQ(sub.size(), static_cast<int32_t>(keep.size()));
+    // Each cluster of the restriction must be the projection of some
+    // original cluster (or the complement-side of one).
+    std::vector<Bitset> restricted = TreeClusters(*r, sub).value();
+    TaxonIndex full = TaxonIndex::FromTree(t).value();
+    std::vector<Bitset> original = TreeClusters(t, full).value();
+    for (const Bitset& rc : restricted) {
+      bool matched = false;
+      for (const Bitset& oc : original) {
+        // Project oc to the kept taxa and compare.
+        Bitset projected(sub.size());
+        for (int32_t i = 0; i < full.size(); ++i) {
+          if (!oc.Test(i)) continue;
+          const int32_t j = sub.index_of(full.label_of(i));
+          if (j >= 0) projected.Set(j);
+        }
+        if (projected == rc) {
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cousins

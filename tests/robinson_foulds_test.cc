@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/robinson_foulds.h"
+#include "phylo/tree_distance.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(RobinsonFouldsTest, IdenticalTreesDistanceZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B),(C,D));", labels);
+  Tree b = MustParse("((B,A),(D,C));", labels);
+  auto r = RobinsonFoulds(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->distance, 0.0);
+  EXPECT_DOUBLE_EQ(r->normalized, 0.0);
+}
+
+TEST(RobinsonFouldsTest, CompletelyConflictingResolution) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B),(C,D));", labels);
+  Tree b = MustParse("((A,C),(B,D));", labels);
+  auto r = RobinsonFoulds(a, b);
+  ASSERT_TRUE(r.ok());
+  // Each tree has 2 nontrivial clusters, none shared: (2 + 2) / 2 = 2.
+  EXPECT_DOUBLE_EQ(r->distance, 2.0);
+  EXPECT_DOUBLE_EQ(r->normalized, 1.0);
+}
+
+TEST(RobinsonFouldsTest, PartialOverlap) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(((A,B),C),D,E);", labels);  // {AB}, {ABC}
+  Tree b = MustParse("(((A,B),D),C,E);", labels);  // {AB}, {ABD}
+  auto r = RobinsonFoulds(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->distance, 1.0);  // symmetric diff {ABC},{ABD} / 2
+  EXPECT_DOUBLE_EQ(r->normalized, 0.5);
+}
+
+TEST(RobinsonFouldsTest, StarVsResolved) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree star = MustParse("(A,B,C,D);", labels);
+  Tree resolved = MustParse("((A,B),(C,D));", labels);
+  auto r = RobinsonFoulds(star, resolved);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->distance, 1.0);  // (0 + 2) / 2
+  EXPECT_DOUBLE_EQ(r->normalized, 1.0);
+}
+
+TEST(RobinsonFouldsTest, TwoStarsDistanceZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A,B,C);", labels);
+  Tree b = MustParse("(C,A,B);", labels);
+  auto r = RobinsonFoulds(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->distance, 0.0);
+  EXPECT_DOUBLE_EQ(r->normalized, 0.0);
+}
+
+TEST(RobinsonFouldsTest, RequiresIdenticalTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B),C);", labels);
+  Tree b = MustParse("((A,B),D);", labels);
+  EXPECT_FALSE(RobinsonFoulds(a, b).ok());
+  // This is exactly the case the cousin-pair distance handles (§5.3).
+  EXPECT_LT(CousinTreeDistance(a, b, CousinItemAbstraction::kLabelsOnly),
+            1.0);
+}
+
+TEST(RobinsonFouldsTest, SymmetricAndBounded) {
+  Rng rng(55);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree a = RandomCoalescentTree(taxa, rng, labels);
+    Tree b = RandomCoalescentTree(taxa, rng, labels);
+    auto ab = RobinsonFoulds(a, b);
+    auto ba = RobinsonFoulds(b, a);
+    ASSERT_TRUE(ab.ok() && ba.ok());
+    EXPECT_DOUBLE_EQ(ab->distance, ba->distance);
+    EXPECT_GE(ab->normalized, 0.0);
+    EXPECT_LE(ab->normalized, 1.0);
+  }
+}
+
+TEST(RobinsonFouldsTest, CorrelatesWithCousinDistanceOnSameTaxa) {
+  // Both measures must call identical trees identical; on a pair of
+  // random resolved trees both must be positive.
+  Rng rng(56);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(10);
+  Tree a = RandomCoalescentTree(taxa, rng, labels);
+  Tree b = RandomCoalescentTree(taxa, rng, labels);
+  auto rf = RobinsonFoulds(a, b);
+  ASSERT_TRUE(rf.ok());
+  const double cousin = CousinTreeDistance(
+      a, b, CousinItemAbstraction::kDistanceAndOccurrence);
+  if (rf->distance > 0) {
+    EXPECT_GT(cousin, 0.0);
+  }
+  auto self = RobinsonFoulds(a, a);
+  EXPECT_DOUBLE_EQ(self->distance, 0.0);
+  EXPECT_DOUBLE_EQ(CousinTreeDistance(
+                       a, a, CousinItemAbstraction::kDistanceAndOccurrence),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace cousins

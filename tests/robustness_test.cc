@@ -1,0 +1,101 @@
+// Failure-injection / robustness tests: malformed input must come back
+// as Status errors, never crashes or silent misparses.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "seq/alignment.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+// Random strings over Newick's structural alphabet: every outcome must
+// be a clean ok/error, and ok outcomes must re-serialize and re-parse.
+class NewickFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NewickFuzz, RandomStructuralStringsNeverCrash) {
+  static constexpr char kAlphabet[] = "(),;:'ab1.- \t";
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < len; ++i) {
+      input += kAlphabet[rng.Uniform(sizeof(kAlphabet) - 1)];
+    }
+    Result<Tree> parsed = ParseNewick(input);
+    if (!parsed.ok()) continue;
+    // Whatever parsed must survive a round trip.
+    Result<Tree> again = ParseNewick(ToNewick(*parsed), parsed->labels_ptr());
+    ASSERT_TRUE(again.ok()) << "input: " << input;
+    EXPECT_EQ(again->size(), parsed->size()) << "input: " << input;
+  }
+}
+
+TEST_P(NewickFuzz, TruncationsOfValidTreesNeverCrash) {
+  const std::string valid =
+      "(('Homo sapiens':0.1,Pan:0.2)hominini:0.3,(Gorilla,Pongo)x)r;";
+  Rng rng(GetParam() + 99);
+  for (size_t cut = 0; cut <= valid.size(); ++cut) {
+    Result<Tree> parsed = ParseNewick(valid.substr(0, cut));
+    // Either outcome is fine; no crash and no empty-success.
+    if (parsed.ok()) {
+      EXPECT_GT(parsed->size(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NewickFuzz, ::testing::Range<uint64_t>(0, 6));
+
+TEST(NexusRobustnessTest, GarbageAndTruncations) {
+  const std::string valid =
+      "#NEXUS\nBEGIN TREES;\nTRANSLATE 1 a, 2 b;\nTREE t = (1,2);\nEND;\n";
+  for (size_t cut = 0; cut <= valid.size(); cut += 3) {
+    auto result = ParseNexusTrees(valid.substr(0, cut));
+    if (result.ok()) {
+      for (const NamedTree& nt : *result) EXPECT_GT(nt.tree.size(), 0);
+    }
+  }
+  EXPECT_TRUE(ParseNexusTrees("BEGIN TREES; END; BEGIN TREES;").ok());
+  EXPECT_FALSE(
+      ParseNexusTrees("BEGIN TREES; TRANSLATE 1; TREE t=(1,2); END;").ok());
+}
+
+TEST(FastaRobustnessTest, Truncations) {
+  const std::string valid = ">alpha\nACGTAC\n>beta\nTTGGCC\n";
+  for (size_t cut = 0; cut <= valid.size(); ++cut) {
+    auto result = ParseFasta(valid.substr(0, cut));
+    if (result.ok()) {
+      EXPECT_GE(result->num_taxa(), 0);
+    }
+  }
+}
+
+TEST(NewickRobustnessTest, DeepNestingDoesNotOverflow) {
+  // 20k-deep nesting exercises the iterative/recursive paths. The
+  // recursive-descent parser uses one stack frame per depth; 20k is
+  // within any sane stack budget and documents the practical bound.
+  const int depth = 20000;
+  std::string input;
+  for (int i = 0; i < depth; ++i) input += '(';
+  input += 'a';
+  for (int i = 0; i < depth; ++i) input += ')';
+  input += ';';
+  Result<Tree> parsed = ParseNewick(input);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), depth + 1);
+  EXPECT_EQ(parsed->height(), depth);
+}
+
+TEST(NewickRobustnessTest, HugeBranchLengthAndWeirdNumbers) {
+  EXPECT_TRUE(ParseNewick("(a:1e308,b:0.0);").ok());
+  EXPECT_TRUE(ParseNewick("(a:-1,b:2);").ok());  // negative allowed
+  EXPECT_FALSE(ParseNewick("(a:1e,b);").ok());
+  EXPECT_FALSE(ParseNewick("(a:1..2,b);").ok());
+}
+
+}  // namespace
+}  // namespace cousins

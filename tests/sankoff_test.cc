@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "gen/uniform_generator.h"
+#include "gen/yule_generator.h"
+#include "seq/fitch.h"
+#include "seq/jukes_cantor.h"
+#include "seq/sankoff.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+Alignment Make(const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::string fasta;
+  for (const auto& [name, seq] : rows) {
+    fasta += ">" + name + "\n" + seq + "\n";
+  }
+  return ParseFasta(fasta).value();
+}
+
+TEST(CostMatrixTest, UnitCosts) {
+  SubstitutionCosts c = UnitCosts();
+  for (int i = 0; i < kNumBases; ++i) {
+    for (int j = 0; j < kNumBases; ++j) {
+      EXPECT_EQ(c[i][j], i == j ? 0 : 1);
+    }
+  }
+}
+
+TEST(CostMatrixTest, TransitionTransversion) {
+  SubstitutionCosts c = TransitionTransversionCosts(1, 2);
+  // A<->G and C<->T are transitions.
+  EXPECT_EQ(c[0][2], 1);
+  EXPECT_EQ(c[2][0], 1);
+  EXPECT_EQ(c[1][3], 1);
+  EXPECT_EQ(c[0][1], 2);
+  EXPECT_EQ(c[0][3], 2);
+  EXPECT_EQ(c[2][3], 2);
+  EXPECT_EQ(c[0][0], 0);
+}
+
+TEST(SankoffTest, MatchesFitchOnBinaryExamples) {
+  Alignment a = Make({{"w", "AC"}, {"x", "AG"}, {"y", "GC"}, {"z", "GG"}});
+  for (const char* newick :
+       {"((w,x),(y,z));", "((w,y),(x,z));", "((w,z),(x,y));",
+        "(((w,x),y),z);"}) {
+    Tree t = MustParse(newick);
+    EXPECT_EQ(SankoffScore(t, a, UnitCosts()).value(),
+              FitchScore(t, a).value())
+        << newick;
+  }
+}
+
+TEST(SankoffTest, MultifurcatingStar) {
+  // Star over A, A, G, G, T: best root state saves 2 -> cost 3.
+  Alignment a = Make({{"p", "A"}, {"q", "A"}, {"r", "G"}, {"s", "G"},
+                      {"t", "T"}});
+  Tree star = MustParse("(p,q,r,s,t);");
+  EXPECT_EQ(SankoffScore(star, a, UnitCosts()).value(), 3);
+  EXPECT_EQ(HartiganScore(star, a).value(), 3);
+}
+
+TEST(SankoffTest, WeightedCostsChangeTheScore) {
+  // One A->G difference: a transition. Under 1:2 weighting a site with
+  // an A/G split costs 1; an A/C split costs 2.
+  Alignment transitions = Make({{"x", "A"}, {"y", "G"}});
+  Alignment transversions = Make({{"x", "A"}, {"y", "C"}});
+  Tree t = MustParse("(x,y);");
+  SubstitutionCosts weighted = TransitionTransversionCosts(1, 2);
+  EXPECT_EQ(SankoffScore(t, transitions, weighted).value(), 1);
+  EXPECT_EQ(SankoffScore(t, transversions, weighted).value(), 2);
+}
+
+TEST(SankoffTest, ErrorsMirrorFitch) {
+  Alignment a = Make({{"w", "A"}});
+  EXPECT_FALSE(SankoffScore(Tree(), a, UnitCosts()).ok());
+  EXPECT_FALSE(SankoffScore(MustParse("(w,x);"), a, UnitCosts()).ok());
+  EXPECT_FALSE(
+      SankoffScore(MustParse("(w,x);"), Alignment(), UnitCosts()).ok());
+  EXPECT_FALSE(HartiganScore(MustParse("(w,);"), a).ok());
+}
+
+class GeneralizedParsimonyProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralizedParsimonyProperty, HartiganEqualsSankoffUnitCosts) {
+  Rng rng(GetParam());
+  // Random multifurcating tree over taxa as leaves.
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 15;
+  gen.max_nodes = 40;
+  gen.multifurcation_prob = 0.5;
+  gen.max_children = 5;
+  gen.alphabet_size = 1000000;  // unique-ish taxa
+  Tree shape = GenerateYulePhylogeny(gen, rng);
+  // Random sequences for its leaves.
+  std::string fasta;
+  int32_t taxa = 0;
+  for (NodeId v = 0; v < shape.size(); ++v) {
+    if (!shape.is_leaf(v)) continue;
+    ++taxa;
+    fasta += ">" + shape.label_name(v) + "\n";
+    for (int s = 0; s < 20; ++s) fasta += "ACGT"[rng.Uniform(4)];
+    fasta += "\n";
+  }
+  Result<Alignment> alignment = ParseFasta(fasta);
+  if (!alignment.ok()) return;  // duplicate taxon draw; skip
+  Result<int64_t> sankoff = SankoffScore(shape, *alignment, UnitCosts());
+  Result<int64_t> hartigan = HartiganScore(shape, *alignment);
+  ASSERT_TRUE(sankoff.ok()) << sankoff.status().ToString();
+  ASSERT_TRUE(hartigan.ok());
+  EXPECT_EQ(*sankoff, *hartigan) << "taxa=" << taxa;
+}
+
+TEST_P(GeneralizedParsimonyProperty, AllThreeAgreeOnBinaryTrees) {
+  Rng rng(GetParam() + 400);
+  Tree truth = RandomCoalescentTree(MakeTaxa(10), rng, nullptr, 0.2);
+  SimulateOptions sim;
+  sim.num_sites = 40;
+  Alignment a = SimulateAlignment(truth, sim, rng);
+  const int64_t fitch = FitchScore(truth, a).value();
+  EXPECT_EQ(SankoffScore(truth, a, UnitCosts()).value(), fitch);
+  EXPECT_EQ(HartiganScore(truth, a).value(), fitch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralizedParsimonyProperty,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace cousins

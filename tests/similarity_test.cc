@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "core/single_tree_mining.h"
+#include "phylo/similarity.h"
+#include "test_util.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(SimilarityTest, SelfSimilarityCountsSharedPairs) {
+  Tree t = MustParse("((A,B)x,(C,D)y)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 3;
+  // Every shared pair contributes exactly 1 against itself.
+  auto items = MineSingleTree(t, opt);
+  std::set<std::pair<LabelId, LabelId>> label_pairs;
+  for (const CousinPairItem& item : items) {
+    label_pairs.insert({item.label1, item.label2});
+  }
+  EXPECT_DOUBLE_EQ(CousinSimilarityScore(t, t, opt),
+                   static_cast<double>(label_pairs.size()));
+}
+
+TEST(SimilarityTest, GeometricDecayWithDistanceGap) {
+  auto labels = std::make_shared<LabelTable>();
+  // In c1, (A, B) are siblings (d = 0); in t1 they are first cousins
+  // (d = 1): |Δd| = 1 contributes 1/2.
+  Tree c1 = MustParse("(A,B);", labels);
+  Tree t1 = MustParse("((A)x,(B)y);", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  EXPECT_DOUBLE_EQ(CousinSimilarityScore(c1, t1, opt), 0.5);
+}
+
+TEST(SimilarityTest, HalfDistanceGapDecaysBySqrt2) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree c1 = MustParse("(A,B);", labels);          // d = 0
+  Tree t1 = MustParse("((A)x,B);", labels);       // d = 0.5
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  EXPECT_NEAR(CousinSimilarityScore(c1, t1, opt), std::exp2(-0.5), 1e-12);
+}
+
+TEST(SimilarityTest, DisjointLabelSetsScoreZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A,B);", labels);
+  Tree b = MustParse("(C,D);", labels);
+  EXPECT_DOUBLE_EQ(CousinSimilarityScore(a, b), 0.0);
+}
+
+TEST(SimilarityTest, PairsBeyondMaxdistExcluded) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A,B);", labels);
+  // In b, A and B are second cousins (d = 2) — beyond maxdist 1.5, so
+  // the pair is absent from b's item set and contributes nothing.
+  Tree b = MustParse("(((A)p)q,((B)u)v)r;", labels);
+  MiningOptions opt;  // default maxdist 1.5
+  EXPECT_DOUBLE_EQ(CousinSimilarityScore(a, b, opt), 0.0);
+}
+
+TEST(SimilarityTest, AverageOverOriginals) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree consensus = MustParse("(A,B);", labels);
+  std::vector<Tree> originals = {
+      MustParse("(A,B);", labels),        // contributes 1
+      MustParse("((A)x,(B)y);", labels),  // contributes 1/2
+  };
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  EXPECT_DOUBLE_EQ(AverageSimilarityScore(consensus, originals, opt), 0.75);
+}
+
+TEST(SimilarityTest, MoreFaithfulConsensusScoresHigher) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> originals = {
+      MustParse("((A,B),(C,D));", labels),
+      MustParse("((A,B),(C,D));", labels),
+      MustParse("((A,B),C,D);", labels),
+  };
+  MiningOptions opt;
+  opt.twice_maxdist = 3;
+  Tree faithful = MustParse("((A,B),(C,D));", labels);
+  Tree star = MustParse("(A,B,C,D);", labels);
+  EXPECT_GT(AverageSimilarityScore(faithful, originals, opt),
+            AverageSimilarityScore(star, originals, opt));
+}
+
+TEST(SimilarityTest, ItemVectorOverloadMatchesTreeOverload) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B)x,(C,D)y)r;", labels);
+  Tree b = MustParse("((A,C)x,(B,D)y)r;", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 3;
+  EXPECT_DOUBLE_EQ(
+      CousinSimilarityScore(a, b, opt),
+      CousinSimilarityScore(MineSingleTree(a, opt), MineSingleTree(b, opt)));
+}
+
+TEST(SimilarityTest, SymmetricInArguments) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B)x,(C,D)y)r;", labels);
+  Tree b = MustParse("((A,C)x,(B,D)y)r;", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  EXPECT_DOUBLE_EQ(CousinSimilarityScore(a, b, opt),
+                   CousinSimilarityScore(b, a, opt));
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/naive_mining.h"
+#include "core/paper_mining.h"
+#include "core/single_tree_mining.h"
+#include "test_util.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::ItemsToString;
+using testing_util::MustParse;
+
+/// Looks up the occurrence count of (a, b, d) in canonical items.
+int64_t Occ(const Tree& t, const std::vector<CousinPairItem>& items,
+            const std::string& a, const std::string& b, int twice_d) {
+  LabelId la = t.labels().Find(a);
+  LabelId lb = t.labels().Find(b);
+  if (la > lb) std::swap(la, lb);
+  for (const CousinPairItem& item : items) {
+    if (item.label1 == la && item.label2 == lb &&
+        item.twice_distance == twice_d) {
+      return item.occurrences;
+    }
+  }
+  return 0;
+}
+
+TEST(SingleTreeMiningTest, SiblingsOnly) {
+  Tree t = MustParse("(a,b,c);");
+  MiningOptions opt;
+  opt.twice_maxdist = 0;
+  auto items = MineSingleTree(t, opt);
+  ASSERT_EQ(items.size(), 3u) << ItemsToString(t.labels(), items);
+  EXPECT_EQ(Occ(t, items, "a", "b", 0), 1);
+  EXPECT_EQ(Occ(t, items, "a", "c", 0), 1);
+  EXPECT_EQ(Occ(t, items, "b", "c", 0), 1);
+}
+
+TEST(SingleTreeMiningTest, TableOneStyleItemTable) {
+  // A small tree with repeated labels, as in the paper's Table 1
+  // discussion: the pair (b, c) appears as siblings twice, so its item
+  // is (b, c, 0, 2); (a, a) is a same-label cousin pair.
+  Tree t = MustParse("((b,c)x,(b,c)y,(a,a)z)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 2;
+  auto items = MineSingleTree(t, opt);
+  EXPECT_EQ(Occ(t, items, "b", "c", 0), 2);  // within x and within y
+  EXPECT_EQ(Occ(t, items, "a", "a", 0), 1);  // the two a-leaves
+  EXPECT_EQ(Occ(t, items, "b", "c", 2), 2);  // cross x-y first cousins
+  EXPECT_EQ(Occ(t, items, "b", "b", 2), 1);
+  EXPECT_EQ(Occ(t, items, "c", "c", 2), 1);
+  EXPECT_EQ(Occ(t, items, "a", "b", 2), 4);  // z's two a's vs both b's
+  EXPECT_EQ(Occ(t, items, "x", "y", 0), 1);  // labeled internals pair too
+}
+
+TEST(SingleTreeMiningTest, AuntNieceCounts) {
+  Tree t = MustParse("((u,v)p,w)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 1;
+  auto items = MineSingleTree(t, opt);
+  EXPECT_EQ(Occ(t, items, "u", "v", 0), 1);
+  EXPECT_EQ(Occ(t, items, "p", "w", 0), 1);
+  EXPECT_EQ(Occ(t, items, "u", "w", 1), 1);  // aunt-niece
+  EXPECT_EQ(Occ(t, items, "v", "w", 1), 1);
+  EXPECT_EQ(items.size(), 4u) << ItemsToString(t.labels(), items);
+}
+
+TEST(SingleTreeMiningTest, FamilyTreeDistances) {
+  Tree t = testing_util::FamilyTree();
+  MiningOptions opt;
+  opt.twice_maxdist = 5;
+  auto items = MineSingleTree(t, opt);
+  EXPECT_EQ(Occ(t, items, "c", "s", 0), 1);
+  EXPECT_EQ(Occ(t, items, "aunt", "c", 1), 1);
+  EXPECT_EQ(Occ(t, items, "c", "e", 2), 1);
+  EXPECT_EQ(Occ(t, items, "c", "g", 3), 1);
+  EXPECT_EQ(Occ(t, items, "c", "h", 4), 1);
+  EXPECT_EQ(Occ(t, items, "c", "f", 5), 1);
+}
+
+TEST(SingleTreeMiningTest, MaxdistCutsOff) {
+  Tree t = testing_util::FamilyTree();
+  MiningOptions opt;
+  opt.twice_maxdist = 2;
+  auto items = MineSingleTree(t, opt);
+  EXPECT_EQ(Occ(t, items, "c", "e", 2), 1);
+  EXPECT_EQ(Occ(t, items, "c", "g", 3), 0);
+  for (const CousinPairItem& item : items) {
+    EXPECT_LE(item.twice_distance, 2);
+  }
+}
+
+TEST(SingleTreeMiningTest, MinOccurFilters) {
+  Tree t = MustParse("((b,c)x,(b,c)y)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 2;
+  opt.min_occur = 2;
+  auto items = MineSingleTree(t, opt);
+  for (const CousinPairItem& item : items) {
+    EXPECT_GE(item.occurrences, 2);
+  }
+  EXPECT_EQ(Occ(t, items, "b", "c", 0), 2);
+  EXPECT_EQ(Occ(t, items, "x", "y", 0), 0);  // occurs once; filtered
+}
+
+TEST(SingleTreeMiningTest, UnlabeledNodesNeverPair) {
+  Tree t = MustParse("((a,b),(c));");  // unlabeled internals
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  auto items = MineSingleTree(t, opt);
+  for (const CousinPairItem& item : items) {
+    EXPECT_GE(item.label1, 0);
+    EXPECT_GE(item.label2, 0);
+  }
+  EXPECT_EQ(Occ(t, items, "a", "b", 0), 1);
+  EXPECT_EQ(Occ(t, items, "a", "c", 2), 1);
+}
+
+TEST(SingleTreeMiningTest, EmptyAndTinyTrees) {
+  EXPECT_TRUE(MineSingleTree(Tree()).empty());
+  EXPECT_TRUE(MineSingleTree(MustParse("a;")).empty());
+  EXPECT_TRUE(MineSingleTree(MustParse("(a)b;")).empty());  // chain only
+}
+
+TEST(SingleTreeMiningTest, NegativeMaxdistYieldsNothing) {
+  MiningOptions opt;
+  opt.twice_maxdist = -1;
+  EXPECT_TRUE(MineSingleTree(MustParse("(a,b);"), opt).empty());
+}
+
+TEST(SingleTreeMiningTest, SameLabelPairHalving) {
+  // Five 'a' siblings: C(5,2) = 10 unordered pairs.
+  Tree t = MustParse("(a,a,a,a,a);");
+  MiningOptions opt;
+  opt.twice_maxdist = 0;
+  auto items = MineSingleTree(t, opt);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].occurrences, 10);
+}
+
+TEST(SingleTreeMiningTest, CrossSubtreeSameLabel) {
+  // Two a's under x, three under y: cross pairs = 2*3 = 6 at d=1,
+  // within-x pair = 1, within-y pairs = 3 at d=0.
+  Tree t = MustParse("((a,a)x,(a,a,a)y)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 2;
+  auto items = MineSingleTree(t, opt);
+  EXPECT_EQ(Occ(t, items, "a", "a", 0), 4);
+  EXPECT_EQ(Occ(t, items, "a", "a", 2), 6);
+}
+
+TEST(SingleTreeMiningTest, OutputIsCanonical) {
+  Tree t = testing_util::FamilyTree();
+  MiningOptions opt;
+  opt.twice_maxdist = 5;
+  auto items = MineSingleTree(t, opt);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_LE(items[i].label1, items[i].label2);
+    if (i > 0) {
+      EXPECT_LT(items[i - 1], items[i]);
+    }
+  }
+}
+
+TEST(SingleTreeMiningTest, DeepChainHasNoCousins) {
+  // A pure path has no two nodes with a common ancestor and height >= 1
+  // on both sides.
+  Tree t = MustParse("((((e)d)c)b)a;");
+  MiningOptions opt;
+  opt.twice_maxdist = 10;
+  EXPECT_TRUE(MineSingleTree(t, opt).empty());
+}
+
+TEST(SingleTreeMiningTest, PaperAndNaiveMinersAgreeOnExamples) {
+  for (const char* newick :
+       {"(a,b,c);", "((b,c)x,(b,c)y,(a,a)z)r;", "((u,v)p,w)r;",
+        "((a,a)x,(a,a,a)y)r;", "((((e)d)c)b)a;", "(a,(b,(c,(d,(e,f)))));"}) {
+    Tree t = MustParse(newick);
+    for (int twice_maxdist : {0, 1, 2, 3, 4, 7}) {
+      MiningOptions opt;
+      opt.twice_maxdist = twice_maxdist;
+      auto fast = MineSingleTree(t, opt);
+      auto paper = MineSingleTreePaper(t, opt);
+      auto naive = MineSingleTreeNaive(t, opt);
+      EXPECT_EQ(fast, paper) << newick << " maxdist=" << twice_maxdist;
+      EXPECT_EQ(fast, naive) << newick << " maxdist=" << twice_maxdist;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/yule_generator.h"
+#include "phylo/clusters.h"
+#include "seq/fitch.h"
+#include "seq/jukes_cantor.h"
+#include "seq/parsimony_search.h"
+#include "test_util.h"
+#include "tree/canonical.h"
+#include "tree/edit.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::FindByLabel;
+using testing_util::MustParse;
+
+TEST(SprMoveTest, RegraftsLeafAcrossTheTree) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = MustParse("(((A,B)ab,C)abc,D)r;", labels);
+  // Prune A, regraft above D: A's old parent ab is suppressed.
+  Result<Tree> moved =
+      SprMove(t, FindByLabel(t, "A"), FindByLabel(t, "D"));
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  Tree expected = MustParse("((B,C)abc,(A,D))r;", labels);
+  EXPECT_TRUE(UnorderedIsomorphic(*moved, expected))
+      << ToNewick(*moved);
+}
+
+TEST(SprMoveTest, RegraftsSubtree) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = MustParse("(((A,B)ab,C)abc,(D,E)de)r;", labels);
+  Result<Tree> moved =
+      SprMove(t, FindByLabel(t, "ab"), FindByLabel(t, "D"));
+  ASSERT_TRUE(moved.ok());
+  Tree expected = MustParse("(C,(((A,B)ab,D),E)de)r;", labels);
+  EXPECT_TRUE(UnorderedIsomorphic(*moved, expected))
+      << ToNewick(*moved);
+}
+
+TEST(SprMoveTest, RegraftAboveRootCreatesNewRoot) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = MustParse("((A,B)ab,(C,D)cd)r;", labels);
+  Result<Tree> moved = SprMove(t, FindByLabel(t, "A"), t.root());
+  ASSERT_TRUE(moved.ok());
+  // r becomes (B, cd) after the splice... r keeps label r with children
+  // B and cd; new root holds {old r, A}.
+  Tree expected = MustParse("((B,(C,D)cd)r,A);", labels);
+  EXPECT_TRUE(UnorderedIsomorphic(*moved, expected))
+      << ToNewick(*moved);
+}
+
+TEST(SprMoveTest, InvalidMovesRejected) {
+  Tree t = MustParse("(((A,B)ab,C)abc,D)r;");
+  EXPECT_FALSE(SprMove(t, t.root(), FindByLabel(t, "A")).ok());
+  EXPECT_FALSE(
+      SprMove(t, FindByLabel(t, "ab"), FindByLabel(t, "A")).ok());
+  EXPECT_FALSE(
+      SprMove(t, FindByLabel(t, "A"), FindByLabel(t, "A")).ok());
+  EXPECT_FALSE(SprMove(t, -1, 0).ok());
+  // Regraft onto the suppressed parent's vanished edge.
+  EXPECT_FALSE(
+      SprMove(t, FindByLabel(t, "A"), FindByLabel(t, "ab")).ok());
+}
+
+TEST(SprMoveTest, PreservesLeavesAndBinaryShape) {
+  Rng rng(17);
+  Tree t = RandomCoalescentTree(MakeTaxa(12), rng);
+  TaxonIndex original = TaxonIndex::FromTree(t).value();
+  int applied = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto prune = static_cast<NodeId>(rng.Uniform(t.size()));
+    const auto regraft = static_cast<NodeId>(rng.Uniform(t.size()));
+    Result<Tree> moved = SprMove(t, prune, regraft);
+    if (!moved.ok()) continue;
+    ++applied;
+    EXPECT_EQ(moved->size(), t.size());
+    EXPECT_EQ(moved->leaf_count(), t.leaf_count());
+    TaxonIndex taxa = TaxonIndex::FromTree(*moved).value();
+    EXPECT_EQ(taxa.size(), original.size());
+    for (NodeId v = 0; v < moved->size(); ++v) {
+      if (!moved->is_leaf(v)) {
+        EXPECT_EQ(moved->children(v).size(), 2u);
+      }
+    }
+  }
+  EXPECT_GT(applied, 50);
+}
+
+TEST(SprMoveTest, NniIsASpecialCaseOfSpr) {
+  // Topologically, every NNI rearrangement is reachable by one SPR
+  // (with unlabeled internals, the phylogenetic case — SPR suppresses
+  // and creates internal nodes, so it cannot preserve internal labels).
+  auto labels = std::make_shared<LabelTable>();
+  Tree t = MustParse("(((A,B),C),D);", labels);
+  // NNI: swap C with B -> (((A,C),B),D) shape.
+  Tree nni = SwapSubtrees(t, FindByLabel(t, "C"),
+                          FindByLabel(t, "B")).value();
+  bool found = false;
+  for (NodeId prune = 0; prune < t.size() && !found; ++prune) {
+    for (NodeId regraft = 0; regraft < t.size() && !found; ++regraft) {
+      Result<Tree> moved = SprMove(t, prune, regraft);
+      if (moved.ok() && UnorderedIsomorphic(*moved, nni)) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SprSearchTest, SprNeverWorseThanNniOnly) {
+  auto labels_nni = std::make_shared<LabelTable>();
+  auto labels_spr = std::make_shared<LabelTable>();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto make_alignment = [&](std::shared_ptr<LabelTable> labels) {
+      Rng rng(seed);
+      Tree truth =
+          RandomCoalescentTree(MakeTaxa(12), rng, std::move(labels), 0.1);
+      SimulateOptions sim;
+      sim.num_sites = 120;
+      return SimulateAlignment(truth, sim, rng);
+    };
+    ParsimonySearchOptions nni;
+    nni.max_trees = 3;
+    nni.num_restarts = 1;
+    ParsimonySearchOptions spr = nni;
+    spr.spr_samples = 40;
+    const auto nni_best =
+        SearchParsimoniousTrees(make_alignment(labels_nni), nni,
+                                labels_nni)[0].score;
+    const auto spr_best =
+        SearchParsimoniousTrees(make_alignment(labels_spr), spr,
+                                labels_spr)[0].score;
+    EXPECT_LE(spr_best, nni_best) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/multi_tree_mining.h"
+#include "gen/study_corpus.h"
+#include "phylo/clusters.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(StudyCorpusTest, RespectsSizeBounds) {
+  Rng rng(5);
+  StudyCorpusOptions opt;
+  opt.num_studies = 20;
+  opt.min_taxa = 6;
+  opt.max_taxa = 12;
+  opt.min_trees_per_study = 2;
+  opt.max_trees_per_study = 4;
+  auto corpus = GenerateStudyCorpus(opt, rng);
+  ASSERT_EQ(corpus.size(), 20u);
+  for (const Study& study : corpus) {
+    EXPECT_GE(study.trees.size(), 2u);
+    EXPECT_LE(study.trees.size(), 4u);
+    TaxonIndex taxa = TaxonIndex::FromTree(study.trees[0]).value();
+    EXPECT_GE(taxa.size(), 6);
+    EXPECT_LE(taxa.size(), 12);
+  }
+}
+
+TEST(StudyCorpusTest, TreesWithinAStudyShareTaxa) {
+  Rng rng(6);
+  StudyCorpusOptions opt;
+  opt.num_studies = 10;
+  auto corpus = GenerateStudyCorpus(opt, rng);
+  for (const Study& study : corpus) {
+    // All trees of a study must pass the same-taxa validation.
+    EXPECT_TRUE(TaxonIndex::FromTrees(study.trees).ok());
+  }
+}
+
+TEST(StudyCorpusTest, SharedLabelTableAcrossStudies) {
+  Rng rng(7);
+  StudyCorpusOptions opt;
+  opt.num_studies = 5;
+  auto corpus = GenerateStudyCorpus(opt, rng);
+  for (const Study& study : corpus) {
+    for (const Tree& t : study.trees) {
+      EXPECT_EQ(t.labels_ptr().get(),
+                corpus[0].trees[0].labels_ptr().get());
+    }
+  }
+}
+
+TEST(StudyCorpusTest, PerturbedVariantsDiffer) {
+  Rng rng(8);
+  StudyCorpusOptions opt;
+  opt.num_studies = 10;
+  opt.min_trees_per_study = 3;
+  opt.max_trees_per_study = 3;
+  opt.min_taxa = 15;
+  opt.max_taxa = 20;
+  opt.perturbation_moves = 4;
+  auto corpus = GenerateStudyCorpus(opt, rng);
+  int differing_studies = 0;
+  for (const Study& study : corpus) {
+    TaxonIndex taxa = TaxonIndex::FromTrees(study.trees).value();
+    auto base = TreeClusters(study.trees[0], taxa).value();
+    for (size_t i = 1; i < study.trees.size(); ++i) {
+      if (TreeClusters(study.trees[i], taxa).value() != base) {
+        ++differing_studies;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(differing_studies, 8);  // perturbation nearly always bites
+}
+
+TEST(StudyCorpusTest, PerStudyMiningFindsSharedPatterns) {
+  // §5.1's workflow: per-study frequent pairs exist because variants of
+  // one model tree share most local structure.
+  Rng rng(9);
+  StudyCorpusOptions opt;
+  opt.num_studies = 15;
+  opt.min_trees_per_study = 3;
+  opt.max_trees_per_study = 5;
+  auto corpus = GenerateStudyCorpus(opt, rng);
+  int studies_with_patterns = 0;
+  for (const Study& study : corpus) {
+    MultiTreeMiningOptions mining;  // Table 2 defaults
+    if (!MineMultipleTrees(study.trees, mining).empty()) {
+      ++studies_with_patterns;
+    }
+  }
+  EXPECT_GE(studies_with_patterns, 13);
+}
+
+TEST(StudyCorpusTest, EmptyCorpus) {
+  Rng rng(10);
+  StudyCorpusOptions opt;
+  opt.num_studies = 0;
+  EXPECT_TRUE(GenerateStudyCorpus(opt, rng).empty());
+}
+
+}  // namespace
+}  // namespace cousins

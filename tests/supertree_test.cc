@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/supertree.h"
+#include "test_util.h"
+#include "tree/canonical.h"
+#include "tree/restrict.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(SupertreeTest, MergesOverlappingCompatibleSources) {
+  auto labels = std::make_shared<LabelTable>();
+  // Two caterpillars sharing A, B, C; jointly they define a 5-taxon
+  // caterpillar.
+  std::vector<Tree> sources = {
+      MustParse("(((A,B),C),D);", labels),
+      MustParse("(((A,B),C),E);", labels),
+  };
+  Result<Tree> super = BuildSupertree(sources);
+  ASSERT_TRUE(super.ok()) << super.status().ToString();
+  EXPECT_EQ(super->leaf_count(), 5);
+  for (const Tree& s : sources) {
+    EXPECT_TRUE(Displays(*super, s).value());
+  }
+}
+
+TEST(SupertreeTest, SingleSourceRoundTrips) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> sources = {MustParse("(((A,B),C),(D,E));", labels)};
+  Result<Tree> super = BuildSupertree(sources);
+  ASSERT_TRUE(super.ok());
+  EXPECT_TRUE(Displays(*super, sources[0]).value());
+  EXPECT_TRUE(UnorderedIsomorphic(*super, sources[0]));
+}
+
+TEST(SupertreeTest, DisjointSourcesJoinAtRoot) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> sources = {
+      MustParse("((A,B),C);", labels),
+      MustParse("((X,Y),Z);", labels),
+  };
+  Result<Tree> super = BuildSupertree(sources);
+  ASSERT_TRUE(super.ok());
+  EXPECT_EQ(super->leaf_count(), 6);
+  for (const Tree& s : sources) {
+    EXPECT_TRUE(Displays(*super, s).value());
+  }
+}
+
+TEST(SupertreeTest, StrictModeRejectsIncompatibleSources) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> sources = {
+      MustParse("((A,B),C);", labels),
+      MustParse("((B,C),A);", labels),
+  };
+  Result<Tree> super = BuildSupertree(sources);
+  ASSERT_FALSE(super.ok());
+  EXPECT_EQ(super.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SupertreeTest, GreedyModeResolvesConflicts) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> sources = {
+      MustParse("((A,B),C);", labels),
+      MustParse("((B,C),A);", labels),
+  };
+  SupertreeOptions options;
+  options.strict = false;
+  Result<Tree> super = BuildSupertree(sources, options);
+  ASSERT_TRUE(super.ok());
+  EXPECT_EQ(super->leaf_count(), 3);
+  // The first source survives the greedy drop of the last one.
+  EXPECT_TRUE(Displays(*super, sources[0]).value());
+}
+
+TEST(SupertreeTest, ErrorsOnEmptyOrDuplicateTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  EXPECT_FALSE(BuildSupertree({}).ok());
+  std::vector<Tree> dup = {MustParse("(A,A);", labels)};
+  EXPECT_FALSE(BuildSupertree(dup).ok());
+}
+
+TEST(SupertreeTest, DisplaysDetectsNonDisplay) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree super = MustParse("(((A,B),C),D);", labels);
+  Tree shown = MustParse("((A,B),C);", labels);
+  Tree hidden = MustParse("((A,C),B);", labels);
+  EXPECT_TRUE(Displays(super, shown).value());
+  EXPECT_FALSE(Displays(super, hidden).value());
+}
+
+// Property: restrictions of one underlying tree are always compatible,
+// and the supertree displays every restriction.
+class SupertreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SupertreeProperty, RestrictionsReassembleAndDisplay) {
+  Rng rng(GetParam());
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(14);
+  Tree truth = RandomCoalescentTree(taxa, rng, labels);
+  std::vector<Tree> sources;
+  for (int s = 0; s < 4; ++s) {
+    std::vector<LabelId> keep;
+    for (const std::string& name : taxa) {
+      if (rng.NextBool(0.6)) keep.push_back(labels->Find(name));
+    }
+    if (keep.size() < 3) continue;
+    sources.push_back(RestrictToLabels(truth, keep).value());
+  }
+  if (sources.empty()) return;
+  Result<Tree> super = BuildSupertree(sources);
+  ASSERT_TRUE(super.ok()) << super.status().ToString();
+  for (const Tree& s : sources) {
+    EXPECT_TRUE(Displays(*super, s).value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupertreeProperty,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace cousins

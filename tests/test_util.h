@@ -1,0 +1,62 @@
+// Shared helpers for the cousins test suite.
+
+#ifndef COUSINS_TESTS_TEST_UTIL_H_
+#define COUSINS_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "tree/newick.h"
+#include "tree/tree.h"
+#include "util/check.h"
+
+namespace cousins {
+namespace testing_util {
+
+/// Parses a Newick string or aborts — for literal test fixtures.
+inline Tree MustParse(const std::string& newick,
+                      std::shared_ptr<LabelTable> labels = nullptr) {
+  Result<Tree> t = ParseNewick(newick, std::move(labels));
+  COUSINS_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+/// A genealogy realizing the paper's §2 worked example around node c:
+///
+///   gg -> { gp, u1 }
+///   gp -> { p, aunt },  p -> { c, s },  aunt -> { e }
+///   u1 -> { g, u2 },    u2 -> { h },    h -> { f }
+///
+/// Heights below the relevant LCAs give: dist(c,s)=0 (siblings),
+/// dist(c,aunt)=0.5 (aunt-niece), dist(c,e)=1 (first cousins),
+/// dist(c,g)=1.5 (first cousin once removed), dist(c,h)=2 (second
+/// cousins), dist(c,f)=2.5 (second cousin once removed).
+inline Tree FamilyTree(std::shared_ptr<LabelTable> labels = nullptr) {
+  return MustParse("(((c,s)p,(e)aunt)gp,(g,((f)h)u2)u1)gg;",
+                   std::move(labels));
+}
+
+/// First node carrying label `name`, or kNoNode.
+inline NodeId FindByLabel(const Tree& tree, const std::string& name) {
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (tree.has_label(v) && tree.label_name(v) == name) return v;
+  }
+  return kNoNode;
+}
+
+/// Formats items for readable gtest failure messages.
+inline std::string ItemsToString(const LabelTable& labels,
+                                 const std::vector<CousinPairItem>& items) {
+  std::string out;
+  for (const CousinPairItem& item : items) {
+    out += FormatCousinPairItem(labels, item);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace testing_util
+}  // namespace cousins
+
+#endif  // COUSINS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/uniform_generator.h"
+#include "tree/newick.h"
+#include "tree/traversal.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+TEST(TraversalTest, PreorderIsIdentity) {
+  Tree t = ParseNewick("((x,y)a,(z)b)r;").value();
+  std::vector<NodeId> pre = PreorderIds(t);
+  ASSERT_EQ(pre.size(), 6u);
+  for (NodeId v = 0; v < t.size(); ++v) EXPECT_EQ(pre[v], v);
+}
+
+TEST(TraversalTest, PostorderChildrenBeforeParents) {
+  Rng rng(3);
+  UniformTreeOptions opts;
+  opts.tree_size = 100;
+  Tree t = GenerateUniformTree(opts, rng);
+  std::vector<NodeId> post = PostorderIds(t);
+  std::vector<int32_t> position(t.size());
+  for (size_t i = 0; i < post.size(); ++i) position[post[i]] = i;
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_LT(position[v], position[t.parent(v)]);
+  }
+}
+
+TEST(TraversalTest, SubtreeSizes) {
+  Tree t = ParseNewick("((x,y)a,(z)b)r;").value();
+  std::vector<int32_t> sizes = SubtreeSizes(t);
+  EXPECT_EQ(sizes[0], 6);                       // r
+  EXPECT_EQ(sizes[t.children(0)[0]], 3);        // a
+  EXPECT_EQ(sizes[t.children(0)[1]], 2);        // b
+}
+
+TEST(TraversalTest, SubtreeSizesSumInvariant) {
+  Rng rng(4);
+  UniformTreeOptions opts;
+  opts.tree_size = 150;
+  Tree t = GenerateUniformTree(opts, rng);
+  std::vector<int32_t> sizes = SubtreeSizes(t);
+  EXPECT_EQ(sizes[0], t.size());
+  for (NodeId v = 0; v < t.size(); ++v) {
+    int32_t child_total = 0;
+    for (NodeId c : t.children(v)) child_total += sizes[c];
+    EXPECT_EQ(sizes[v], child_total + 1);
+  }
+}
+
+TEST(TraversalTest, ClimbUp) {
+  Tree t = ParseNewick("((((e)d)c)b)a;").value();
+  EXPECT_EQ(ClimbUp(t, 4, 0), 4);
+  EXPECT_EQ(ClimbUp(t, 4, 2), 2);
+  EXPECT_EQ(ClimbUp(t, 4, 4), 0);
+  EXPECT_EQ(ClimbUp(t, 4, 5), kNoNode);   // past the root
+  EXPECT_EQ(ClimbUp(t, 4, 100), kNoNode);
+  EXPECT_EQ(ClimbUp(t, 0, 1), kNoNode);
+}
+
+TEST(TraversalTest, SubtreeLeafLabels) {
+  Tree t = ParseNewick("((x,y)a,(z)b)r;").value();
+  NodeId a = t.children(0)[0];
+  std::vector<LabelId> leaf_labels = SubtreeLeafLabels(t, a);
+  std::set<std::string> names;
+  for (LabelId l : leaf_labels) names.insert(t.labels().Name(l));
+  EXPECT_EQ(names, (std::set<std::string>{"x", "y"}));
+  // Whole tree.
+  EXPECT_EQ(SubtreeLeafLabels(t, 0).size(), 3u);
+  // A leaf's own subtree.
+  NodeId x = t.children(a)[0];
+  ASSERT_EQ(SubtreeLeafLabels(t, x).size(), 1u);
+}
+
+TEST(TraversalTest, SubtreeLeafLabelsSkipsUnlabeledLeaves) {
+  Tree t = ParseNewick("(x,,y);").value();  // middle leaf unlabeled
+  EXPECT_EQ(SubtreeLeafLabels(t, 0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/tree_distance.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(TreeDistanceTest, IdenticalTreesDistanceZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B)x,(C,D)y)r;", labels);
+  Tree b = MustParse("((B,A)x,(D,C)y)r;", labels);  // reordered siblings
+  for (CousinItemAbstraction abstraction : kAllAbstractions) {
+    EXPECT_DOUBLE_EQ(CousinTreeDistance(a, b, abstraction), 0.0)
+        << AbstractionName(abstraction);
+  }
+}
+
+TEST(TreeDistanceTest, DisjointLabelSetsDistanceOne) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A,B);", labels);
+  Tree b = MustParse("(C,D);", labels);
+  for (CousinItemAbstraction abstraction : kAllAbstractions) {
+    EXPECT_DOUBLE_EQ(CousinTreeDistance(a, b, abstraction), 1.0);
+  }
+}
+
+TEST(TreeDistanceTest, Symmetric) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B)x,(C,D)y)r;", labels);
+  Tree b = MustParse("((A,C)x,(B,D)y)r;", labels);
+  for (CousinItemAbstraction abstraction : kAllAbstractions) {
+    EXPECT_DOUBLE_EQ(CousinTreeDistance(a, b, abstraction),
+                     CousinTreeDistance(b, a, abstraction));
+  }
+}
+
+TEST(TreeDistanceTest, BoundedByZeroOne) {
+  Rng rng(31);
+  auto labels = std::make_shared<LabelTable>();
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 20;
+  gen.max_nodes = 50;
+  gen.alphabet_size = 30;
+  for (int i = 0; i < 10; ++i) {
+    Tree a = GenerateYulePhylogeny(gen, rng, labels);
+    Tree b = GenerateYulePhylogeny(gen, rng, labels);
+    for (CousinItemAbstraction abstraction : kAllAbstractions) {
+      const double d = CousinTreeDistance(a, b, abstraction);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(TreeDistanceTest, DistanceAbstractionDiscriminatesPlacement) {
+  auto labels = std::make_shared<LabelTable>();
+  // Same label pairs everywhere, but (A, B) is a sibling pair in `a`
+  // and a first-cousin pair in `b`: the labels-only profile matches,
+  // the distance-aware profile does not.
+  Tree a = MustParse("(A,B);", labels);
+  Tree b = MustParse("((A)x,(B)y);", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  const double labels_only =
+      CousinTreeDistance(a, b, CousinItemAbstraction::kLabelsOnly, opt);
+  const double with_dist =
+      CousinTreeDistance(a, b, CousinItemAbstraction::kDistance, opt);
+  // b also has (A,y),(x,B),(x,y) pairs, so even labels-only differs —
+  // but distance-aware must be at least as far.
+  EXPECT_GE(with_dist, labels_only);
+  // Restrict to the shared pair by comparing profiles directly.
+  auto pa = CousinProfile(a, CousinItemAbstraction::kDistance, opt);
+  auto pb = CousinProfile(b, CousinItemAbstraction::kDistance, opt);
+  EXPECT_GT(ProfileDistance(pa, pb), 0.0);
+}
+
+TEST(TreeDistanceTest, OccurrenceAbstractionUsesMultisetSemantics) {
+  auto labels = std::make_shared<LabelTable>();
+  // (a, b, 0) occurs twice in t1, once in t2. Occurrence-aware profiles:
+  // |∩| = min(2,1) = 1, |∪| = max(2,1) = 2 (plus other items).
+  Tree t1 = MustParse("((a,b)x,(a,b)x)r;", labels);
+  Tree t2 = MustParse("(a,b);", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 0;  // siblings only to keep the example tiny
+  auto p1 = CousinProfile(t1, CousinItemAbstraction::kOccurrence, opt);
+  auto p2 = CousinProfile(t2, CousinItemAbstraction::kOccurrence, opt);
+  // t1 sibling items: (a,b) x2 and the internal pair (x,x) x1;
+  // t2: (a,b) x1. ∩ = min(2,1) = 1; ∪ = max(2,1) + 1 = 3.
+  EXPECT_DOUBLE_EQ(ProfileDistance(p1, p2), 1.0 - 1.0 / 3.0);
+}
+
+TEST(TreeDistanceTest, LabelsOnlyIgnoresMultiplicity) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree t1 = MustParse("((a,b)x,(a,b)x)r;", labels);
+  Tree t2 = MustParse("(a,b);", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 0;
+  auto p1 = CousinProfile(t1, CousinItemAbstraction::kLabelsOnly, opt);
+  auto p2 = CousinProfile(t2, CousinItemAbstraction::kLabelsOnly, opt);
+  // t1 sibling label pairs: {a,b} and {x,x}; t2: {a,b}. 1/2 overlap.
+  EXPECT_DOUBLE_EQ(ProfileDistance(p1, p2), 1.0 - 1.0 / 2.0);
+}
+
+TEST(TreeDistanceTest, WorksAcrossDifferentTaxonSets) {
+  // The selling point vs. COMPONENT: partially overlapping taxa.
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B)x,C)r;", labels);
+  Tree b = MustParse("((A,B)x,D)r;", labels);
+  const double d = CousinTreeDistance(
+      a, b, CousinItemAbstraction::kDistanceAndOccurrence);
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);  // the shared (A, B) sibling pair overlaps
+}
+
+TEST(TreeDistanceTest, EmptyProfilesDistanceZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A)r;", labels);  // no cousin pairs
+  Tree b = MustParse("(B)r;", labels);
+  EXPECT_DOUBLE_EQ(CousinTreeDistance(
+                       a, b, CousinItemAbstraction::kLabelsOnly),
+                   0.0);
+}
+
+TEST(TreeDistanceTest, AbstractionNames) {
+  EXPECT_EQ(AbstractionName(CousinItemAbstraction::kLabelsOnly), "labels");
+  EXPECT_EQ(AbstractionName(CousinItemAbstraction::kDistance), "dist");
+  EXPECT_EQ(AbstractionName(CousinItemAbstraction::kOccurrence), "occur");
+  EXPECT_EQ(AbstractionName(CousinItemAbstraction::kDistanceAndOccurrence),
+            "dist_occur");
+}
+
+TEST(TreeDistanceTest, ProfileItemsCollapseUnderAbstraction) {
+  auto labels = std::make_shared<LabelTable>();
+  // (c, e) occurs at two distances; labels-only collapses to one item.
+  Tree t = MustParse("((c,e)x,(c)y)r;", labels);
+  MiningOptions opt;
+  opt.twice_maxdist = 4;
+  auto full = CousinProfile(
+      t, CousinItemAbstraction::kDistanceAndOccurrence, opt);
+  auto labels_only =
+      CousinProfile(t, CousinItemAbstraction::kLabelsOnly, opt);
+  EXPECT_GT(full.size(), labels_only.size());
+  for (const CousinPairItem& item : labels_only) {
+    EXPECT_EQ(item.twice_distance, kAnyDistance);
+    EXPECT_EQ(item.occurrences, 1);
+  }
+}
+
+}  // namespace
+}  // namespace cousins

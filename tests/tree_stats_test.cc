@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/yule_generator.h"
+#include "phylo/tree_stats.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(TreeStatsTest, FullyResolvedBalanced) {
+  auto stats = ComputeTreeStats(MustParse("((A,B),(C,D));")).value();
+  EXPECT_EQ(stats.num_taxa, 4);
+  EXPECT_EQ(stats.num_internal, 3);
+  EXPECT_DOUBLE_EQ(stats.resolution, 1.0);  // 2 clusters / (4-2)
+  EXPECT_DOUBLE_EQ(stats.colless, 0.0);
+  EXPECT_DOUBLE_EQ(stats.sackin, 2.0);
+}
+
+TEST(TreeStatsTest, StarIsUnresolved) {
+  auto stats = ComputeTreeStats(MustParse("(A,B,C,D,E);")).value();
+  EXPECT_DOUBLE_EQ(stats.resolution, 0.0);
+  EXPECT_DOUBLE_EQ(stats.colless, 0.0);
+  EXPECT_DOUBLE_EQ(stats.sackin, 1.0);
+}
+
+TEST(TreeStatsTest, CaterpillarMaximizesColless) {
+  auto stats =
+      ComputeTreeStats(MustParse("((((A,B),C),D),E);")).value();
+  EXPECT_DOUBLE_EQ(stats.resolution, 1.0);
+  // Colless sum = |1-1| + |2-1| + |3-1| + |4-1| = 6; norm (n-1)(n-2)/2=6.
+  EXPECT_DOUBLE_EQ(stats.colless, 1.0);
+}
+
+TEST(TreeStatsTest, PartialResolution) {
+  auto stats = ComputeTreeStats(MustParse("((A,B),C,D,E);")).value();
+  EXPECT_DOUBLE_EQ(stats.resolution, 1.0 / 3.0);
+}
+
+TEST(TreeStatsTest, TinyTrees) {
+  EXPECT_DOUBLE_EQ(ComputeTreeStats(MustParse("A;")).value().resolution,
+                   1.0);
+  EXPECT_DOUBLE_EQ(ComputeTreeStats(MustParse("(A,B);")).value().resolution,
+                   1.0);
+}
+
+TEST(TreeStatsTest, ErrorsOnDuplicateTaxa) {
+  EXPECT_FALSE(ComputeTreeStats(MustParse("(A,A);")).ok());
+}
+
+TEST(TreeStatsTest, RandomBinaryTreesBounded) {
+  Rng rng(61);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree t = RandomCoalescentTree(MakeTaxa(12), rng);
+    auto stats = ComputeTreeStats(t).value();
+    EXPECT_DOUBLE_EQ(stats.resolution, 1.0);  // binary => fully resolved
+    EXPECT_GE(stats.colless, 0.0);
+    EXPECT_LE(stats.colless, 1.0);
+    EXPECT_GE(stats.sackin, std::log2(12.0) - 1);  // >= balanced depth-ish
+  }
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "tree/builder.h"
+#include "tree/tree.h"
+
+namespace cousins {
+namespace {
+
+TEST(LabelTableTest, InternIsIdempotent) {
+  LabelTable t;
+  LabelId a = t.Intern("alpha");
+  LabelId b = t.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Intern("alpha"), a);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Name(a), "alpha");
+  EXPECT_EQ(t.Find("beta"), b);
+  EXPECT_EQ(t.Find("missing"), kNoLabel);
+}
+
+TEST(TreeBuilderTest, SingleNode) {
+  TreeBuilder b;
+  b.AddRoot("only");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(0), kNoNode);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.label_name(0), "only");
+  EXPECT_EQ(t.depth(0), 0);
+  EXPECT_EQ(t.leaf_count(), 1);
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(TreeBuilderTest, EmptyTree) {
+  TreeBuilder b;
+  Tree t = std::move(b).Build();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(TreeBuilderTest, PreorderNumbering) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("r");
+  NodeId a = b.AddChild(r, "a");
+  b.AddChild(r, "b");
+  b.AddChild(a, "x");
+  Tree t = std::move(b).Build();
+  ASSERT_EQ(t.size(), 4);
+  // Preorder: every node's parent has a smaller id.
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_LT(t.parent(v), v);
+    EXPECT_EQ(t.depth(v), t.depth(t.parent(v)) + 1);
+  }
+  // First-added child's subtree comes first: r, a, x, b.
+  EXPECT_EQ(t.label_name(0), "r");
+  EXPECT_EQ(t.label_name(1), "a");
+  EXPECT_EQ(t.label_name(2), "x");
+  EXPECT_EQ(t.label_name(3), "b");
+}
+
+TEST(TreeBuilderTest, BuildReportsPermutation) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("r");
+  NodeId a = b.AddChild(r, "a");
+  NodeId c = b.AddChild(r, "c");
+  NodeId x = b.AddChild(a, "x");
+  std::vector<NodeId> old_to_new;
+  Tree t = std::move(b).Build(&old_to_new);
+  ASSERT_EQ(old_to_new.size(), 4u);
+  EXPECT_EQ(t.label_name(old_to_new[r]), "r");
+  EXPECT_EQ(t.label_name(old_to_new[a]), "a");
+  EXPECT_EQ(t.label_name(old_to_new[c]), "c");
+  EXPECT_EQ(t.label_name(old_to_new[x]), "x");
+}
+
+TEST(TreeBuilderTest, LeafCountAndHeight) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot();
+  NodeId a = b.AddChild(r);
+  b.AddChild(r);
+  b.AddChild(a);
+  b.AddChild(a);
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.leaf_count(), 3);
+  EXPECT_EQ(t.height(), 2);
+}
+
+TEST(TreeBuilderTest, UnlabeledNodes) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot();
+  b.AddChild(r, "x");
+  Tree t = std::move(b).Build();
+  EXPECT_FALSE(t.has_label(0));
+  EXPECT_TRUE(t.has_label(1));
+  EXPECT_EQ(t.label(0), kNoLabel);
+}
+
+TEST(TreeBuilderTest, SetLabelOverridesAndClears) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("old");
+  b.SetLabel(r, "new");
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.label_name(0), "new");
+}
+
+TEST(TreeBuilderTest, BranchLengths) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot();
+  NodeId a = b.AddChild(r, "a", 0.25);
+  b.SetBranchLength(a, 0.5);
+  b.AddChild(r, "b", 1.75);
+  Tree t = std::move(b).Build();
+  EXPECT_DOUBLE_EQ(t.branch_length(0), 0.0);  // root
+  EXPECT_DOUBLE_EQ(t.branch_length(1), 0.5);  // a (preorder id 1)
+  EXPECT_DOUBLE_EQ(t.branch_length(2), 1.75);
+}
+
+TEST(TreeBuilderTest, SharedLabelTableAcrossTrees) {
+  auto labels = std::make_shared<LabelTable>();
+  TreeBuilder b1(labels);
+  b1.AddRoot("shared");
+  Tree t1 = std::move(b1).Build();
+  TreeBuilder b2(labels);
+  b2.AddRoot("shared");
+  Tree t2 = std::move(b2).Build();
+  EXPECT_EQ(t1.label(0), t2.label(0));
+  EXPECT_EQ(t1.labels_ptr().get(), t2.labels_ptr().get());
+}
+
+TEST(TreeBuilderTest, ChildrenOrderPreserved) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot();
+  b.AddChild(r, "first");
+  b.AddChild(r, "second");
+  b.AddChild(r, "third");
+  Tree t = std::move(b).Build();
+  const auto& kids = t.children(0);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(t.label_name(kids[0]), "first");
+  EXPECT_EQ(t.label_name(kids[1]), "second");
+  EXPECT_EQ(t.label_name(kids[2]), "third");
+}
+
+TEST(TreeBuilderTest, DeepChain) {
+  TreeBuilder b;
+  NodeId v = b.AddRoot();
+  for (int i = 0; i < 999; ++i) v = b.AddChild(v);
+  Tree t = std::move(b).Build();
+  EXPECT_EQ(t.size(), 1000);
+  EXPECT_EQ(t.height(), 999);
+  EXPECT_EQ(t.leaf_count(), 1);
+}
+
+}  // namespace
+}  // namespace cousins

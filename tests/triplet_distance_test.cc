@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "gen/yule_generator.h"
+#include "phylo/triplet_distance.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+TEST(TripletDistanceTest, IdenticalTreesZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(((A,B),C),D);", labels);
+  Tree b = MustParse("(((B,A),C),D);", labels);
+  auto r = TripletDistance(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->triplets, 4);  // C(4,3)
+  EXPECT_EQ(r->disagreements, 0);
+  EXPECT_DOUBLE_EQ(r->normalized, 0.0);
+}
+
+TEST(TripletDistanceTest, SingleDisagreement) {
+  auto labels = std::make_shared<LabelTable>();
+  // Only {A, B, C} is resolved differently (AB|C vs AC|B); the triplets
+  // involving D agree... check: ((A,B),C),D vs ((A,C),B),D.
+  Tree a = MustParse("(((A,B),C),D);", labels);
+  Tree b = MustParse("(((A,C),B),D);", labels);
+  auto r = TripletDistance(a, b);
+  ASSERT_TRUE(r.ok());
+  // Triplets: ABC differs; ABD: a says AB|D, b says AB? in b lca(A,B) is
+  // the ABC node, lca(A,B,D) is root => AB|D agrees... ACD: a: AC|D via
+  // ABC node; b: AC|D via (A,C) => agree; BCD: a: BC|D; b: BC|D => agree.
+  EXPECT_EQ(r->disagreements, 1);
+  EXPECT_DOUBLE_EQ(r->normalized, 0.25);
+}
+
+TEST(TripletDistanceTest, StarVsResolved) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree star = MustParse("(A,B,C);", labels);
+  Tree resolved = MustParse("((A,B),C);", labels);
+  auto r = TripletDistance(star, resolved);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->triplets, 1);
+  EXPECT_EQ(r->disagreements, 1);  // star vs AB|C
+}
+
+TEST(TripletDistanceTest, SymmetricAndBounded) {
+  Rng rng(77);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<std::string> taxa = MakeTaxa(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    Tree a = RandomCoalescentTree(taxa, rng, labels);
+    Tree b = RandomCoalescentTree(taxa, rng, labels);
+    auto ab = TripletDistance(a, b);
+    auto ba = TripletDistance(b, a);
+    ASSERT_TRUE(ab.ok() && ba.ok());
+    EXPECT_EQ(ab->disagreements, ba->disagreements);
+    EXPECT_EQ(ab->triplets, 120);  // C(10,3)
+    EXPECT_GE(ab->normalized, 0.0);
+    EXPECT_LE(ab->normalized, 1.0);
+  }
+}
+
+TEST(TripletDistanceTest, RequiresSameTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((A,B),C);", labels);
+  Tree b = MustParse("((A,B),D);", labels);
+  EXPECT_FALSE(TripletDistance(a, b).ok());
+}
+
+TEST(TripletDistanceTest, FewerThanThreeTaxa) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(A,B);", labels);
+  Tree b = MustParse("(B,A);", labels);
+  auto r = TripletDistance(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->triplets, 0);
+  EXPECT_DOUBLE_EQ(r->normalized, 0.0);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/updown.h"
+#include "test_util.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+int64_t Occ(const Tree& t, const std::vector<UpDownItem>& items,
+            const std::string& from, const std::string& to, int32_t up,
+            int32_t down) {
+  for (const UpDownItem& item : items) {
+    if (item.from == t.labels().Find(from) &&
+        item.to == t.labels().Find(to) && item.up == up &&
+        item.down == down) {
+      return item.occurrences;
+    }
+  }
+  return 0;
+}
+
+TEST(UpDownTest, BasicKinships) {
+  Tree t = MustParse("((c,s)p,w)r;");
+  UpDownOptions opt;
+  auto items = UpDownHistogram(t, opt);
+  // Siblings: up 1, down 1 in both directions.
+  EXPECT_EQ(Occ(t, items, "c", "s", 1, 1), 1);
+  EXPECT_EQ(Occ(t, items, "s", "c", 1, 1), 1);
+  // Parent-child pairs ARE included, unlike cousin distance.
+  EXPECT_EQ(Occ(t, items, "c", "p", 1, 0), 1);
+  EXPECT_EQ(Occ(t, items, "p", "c", 0, 1), 1);
+  // Aunt-niece: c up 2 to r, down 1 to w.
+  EXPECT_EQ(Occ(t, items, "c", "w", 2, 1), 1);
+  EXPECT_EQ(Occ(t, items, "w", "c", 1, 2), 1);
+}
+
+TEST(UpDownTest, CapsApply) {
+  Tree t = MustParse("((((x)a)b)l,(y)m)r;");
+  UpDownOptions opt;
+  opt.max_up = 2;
+  opt.max_down = 2;
+  auto items = UpDownHistogram(t, opt);
+  // x needs up=4 to reach r: dropped.
+  EXPECT_EQ(Occ(t, items, "x", "y", 4, 2), 0);
+  for (const UpDownItem& item : items) {
+    EXPECT_LE(item.up, 2);
+    EXPECT_LE(item.down, 2);
+  }
+}
+
+TEST(UpDownTest, UnlabeledNodesSkipped) {
+  Tree t = MustParse("((a,b),(c));");
+  for (const UpDownItem& item : UpDownHistogram(t)) {
+    EXPECT_GE(item.from, 0);
+    EXPECT_GE(item.to, 0);
+  }
+}
+
+TEST(UpDownTest, SelfSimilarityIsOne) {
+  Tree t = testing_util::FamilyTree();
+  auto h = UpDownHistogram(t);
+  EXPECT_DOUBLE_EQ(UpDownSimilarity(h, h), 1.0);
+}
+
+TEST(UpDownTest, DisjointHistogramsSimilarityZero) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("(a,b);", labels);
+  Tree b = MustParse("(x,y);", labels);
+  EXPECT_DOUBLE_EQ(UpDownSimilarity(UpDownHistogram(a), UpDownHistogram(b)),
+                   0.0);
+}
+
+TEST(UpDownTest, EmptyHistogramsSimilarityOne) {
+  EXPECT_DOUBLE_EQ(UpDownSimilarity({}, {}), 1.0);
+}
+
+TEST(UpDownTest, SimilarityBetweenZeroAndOne) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree a = MustParse("((a,b)p,c)r;", labels);
+  Tree b = MustParse("((a,c)p,b)r;", labels);
+  const double s =
+      UpDownSimilarity(UpDownHistogram(a), UpDownHistogram(b));
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(UpDownTest, MinOccurFilters) {
+  Tree t = MustParse("((a,a)x,(a,a)y)r;");
+  UpDownOptions opt;
+  opt.min_occur = 4;
+  for (const UpDownItem& item : UpDownHistogram(t, opt)) {
+    EXPECT_GE(item.occurrences, 4);
+  }
+}
+
+}  // namespace
+}  // namespace cousins

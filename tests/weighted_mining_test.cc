@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/single_tree_mining.h"
+#include "core/weighted_mining.h"
+#include "test_util.h"
+
+namespace cousins {
+namespace {
+
+using testing_util::MustParse;
+
+int64_t Occ(const Tree& t, const std::vector<WeightedPairItem>& items,
+            const std::string& a, const std::string& b, int twice_d,
+            int32_t bucket) {
+  LabelId la = t.labels().Find(a);
+  LabelId lb = t.labels().Find(b);
+  if (la > lb) std::swap(la, lb);
+  for (const WeightedPairItem& item : items) {
+    if (item.label1 == la && item.label2 == lb &&
+        item.twice_distance == twice_d && item.weight_bucket == bucket) {
+      return item.occurrences;
+    }
+  }
+  return 0;
+}
+
+TEST(WeightedMiningTest, UnitWeightsBucketByTopologicalPath) {
+  // Default branch length 1: weighted path == edge count == h_u + h_v.
+  Tree t = MustParse("((u,v)p,w)r;");
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 2;
+  auto items = MineWeighted(t, opt);
+  EXPECT_EQ(Occ(t, items, "u", "v", 0, 2), 1);  // siblings: path 2
+  EXPECT_EQ(Occ(t, items, "u", "w", 1, 3), 1);  // aunt-niece: path 3
+  EXPECT_EQ(Occ(t, items, "p", "w", 0, 2), 1);
+}
+
+TEST(WeightedMiningTest, BranchLengthsSeparateEqualTopologies) {
+  // Two sibling pairs with very different weighted separations.
+  Tree t = MustParse("((a:0.1,b:0.1)x,(c:5,d:5)y)r;");
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 0;
+  opt.bucket_width = 1.0;
+  auto items = MineWeighted(t, opt);
+  EXPECT_EQ(Occ(t, items, "a", "b", 0, 0), 1);   // 0.2 -> bucket 0
+  EXPECT_EQ(Occ(t, items, "c", "d", 0, 10), 1);  // 10 -> bucket 10
+}
+
+TEST(WeightedMiningTest, BucketWidthControlsGranularity) {
+  Tree t = MustParse("((a:0.1,b:0.1)x,(c:5,d:5)y)r;");
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 0;
+  opt.bucket_width = 100.0;  // everything lands in bucket 0
+  auto items = MineWeighted(t, opt);
+  EXPECT_EQ(Occ(t, items, "a", "b", 0, 0), 1);
+  EXPECT_EQ(Occ(t, items, "c", "d", 0, 0), 1);
+}
+
+TEST(WeightedMiningTest, CollapsedBucketsMatchUnweightedItems) {
+  // With one giant bucket, dropping the bucket recovers the unweighted
+  // miner's items exactly.
+  Tree t = testing_util::FamilyTree();
+  WeightedMiningOptions wopt;
+  wopt.twice_maxdist = 5;
+  wopt.bucket_width = 1e9;
+  std::vector<CousinPairItem> collapsed;
+  for (const WeightedPairItem& item : MineWeighted(t, wopt)) {
+    EXPECT_EQ(item.weight_bucket, 0);
+    collapsed.push_back(CousinPairItem{item.label1, item.label2,
+                                       item.twice_distance,
+                                       item.occurrences});
+  }
+  CanonicalizeItems(&collapsed);
+  MiningOptions opt;
+  opt.twice_maxdist = 5;
+  EXPECT_EQ(collapsed, MineSingleTree(t, opt));
+}
+
+TEST(WeightedMiningTest, TopologicalCutoffStillApplies) {
+  Tree t = testing_util::FamilyTree();
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 2;
+  for (const WeightedPairItem& item : MineWeighted(t, opt)) {
+    EXPECT_LE(item.twice_distance, 2);
+  }
+}
+
+TEST(WeightedMiningTest, MinOccurFilters) {
+  Tree t = MustParse("((a,b)x,(a,b)y)r;");
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 2;
+  opt.min_occur = 2;
+  auto items = MineWeighted(t, opt);
+  for (const WeightedPairItem& item : items) {
+    EXPECT_GE(item.occurrences, 2);
+  }
+  // (a, b) cross pairs: both at distance 1, weighted path 4, twice.
+  EXPECT_EQ(Occ(t, items, "a", "b", 2, 4), 2);
+}
+
+TEST(WeightedMiningTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(MineWeighted(Tree()).empty());
+  EXPECT_TRUE(MineWeighted(MustParse("a;")).empty());
+}
+
+TEST(WeightedMiningTest, Format) {
+  LabelTable labels;
+  labels.Intern("a");
+  labels.Intern("b");
+  WeightedPairItem item{labels.Find("a"), labels.Find("b"), 3, 7, 2};
+  EXPECT_EQ(FormatWeightedItem(labels, item), "(a, b, 1.5, w7, 2)");
+}
+
+}  // namespace
+}  // namespace cousins

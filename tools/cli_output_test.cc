@@ -1,0 +1,110 @@
+// End-to-end CLI tests: run the actual cousins_cli binary and verify
+// the content (not just the exit code) of what it prints.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string(CLI_BINARY) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string Data(const std::string& name) {
+  return std::string(CLI_TESTDATA) + "/" + name;
+}
+
+TEST(CliOutputTest, FrequentReportsThePaperPattern) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("(Gnetum, Welwitschia, 0) support=4"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(Ginkgoales, Ephedra, 1.5) support=2"),
+            std::string::npos);
+}
+
+TEST(CliOutputTest, FrequentCsvIsMachineReadable) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --csv");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.rfind("label1,label2,distance,support,occurrences\n",
+                           0),
+            0u)
+      << r.output;
+  EXPECT_NE(r.output.find("Gnetum,Welwitschia,0,4,4"), std::string::npos);
+}
+
+TEST(CliOutputTest, ConsensusEmitsNewick) {
+  RunResult r =
+      RunCli("consensus " + Data("primates.nex") + " --method=strict");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("Homo_sapiens"), std::string::npos);
+  EXPECT_EQ(r.output.back(), '\n');
+  EXPECT_NE(r.output.find(");"), std::string::npos);
+}
+
+TEST(CliOutputTest, DistanceMatrixHasZeroDiagonal) {
+  RunResult r = RunCli("distance " + Data("primates.nex"));
+  EXPECT_EQ(r.exit_code, 0);
+  // Three trees -> three rows; each row i has 0.000000 at position i.
+  EXPECT_EQ(r.output.rfind("0.000000,", 0), 0u) << r.output;
+}
+
+TEST(CliOutputTest, StatsHeaderAndRows) {
+  RunResult r = RunCli("stats " + Data("seed_plants.nwk"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.rfind("tree,nodes,taxa,internal", 0), 0u);
+  int lines = 0;
+  for (char c : r.output) lines += c == '\n';
+  EXPECT_EQ(lines, 5);  // header + 4 trees
+}
+
+TEST(CliOutputTest, ShowRendersAsciiArt) {
+  RunResult r = RunCli("show " + Data("primates.nex"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("└──"), std::string::npos);
+  EXPECT_NE(r.output.find("Hylobates_lar"), std::string::npos);
+}
+
+TEST(CliOutputTest, ConvertNexusRoundTrips) {
+  RunResult r = RunCli("convert " + Data("seed_plants.nwk") + " --nexus");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output.rfind("#NEXUS", 0), 0u);
+  EXPECT_NE(r.output.find("TRANSLATE"), std::string::npos);
+  EXPECT_NE(r.output.find("END;"), std::string::npos);
+}
+
+TEST(CliOutputTest, UsageOnBadInvocation) {
+  RunResult r = RunCli("nonsense-command somefile");
+  EXPECT_NE(r.exit_code, 0);
+  RunResult no_args = RunCli("");
+  EXPECT_NE(no_args.exit_code, 0);
+  EXPECT_NE(no_args.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliOutputTest, ErrorsGoToStderrWithNonZeroExit) {
+  RunResult r = RunCli("mine /definitely/not/a/file.nwk");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,339 @@
+// cousins — command-line front end to the cousin-pair mining library.
+//
+//   cousins_cli mine      <file> [--maxdist=D] [--minoccur=N]
+//   cousins_cli frequent  <file> [--maxdist=D] [--minoccur=N]
+//                                 [--minsup=S] [--ignore-distance] [--csv]
+//   cousins_cli consensus <file>
+//       [--method=majority|strict|semi|Adams|Nelson|greedy]
+//   cousins_cli distance  <file> [--abstraction=labels|dist|occur|dist_occur]
+//   cousins_cli cluster   <file> [--k=K] [--method=...]
+//   cousins_cli stats     <file>
+//   cousins_cli supertree <file> [--greedy]
+//   cousins_cli nn        <file> [--query=I] [--k=K] [--abstraction=...]
+//   cousins_cli convert   <file> [--nexus]
+//   cousins_cli show      <file> [--branch-lengths]
+//
+// <file> holds phylogenies as a ';'-separated Newick forest or a NEXUS
+// file with a TREES block (auto-detected). All commands print to
+// stdout; errors go to stderr with a non-zero exit code.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/item_io.h"
+#include "core/multi_tree_mining.h"
+#include "core/single_tree_mining.h"
+#include "phylo/clustering.h"
+#include "phylo/consensus.h"
+#include "phylo/nearest_neighbor.h"
+#include "phylo/supertree.h"
+#include "phylo/tree_distance.h"
+#include "phylo/tree_stats.h"
+#include "tree/newick.h"
+#include "tree/nexus.h"
+#include "tree/render.h"
+#include "util/strings.h"
+
+using namespace cousins;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cousins_cli "
+               "mine|frequent|consensus|distance|cluster|convert <file> "
+               "[flags]\n");
+  return 2;
+}
+
+/// --name=value flag lookup; returns fallback when absent.
+std::string Flag(const std::vector<std::string>& args,
+                 const std::string& name, const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (const std::string& arg : args) {
+    if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (const std::string& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+/// Parses "1.5"-style distances into the 2·d representation.
+bool ParseMaxdist(const std::string& text, int* twice) {
+  const double d = std::atof(text.c_str());
+  const double doubled = d * 2.0;
+  if (doubled < 0 || doubled != static_cast<int>(doubled)) return false;
+  *twice = static_cast<int>(doubled);
+  return true;
+}
+
+/// Loads a forest from a Newick or NEXUS file (auto-detected).
+Result<std::vector<Tree>> LoadForest(const std::string& path,
+                                     std::shared_ptr<LabelTable> labels) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string lower = text.substr(0, 4096);
+  for (char& c : lower) c = static_cast<char>(std::tolower(
+                            static_cast<unsigned char>(c)));
+  if (StartsWith(lower, "#nexus") ||
+      lower.find("begin trees") != std::string::npos) {
+    COUSINS_ASSIGN_OR_RETURN(std::vector<NamedTree> named,
+                             ParseNexusTrees(text, labels));
+    std::vector<Tree> trees;
+    trees.reserve(named.size());
+    for (NamedTree& nt : named) trees.push_back(std::move(nt.tree));
+    return trees;
+  }
+  return ParseNewickForest(text, std::move(labels));
+}
+
+int RunMine(const std::vector<Tree>& trees, const LabelTable& labels,
+            const std::vector<std::string>& args) {
+  MiningOptions options;
+  if (!ParseMaxdist(Flag(args, "maxdist", "1.5"), &options.twice_maxdist)) {
+    return Fail("--maxdist must be a non-negative multiple of 0.5");
+  }
+  options.min_occur = std::atoll(Flag(args, "minoccur", "1").c_str());
+  for (size_t i = 0; i < trees.size(); ++i) {
+    std::printf("# tree %zu (%d nodes)\n", i, trees[i].size());
+    for (const CousinPairItem& item : MineSingleTree(trees[i], options)) {
+      std::printf("%s\n", FormatCousinPairItem(labels, item).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
+                const std::vector<std::string>& args) {
+  MultiTreeMiningOptions options;
+  if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
+                    &options.per_tree.twice_maxdist)) {
+    return Fail("--maxdist must be a non-negative multiple of 0.5");
+  }
+  options.per_tree.min_occur =
+      std::atoll(Flag(args, "minoccur", "1").c_str());
+  options.min_support = std::atoi(Flag(args, "minsup", "2").c_str());
+  options.ignore_distance = HasFlag(args, "ignore-distance");
+  const auto pairs = MineMultipleTrees(trees, options);
+  if (HasFlag(args, "csv")) {
+    std::fputs(FrequentPairsToCsv(labels, pairs).c_str(), stdout);
+    return 0;
+  }
+  for (const FrequentCousinPair& pair : pairs) {
+    std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
+  }
+  return 0;
+}
+
+int RunStats(const std::vector<Tree>& trees) {
+  std::printf("tree,nodes,taxa,internal,resolution,colless,sackin\n");
+  for (size_t i = 0; i < trees.size(); ++i) {
+    Result<TreeStats> stats = ComputeTreeStats(trees[i]);
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    std::printf("%zu,%d,%d,%d,%.4f,%.4f,%.4f\n", i, trees[i].size(),
+                stats->num_taxa, stats->num_internal, stats->resolution,
+                stats->colless, stats->sackin);
+  }
+  return 0;
+}
+
+int RunSupertree(const std::vector<Tree>& trees,
+                 const std::vector<std::string>& args) {
+  SupertreeOptions options;
+  options.strict = !HasFlag(args, "greedy");
+  Result<Tree> super = BuildSupertree(trees, options);
+  if (!super.ok()) return Fail(super.status().ToString());
+  std::printf("%s\n", ToNewick(*super).c_str());
+  for (size_t i = 0; i < trees.size(); ++i) {
+    Result<bool> displayed = Displays(*super, trees[i]);
+    std::fprintf(stderr, "# displays source %zu: %s\n", i,
+                 displayed.ok() && *displayed ? "yes" : "no");
+  }
+  return 0;
+}
+
+bool ParseAbstraction(const std::string& name,
+                      CousinItemAbstraction* abstraction);
+
+int RunNearestNeighbors(const std::vector<Tree>& trees,
+                        const std::vector<std::string>& args) {
+  CousinItemAbstraction abstraction =
+      CousinItemAbstraction::kDistanceAndOccurrence;
+  if (!ParseAbstraction(Flag(args, "abstraction", "dist_occur"),
+                        &abstraction)) {
+    return Fail("unknown --abstraction");
+  }
+  const int query = std::atoi(Flag(args, "query", "0").c_str());
+  const int k = std::atoi(Flag(args, "k", "5").c_str());
+  if (query < 0 || query >= static_cast<int>(trees.size())) {
+    return Fail("--query out of range");
+  }
+  CousinProfileIndex index(trees, abstraction);
+  std::printf("rank,tree,distance\n");
+  int rank = 0;
+  for (const TreeMatch& match :
+       index.Query(trees[query], k + 1)) {
+    if (match.index == query) continue;  // skip the query itself
+    std::printf("%d,%d,%.6f\n", ++rank, match.index, match.distance);
+    if (rank == k) break;
+  }
+  return 0;
+}
+
+bool ParseMethod(const std::string& name, ConsensusMethod* method) {
+  for (ConsensusMethod m : kAllConsensusMethodsExtended) {
+    if (ConsensusMethodName(m) == name) {
+      *method = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunConsensus(const std::vector<Tree>& trees,
+                 const std::vector<std::string>& args) {
+  ConsensusMethod method = ConsensusMethod::kMajority;
+  if (!ParseMethod(Flag(args, "method", "majority"), &method)) {
+    return Fail("unknown --method (majority|strict|semi|Adams|Nelson|greedy)");
+  }
+  Result<Tree> consensus = ConsensusTree(trees, method);
+  if (!consensus.ok()) return Fail(consensus.status().ToString());
+  std::printf("%s\n", ToNewick(*consensus).c_str());
+  return 0;
+}
+
+bool ParseAbstraction(const std::string& name,
+                      CousinItemAbstraction* abstraction) {
+  for (CousinItemAbstraction a : kAllAbstractions) {
+    if (AbstractionName(a) == name) {
+      *abstraction = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunDistance(const std::vector<Tree>& trees,
+                const std::vector<std::string>& args) {
+  CousinItemAbstraction abstraction =
+      CousinItemAbstraction::kDistanceAndOccurrence;
+  if (!ParseAbstraction(Flag(args, "abstraction", "dist_occur"),
+                        &abstraction)) {
+    return Fail("unknown --abstraction (labels|dist|occur|dist_occur)");
+  }
+  MiningOptions mining;
+  std::vector<std::vector<CousinPairItem>> profiles;
+  profiles.reserve(trees.size());
+  for (const Tree& t : trees) {
+    profiles.push_back(CousinProfile(t, abstraction, mining));
+  }
+  for (size_t i = 0; i < trees.size(); ++i) {
+    for (size_t j = 0; j < trees.size(); ++j) {
+      std::printf("%s%.6f", j > 0 ? "," : "",
+                  ProfileDistance(profiles[i], profiles[j]));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunCluster(const std::vector<Tree>& trees,
+               const std::vector<std::string>& args) {
+  ClusteringOptions options;
+  options.k = std::atoi(Flag(args, "k", "2").c_str());
+  ConsensusMethod method = ConsensusMethod::kMajority;
+  if (!ParseMethod(Flag(args, "method", "majority"), &method)) {
+    return Fail("unknown --method");
+  }
+  Result<TreeClustering> clustering = ClusterTrees(trees, options);
+  if (!clustering.ok()) return Fail(clustering.status().ToString());
+  for (size_t i = 0; i < trees.size(); ++i) {
+    std::printf("tree %zu -> cluster %d\n", i,
+                clustering->assignment[i]);
+  }
+  Result<std::vector<Tree>> consensus =
+      ClusterConsensus(trees, options, method);
+  if (consensus.ok()) {
+    for (int32_t c = 0; c < options.k; ++c) {
+      std::printf("cluster %d consensus: %s\n", c,
+                  ToNewick((*consensus)[c]).c_str());
+    }
+  } else {
+    std::printf("# per-cluster consensus unavailable: %s\n",
+                consensus.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int RunConvert(const std::vector<Tree>& trees,
+               const std::vector<std::string>& args) {
+  if (HasFlag(args, "nexus")) {
+    std::vector<NamedTree> named;
+    named.reserve(trees.size());
+    for (const Tree& t : trees) named.push_back({"", t});
+    NexusWriteOptions options;
+    options.write_branch_lengths = true;
+    std::fputs(ToNexus(named, options).c_str(), stdout);
+    return 0;
+  }
+  for (const Tree& t : trees) {
+    NewickWriteOptions options;
+    options.write_branch_lengths = true;
+    std::printf("%s\n", ToNewick(t, options).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> forest = LoadForest(path, labels);
+  if (!forest.ok()) return Fail(forest.status().ToString());
+  if (forest->empty()) return Fail("no trees in '" + path + "'");
+
+  if (command == "mine") return RunMine(*forest, *labels, args);
+  if (command == "frequent") return RunFrequent(*forest, *labels, args);
+  if (command == "consensus") return RunConsensus(*forest, args);
+  if (command == "distance") return RunDistance(*forest, args);
+  if (command == "cluster") return RunCluster(*forest, args);
+  if (command == "stats") return RunStats(*forest);
+  if (command == "supertree") return RunSupertree(*forest, args);
+  if (command == "nn") return RunNearestNeighbors(*forest, args);
+  if (command == "convert") return RunConvert(*forest, args);
+  if (command == "show") {
+    RenderOptions options;
+    options.show_branch_lengths = HasFlag(args, "branch-lengths");
+    for (size_t i = 0; i < forest->size(); ++i) {
+      std::printf("# tree %zu\n%s", i,
+                  RenderAscii((*forest)[i], options).c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
