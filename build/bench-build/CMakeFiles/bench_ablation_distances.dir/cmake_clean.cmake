@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_distances"
+  "../bench/bench_ablation_distances.pdb"
+  "CMakeFiles/bench_ablation_distances.dir/bench_ablation_distances.cpp.o"
+  "CMakeFiles/bench_ablation_distances.dir/bench_ablation_distances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

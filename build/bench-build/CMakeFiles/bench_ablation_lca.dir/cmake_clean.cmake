@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lca"
+  "../bench/bench_ablation_lca.pdb"
+  "CMakeFiles/bench_ablation_lca.dir/bench_ablation_lca.cpp.o"
+  "CMakeFiles/bench_ablation_lca.dir/bench_ablation_lca.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

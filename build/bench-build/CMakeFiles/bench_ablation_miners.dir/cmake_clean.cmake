@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_miners"
+  "../bench/bench_ablation_miners.pdb"
+  "CMakeFiles/bench_ablation_miners.dir/bench_ablation_miners.cpp.o"
+  "CMakeFiles/bench_ablation_miners.dir/bench_ablation_miners.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

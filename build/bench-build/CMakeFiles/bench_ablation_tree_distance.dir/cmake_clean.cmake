@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tree_distance"
+  "../bench/bench_ablation_tree_distance.pdb"
+  "CMakeFiles/bench_ablation_tree_distance.dir/bench_ablation_tree_distance.cpp.o"
+  "CMakeFiles/bench_ablation_tree_distance.dir/bench_ablation_tree_distance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tree_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

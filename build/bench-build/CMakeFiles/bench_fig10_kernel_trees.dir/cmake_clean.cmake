@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_kernel_trees"
+  "../bench/bench_fig10_kernel_trees.pdb"
+  "CMakeFiles/bench_fig10_kernel_trees.dir/bench_fig10_kernel_trees.cpp.o"
+  "CMakeFiles/bench_fig10_kernel_trees.dir/bench_fig10_kernel_trees.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_kernel_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_fanout"
+  "../bench/bench_fig4_fanout.pdb"
+  "CMakeFiles/bench_fig4_fanout.dir/bench_fig4_fanout.cpp.o"
+  "CMakeFiles/bench_fig4_fanout.dir/bench_fig4_fanout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

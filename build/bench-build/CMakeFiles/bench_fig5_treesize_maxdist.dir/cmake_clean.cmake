@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_treesize_maxdist"
+  "../bench/bench_fig5_treesize_maxdist.pdb"
+  "CMakeFiles/bench_fig5_treesize_maxdist.dir/bench_fig5_treesize_maxdist.cpp.o"
+  "CMakeFiles/bench_fig5_treesize_maxdist.dir/bench_fig5_treesize_maxdist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_treesize_maxdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_multitree_synthetic"
+  "../bench/bench_fig6_multitree_synthetic.pdb"
+  "CMakeFiles/bench_fig6_multitree_synthetic.dir/bench_fig6_multitree_synthetic.cpp.o"
+  "CMakeFiles/bench_fig6_multitree_synthetic.dir/bench_fig6_multitree_synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multitree_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

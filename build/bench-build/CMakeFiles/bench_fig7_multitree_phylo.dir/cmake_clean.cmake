@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_multitree_phylo"
+  "../bench/bench_fig7_multitree_phylo.pdb"
+  "CMakeFiles/bench_fig7_multitree_phylo.dir/bench_fig7_multitree_phylo.cpp.o"
+  "CMakeFiles/bench_fig7_multitree_phylo.dir/bench_fig7_multitree_phylo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multitree_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

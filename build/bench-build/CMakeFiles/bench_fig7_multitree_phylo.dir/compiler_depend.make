@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_multitree_phylo.
+# This may be replaced when dependencies are built.

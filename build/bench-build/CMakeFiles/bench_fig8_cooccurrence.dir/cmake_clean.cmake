@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cooccurrence"
+  "../bench/bench_fig8_cooccurrence.pdb"
+  "CMakeFiles/bench_fig8_cooccurrence.dir/bench_fig8_cooccurrence.cpp.o"
+  "CMakeFiles/bench_fig8_cooccurrence.dir/bench_fig8_cooccurrence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_consensus_quality"
+  "../bench/bench_fig9_consensus_quality.pdb"
+  "CMakeFiles/bench_fig9_consensus_quality.dir/bench_fig9_consensus_quality.cpp.o"
+  "CMakeFiles/bench_fig9_consensus_quality.dir/bench_fig9_consensus_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_consensus_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_freetree"
+  "../bench/bench_freetree.pdb"
+  "CMakeFiles/bench_freetree.dir/bench_freetree.cpp.o"
+  "CMakeFiles/bench_freetree.dir/bench_freetree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

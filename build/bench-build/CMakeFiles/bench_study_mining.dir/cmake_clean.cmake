@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_study_mining"
+  "../bench/bench_study_mining.pdb"
+  "CMakeFiles/bench_study_mining.dir/bench_study_mining.cpp.o"
+  "CMakeFiles/bench_study_mining.dir/bench_study_mining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

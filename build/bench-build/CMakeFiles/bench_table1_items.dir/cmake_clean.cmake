@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_items"
+  "../bench/bench_table1_items.pdb"
+  "CMakeFiles/bench_table1_items.dir/bench_table1_items.cpp.o"
+  "CMakeFiles/bench_table1_items.dir/bench_table1_items.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

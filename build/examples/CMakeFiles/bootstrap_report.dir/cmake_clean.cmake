@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bootstrap_report.dir/bootstrap_report.cpp.o"
+  "CMakeFiles/bootstrap_report.dir/bootstrap_report.cpp.o.d"
+  "bootstrap_report"
+  "bootstrap_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bootstrap_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

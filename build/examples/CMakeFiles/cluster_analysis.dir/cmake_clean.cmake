@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_analysis.dir/cluster_analysis.cpp.o"
+  "CMakeFiles/cluster_analysis.dir/cluster_analysis.cpp.o.d"
+  "cluster_analysis"
+  "cluster_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooccurrence.dir/cooccurrence.cpp.o"
+  "CMakeFiles/cooccurrence.dir/cooccurrence.cpp.o.d"
+  "cooccurrence"
+  "cooccurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

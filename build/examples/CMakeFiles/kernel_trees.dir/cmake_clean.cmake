@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_trees.dir/kernel_trees.cpp.o"
+  "CMakeFiles/kernel_trees.dir/kernel_trees.cpp.o.d"
+  "kernel_trees"
+  "kernel_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kernel_trees.
+# This may be replaced when dependencies are built.

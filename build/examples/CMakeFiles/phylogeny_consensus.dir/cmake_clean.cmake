@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylogeny_consensus.dir/phylogeny_consensus.cpp.o"
+  "CMakeFiles/phylogeny_consensus.dir/phylogeny_consensus.cpp.o.d"
+  "phylogeny_consensus"
+  "phylogeny_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylogeny_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

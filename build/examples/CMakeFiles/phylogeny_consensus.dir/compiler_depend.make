@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for phylogeny_consensus.
+# This may be replaced when dependencies are built.

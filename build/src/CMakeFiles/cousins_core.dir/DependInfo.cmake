@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cousin_distance.cc" "src/CMakeFiles/cousins_core.dir/core/cousin_distance.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/cousin_distance.cc.o.d"
+  "/root/repo/src/core/cousin_pair.cc" "src/CMakeFiles/cousins_core.dir/core/cousin_pair.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/cousin_pair.cc.o.d"
+  "/root/repo/src/core/generalized_mining.cc" "src/CMakeFiles/cousins_core.dir/core/generalized_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/generalized_mining.cc.o.d"
+  "/root/repo/src/core/item_io.cc" "src/CMakeFiles/cousins_core.dir/core/item_io.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/item_io.cc.o.d"
+  "/root/repo/src/core/multi_tree_mining.cc" "src/CMakeFiles/cousins_core.dir/core/multi_tree_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/multi_tree_mining.cc.o.d"
+  "/root/repo/src/core/naive_mining.cc" "src/CMakeFiles/cousins_core.dir/core/naive_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/naive_mining.cc.o.d"
+  "/root/repo/src/core/paper_mining.cc" "src/CMakeFiles/cousins_core.dir/core/paper_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/paper_mining.cc.o.d"
+  "/root/repo/src/core/parallel_mining.cc" "src/CMakeFiles/cousins_core.dir/core/parallel_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/parallel_mining.cc.o.d"
+  "/root/repo/src/core/single_tree_mining.cc" "src/CMakeFiles/cousins_core.dir/core/single_tree_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/single_tree_mining.cc.o.d"
+  "/root/repo/src/core/updown.cc" "src/CMakeFiles/cousins_core.dir/core/updown.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/updown.cc.o.d"
+  "/root/repo/src/core/weighted_mining.cc" "src/CMakeFiles/cousins_core.dir/core/weighted_mining.cc.o" "gcc" "src/CMakeFiles/cousins_core.dir/core/weighted_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_core.dir/core/cousin_distance.cc.o"
+  "CMakeFiles/cousins_core.dir/core/cousin_distance.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/cousin_pair.cc.o"
+  "CMakeFiles/cousins_core.dir/core/cousin_pair.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/generalized_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/generalized_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/item_io.cc.o"
+  "CMakeFiles/cousins_core.dir/core/item_io.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/multi_tree_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/multi_tree_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/naive_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/naive_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/paper_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/paper_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/parallel_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/parallel_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/single_tree_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/single_tree_mining.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/updown.cc.o"
+  "CMakeFiles/cousins_core.dir/core/updown.cc.o.d"
+  "CMakeFiles/cousins_core.dir/core/weighted_mining.cc.o"
+  "CMakeFiles/cousins_core.dir/core/weighted_mining.cc.o.d"
+  "libcousins_core.a"
+  "libcousins_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

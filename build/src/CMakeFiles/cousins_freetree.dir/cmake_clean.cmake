@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_freetree.dir/freetree/free_tree.cc.o"
+  "CMakeFiles/cousins_freetree.dir/freetree/free_tree.cc.o.d"
+  "CMakeFiles/cousins_freetree.dir/freetree/free_tree_mining.cc.o"
+  "CMakeFiles/cousins_freetree.dir/freetree/free_tree_mining.cc.o.d"
+  "libcousins_freetree.a"
+  "libcousins_freetree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_freetree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcousins_freetree.a"
+)

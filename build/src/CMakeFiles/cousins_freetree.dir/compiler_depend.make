@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cousins_freetree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/fanout_generator.cc" "src/CMakeFiles/cousins_gen.dir/gen/fanout_generator.cc.o" "gcc" "src/CMakeFiles/cousins_gen.dir/gen/fanout_generator.cc.o.d"
+  "/root/repo/src/gen/seed_plants.cc" "src/CMakeFiles/cousins_gen.dir/gen/seed_plants.cc.o" "gcc" "src/CMakeFiles/cousins_gen.dir/gen/seed_plants.cc.o.d"
+  "/root/repo/src/gen/study_corpus.cc" "src/CMakeFiles/cousins_gen.dir/gen/study_corpus.cc.o" "gcc" "src/CMakeFiles/cousins_gen.dir/gen/study_corpus.cc.o.d"
+  "/root/repo/src/gen/uniform_generator.cc" "src/CMakeFiles/cousins_gen.dir/gen/uniform_generator.cc.o" "gcc" "src/CMakeFiles/cousins_gen.dir/gen/uniform_generator.cc.o.d"
+  "/root/repo/src/gen/yule_generator.cc" "src/CMakeFiles/cousins_gen.dir/gen/yule_generator.cc.o" "gcc" "src/CMakeFiles/cousins_gen.dir/gen/yule_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

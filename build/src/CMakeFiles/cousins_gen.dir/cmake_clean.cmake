@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_gen.dir/gen/fanout_generator.cc.o"
+  "CMakeFiles/cousins_gen.dir/gen/fanout_generator.cc.o.d"
+  "CMakeFiles/cousins_gen.dir/gen/seed_plants.cc.o"
+  "CMakeFiles/cousins_gen.dir/gen/seed_plants.cc.o.d"
+  "CMakeFiles/cousins_gen.dir/gen/study_corpus.cc.o"
+  "CMakeFiles/cousins_gen.dir/gen/study_corpus.cc.o.d"
+  "CMakeFiles/cousins_gen.dir/gen/uniform_generator.cc.o"
+  "CMakeFiles/cousins_gen.dir/gen/uniform_generator.cc.o.d"
+  "CMakeFiles/cousins_gen.dir/gen/yule_generator.cc.o"
+  "CMakeFiles/cousins_gen.dir/gen/yule_generator.cc.o.d"
+  "libcousins_gen.a"
+  "libcousins_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/bootstrap.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/bootstrap.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/bootstrap.cc.o.d"
+  "/root/repo/src/phylo/clustering.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/clustering.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/clustering.cc.o.d"
+  "/root/repo/src/phylo/clusters.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/clusters.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/clusters.cc.o.d"
+  "/root/repo/src/phylo/consensus.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/consensus.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/consensus.cc.o.d"
+  "/root/repo/src/phylo/kernel_trees.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/kernel_trees.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/kernel_trees.cc.o.d"
+  "/root/repo/src/phylo/nearest_neighbor.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/nearest_neighbor.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/nearest_neighbor.cc.o.d"
+  "/root/repo/src/phylo/robinson_foulds.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/robinson_foulds.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/robinson_foulds.cc.o.d"
+  "/root/repo/src/phylo/similarity.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/similarity.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/similarity.cc.o.d"
+  "/root/repo/src/phylo/supertree.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/supertree.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/supertree.cc.o.d"
+  "/root/repo/src/phylo/tree_distance.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/tree_distance.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/tree_distance.cc.o.d"
+  "/root/repo/src/phylo/tree_stats.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/tree_stats.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/tree_stats.cc.o.d"
+  "/root/repo/src/phylo/triplet_distance.cc" "src/CMakeFiles/cousins_phylo.dir/phylo/triplet_distance.cc.o" "gcc" "src/CMakeFiles/cousins_phylo.dir/phylo/triplet_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

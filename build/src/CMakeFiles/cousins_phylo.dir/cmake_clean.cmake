@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_phylo.dir/phylo/bootstrap.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/bootstrap.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/clustering.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/clustering.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/clusters.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/clusters.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/consensus.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/consensus.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/kernel_trees.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/kernel_trees.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/nearest_neighbor.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/nearest_neighbor.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/robinson_foulds.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/robinson_foulds.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/similarity.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/similarity.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/supertree.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/supertree.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/tree_distance.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/tree_distance.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/tree_stats.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/tree_stats.cc.o.d"
+  "CMakeFiles/cousins_phylo.dir/phylo/triplet_distance.cc.o"
+  "CMakeFiles/cousins_phylo.dir/phylo/triplet_distance.cc.o.d"
+  "libcousins_phylo.a"
+  "libcousins_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

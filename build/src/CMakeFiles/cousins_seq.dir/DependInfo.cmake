@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alignment.cc" "src/CMakeFiles/cousins_seq.dir/seq/alignment.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/alignment.cc.o.d"
+  "/root/repo/src/seq/ambiguity.cc" "src/CMakeFiles/cousins_seq.dir/seq/ambiguity.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/ambiguity.cc.o.d"
+  "/root/repo/src/seq/fitch.cc" "src/CMakeFiles/cousins_seq.dir/seq/fitch.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/fitch.cc.o.d"
+  "/root/repo/src/seq/jukes_cantor.cc" "src/CMakeFiles/cousins_seq.dir/seq/jukes_cantor.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/jukes_cantor.cc.o.d"
+  "/root/repo/src/seq/neighbor_joining.cc" "src/CMakeFiles/cousins_seq.dir/seq/neighbor_joining.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/neighbor_joining.cc.o.d"
+  "/root/repo/src/seq/parsimony_search.cc" "src/CMakeFiles/cousins_seq.dir/seq/parsimony_search.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/parsimony_search.cc.o.d"
+  "/root/repo/src/seq/phylip.cc" "src/CMakeFiles/cousins_seq.dir/seq/phylip.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/phylip.cc.o.d"
+  "/root/repo/src/seq/sankoff.cc" "src/CMakeFiles/cousins_seq.dir/seq/sankoff.cc.o" "gcc" "src/CMakeFiles/cousins_seq.dir/seq/sankoff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

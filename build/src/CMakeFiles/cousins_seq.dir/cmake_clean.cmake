@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_seq.dir/seq/alignment.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/alignment.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/ambiguity.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/ambiguity.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/fitch.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/fitch.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/jukes_cantor.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/jukes_cantor.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/neighbor_joining.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/neighbor_joining.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/parsimony_search.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/parsimony_search.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/phylip.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/phylip.cc.o.d"
+  "CMakeFiles/cousins_seq.dir/seq/sankoff.cc.o"
+  "CMakeFiles/cousins_seq.dir/seq/sankoff.cc.o.d"
+  "libcousins_seq.a"
+  "libcousins_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

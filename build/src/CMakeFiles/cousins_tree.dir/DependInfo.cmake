@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/builder.cc" "src/CMakeFiles/cousins_tree.dir/tree/builder.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/builder.cc.o.d"
+  "/root/repo/src/tree/canonical.cc" "src/CMakeFiles/cousins_tree.dir/tree/canonical.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/canonical.cc.o.d"
+  "/root/repo/src/tree/edit.cc" "src/CMakeFiles/cousins_tree.dir/tree/edit.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/edit.cc.o.d"
+  "/root/repo/src/tree/lca.cc" "src/CMakeFiles/cousins_tree.dir/tree/lca.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/lca.cc.o.d"
+  "/root/repo/src/tree/newick.cc" "src/CMakeFiles/cousins_tree.dir/tree/newick.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/newick.cc.o.d"
+  "/root/repo/src/tree/nexus.cc" "src/CMakeFiles/cousins_tree.dir/tree/nexus.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/nexus.cc.o.d"
+  "/root/repo/src/tree/render.cc" "src/CMakeFiles/cousins_tree.dir/tree/render.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/render.cc.o.d"
+  "/root/repo/src/tree/restrict.cc" "src/CMakeFiles/cousins_tree.dir/tree/restrict.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/restrict.cc.o.d"
+  "/root/repo/src/tree/traversal.cc" "src/CMakeFiles/cousins_tree.dir/tree/traversal.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/traversal.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/cousins_tree.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/cousins_tree.dir/tree/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_tree.dir/tree/builder.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/builder.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/canonical.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/canonical.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/edit.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/edit.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/lca.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/lca.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/newick.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/newick.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/nexus.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/nexus.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/render.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/render.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/restrict.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/restrict.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/traversal.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/traversal.cc.o.d"
+  "CMakeFiles/cousins_tree.dir/tree/tree.cc.o"
+  "CMakeFiles/cousins_tree.dir/tree/tree.cc.o.d"
+  "libcousins_tree.a"
+  "libcousins_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

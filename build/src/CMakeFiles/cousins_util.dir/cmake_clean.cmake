@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_util.dir/util/csv.cc.o"
+  "CMakeFiles/cousins_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/cousins_util.dir/util/status.cc.o"
+  "CMakeFiles/cousins_util.dir/util/status.cc.o.d"
+  "CMakeFiles/cousins_util.dir/util/strings.cc.o"
+  "CMakeFiles/cousins_util.dir/util/strings.cc.o.d"
+  "libcousins_util.a"
+  "libcousins_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambiguity_test.dir/ambiguity_test.cc.o"
+  "CMakeFiles/ambiguity_test.dir/ambiguity_test.cc.o.d"
+  "ambiguity_test"
+  "ambiguity_test.pdb"
+  "ambiguity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambiguity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canonical_test.dir/canonical_test.cc.o"
+  "CMakeFiles/canonical_test.dir/canonical_test.cc.o.d"
+  "canonical_test"
+  "canonical_test.pdb"
+  "canonical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusters_test.dir/clusters_test.cc.o"
+  "CMakeFiles/clusters_test.dir/clusters_test.cc.o.d"
+  "clusters_test"
+  "clusters_test.pdb"
+  "clusters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

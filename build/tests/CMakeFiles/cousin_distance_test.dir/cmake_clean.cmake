@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousin_distance_test.dir/cousin_distance_test.cc.o"
+  "CMakeFiles/cousin_distance_test.dir/cousin_distance_test.cc.o.d"
+  "cousin_distance_test"
+  "cousin_distance_test.pdb"
+  "cousin_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousin_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_test.dir/edit_test.cc.o"
+  "CMakeFiles/edit_test.dir/edit_test.cc.o.d"
+  "edit_test"
+  "edit_test.pdb"
+  "edit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

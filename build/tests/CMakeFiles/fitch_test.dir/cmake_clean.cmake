@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitch_test.dir/fitch_test.cc.o"
+  "CMakeFiles/fitch_test.dir/fitch_test.cc.o.d"
+  "fitch_test"
+  "fitch_test.pdb"
+  "fitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freetree_test.dir/freetree_test.cc.o"
+  "CMakeFiles/freetree_test.dir/freetree_test.cc.o.d"
+  "freetree_test"
+  "freetree_test.pdb"
+  "freetree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freetree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

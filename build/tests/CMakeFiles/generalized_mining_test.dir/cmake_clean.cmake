@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_mining_test.dir/generalized_mining_test.cc.o"
+  "CMakeFiles/generalized_mining_test.dir/generalized_mining_test.cc.o.d"
+  "generalized_mining_test"
+  "generalized_mining_test.pdb"
+  "generalized_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greedy_consensus_test.dir/greedy_consensus_test.cc.o"
+  "CMakeFiles/greedy_consensus_test.dir/greedy_consensus_test.cc.o.d"
+  "greedy_consensus_test"
+  "greedy_consensus_test.pdb"
+  "greedy_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greedy_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

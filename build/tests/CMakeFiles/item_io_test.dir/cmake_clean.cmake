@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_io_test.dir/item_io_test.cc.o"
+  "CMakeFiles/item_io_test.dir/item_io_test.cc.o.d"
+  "item_io_test"
+  "item_io_test.pdb"
+  "item_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

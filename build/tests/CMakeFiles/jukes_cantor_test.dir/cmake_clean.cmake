@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jukes_cantor_test.dir/jukes_cantor_test.cc.o"
+  "CMakeFiles/jukes_cantor_test.dir/jukes_cantor_test.cc.o.d"
+  "jukes_cantor_test"
+  "jukes_cantor_test.pdb"
+  "jukes_cantor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jukes_cantor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jukes_cantor_test.
+# This may be replaced when dependencies are built.

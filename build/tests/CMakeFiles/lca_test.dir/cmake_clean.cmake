@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lca_test.dir/lca_test.cc.o"
+  "CMakeFiles/lca_test.dir/lca_test.cc.o.d"
+  "lca_test"
+  "lca_test.pdb"
+  "lca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miner_agreement_test.dir/miner_agreement_test.cc.o"
+  "CMakeFiles/miner_agreement_test.dir/miner_agreement_test.cc.o.d"
+  "miner_agreement_test"
+  "miner_agreement_test.pdb"
+  "miner_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miner_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

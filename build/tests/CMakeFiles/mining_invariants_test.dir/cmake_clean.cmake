@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_invariants_test.dir/mining_invariants_test.cc.o"
+  "CMakeFiles/mining_invariants_test.dir/mining_invariants_test.cc.o.d"
+  "mining_invariants_test"
+  "mining_invariants_test.pdb"
+  "mining_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

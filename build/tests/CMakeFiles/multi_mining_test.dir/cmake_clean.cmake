@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_mining_test.dir/multi_mining_test.cc.o"
+  "CMakeFiles/multi_mining_test.dir/multi_mining_test.cc.o.d"
+  "multi_mining_test"
+  "multi_mining_test.pdb"
+  "multi_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

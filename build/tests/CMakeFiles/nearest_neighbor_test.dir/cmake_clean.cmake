@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_neighbor_test.dir/nearest_neighbor_test.cc.o"
+  "CMakeFiles/nearest_neighbor_test.dir/nearest_neighbor_test.cc.o.d"
+  "nearest_neighbor_test"
+  "nearest_neighbor_test.pdb"
+  "nearest_neighbor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_neighbor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

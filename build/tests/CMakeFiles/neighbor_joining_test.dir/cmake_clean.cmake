@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_joining_test.dir/neighbor_joining_test.cc.o"
+  "CMakeFiles/neighbor_joining_test.dir/neighbor_joining_test.cc.o.d"
+  "neighbor_joining_test"
+  "neighbor_joining_test.pdb"
+  "neighbor_joining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_joining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

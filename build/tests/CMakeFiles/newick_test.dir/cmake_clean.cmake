@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newick_test.dir/newick_test.cc.o"
+  "CMakeFiles/newick_test.dir/newick_test.cc.o.d"
+  "newick_test"
+  "newick_test.pdb"
+  "newick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_test.dir/nexus_test.cc.o"
+  "CMakeFiles/nexus_test.dir/nexus_test.cc.o.d"
+  "nexus_test"
+  "nexus_test.pdb"
+  "nexus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nexus_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nexus_write_test.dir/nexus_write_test.cc.o"
+  "CMakeFiles/nexus_write_test.dir/nexus_write_test.cc.o.d"
+  "nexus_write_test"
+  "nexus_write_test.pdb"
+  "nexus_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nexus_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_count_map_test.dir/pair_count_map_test.cc.o"
+  "CMakeFiles/pair_count_map_test.dir/pair_count_map_test.cc.o.d"
+  "pair_count_map_test"
+  "pair_count_map_test.pdb"
+  "pair_count_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_count_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pair_count_map_test.
+# This may be replaced when dependencies are built.

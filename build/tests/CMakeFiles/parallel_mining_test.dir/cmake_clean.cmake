@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_mining_test.dir/parallel_mining_test.cc.o"
+  "CMakeFiles/parallel_mining_test.dir/parallel_mining_test.cc.o.d"
+  "parallel_mining_test"
+  "parallel_mining_test.pdb"
+  "parallel_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsimony_search_test.dir/parsimony_search_test.cc.o"
+  "CMakeFiles/parsimony_search_test.dir/parsimony_search_test.cc.o.d"
+  "parsimony_search_test"
+  "parsimony_search_test.pdb"
+  "parsimony_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsimony_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

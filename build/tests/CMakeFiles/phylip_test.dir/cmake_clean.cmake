@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phylip_test.dir/phylip_test.cc.o"
+  "CMakeFiles/phylip_test.dir/phylip_test.cc.o.d"
+  "phylip_test"
+  "phylip_test.pdb"
+  "phylip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phylip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrict_test.dir/restrict_test.cc.o"
+  "CMakeFiles/restrict_test.dir/restrict_test.cc.o.d"
+  "restrict_test"
+  "restrict_test.pdb"
+  "restrict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robinson_foulds_test.cc" "tests/CMakeFiles/robinson_foulds_test.dir/robinson_foulds_test.cc.o" "gcc" "tests/CMakeFiles/robinson_foulds_test.dir/robinson_foulds_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cousins_freetree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cousins_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

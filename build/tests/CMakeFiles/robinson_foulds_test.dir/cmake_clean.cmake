@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robinson_foulds_test.dir/robinson_foulds_test.cc.o"
+  "CMakeFiles/robinson_foulds_test.dir/robinson_foulds_test.cc.o.d"
+  "robinson_foulds_test"
+  "robinson_foulds_test.pdb"
+  "robinson_foulds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robinson_foulds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

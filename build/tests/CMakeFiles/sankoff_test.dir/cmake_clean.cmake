@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sankoff_test.dir/sankoff_test.cc.o"
+  "CMakeFiles/sankoff_test.dir/sankoff_test.cc.o.d"
+  "sankoff_test"
+  "sankoff_test.pdb"
+  "sankoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sankoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

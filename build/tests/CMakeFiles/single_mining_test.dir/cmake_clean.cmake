@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_mining_test.dir/single_mining_test.cc.o"
+  "CMakeFiles/single_mining_test.dir/single_mining_test.cc.o.d"
+  "single_mining_test"
+  "single_mining_test.pdb"
+  "single_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spr_test.dir/spr_test.cc.o"
+  "CMakeFiles/spr_test.dir/spr_test.cc.o.d"
+  "spr_test"
+  "spr_test.pdb"
+  "spr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supertree_test.dir/supertree_test.cc.o"
+  "CMakeFiles/supertree_test.dir/supertree_test.cc.o.d"
+  "supertree_test"
+  "supertree_test.pdb"
+  "supertree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supertree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traversal_test.dir/traversal_test.cc.o"
+  "CMakeFiles/traversal_test.dir/traversal_test.cc.o.d"
+  "traversal_test"
+  "traversal_test.pdb"
+  "traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

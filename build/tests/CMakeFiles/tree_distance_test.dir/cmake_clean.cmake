@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_distance_test.dir/tree_distance_test.cc.o"
+  "CMakeFiles/tree_distance_test.dir/tree_distance_test.cc.o.d"
+  "tree_distance_test"
+  "tree_distance_test.pdb"
+  "tree_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_stats_test.dir/tree_stats_test.cc.o"
+  "CMakeFiles/tree_stats_test.dir/tree_stats_test.cc.o.d"
+  "tree_stats_test"
+  "tree_stats_test.pdb"
+  "tree_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

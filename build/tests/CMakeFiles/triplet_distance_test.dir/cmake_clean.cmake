@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triplet_distance_test.dir/triplet_distance_test.cc.o"
+  "CMakeFiles/triplet_distance_test.dir/triplet_distance_test.cc.o.d"
+  "triplet_distance_test"
+  "triplet_distance_test.pdb"
+  "triplet_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triplet_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

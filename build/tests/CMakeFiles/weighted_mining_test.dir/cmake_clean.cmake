@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_mining_test.dir/weighted_mining_test.cc.o"
+  "CMakeFiles/weighted_mining_test.dir/weighted_mining_test.cc.o.d"
+  "weighted_mining_test"
+  "weighted_mining_test.pdb"
+  "weighted_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

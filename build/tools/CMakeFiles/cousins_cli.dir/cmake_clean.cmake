@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cousins_cli.dir/cousins_cli.cpp.o"
+  "CMakeFiles/cousins_cli.dir/cousins_cli.cpp.o.d"
+  "cousins_cli"
+  "cousins_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cousins_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
