@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "gen/yule_generator.h"
 #include "paper_params.h"
 #include "phylo/robinson_foulds.h"
@@ -50,6 +51,7 @@ Tree Perturb(const Tree& tree, int32_t moves, Rng& rng) {
 }  // namespace
 
 int main() {
+  BenchReport report("ablation_distances");
   CsvWriter csv;
   csv.WriteComment(
       "Ablation A4: cousin tree distance variants vs Robinson-Foulds "
@@ -66,6 +68,8 @@ int main() {
   Tree base = RandomCoalescentTree(MakeTaxa(16), rng, labels);
   const MiningOptions mining = PaperMiningOptions();
   const int32_t trials = ScaledReps(20);
+  report.AddParam("taxa", int64_t{16});
+  report.AddParam("trials_per_point", int64_t{trials});
 
   std::map<std::string, std::vector<double>> curves;
   for (int32_t moves : {0, 1, 2, 4, 8, 16, 32}) {
@@ -90,12 +94,15 @@ int main() {
       row.push_back(std::to_string(mean));
       curves[AbstractionName(a)].push_back(mean);
     }
+    report.AddToN(trials);
     csv.WriteRow(row);
   }
 
   bool monotone = true;
   for (const auto& [name, curve] : curves) {
     if (curve.back() <= curve.front()) monotone = false;
+    report.AddResult("mean_distance." + name + ".moves_0", curve.front());
+    report.AddResult("mean_distance." + name + ".moves_32", curve.back());
   }
 
   // The capability split: disjoint-taxa trees are measurable only by
@@ -113,9 +120,11 @@ int main() {
       ", cousin distance = " + std::to_string(cousin_ok));
 
   const bool ok = monotone && rf_fails && cousin_ok < 1.0;
+  report.AddResult("rf_rejects_disjoint_taxa", rf_fails);
+  report.AddResult("cousin_distance_disjoint_taxa", cousin_ok);
   csv.WriteComment(ok ? "shape check: OK — all measures grow with "
                         "perturbation; only cousin distance spans "
                         "different taxon sets"
                       : "shape check: MISMATCH");
-  return ok ? 0 : 1;
+  return report.Finish(ok) ? 0 : 1;
 }

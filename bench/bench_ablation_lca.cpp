@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
 #include "gen/uniform_generator.h"
 #include "paper_params.h"
 #include "tree/lca.h"
@@ -71,4 +72,4 @@ BENCHMARK(BM_NaiveLcaQuery)->Arg(200)->Arg(2000)->Arg(20000);
 }  // namespace
 }  // namespace cousins
 
-BENCHMARK_MAIN();
+COUSINS_GBENCH_MAIN("ablation_lca")

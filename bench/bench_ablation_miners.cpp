@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/naive_mining.h"
+#include "gbench_main.h"
 #include "core/paper_mining.h"
 #include "core/single_tree_mining.h"
 #include "paper_params.h"
@@ -70,4 +71,4 @@ BENCHMARK(BM_MineNaive)->Arg(50)->Arg(200)->Arg(800);
 }  // namespace
 }  // namespace cousins
 
-BENCHMARK_MAIN();
+COUSINS_GBENCH_MAIN("ablation_miners")

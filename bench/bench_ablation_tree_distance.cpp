@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.h"
 #include "gen/yule_generator.h"
 #include "paper_params.h"
 #include "phylo/tree_distance.h"
@@ -63,4 +64,4 @@ BENCHMARK(BM_ProfileDistanceOnly);
 }  // namespace
 }  // namespace cousins
 
-BENCHMARK_MAIN();
+COUSINS_GBENCH_MAIN("ablation_tree_distance")

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "gen/yule_generator.h"
 #include "paper_params.h"
 #include "phylo/kernel_trees.h"
@@ -26,6 +27,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig10_kernel_trees");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 10: kernel-tree search time vs number of groups "
@@ -62,6 +64,8 @@ int main() {
   }
 
   const int32_t reps = ScaledReps(10);
+  report.AddParam("reps_per_point", int64_t{reps});
+  report.AddParam("taxa", int64_t{32});
   double prev = 0;
   bool monotone = true;
   for (int g = 1; g <= 5; ++g) {
@@ -75,6 +79,8 @@ int main() {
       result = FindKernelTrees(groups, options);
     }
     const double seconds = sw.ElapsedSeconds() / reps;
+    report.AddToN(reps);
+    report.AddResult("kernel_seconds.groups_" + std::to_string(g), seconds);
     csv.WriteRow({std::to_string(g), std::to_string(seconds),
                   std::to_string(result.average_pairwise_distance),
                   result.exact ? "yes" : "no"});
@@ -86,5 +92,5 @@ int main() {
                          "number of groups (2..5), as in the paper"
                        : "shape check: MISMATCH — not monotone over "
                          "2..5 groups");
-  return monotone ? 0 : 1;
+  return report.Finish(monotone) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/single_tree_mining.h"
 #include "paper_params.h"
 #include "util/csv.h"
@@ -19,6 +20,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig4_fanout");
   CsvWriter csv;
   csv.WriteComment("Figure 4: Single_Tree_Mining time vs fanout");
   csv.WriteComment(
@@ -29,6 +31,8 @@ int main() {
 
   const int32_t reps = ScaledReps(300);
   const MiningOptions mining = PaperMiningOptions();
+  report.AddParam("trees_per_point", int64_t{reps});
+  report.AddParam("twice_maxdist", int64_t{mining.twice_maxdist});
   double first = 0;
   double last = 0;
   for (int32_t fanout : {2, 5, 10, 20, 30, 40, 50, 60}) {
@@ -50,6 +54,8 @@ int main() {
     const double ms = sw.ElapsedSeconds() * 1000.0 / reps;
     if (fanout == 2) first = ms;
     last = ms;
+    report.AddToN(reps);
+    report.AddResult("ms_per_tree.fanout_" + std::to_string(fanout), ms);
     csv.WriteRow({std::to_string(fanout),
                   std::to_string(ms),
                   std::to_string(total_items / reps),
@@ -60,5 +66,5 @@ int main() {
                          "matching the paper's surprising observation"
                        : "shape check: MISMATCH — time did not increase "
                          "with fanout");
-  return last > first ? 0 : 1;
+  return report.Finish(last > first) ? 0 : 1;
 }

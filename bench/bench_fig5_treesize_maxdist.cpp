@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/single_tree_mining.h"
 #include "paper_params.h"
 #include "util/csv.h"
@@ -21,6 +22,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig5_treesize_maxdist");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 5: Single_Tree_Mining time vs tree size and maxdist");
@@ -30,6 +32,7 @@ int main() {
   csv.WriteRow({"maxdist", "tree_size", "avg_time_ms_per_tree", "trees"});
 
   const int32_t reps = ScaledReps(100);
+  report.AddParam("trees_per_point", int64_t{reps});
   // Distances 0.5, 1, 1.5, 2 as twice-values.
   bool ordered_by_maxdist = true;
   std::vector<double> prev_curve;
@@ -54,6 +57,11 @@ int main() {
       }
       const double ms = sw.ElapsedSeconds() * 1000.0 / reps;
       curve.push_back(ms);
+      report.AddToN(reps);
+      report.AddResult("ms_per_tree.maxdist_" +
+                           FormatHalfDistance(twice_maxdist) + ".size_" +
+                           std::to_string(size),
+                       ms);
       csv.WriteRow({FormatHalfDistance(twice_maxdist),
                     std::to_string(size), std::to_string(ms),
                     std::to_string(reps)});
@@ -69,5 +77,5 @@ int main() {
                        ? "shape check: OK — larger maxdist is slower at "
                          "the largest tree size, matching the paper"
                        : "shape check: MISMATCH — maxdist ordering broken");
-  return ordered_by_maxdist ? 0 : 1;
+  return report.Finish(ordered_by_maxdist) ? 0 : 1;
 }

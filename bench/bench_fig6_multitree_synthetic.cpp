@@ -11,11 +11,14 @@
 // run (same code path, ~15 minutes on a modern laptop vs. the paper's
 // ~230,000 seconds on a 2004 SUN Ultra 60).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/multi_tree_mining.h"
+#include "core/parallel_mining.h"
 #include "paper_params.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -25,6 +28,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig6_multitree_synthetic");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 6: Multiple_Tree_Mining time vs number of synthetic trees "
@@ -37,6 +41,7 @@ int main() {
 
   const auto max_trees = static_cast<int64_t>(
       EnvScale("COUSINS_FIG6_MAX_TREES", 25000));
+  report.AddParam("max_trees", max_trees);
   std::vector<int64_t> points;
   for (int64_t p = max_trees; p >= 1000; p /= 2) points.push_back(p);
   std::vector<int64_t> ascending(points.rbegin(), points.rend());
@@ -57,8 +62,40 @@ int main() {
     const double us_per_tree = seconds / num_trees * 1e6;
     if (num_trees == ascending.front()) us_small = us_per_tree;
     if (num_trees == ascending.back()) us_large = us_per_tree;
+    report.AddToN(num_trees);
+    report.AddResult("us_per_tree.trees_" + std::to_string(num_trees),
+                     us_per_tree);
     csv.WriteRow({std::to_string(num_trees), std::to_string(seconds),
                   std::to_string(us_per_tree), std::to_string(frequent)});
+  }
+
+  // Parallel-miner phase: mine a materialized slice of the corpus with
+  // MineMultipleTreesParallel so the report's metrics snapshot carries
+  // the per-shard telemetry (mine.parallel.shard.*) alongside the
+  // streaming numbers above.
+  {
+    const int64_t parallel_trees = std::min<int64_t>(max_trees, 4000);
+    const int num_threads = 4;
+    report.AddParam("parallel_trees", parallel_trees);
+    report.AddParam("parallel_threads", int64_t{num_threads});
+    Rng rng(6000);
+    auto labels = std::make_shared<LabelTable>();
+    std::vector<Tree> forest;
+    forest.reserve(static_cast<size_t>(parallel_trees));
+    for (int64_t i = 0; i < parallel_trees; ++i) {
+      forest.push_back(GenerateFanoutTree(gen, rng, labels));
+    }
+    Stopwatch sw;
+    auto frequent =
+        MineMultipleTreesParallel(forest, PaperMultiOptions(), num_threads);
+    const double seconds = sw.ElapsedSeconds();
+    report.AddResult("parallel.us_per_tree",
+                     seconds / parallel_trees * 1e6);
+    report.AddResult("parallel.frequent_pairs",
+                     static_cast<int64_t>(frequent.size()));
+    csv.WriteComment("parallel (" + std::to_string(num_threads) +
+                     " threads, " + std::to_string(parallel_trees) +
+                     " trees): " + std::to_string(seconds) + "s");
   }
   // Linearity: per-tree cost at the largest point within 2x of the
   // smallest (hash-table growth causes mild drift).
@@ -67,5 +104,5 @@ int main() {
                        ? "shape check: OK — per-tree cost roughly "
                          "constant, i.e. total time linear in #trees"
                        : "shape check: MISMATCH — superlinear growth");
-  return linear ? 0 : 1;
+  return report.Finish(linear) ? 0 : 1;
 }

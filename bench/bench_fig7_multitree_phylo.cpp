@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "core/multi_tree_mining.h"
 #include "paper_params.h"
 #include "util/csv.h"
@@ -21,6 +22,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig7_multitree_phylo");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 7: Multiple_Tree_Mining time vs number of phylogenies "
@@ -40,6 +42,7 @@ int main() {
   for (int i = 0; i < 1500; ++i) {
     corpus.push_back(GenerateYulePhylogeny(gen, rng, labels));
   }
+  report.AddParam("corpus_trees", int64_t{1500});
 
   double total_seconds = 0;
   double us_small = 0;
@@ -53,6 +56,9 @@ int main() {
     const double us_per_tree = total_seconds / num_trees * 1e6;
     if (num_trees == 250) us_small = us_per_tree;
     us_large = us_per_tree;
+    report.AddToN(num_trees);
+    report.AddResult("us_per_tree.trees_" + std::to_string(num_trees),
+                     us_per_tree);
     csv.WriteRow({std::to_string(num_trees),
                   std::to_string(total_seconds),
                   std::to_string(us_per_tree), std::to_string(frequent)});
@@ -63,5 +69,6 @@ int main() {
   csv.WriteComment(
       "paper reported <150s total at n=1500; measured total_seconds for "
       "n=1500 is the last row");
-  return linear ? 0 : 1;
+  report.AddResult("total_seconds_n1500", total_seconds);
+  return report.Finish(linear) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.h"
 #include "core/multi_tree_mining.h"
 #include "gen/seed_plants.h"
 #include "paper_params.h"
@@ -19,6 +20,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig8_cooccurrence");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 8: frequent cousin pairs in the 4-tree seed-plant study");
@@ -29,7 +31,10 @@ int main() {
 
   auto labels = std::make_shared<LabelTable>();
   std::vector<Tree> trees = SeedPlantStudy(labels);
+  report.AddParam("study_trees", static_cast<int64_t>(trees.size()));
   auto frequent = MineMultipleTrees(trees, PaperMultiOptions());
+  report.SetN(static_cast<int64_t>(trees.size()));
+  report.AddResult("frequent_pairs", static_cast<int64_t>(frequent.size()));
 
   int gnetum_welwitschia_support = 0;
   int ginkgo_ephedra_support = 0;
@@ -58,9 +63,12 @@ int main() {
 
   const bool ok =
       gnetum_welwitschia_support == 4 && ginkgo_ephedra_support == 2;
+  report.AddResult("gnetum_welwitschia_support",
+                   int64_t{gnetum_welwitschia_support});
+  report.AddResult("ginkgo_ephedra_support", int64_t{ginkgo_ephedra_support});
   csv.WriteComment(ok ? "shape check: OK — both highlighted patterns "
                         "reproduce with the paper's supports (4 and 2)"
                       : "shape check: MISMATCH — highlighted patterns "
                         "absent or wrong support");
-  return ok ? 0 : 1;
+  return report.Finish(ok) ? 0 : 1;
 }

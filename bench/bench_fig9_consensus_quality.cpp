@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "gen/yule_generator.h"
 #include "paper_params.h"
 #include "phylo/consensus.h"
@@ -26,6 +27,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("fig9_consensus_quality");
   CsvWriter csv;
   csv.WriteComment(
       "Figure 9: consensus quality (avg cousin-pair similarity score) "
@@ -49,6 +51,10 @@ int main() {
   search.plateau_budget = 800;
   std::vector<ScoredTree> scored =
       SearchParsimoniousTrees(alignment, search, labels);
+  report.AddParam("taxa", int64_t{16});
+  report.AddParam("sites", int64_t{sim.num_sites});
+  report.AddParam("parsimonious_trees",
+                  static_cast<int64_t>(scored.size()));
 
   std::vector<Tree> pool;
   pool.reserve(scored.size());
@@ -65,11 +71,15 @@ int main() {
         std::fprintf(stderr, "%s failed: %s\n",
                      ConsensusMethodName(method).c_str(),
                      consensus.status().ToString().c_str());
-        return 1;
+        return report.Finish(false) ? 0 : 1;
       }
       const double score =
           AverageSimilarityScore(*consensus, trees, mining);
       grand_total[ConsensusMethodName(method)] += score;
+      report.AddToN(1);
+      report.AddResult("score." + ConsensusMethodName(method) + ".trees_" +
+                           std::to_string(num_trees),
+                       score);
       csv.WriteRow({std::to_string(num_trees),
                     ConsensusMethodName(method), std::to_string(score)});
     }
@@ -84,9 +94,10 @@ int main() {
     }
   }
   const bool ok = best == "majority";
+  report.AddResult("best_method", best);
   csv.WriteComment("best method over the sweep: " + best);
   csv.WriteComment(ok ? "shape check: OK — majority consensus wins, as "
                         "in the paper"
                       : "shape check: MISMATCH — majority did not win");
-  return ok ? 0 : 1;
+  return report.Finish(ok) ? 0 : 1;
 }

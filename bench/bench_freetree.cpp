@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.h"
 #include "freetree/free_tree.h"
 #include "freetree/free_tree_mining.h"
 #include "gen/uniform_generator.h"
@@ -20,6 +21,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("freetree");
   CsvWriter csv;
   csv.WriteComment(
       "Section 6: free-tree mining, rooted algorithm (Eq. 7-10) vs "
@@ -31,6 +33,8 @@ int main() {
 
   const int32_t reps = ScaledReps(5);
   const MiningOptions mining = PaperMiningOptions();
+  report.AddParam("reps_per_point", int64_t{reps});
+  report.AddParam("twice_maxdist", int64_t{mining.twice_maxdist});
   bool all_agree = true;
   for (int32_t size : {100, 200, 400, 800, 1600}) {
     UniformTreeOptions gen;
@@ -53,6 +57,9 @@ int main() {
     const double bfs_ms = sw.ElapsedSeconds() * 1000.0 / reps;
     const bool agree = rooted == bfs;
     all_agree = all_agree && agree;
+    report.AddToN(2 * reps);
+    report.AddResult("rooted_ms.size_" + std::to_string(size), rooted_ms);
+    report.AddResult("bfs_ms.size_" + std::to_string(size), bfs_ms);
     csv.WriteRow({std::to_string(size), std::to_string(rooted_ms),
                   std::to_string(bfs_ms), std::to_string(rooted.size()),
                   agree ? "yes" : "NO"});
@@ -60,5 +67,5 @@ int main() {
   csv.WriteComment(all_agree ? "shape check: OK — both §6 algorithms "
                                "agree on every graph"
                              : "shape check: MISMATCH");
-  return all_agree ? 0 : 1;
+  return report.Finish(all_agree) ? 0 : 1;
 }

@@ -1,0 +1,104 @@
+#include "bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace cousins::bench {
+
+void BenchReport::WriteSection(
+    obs::JsonWriter* writer, const char* key,
+    const std::vector<std::pair<std::string, Value>>& section) {
+  writer->Key(key);
+  writer->BeginObject();
+  for (const auto& [k, v] : section) {
+    writer->Key(k);
+    switch (v.kind) {
+      case Value::Kind::kInt:
+        writer->Int(v.i);
+        break;
+      case Value::Kind::kDouble:
+        writer->Double(v.d);
+        break;
+      case Value::Kind::kString:
+        writer->String(v.s);
+        break;
+      case Value::Kind::kBool:
+        writer->Bool(v.b);
+        break;
+    }
+  }
+  writer->EndObject();
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddParam(const std::string& key, int64_t value) {
+  params_.push_back({key, Value{Value::Kind::kInt, value, 0, {}, false}});
+}
+void BenchReport::AddParam(const std::string& key, double value) {
+  params_.push_back({key, Value{Value::Kind::kDouble, 0, value, {}, false}});
+}
+void BenchReport::AddParam(const std::string& key,
+                           const std::string& value) {
+  params_.push_back({key, Value{Value::Kind::kString, 0, 0, value, false}});
+}
+void BenchReport::AddParam(const std::string& key, bool value) {
+  params_.push_back({key, Value{Value::Kind::kBool, 0, 0, {}, value}});
+}
+
+void BenchReport::AddResult(const std::string& key, int64_t value) {
+  results_.push_back({key, Value{Value::Kind::kInt, value, 0, {}, false}});
+}
+void BenchReport::AddResult(const std::string& key, double value) {
+  results_.push_back(
+      {key, Value{Value::Kind::kDouble, 0, value, {}, false}});
+}
+void BenchReport::AddResult(const std::string& key,
+                            const std::string& value) {
+  results_.push_back(
+      {key, Value{Value::Kind::kString, 0, 0, value, false}});
+}
+void BenchReport::AddResult(const std::string& key, bool value) {
+  results_.push_back({key, Value{Value::Kind::kBool, 0, 0, {}, value}});
+}
+
+bool BenchReport::Finish(bool ok) {
+  const double wall_s = wall_override_s_ >= 0
+                            ? wall_override_s_
+                            : stopwatch_.ElapsedSeconds();
+
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.KeyValue("name", name_);
+  writer.KeyValue("schema_version", int64_t{1});
+  writer.KeyValue("status", ok ? "ok" : "fail");
+  WriteSection(&writer, "params", params_);
+  writer.KeyValue("n", n_);
+  writer.KeyValue("wall_s", wall_s);
+  writer.KeyValue("throughput",
+                  n_ > 0 && wall_s > 0 ? n_ / wall_s : 0.0);
+  WriteSection(&writer, "results", results_);
+  writer.Key("metrics");
+  obs::MetricsRegistry::Global().Snapshot().WriteJson(&writer);
+  writer.EndObject();
+
+  const char* dir = std::getenv("COUSINS_BENCH_REPORT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
+    return ok;
+  }
+  std::fputs(writer.str().c_str(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  std::fprintf(stderr, "# bench report: %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace cousins::bench

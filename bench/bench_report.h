@@ -1,0 +1,95 @@
+// Machine-readable bench reports: every bench_* binary emits a
+// BENCH_<name>.json file alongside its human-readable CSV/stdout, so
+// perf can be tracked and diffed mechanically across PRs (schema in
+// EXPERIMENTS.md).
+//
+// Usage, mirroring the existing bench mains:
+//
+//   int main() {
+//     bench::BenchReport report("fig6_multitree_synthetic");
+//     report.AddParam("max_trees", max_trees);
+//     ... run the experiment, report.AddToN(work_units) ...
+//     report.AddResult("frequent_pairs", static_cast<int64_t>(n));
+//     const bool ok = <shape check>;
+//     return report.Finish(ok) ? 0 : 1;
+//   }
+//
+// Finish() stamps total wall time (from construction unless
+// SetWallSeconds overrode it), computes throughput = n / wall_s, embeds
+// a full MetricsRegistry snapshot, and writes the file. The output
+// directory defaults to the current working directory and can be
+// redirected with COUSINS_BENCH_REPORT_DIR.
+
+#ifndef COUSINS_BENCH_BENCH_REPORT_H_
+#define COUSINS_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace cousins::obs {
+class JsonWriter;
+}
+
+namespace cousins::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Experiment knobs (sweep bounds, rep counts, thread counts, ...).
+  void AddParam(const std::string& key, int64_t value);
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, bool value);
+
+  /// Headline measured outcomes beyond n/wall_s (pair counts, per-unit
+  /// costs, per-benchmark timings, ...).
+  void AddResult(const std::string& key, int64_t value);
+  void AddResult(const std::string& key, double value);
+  void AddResult(const std::string& key, const std::string& value);
+  void AddResult(const std::string& key, bool value);
+
+  /// Work units processed (trees mined, items emitted, iterations...);
+  /// the denominator-free basis for throughput comparisons.
+  void SetN(int64_t n) { n_ = n; }
+  void AddToN(int64_t delta) { n_ += delta; }
+  int64_t n() const { return n_; }
+
+  /// Overrides the automatic construction-to-Finish wall clock, for
+  /// benches that want to exclude setup.
+  void SetWallSeconds(double seconds) { wall_override_s_ = seconds; }
+
+  /// Writes BENCH_<name>.json and returns `ok` unchanged, so mains can
+  /// `return report.Finish(shape_ok) ? 0 : 1;`. A failed file write
+  /// prints a warning but does not change the return value (the bench
+  /// verdict is the shape check, not the telemetry).
+  bool Finish(bool ok);
+
+ private:
+  struct Value {
+    enum class Kind { kInt, kDouble, kString, kBool } kind;
+    int64_t i = 0;
+    double d = 0;
+    std::string s;
+    bool b = false;
+  };
+
+  static void WriteSection(
+      obs::JsonWriter* writer, const char* key,
+      const std::vector<std::pair<std::string, Value>>& section);
+
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> params_;
+  std::vector<std::pair<std::string, Value>> results_;
+  int64_t n_ = 0;
+  double wall_override_s_ = -1;
+  Stopwatch stopwatch_;
+};
+
+}  // namespace cousins::bench
+
+#endif  // COUSINS_BENCH_BENCH_REPORT_H_

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_report.h"
 #include "core/multi_tree_mining.h"
 #include "gen/study_corpus.h"
 #include "paper_params.h"
@@ -21,6 +22,7 @@ using namespace cousins;
 using namespace cousins::bench;
 
 int main() {
+  BenchReport report("study_mining");
   CsvWriter csv;
   csv.WriteComment(
       "Ablation A5: per-study frequent-pair mining over a TreeBASE-"
@@ -37,6 +39,7 @@ int main() {
   StudyCorpusOptions gen;
   gen.num_studies = 400;
   std::vector<Study> corpus = GenerateStudyCorpus(gen, rng, labels);
+  report.AddParam("corpus_studies", int64_t{gen.num_studies});
 
   bool linear_ok = true;
   double first_per_study = 0;
@@ -59,6 +62,14 @@ int main() {
     } else if (per_study > 2.0 * first_per_study) {
       linear_ok = false;
     }
+    report.AddToN(num_studies);
+    report.AddResult("seconds_per_study.studies_" +
+                         std::to_string(num_studies),
+                     per_study);
+    if (num_studies == 400) {
+      report.AddResult("studies_with_patterns", int64_t{with_patterns});
+      report.AddResult("total_frequent_pairs", total_pairs);
+    }
     csv.WriteRow({std::to_string(num_studies),
                   std::to_string(total_trees), std::to_string(seconds),
                   std::to_string(with_patterns),
@@ -72,5 +83,5 @@ int main() {
                          "overwhelming majority of studies yield "
                          "co-occurring patterns"
                        : "shape check: MISMATCH");
-  return linear_ok ? 0 : 1;
+  return report.Finish(linear_ok) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_report.h"
 #include "core/naive_mining.h"
 #include "core/paper_mining.h"
 #include "core/single_tree_mining.h"
@@ -23,6 +24,7 @@
 using namespace cousins;
 
 int main() {
+  bench::BenchReport report("table1_items");
   CsvWriter csv;
   csv.WriteComment(
       "Table 1: all cousin pair items of an 11-node example tree");
@@ -35,14 +37,18 @@ int main() {
   auto tree = ParseNewick("((b,c)a,(b,c)a,(d,(e)d)f)p;").value();
   MiningOptions options;
   options.twice_maxdist = 4;  // show distances 0 .. 2
+  report.AddParam("tree_size", int64_t{tree.size()});
+  report.AddParam("twice_maxdist", int64_t{options.twice_maxdist});
 
   auto items = MineSingleTree(tree, options);
   // Cross-check the two reference implementations.
   if (items != MineSingleTreePaper(tree, options) ||
       items != MineSingleTreeNaive(tree, options)) {
     std::fprintf(stderr, "MINER DISAGREEMENT\n");
-    return 1;
+    return report.Finish(false) ? 0 : 1;
   }
+  report.SetN(static_cast<int64_t>(items.size()));
+  report.AddResult("items", static_cast<int64_t>(items.size()));
 
   csv.WriteRow({"distance", "cousin_pair_items"});
   std::map<int, std::string> by_distance;
@@ -69,5 +75,5 @@ int main() {
     }
   }
   csv.WriteComment("status: OK (all three miners agree)");
-  return 0;
+  return report.Finish(true) ? 0 : 1;
 }

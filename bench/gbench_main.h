@@ -1,0 +1,62 @@
+// Drop-in replacement for BENCHMARK_MAIN() that also emits a
+// BENCH_<name>.json report: per-benchmark real/cpu times land in the
+// report's "results" section and the usual console output is preserved.
+
+#ifndef COUSINS_BENCH_GBENCH_MAIN_H_
+#define COUSINS_BENCH_GBENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "bench_report.h"
+
+namespace cousins::bench {
+
+/// ConsoleReporter that tees every finished run into a BenchReport:
+/// "<benchmark_name>.real_us" / ".cpu_us" per-iteration results, with
+/// iterations accumulated into n.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double iterations = static_cast<double>(run.iterations);
+      report_->AddResult(run.benchmark_name() + ".real_us",
+                         run.real_accumulated_time / iterations * 1e6);
+      report_->AddResult(run.benchmark_name() + ".cpu_us",
+                         run.cpu_accumulated_time / iterations * 1e6);
+      report_->AddToN(static_cast<int64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+inline int RunGbenchWithReport(int argc, char** argv, const char* name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(name);
+  ReportingConsoleReporter reporter(&report);
+  const size_t benchmarks_run =
+      benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.AddParam("benchmarks_run",
+                  static_cast<int64_t>(benchmarks_run));
+  return report.Finish(benchmarks_run > 0) ? 0 : 1;
+}
+
+}  // namespace cousins::bench
+
+/// Replaces BENCHMARK_MAIN(); `name` becomes BENCH_<name>.json.
+#define COUSINS_GBENCH_MAIN(name)                                   \
+  int main(int argc, char** argv) {                                 \
+    return ::cousins::bench::RunGbenchWithReport(argc, argv, name); \
+  }
+
+#endif  // COUSINS_BENCH_GBENCH_MAIN_H_

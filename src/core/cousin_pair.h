@@ -63,6 +63,11 @@ struct MiningOptions {
   int twice_maxdist = 3;
   /// minoccur: minimum occurrences of a pair within one tree.
   int64_t min_occur = 1;
+
+  /// Memberwise; keeps shard-compatibility checks (MergeFrom) complete
+  /// as fields are added.
+  friend bool operator==(const MiningOptions&,
+                         const MiningOptions&) = default;
 };
 
 /// "(a, b, 1.5, 2)" — Table 1 rendering of an item.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace cousins {
@@ -11,6 +12,7 @@ MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
     : options_(options) {}
 
 void MultiTreeMiner::AddTree(const Tree& tree) {
+  COUSINS_METRIC_SCOPED_TIMER("mine.multi.add_tree");
   if (labels_ == nullptr) {
     labels_ = tree.labels_ptr();
   } else {
@@ -27,29 +29,34 @@ void MultiTreeMiner::AddTree(const Tree& tree) {
       ++t.support;
       t.total_occurrences += item.occurrences;
     }
-    return;
+  } else {
+    // Distance-ignored support: a tree supports (a, b, @) once no
+    // matter how many distinct distances realize the pair in it.
+    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
+    for (const CousinPairItem& item : items) {
+      per_pair[{item.label1, item.label2, kAnyDistance}] +=
+          item.occurrences;
+    }
+    for (const auto& [key, occ] : per_pair) {
+      Tally& t = tallies_[key];
+      ++t.support;
+      t.total_occurrences += occ;
+    }
   }
-
-  // Distance-ignored support: a tree supports (a, b, @) once no matter
-  // how many distinct distances realize the pair in it.
-  std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
-  for (const CousinPairItem& item : items) {
-    per_pair[{item.label1, item.label2, kAnyDistance}] += item.occurrences;
-  }
-  for (const auto& [key, occ] : per_pair) {
-    Tally& t = tallies_[key];
-    ++t.support;
-    t.total_occurrences += occ;
-  }
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
+  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size",
+                                  tallies_.size());
 }
 
 void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
-  COUSINS_CHECK(options_.min_support == other.options_.min_support &&
-                options_.ignore_distance == other.options_.ignore_distance &&
-                options_.per_tree.twice_maxdist ==
-                    other.options_.per_tree.twice_maxdist &&
-                options_.per_tree.min_occur ==
-                    other.options_.per_tree.min_occur);
+  // Full option equality: any divergence between shards would silently
+  // merge tallies mined under different parameters.
+  COUSINS_CHECK(options_ == other.options_ &&
+                "MergeFrom requires identical mining options");
+  COUSINS_METRIC_SCOPED_TIMER("mine.multi.merge");
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.merges", 1);
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.merged_tallies",
+                             other.tallies_.size());
   if (other.labels_ != nullptr) {
     if (labels_ == nullptr) {
       labels_ = other.labels_;

@@ -33,6 +33,11 @@ struct MultiTreeMiningOptions {
   /// When true, support is counted per label pair regardless of the
   /// cousin distance (the paper's "@" abstraction).
   bool ignore_distance = false;
+
+  /// Memberwise; MergeFrom requires full option equality between
+  /// shards, so new fields are covered automatically.
+  friend bool operator==(const MultiTreeMiningOptions&,
+                         const MultiTreeMiningOptions&) = default;
 };
 
 /// A frequent cousin pair with its support (number of containing trees)

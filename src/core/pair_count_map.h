@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tree/label_table.h"
 #include "util/check.h"
 
@@ -33,35 +34,54 @@ inline LabelId UnpackSecond(uint64_t key) {
 
 /// key -> int64 counter with linear probing; supports negative deltas
 /// (inclusion–exclusion) as long as final counts are non-negative.
-/// Entries whose count nets to exactly zero may or may not survive a
-/// rehash — callers must treat zero-count entries as absent (the miners
-/// filter on count > 0).
+/// Entries whose count nets to exactly zero are invisible to ForEach
+/// and are purged whenever the table rehashes, so alternating +/-
+/// delta streams cannot inflate the load factor: the table only grows
+/// when entries with nonzero counts genuinely crowd it.
 class PairCountMap {
  public:
+  /// Cumulative accounting of hash-table work, for mining telemetry.
+  struct Stats {
+    int64_t probes = 0;    // slots inspected across all Add calls
+    int64_t rehashes = 0;  // growth/purge rehashes (initial alloc excluded)
+  };
+
   PairCountMap() { Rehash(64); }
 
   void Add(uint64_t key, int64_t delta) {
     if (delta == 0) return;
+    COUSINS_METRICS_ONLY(++stats_.probes;)
     size_t i = Slot(key);
     while (keys_[i] != kEmpty) {
       if (keys_[i] == key) {
         values_[i] += delta;
         return;
       }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
       i = (i + 1) & mask_;
     }
     keys_[i] = key;
     values_[i] = delta;
-    if (++size_ * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
+    if (++size_ * 10 >= keys_.size() * 7) Grow();
   }
 
+  /// Occupied slots, including zero-net entries not yet purged by a
+  /// rehash; an upper bound on the number of entries ForEach visits.
   size_t size() const { return size_; }
 
-  /// Invokes fn(key, count) for every entry (unspecified order).
+  /// Current slot count (always a power of two).
+  size_t capacity() const { return keys_.size(); }
+
+  /// Cumulative probe/rehash counts. Always zero when telemetry is
+  /// compiled out (COUSINS_METRICS=OFF).
+  const Stats& stats() const { return stats_; }
+
+  /// Invokes fn(key, count) for every entry with count != 0
+  /// (unspecified order). Zero-net entries are skipped.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != kEmpty) fn(keys_[i], values_[i]);
+      if (keys_[i] != kEmpty && values_[i] != 0) fn(keys_[i], values_[i]);
     }
   }
 
@@ -80,6 +100,20 @@ class PairCountMap {
     return static_cast<size_t>(h ^ (h >> 31)) & mask_;
   }
 
+  /// Load factor hit 0.7. Rehashing purges zero-net entries, so double
+  /// the capacity only when live (nonzero) entries alone would keep the
+  /// table more than half full after the purge.
+  void Grow() {
+    COUSINS_METRICS_ONLY(++stats_.rehashes;)
+    size_t live = 0;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty && values_[i] != 0) ++live;
+    }
+    size_t capacity = keys_.size();
+    if (live * 2 >= capacity) capacity *= 2;
+    Rehash(capacity);
+  }
+
   void Rehash(size_t capacity) {
     std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<int64_t> old_values = std::move(values_);
@@ -88,7 +122,9 @@ class PairCountMap {
     mask_ = capacity - 1;
     size_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {
-      if (old_keys[i] != kEmpty) Add(old_keys[i], old_values[i]);
+      if (old_keys[i] != kEmpty && old_values[i] != 0) {
+        Add(old_keys[i], old_values[i]);
+      }
     }
   }
 
@@ -96,6 +132,7 @@ class PairCountMap {
   std::vector<int64_t> values_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  Stats stats_;
 };
 
 }  // namespace internal

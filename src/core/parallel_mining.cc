@@ -1,7 +1,11 @@
 #include "core/parallel_mining.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace cousins {
 
@@ -17,22 +21,47 @@ std::vector<FrequentCousinPair> MineMultipleTreesParallel(
   if (num_threads <= 1) return MineMultipleTrees(trees, options);
 
   std::vector<MultiTreeMiner> shards(num_threads, MultiTreeMiner(options));
+  std::vector<double> shard_seconds(num_threads, 0.0);
   {
     std::vector<std::thread> workers;
     workers.reserve(num_threads);
     for (int32_t w = 0; w < num_threads; ++w) {
       workers.emplace_back([&, w]() {
+        Stopwatch shard_sw;
         // Strided sharding keeps per-thread work balanced even when
         // tree sizes trend over the corpus.
         for (size_t i = w; i < trees.size(); i += num_threads) {
           shards[w].AddTree(trees[i]);
         }
+        shard_seconds[w] = shard_sw.ElapsedSeconds();
       });
     }
     for (std::thread& worker : workers) worker.join();
   }
+
+#if COUSINS_METRICS_ENABLED
+  // Per-shard telemetry exposes load balance: shard wall times should
+  // be near-equal when the strided split is working.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("mine.parallel.runs").Add(1);
+  registry.GetCounter("mine.parallel.threads").Add(num_threads);
+  for (int32_t w = 0; w < num_threads; ++w) {
+    const int64_t wall_us = static_cast<int64_t>(shard_seconds[w] * 1e6);
+    const std::string prefix =
+        "mine.parallel.shard." + std::to_string(w);
+    registry.GetCounter(prefix + ".trees").Add(shards[w].tree_count());
+    registry.GetCounter(prefix + ".wall_us").Add(wall_us);
+    registry.GetHistogram("mine.parallel.shard_wall_us").Record(wall_us);
+    registry.GetHistogram("mine.parallel.shard_trees")
+        .Record(shards[w].tree_count());
+  }
+#endif
+
+  Stopwatch merge_sw;
   MultiTreeMiner merged(options);
   for (const MultiTreeMiner& shard : shards) merged.MergeFrom(shard);
+  COUSINS_METRIC_COUNTER_ADD("mine.parallel.merge_us",
+                             merge_sw.ElapsedSeconds() * 1e6);
   return merged.FrequentPairs();
 }
 

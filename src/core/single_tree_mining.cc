@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pair_count_map.h"
+#include "obs/metrics.h"
 
 namespace cousins {
 namespace {
@@ -117,6 +118,20 @@ std::vector<CousinPairItem> MineSingleTreeUnordered(
       }
     });
   }
+
+#if COUSINS_METRICS_ENABLED
+  int64_t probes = 0;
+  int64_t rehashes = 0;
+  for (const PairCountMap& m : acc) {
+    probes += m.stats().probes;
+    rehashes += m.stats().rehashes;
+  }
+  COUSINS_METRIC_COUNTER_ADD("mine.single.calls", 1);
+  COUSINS_METRIC_COUNTER_ADD("mine.single.nodes", tree.size());
+  COUSINS_METRIC_COUNTER_ADD("mine.single.items_emitted", items.size());
+  COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_probes", probes);
+  COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_rehashes", rehashes);
+#endif
   return items;
 }
 

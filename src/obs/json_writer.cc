@@ -1,0 +1,127 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace cousins::obs {
+
+void JsonWriter::Indent(size_t depth) {
+  out_.push_back('\n');
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::BeginValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  COUSINS_CHECK(stack_.empty() || stack_.back() == Scope::kArray);
+  if (!stack_.empty()) {
+    if (counts_.back() > 0) out_.push_back(',');
+    ++counts_.back();
+    Indent(stack_.size());
+  }
+}
+
+void JsonWriter::OpenScope(Scope scope, char bracket) {
+  BeginValue();
+  out_.push_back(bracket);
+  stack_.push_back(scope);
+  counts_.push_back(0);
+}
+
+void JsonWriter::CloseScope(Scope scope, char bracket) {
+  COUSINS_CHECK(!stack_.empty() && stack_.back() == scope && !after_key_);
+  const int count = counts_.back();
+  stack_.pop_back();
+  counts_.pop_back();
+  if (count > 0) Indent(stack_.size());
+  out_.push_back(bracket);
+}
+
+void JsonWriter::BeginObject() { OpenScope(Scope::kObject, '{'); }
+void JsonWriter::EndObject() { CloseScope(Scope::kObject, '}'); }
+void JsonWriter::BeginArray() { OpenScope(Scope::kArray, '['); }
+void JsonWriter::EndArray() { CloseScope(Scope::kArray, ']'); }
+
+void JsonWriter::Key(std::string_view key) {
+  COUSINS_CHECK(!stack_.empty() && stack_.back() == Scope::kObject &&
+                !after_key_);
+  if (counts_.back() > 0) out_.push_back(',');
+  ++counts_.back();
+  Indent(stack_.size());
+  AppendEscaped(key);
+  out_ += ": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeginValue();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeginValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeginValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  // "%.17g" of an integral double has no '.', 'e', or "inf"/"nan"
+  // marker; add ".0" so readers that distinguish int/float round-trip.
+  std::string_view written(buf);
+  if (written.find_first_of(".eE") == std::string_view::npos) out_ += ".0";
+}
+
+void JsonWriter::Bool(bool value) {
+  BeginValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeginValue();
+  out_ += "null";
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+}  // namespace cousins::obs

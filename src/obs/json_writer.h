@@ -1,0 +1,81 @@
+// Minimal streaming JSON writer for metrics snapshots and bench
+// reports. Hand-rolled on purpose: the repo takes no third-party
+// serialization dependency for a format this small, and the writer
+// guarantees valid, deterministic, pretty-printed output that diffs
+// cleanly across PRs.
+
+#ifndef COUSINS_OBS_JSON_WRITER_H_
+#define COUSINS_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cousins::obs {
+
+/// Emits one JSON document into an internal buffer. Usage mirrors the
+/// document structure: BeginObject/Key/value.../EndObject. The writer
+/// inserts commas and 2-space indentation; callers only describe
+/// structure. Keys are only legal inside objects, bare values only
+/// inside arrays or after a Key. Misuse aborts (writer bugs would
+/// silently corrupt every bench report downstream).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);  // non-finite values serialize as null
+  void Bool(bool value);
+  void Null();
+
+  /// Shorthand for Key(key); <value>.
+  void KeyValue(std::string_view key, std::string_view value) {
+    Key(key);
+    String(value);
+  }
+  void KeyValue(std::string_view key, const char* value) {
+    Key(key);
+    String(value);
+  }
+  void KeyValue(std::string_view key, int64_t value) {
+    Key(key);
+    Int(value);
+  }
+  void KeyValue(std::string_view key, double value) {
+    Key(key);
+    Double(value);
+  }
+  void KeyValue(std::string_view key, bool value) {
+    Key(key);
+    Bool(value);
+  }
+
+  /// The finished document. Valid once every Begin* has been closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+
+  void BeginValue();  // comma/newline bookkeeping before any value
+  void OpenScope(Scope scope, char bracket);
+  void CloseScope(Scope scope, char bracket);
+  void AppendEscaped(std::string_view s);
+  void Indent(size_t depth);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<int> counts_;  // values emitted per open scope
+  bool after_key_ = false;
+};
+
+}  // namespace cousins::obs
+
+#endif  // COUSINS_OBS_JSON_WRITER_H_

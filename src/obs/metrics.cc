@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json_writer.h"
+
+namespace cousins::obs {
+namespace {
+
+std::atomic<bool> g_runtime_enabled{true};
+
+/// COUSINS_METRICS=0|off|false disables recording at process start.
+bool InitialEnabledFromEnv() {
+  const char* value = std::getenv("COUSINS_METRICS");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "OFF") != 0 && std::strcmp(value, "false") != 0;
+}
+
+/// Lock-free running max/min for histogram bounds.
+template <typename Cmp>
+void AtomicExtreme(std::atomic<int64_t>* slot, int64_t sample, Cmp better) {
+  int64_t current = slot->load(std::memory_order_relaxed);
+  while (better(sample, current) &&
+         !slot->compare_exchange_weak(current, sample,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+#if COUSINS_METRICS_ENABLED
+  return g_runtime_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void Histogram::Record(int64_t sample) {
+  if (!MetricsEnabled()) return;
+  if (sample < 0) sample = 0;
+  const int b =
+      sample == 0 ? 0 : std::bit_width(static_cast<uint64_t>(sample));
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  AtomicExtreme(&min_, sample, [](int64_t a, int64_t b2) { return a < b2; });
+  AtomicExtreme(&max_, sample, [](int64_t a, int64_t b2) { return a > b2; });
+}
+
+int64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= 63) return std::numeric_limits<int64_t>::max();
+  return (int64_t{1} << b) - 1;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(std::numeric_limits<int64_t>::min(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry() {
+  g_runtime_enabled.store(InitialEnabledFromEnv(),
+                          std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: instrumented code may record during other
+  // translation units' static destruction, so the registry must never
+  // be destroyed.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::set_enabled(bool enabled) {
+  g_runtime_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::enabled() const {
+  return g_runtime_enabled.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    if (h.count > 0) {
+      h.min = histogram->min();
+      h.max = histogram->max();
+    }
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const int64_t c = histogram->bucket(b);
+      if (c > 0) h.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MetricsSnapshot::WriteJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, value] : counters) {
+    writer->KeyValue(name, value);
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& [name, h] : histograms) {
+    writer->Key(name);
+    writer->BeginObject();
+    writer->KeyValue("count", h.count);
+    writer->KeyValue("sum", h.sum);
+    writer->KeyValue("min", h.min);
+    writer->KeyValue("max", h.max);
+    if (h.count > 0) {
+      writer->KeyValue("mean", static_cast<double>(h.sum) /
+                                   static_cast<double>(h.count));
+    }
+    writer->Key("buckets");
+    writer->BeginArray();
+    for (const auto& [le, count] : h.buckets) {
+      writer->BeginObject();
+      writer->KeyValue("le", le);
+      writer->KeyValue("count", count);
+      writer->EndObject();
+    }
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+ScopedTimer::ScopedTimer(Histogram* wall_us, Histogram* cpu_us)
+    : wall_us_(wall_us),
+      cpu_us_(cpu_us),
+      wall_start_(std::chrono::steady_clock::now()),
+      cpu_start_us_(cpu_us == nullptr ? -1 : ThreadCpuMicros()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (!MetricsEnabled()) return;
+  if (wall_us_ != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - wall_start_;
+    wall_us_->Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+  if (cpu_us_ != nullptr && cpu_start_us_ >= 0) {
+    const int64_t now = ThreadCpuMicros();
+    if (now >= 0) cpu_us_->Record(now - cpu_start_us_);
+  }
+}
+
+int64_t ScopedTimer::ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return -1;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+#else
+  return -1;
+#endif
+}
+
+}  // namespace cousins::obs

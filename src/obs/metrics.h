@@ -1,0 +1,219 @@
+// Mining telemetry: process-wide counters, log-scale histograms, and
+// wall/CPU scoped timers, aggregated by a global MetricsRegistry and
+// serializable to JSON (bench reports embed a snapshot).
+//
+// Cost model — the hot paths this instruments process millions of
+// trees, so recording must stay out of the way twice over:
+//   * compile time: building with -DCOUSINS_METRICS_ENABLED=0 (CMake
+//     option COUSINS_METRICS=OFF) expands every COUSINS_METRIC_* macro
+//     to nothing, restoring the uninstrumented binary bit-for-bit on
+//     the hot paths;
+//   * runtime: recording checks one relaxed atomic flag, toggled by
+//     MetricsRegistry::set_enabled() or the COUSINS_METRICS=0
+//     environment variable, so a production build can ship with the
+//     macros compiled in and still turn telemetry off.
+// All recording is thread-safe (relaxed atomics); metric lookup by name
+// takes a mutex but every macro caches the pointer in a function-local
+// static, so the hot path never locks.
+
+#ifndef COUSINS_OBS_METRICS_H_
+#define COUSINS_OBS_METRICS_H_
+
+#ifndef COUSINS_METRICS_ENABLED
+#define COUSINS_METRICS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cousins::obs {
+
+class JsonWriter;
+
+/// True when recording is live (compile-time macro AND runtime flag).
+bool MetricsEnabled();
+
+/// Monotonically accumulating 64-bit counter.
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples (negative
+/// samples clamp to 0). Bucket b >= 1 holds samples whose bit width is
+/// b, i.e. the range [2^(b-1), 2^b - 1]; bucket 0 holds zeros. Exact
+/// count/sum/min/max are kept alongside the buckets.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Record(int64_t sample);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/max of recorded samples; min() > max() means "empty".
+  int64_t min() const { return min_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket b (0, 1, 3, 7, 15, ...).
+  static int64_t BucketUpperBound(int b);
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{std::numeric_limits<int64_t>::max()};
+  std::atomic<int64_t> max_{std::numeric_limits<int64_t>::min()};
+};
+
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  /// (inclusive upper bound, count), non-empty buckets only.
+  std::vector<std::pair<int64_t, int64_t>> buckets;
+};
+
+/// Point-in-time copy of every registered metric, JSON-serializable.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Writes {"counters": {...}, "histograms": {...}} as one JSON value.
+  void WriteJson(JsonWriter* writer) const;
+};
+
+/// Owns all named metrics for the process. References returned by
+/// GetCounter/GetHistogram stay valid for the registry's lifetime, so
+/// call sites cache them (the COUSINS_METRIC_* macros do this via
+/// function-local statics).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Runtime kill switch; also initialized from the COUSINS_METRICS
+  /// environment variable ("0"/"off"/"false" disable).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Zeroes every registered metric (names stay registered). Benches
+  /// use this to scope a snapshot to one measured phase.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  MetricsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records wall time (and, where the platform supports it, thread CPU
+/// time) from construction to destruction into `<name>.wall_us` /
+/// `<name>.cpu_us` histograms, in microseconds.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* wall_us, Histogram* cpu_us);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Thread CPU clock in microseconds, or -1 if unsupported.
+  static int64_t ThreadCpuMicros();
+
+ private:
+  Histogram* wall_us_;
+  Histogram* cpu_us_;
+  std::chrono::steady_clock::time_point wall_start_;
+  int64_t cpu_start_us_;
+};
+
+namespace internal {
+inline Counter& CachedCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Histogram& CachedHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+}  // namespace internal
+
+}  // namespace cousins::obs
+
+// --- Recording macros -------------------------------------------------
+// Metric names are compile-time string literals; each macro resolves the
+// metric once (thread-safe static init) and records through the cached
+// reference afterwards.
+
+#if COUSINS_METRICS_ENABLED
+
+/// Splices instrumentation-only statements into a function/class body.
+#define COUSINS_METRICS_ONLY(...) __VA_ARGS__
+
+#define COUSINS_METRIC_COUNTER_ADD(name, delta)                         \
+  do {                                                                  \
+    static ::cousins::obs::Counter& cousins_metric_counter_ =           \
+        ::cousins::obs::internal::CachedCounter(name);                  \
+    cousins_metric_counter_.Add(static_cast<int64_t>(delta));           \
+  } while (0)
+
+#define COUSINS_METRIC_HISTOGRAM_RECORD(name, sample)                   \
+  do {                                                                  \
+    static ::cousins::obs::Histogram& cousins_metric_histogram_ =       \
+        ::cousins::obs::internal::CachedHistogram(name);                \
+    cousins_metric_histogram_.Record(static_cast<int64_t>(sample));     \
+  } while (0)
+
+/// Times the rest of the enclosing scope into `name.wall_us` and
+/// `name.cpu_us` histograms.
+#define COUSINS_METRIC_SCOPED_TIMER(name)                               \
+  static ::cousins::obs::Histogram& cousins_metric_timer_wall_ =        \
+      ::cousins::obs::internal::CachedHistogram(name ".wall_us");       \
+  static ::cousins::obs::Histogram& cousins_metric_timer_cpu_ =         \
+      ::cousins::obs::internal::CachedHistogram(name ".cpu_us");        \
+  ::cousins::obs::ScopedTimer cousins_metric_scoped_timer_(             \
+      &cousins_metric_timer_wall_, &cousins_metric_timer_cpu_)
+
+#else  // !COUSINS_METRICS_ENABLED
+
+#define COUSINS_METRICS_ONLY(...)
+#define COUSINS_METRIC_COUNTER_ADD(name, delta) \
+  do {                                          \
+  } while (0)
+#define COUSINS_METRIC_HISTOGRAM_RECORD(name, sample) \
+  do {                                                \
+  } while (0)
+#define COUSINS_METRIC_SCOPED_TIMER(name) \
+  do {                                    \
+  } while (0)
+
+#endif  // COUSINS_METRICS_ENABLED
+
+#endif  // COUSINS_OBS_METRICS_H_

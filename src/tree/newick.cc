@@ -1,9 +1,12 @@
 #include "tree/newick.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <utility>
+#include <vector>
 
+#include "obs/metrics.h"
 #include "tree/builder.h"
 #include "util/strings.h"
 
@@ -16,11 +19,58 @@ bool IsStructural(char c) {
          c == '[';
 }
 
+/// Maps parser positions back to the user's original input. The forest
+/// reader strips '#'-comment lines into an internal buffer before
+/// splitting on ';', so a parser offset alone would point into that
+/// buffer, not the text the user supplied; errors must instead report
+/// the original line/column.
+struct SourceContext {
+  /// The full original input (error line/column are computed here).
+  std::string_view source;
+  /// For each char of the internal (comment-stripped) buffer, its
+  /// offset in `source`. nullptr when the parsed text IS a slice of
+  /// `source` (identity mapping via `base`).
+  const std::vector<size_t>* to_source = nullptr;
+  /// Offset of the parsed slice: into `source` when to_source is null,
+  /// into the internal buffer otherwise.
+  size_t base = 0;
+};
+
+/// "line L, column C" (1-based) of parser offset `local_pos` in the
+/// original input.
+std::string DescribePosition(const SourceContext& ctx, size_t local_pos) {
+  size_t offset;
+  if (ctx.to_source != nullptr) {
+    const size_t index = ctx.base + local_pos;
+    offset = index < ctx.to_source->size() ? (*ctx.to_source)[index]
+                                           : ctx.source.size();
+  } else {
+    offset = ctx.base + local_pos;
+  }
+  offset = std::min(offset, ctx.source.size());
+  size_t line = 1;
+  size_t column = 1;
+  for (size_t i = 0; i < offset; ++i) {
+    if (ctx.source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return "line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
 /// Recursive-descent Newick parser over a string_view cursor.
 class NewickParser {
  public:
-  NewickParser(std::string_view text, std::shared_ptr<LabelTable> labels)
-      : text_(text), labels_(std::move(labels)), builder_(labels_) {}
+  NewickParser(std::string_view text, std::shared_ptr<LabelTable> labels,
+               SourceContext ctx)
+      : text_(text),
+        ctx_(ctx),
+        labels_(std::move(labels)),
+        builder_(labels_) {}
 
   Result<Tree> Parse() {
     SkipSpace();
@@ -30,9 +80,7 @@ class NewickParser {
     if (!AtEnd() && Peek() == ';') Advance();
     SkipSpace();
     if (!AtEnd()) {
-      return Status::InvalidArgument(
-          "trailing characters after Newick tree at offset " +
-          std::to_string(pos_));
+      return ErrorAt("trailing characters after Newick tree", pos_);
     }
     return std::move(builder_).Build();
   }
@@ -41,6 +89,14 @@ class NewickParser {
   bool AtEnd() const { return pos_ >= text_.size(); }
   char Peek() const { return text_[pos_]; }
   void Advance() { ++pos_; }
+  std::string At(size_t pos) const { return DescribePosition(ctx_, pos); }
+
+  /// Error construction is kept out of line so its string temporaries
+  /// don't enlarge the recursive ParseNode frame — deep nesting parses
+  /// one stack frame per level (see robustness_test.cc's 20k bound).
+  [[gnu::noinline]] Status ErrorAt(const char* what, size_t pos) const {
+    return Status::InvalidArgument(std::string(what) + " at " + At(pos));
+  }
 
   void SkipSpace() {
     while (!AtEnd()) {
@@ -67,12 +123,13 @@ class NewickParser {
       had_children = true;
       self = parent == kNoNode ? builder_.AddRoot()
                                : builder_.AddChild(parent);
+      const size_t open_pos = pos_;
       Advance();  // '('
       while (true) {
         COUSINS_RETURN_IF_ERROR(ParseNode(self));
         SkipSpace();
         if (AtEnd()) {
-          return Status::InvalidArgument("unterminated '(' in Newick");
+          return ErrorAt("unterminated '(' opened", open_pos);
         }
         if (Peek() == ',') {
           Advance();
@@ -82,8 +139,7 @@ class NewickParser {
           Advance();
           break;
         }
-        return Status::InvalidArgument(
-            "expected ',' or ')' at offset " + std::to_string(pos_));
+        return ErrorAt("expected ',' or ')'", pos_);
       }
     } else {
       self = parent == kNoNode ? builder_.AddRoot()
@@ -112,14 +168,17 @@ class NewickParser {
     return Status::OK();
   }
 
-  Status ParseLabel(std::string* out) {
+  /// noinline like ErrorAt: keeps label/number scratch space out of
+  /// the recursive ParseNode frame.
+  [[gnu::noinline]] Status ParseLabel(std::string* out) {
     out->clear();
     if (AtEnd()) return Status::OK();
     if (Peek() == '\'') {
+      const size_t quote_pos = pos_;
       Advance();
       while (true) {
         if (AtEnd()) {
-          return Status::InvalidArgument("unterminated quoted label");
+          return ErrorAt("unterminated quoted label starting", quote_pos);
         }
         char c = Peek();
         Advance();
@@ -145,7 +204,7 @@ class NewickParser {
     return Status::OK();
   }
 
-  Status ParseNumber(double* out) {
+  [[gnu::noinline]] Status ParseNumber(double* out) {
     SkipSpace();
     size_t start = pos_;
     while (!AtEnd() && !IsStructural(Peek()) &&
@@ -157,7 +216,8 @@ class NewickParser {
         std::from_chars(token.data(), token.data() + token.size(), *out);
     if (ec != std::errc() || ptr != token.data() + token.size()) {
       return Status::InvalidArgument("bad branch length '" +
-                                     std::string(token) + "'");
+                                     std::string(token) + "' at " +
+                                     At(start));
     }
     return Status::OK();
   }
@@ -171,37 +231,66 @@ class NewickParser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  SourceContext ctx_;
   std::shared_ptr<LabelTable> labels_;
   TreeBuilder builder_;
 };
+
+Result<Tree> ParseNewickImpl(std::string_view text,
+                             std::shared_ptr<LabelTable> labels,
+                             SourceContext ctx) {
+  NewickParser parser(text, std::move(labels), ctx);
+  Result<Tree> result = parser.Parse();
+  COUSINS_METRIC_COUNTER_ADD("newick.bytes", text.size());
+  if (result.ok()) {
+    COUSINS_METRIC_COUNTER_ADD("newick.trees_parsed", 1);
+  } else {
+    COUSINS_METRIC_COUNTER_ADD("newick.parse_errors", 1);
+  }
+  return result;
+}
 
 }  // namespace
 
 Result<Tree> ParseNewick(std::string_view text,
                          std::shared_ptr<LabelTable> labels) {
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  NewickParser parser(text, labels);
-  return parser.Parse();
+  return ParseNewickImpl(text, std::move(labels),
+                         SourceContext{text, nullptr, 0});
 }
 
 Result<std::vector<Tree>> ParseNewickForest(
     std::string_view text, std::shared_ptr<LabelTable> labels) {
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  // Drop '#'-comment lines first; trees are then split on ';'.
+  // Drop '#'-comment lines first; trees are then split on ';'. Each
+  // retained char keeps its offset in `text` so parse errors can point
+  // at the user's input rather than this internal buffer.
   std::string cleaned;
+  std::vector<size_t> to_source;
   cleaned.reserve(text.size());
+  to_source.reserve(text.size());
   for (std::string_view line : Split(text, '\n')) {
     if (StripWhitespace(line).empty() || StripWhitespace(line)[0] == '#') {
       continue;
     }
-    cleaned.append(line);
+    const size_t line_offset =
+        static_cast<size_t>(line.data() - text.data());
+    for (size_t i = 0; i < line.size(); ++i) {
+      cleaned.push_back(line[i]);
+      to_source.push_back(line_offset + i);
+    }
     cleaned.push_back('\n');
+    to_source.push_back(line_offset + line.size());
   }
   std::vector<Tree> out;
   for (std::string_view piece : Split(cleaned, ';')) {
     std::string_view trimmed = StripWhitespace(piece);
     if (trimmed.empty()) continue;
-    COUSINS_ASSIGN_OR_RETURN(Tree t, ParseNewick(trimmed, labels));
+    const size_t base =
+        static_cast<size_t>(trimmed.data() - cleaned.data());
+    COUSINS_ASSIGN_OR_RETURN(
+        Tree t, ParseNewickImpl(trimmed, labels,
+                                SourceContext{text, &to_source, base}));
     out.push_back(std::move(t));
   }
   return out;

@@ -20,12 +20,15 @@
 namespace cousins {
 
 /// Parses one Newick tree (the trailing ';' is optional). Labels are
-/// interned into `labels` (a fresh table if null).
+/// interned into `labels` (a fresh table if null). Parse errors report
+/// the 1-based line and column in `text`.
 Result<Tree> ParseNewick(std::string_view text,
                          std::shared_ptr<LabelTable> labels = nullptr);
 
 /// Parses a ';'-separated sequence of Newick trees sharing one label
-/// table. Blank entries and '#'-comment lines are skipped.
+/// table. Blank entries and '#'-comment lines are skipped; parse
+/// errors still report line/column positions in the caller's original
+/// `text`, not the internal comment-stripped buffer.
 Result<std::vector<Tree>> ParseNewickForest(
     std::string_view text, std::shared_ptr<LabelTable> labels = nullptr);
 

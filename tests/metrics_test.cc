@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace cousins::obs {
+namespace {
+
+// The registry is process-global; every test works in its own uniquely
+// named metrics and calls Reset() where counts matter.
+
+TEST(CounterTest, AddAccumulates) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.counter.add");
+  c.Reset();
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.value(), 7);
+}
+
+TEST(CounterTest, RegistryReturnsSameInstance) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  EXPECT_EQ(&reg.GetCounter("test.counter.same"),
+            &reg.GetCounter("test.counter.same"));
+}
+
+TEST(CounterTest, ConcurrentAddsDoNotLose) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test.counter.mt");
+  c.Reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000);
+}
+
+TEST(HistogramTest, RecordsCountSumMinMax) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.hist.basic");
+  h.Reset();
+  h.Record(5);
+  h.Record(100);
+  h.Record(2);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.sum(), 107);
+  EXPECT_EQ(h.min(), 2);
+  EXPECT_EQ(h.max(), 100);
+}
+
+TEST(HistogramTest, LogScaleBucketing) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.hist.bucket");
+  h.Reset();
+  // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4..7 -> bucket 3.
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(7);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test.hist.neg");
+  h.Reset();
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(MetricsRegistryTest, RuntimeDisableMakesUpdatesNoops) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.counter.disable");
+  Histogram& h = reg.GetHistogram("test.hist.disable");
+  c.Reset();
+  h.Reset();
+  reg.set_enabled(false);
+  c.Add(10);
+  h.Record(10);
+  reg.set_enabled(true);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  c.Add(1);
+  EXPECT_EQ(c.value(), 1);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesValues) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snap.counter").Reset();
+  reg.GetCounter("test.snap.counter").Add(42);
+  reg.GetHistogram("test.snap.hist").Reset();
+  reg.GetHistogram("test.snap.hist").Record(9);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.snap.counter"), 42);
+  const HistogramSnapshot& h = snap.histograms.at("test.snap.hist");
+  EXPECT_EQ(h.count, 1);
+  EXPECT_EQ(h.sum, 9);
+  EXPECT_EQ(h.min, 9);
+  EXPECT_EQ(h.max, 9);
+}
+
+TEST(MetricsRegistryTest, SnapshotWritesValidJson) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.json.counter").Reset();
+  reg.GetCounter("test.json.counter").Add(7);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("metrics");
+  reg.Snapshot().WriteJson(&json);
+  json.EndObject();
+  EXPECT_NE(json.str().find("\"test.json.counter\": 7"), std::string::npos);
+}
+
+TEST(MetricsMacrosTest, CounterAndHistogramMacrosRecord) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.macro.counter").Reset();
+  reg.GetHistogram("test.macro.hist").Reset();
+  COUSINS_METRIC_COUNTER_ADD("test.macro.counter", 5);
+  COUSINS_METRIC_COUNTER_ADD("test.macro.counter", 6);
+  COUSINS_METRIC_HISTOGRAM_RECORD("test.macro.hist", 12);
+#if COUSINS_METRICS_ENABLED
+  EXPECT_EQ(reg.GetCounter("test.macro.counter").value(), 11);
+  EXPECT_EQ(reg.GetHistogram("test.macro.hist").count(), 1);
+#else
+  EXPECT_EQ(reg.GetCounter("test.macro.counter").value(), 0);
+  EXPECT_EQ(reg.GetHistogram("test.macro.hist").count(), 0);
+#endif
+}
+
+TEST(MetricsMacrosTest, ScopedTimerRecordsWallAndCpu) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram("test.macro.timer.wall_us").Reset();
+  reg.GetHistogram("test.macro.timer.cpu_us").Reset();
+  {
+    COUSINS_METRIC_SCOPED_TIMER("test.macro.timer");
+  }
+#if COUSINS_METRICS_ENABLED
+  EXPECT_EQ(reg.GetHistogram("test.macro.timer.wall_us").count(), 1);
+  EXPECT_EQ(reg.GetHistogram("test.macro.timer.cpu_us").count(), 1);
+#endif
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("name", "bench");
+  json.KeyValue("n", int64_t{42});
+  json.KeyValue("ratio", 0.5);
+  json.KeyValue("ok", true);
+  json.Key("list");
+  json.BeginArray();
+  json.Int(1);
+  json.Int(2);
+  json.EndArray();
+  json.EndObject();
+  const std::string out = json.str();
+  EXPECT_NE(out.find("\"name\": \"bench\""), std::string::npos);
+  EXPECT_NE(out.find("\"n\": 42"), std::string::npos);
+  EXPECT_NE(out.find("\"ratio\": 0.5"), std::string::npos);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("s", "a\"b\\c\nd");
+  json.EndObject();
+  EXPECT_NE(json.str().find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, DoublesAlwaysParseAsNumbers) {
+  JsonWriter json;
+  json.BeginObject();
+  // Whole doubles keep a ".0" so readers round-trip them as floats, and
+  // exponent forms stay JSON numbers.
+  json.KeyValue("whole", 3.0);
+  json.KeyValue("tiny", 1.5e-8);
+  json.EndObject();
+  EXPECT_NE(json.str().find("\"whole\": 3.0"), std::string::npos);
+  EXPECT_NE(json.str().find("e-08"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cousins::obs

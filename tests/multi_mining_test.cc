@@ -180,5 +180,37 @@ TEST(MultiTreeMiningTest, EmptyForest) {
   EXPECT_TRUE(miner.FrequentPairs().empty());
 }
 
+TEST(MultiTreeMiningOptionsTest, EqualityIsMemberwise) {
+  MultiTreeMiningOptions a;
+  EXPECT_EQ(a, MultiTreeMiningOptions{});
+
+  // Every field participates — a divergence in ANY of them must break
+  // equality, so MergeFrom's compatibility check can never miss one.
+  MultiTreeMiningOptions b = a;
+  b.min_support = a.min_support + 1;
+  EXPECT_NE(a, b);
+
+  b = a;
+  b.ignore_distance = !a.ignore_distance;
+  EXPECT_NE(a, b);
+
+  b = a;
+  b.per_tree.twice_maxdist = a.per_tree.twice_maxdist + 1;
+  EXPECT_NE(a, b);
+
+  b = a;
+  b.per_tree.min_occur = a.per_tree.min_occur + 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(MultiTreeMiningOptionsDeathTest, MergeFromRejectsMismatchedOptions) {
+  MultiTreeMiningOptions opt;
+  MultiTreeMiningOptions other = opt;
+  other.per_tree.min_occur = opt.per_tree.min_occur + 1;
+  MultiTreeMiner left(opt);
+  MultiTreeMiner right(other);
+  EXPECT_DEATH(left.MergeFrom(right), "options");
+}
+
 }  // namespace
 }  // namespace cousins

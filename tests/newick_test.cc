@@ -90,6 +90,38 @@ TEST(NewickParseTest, ErrorUnterminatedQuote) {
   EXPECT_FALSE(ParseNewick("('abc,B);").ok());
 }
 
+TEST(NewickParseTest, ErrorsReportLineAndColumn) {
+  // The ')' making the tree unbalanced sits on line 2, column 3.
+  Result<Tree> t = ParseNewick("(A,\nB))x;");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().ToString().find("trailing characters"), std::string::npos);
+  EXPECT_NE(t.status().ToString().find("line 2, column 3"), std::string::npos);
+
+  Result<Tree> missing = ParseNewick("(A,(B,C);");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("expected ',' or ')'"),
+            std::string::npos);
+  EXPECT_NE(missing.status().ToString().find("line 1, column 9"),
+            std::string::npos);
+
+  Result<Tree> unterminated = ParseNewick("(A,(B,C)");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().ToString().find("unterminated '(' opened"),
+            std::string::npos);
+  EXPECT_NE(unterminated.status().ToString().find("line 1, column 1"),
+            std::string::npos);
+
+  Result<Tree> bad_length = ParseNewick("(A:xyz,B);");
+  ASSERT_FALSE(bad_length.ok());
+  EXPECT_NE(bad_length.status().ToString().find("bad branch length 'xyz'"), std::string::npos);
+  EXPECT_NE(bad_length.status().ToString().find("line 1, column 4"), std::string::npos);
+
+  Result<Tree> quote = ParseNewick("('abc,B);");
+  ASSERT_FALSE(quote.ok());
+  EXPECT_NE(quote.status().ToString().find("unterminated quoted label"), std::string::npos);
+  EXPECT_NE(quote.status().ToString().find("line 1, column 2"), std::string::npos);
+}
+
 TEST(NewickParseTest, SharedLabelTable) {
   auto labels = std::make_shared<LabelTable>();
   Tree t1 = ParseNewick("(A,B);", labels).value();
@@ -111,6 +143,18 @@ TEST(NewickForestTest, ParsesMultipleTrees) {
 
 TEST(NewickForestTest, PropagatesParseErrors) {
   EXPECT_FALSE(ParseNewickForest("(A,B);((C;").ok());
+}
+
+TEST(NewickForestTest, ErrorsPointIntoOriginalText) {
+  // The forest reader strips the '#' comment line into an internal
+  // buffer before parsing; the reported position must nevertheless be
+  // the line/column in the ORIGINAL text — here the unbalanced third
+  // tree starts at line 3, column 1 (line 1 is the comment).
+  Result<std::vector<Tree>> forest =
+      ParseNewickForest("# header\n(A,B);\n(C,(D,E);\n");
+  ASSERT_FALSE(forest.ok());
+  EXPECT_NE(forest.status().ToString().find("unterminated '(' opened"), std::string::npos);
+  EXPECT_NE(forest.status().ToString().find("line 3, column 1"), std::string::npos);
 }
 
 TEST(NewickWriteTest, SimpleRoundTrip) {

@@ -66,6 +66,46 @@ TEST(PairCountMapTest, ClearResets) {
   EXPECT_EQ(entries, 0);
 }
 
+TEST(PairCountMapTest, ForEachSkipsZeroNetEntries) {
+  PairCountMap m;
+  m.Add(PackLabelPair(1, 2), 5);
+  m.Add(PackLabelPair(3, 4), 2);
+  m.Add(PackLabelPair(1, 2), -5);  // nets to zero
+  std::map<uint64_t, int64_t> seen;
+  m.ForEach([&](uint64_t key, int64_t count) { seen[key] = count; });
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[PackLabelPair(3, 4)], 2);
+}
+
+TEST(PairCountMapTest, AddCancelCyclesKeepCapacityBounded) {
+  // Inclusion–exclusion emits +delta then -delta for the same pair; a
+  // long stream over DISTINCT pairs must not grow the table, because no
+  // point-in-time census ever holds more than one live entry. Before
+  // zero-net purging, every cancelled pair still occupied a slot, the
+  // load factor ratcheted up, and capacity doubled without bound.
+  PairCountMap m;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t key = PackLabelPair(i, i + 1);
+    m.Add(key, 3);
+    m.Add(key, -3);
+  }
+  EXPECT_LE(m.capacity(), 256u);
+  int entries = 0;
+  m.ForEach([&](uint64_t, int64_t) { ++entries; });
+  EXPECT_EQ(entries, 0);
+}
+
+TEST(PairCountMapTest, GrowsWhenLiveEntriesDemandIt) {
+  // Genuine growth still happens: 1000 live entries need >= 2048 slots
+  // at the 0.7 load ceiling.
+  PairCountMap m;
+  for (int i = 0; i < 1000; ++i) m.Add(PackLabelPair(i, i + 1), 1);
+  EXPECT_GE(m.capacity(), 2048u);
+  int entries = 0;
+  m.ForEach([&](uint64_t, int64_t) { ++entries; });
+  EXPECT_EQ(entries, 1000);
+}
+
 TEST(PairCountMapTest, GrowsPastInitialCapacityCorrectly) {
   // Stress rehash: verify against std::map on tens of thousands of
   // random updates.

@@ -44,6 +44,31 @@ TEST_P(ParallelMining, MatchesSequentialIgnoringDistance) {
             MineMultipleTreesParallel(trees, opt, GetParam()));
 }
 
+TEST_P(ParallelMining, EmptyForestAnyThreadCount) {
+  EXPECT_TRUE(MineMultipleTreesParallel({}, {}, GetParam()).empty());
+}
+
+TEST_P(ParallelMining, SingleTreeForest) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 7, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 1;
+  EXPECT_EQ(MineMultipleTrees(trees, opt),
+            MineMultipleTreesParallel(trees, opt, GetParam()));
+}
+
+TEST_P(ParallelMining, MoreThreadsThanTreesMatchesSequential) {
+  // Fewer trees than any thread count in the matrix: idle shards must
+  // not perturb the merged result.
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(GetParam() > 1 ? GetParam() - 1 : 1,
+                                         77, labels);
+  MultiTreeMiningOptions opt;
+  opt.min_support = 1;
+  EXPECT_EQ(MineMultipleTrees(trees, opt),
+            MineMultipleTreesParallel(trees, opt, GetParam()));
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelMining,
                          ::testing::Values(1, 2, 3, 8));
 
