@@ -12,6 +12,7 @@
 // ~230,000 seconds on a 2004 SUN Ultra 60).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -70,9 +71,10 @@ int main() {
   }
 
   // Parallel-miner phase: mine a materialized slice of the corpus with
-  // MineMultipleTreesParallel so the report's metrics snapshot carries
-  // the per-shard telemetry (mine.parallel.shard.*) alongside the
-  // streaming numbers above.
+  // MineMultipleTreesParallel (which routes through the governed driver
+  // with unlimited limits, so this also measures the governed hot path)
+  // so the report's metrics snapshot carries the per-shard telemetry
+  // (mine.parallel.shard.*) alongside the streaming numbers above.
   {
     const int64_t parallel_trees = std::min<int64_t>(max_trees, 4000);
     const int num_threads = 4;
@@ -96,6 +98,19 @@ int main() {
     csv.WriteComment("parallel (" + std::to_string(num_threads) +
                      " threads, " + std::to_string(parallel_trees) +
                      " trees): " + std::to_string(seconds) + "s");
+
+    // Governance demonstration (untimed): the same forest under an
+    // already-expired deadline must come back as a clean truncated run,
+    // and the trip lands in the snapshot's governance.* counters.
+    MiningContext expired;
+    expired.set_timeout(std::chrono::milliseconds(0));
+    Result<MultiTreeMiningRun> governed = MineMultipleTreesParallelGoverned(
+        forest, PaperMultiOptions(), expired, num_threads);
+    const bool tripped = governed.ok() && governed->truncated;
+    report.AddResult("governance.deadline_demo_tripped",
+                     int64_t{tripped ? 1 : 0});
+    report.AddResult("governance.deadline_demo_trees_processed",
+                     int64_t{governed.ok() ? governed->trees_processed : -1});
   }
   // Linearity: per-tree cost at the largest point within 2x of the
   // smallest (hash-table growth causes mild drift).

@@ -10,9 +10,9 @@
 #include <string>
 
 #include "bench_report.h"
-#include "core/multi_tree_mining.h"
 #include "gen/seed_plants.h"
 #include "paper_params.h"
+#include "phylo/cooccurrence.h"
 #include "util/csv.h"
 #include "util/strings.h"
 
@@ -32,7 +32,16 @@ int main() {
   auto labels = std::make_shared<LabelTable>();
   std::vector<Tree> trees = SeedPlantStudy(labels);
   report.AddParam("study_trees", static_cast<int64_t>(trees.size()));
-  auto frequent = MineMultipleTrees(trees, PaperMultiOptions());
+  // Through the governed co-occurrence facade (§5.1 application entry
+  // point); ungoverned-unlimited, so output matches MineMultipleTrees.
+  CooccurrenceOptions cooccurrence;
+  cooccurrence.mining = PaperMultiOptions();
+  Result<MultiTreeMiningRun> run = MineCooccurrencePatterns(trees, cooccurrence);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<FrequentCousinPair>& frequent = run->pairs;
   report.SetN(static_cast<int64_t>(trees.size()));
   report.AddResult("frequent_pairs", static_cast<int64_t>(frequent.size()));
 

@@ -2,14 +2,41 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
+#include "obs/governance_events.h"
 #include "obs/metrics.h"
+#include "util/overflow.h"
 #include "util/strings.h"
 
 namespace cousins {
 
 MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
     : options_(options) {}
+
+void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
+  if (!options_.ignore_distance) {
+    for (const CousinPairItem& item : items) {
+      Tally& t = tallies_[{item.label1, item.label2, item.twice_distance}];
+      t.support = SaturatingAddInt(t.support, 1);
+      t.total_occurrences =
+          SaturatingAdd(t.total_occurrences, item.occurrences);
+    }
+  } else {
+    // Distance-ignored support: a tree supports (a, b, @) once no
+    // matter how many distinct distances realize the pair in it.
+    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
+    for (const CousinPairItem& item : items) {
+      int64_t& occ = per_pair[{item.label1, item.label2, kAnyDistance}];
+      occ = SaturatingAdd(occ, item.occurrences);
+    }
+    for (const auto& [key, occ] : per_pair) {
+      Tally& t = tallies_[key];
+      t.support = SaturatingAddInt(t.support, 1);
+      t.total_occurrences = SaturatingAdd(t.total_occurrences, occ);
+    }
+  }
+}
 
 void MultiTreeMiner::AddTree(const Tree& tree) {
   COUSINS_METRIC_SCOPED_TIMER("mine.multi.add_tree");
@@ -21,31 +48,44 @@ void MultiTreeMiner::AddTree(const Tree& tree) {
   }
   ++tree_count_;
 
-  const std::vector<CousinPairItem> items =
-      MineSingleTreeUnordered(tree, options_.per_tree);
-  if (!options_.ignore_distance) {
-    for (const CousinPairItem& item : items) {
-      Tally& t = tallies_[{item.label1, item.label2, item.twice_distance}];
-      ++t.support;
-      t.total_occurrences += item.occurrences;
-    }
-  } else {
-    // Distance-ignored support: a tree supports (a, b, @) once no
-    // matter how many distinct distances realize the pair in it.
-    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
-    for (const CousinPairItem& item : items) {
-      per_pair[{item.label1, item.label2, kAnyDistance}] +=
-          item.occurrences;
-    }
-    for (const auto& [key, occ] : per_pair) {
-      Tally& t = tallies_[key];
-      ++t.support;
-      t.total_occurrences += occ;
-    }
-  }
+  FoldItems(MineSingleTreeUnordered(tree, options_.per_tree));
   COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
   COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size",
                                   tallies_.size());
+}
+
+Status MultiTreeMiner::AddTreeGoverned(const Tree& tree,
+                                       const MiningContext& context) {
+  COUSINS_METRIC_SCOPED_TIMER("mine.multi.add_tree");
+  if (labels_ == nullptr) {
+    labels_ = tree.labels_ptr();
+  } else if (labels_ != tree.labels_ptr()) {
+    return Status::InvalidArgument(
+        "all trees in a forest must share one LabelTable");
+  }
+  COUSINS_RETURN_IF_ERROR(context.Check());
+
+  SingleTreeMiningRun run =
+      MineSingleTreeGovernedUnordered(tree, options_.per_tree, context);
+  if (run.truncated) {
+    // Discard the half-mined tree: tallies must only ever reflect
+    // fully-mined trees so a truncated run is a valid prefix tally.
+    return std::move(run.termination);
+  }
+  ++tree_count_;
+  FoldItems(run.items);
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
+  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size",
+                                  tallies_.size());
+  if (context.governed() &&
+      static_cast<int64_t>(tallies_.size()) >
+          context.budget().max_pair_map_entries) {
+    return Status::ResourceExhausted(
+        "support-tally budget exceeded (" +
+        std::to_string(tallies_.size()) + " entries > " +
+        std::to_string(context.budget().max_pair_map_entries) + ")");
+  }
+  return Status::OK();
 }
 
 void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
@@ -67,8 +107,9 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
   tree_count_ += other.tree_count_;
   for (const auto& [key, tally] : other.tallies_) {
     Tally& mine = tallies_[key];
-    mine.support += tally.support;
-    mine.total_occurrences += tally.total_occurrences;
+    mine.support = SaturatingAddInt(mine.support, tally.support);
+    mine.total_occurrences =
+        SaturatingAdd(mine.total_occurrences, tally.total_occurrences);
   }
 }
 
@@ -95,6 +136,26 @@ std::vector<FrequentCousinPair> MineMultipleTrees(
   MultiTreeMiner miner(options);
   for (const Tree& tree : trees) miner.AddTree(tree);
   return miner.FrequentPairs();
+}
+
+Result<MultiTreeMiningRun> MineMultipleTreesGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context) {
+  MultiTreeMiner miner(options);
+  MultiTreeMiningRun run;
+  for (const Tree& tree : trees) {
+    Status st = miner.AddTreeGoverned(tree, context);
+    if (!st.ok()) {
+      obs::RecordGovernanceEvent(st);
+      if (!IsGovernanceTrip(st)) return st;  // hard error: no result
+      run.truncated = true;
+      run.termination = std::move(st);
+      break;
+    }
+  }
+  run.trees_processed = miner.tree_count();
+  run.pairs = miner.FrequentPairs();
+  return run;
 }
 
 std::string FormatFrequentPair(const LabelTable& labels,

@@ -21,6 +21,8 @@
 #include "core/cousin_pair.h"
 #include "core/single_tree_mining.h"
 #include "tree/tree.h"
+#include "util/governance.h"
+#include "util/result.h"
 
 namespace cousins {
 
@@ -64,6 +66,14 @@ class MultiTreeMiner {
   /// tree is not retained.
   void AddTree(const Tree& tree);
 
+  /// Governed AddTree. Returns OK when the tree was fully mined and
+  /// folded. On a governance trip (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted) the half-mined tree is discarded — tallies
+  /// only ever cover completely-mined trees, so a partial result is a
+  /// well-formed tally over a prefix of the stream. A label-table
+  /// mismatch comes back as kInvalidArgument instead of aborting.
+  Status AddTreeGoverned(const Tree& tree, const MiningContext& context);
+
   /// Number of trees added so far.
   int tree_count() const { return tree_count_; }
 
@@ -81,6 +91,9 @@ class MultiTreeMiner {
     int64_t total_occurrences = 0;
   };
 
+  /// Folds one fully-mined tree's items into the tallies (saturating).
+  void FoldItems(const std::vector<CousinPairItem>& items);
+
   MultiTreeMiningOptions options_;
   std::shared_ptr<LabelTable> labels_;  // identity check across trees
   std::unordered_map<CousinPairKey, Tally, CousinPairKeyHash> tallies_;
@@ -91,6 +104,25 @@ class MultiTreeMiner {
 std::vector<FrequentCousinPair> MineMultipleTrees(
     const std::vector<Tree>& trees,
     const MultiTreeMiningOptions& options = {});
+
+/// Outcome of a governed forest mining run. On a trip, `pairs` is the
+/// frequent-pair tally over the first `trees_processed` trees
+/// (`truncated` set, `termination` holding the trip status); when the
+/// run completes, `pairs` is bit-identical to MineMultipleTrees.
+struct MultiTreeMiningRun {
+  std::vector<FrequentCousinPair> pairs;
+  int32_t trees_processed = 0;
+  bool truncated = false;
+  Status termination;
+};
+
+/// MineMultipleTrees under a resource-governance context. Hard input
+/// errors (e.g. trees over different label tables) come back as an
+/// error Result; governance trips come back OK with a partial,
+/// truncated-flagged run.
+Result<MultiTreeMiningRun> MineMultipleTreesGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context);
 
 /// "(a, b, 1.5) support=2 occ=5" rendering for reports.
 std::string FormatFrequentPair(const LabelTable& labels,

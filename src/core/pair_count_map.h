@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "tree/label_table.h"
 #include "util/check.h"
+#include "util/overflow.h"
 
 namespace cousins {
 namespace internal {
@@ -54,7 +55,9 @@ class PairCountMap {
     size_t i = Slot(key);
     while (keys_[i] != kEmpty) {
       if (keys_[i] == key) {
-        values_[i] += delta;
+        // Saturating: adversarial corpora must clamp, not wrap into
+        // negative counts (which ForEach would then drop as zero-net).
+        values_[i] = SaturatingAdd(values_[i], delta);
         return;
       }
       COUSINS_METRICS_ONLY(++stats_.probes;)

@@ -1,26 +1,54 @@
 #include "core/parallel_mining.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <string>
 #include <thread>
+#include <utility>
 
+#include "obs/governance_events.h"
 #include "obs/metrics.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace cousins {
+namespace {
 
-std::vector<FrequentCousinPair> MineMultipleTreesParallel(
+std::atomic<void (*)(int32_t)> g_fault_hook{nullptr};
+
+}  // namespace
+
+namespace internal {
+
+void SetParallelMiningFaultHook(void (*hook)(int32_t worker)) {
+  g_fault_hook.store(hook, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
-    int32_t num_threads) {
+    const MiningContext& context, int32_t num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int32_t>(
         std::max(1u, std::thread::hardware_concurrency()));
   }
   num_threads =
       std::min<int32_t>(num_threads, static_cast<int32_t>(trees.size()));
-  if (num_threads <= 1) return MineMultipleTrees(trees, options);
+  if (num_threads <= 1) {
+    return MineMultipleTreesGoverned(trees, options, context);
+  }
+
+  // Workers check a child of the caller's token: cancelling the child
+  // stops sibling shards early (on a fault or budget trip) without
+  // cancelling the token the caller holds.
+  CancellationToken stop =
+      CancellationToken::ChildOf(context.cancellation());
+  const MiningContext worker_context = context.WithCancellation(stop);
 
   std::vector<MultiTreeMiner> shards(num_threads, MultiTreeMiner(options));
+  std::vector<Status> shard_status(num_threads);
   std::vector<double> shard_seconds(num_threads, 0.0);
   {
     std::vector<std::thread> workers;
@@ -28,14 +56,33 @@ std::vector<FrequentCousinPair> MineMultipleTreesParallel(
     for (int32_t w = 0; w < num_threads; ++w) {
       workers.emplace_back([&, w]() {
         Stopwatch shard_sw;
-        // Strided sharding keeps per-thread work balanced even when
-        // tree sizes trend over the corpus.
-        for (size_t i = w; i < trees.size(); i += num_threads) {
-          shards[w].AddTree(trees[i]);
+        Status st;
+        // Contain anything a worker throws: a raised exception must
+        // become a Status after join, never std::terminate.
+        try {
+          if (auto* hook = g_fault_hook.load(std::memory_order_relaxed)) {
+            hook(w);
+          }
+          // Strided sharding keeps per-thread work balanced even when
+          // tree sizes trend over the corpus.
+          for (size_t i = w; i < trees.size(); i += num_threads) {
+            st = shards[w].AddTreeGoverned(trees[i], worker_context);
+            if (!st.ok()) break;
+          }
+        } catch (const std::exception& e) {
+          st = Status::Internal("worker " + std::to_string(w) +
+                                " faulted: " + e.what());
+        } catch (...) {
+          st = Status::Internal("worker " + std::to_string(w) +
+                                " faulted with a non-standard exception");
         }
+        if (!st.ok()) stop.Cancel();
+        shard_status[w] = std::move(st);
         shard_seconds[w] = shard_sw.ElapsedSeconds();
       });
     }
+    // Join everyone before inspecting any status: no worker may outlive
+    // this frame, even when a sibling failed.
     for (std::thread& worker : workers) worker.join();
   }
 
@@ -57,12 +104,61 @@ std::vector<FrequentCousinPair> MineMultipleTreesParallel(
   }
 #endif
 
+  // A hard failure (anything non-OK that is not a governance trip) wins
+  // over trips: the result may be missing arbitrary trees for reasons
+  // the caller never asked for, so no partial tally is returned.
+  for (const Status& st : shard_status) {
+    if (!st.ok() && !IsGovernanceTrip(st)) {
+      obs::RecordWorkerFault();
+      obs::RecordGovernanceEvent(st);
+      return st;
+    }
+  }
+  // Among trips, prefer the originating one: siblings stopped by
+  // stop.Cancel() report kCancelled, which is only the real termination
+  // when the caller itself cancelled.
+  Status termination;
+  for (const Status& st : shard_status) {
+    if (!st.ok() && st.code() != StatusCode::kCancelled) {
+      termination = st;
+      break;
+    }
+  }
+  if (termination.ok()) {
+    for (const Status& st : shard_status) {
+      if (!st.ok()) {
+        termination = st;
+        break;
+      }
+    }
+  }
+
   Stopwatch merge_sw;
   MultiTreeMiner merged(options);
+  // Every shard's tallies cover only fully-mined trees, so merging all
+  // shards — including tripped ones — yields a well-formed tally.
   for (const MultiTreeMiner& shard : shards) merged.MergeFrom(shard);
   COUSINS_METRIC_COUNTER_ADD("mine.parallel.merge_us",
                              merge_sw.ElapsedSeconds() * 1e6);
-  return merged.FrequentPairs();
+
+  MultiTreeMiningRun run;
+  run.trees_processed = merged.tree_count();
+  run.pairs = merged.FrequentPairs();
+  if (!termination.ok()) {
+    obs::RecordGovernanceEvent(termination);
+    run.truncated = true;
+    run.termination = std::move(termination);
+  }
+  return run;
+}
+
+std::vector<FrequentCousinPair> MineMultipleTreesParallel(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    int32_t num_threads) {
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, options, MiningContext::Unlimited(), num_threads);
+  COUSINS_CHECK(run.ok() && "ungoverned parallel mining cannot fail");
+  return std::move(run->pairs);
 }
 
 }  // namespace cousins

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/multi_tree_mining.h"
+#include "util/governance.h"
+#include "util/result.h"
 
 namespace cousins {
 
@@ -18,6 +20,35 @@ namespace cousins {
 std::vector<FrequentCousinPair> MineMultipleTreesParallel(
     const std::vector<Tree>& trees,
     const MultiTreeMiningOptions& options = {}, int32_t num_threads = 0);
+
+/// Governed parallel mining with fault containment:
+///  - Worker exceptions are caught per shard and surfaced as a single
+///    kInternal error Status after every worker has joined — never
+///    std::terminate.
+///  - Workers run under a child of the caller's cancellation token; a
+///    fault or budget trip in one shard cancels the child so sibling
+///    shards stop early, without cancelling the caller's own token.
+///  - Budgets (`max_items`, `max_pair_map_entries`) are enforced per
+///    shard; half-mined trees are discarded, so on a trip the returned
+///    run is a well-formed tally over the trees that completed
+///    (`truncated` set, `termination` holding the first meaningful trip).
+/// Governed-but-untripped runs are bit-identical to the sequential
+/// miner. Governance outcomes are recorded in the metrics registry
+/// (governance.* counters).
+Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, int32_t num_threads = 0);
+
+namespace internal {
+
+/// Test-only fault injection: when set, the hook runs at the start of
+/// each worker shard (argument = worker index). Exceptions it throws
+/// exercise the containment path. Pass nullptr to restore normal
+/// operation. Not for production use; not synchronized with running
+/// miners.
+void SetParallelMiningFaultHook(void (*hook)(int32_t worker));
+
+}  // namespace internal
 
 }  // namespace cousins
 

@@ -1,9 +1,11 @@
 #include "core/single_tree_mining.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "core/pair_count_map.h"
+#include "obs/governance_events.h"
 #include "obs/metrics.h"
 
 namespace cousins {
@@ -47,12 +49,16 @@ void AddProduct(const FlatCounts& a, const FlatCounts& b, int64_t sign,
   }
 }
 
-}  // namespace
-
-std::vector<CousinPairItem> MineSingleTreeUnordered(
-    const Tree& tree, const MiningOptions& options) {
-  std::vector<CousinPairItem> items;
-  if (tree.empty() || options.twice_maxdist < 0) return items;
+/// The governed core: MineSingleTreeUnordered's algorithm with
+/// cooperative checkpoints. `context` is consulted once per small batch
+/// of source nodes (stride 64, amortizing the clock read), so an
+/// ungoverned context costs one predictable branch per node and the
+/// item stream is bit-identical to the pre-governance miner.
+SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
+                             const MiningContext& context) {
+  SingleTreeMiningRun run;
+  std::vector<CousinPairItem>& items = run.items;
+  if (tree.empty() || options.twice_maxdist < 0) return run;
 
   const int32_t max_level = MyLevel(options.twice_maxdist);
   // levels[v][k] = labels of v's descendants at depth k below v.
@@ -61,8 +67,30 @@ std::vector<CousinPairItem> MineSingleTreeUnordered(
   // pairs and are halved at the end.
   std::vector<PairCountMap> acc(options.twice_maxdist + 1);
 
+  const bool governed = context.governed();
+  uint32_t node_tick = 0;
+
   // Preorder ids make descending order a valid postorder.
   for (NodeId a = tree.size() - 1; a >= 0; --a) {
+    if (governed && (node_tick++ & 63u) == 0) {
+      Status st = context.Check();
+      if (st.ok() && !context.budget().unlimited()) {
+        // Approximate working set: the per-distance accumulators (the
+        // O(|T|²) part). 16 bytes per slot (key + count).
+        int64_t entries = 0;
+        int64_t bytes = 0;
+        for (const PairCountMap& m : acc) {
+          entries += static_cast<int64_t>(m.size());
+          bytes += static_cast<int64_t>(m.capacity()) * 16;
+        }
+        st = context.CheckWork(entries, bytes, 0);
+      }
+      if (!st.ok()) {
+        run.truncated = true;
+        run.termination = std::move(st);
+        break;
+      }
+    }
     std::vector<FlatCounts>& mine = levels[a];
     mine.resize(max_level + 1);
     if (tree.has_label(a)) mine[0].push_back({tree.label(a), 1});
@@ -105,18 +133,33 @@ std::vector<CousinPairItem> MineSingleTreeUnordered(
     }
   }
 
+  const int64_t max_items = context.budget().max_items;
+  bool item_cap_hit = false;
   size_t total = 0;
   for (const PairCountMap& m : acc) total += m.size();
-  items.reserve(total);
+  items.reserve(std::min<size_t>(
+      total, max_items == ResourceBudget::kUnlimited
+                 ? total
+                 : static_cast<size_t>(std::max<int64_t>(max_items, 0))));
   for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
     const bool ordered = twice_d % 2 == 0;  // m == n counts both orders
     acc[twice_d].ForEach([&](uint64_t key, int64_t count) {
       if (ordered) count /= 2;
       if (count >= options.min_occur && count > 0) {
+        if (static_cast<int64_t>(items.size()) >= max_items) {
+          item_cap_hit = true;
+          return;
+        }
         items.push_back(CousinPairItem{UnpackFirst(key), UnpackSecond(key),
                                        twice_d, count});
       }
     });
+  }
+  if (item_cap_hit && !run.truncated) {
+    run.truncated = true;
+    run.termination = Status::ResourceExhausted(
+        "mined-item budget exceeded (" + std::to_string(max_items) +
+        " items)");
   }
 
 #if COUSINS_METRICS_ENABLED
@@ -132,7 +175,15 @@ std::vector<CousinPairItem> MineSingleTreeUnordered(
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_probes", probes);
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_rehashes", rehashes);
 #endif
-  return items;
+  return run;
+}
+
+}  // namespace
+
+std::vector<CousinPairItem> MineSingleTreeUnordered(
+    const Tree& tree, const MiningOptions& options) {
+  return std::move(
+      MineCore(tree, options, MiningContext::Unlimited()).items);
 }
 
 std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
@@ -140,6 +191,21 @@ std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
   std::vector<CousinPairItem> items = MineSingleTreeUnordered(tree, options);
   CanonicalizeItems(&items);
   return items;
+}
+
+SingleTreeMiningRun MineSingleTreeGovernedUnordered(
+    const Tree& tree, const MiningOptions& options,
+    const MiningContext& context) {
+  return MineCore(tree, options, context);
+}
+
+SingleTreeMiningRun MineSingleTreeGoverned(const Tree& tree,
+                                           const MiningOptions& options,
+                                           const MiningContext& context) {
+  SingleTreeMiningRun run = MineCore(tree, options, context);
+  CanonicalizeItems(&run.items);
+  obs::RecordGovernanceEvent(run.termination);
+  return run;
 }
 
 }  // namespace cousins

@@ -15,6 +15,7 @@
 
 #include "core/cousin_pair.h"
 #include "tree/tree.h"
+#include "util/governance.h"
 
 namespace cousins {
 
@@ -28,6 +29,32 @@ std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
 /// the canonical sort; prefer MineSingleTree everywhere else.
 std::vector<CousinPairItem> MineSingleTreeUnordered(
     const Tree& tree, const MiningOptions& options = {});
+
+/// Outcome of a governed single-tree mining run. `termination` is OK
+/// when the run completed (items are exactly the ungoverned miner's
+/// output); on a governance trip (kCancelled / kDeadlineExceeded /
+/// kResourceExhausted) `truncated` is true and `items` holds the
+/// partial tally accumulated up to the trip point — a subset-with-
+/// undercounts of the full result, still canonically ordered.
+struct SingleTreeMiningRun {
+  std::vector<CousinPairItem> items;
+  bool truncated = false;
+  Status termination;
+};
+
+/// MineSingleTree under a resource-governance context. The context is
+/// checked per source node (amortized over a small stride), so governed
+/// ungoverned-equivalent runs stay within noise of MineSingleTree and
+/// produce bit-identical items.
+SingleTreeMiningRun MineSingleTreeGoverned(const Tree& tree,
+                                           const MiningOptions& options,
+                                           const MiningContext& context);
+
+/// Unordered-output variant of MineSingleTreeGoverned (the multi-tree
+/// miner's building block; skips the canonical sort).
+SingleTreeMiningRun MineSingleTreeGovernedUnordered(
+    const Tree& tree, const MiningOptions& options,
+    const MiningContext& context);
 
 }  // namespace cousins
 

@@ -1,0 +1,48 @@
+// Governance event recording: maps resource-governance outcomes
+// (util/governance.h) onto obs counters, so deadline trips, budget
+// trips, cancellations and worker faults show up in every metrics
+// snapshot (and hence in BENCH_*.json reports).
+//
+// Kept separate from util/governance.h so the governance layer itself
+// stays free of an obs dependency; the entry points that convert a
+// trip into a truncated outcome call RecordGovernanceEvent once.
+
+#ifndef COUSINS_OBS_GOVERNANCE_EVENTS_H_
+#define COUSINS_OBS_GOVERNANCE_EVENTS_H_
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cousins::obs {
+
+/// Bumps the governance.* counter matching `status`; no-op for OK.
+/// Counters: governance.cancelled, governance.deadline_exceeded,
+/// governance.resource_exhausted, governance.hard_failures.
+inline void RecordGovernanceEvent(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      break;
+    case StatusCode::kCancelled:
+      COUSINS_METRIC_COUNTER_ADD("governance.cancelled", 1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      COUSINS_METRIC_COUNTER_ADD("governance.deadline_exceeded", 1);
+      break;
+    case StatusCode::kResourceExhausted:
+      COUSINS_METRIC_COUNTER_ADD("governance.resource_exhausted", 1);
+      break;
+    default:
+      COUSINS_METRIC_COUNTER_ADD("governance.hard_failures", 1);
+      break;
+  }
+}
+
+/// Bumps governance.worker_faults (a worker thread threw or failed and
+/// was contained by the parallel driver).
+inline void RecordWorkerFault() {
+  COUSINS_METRIC_COUNTER_ADD("governance.worker_faults", 1);
+}
+
+}  // namespace cousins::obs
+
+#endif  // COUSINS_OBS_GOVERNANCE_EVENTS_H_

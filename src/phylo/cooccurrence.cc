@@ -1,0 +1,19 @@
+#include "phylo/cooccurrence.h"
+
+#include "core/parallel_mining.h"
+#include "obs/metrics.h"
+
+namespace cousins {
+
+Result<MultiTreeMiningRun> MineCooccurrencePatterns(
+    const std::vector<Tree>& trees, const CooccurrenceOptions& options,
+    const MiningContext& context) {
+  COUSINS_METRIC_SCOPED_TIMER("phylo.cooccurrence");
+  if (options.num_threads == 1) {
+    return MineMultipleTreesGoverned(trees, options.mining, context);
+  }
+  return MineMultipleTreesParallelGoverned(trees, options.mining, context,
+                                           options.num_threads);
+}
+
+}  // namespace cousins

@@ -1,0 +1,41 @@
+// Co-occurring pattern discovery (§5.1, Figure 8): frequent cousin
+// pairs across a set of phylogenies, e.g. the seed-plant study's
+// (Gnetum, Welwitschia) pair at distance 0 in all four trees.
+//
+// This is a thin governed facade over the forest miners: it picks the
+// sequential or sharded-parallel engine, runs it under a MiningContext,
+// and reports the outcome in application terms. Phylo callers (benches,
+// the CLI, services) go through here so deadlines, budgets and
+// cancellation apply uniformly.
+
+#ifndef COUSINS_PHYLO_COOCCURRENCE_H_
+#define COUSINS_PHYLO_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+#include "util/governance.h"
+#include "util/result.h"
+
+namespace cousins {
+
+struct CooccurrenceOptions {
+  /// Forest mining parameters (minsup, per-tree maxdist/minoccur, "@").
+  MultiTreeMiningOptions mining;
+  /// 1 = sequential; 0 or >1 = sharded parallel miner with that many
+  /// workers (0 = hardware concurrency).
+  int32_t num_threads = 1;
+};
+
+/// Mines co-occurring cousin-pair patterns across `trees` under
+/// `context`. Hard input errors come back as an error Result;
+/// governance trips come back OK with a partial, truncated-flagged run
+/// covering `trees_processed` fully-mined trees.
+Result<MultiTreeMiningRun> MineCooccurrencePatterns(
+    const std::vector<Tree>& trees, const CooccurrenceOptions& options = {},
+    const MiningContext& context = MiningContext::Unlimited());
+
+}  // namespace cousins
+
+#endif  // COUSINS_PHYLO_COOCCURRENCE_H_

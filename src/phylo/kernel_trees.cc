@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "obs/governance_events.h"
 #include "util/check.h"
 
 namespace cousins {
@@ -12,32 +14,41 @@ namespace {
 /// from precomputed profiles.
 class DistanceTable {
  public:
-  DistanceTable(const std::vector<std::vector<Tree>>& groups,
-                const KernelTreeOptions& options) {
-    offsets_.reserve(groups.size() + 1);
-    offsets_.push_back(0);
+  /// Builds profiles and the pairwise matrix. Profile mining is the
+  /// expensive part, so the context is consulted per tree there and per
+  /// row of the O(total²) distance fill; a trip surfaces as an error
+  /// Result (the caller converts it into a truncated run).
+  static Result<DistanceTable> Build(
+      const std::vector<std::vector<Tree>>& groups,
+      const KernelTreeOptions& options, const MiningContext& context) {
+    DistanceTable table;
+    table.offsets_.reserve(groups.size() + 1);
+    table.offsets_.push_back(0);
     for (const auto& group : groups) {
-      COUSINS_CHECK(!group.empty());
-      offsets_.push_back(offsets_.back() +
-                         static_cast<int32_t>(group.size()));
+      table.offsets_.push_back(table.offsets_.back() +
+                               static_cast<int32_t>(group.size()));
     }
-    profiles_.reserve(offsets_.back());
+    table.profiles_.reserve(table.offsets_.back());
     for (const auto& group : groups) {
       for (const Tree& tree : group) {
-        profiles_.push_back(
+        COUSINS_RETURN_IF_ERROR(context.Check());
+        table.profiles_.push_back(
             CousinProfile(tree, options.abstraction, options.mining));
       }
     }
-    const int32_t total = offsets_.back();
-    dist_.assign(static_cast<size_t>(total) * total, 0.0);
+    const int32_t total = table.offsets_.back();
+    table.dist_.assign(static_cast<size_t>(total) * total, 0.0);
     for (int32_t i = 0; i < total; ++i) {
+      COUSINS_RETURN_IF_ERROR(context.Check());
       for (int32_t j = i + 1; j < total; ++j) {
-        const double d = ProfileDistance(profiles_[i], profiles_[j]);
-        dist_[static_cast<size_t>(i) * total + j] = d;
-        dist_[static_cast<size_t>(j) * total + i] = d;
+        const double d =
+            ProfileDistance(table.profiles_[i], table.profiles_[j]);
+        table.dist_[static_cast<size_t>(i) * total + j] = d;
+        table.dist_[static_cast<size_t>(j) * total + i] = d;
       }
     }
-    total_ = total;
+    table.total_ = total;
+    return table;
   }
 
   double Distance(int32_t group_a, int32_t index_a, int32_t group_b,
@@ -48,6 +59,8 @@ class DistanceTable {
   }
 
  private:
+  DistanceTable() = default;
+
   std::vector<std::vector<CousinPairItem>> profiles_;
   std::vector<int32_t> offsets_;
   std::vector<double> dist_;
@@ -68,17 +81,41 @@ double TotalPairwise(const DistanceTable& table,
 
 }  // namespace
 
-KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
-                                 const KernelTreeOptions& options) {
-  COUSINS_CHECK(!groups.empty());
-  const auto g = static_cast<int32_t>(groups.size());
-  DistanceTable table(groups, options);
+Result<KernelTreeRun> FindKernelTreesGoverned(
+    const std::vector<std::vector<Tree>>& groups,
+    const KernelTreeOptions& options, const MiningContext& context) {
+  if (groups.empty()) {
+    return Status::InvalidArgument(
+        "kernel-tree search needs at least one group");
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument(
+          "every kernel-tree group must be non-empty");
+    }
+  }
 
-  KernelTreeResult result;
+  KernelTreeRun run;
+  const auto g = static_cast<int32_t>(groups.size());
+  Result<DistanceTable> table_result =
+      DistanceTable::Build(groups, options, context);
+  if (!table_result.ok()) {
+    Status st = table_result.status();
+    obs::RecordGovernanceEvent(st);
+    if (!IsGovernanceTrip(st)) return st;
+    // Tripped before any selection could be scored: `selected` stays
+    // empty, there is no best-so-far to report.
+    run.truncated = true;
+    run.termination = std::move(st);
+    return run;
+  }
+  const DistanceTable& table = *table_result;
+
+  KernelTreeResult& result = run.result;
   result.selected.assign(g, 0);
   if (g == 1) {
     result.exact = true;
-    return result;
+    return run;
   }
   const double pairs = static_cast<double>(g) * (g - 1) / 2.0;
 
@@ -96,8 +133,20 @@ KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
     std::vector<int32_t> current(g, 0);
     std::vector<int32_t> best = current;
     double best_total = TotalPairwise(table, current);
-    // Odometer enumeration of the product space.
+    // Odometer enumeration of the product space; the context is
+    // consulted once per batch of combinations so governed-ungoverned
+    // runs stay within noise.
+    uint32_t tick = 0;
     while (true) {
+      if ((tick++ & 1023u) == 0) {
+        Status st = context.Check();
+        if (!st.ok()) {
+          obs::RecordGovernanceEvent(st);
+          run.truncated = true;
+          run.termination = std::move(st);
+          break;
+        }
+      }
       int32_t pos = g - 1;
       while (pos >= 0 &&
              current[pos] + 1 >= static_cast<int32_t>(groups[pos].size())) {
@@ -114,8 +163,9 @@ KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
     }
     result.selected = best;
     result.average_pairwise_distance = best_total / pairs;
-    result.exact = true;
-    return result;
+    // A truncated enumeration proves nothing about optimality.
+    result.exact = !run.truncated;
+    return run;
   }
 
   // Coordinate descent with random restarts: repeatedly re-optimize one
@@ -123,7 +173,8 @@ KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
   Rng rng(options.seed);
   std::vector<int32_t> best;
   double best_total = std::numeric_limits<double>::infinity();
-  for (int32_t restart = 0; restart < options.restarts; ++restart) {
+  for (int32_t restart = 0; restart < options.restarts && !run.truncated;
+       ++restart) {
     std::vector<int32_t> current(g);
     for (int32_t a = 0; a < g; ++a) {
       current[a] = restart == 0
@@ -132,6 +183,13 @@ KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
     }
     bool changed = true;
     while (changed) {
+      Status st = context.Check();
+      if (!st.ok()) {
+        obs::RecordGovernanceEvent(st);
+        run.truncated = true;
+        run.termination = std::move(st);
+        break;
+      }
       changed = false;
       for (int32_t a = 0; a < g; ++a) {
         double best_sum = std::numeric_limits<double>::infinity();
@@ -159,10 +217,20 @@ KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
       best = current;
     }
   }
-  result.selected = best;
-  result.average_pairwise_distance = best_total / pairs;
+  if (!best.empty()) {
+    result.selected = best;
+    result.average_pairwise_distance = best_total / pairs;
+  }
   result.exact = false;
-  return result;
+  return run;
+}
+
+KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
+                                 const KernelTreeOptions& options) {
+  Result<KernelTreeRun> run =
+      FindKernelTreesGoverned(groups, options, MiningContext::Unlimited());
+  COUSINS_CHECK(run.ok() && "kernel-tree search on invalid input");
+  return std::move(run->result);
 }
 
 }  // namespace cousins

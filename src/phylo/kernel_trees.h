@@ -17,6 +17,8 @@
 
 #include "phylo/tree_distance.h"
 #include "tree/tree.h"
+#include "util/governance.h"
+#include "util/result.h"
 #include "util/rng.h"
 
 namespace cousins {
@@ -51,6 +53,25 @@ struct KernelTreeResult {
 /// all groups must share one LabelTable.
 KernelTreeResult FindKernelTrees(const std::vector<std::vector<Tree>>& groups,
                                  const KernelTreeOptions& options = {});
+
+/// Outcome of a governed kernel-tree search. On a trip `result` holds
+/// the best selection found so far (best-so-far semantics; `exact` is
+/// false on any truncated run). `selected` is empty only when the trip
+/// happened before the distance table finished — no selection was
+/// evaluated at all.
+struct KernelTreeRun {
+  KernelTreeResult result;
+  bool truncated = false;
+  Status termination;
+};
+
+/// FindKernelTrees under a resource-governance context. Empty input
+/// (no groups, or an empty group) comes back as kInvalidArgument
+/// instead of aborting; governance trips come back OK with the best
+/// selection found so far, truncated-flagged.
+Result<KernelTreeRun> FindKernelTreesGoverned(
+    const std::vector<std::vector<Tree>>& groups,
+    const KernelTreeOptions& options, const MiningContext& context);
 
 }  // namespace cousins
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/single_tree_mining.h"
+#include "obs/governance_events.h"
 
 namespace cousins {
 namespace {
@@ -69,6 +70,53 @@ double AverageSimilarityScore(const Tree& consensus,
                                    MineSingleTree(original, options));
   }
   return total / static_cast<double>(originals.size());
+}
+
+Result<SimilarityRun> AverageSimilarityScoreGoverned(
+    const Tree& consensus, const std::vector<Tree>& originals,
+    const MiningOptions& options, const MiningContext& context) {
+  if (originals.empty()) {
+    return Status::InvalidArgument(
+        "consensus evaluation needs at least one original tree");
+  }
+  for (const Tree& original : originals) {
+    if (original.labels_ptr() != consensus.labels_ptr()) {
+      return Status::InvalidArgument(
+          "consensus and originals must share one LabelTable");
+    }
+  }
+
+  SimilarityRun run;
+  // A half-mined consensus profile would skew every per-original score,
+  // so a trip here truncates the whole evaluation at zero originals.
+  SingleTreeMiningRun consensus_run =
+      MineSingleTreeGovernedUnordered(consensus, options, context);
+  if (consensus_run.truncated) {
+    obs::RecordGovernanceEvent(consensus_run.termination);
+    run.truncated = true;
+    run.termination = std::move(consensus_run.termination);
+    return run;
+  }
+  CanonicalizeItems(&consensus_run.items);
+
+  double total = 0.0;
+  for (const Tree& original : originals) {
+    SingleTreeMiningRun original_run =
+        MineSingleTreeGovernedUnordered(original, options, context);
+    if (original_run.truncated) {
+      obs::RecordGovernanceEvent(original_run.termination);
+      run.truncated = true;
+      run.termination = std::move(original_run.termination);
+      break;
+    }
+    CanonicalizeItems(&original_run.items);
+    total += CousinSimilarityScore(consensus_run.items, original_run.items);
+    ++run.originals_scored;
+  }
+  run.average = run.originals_scored == 0
+                    ? 0.0
+                    : total / static_cast<double>(run.originals_scored);
+  return run;
 }
 
 }  // namespace cousins

@@ -17,6 +17,8 @@
 
 #include "core/cousin_pair.h"
 #include "tree/tree.h"
+#include "util/governance.h"
+#include "util/result.h"
 
 namespace cousins {
 
@@ -33,6 +35,24 @@ double CousinSimilarityScore(const std::vector<CousinPairItem>& consensus,
 double AverageSimilarityScore(const Tree& consensus,
                               const std::vector<Tree>& originals,
                               const MiningOptions& options = {});
+
+/// Outcome of a governed consensus-evaluation run. On a trip `average`
+/// covers the first `originals_scored` originals; a complete run equals
+/// AverageSimilarityScore bit for bit.
+struct SimilarityRun {
+  double average = 0.0;
+  int32_t originals_scored = 0;
+  bool truncated = false;
+  Status termination;
+};
+
+/// AverageSimilarityScore under a resource-governance context. Empty
+/// `originals` or a label-table mismatch come back as kInvalidArgument
+/// instead of aborting; governance trips come back OK with a partial,
+/// truncated-flagged run.
+Result<SimilarityRun> AverageSimilarityScoreGoverned(
+    const Tree& consensus, const std::vector<Tree>& originals,
+    const MiningOptions& options, const MiningContext& context);
 
 }  // namespace cousins
 

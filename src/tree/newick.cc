@@ -62,23 +62,26 @@ std::string DescribePosition(const SourceContext& ctx, size_t local_pos) {
          std::to_string(column);
 }
 
-/// Recursive-descent Newick parser over a string_view cursor.
+/// Newick parser over a string_view cursor. Nesting is handled with an
+/// explicit heap stack so input depth is bounded only by
+/// ParseLimits::max_depth, not by the machine stack.
 class NewickParser {
  public:
   NewickParser(std::string_view text, std::shared_ptr<LabelTable> labels,
-               SourceContext ctx)
+               SourceContext ctx, const ParseLimits& limits)
       : text_(text),
         ctx_(ctx),
+        limits_(limits),
         labels_(std::move(labels)),
         builder_(labels_) {}
 
   Result<Tree> Parse() {
-    SkipSpace();
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     if (AtEnd()) return Status::InvalidArgument("empty Newick string");
-    COUSINS_RETURN_IF_ERROR(ParseNode(kNoNode));
-    SkipSpace();
+    COUSINS_RETURN_IF_ERROR(ParseNode(kNoNode, 1));
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     if (!AtEnd() && Peek() == ';') Advance();
-    SkipSpace();
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     if (!AtEnd()) {
       return ErrorAt("trailing characters after Newick tree", pos_);
     }
@@ -92,73 +95,107 @@ class NewickParser {
   std::string At(size_t pos) const { return DescribePosition(ctx_, pos); }
 
   /// Error construction is kept out of line so its string temporaries
-  /// don't enlarge the recursive ParseNode frame — deep nesting parses
-  /// one stack frame per level (see robustness_test.cc's 20k bound).
+  /// stay off the parse loop's frame.
   [[gnu::noinline]] Status ErrorAt(const char* what, size_t pos) const {
     return Status::InvalidArgument(std::string(what) + " at " + At(pos));
   }
 
-  void SkipSpace() {
+  /// A tripped ParseLimits cap: same position reporting, but
+  /// kResourceExhausted so callers can tell hostile-size input from
+  /// malformed input.
+  [[gnu::noinline]] Status LimitErrorAt(const char* what,
+                                        size_t pos) const {
+    return Status::ResourceExhausted(std::string(what) + " at " + At(pos));
+  }
+
+  Status SkipSpace() {
     while (!AtEnd()) {
       char c = Peek();
       if (std::isspace(static_cast<unsigned char>(c))) {
         Advance();
       } else if (c == '[') {
-        // Bracket comment; unterminated comments consume to the end,
-        // which the caller reports as trailing garbage / missing tokens.
+        const size_t open_pos = pos_;
         while (!AtEnd() && Peek() != ']') Advance();
-        if (!AtEnd()) Advance();
+        if (AtEnd()) {
+          return ErrorAt("unterminated '[' comment opened", open_pos);
+        }
+        Advance();
       } else {
-        return;
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // node := ['(' node (',' node)* ')'] [label] [':' number]
+  //
+  // Iterative with an explicit stack (one small Frame per open '('),
+  // NOT recursive descent: nesting depth must be bounded by
+  // ParseLimits::max_depth alone, never by the machine stack —
+  // sanitizer builds use several-times-larger frames, so a recursive
+  // parser would crash on inputs the limit is supposed to refuse
+  // cleanly (see robustness_test.cc's 100k hostile-nesting case).
+  Status ParseNode(NodeId parent, int32_t depth) {
+    struct Frame {
+      NodeId node;      // the internal node whose children are open
+      size_t open_pos;  // position of its '(' for error reporting
+    };
+    std::vector<Frame> stack;
+    for (;;) {
+      // Parse the prefix of one node: descend through '(' or make a
+      // leaf. `depth` counts nodes on the path, root = 1.
+      if (depth + static_cast<int32_t>(stack.size()) > limits_.max_depth) {
+        return LimitErrorAt("nesting depth limit exceeded", pos_);
+      }
+      COUSINS_RETURN_IF_ERROR(SkipSpace());
+      NodeId self = parent == kNoNode ? builder_.AddRoot()
+                                      : builder_.AddChild(parent);
+      if (builder_.size() > limits_.max_nodes) {
+        return LimitErrorAt("node count limit exceeded", pos_);
+      }
+      if (!AtEnd() && Peek() == '(') {
+        stack.push_back({self, pos_});
+        Advance();  // '(' — descend to the first child
+        parent = self;
+        continue;
+      }
+      // A bare leaf with no label is legal Newick but almost always a
+      // typo like "(a,,b)"; we accept it as an unlabeled leaf.
+      COUSINS_RETURN_IF_ERROR(ParseSuffix(self));
+
+      // Ascend: close finished parenthesized groups, then either step
+      // to the next sibling or return once every '(' is closed.
+      for (;;) {
+        if (stack.empty()) return Status::OK();
+        COUSINS_RETURN_IF_ERROR(SkipSpace());
+        if (AtEnd()) {
+          return ErrorAt("unterminated '(' opened", stack.back().open_pos);
+        }
+        if (Peek() == ',') {
+          Advance();
+          parent = stack.back().node;
+          break;  // next sibling
+        }
+        if (Peek() == ')') {
+          Advance();
+          const NodeId closed = stack.back().node;
+          stack.pop_back();
+          COUSINS_RETURN_IF_ERROR(ParseSuffix(closed));
+          continue;
+        }
+        return ErrorAt("expected ',' or ')'", pos_);
       }
     }
   }
 
-  // node := ['(' node (',' node)* ')'] [label] [':' number]
-  Status ParseNode(NodeId parent) {
-    SkipSpace();
-    NodeId self;
-    bool had_children = false;
-    if (!AtEnd() && Peek() == '(') {
-      had_children = true;
-      self = parent == kNoNode ? builder_.AddRoot()
-                               : builder_.AddChild(parent);
-      const size_t open_pos = pos_;
-      Advance();  // '('
-      while (true) {
-        COUSINS_RETURN_IF_ERROR(ParseNode(self));
-        SkipSpace();
-        if (AtEnd()) {
-          return ErrorAt("unterminated '(' opened", open_pos);
-        }
-        if (Peek() == ',') {
-          Advance();
-          continue;
-        }
-        if (Peek() == ')') {
-          Advance();
-          break;
-        }
-        return ErrorAt("expected ',' or ')'", pos_);
-      }
-    } else {
-      self = parent == kNoNode ? builder_.AddRoot()
-                               : builder_.AddChild(parent);
-    }
-
-    SkipSpace();
-    // Optional label.
+  /// The optional [label][':' number] trailer of a node — after a
+  /// leaf, or after an internal node's closing ')'.
+  Status ParseSuffix(NodeId self) {
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     std::string label;
-    Status st = ParseLabel(&label);
-    if (!st.ok()) return st;
-    if (!label.empty()) {
-      SetLabel(self, label);
-    } else if (!had_children && parent != kNoNode) {
-      // A bare leaf with no label is legal Newick but almost always a
-      // typo like "(a,,b)"; we accept it as an unlabeled leaf.
-    }
-
-    SkipSpace();
+    COUSINS_RETURN_IF_ERROR(ParseLabel(&label));
+    if (!label.empty()) SetLabel(self, label);
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     if (!AtEnd() && Peek() == ':') {
       Advance();
       double len = 0;
@@ -168,8 +205,6 @@ class NewickParser {
     return Status::OK();
   }
 
-  /// noinline like ErrorAt: keeps label/number scratch space out of
-  /// the recursive ParseNode frame.
   [[gnu::noinline]] Status ParseLabel(std::string* out) {
     out->clear();
     if (AtEnd()) return Status::OK();
@@ -179,6 +214,9 @@ class NewickParser {
       while (true) {
         if (AtEnd()) {
           return ErrorAt("unterminated quoted label starting", quote_pos);
+        }
+        if (out->size() >= limits_.max_label_bytes) {
+          return LimitErrorAt("label length limit exceeded", quote_pos);
         }
         char c = Peek();
         Advance();
@@ -193,10 +231,14 @@ class NewickParser {
         out->push_back(c);
       }
     }
+    const size_t label_pos = pos_;
     while (!AtEnd()) {
       char c = Peek();
       if (IsStructural(c) || std::isspace(static_cast<unsigned char>(c))) {
         break;
+      }
+      if (out->size() >= limits_.max_label_bytes) {
+        return LimitErrorAt("label length limit exceeded", label_pos);
       }
       out->push_back(c);
       Advance();
@@ -205,7 +247,7 @@ class NewickParser {
   }
 
   [[gnu::noinline]] Status ParseNumber(double* out) {
-    SkipSpace();
+    COUSINS_RETURN_IF_ERROR(SkipSpace());
     size_t start = pos_;
     while (!AtEnd() && !IsStructural(Peek()) &&
            !std::isspace(static_cast<unsigned char>(Peek()))) {
@@ -232,14 +274,15 @@ class NewickParser {
   std::string_view text_;
   size_t pos_ = 0;
   SourceContext ctx_;
+  ParseLimits limits_;
   std::shared_ptr<LabelTable> labels_;
   TreeBuilder builder_;
 };
 
 Result<Tree> ParseNewickImpl(std::string_view text,
                              std::shared_ptr<LabelTable> labels,
-                             SourceContext ctx) {
-  NewickParser parser(text, std::move(labels), ctx);
+                             SourceContext ctx, const ParseLimits& limits) {
+  NewickParser parser(text, std::move(labels), ctx, limits);
   Result<Tree> result = parser.Parse();
   COUSINS_METRIC_COUNTER_ADD("newick.bytes", text.size());
   if (result.ok()) {
@@ -253,44 +296,90 @@ Result<Tree> ParseNewickImpl(std::string_view text,
 }  // namespace
 
 Result<Tree> ParseNewick(std::string_view text,
-                         std::shared_ptr<LabelTable> labels) {
+                         std::shared_ptr<LabelTable> labels,
+                         const ParseLimits& limits) {
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
   return ParseNewickImpl(text, std::move(labels),
-                         SourceContext{text, nullptr, 0});
+                         SourceContext{text, nullptr, 0}, limits);
 }
 
 Result<std::vector<Tree>> ParseNewickForest(
-    std::string_view text, std::shared_ptr<LabelTable> labels) {
+    std::string_view text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  // Drop '#'-comment lines first; trees are then split on ';'. Each
-  // retained char keeps its offset in `text` so parse errors can point
-  // at the user's input rather than this internal buffer.
+  // Drop '#'-comment lines first; trees are then split on ';'. Both
+  // steps are quote-aware — a quoted label may legally contain ';',
+  // '#', or newlines, and must not shear its tree apart. Each retained
+  // char keeps its offset in `text` so parse errors can point at the
+  // user's input rather than this internal buffer.
   std::string cleaned;
   std::vector<size_t> to_source;
   cleaned.reserve(text.size());
   to_source.reserve(text.size());
-  for (std::string_view line : Split(text, '\n')) {
-    if (StripWhitespace(line).empty() || StripWhitespace(line)[0] == '#') {
-      continue;
+  bool in_quote = false;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (!in_quote) {
+      // At a line start outside quotes: a line whose first non-blank
+      // char is '#' is a comment; drop it whole.
+      size_t j = i;
+      while (j < text.size() && text[j] != '\n' &&
+             std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j < text.size() && text[j] == '#') {
+        while (i < text.size() && text[i] != '\n') ++i;
+        if (i < text.size()) ++i;  // the newline itself
+        continue;
+      }
     }
-    const size_t line_offset =
-        static_cast<size_t>(line.data() - text.data());
-    for (size_t i = 0; i < line.size(); ++i) {
-      cleaned.push_back(line[i]);
-      to_source.push_back(line_offset + i);
+    // Copy one line, tracking quote state ('' toggles twice, net
+    // unchanged). A newline inside a quote does not end the "line" for
+    // comment-detection purposes: the next iteration sees in_quote.
+    while (i < text.size()) {
+      const char c = text[i];
+      cleaned.push_back(c);
+      to_source.push_back(i);
+      ++i;
+      if (c == '\'') in_quote = !in_quote;
+      if (c == '\n') break;
     }
-    cleaned.push_back('\n');
-    to_source.push_back(line_offset + line.size());
   }
   std::vector<Tree> out;
-  for (std::string_view piece : Split(cleaned, ';')) {
+  // Split on ';' outside quotes.
+  size_t start = 0;
+  bool quoted = false;
+  for (size_t k = 0; k <= cleaned.size(); ++k) {
+    const bool at_end = k == cleaned.size();
+    if (!at_end) {
+      if (cleaned[k] == '\'') {
+        quoted = !quoted;
+        continue;
+      }
+      if (cleaned[k] != ';' || quoted) continue;
+    }
+    std::string_view piece(cleaned.data() + start, k - start);
+    start = k + 1;
     std::string_view trimmed = StripWhitespace(piece);
     if (trimmed.empty()) continue;
     const size_t base =
         static_cast<size_t>(trimmed.data() - cleaned.data());
     COUSINS_ASSIGN_OR_RETURN(
-        Tree t, ParseNewickImpl(trimmed, labels,
-                                SourceContext{text, &to_source, base}));
+        Tree t,
+        ParseNewickImpl(trimmed, labels,
+                        SourceContext{text, &to_source, base}, limits));
     out.push_back(std::move(t));
   }
   return out;

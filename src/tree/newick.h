@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "tree/parse_limits.h"
 #include "tree/tree.h"
 #include "util/result.h"
 
@@ -21,16 +22,23 @@ namespace cousins {
 
 /// Parses one Newick tree (the trailing ';' is optional). Labels are
 /// interned into `labels` (a fresh table if null). Parse errors report
-/// the 1-based line and column in `text`.
+/// the 1-based line and column in `text`. Inputs exceeding `limits`
+/// (size, nodes, depth, label length) come back as kResourceExhausted
+/// with the same line/column reporting; pass ParseLimits::Unlimited()
+/// for trusted input.
 Result<Tree> ParseNewick(std::string_view text,
-                         std::shared_ptr<LabelTable> labels = nullptr);
+                         std::shared_ptr<LabelTable> labels = nullptr,
+                         const ParseLimits& limits = ParseLimits());
 
 /// Parses a ';'-separated sequence of Newick trees sharing one label
-/// table. Blank entries and '#'-comment lines are skipped; parse
-/// errors still report line/column positions in the caller's original
-/// `text`, not the internal comment-stripped buffer.
+/// table. Tree separators are ';' characters *outside* quoted labels,
+/// so a taxon named 'a;b' does not shear its tree in half. Blank
+/// entries and '#'-comment lines (again, outside quotes) are skipped;
+/// parse errors still report line/column positions in the caller's
+/// original `text`, not the internal comment-stripped buffer.
 Result<std::vector<Tree>> ParseNewickForest(
-    std::string_view text, std::shared_ptr<LabelTable> labels = nullptr);
+    std::string_view text, std::shared_ptr<LabelTable> labels = nullptr,
+    const ParseLimits& limits = ParseLimits());
 
 /// Options for Newick serialization.
 struct NewickWriteOptions {

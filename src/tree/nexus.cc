@@ -11,18 +11,28 @@
 namespace cousins {
 namespace {
 
-std::string StripBracketComments(const std::string& text) {
+Result<std::string> StripBracketComments(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   int depth = 0;
-  for (char c : text) {
+  size_t open_pos = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
     if (c == '[') {
+      if (depth == 0) open_pos = i;
       ++depth;
     } else if (c == ']') {
       if (depth > 0) --depth;
     } else if (depth == 0) {
       out.push_back(c);
     }
+  }
+  if (depth > 0) {
+    // An unterminated comment would silently swallow the rest of the
+    // file (including whole TREE statements); reject it instead.
+    return Status::InvalidArgument(
+        "unterminated '[' comment opened at offset " +
+        std::to_string(open_pos));
   }
   return out;
 }
@@ -88,7 +98,8 @@ std::vector<std::string_view> SplitOutsideQuotes(std::string_view s,
   return out;
 }
 
-Status ParseTranslate(std::string_view body, TranslateMap* translate) {
+Status ParseTranslate(std::string_view body, TranslateMap* translate,
+                      const ParseLimits& limits) {
   // body: "1 Homo_sapiens, 2 'Pan troglodytes', ..." (keyword removed).
   for (std::string_view entry : SplitOutsideQuotes(body, ',')) {
     std::string_view trimmed = StripWhitespace(entry);
@@ -100,6 +111,12 @@ Status ParseTranslate(std::string_view body, TranslateMap* translate) {
         !NextToken(trimmed, &pos, &name)) {
       return Status::InvalidArgument(
           "bad TRANSLATE entry '" + std::string(trimmed) + "'");
+    }
+    if (token.size() > limits.max_label_bytes ||
+        name.size() > limits.max_label_bytes) {
+      return Status::ResourceExhausted(
+          "TRANSLATE entry exceeds the label length limit (" +
+          std::to_string(limits.max_label_bytes) + " bytes)");
     }
     (*translate)[token] = name;
   }
@@ -223,9 +240,17 @@ std::string ToNexus(const std::vector<NamedTree>& trees,
 }
 
 Result<std::vector<NamedTree>> ParseNexusTrees(
-    const std::string& text, std::shared_ptr<LabelTable> labels) {
+    const std::string& text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "NEXUS input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  const std::string cleaned = StripBracketComments(text);
+  COUSINS_ASSIGN_OR_RETURN(const std::string cleaned,
+                           StripBracketComments(text));
 
   std::vector<NamedTree> out;
   bool in_trees_block = false;
@@ -262,7 +287,7 @@ Result<std::vector<NamedTree>> ParseNexusTrees(
     }
     if (StartsWith(lower, "translate")) {
       COUSINS_RETURN_IF_ERROR(
-          ParseTranslate(statement.substr(9), &translate));
+          ParseTranslate(statement.substr(9), &translate, limits));
       continue;
     }
     if (StartsWith(lower, "tree ") || StartsWith(lower, "tree\t")) {
@@ -277,7 +302,8 @@ Result<std::vector<NamedTree>> ParseNexusTrees(
       // Parse into a scratch table, then rename through TRANSLATE onto
       // the shared table.
       auto scratch = std::make_shared<LabelTable>();
-      COUSINS_ASSIGN_OR_RETURN(Tree parsed, ParseNewick(newick, scratch));
+      COUSINS_ASSIGN_OR_RETURN(Tree parsed,
+                               ParseNewick(newick, scratch, limits));
       named.tree = ApplyTranslation(parsed, translate, labels);
       out.push_back(std::move(named));
       continue;

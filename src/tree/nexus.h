@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "tree/parse_limits.h"
 #include "tree/tree.h"
 #include "util/result.h"
 
@@ -26,8 +27,12 @@ struct NamedTree {
 
 /// Parses every TREE statement of every TREES block in `text`, applying
 /// TRANSLATE tables. All trees share `labels` (fresh if null).
+/// `limits` caps the input size and is forwarded to the embedded
+/// Newick parses (node count, nesting depth, label length); an
+/// unterminated '[' comment is a parse error.
 Result<std::vector<NamedTree>> ParseNexusTrees(
-    const std::string& text, std::shared_ptr<LabelTable> labels = nullptr);
+    const std::string& text, std::shared_ptr<LabelTable> labels = nullptr,
+    const ParseLimits& limits = ParseLimits());
 
 struct NexusWriteOptions {
   /// Emit a TRANSLATE table (taxa numbered 1..n) instead of inline

@@ -1,0 +1,50 @@
+// Ingestion limits for the Newick and NEXUS parsers.
+//
+// The parsers accept untrusted input (a production service mines
+// user-supplied phylogenies), so every dimension an attacker controls
+// is capped: total input size, node count, nesting depth (the
+// recursive-descent parser spends one stack frame per level), and
+// label length. A tripped limit comes back as a clean
+// kResourceExhausted Status with the usual line/column position —
+// never a crash, stack overflow, or unbounded allocation.
+
+#ifndef COUSINS_TREE_PARSE_LIMITS_H_
+#define COUSINS_TREE_PARSE_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cousins {
+
+struct ParseLimits {
+  /// Default-constructed limits are generous production caps: far above
+  /// any real phylogeny (TreeBASE's largest exports are a few MB), far
+  /// below anything that could exhaust memory or stack.
+  /// Maximum bytes of raw input text.
+  size_t max_input_bytes = 256u << 20;  // 256 MiB
+  /// Maximum nodes per tree.
+  int32_t max_nodes = 16'777'216;
+  /// Maximum nesting depth. The recursive parser uses one (small) stack
+  /// frame per level; 24000 stays comfortably inside an 8 MiB thread
+  /// stack while admitting the 20k-deep chains robustness_test pins.
+  int32_t max_depth = 24'000;
+  /// Maximum bytes of a single (quoted or unquoted) label.
+  size_t max_label_bytes = 1u << 16;  // 64 KiB
+
+  /// No limits — the pre-governance behaviour, for trusted input.
+  static ParseLimits Unlimited() {
+    ParseLimits limits;
+    limits.max_input_bytes = std::numeric_limits<size_t>::max();
+    limits.max_nodes = std::numeric_limits<int32_t>::max();
+    limits.max_depth = std::numeric_limits<int32_t>::max();
+    limits.max_label_bytes = std::numeric_limits<size_t>::max();
+    return limits;
+  }
+
+  friend bool operator==(const ParseLimits&, const ParseLimits&) = default;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_TREE_PARSE_LIMITS_H_

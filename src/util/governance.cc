@@ -1,0 +1,10 @@
+#include "util/governance.h"
+
+namespace cousins {
+
+const MiningContext& MiningContext::Unlimited() {
+  static const MiningContext* kUnlimited = new MiningContext();
+  return *kUnlimited;
+}
+
+}  // namespace cousins

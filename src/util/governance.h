@@ -1,0 +1,225 @@
+// Resource governance: deadlines, cooperative cancellation, and work /
+// memory budgets for the mining stack.
+//
+// Worst-case blowups are intrinsic to unordered-tree problems (the
+// general unordered variants are NP-hard), so a long-running service
+// cannot trust its inputs to finish in bounded time or memory. A
+// MiningContext carries the caller's limits — a monotonic deadline, a
+// CancellationToken, and a ResourceBudget — and the miners check it
+// cooperatively at coarse granularity (per source node / per tree, not
+// per pair), so the governed hot path stays within noise of the
+// ungoverned one and produces bit-identical results when no limit
+// trips.
+//
+// Outcomes reuse the Status vocabulary: kCancelled, kDeadlineExceeded
+// and kResourceExhausted are *trips* — the computation stopped early
+// but the caller still receives a partial, truncated-flagged tally.
+// Anything else non-OK is a hard failure with no usable result.
+//
+// This layer deliberately has no dependency on obs/: trip *detection*
+// lives here, trip *recording* (governance.* counters) happens at the
+// entry points that convert a trip into a truncated outcome, via
+// obs/governance_events.h.
+
+#ifndef COUSINS_UTIL_GOVERNANCE_H_
+#define COUSINS_UTIL_GOVERNANCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cousins {
+
+/// Cooperative cancellation flag, cheaply copyable; all copies share
+/// one flag. A default-constructed token is inert (never cancels), so
+/// an ungoverned MiningContext costs nothing to check.
+class CancellationToken {
+ public:
+  /// Inert token: cancelled() is always false, Cancel() is a no-op.
+  CancellationToken() = default;
+
+  /// A fresh, live token.
+  static CancellationToken Create() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// A token that is cancelled when either itself or `parent` (or any
+  /// of parent's ancestors) is cancelled. The parallel driver hands
+  /// each worker a child of the caller's token so it can stop sibling
+  /// shards on a fault without cancelling the caller's token.
+  static CancellationToken ChildOf(const CancellationToken& parent) {
+    CancellationToken t = Create();
+    t.uplinks_ = parent.uplinks_;
+    if (parent.flag_ != nullptr) t.uplinks_.push_back(parent.flag_);
+    return t;
+  }
+
+  /// Requests cancellation. No-op on an inert token; never cancels a
+  /// parent.
+  void Cancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    for (const auto& up : uplinks_) {
+      if (up->load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  /// True when Cancel() can have an effect (token is not inert).
+  bool cancellable() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+  std::vector<std::shared_ptr<std::atomic<bool>>> uplinks_;
+};
+
+/// Work / memory budgets, all "unlimited" by default. Budgets are
+/// enforced approximately and at coarse checkpoints; a trip may happen
+/// slightly past the limit, never far past it.
+struct ResourceBudget {
+  static constexpr int64_t kUnlimited =
+      std::numeric_limits<int64_t>::max();
+
+  /// Maximum live entries across a single-tree miner's pair-count
+  /// accumulators (bounds the O(|T|²) per-tree working set).
+  int64_t max_pair_map_entries = kUnlimited;
+  /// Approximate cap on accumulator bytes in a single-tree mining run.
+  int64_t max_bytes = kUnlimited;
+  /// Maximum mined items (single-tree) or support tallies (multi-tree).
+  /// In the sharded parallel miner this is enforced per shard.
+  int64_t max_items = kUnlimited;
+
+  bool unlimited() const {
+    return max_pair_map_entries == kUnlimited && max_bytes == kUnlimited &&
+           max_items == kUnlimited;
+  }
+
+  friend bool operator==(const ResourceBudget&,
+                         const ResourceBudget&) = default;
+};
+
+/// The limits one mining request runs under. Cheap to copy; pass by
+/// const reference down the stack. A default-constructed context is
+/// ungoverned: Check()/CheckWork() short-circuit on a single bool.
+class MiningContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  MiningContext() = default;
+
+  /// Shared ungoverned context for legacy entry points.
+  static const MiningContext& Unlimited();
+
+  MiningContext& set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+    governed_ = true;
+    return *this;
+  }
+  /// Deadline `timeout` from now. A zero or negative timeout is already
+  /// expired: the first checkpoint trips.
+  MiningContext& set_timeout(std::chrono::nanoseconds timeout) {
+    return set_deadline(Clock::now() + timeout);
+  }
+  MiningContext& set_cancellation(CancellationToken token) {
+    cancel_ = std::move(token);
+    governed_ = true;
+    return *this;
+  }
+  MiningContext& set_budget(const ResourceBudget& budget) {
+    budget_ = budget;
+    if (!budget.unlimited()) governed_ = true;
+    return *this;
+  }
+
+  bool governed() const { return governed_; }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  const CancellationToken& cancellation() const { return cancel_; }
+  const ResourceBudget& budget() const { return budget_; }
+
+  /// Derived context for a worker thread: same deadline and budget,
+  /// cancellation replaced by `token` (typically a ChildOf the caller's
+  /// token, so the driver can stop siblings without the caller).
+  MiningContext WithCancellation(CancellationToken token) const {
+    MiningContext ctx = *this;
+    ctx.cancel_ = std::move(token);
+    ctx.governed_ = true;
+    return ctx;
+  }
+
+  /// Cancellation + deadline check. Call at coarse checkpoints (per
+  /// source node batch / per tree). OK means keep going.
+  Status Check() const {
+    if (!governed_) return Status::OK();
+    if (cancel_.cancelled()) {
+      return Status::Cancelled("mining cancelled by caller");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded("mining deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Budget check against the caller's current usage numbers. Pass only
+  /// what is tracked; use 0 for dimensions the call site cannot see.
+  Status CheckWork(int64_t pair_map_entries, int64_t bytes,
+                   int64_t items) const {
+    if (!governed_) return Status::OK();
+    if (pair_map_entries > budget_.max_pair_map_entries) {
+      return Status::ResourceExhausted(
+          "pair-map entry budget exceeded (" +
+          std::to_string(pair_map_entries) + " > " +
+          std::to_string(budget_.max_pair_map_entries) + ")");
+    }
+    if (bytes > budget_.max_bytes) {
+      return Status::ResourceExhausted(
+          "memory budget exceeded (" + std::to_string(bytes) + " > " +
+          std::to_string(budget_.max_bytes) + " bytes)");
+    }
+    if (items > budget_.max_items) {
+      return Status::ResourceExhausted(
+          "mined-item budget exceeded (" + std::to_string(items) + " > " +
+          std::to_string(budget_.max_items) + ")");
+    }
+    return Status::OK();
+  }
+
+ private:
+  CancellationToken cancel_;
+  ResourceBudget budget_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  bool governed_ = false;
+};
+
+/// True for the three cooperative-stop codes — the computation was cut
+/// short but its partial result is well-formed. False for OK and for
+/// hard failures.
+inline bool IsGovernanceTrip(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_GOVERNANCE_H_

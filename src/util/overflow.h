@@ -1,0 +1,40 @@
+// Saturating integer arithmetic for support counting.
+//
+// Adversarial corpora can push occurrence tallies past what 64 bits
+// hold (occurrences per tree are already O(|T|²), summed over millions
+// of trees); rather than wrap around into negative "support", the
+// tallies clamp at the numeric limits. Saturation only engages at the
+// extremes, so inclusion–exclusion cancellation in the hot accumulator
+// remains exact for every realistic count.
+
+#ifndef COUSINS_UTIL_OVERFLOW_H_
+#define COUSINS_UTIL_OVERFLOW_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cousins {
+
+/// a + b clamped to [INT64_MIN, INT64_MAX].
+inline int64_t SaturatingAdd(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return out;
+}
+
+/// a + b clamped to [INT_MIN, INT_MAX] (tree-support counters are int).
+inline int SaturatingAddInt(int a, int b) {
+  int out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return b > 0 ? std::numeric_limits<int>::max()
+                 : std::numeric_limits<int>::min();
+  }
+  return out;
+}
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_OVERFLOW_H_

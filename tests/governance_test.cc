@@ -1,0 +1,422 @@
+// Resource governance: deadlines, budgets, cancellation and fault
+// containment across the mining stack.
+//
+// The two load-bearing properties:
+//  1. A governed context whose limits never trip yields bit-identical
+//     results to the ungoverned entry points (the governance checks may
+//     not perturb the algorithms).
+//  2. A tripped limit yields a clean, truncated-flagged partial result
+//     with the matching trip code — never a crash, hang or abort.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel_mining.h"
+#include "core/single_tree_mining.h"
+#include "gen/yule_generator.h"
+#include "obs/metrics.h"
+#include "phylo/cooccurrence.h"
+#include "phylo/kernel_trees.h"
+#include "phylo/similarity.h"
+#include "util/governance.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::vector<Tree> RandomForest(int count, uint64_t seed,
+                               std::shared_ptr<LabelTable> labels,
+                               int min_nodes = 30, int max_nodes = 80) {
+  Rng rng(seed);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = min_nodes;
+  gen.max_nodes = max_nodes;
+  gen.alphabet_size = 60;
+  std::vector<Tree> trees;
+  for (int i = 0; i < count; ++i) {
+    trees.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  return trees;
+}
+
+MiningContext ExpiredDeadline() {
+  MiningContext context;
+  context.set_timeout(std::chrono::milliseconds(0));
+  return context;
+}
+
+TEST(CancellationTokenTest, InertTokenNeverCancels) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();  // no-op
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CopiesShareOneFlag) {
+  CancellationToken token = CancellationToken::Create();
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancellationTokenTest, ChildSeesParentButNotViceVersa) {
+  CancellationToken parent = CancellationToken::Create();
+  CancellationToken child = CancellationToken::ChildOf(parent);
+  EXPECT_FALSE(child.cancelled());
+  child.Cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled());  // never propagates upward
+
+  CancellationToken child2 = CancellationToken::ChildOf(parent);
+  parent.Cancel();
+  EXPECT_TRUE(child2.cancelled());  // propagates downward
+}
+
+TEST(MiningContextTest, UngovernedChecksAreAlwaysOk) {
+  const MiningContext& context = MiningContext::Unlimited();
+  EXPECT_FALSE(context.governed());
+  EXPECT_TRUE(context.Check().ok());
+  EXPECT_TRUE(context.CheckWork(1 << 30, int64_t{1} << 40, 1 << 20).ok());
+}
+
+TEST(MiningContextTest, TripCodesAndClassification) {
+  MiningContext context = ExpiredDeadline();
+  EXPECT_EQ(context.Check().code(), StatusCode::kDeadlineExceeded);
+
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  MiningContext cancelled;
+  cancelled.set_cancellation(token);
+  EXPECT_EQ(cancelled.Check().code(), StatusCode::kCancelled);
+
+  ResourceBudget budget;
+  budget.max_pair_map_entries = 10;
+  MiningContext budgeted;
+  budgeted.set_budget(budget);
+  EXPECT_TRUE(budgeted.CheckWork(10, 0, 0).ok());
+  EXPECT_EQ(budgeted.CheckWork(11, 0, 0).code(),
+            StatusCode::kResourceExhausted);
+
+  EXPECT_TRUE(IsGovernanceTrip(Status::Cancelled("x")));
+  EXPECT_TRUE(IsGovernanceTrip(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsGovernanceTrip(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsGovernanceTrip(Status::OK()));
+  EXPECT_FALSE(IsGovernanceTrip(Status::Internal("x")));
+}
+
+TEST(GovernedSingleTreeTest, UntrippedGovernedRunIsBitIdentical) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(5, 11, labels);
+  MiningOptions options;
+  MiningContext roomy;
+  roomy.set_timeout(std::chrono::hours(1));
+  roomy.set_cancellation(CancellationToken::Create());
+  for (const Tree& tree : trees) {
+    SingleTreeMiningRun run = MineSingleTreeGoverned(tree, options, roomy);
+    EXPECT_FALSE(run.truncated);
+    EXPECT_TRUE(run.termination.ok());
+    EXPECT_EQ(run.items, MineSingleTree(tree, options));
+  }
+}
+
+TEST(GovernedSingleTreeTest, ExpiredDeadlineTripsWithPartialItems) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 5, labels, 400, 500);
+  SingleTreeMiningRun run =
+      MineSingleTreeGoverned(trees[0], MiningOptions(), ExpiredDeadline());
+  EXPECT_TRUE(run.truncated);
+  EXPECT_EQ(run.termination.code(), StatusCode::kDeadlineExceeded);
+  // Partial means a subset of the complete result's size.
+  EXPECT_LE(run.items.size(),
+            MineSingleTree(trees[0], MiningOptions()).size());
+}
+
+TEST(GovernedSingleTreeTest, PreCancelledTokenTripsImmediately) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 6, labels);
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();
+  MiningContext context;
+  context.set_cancellation(token);
+  SingleTreeMiningRun run =
+      MineSingleTreeGoverned(trees[0], MiningOptions(), context);
+  EXPECT_TRUE(run.truncated);
+  EXPECT_EQ(run.termination.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(run.items.empty());
+}
+
+TEST(GovernedSingleTreeTest, ItemBudgetCapsEmission) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 7, labels);
+  const size_t full = MineSingleTree(trees[0], MiningOptions()).size();
+  ASSERT_GT(full, 3u);
+  ResourceBudget budget;
+  budget.max_items = 3;
+  MiningContext context;
+  context.set_budget(budget);
+  SingleTreeMiningRun run =
+      MineSingleTreeGoverned(trees[0], MiningOptions(), context);
+  EXPECT_TRUE(run.truncated);
+  EXPECT_EQ(run.termination.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(run.items.size(), 3u);
+}
+
+TEST(GovernedSingleTreeTest, PairMapEntryBudgetTripsMidMining) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 8, labels, 600, 700);
+  ResourceBudget budget;
+  budget.max_pair_map_entries = 16;
+  MiningContext context;
+  context.set_budget(budget);
+  SingleTreeMiningRun run =
+      MineSingleTreeGoverned(trees[0], MiningOptions(), context);
+  EXPECT_TRUE(run.truncated);
+  EXPECT_EQ(run.termination.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GovernedMultiTreeTest, UntrippedGovernedRunIsBitIdentical) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(25, 42, labels);
+  MultiTreeMiningOptions options;
+  options.min_support = 2;
+  MiningContext roomy;
+  roomy.set_timeout(std::chrono::hours(1));
+  Result<MultiTreeMiningRun> run =
+      MineMultipleTreesGoverned(trees, options, roomy);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->truncated);
+  EXPECT_EQ(run->trees_processed, 25);
+  EXPECT_EQ(run->pairs, MineMultipleTrees(trees, options));
+}
+
+TEST(GovernedMultiTreeTest, MismatchedLabelTablesAreAHardError) {
+  auto labels_a = std::make_shared<LabelTable>();
+  auto labels_b = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(1, 1, labels_a);
+  std::vector<Tree> other = RandomForest(1, 2, labels_b);
+  trees.push_back(other[0]);
+  Result<MultiTreeMiningRun> run = MineMultipleTreesGoverned(
+      trees, MultiTreeMiningOptions(), MiningContext::Unlimited());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GovernedMultiTreeTest, DeadlineTripYieldsPrefixTally) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(50, 43, labels);
+  Result<MultiTreeMiningRun> run = MineMultipleTreesGoverned(
+      trees, MultiTreeMiningOptions(), ExpiredDeadline());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->termination.code(), StatusCode::kDeadlineExceeded);
+  // An already-expired deadline trips before the first tree completes.
+  EXPECT_EQ(run->trees_processed, 0);
+  EXPECT_TRUE(run->pairs.empty());
+}
+
+TEST(GovernedMultiTreeTest, TallyBudgetTripsPartWayThroughTheForest) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(30, 44, labels);
+  ResourceBudget budget;
+  budget.max_pair_map_entries = 200;
+  MiningContext context;
+  context.set_budget(budget);
+  // Per-tree accumulators stay under 200 entries only for a while; the
+  // growing cross-tree tally trips somewhere inside the forest.
+  Result<MultiTreeMiningRun> run =
+      MineMultipleTreesGoverned(trees, MultiTreeMiningOptions(), context);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->termination.code(), StatusCode::kResourceExhausted);
+  EXPECT_LT(run->trees_processed, 30);
+}
+
+class GovernedParallel : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(GovernedParallel, UntrippedGovernedRunMatchesSequential) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(40, 123, labels);
+  MultiTreeMiningOptions options;
+  options.min_support = 2;
+  MiningContext roomy;
+  roomy.set_timeout(std::chrono::hours(1));
+  roomy.set_cancellation(CancellationToken::Create());
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, options, roomy, GetParam());
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->truncated);
+  EXPECT_EQ(run->trees_processed, 40);
+  EXPECT_EQ(run->pairs, MineMultipleTrees(trees, options));
+}
+
+TEST_P(GovernedParallel, WorkerExceptionBecomesStatusNotTerminate) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(24, 9, labels);
+  internal::SetParallelMiningFaultHook([](int32_t worker) {
+    if (worker == 0) throw std::runtime_error("injected fault");
+  });
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, MultiTreeMiningOptions(), MiningContext::Unlimited(),
+      GetParam());
+  internal::SetParallelMiningFaultHook(nullptr);
+  if (GetParam() <= 1) {
+    // Sequential fallback never runs the hook (no workers).
+    ASSERT_TRUE(run.ok());
+    return;
+  }
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("worker 0"), std::string::npos);
+  EXPECT_NE(run.status().message().find("injected fault"),
+            std::string::npos);
+}
+
+TEST_P(GovernedParallel, DeadlineTripIsACleanTruncatedRun) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(32, 10, labels);
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, MultiTreeMiningOptions(), ExpiredDeadline(), GetParam());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->termination.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(run->trees_processed, 32);
+}
+
+TEST_P(GovernedParallel, CallerCancellationSurfacesAsCancelled) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(16, 12, labels);
+  CancellationToken token = CancellationToken::Create();
+  token.Cancel();  // cancelled before the run even starts
+  MiningContext context;
+  context.set_cancellation(token);
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, MultiTreeMiningOptions(), context, GetParam());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->termination.code(), StatusCode::kCancelled);
+  EXPECT_EQ(run->trees_processed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GovernedParallel,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(GovernanceMetricsTest, TripsAndFaultsShowUpInTheSnapshot) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(8, 20, labels);
+
+  // Deadline trip.
+  (void)MineMultipleTreesGoverned(trees, MultiTreeMiningOptions(),
+                                  ExpiredDeadline());
+  // Worker fault.
+  internal::SetParallelMiningFaultHook(
+      [](int32_t) { throw std::runtime_error("boom"); });
+  (void)MineMultipleTreesParallelGoverned(
+      trees, MultiTreeMiningOptions(), MiningContext::Unlimited(), 2);
+  internal::SetParallelMiningFaultHook(nullptr);
+
+  EXPECT_GE(
+      registry.GetCounter("governance.deadline_exceeded").value(), 1);
+  EXPECT_GE(registry.GetCounter("governance.worker_faults").value(), 1);
+  EXPECT_GE(registry.GetCounter("governance.hard_failures").value(), 1);
+  registry.Reset();
+}
+
+TEST(GovernedSimilarityTest, MatchesUngovernedAndValidatesInput) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(6, 30, labels);
+  const Tree consensus = trees[0];
+  std::vector<Tree> originals(trees.begin() + 1, trees.end());
+
+  Result<SimilarityRun> run = AverageSimilarityScoreGoverned(
+      consensus, originals, MiningOptions(), MiningContext::Unlimited());
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->truncated);
+  EXPECT_EQ(run->originals_scored, 5);
+  EXPECT_DOUBLE_EQ(run->average,
+                   AverageSimilarityScore(consensus, originals));
+
+  EXPECT_EQ(AverageSimilarityScoreGoverned(consensus, {}, MiningOptions(),
+                                           MiningContext::Unlimited())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  Result<SimilarityRun> tripped = AverageSimilarityScoreGoverned(
+      consensus, originals, MiningOptions(), ExpiredDeadline());
+  ASSERT_TRUE(tripped.ok());
+  EXPECT_TRUE(tripped->truncated);
+  EXPECT_EQ(tripped->termination.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(tripped->originals_scored, 0);
+}
+
+TEST(GovernedKernelTreesTest, MatchesUngovernedAndValidatesInput) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> pool = RandomForest(9, 31, labels);
+  std::vector<std::vector<Tree>> groups = {
+      {pool[0], pool[1], pool[2]},
+      {pool[3], pool[4], pool[5]},
+      {pool[6], pool[7], pool[8]},
+  };
+  KernelTreeOptions options;
+  Result<KernelTreeRun> run =
+      FindKernelTreesGoverned(groups, options, MiningContext::Unlimited());
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->truncated);
+  KernelTreeResult legacy = FindKernelTrees(groups, options);
+  EXPECT_EQ(run->result.selected, legacy.selected);
+  EXPECT_DOUBLE_EQ(run->result.average_pairwise_distance,
+                   legacy.average_pairwise_distance);
+  EXPECT_EQ(run->result.exact, legacy.exact);
+
+  EXPECT_EQ(FindKernelTreesGoverned({}, options, MiningContext::Unlimited())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FindKernelTreesGoverned({{pool[0]}, {}}, options,
+                                    MiningContext::Unlimited())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  Result<KernelTreeRun> tripped =
+      FindKernelTreesGoverned(groups, options, ExpiredDeadline());
+  ASSERT_TRUE(tripped.ok());
+  EXPECT_TRUE(tripped->truncated);
+  EXPECT_EQ(tripped->termination.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(tripped->result.selected.empty());
+}
+
+TEST(CooccurrenceTest, FacadeMatchesDirectMinersSequentialAndParallel) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(20, 32, labels);
+  MultiTreeMiningOptions mining;
+  mining.min_support = 2;
+  const auto expected = MineMultipleTrees(trees, mining);
+
+  for (int32_t threads : {1, 0, 4}) {
+    CooccurrenceOptions options;
+    options.mining = mining;
+    options.num_threads = threads;
+    Result<MultiTreeMiningRun> run = MineCooccurrencePatterns(trees, options);
+    ASSERT_TRUE(run.ok()) << "threads=" << threads;
+    EXPECT_FALSE(run->truncated);
+    EXPECT_EQ(run->pairs, expected) << "threads=" << threads;
+  }
+
+  CooccurrenceOptions options;
+  options.mining = mining;
+  Result<MultiTreeMiningRun> tripped =
+      MineCooccurrencePatterns(trees, options, ExpiredDeadline());
+  ASSERT_TRUE(tripped.ok());
+  EXPECT_TRUE(tripped->truncated);
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <utility>
 
 #include "core/pair_count_map.h"
+#include "util/overflow.h"
 #include "util/rng.h"
 
 namespace cousins {
@@ -104,6 +106,39 @@ TEST(PairCountMapTest, GrowsWhenLiveEntriesDemandIt) {
   int entries = 0;
   m.ForEach([&](uint64_t, int64_t) { ++entries; });
   EXPECT_EQ(entries, 1000);
+}
+
+TEST(PairCountMapTest, AdditionSaturatesAtInt64Boundaries) {
+  // Adversarial corpora can push counts toward the int64 edge; the
+  // accumulator must clamp there, never wrap into negative counts that
+  // ForEach would drop as zero-net.
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  PairCountMap m;
+  const uint64_t key = PackLabelPair(1, 2);
+  m.Add(key, kMax - 1);
+  m.Add(key, 5);  // would overflow; clamps to kMax
+  int64_t value = 0;
+  m.ForEach([&](uint64_t, int64_t count) { value = count; });
+  EXPECT_EQ(value, kMax);
+  m.Add(key, 1);  // already saturated: stays put
+  m.ForEach([&](uint64_t, int64_t count) { value = count; });
+  EXPECT_EQ(value, kMax);
+
+  PairCountMap low;
+  const uint64_t key2 = PackLabelPair(3, 4);
+  low.Add(key2, kMin + 1);
+  low.Add(key2, -5);  // would underflow; clamps to kMin
+  low.ForEach([&](uint64_t, int64_t count) { value = count; });
+  EXPECT_EQ(value, kMin);
+
+  // SaturatingAddInt guards the 32-bit support counters the same way.
+  constexpr int kIntMax = std::numeric_limits<int>::max();
+  EXPECT_EQ(SaturatingAddInt(kIntMax, 1), kIntMax);
+  EXPECT_EQ(SaturatingAddInt(kIntMax - 1, 1), kIntMax);
+  EXPECT_EQ(SaturatingAddInt(std::numeric_limits<int>::min(), -1),
+            std::numeric_limits<int>::min());
+  EXPECT_EQ(SaturatingAddInt(2, 3), 5);
 }
 
 TEST(PairCountMapTest, GrowsPastInitialCapacityCorrectly) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <string>
 
 #include "seq/alignment.h"
@@ -74,10 +75,133 @@ TEST(FastaRobustnessTest, Truncations) {
   }
 }
 
+// Random strings over the NEXUS structural alphabet, including the
+// tokens the statement splitter keys on — every outcome must be a
+// clean ok/error, and parsed trees must be non-empty.
+class NexusFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NexusFuzz, RandomStructuralStringsNeverCrash) {
+  static const char* kTokens[] = {
+      "#NEXUS",    "BEGIN",  "TREES", ";",  "TRANSLATE", "TREE",
+      "END",       "=",      "(",     ")",  ",",         "'",
+      "[",         "]",      "a",     "1",  ":0.5",      "\n",
+      " ",         "t"};
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.Uniform(30));
+    for (int i = 0; i < len; ++i) {
+      input += kTokens[rng.Uniform(std::size(kTokens))];
+    }
+    auto result = ParseNexusTrees(input);
+    if (!result.ok()) continue;
+    for (const NamedTree& nt : *result) EXPECT_GT(nt.tree.size(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NexusFuzz, ::testing::Range<uint64_t>(0, 6));
+
+TEST(ParseLimitsTest, HostileNestingIsARefusalNotACrash) {
+  // 100k-deep nesting is over the default depth cap; the limit must
+  // refuse it with a clean trip status (and the explicit-stack parser
+  // must not touch the machine stack getting there).
+  const int depth = 100000;
+  std::string input;
+  input.reserve(2 * depth + 2);
+  for (int i = 0; i < depth; ++i) input += '(';
+  input += 'a';
+  for (int i = 0; i < depth; ++i) input += ')';
+  input += ';';
+  Result<Tree> parsed = ParseNewick(input);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(parsed.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParseLimitsTest, MultiMegabyteLabelIsRefused) {
+  const std::string label(8 << 20, 'x');  // 8 MiB, far over the 64 KiB cap
+  {
+    Result<Tree> parsed = ParseNewick("(" + label + ",b);");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  }
+  {
+    Result<Tree> parsed = ParseNewick("('" + label + "',b);");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  }
+  // NEXUS TRANSLATE names go through the same cap.
+  auto nexus = ParseNexusTrees("#NEXUS\nBEGIN TREES;\nTRANSLATE 1 " + label +
+                               ";\nTREE t = (1,2);\nEND;\n");
+  ASSERT_FALSE(nexus.ok());
+  EXPECT_EQ(nexus.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParseLimitsTest, CustomLimitsAreHonored) {
+  ParseLimits tight;
+  tight.max_nodes = 3;
+  EXPECT_TRUE(ParseNewick("(a,b);", nullptr, tight).ok());
+  Result<Tree> too_many = ParseNewick("(a,b,c,d);", nullptr, tight);
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kResourceExhausted);
+
+  ParseLimits small_input;
+  small_input.max_input_bytes = 4;
+  EXPECT_EQ(ParseNewick("(a,b);", nullptr, small_input).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // Unlimited() restores pre-limit behavior for trusted inputs.
+  EXPECT_TRUE(ParseNewick("(a,b,c,d);", nullptr, ParseLimits::Unlimited())
+                  .ok());
+}
+
+TEST(ParseLimitsTest, UnterminatedCommentsAndQuotesAreErrors) {
+  EXPECT_FALSE(ParseNewick("(a,b[unclosed comment);").ok());
+  EXPECT_FALSE(ParseNewick("(a,'unclosed quote);").ok());
+  auto nexus = ParseNexusTrees(
+      "#NEXUS\nBEGIN TREES;\nTREE t = (a,b); [never closed\nEND;\n");
+  ASSERT_FALSE(nexus.ok());
+  EXPECT_NE(nexus.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(NewickForestTest, QuotedSemicolonDoesNotShearATree) {
+  // A quoted taxon containing ';' must not split the forest there.
+  auto forest = ParseNewickForest("('a;b',c);\n(d,e);\n");
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->size(), 2u);
+  const Tree& first = (*forest)[0];
+  bool found = false;
+  for (NodeId v = 0; v < first.size(); ++v) {
+    if (first.has_label(v) && first.label_name(v) == "a;b") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NewickForestTest, QuotedNewlineAndHashSurviveSplitting) {
+  // '\n' inside a quoted label must not end the "line" for comment
+  // stripping, and '#' inside quotes must not start a comment.
+  auto forest = ParseNewickForest("# real comment\n('x\ny',c);\n('#not',d);");
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->size(), 2u);
+  bool found_newline = false;
+  bool found_hash = false;
+  for (const Tree& tree : *forest) {
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (!tree.has_label(v)) continue;
+      if (tree.label_name(v) == "x\ny") found_newline = true;
+      if (tree.label_name(v) == "#not") found_hash = true;
+    }
+  }
+  EXPECT_TRUE(found_newline);
+  EXPECT_TRUE(found_hash);
+}
+
 TEST(NewickRobustnessTest, DeepNestingDoesNotOverflow) {
-  // 20k-deep nesting exercises the iterative/recursive paths. The
-  // recursive-descent parser uses one stack frame per depth; 20k is
-  // within any sane stack budget and documents the practical bound.
+  // 20k-deep nesting must parse fine: the parser keeps its nesting
+  // stack on the heap, so depth is bounded only by ParseLimits
+  // (default 24,000), never by the machine stack — even under
+  // sanitizers, whose frames are several times larger.
   const int depth = 20000;
   std::string input;
   for (int i = 0; i < depth; ++i) input += '(';

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -103,8 +105,66 @@ TEST(CliOutputTest, UsageOnBadInvocation) {
 
 TEST(CliOutputTest, ErrorsGoToStderrWithNonZeroExit) {
   RunResult r = RunCli("mine /definitely/not/a/file.nwk");
-  EXPECT_NE(r.exit_code, 0);
+  EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("NotFound"), std::string::npos) << r.output;
+}
+
+TEST(CliOutputTest, MalformedFlagValueIsAUsageError) {
+  RunResult r =
+      RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=abc");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("--minsup"), std::string::npos) << r.output;
+}
+
+TEST(CliOutputTest, UnknownFlagIsRejected) {
+  RunResult r =
+      RunCli("mine " + Data("seed_plants.nwk") + " --no-such-flag=1");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag '--no-such-flag=1'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, ParseErrorReportsLineAndColumn) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cli_parse_error.nwk";
+  {
+    std::ofstream out(path);
+    out << "(a,(b,c);\n";  // missing ')'
+  }
+  RunResult r = RunCli("mine " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("line 1"), std::string::npos) << r.output;
+}
+
+TEST(CliOutputTest, MaxItemsBudgetTruncatesWithExitThree) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") +
+                       " --minsup=2 --max-items=1");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("truncated"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("ResourceExhausted"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, ExpiredDeadlineTruncatesWithExitThree) {
+  RunResult r = RunCli("mine " + Data("seed_plants.nwk") +
+                       " --deadline-ms=0");
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("DeadlineExceeded"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, GovernedRunWithRoomyLimitsMatchesUngoverned) {
+  RunResult governed = RunCli("frequent " + Data("seed_plants.nwk") +
+                              " --minsup=2 --deadline-ms=60000");
+  RunResult plain =
+      RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
+  EXPECT_EQ(governed.exit_code, 0);
+  EXPECT_EQ(governed.output, plain.output);
 }
 
 }  // namespace

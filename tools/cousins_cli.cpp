@@ -1,8 +1,11 @@
 // cousins — command-line front end to the cousin-pair mining library.
 //
 //   cousins_cli mine      <file> [--maxdist=D] [--minoccur=N]
+//                                 [--deadline-ms=T] [--max-items=N]
 //   cousins_cli frequent  <file> [--maxdist=D] [--minoccur=N]
 //                                 [--minsup=S] [--ignore-distance] [--csv]
+//                                 [--threads=T]
+//                                 [--deadline-ms=T] [--max-items=N]
 //   cousins_cli consensus <file>
 //       [--method=majority|strict|semi|Adams|Nelson|greedy]
 //   cousins_cli distance  <file> [--abstraction=labels|dist|occur|dist_occur]
@@ -15,11 +18,18 @@
 //
 // <file> holds phylogenies as a ';'-separated Newick forest or a NEXUS
 // file with a TREES block (auto-detected). All commands print to
-// stdout; errors go to stderr with a non-zero exit code.
+// stdout; errors go to stderr with a non-zero exit code: 1 = failure,
+// 2 = usage error (unknown command/flag, malformed flag value),
+// 3 = governance trip (--deadline-ms / --max-items cut the run short;
+// whatever was mined before the trip is still printed).
 
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +39,7 @@
 #include "core/single_tree_mining.h"
 #include "phylo/clustering.h"
 #include "phylo/consensus.h"
+#include "phylo/cooccurrence.h"
 #include "phylo/nearest_neighbor.h"
 #include "phylo/supertree.h"
 #include "phylo/tree_distance.h"
@@ -36,23 +47,43 @@
 #include "tree/newick.h"
 #include "tree/nexus.h"
 #include "tree/render.h"
+#include "util/governance.h"
 #include "util/strings.h"
 
 using namespace cousins;
 
 namespace {
 
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTruncated = 3;
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
-  return 1;
+  return kExitFail;
+}
+
+int Fail(const Status& status) { return Fail(status.ToString()); }
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return kExitUsage;
+}
+
+/// Reports a governance trip: the partial result already went to
+/// stdout; the trip reason goes to stderr with the dedicated exit code.
+int Truncated(const Status& termination) {
+  std::fprintf(stderr, "warning: output truncated: %s\n",
+               termination.ToString().c_str());
+  return kExitTruncated;
 }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: cousins_cli "
-               "mine|frequent|consensus|distance|cluster|convert <file> "
-               "[flags]\n");
-  return 2;
+               "mine|frequent|consensus|distance|cluster|stats|supertree|"
+               "nn|convert|show <file> [flags]\n");
+  return kExitUsage;
 }
 
 /// --name=value flag lookup; returns fallback when absent.
@@ -73,12 +104,86 @@ bool HasFlag(const std::vector<std::string>& args, const std::string& name) {
   return false;
 }
 
-/// Parses "1.5"-style distances into the 2·d representation.
+/// Rejects anything that is not a recognized --name=value (in
+/// `value_flags`) or bare --name (in `bool_flags`) for this command, so
+/// typos fail loudly instead of silently falling back to defaults.
+Status CheckFlags(const std::vector<std::string>& args,
+                  std::initializer_list<const char*> value_flags,
+                  std::initializer_list<const char*> bool_flags) {
+  for (const std::string& arg : args) {
+    bool known = false;
+    for (const char* name : value_flags) {
+      if (StartsWith(arg, "--" + std::string(name) + "=")) {
+        known = true;
+        break;
+      }
+    }
+    for (const char* name : bool_flags) {
+      if (arg == "--" + std::string(name)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// Strict integer flag: the whole value must parse, no trailing junk.
+/// An absent flag yields `fallback`.
+bool ParseInt64Flag(const std::vector<std::string>& args,
+                    const std::string& name, int64_t fallback,
+                    int64_t* out) {
+  const std::string absent = "\x01";
+  const std::string text = Flag(args, name, absent);
+  if (text == absent) {
+    *out = fallback;
+    return true;
+  }
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Parses "1.5"-style distances into the 2·d representation. Strict:
+/// the whole value must be consumed.
 bool ParseMaxdist(const std::string& text, int* twice) {
-  const double d = std::atof(text.c_str());
+  double d = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, d);
+  if (ec != std::errc() || ptr != end) return false;
   const double doubled = d * 2.0;
   if (doubled < 0 || doubled != static_cast<int>(doubled)) return false;
   *twice = static_cast<int>(doubled);
+  return true;
+}
+
+/// Builds the MiningContext from --deadline-ms / --max-items; returns
+/// false (with *error set) on a malformed value.
+bool GovernanceFromFlags(const std::vector<std::string>& args,
+                         MiningContext* context, std::string* error) {
+  int64_t deadline_ms = -1;
+  if (!ParseInt64Flag(args, "deadline-ms", -1, &deadline_ms)) {
+    *error = "--deadline-ms must be an integer number of milliseconds";
+    return false;
+  }
+  if (deadline_ms >= 0) {
+    context->set_timeout(std::chrono::milliseconds(deadline_ms));
+  }
+  int64_t max_items = -1;
+  if (!ParseInt64Flag(args, "max-items", -1, &max_items)) {
+    *error = "--max-items must be a non-negative integer";
+    return false;
+  }
+  if (max_items >= 0) {
+    ResourceBudget budget;
+    budget.max_items = max_items;
+    context->set_budget(budget);
+  }
   return true;
 }
 
@@ -108,43 +213,84 @@ Result<std::vector<Tree>> LoadForest(const std::string& path,
 
 int RunMine(const std::vector<Tree>& trees, const LabelTable& labels,
             const std::vector<std::string>& args) {
+  Status flags = CheckFlags(
+      args, {"maxdist", "minoccur", "deadline-ms", "max-items"}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   MiningOptions options;
   if (!ParseMaxdist(Flag(args, "maxdist", "1.5"), &options.twice_maxdist)) {
-    return Fail("--maxdist must be a non-negative multiple of 0.5");
+    return UsageError("--maxdist must be a non-negative multiple of 0.5");
   }
-  options.min_occur = std::atoll(Flag(args, "minoccur", "1").c_str());
+  int64_t min_occur = 1;
+  if (!ParseInt64Flag(args, "minoccur", 1, &min_occur)) {
+    return UsageError("--minoccur must be an integer");
+  }
+  options.min_occur = min_occur;
+  MiningContext context;
+  std::string error;
+  if (!GovernanceFromFlags(args, &context, &error)) return UsageError(error);
+
   for (size_t i = 0; i < trees.size(); ++i) {
     std::printf("# tree %zu (%d nodes)\n", i, trees[i].size());
-    for (const CousinPairItem& item : MineSingleTree(trees[i], options)) {
+    SingleTreeMiningRun run =
+        MineSingleTreeGoverned(trees[i], options, context);
+    for (const CousinPairItem& item : run.items) {
       std::printf("%s\n", FormatCousinPairItem(labels, item).c_str());
     }
+    if (run.truncated) return Truncated(run.termination);
   }
   return 0;
 }
 
 int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
                 const std::vector<std::string>& args) {
-  MultiTreeMiningOptions options;
+  Status flags = CheckFlags(args,
+                            {"maxdist", "minoccur", "minsup", "threads",
+                             "deadline-ms", "max-items"},
+                            {"ignore-distance", "csv"});
+  if (!flags.ok()) return UsageError(flags.message());
+  CooccurrenceOptions options;
   if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
-                    &options.per_tree.twice_maxdist)) {
-    return Fail("--maxdist must be a non-negative multiple of 0.5");
+                    &options.mining.per_tree.twice_maxdist)) {
+    return UsageError("--maxdist must be a non-negative multiple of 0.5");
   }
-  options.per_tree.min_occur =
-      std::atoll(Flag(args, "minoccur", "1").c_str());
-  options.min_support = std::atoi(Flag(args, "minsup", "2").c_str());
-  options.ignore_distance = HasFlag(args, "ignore-distance");
-  const auto pairs = MineMultipleTrees(trees, options);
+  int64_t min_occur = 1;
+  int64_t min_support = 2;
+  int64_t threads = 1;
+  if (!ParseInt64Flag(args, "minoccur", 1, &min_occur)) {
+    return UsageError("--minoccur must be an integer");
+  }
+  if (!ParseInt64Flag(args, "minsup", 2, &min_support)) {
+    return UsageError("--minsup must be an integer");
+  }
+  if (!ParseInt64Flag(args, "threads", 1, &threads) || threads < 0) {
+    return UsageError("--threads must be a non-negative integer");
+  }
+  options.mining.per_tree.min_occur = min_occur;
+  options.mining.min_support = static_cast<int>(min_support);
+  options.mining.ignore_distance = HasFlag(args, "ignore-distance");
+  options.num_threads = static_cast<int32_t>(threads);
+  MiningContext context;
+  std::string error;
+  if (!GovernanceFromFlags(args, &context, &error)) return UsageError(error);
+
+  Result<MultiTreeMiningRun> run =
+      MineCooccurrencePatterns(trees, options, context);
+  if (!run.ok()) return Fail(run.status());
   if (HasFlag(args, "csv")) {
-    std::fputs(FrequentPairsToCsv(labels, pairs).c_str(), stdout);
-    return 0;
+    std::fputs(FrequentPairsToCsv(labels, run->pairs).c_str(), stdout);
+  } else {
+    for (const FrequentCousinPair& pair : run->pairs) {
+      std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
+    }
   }
-  for (const FrequentCousinPair& pair : pairs) {
-    std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
-  }
+  if (run->truncated) return Truncated(run->termination);
   return 0;
 }
 
-int RunStats(const std::vector<Tree>& trees) {
+int RunStats(const std::vector<Tree>& trees,
+             const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   std::printf("tree,nodes,taxa,internal,resolution,colless,sackin\n");
   for (size_t i = 0; i < trees.size(); ++i) {
     Result<TreeStats> stats = ComputeTreeStats(trees[i]);
@@ -158,6 +304,8 @@ int RunStats(const std::vector<Tree>& trees) {
 
 int RunSupertree(const std::vector<Tree>& trees,
                  const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {}, {"greedy"});
+  if (!flags.ok()) return UsageError(flags.message());
   SupertreeOptions options;
   options.strict = !HasFlag(args, "greedy");
   Result<Tree> super = BuildSupertree(trees, options);
@@ -176,14 +324,24 @@ bool ParseAbstraction(const std::string& name,
 
 int RunNearestNeighbors(const std::vector<Tree>& trees,
                         const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {"abstraction", "query", "k"}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   CousinItemAbstraction abstraction =
       CousinItemAbstraction::kDistanceAndOccurrence;
   if (!ParseAbstraction(Flag(args, "abstraction", "dist_occur"),
                         &abstraction)) {
-    return Fail("unknown --abstraction");
+    return UsageError("unknown --abstraction");
   }
-  const int query = std::atoi(Flag(args, "query", "0").c_str());
-  const int k = std::atoi(Flag(args, "k", "5").c_str());
+  int64_t query64 = 0;
+  int64_t k64 = 5;
+  if (!ParseInt64Flag(args, "query", 0, &query64)) {
+    return UsageError("--query must be an integer");
+  }
+  if (!ParseInt64Flag(args, "k", 5, &k64)) {
+    return UsageError("--k must be an integer");
+  }
+  const int query = static_cast<int>(query64);
+  const int k = static_cast<int>(k64);
   if (query < 0 || query >= static_cast<int>(trees.size())) {
     return Fail("--query out of range");
   }
@@ -211,9 +369,12 @@ bool ParseMethod(const std::string& name, ConsensusMethod* method) {
 
 int RunConsensus(const std::vector<Tree>& trees,
                  const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {"method"}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   ConsensusMethod method = ConsensusMethod::kMajority;
   if (!ParseMethod(Flag(args, "method", "majority"), &method)) {
-    return Fail("unknown --method (majority|strict|semi|Adams|Nelson|greedy)");
+    return UsageError(
+        "unknown --method (majority|strict|semi|Adams|Nelson|greedy)");
   }
   Result<Tree> consensus = ConsensusTree(trees, method);
   if (!consensus.ok()) return Fail(consensus.status().ToString());
@@ -234,11 +395,13 @@ bool ParseAbstraction(const std::string& name,
 
 int RunDistance(const std::vector<Tree>& trees,
                 const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {"abstraction"}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   CousinItemAbstraction abstraction =
       CousinItemAbstraction::kDistanceAndOccurrence;
   if (!ParseAbstraction(Flag(args, "abstraction", "dist_occur"),
                         &abstraction)) {
-    return Fail("unknown --abstraction (labels|dist|occur|dist_occur)");
+    return UsageError("unknown --abstraction (labels|dist|occur|dist_occur)");
   }
   MiningOptions mining;
   std::vector<std::vector<CousinPairItem>> profiles;
@@ -258,11 +421,17 @@ int RunDistance(const std::vector<Tree>& trees,
 
 int RunCluster(const std::vector<Tree>& trees,
                const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {"k", "method"}, {});
+  if (!flags.ok()) return UsageError(flags.message());
   ClusteringOptions options;
-  options.k = std::atoi(Flag(args, "k", "2").c_str());
+  int64_t k = 2;
+  if (!ParseInt64Flag(args, "k", 2, &k)) {
+    return UsageError("--k must be an integer");
+  }
+  options.k = static_cast<int32_t>(k);
   ConsensusMethod method = ConsensusMethod::kMajority;
   if (!ParseMethod(Flag(args, "method", "majority"), &method)) {
-    return Fail("unknown --method");
+    return UsageError("unknown --method");
   }
   Result<TreeClustering> clustering = ClusterTrees(trees, options);
   if (!clustering.ok()) return Fail(clustering.status().ToString());
@@ -286,6 +455,8 @@ int RunCluster(const std::vector<Tree>& trees,
 
 int RunConvert(const std::vector<Tree>& trees,
                const std::vector<std::string>& args) {
+  Status flags = CheckFlags(args, {}, {"nexus"});
+  if (!flags.ok()) return UsageError(flags.message());
   if (HasFlag(args, "nexus")) {
     std::vector<NamedTree> named;
     named.reserve(trees.size());
@@ -303,18 +474,11 @@ int RunConvert(const std::vector<Tree>& trees,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const std::string command = argv[1];
-  const std::string path = argv[2];
-  std::vector<std::string> args;
-  for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
-
+int Run(const std::string& command, const std::string& path,
+        const std::vector<std::string>& args) {
   auto labels = std::make_shared<LabelTable>();
   Result<std::vector<Tree>> forest = LoadForest(path, labels);
-  if (!forest.ok()) return Fail(forest.status().ToString());
+  if (!forest.ok()) return Fail(forest.status());
   if (forest->empty()) return Fail("no trees in '" + path + "'");
 
   if (command == "mine") return RunMine(*forest, *labels, args);
@@ -322,11 +486,13 @@ int main(int argc, char** argv) {
   if (command == "consensus") return RunConsensus(*forest, args);
   if (command == "distance") return RunDistance(*forest, args);
   if (command == "cluster") return RunCluster(*forest, args);
-  if (command == "stats") return RunStats(*forest);
+  if (command == "stats") return RunStats(*forest, args);
   if (command == "supertree") return RunSupertree(*forest, args);
   if (command == "nn") return RunNearestNeighbors(*forest, args);
   if (command == "convert") return RunConvert(*forest, args);
   if (command == "show") {
+    Status flags = CheckFlags(args, {}, {"branch-lengths"});
+    if (!flags.ok()) return UsageError(flags.message());
     RenderOptions options;
     options.show_branch_lengths = HasFlag(args, "branch-lengths");
     for (size_t i = 0; i < forest->size(); ++i) {
@@ -336,4 +502,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> args;
+  for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+  // A stray exception must become a diagnosed nonzero exit, never an
+  // unhandled terminate with half-written stdout.
+  try {
+    return Run(command, path, args);
+  } catch (const std::exception& e) {
+    return Fail(std::string("unhandled exception: ") + e.what());
+  } catch (...) {
+    return Fail("unhandled non-standard exception");
+  }
 }

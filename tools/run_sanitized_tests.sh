@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Sanitizer lanes for the tier-1 suite: builds the whole tree (tests
+# included) under ASan and UBSan via the COUSINS_SANITIZE knob and runs
+# ctest in each lane. Mirrors the CMakePresets.json asan/ubsan presets
+# for environments whose cmake predates presets.
+#
+#   tools/run_sanitized_tests.sh            # both lanes
+#   tools/run_sanitized_tests.sh address    # one lane
+#   tools/run_sanitized_tests.sh undefined
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+lanes=("${@:-address undefined}")
+[[ $# -eq 0 ]] && lanes=(address undefined)
+
+for lane in "${lanes[@]}"; do
+  build="$repo/build-${lane/,/-}san"
+  echo "=== sanitizer lane: $lane ($build) ==="
+  cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCOUSINS_SANITIZE="$lane"
+  cmake --build "$build" -j "$jobs"
+  # halt_on_error makes UBSan findings fail the test instead of just
+  # printing; leak detection is ASan's default on Linux but stated here
+  # so the lane's contract is explicit.
+  ASAN_OPTIONS="detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir "$build" -j "$jobs" --output-on-failure
+done
+echo "=== all sanitizer lanes passed ==="
