@@ -5,6 +5,7 @@
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 
 namespace cousins::bench {
 
@@ -94,9 +95,19 @@ bool BenchReport::Finish(bool ok) {
     std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
     return ok;
   }
-  std::fputs(writer.str().c_str(), out);
-  std::fputc('\n', out);
-  std::fclose(out);
+  // Every stdio call is checked: a truncated report must not survive
+  // looking complete, so on any failure the file is removed outright.
+  // The benchmark's own pass/fail (`ok`) is unaffected — the report is
+  // a side channel.
+  bool write_ok = std::fputs(writer.str().c_str(), out) >= 0 &&
+                  std::fputc('\n', out) != EOF;
+  write_ok = std::fclose(out) == 0 && write_ok;
+  if (!write_ok || fault::Fired("bench.report.write")) {
+    std::fprintf(stderr, "bench_report: write failed for %s; removing\n",
+                 path.c_str());
+    std::remove(path.c_str());
+    return ok;
+  }
   std::fprintf(stderr, "# bench report: %s\n", path.c_str());
   return ok;
 }

@@ -57,6 +57,19 @@ Result<std::vector<std::string>> SplitCsvLine(std::string_view line) {
   return fields;
 }
 
+/// Strict integer parse of a whole field.
+template <typename Int>
+Result<Int> ParseCountField(const std::string& field, const char* what) {
+  Int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    return Status::InvalidArgument("bad " + std::string(what) + " '" +
+                                   field + "'");
+  }
+  return value;
+}
+
 /// Parses "0", "1.5", or "@" into a twice-distance.
 Result<int> ParseDistanceField(const std::string& field) {
   if (field == "@") return kAnyDistance;
@@ -114,13 +127,9 @@ Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
           " in '" + std::string(line) + "'");
     }
     COUSINS_ASSIGN_OR_RETURN(int twice_d, ParseDistanceField(fields[2]));
-    int64_t occ = 0;
-    auto [ptr, ec] = std::from_chars(
-        fields[3].data(), fields[3].data() + fields[3].size(), occ);
-    if (ec != std::errc() || ptr != fields[3].data() + fields[3].size()) {
-      return Status::InvalidArgument("bad occurrence count '" + fields[3] +
-                                     "'");
-    }
+    COUSINS_ASSIGN_OR_RETURN(
+        int64_t occ,
+        ParseCountField<int64_t>(fields[3], "occurrence count"));
     LabelId l1 = labels->Intern(fields[0]);
     LabelId l2 = labels->Intern(fields[1]);
     if (l1 > l2) std::swap(l1, l2);
@@ -147,6 +156,39 @@ std::string FrequentPairsToCsv(
     out += '\n';
   }
   return out;
+}
+
+Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
+    const std::string& csv, LabelTable* labels) {
+  COUSINS_CHECK(labels != nullptr);
+  std::vector<FrequentCousinPair> pairs;
+  bool header_seen = false;
+  for (std::string_view raw : Split(csv, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (!header_seen) {
+      header_seen = true;  // first data-looking line is the header
+      continue;
+    }
+    COUSINS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             SplitCsvLine(line));
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(
+          "expected 5 fields, got " + std::to_string(fields.size()) +
+          " in '" + std::string(line) + "'");
+    }
+    COUSINS_ASSIGN_OR_RETURN(int twice_d, ParseDistanceField(fields[2]));
+    COUSINS_ASSIGN_OR_RETURN(int support,
+                             ParseCountField<int>(fields[3], "support"));
+    COUSINS_ASSIGN_OR_RETURN(
+        int64_t occ,
+        ParseCountField<int64_t>(fields[4], "occurrence count"));
+    LabelId l1 = labels->Intern(fields[0]);
+    LabelId l2 = labels->Intern(fields[1]);
+    if (l1 > l2) std::swap(l1, l2);
+    pairs.push_back(FrequentCousinPair{l1, l2, twice_d, support, occ});
+  }
+  return pairs;
 }
 
 }  // namespace cousins

@@ -27,6 +27,13 @@ Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
 std::string FrequentPairsToCsv(const LabelTable& labels,
                                const std::vector<FrequentCousinPair>& pairs);
 
+/// Parses FrequentPairsToCsv output; labels are interned into `labels`.
+/// Fails on malformed rows (field count, distance, counts); '#' comment
+/// lines and the header are skipped. Round-trips checkpointed CLI
+/// output so downstream tools can diff resumed vs. uninterrupted runs.
+Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
+    const std::string& csv, LabelTable* labels);
+
 }  // namespace cousins
 
 #endif  // COUSINS_CORE_ITEM_IO_H_

@@ -6,6 +6,7 @@
 
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
+#include "util/fault_injection.h"
 #include "util/overflow.h"
 #include "util/strings.h"
 
@@ -15,6 +16,9 @@ MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
     : options_(options) {}
 
 void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
+  // Tally-map growth is the miner's allocation hot spot across a big
+  // forest; a fault here exercises mid-ingestion failure containment.
+  COUSINS_FAULT_POINT("multiminer.fold");
   if (!options_.ignore_distance) {
     for (const CousinPairItem& item : items) {
       Tally& t = tallies_[{item.label1, item.label2, item.twice_distance}];
@@ -94,6 +98,7 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
   COUSINS_CHECK(options_ == other.options_ &&
                 "MergeFrom requires identical mining options");
   COUSINS_METRIC_SCOPED_TIMER("mine.multi.merge");
+  COUSINS_FAULT_POINT("multiminer.merge");
   COUSINS_METRIC_COUNTER_ADD("mine.multi.merges", 1);
   COUSINS_METRIC_COUNTER_ADD("mine.multi.merged_tallies",
                              other.tallies_.size());
@@ -125,6 +130,22 @@ std::vector<FrequentCousinPair> MultiTreeMiner::FrequentPairs() const {
   std::sort(out.begin(), out.end(),
             [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
               if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.label1, a.label2, a.twice_distance) <
+                     std::tie(b.label1, b.label2, b.twice_distance);
+            });
+  return out;
+}
+
+std::vector<FrequentCousinPair> MultiTreeMiner::AllTallies() const {
+  std::vector<FrequentCousinPair> out;
+  out.reserve(tallies_.size());
+  for (const auto& [key, tally] : tallies_) {
+    out.push_back(FrequentCousinPair{key.label1, key.label2,
+                                     key.twice_distance, tally.support,
+                                     tally.total_occurrences});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
               return std::tie(a.label1, a.label2, a.twice_distance) <
                      std::tie(b.label1, b.label2, b.twice_distance);
             });

@@ -85,11 +85,41 @@ class MultiTreeMiner {
   /// support, then canonical label/distance order.
   std::vector<FrequentCousinPair> FrequentPairs() const;
 
+  /// Every tally regardless of min_support, sorted by canonical key
+  /// order — the deterministic basis of checkpoint serialization.
+  std::vector<FrequentCousinPair> AllTallies() const;
+
+  const MultiTreeMiningOptions& options() const { return options_; }
+
+  /// Serializes the full miner state (options, label names, tallies,
+  /// tree cursor) into the checkpoint format documented in
+  /// core/checkpoint.h. Defined in checkpoint.cc.
+  std::string SerializeCheckpoint() const;
+
+  /// Validates and decodes a checkpoint: magic, version, length, CRC
+  /// and options-equality each fail with a distinct error; nothing is
+  /// partially loaded on failure. Tally labels are re-interned into
+  /// `labels` (the forest's shared table) by name, so the restored
+  /// miner accepts AddTree for trees over that table and resuming at
+  /// tree_count() reproduces an uninterrupted run's tallies exactly.
+  /// Defined in checkpoint.cc.
+  static Result<MultiTreeMiner> RestoreFromCheckpoint(
+      const std::string& bytes,
+      const MultiTreeMiningOptions& expected_options,
+      std::shared_ptr<LabelTable> labels);
+
  private:
   struct Tally {
     int support = 0;
     int64_t total_occurrences = 0;
   };
+
+  /// RestoreFromCheckpoint's decoding body; the public wrapper adds the
+  /// checkpoint.restores / checkpoint.restore_failures telemetry.
+  static Result<MultiTreeMiner> RestoreFromCheckpointImpl(
+      const std::string& bytes,
+      const MultiTreeMiningOptions& expected_options,
+      std::shared_ptr<LabelTable> labels);
 
   /// Folds one fully-mined tree's items into the tallies (saturating).
   void FoldItems(const std::vector<CousinPairItem>& items);

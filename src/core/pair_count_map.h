@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "tree/label_table.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/overflow.h"
 
 namespace cousins {
@@ -107,6 +108,9 @@ class PairCountMap {
   /// the capacity only when live (nonzero) entries alone would keep the
   /// table more than half full after the purge.
   void Grow() {
+    // The accumulator's only allocation point after construction —
+    // where a real std::bad_alloc would surface on adversarial corpora.
+    COUSINS_FAULT_POINT("paircount.grow");
     COUSINS_METRICS_ONLY(++stats_.rehashes;)
     size_t live = 0;
     for (size_t i = 0; i < keys_.size(); ++i) {

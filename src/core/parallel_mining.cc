@@ -1,8 +1,8 @@
 #include "core/parallel_mining.h"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -10,34 +10,62 @@
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 
 namespace cousins {
 namespace {
 
-std::atomic<void (*)(int32_t)> g_fault_hook{nullptr};
+/// Outcome of mining one batch [begin, end) of the forest. `partial`
+/// holds the batch's own tallies only (never the accumulated prefix).
+struct BatchOutcome {
+  MultiTreeMiner partial;
+  /// OK on a clean batch, otherwise the governance trip that ended it.
+  Status termination;
+  /// True when `partial` covers an exact prefix of the batch even under
+  /// a trip (single-worker ingestion is in order; strided multi-worker
+  /// shards are not).
+  bool prefix_exact = false;
+};
 
-}  // namespace
+/// Mines trees[begin, end) with containment. Hard failures (worker
+/// exceptions, label-table mismatches, merge faults) come back as an
+/// error Result with governance.worker_faults recorded; governance
+/// trips come back OK with `termination` set.
+Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
+                                       size_t begin, size_t end,
+                                       const MultiTreeMiningOptions& options,
+                                       const MiningContext& context,
+                                       int32_t num_threads) {
+  const int32_t workers = std::min<int32_t>(
+      std::max<int32_t>(1, num_threads), static_cast<int32_t>(end - begin));
 
-namespace internal {
-
-void SetParallelMiningFaultHook(void (*hook)(int32_t worker)) {
-  g_fault_hook.store(hook, std::memory_order_relaxed);
-}
-
-}  // namespace internal
-
-Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
-    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
-    const MiningContext& context, int32_t num_threads) {
-  if (num_threads <= 0) {
-    num_threads = static_cast<int32_t>(
-        std::max(1u, std::thread::hardware_concurrency()));
-  }
-  num_threads =
-      std::min<int32_t>(num_threads, static_cast<int32_t>(trees.size()));
-  if (num_threads <= 1) {
-    return MineMultipleTreesGoverned(trees, options, context);
+  if (workers <= 1) {
+    BatchOutcome outcome{MultiTreeMiner(options), Status::OK(), true};
+    Status st;
+    // Contain anything the miner throws — injected faults included — so
+    // single-threaded governed runs degrade to a Status exactly like
+    // multi-worker ones.
+    try {
+      fault::InjectionPoint("parallel.worker");
+      for (size_t i = begin; i < end; ++i) {
+        st = outcome.partial.AddTreeGoverned(trees[i], context);
+        if (!st.ok()) break;
+      }
+    } catch (const std::exception& e) {
+      st = Status::Internal("worker 0 faulted: " + std::string(e.what()));
+    } catch (...) {
+      st = Status::Internal("worker 0 faulted with a non-standard exception");
+    }
+    if (!st.ok()) {
+      if (!IsGovernanceTrip(st)) {
+        obs::RecordWorkerFault();
+        obs::RecordGovernanceEvent(st);
+        return st;
+      }
+      outcome.termination = std::move(st);
+    }
+    return outcome;
   }
 
   // Workers check a child of the caller's token: cancelling the child
@@ -47,25 +75,24 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
       CancellationToken::ChildOf(context.cancellation());
   const MiningContext worker_context = context.WithCancellation(stop);
 
-  std::vector<MultiTreeMiner> shards(num_threads, MultiTreeMiner(options));
-  std::vector<Status> shard_status(num_threads);
-  std::vector<double> shard_seconds(num_threads, 0.0);
+  std::vector<MultiTreeMiner> shards(workers, MultiTreeMiner(options));
+  std::vector<Status> shard_status(workers);
+  std::vector<double> shard_seconds(workers, 0.0);
   {
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    for (int32_t w = 0; w < num_threads; ++w) {
-      workers.emplace_back([&, w]() {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int32_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w]() {
         Stopwatch shard_sw;
         Status st;
         // Contain anything a worker throws: a raised exception must
         // become a Status after join, never std::terminate.
         try {
-          if (auto* hook = g_fault_hook.load(std::memory_order_relaxed)) {
-            hook(w);
-          }
+          fault::InjectionPoint("parallel.worker");
           // Strided sharding keeps per-thread work balanced even when
           // tree sizes trend over the corpus.
-          for (size_t i = w; i < trees.size(); i += num_threads) {
+          for (size_t i = begin + w; i < end;
+               i += static_cast<size_t>(workers)) {
             st = shards[w].AddTreeGoverned(trees[i], worker_context);
             if (!st.ok()) break;
           }
@@ -83,7 +110,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
     }
     // Join everyone before inspecting any status: no worker may outlive
     // this frame, even when a sibling failed.
-    for (std::thread& worker : workers) worker.join();
+    for (std::thread& thread : threads) thread.join();
   }
 
 #if COUSINS_METRICS_ENABLED
@@ -91,8 +118,8 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
   // be near-equal when the strided split is working.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("mine.parallel.runs").Add(1);
-  registry.GetCounter("mine.parallel.threads").Add(num_threads);
-  for (int32_t w = 0; w < num_threads; ++w) {
+  registry.GetCounter("mine.parallel.threads").Add(workers);
+  for (int32_t w = 0; w < workers; ++w) {
     const int64_t wall_us = static_cast<int64_t>(shard_seconds[w] * 1e6);
     const std::string prefix =
         "mine.parallel.shard." + std::to_string(w);
@@ -134,22 +161,152 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
   }
 
   Stopwatch merge_sw;
-  MultiTreeMiner merged(options);
+  BatchOutcome outcome{MultiTreeMiner(options), std::move(termination),
+                       false};
   // Every shard's tallies cover only fully-mined trees, so merging all
   // shards — including tripped ones — yields a well-formed tally.
-  for (const MultiTreeMiner& shard : shards) merged.MergeFrom(shard);
+  // MergeFrom can throw at the multiminer.merge fault site; contain it
+  // like a worker fault.
+  try {
+    for (const MultiTreeMiner& shard : shards) {
+      outcome.partial.MergeFrom(shard);
+    }
+  } catch (const std::exception& e) {
+    obs::RecordWorkerFault();
+    Status st = Status::Internal("shard merge faulted: " +
+                                 std::string(e.what()));
+    obs::RecordGovernanceEvent(st);
+    return st;
+  }
   COUSINS_METRIC_COUNTER_ADD("mine.parallel.merge_us",
                              merge_sw.ElapsedSeconds() * 1e6);
+  return outcome;
+}
+
+}  // namespace
+
+Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const MiningCheckpointConfig& config,
+    int32_t num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int32_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  const size_t n = trees.size();
+  const bool checkpointing = !config.path.empty();
+  if (config.resume && !checkpointing) {
+    return Status::InvalidArgument(
+        "resume requested without a checkpoint path");
+  }
+
+  MultiTreeMiner acc(options);
+  size_t cursor = 0;
+  if (config.resume) {
+    Result<std::string> bytes = ReadFileToString(config.path);
+    if (!bytes.ok()) {
+      // A missing checkpoint is a fresh start (first run of a job that
+      // will checkpoint); any other read failure is surfaced — a run
+      // must never silently re-mine past an unreadable checkpoint.
+      if (bytes.status().code() != StatusCode::kNotFound) {
+        return bytes.status();
+      }
+    } else {
+      std::shared_ptr<LabelTable> labels =
+          trees.empty() ? std::make_shared<LabelTable>()
+                        : trees[0].labels_ptr();
+      COUSINS_ASSIGN_OR_RETURN(
+          acc, MultiTreeMiner::RestoreFromCheckpoint(*bytes, options,
+                                                     std::move(labels)));
+      cursor = static_cast<size_t>(acc.tree_count());
+      COUSINS_METRIC_COUNTER_ADD("checkpoint.resumes", 1);
+      if (cursor > n) {
+        return Status::InvalidArgument(
+            "checkpoint cursor " + std::to_string(cursor) +
+            " is beyond the forest size " + std::to_string(n) +
+            " — wrong checkpoint for this input?");
+      }
+    }
+  }
+
+  // Without a checkpoint path the whole forest is one batch, which
+  // preserves the classic single-pass parallel driver exactly.
+  const size_t every =
+      checkpointing
+          ? static_cast<size_t>(std::max<int32_t>(1, config.every_trees))
+          : std::max<size_t>(1, n);
+
+  const auto write_checkpoint = [&]() -> Status {
+    return WriteFileAtomic(config.path, acc.SerializeCheckpoint());
+  };
+  const auto merge_into_acc = [&](const MultiTreeMiner& partial) -> Status {
+    try {
+      acc.MergeFrom(partial);
+    } catch (const std::exception& e) {
+      obs::RecordWorkerFault();
+      Status st = Status::Internal("batch merge faulted: " +
+                                   std::string(e.what()));
+      obs::RecordGovernanceEvent(st);
+      return st;
+    }
+    return Status::OK();
+  };
+
+  Status trip;
+  bool checkpoint_current = false;
+  while (cursor < n) {
+    const size_t batch_end = std::min(n, cursor + every);
+    BatchOutcome batch{MultiTreeMiner(options), Status::OK(), false};
+    COUSINS_ASSIGN_OR_RETURN(
+        batch, MineBatchGoverned(trees, cursor, batch_end, options, context,
+                                 num_threads));
+    if (!batch.termination.ok()) {
+      trip = std::move(batch.termination);
+      if (batch.prefix_exact) {
+        // In-order ingestion: the partial batch is an exact prefix, so
+        // the checkpoint may include it — resume loses nothing.
+        COUSINS_RETURN_IF_ERROR(merge_into_acc(batch.partial));
+        if (checkpointing) COUSINS_RETURN_IF_ERROR(write_checkpoint());
+      } else {
+        // Strided shards stopped mid-batch: their union is a
+        // well-formed tally but not a forest prefix. Checkpoint the
+        // boundary state first so resume re-mines the batch whole, then
+        // merge for the returned (truncated) partial result.
+        if (checkpointing) COUSINS_RETURN_IF_ERROR(write_checkpoint());
+        COUSINS_RETURN_IF_ERROR(merge_into_acc(batch.partial));
+      }
+      break;
+    }
+    COUSINS_RETURN_IF_ERROR(merge_into_acc(batch.partial));
+    cursor = batch_end;
+    if (checkpointing) {
+      COUSINS_RETURN_IF_ERROR(write_checkpoint());
+      checkpoint_current = cursor == n;
+    }
+  }
+  // A resume that landed at (or a forest already of) size n runs zero
+  // batches; still leave a completion checkpoint behind.
+  if (checkpointing && trip.ok() && !checkpoint_current) {
+    COUSINS_RETURN_IF_ERROR(write_checkpoint());
+  }
 
   MultiTreeMiningRun run;
-  run.trees_processed = merged.tree_count();
-  run.pairs = merged.FrequentPairs();
-  if (!termination.ok()) {
-    obs::RecordGovernanceEvent(termination);
+  run.trees_processed = acc.tree_count();
+  run.pairs = acc.FrequentPairs();
+  if (!trip.ok()) {
+    obs::RecordGovernanceEvent(trip);
     run.truncated = true;
-    run.termination = std::move(termination);
+    run.termination = std::move(trip);
   }
   return run;
+}
+
+Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, int32_t num_threads) {
+  return MineMultipleTreesCheckpointed(trees, options, context,
+                                       MiningCheckpointConfig{},
+                                       num_threads);
 }
 
 std::vector<FrequentCousinPair> MineMultipleTreesParallel(

@@ -2,6 +2,11 @@
 // each running the single-tree miner with thread-local tallies, then
 // merges. Results are bit-identical to the sequential MineMultipleTrees
 // (merging is commutative integer addition).
+//
+// The checkpointed driver additionally snapshots the accumulated tally
+// at batch boundaries (core/checkpoint.h), so a crashed or governance-
+// tripped run can resume at the last boundary and still produce
+// bit-identical final output.
 
 #ifndef COUSINS_CORE_PARALLEL_MINING_H_
 #define COUSINS_CORE_PARALLEL_MINING_H_
@@ -9,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/multi_tree_mining.h"
 #include "util/governance.h"
 #include "util/result.h"
@@ -22,9 +28,11 @@ std::vector<FrequentCousinPair> MineMultipleTreesParallel(
     const MultiTreeMiningOptions& options = {}, int32_t num_threads = 0);
 
 /// Governed parallel mining with fault containment:
-///  - Worker exceptions are caught per shard and surfaced as a single
-///    kInternal error Status after every worker has joined — never
-///    std::terminate.
+///  - Worker exceptions (including injected faults at the
+///    `parallel.worker` site) are caught per shard and surfaced as a
+///    single kInternal error Status after every worker has joined —
+///    never std::terminate. This holds for one worker too: unlike the
+///    sequential miner, a single-threaded governed run is contained.
 ///  - Workers run under a child of the caller's cancellation token; a
 ///    fault or budget trip in one shard cancels the child so sibling
 ///    shards stop early, without cancelling the caller's own token.
@@ -39,16 +47,21 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, int32_t num_threads = 0);
 
-namespace internal {
-
-/// Test-only fault injection: when set, the hook runs at the start of
-/// each worker shard (argument = worker index). Exceptions it throws
-/// exercise the containment path. Pass nullptr to restore normal
-/// operation. Not for production use; not synchronized with running
-/// miners.
-void SetParallelMiningFaultHook(void (*hook)(int32_t worker));
-
-}  // namespace internal
+/// MineMultipleTreesParallelGoverned with crash-safe checkpointing.
+/// With `config.path` set, the forest is mined in batches of
+/// `config.every_trees` trees and the accumulated tally is atomically
+/// checkpointed at every batch boundary, on governance trips, and on
+/// completion (cursor == forest size). With `config.resume` set, an
+/// existing checkpoint is validated (version / CRC / options equality —
+/// each failure is a distinct error, never a silent re-mine) and
+/// ingestion restarts at its cursor; a missing file is a fresh start.
+/// Resuming produces tallies bit-identical to an uninterrupted run.
+/// Checkpoint write failures are hard errors; the previous checkpoint
+/// file, if any, is always left intact.
+Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const MiningCheckpointConfig& config,
+    int32_t num_threads = 0);
 
 }  // namespace cousins
 

@@ -5,11 +5,26 @@
 #include <cstring>
 
 #include "obs/json_writer.h"
+#include "util/fault_injection.h"
 
 namespace cousins::obs {
 namespace {
 
 std::atomic<bool> g_runtime_enabled{true};
+
+/// Mirrors every fault-injection trigger into faults.* counters. The
+/// fault registry (util layer) cannot depend on obs, so the bridge is
+/// installed from here at static-init time — any binary that links obs
+/// (all of them) gets fault telemetry for free. Triggers are rare by
+/// construction, so the per-trigger name lookup is fine.
+[[maybe_unused]] const bool g_fault_observer_installed = [] {
+  fault::FaultRegistry::SetTriggerObserver([](const char* site) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("faults.triggered").Add(1);
+    registry.GetCounter(std::string("faults.") + site).Add(1);
+  });
+  return true;
+}();
 
 /// COUSINS_METRICS=0|off|false disables recording at process start.
 bool InitialEnabledFromEnv() {

@@ -9,6 +9,11 @@ Result<MultiTreeMiningRun> MineCooccurrencePatterns(
     const std::vector<Tree>& trees, const CooccurrenceOptions& options,
     const MiningContext& context) {
   COUSINS_METRIC_SCOPED_TIMER("phylo.cooccurrence");
+  if (!options.checkpoint.path.empty()) {
+    return MineMultipleTreesCheckpointed(trees, options.mining, context,
+                                         options.checkpoint,
+                                         options.num_threads);
+  }
   if (options.num_threads == 1) {
     return MineMultipleTreesGoverned(trees, options.mining, context);
   }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/multi_tree_mining.h"
 #include "util/governance.h"
 #include "util/result.h"
@@ -26,6 +27,10 @@ struct CooccurrenceOptions {
   /// 1 = sequential; 0 or >1 = sharded parallel miner with that many
   /// workers (0 = hardware concurrency).
   int32_t num_threads = 1;
+  /// Crash-safe checkpoint/resume (core/checkpoint.h); an empty path
+  /// disables it. With a path set, the checkpointed driver is used for
+  /// any thread count, so interrupted runs resume bit-identically.
+  MiningCheckpointConfig checkpoint;
 };
 
 /// Mines co-occurring cousin-pair patterns across `trees` under

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "tree/builder.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace cousins {
@@ -282,6 +283,10 @@ class NewickParser {
 Result<Tree> ParseNewickImpl(std::string_view text,
                              std::shared_ptr<LabelTable> labels,
                              SourceContext ctx, const ParseLimits& limits) {
+  // Stands in for an allocation failure while building the node arrays.
+  if (COUSINS_FAULT_FIRED("newick.alloc")) {
+    return Status::Internal("injected fault at newick.alloc");
+  }
   NewickParser parser(text, std::move(labels), ctx, limits);
   Result<Tree> result = parser.Parse();
   COUSINS_METRIC_COUNTER_ADD("newick.bytes", text.size());

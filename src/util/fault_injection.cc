@@ -1,0 +1,188 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace cousins::fault {
+namespace {
+
+std::atomic<FaultRegistry::TriggerObserver> g_observer{nullptr};
+
+/// splitmix64: the registry's only randomness source, so a seeded
+/// random sweep replays identically run to run.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Strict uint64 parse of a whole field.
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (~uint64_t{0} - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();
+    if (const char* spec = std::getenv("COUSINS_FAULT_SPEC");
+        spec != nullptr && spec[0] != '\0') {
+      Status st = r->ArmFromSpec(spec);
+      if (!st.ok()) {
+        // A fault drill with a typo'd spec must not silently run
+        // fault-free — that would report "all failure paths pass"
+        // without testing any.
+        std::fprintf(stderr, "fatal: COUSINS_FAULT_SPEC: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() = default;
+
+void FaultRegistry::Arm(std::string_view site, uint64_t fail_at_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  s.fail_at = fail_at_hit;
+  s.hits = 0;
+}
+
+void FaultRegistry::ArmRandom(uint64_t seed, uint64_t denominator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  random_armed_ = denominator > 0;
+  random_seed_ = seed;
+  random_denominator_ = denominator;
+}
+
+Status FaultRegistry::ArmFromSpec(std::string_view spec) {
+  for (std::string_view term : Split(spec, ',')) {
+    term = StripWhitespace(term);
+    if (term.empty()) continue;
+    std::vector<std::string_view> parts = Split(term, ':');
+    if (parts.size() == 3 && parts[0] == "random") {
+      uint64_t seed = 0;
+      uint64_t denom = 0;
+      if (!ParseU64(parts[1], &seed) || !ParseU64(parts[2], &denom) ||
+          denom == 0) {
+        return Status::InvalidArgument(
+            "bad random fault spec '" + std::string(term) +
+            "' (want random:<seed>:<denominator>)");
+      }
+      ArmRandom(seed, denom);
+      continue;
+    }
+    // "random" is a reserved mode keyword, never a site name: a
+    // malformed random term must not silently arm a site called
+    // "random" that nothing will ever hit.
+    if (parts.size() != 2 || parts[0] == "random") {
+      return Status::InvalidArgument(
+          "bad fault spec term '" + std::string(term) +
+          "' (want <site>:<k> or random:<seed>:<denominator>)");
+    }
+    uint64_t fail_at = 0;
+    if (!ParseU64(parts[1], &fail_at) || fail_at == 0) {
+      return Status::InvalidArgument("bad fault hit count in '" +
+                                     std::string(term) + "' (want k >= 1)");
+    }
+    Arm(parts[0], fail_at);
+  }
+  return Status::OK();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) site.fail_at = 0;
+  random_armed_ = false;
+}
+
+std::vector<std::string> FaultRegistry::SiteNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+uint64_t FaultRegistry::Hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultRegistry::Triggers(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+uint64_t FaultRegistry::TotalTriggers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, site] : sites_) total += site.triggers;
+  return total;
+}
+
+void FaultRegistry::SetTriggerObserver(TriggerObserver observer) {
+  g_observer.store(observer, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::Hit(const char* site) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[site];
+    ++s.hits;
+    if (s.fail_at != 0 && s.hits == s.fail_at) {
+      s.fail_at = 0;  // exactly one fault per arming
+      fire = true;
+    } else if (random_armed_) {
+      fire = Mix64(random_seed_ ^ HashName(site) ^ s.hits) %
+                 random_denominator_ ==
+             0;
+    }
+    if (fire) ++s.triggers;
+  }
+  if (fire) {
+    if (TriggerObserver observer =
+            g_observer.load(std::memory_order_relaxed)) {
+      observer(site);
+    }
+  }
+  return fire;
+}
+
+void InjectionPoint(const char* site) {
+  if (FaultRegistry::Global().Hit(site)) {
+    throw FaultInjectedError(std::string("injected fault at ") + site);
+  }
+}
+
+bool Fired(const char* site) { return FaultRegistry::Global().Hit(site); }
+
+}  // namespace cousins::fault

@@ -1,0 +1,150 @@
+// Deterministic fault injection: a process-wide registry of named fault
+// sites planted in failure-prone paths (allocation-heavy mining loops,
+// parallel worker bodies, every file write), so tests can prove each
+// failure path by firing exactly one fault at an exact point — "fail
+// site S on its k-th hit" — and sweeping over every registered site.
+//
+// Two kinds of site, chosen by how hot the surrounding code is:
+//
+//  * COUSINS_FAULT_POINT(name) / COUSINS_FAULT_FIRED(name) — macros for
+//    hot mining paths (accumulator growth, tally merges, parse loops).
+//    Compiled out entirely unless the build sets COUSINS_FAULTS_ENABLED
+//    (CMake option COUSINS_FAULTS, default OFF), so the default build's
+//    miner hot path is bit-identical to an uninstrumented one.
+//  * fault::InjectionPoint(name) / fault::Fired(name) — plain functions
+//    for cold control paths (worker spawn, checkpoint/file I/O). Always
+//    compiled, so fault-path tests (worker containment, crash/resume)
+//    run in every build; a disarmed hit costs one mutexed map lookup on
+//    a path that executes at most once per worker/batch/file.
+//
+// Arming is runtime-only: programmatically via FaultRegistry::Arm /
+// ArmRandom, or through the COUSINS_FAULT_SPEC environment variable
+// ("site:k[,site:k...]" or "random:<seed>:<denom>"), which is how CLI
+// subprocess tests kill a run mid-flight. A triggered site throws
+// FaultInjectedError (InjectionPoint / COUSINS_FAULT_POINT) or reports
+// true (Fired / COUSINS_FAULT_FIRED) so stream-style call sites can take
+// their natural error path instead of unwinding.
+//
+// Layering: like util/governance.h, this header has no obs/ dependency;
+// obs/metrics.cc installs a trigger observer at static-init time that
+// mirrors every trigger into the faults.* counters.
+
+#ifndef COUSINS_UTIL_FAULT_INJECTION_H_
+#define COUSINS_UTIL_FAULT_INJECTION_H_
+
+#ifndef COUSINS_FAULTS_ENABLED
+#define COUSINS_FAULTS_ENABLED 0
+#endif
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cousins::fault {
+
+/// Thrown by a triggered throwing-style fault site. Derives from
+/// std::runtime_error so existing containment (worker try/catch, the
+/// CLI's top-level handler) converts it into a hard Status.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide fault-site registry. Sites self-register on first hit,
+/// so after one disarmed "discovery" run of a pipeline, SiteNames()
+/// enumerates every site on that pipeline's path — the basis of the
+/// full-enumeration fault sweep. All methods are thread-safe.
+class FaultRegistry {
+ public:
+  /// The singleton. On first access, arms from the COUSINS_FAULT_SPEC
+  /// environment variable if it is set (malformed specs abort: a typo'd
+  /// fault drill must not silently run fault-free).
+  static FaultRegistry& Global();
+
+  /// Arms `site` to fire on its `fail_at_hit`-th hit from now (1-based),
+  /// exactly once. Re-arming a site replaces its previous arming and
+  /// restarts its hit count.
+  void Arm(std::string_view site, uint64_t fail_at_hit);
+
+  /// Seeded-random mode for sweeps: every hit at every site fires with
+  /// probability 1/denominator, deterministically derived from `seed`,
+  /// the site name, and the per-site hit index (same seed => same
+  /// trigger sequence, run to run and site to site).
+  void ArmRandom(uint64_t seed, uint64_t denominator);
+
+  /// Parses and applies an arming spec: comma-separated "site:k" terms
+  /// (k >= 1), or "random:<seed>:<denom>". Existing armings stay in
+  /// place. Returns InvalidArgument on malformed input.
+  Status ArmFromSpec(std::string_view spec);
+
+  /// Disarms every site and the random mode; hit/trigger counters and
+  /// site registrations are preserved.
+  void DisarmAll();
+
+  /// Names of all sites hit at least once since process start, sorted.
+  std::vector<std::string> SiteNames() const;
+
+  uint64_t Hits(std::string_view site) const;
+  uint64_t Triggers(std::string_view site) const;
+  /// Total triggers across all sites since process start.
+  uint64_t TotalTriggers() const;
+
+  /// Called once per trigger with the site name; installed by
+  /// obs/metrics.cc to mirror triggers into faults.* counters.
+  using TriggerObserver = void (*)(const char* site);
+  static void SetTriggerObserver(TriggerObserver observer);
+
+  /// Records a hit at `site` (registering it if new) and returns true
+  /// when the site's arming says this hit must fail. Call sites use
+  /// InjectionPoint/Fired below rather than calling this directly.
+  bool Hit(const char* site);
+
+ private:
+  FaultRegistry();
+
+  struct Site {
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+    /// Hit index (1-based, counted from arming) that fires; 0 = not
+    /// armed. Cleared after firing: "exactly one fault".
+    uint64_t fail_at = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  bool random_armed_ = false;
+  uint64_t random_seed_ = 0;
+  uint64_t random_denominator_ = 0;
+};
+
+/// Throwing fault site for cold paths; active in every build. Throws
+/// FaultInjectedError when the site's arming fires on this hit.
+void InjectionPoint(const char* site);
+
+/// Query-style fault site for cold paths; active in every build.
+/// Returns true when the arming fires, so the caller can simulate its
+/// natural failure (short write, failed open, ...) instead of throwing.
+bool Fired(const char* site);
+
+}  // namespace cousins::fault
+
+// Hot-path fault sites: compiled to nothing unless the build opts in
+// with COUSINS_FAULTS_ENABLED=1 (CMake -DCOUSINS_FAULTS=ON), keeping
+// the default miner hot path free of any fault-injection overhead.
+#if COUSINS_FAULTS_ENABLED
+#define COUSINS_FAULT_POINT(site) ::cousins::fault::InjectionPoint(site)
+#define COUSINS_FAULT_FIRED(site) ::cousins::fault::Fired(site)
+#else
+#define COUSINS_FAULT_POINT(site) \
+  do {                            \
+  } while (0)
+#define COUSINS_FAULT_FIRED(site) false
+#endif
+
+#endif  // COUSINS_UTIL_FAULT_INJECTION_H_

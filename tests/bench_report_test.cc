@@ -1,0 +1,79 @@
+// BenchReport's write path: a successful Finish lands the JSON report
+// on disk; a failed write removes the torn file and prints a warning
+// without changing the bench verdict (the report is a side channel).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.h"
+#include "util/fault_injection.h"
+
+namespace cousins {
+namespace {
+
+std::string ReportPath(const std::string& dir, const std::string& name) {
+  return dir + "/BENCH_" + name + ".json";
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class BenchReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(setenv("COUSINS_BENCH_REPORT_DIR",
+                     ::testing::TempDir().c_str(), 1),
+              0);
+    fault::FaultRegistry::Global().DisarmAll();
+  }
+  void TearDown() override {
+    unsetenv("COUSINS_BENCH_REPORT_DIR");
+    fault::FaultRegistry::Global().DisarmAll();
+  }
+};
+
+TEST_F(BenchReportTest, FinishWritesTheReportAndReturnsTheVerdict) {
+  const std::string path =
+      ReportPath(::testing::TempDir(), "report_roundtrip");
+  std::remove(path.c_str());
+  bench::BenchReport report("report_roundtrip");
+  report.AddParam("threads", int64_t{3});
+  report.AddResult("pairs", int64_t{42});
+  report.SetN(42);
+  EXPECT_TRUE(report.Finish(true));
+  const std::string body = ReadAll(path);
+  EXPECT_NE(body.find("\"report_roundtrip\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"pairs\""), std::string::npos);
+  std::remove(path.c_str());
+
+  bench::BenchReport failing("report_bad_shape");
+  EXPECT_FALSE(failing.Finish(false));
+  std::remove(ReportPath(::testing::TempDir(), "report_bad_shape").c_str());
+}
+
+TEST_F(BenchReportTest, FailedWriteRemovesTheTornReportButKeepsVerdict) {
+  const std::string path =
+      ReportPath(::testing::TempDir(), "report_torn");
+  std::remove(path.c_str());
+  fault::FaultRegistry::Global().Arm("bench.report.write", 1);
+  bench::BenchReport report("report_torn");
+  report.SetN(1);
+  // The verdict is the shape check, not the telemetry write.
+  EXPECT_TRUE(report.Finish(true));
+  fault::FaultRegistry::Global().DisarmAll();
+  // No half-written JSON left behind to poison mechanical diffing.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "torn report survived at " << path;
+}
+
+}  // namespace
+}  // namespace cousins

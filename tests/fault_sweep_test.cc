@@ -1,0 +1,176 @@
+// Full-enumeration fault sweep over the checkpointed mining pipeline:
+// parse a Newick forest, mine it with the checkpointed parallel driver,
+// render CSV. A disarmed discovery run registers every fault site on
+// the pipeline's path; the sweep then fires each site in turn (k-th hit
+// for k in {1, 2}) and asserts the three-way contract:
+//
+//   * the process never crashes, aborts or corrupts state — every
+//     injected fault surfaces as a clean outcome (complete run,
+//     governance trip, or hard error Status);
+//   * a complete run under arming is bit-identical to the baseline
+//     (a fault whose k-th hit never arrives must perturb nothing);
+//   * after the fault, a disarmed resume from whatever checkpoint
+//     survived reproduces the baseline output exactly.
+//
+// Under the default build this sweeps the always-compiled cold sites
+// (worker bodies, checkpoint I/O); under -DCOUSINS_FAULTS=ON the
+// hot-path sites (paircount.grow, multiminer.fold/merge, newick.alloc)
+// join the enumeration automatically via site self-registration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/item_io.h"
+#include "core/parallel_mining.h"
+#include "gen/yule_generator.h"
+#include "tree/newick.h"
+#include "util/fault_injection.h"
+#include "util/governance.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+using fault::FaultRegistry;
+
+/// The pipeline's source input: a ';'-separated Newick forest, so every
+/// run exercises parsing (and its fault sites) from scratch.
+std::string ForestText() {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(4242);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 10;
+  gen.max_nodes = 25;
+  gen.alphabet_size = 40;
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text += ToNewick(GenerateYulePhylogeny(gen, rng, labels));
+    text += ";\n";
+  }
+  return text;
+}
+
+struct PipelineOutcome {
+  Status status;
+  bool truncated = false;
+  std::string csv;
+};
+
+/// Parse -> checkpointed mine (3 workers, checkpoint every 16 trees) ->
+/// CSV. Any injected fault must surface through `status`/`truncated`,
+/// never as a crash.
+PipelineOutcome RunPipeline(const std::string& text,
+                            const std::string& checkpoint_path,
+                            bool resume) {
+  PipelineOutcome outcome;
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> forest = ParseNewickForest(text, labels);
+  if (!forest.ok()) {
+    outcome.status = forest.status();
+    return outcome;
+  }
+  MultiTreeMiningOptions options;
+  options.min_support = 2;
+  MiningCheckpointConfig config;
+  config.path = checkpoint_path;
+  config.every_trees = 16;
+  config.resume = resume;
+  Result<MultiTreeMiningRun> run = MineMultipleTreesCheckpointed(
+      *forest, options, MiningContext::Unlimited(), config, 3);
+  if (!run.ok()) {
+    outcome.status = run.status();
+    return outcome;
+  }
+  outcome.truncated = run->truncated;
+  if (run->truncated) outcome.status = run->termination;
+  outcome.csv = FrequentPairsToCsv(*labels, run->pairs);
+  return outcome;
+}
+
+TEST(FaultSweepTest, EveryRegisteredSiteFailsCleanAndResumesToBaseline) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.DisarmAll();
+  const std::string text = ForestText();
+  const std::string path = ::testing::TempDir() + "cousins_sweep_ckpt";
+
+  // Discovery: one disarmed run registers every site on the pipeline's
+  // path and pins the baseline output.
+  std::remove(path.c_str());
+  const PipelineOutcome baseline = RunPipeline(text, path, false);
+  ASSERT_TRUE(baseline.status.ok()) << baseline.status.ToString();
+  ASSERT_FALSE(baseline.truncated);
+  ASSERT_FALSE(baseline.csv.empty());
+
+  const std::vector<std::string> sites = registry.SiteNames();
+  // The always-compiled cold sites must be in the enumeration in every
+  // build; a rename here that breaks discovery fails loudly.
+  for (const char* expected :
+       {"parallel.worker", "checkpoint.open", "checkpoint.write",
+        "checkpoint.flush", "checkpoint.rename"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << "site " << expected << " was not discovered";
+  }
+#if COUSINS_FAULTS_ENABLED
+  for (const char* expected : {"paircount.grow", "multiminer.fold",
+                               "multiminer.merge", "newick.alloc"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
+        << "hot-path site " << expected << " was not discovered";
+  }
+#endif
+
+  for (const std::string& site : sites) {
+    for (uint64_t k : {uint64_t{1}, uint64_t{2}}) {
+      SCOPED_TRACE(site + " k=" + std::to_string(k));
+      std::remove(path.c_str());
+      registry.DisarmAll();
+      registry.Arm(site, k);
+      const PipelineOutcome faulted = RunPipeline(text, path, false);
+      registry.DisarmAll();
+
+      if (faulted.status.ok() && !faulted.truncated) {
+        // The armed hit never arrived (or the site tolerates it): the
+        // output must be untouched.
+        EXPECT_EQ(faulted.csv, baseline.csv);
+      } else if (faulted.truncated) {
+        EXPECT_TRUE(IsGovernanceTrip(faulted.status))
+            << faulted.status.ToString();
+      } else {
+        // Hard failure: contained into a diagnosed Internal error.
+        EXPECT_EQ(faulted.status.code(), StatusCode::kInternal)
+            << faulted.status.ToString();
+        EXPECT_FALSE(faulted.status.message().empty());
+      }
+
+      // Crash-recovery drill: resume disarmed from whatever checkpoint
+      // survived the fault (possibly none) and land on the baseline.
+      const PipelineOutcome recovered = RunPipeline(text, path, true);
+      ASSERT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+      EXPECT_FALSE(recovered.truncated);
+      EXPECT_EQ(recovered.csv, baseline.csv);
+    }
+  }
+
+  // checkpoint.read only sits on the resume path, so it joins the
+  // registry during the recovery drills above; sweep it explicitly.
+  ASSERT_TRUE(
+      WriteFileAtomic(path, "placeholder — resume reads then fails").ok());
+  registry.Arm("checkpoint.read", 1);
+  const PipelineOutcome unreadable = RunPipeline(text, path, true);
+  registry.DisarmAll();
+  ASSERT_FALSE(unreadable.status.ok());
+  EXPECT_EQ(unreadable.status.code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+  const PipelineOutcome fresh = RunPipeline(text, path, true);
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status.ToString();
+  EXPECT_EQ(fresh.csv, baseline.csv);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cousins

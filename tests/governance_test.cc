@@ -11,7 +11,6 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <stdexcept>
 #include <vector>
 
 #include "core/parallel_mining.h"
@@ -21,6 +20,7 @@
 #include "phylo/cooccurrence.h"
 #include "phylo/kernel_trees.h"
 #include "phylo/similarity.h"
+#include "util/fault_injection.h"
 #include "util/governance.h"
 #include "util/rng.h"
 
@@ -257,23 +257,20 @@ TEST_P(GovernedParallel, UntrippedGovernedRunMatchesSequential) {
 TEST_P(GovernedParallel, WorkerExceptionBecomesStatusNotTerminate) {
   auto labels = std::make_shared<LabelTable>();
   std::vector<Tree> trees = RandomForest(24, 9, labels);
-  internal::SetParallelMiningFaultHook([](int32_t worker) {
-    if (worker == 0) throw std::runtime_error("injected fault");
-  });
+  // Every worker body passes the parallel.worker site — including the
+  // single-threaded inline path, which is contained exactly like a
+  // spawned worker.
+  fault::FaultRegistry::Global().Arm("parallel.worker", 1);
   Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
       trees, MultiTreeMiningOptions(), MiningContext::Unlimited(),
       GetParam());
-  internal::SetParallelMiningFaultHook(nullptr);
-  if (GetParam() <= 1) {
-    // Sequential fallback never runs the hook (no workers).
-    ASSERT_TRUE(run.ok());
-    return;
-  }
+  fault::FaultRegistry::Global().DisarmAll();
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInternal);
-  EXPECT_NE(run.status().message().find("worker 0"), std::string::npos);
-  EXPECT_NE(run.status().message().find("injected fault"),
-            std::string::npos);
+  EXPECT_NE(run.status().message().find("faulted"), std::string::npos);
+  EXPECT_NE(
+      run.status().message().find("injected fault at parallel.worker"),
+      std::string::npos);
 }
 
 TEST_P(GovernedParallel, DeadlineTripIsACleanTruncatedRun) {
@@ -314,17 +311,18 @@ TEST(GovernanceMetricsTest, TripsAndFaultsShowUpInTheSnapshot) {
   // Deadline trip.
   (void)MineMultipleTreesGoverned(trees, MultiTreeMiningOptions(),
                                   ExpiredDeadline());
-  // Worker fault.
-  internal::SetParallelMiningFaultHook(
-      [](int32_t) { throw std::runtime_error("boom"); });
+  // Worker fault, via the always-compiled parallel.worker site.
+  fault::FaultRegistry::Global().Arm("parallel.worker", 1);
   (void)MineMultipleTreesParallelGoverned(
       trees, MultiTreeMiningOptions(), MiningContext::Unlimited(), 2);
-  internal::SetParallelMiningFaultHook(nullptr);
+  fault::FaultRegistry::Global().DisarmAll();
 
   EXPECT_GE(
       registry.GetCounter("governance.deadline_exceeded").value(), 1);
   EXPECT_GE(registry.GetCounter("governance.worker_faults").value(), 1);
   EXPECT_GE(registry.GetCounter("governance.hard_failures").value(), 1);
+  EXPECT_GE(registry.GetCounter("faults.triggered").value(), 1);
+  EXPECT_GE(registry.GetCounter("faults.parallel.worker").value(), 1);
   registry.Reset();
 }
 

@@ -102,5 +102,69 @@ TEST(ItemIoTest, FrequentPairsCsv) {
             "Gnetum,Welwitschia,0,4,4\n");
 }
 
+TEST(ItemIoTest, FrequentPairsCsvRoundTrips) {
+  LabelTable labels;
+  const std::vector<FrequentCousinPair> pairs = {
+      {labels.Intern("Gnetum"), labels.Intern("Welwitschia"), 0, 4, 9},
+      {labels.Intern("Ginkgoales"), labels.Intern("Ephedra"), 3, 2, 2},
+      {labels.Intern("Homo sapiens"), labels.Intern("with,comma"),
+       kAnyDistance, 7, 11},
+  };
+  const std::string csv = FrequentPairsToCsv(labels, pairs);
+  LabelTable fresh;
+  Result<std::vector<FrequentCousinPair>> back =
+      FrequentPairsFromCsv(csv, &fresh);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    std::string a = fresh.Name((*back)[i].label1);
+    std::string b = fresh.Name((*back)[i].label2);
+    if (a > b) std::swap(a, b);
+    std::string ea = labels.Name(pairs[i].label1);
+    std::string eb = labels.Name(pairs[i].label2);
+    if (ea > eb) std::swap(ea, eb);
+    EXPECT_EQ(a, ea);
+    EXPECT_EQ(b, eb);
+    EXPECT_EQ((*back)[i].twice_distance, pairs[i].twice_distance);
+    EXPECT_EQ((*back)[i].support, pairs[i].support);
+    EXPECT_EQ((*back)[i].total_occurrences, pairs[i].total_occurrences);
+  }
+  // Re-rendering from the round-tripped pairs reproduces the CSV.
+  EXPECT_EQ(FrequentPairsToCsv(fresh, *back), csv);
+}
+
+TEST(ItemIoTest, FrequentPairsFromCsvRejectsMalformedRows) {
+  LabelTable labels;
+  auto bad = [&](const std::string& row, const char* diagnostic) {
+    Result<std::vector<FrequentCousinPair>> r =
+        FrequentPairsFromCsv("h\n" + row + "\n", &labels);
+    EXPECT_FALSE(r.ok()) << row;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << row;
+      EXPECT_NE(r.status().ToString().find(diagnostic), std::string::npos)
+          << row << " -> " << r.status().ToString();
+    }
+  };
+  bad("a,b,1.5,2", "expected 5 fields, got 4");              // missing occ
+  bad("a,b,1.5,2,3,4", "expected 5 fields, got 6");          // extra field
+  bad("a,b,x,2,2", "distance");                              // bad distance
+  bad("a,b,0.3,2,2", "distance");                            // not 0.5-grain
+  bad("a,b,1.5,many,2", "bad support 'many'");               // bad support
+  bad("a,b,1.5,2,lots", "bad occurrence count 'lots'");      // bad occ
+  bad("a,b,1.5,2,", "bad occurrence count ''");              // empty occ
+  bad("\"a,b,1.5,2,2", "quote");                             // torn quote
+
+  // Header/comments/blank lines are still skipped; a valid row parses.
+  Result<std::vector<FrequentCousinPair>> ok = FrequentPairsFromCsv(
+      "# comment\nlabel1,label2,distance,support,occurrences\n\n"
+      "a,b,1.5,2,5\n",
+      &labels);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].twice_distance, 3);
+  EXPECT_EQ((*ok)[0].support, 2);
+  EXPECT_EQ((*ok)[0].total_occurrences, 5);
+}
+
 }  // namespace
 }  // namespace cousins

@@ -15,9 +15,12 @@ struct RunResult {
   std::string output;
 };
 
-RunResult RunCli(const std::string& args) {
+/// `env_prefix` is prepended to the shell command ("VAR=value "), which
+/// is how the fault-drill tests arm COUSINS_FAULT_SPEC inside the child
+/// CLI process only.
+RunResult RunCli(const std::string& args, const std::string& env_prefix = "") {
   const std::string command =
-      std::string(CLI_BINARY) + " " + args + " 2>&1";
+      env_prefix + std::string(CLI_BINARY) + " " + args + " 2>&1";
   RunResult result;
   std::FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -155,6 +158,127 @@ TEST(CliOutputTest, ExpiredDeadlineTruncatesWithExitThree) {
                        " --deadline-ms=0");
   EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.output.find("DeadlineExceeded"), std::string::npos)
+      << r.output;
+}
+
+/// A 12-tree forest with enough shared structure that --minsup=2 has
+/// stable frequent pairs; written to TempDir for the checkpoint drills.
+std::string WriteCheckpointForest() {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cli_ckpt_forest.nwk";
+  std::ofstream out(path);
+  for (int i = 0; i < 4; ++i) {
+    out << "((a,b),(c,(d,e)));\n";
+    out << "((a,c),(b,(d,e)));\n";
+    out << "((a,(b,c)),(d,e));\n";
+  }
+  return path;
+}
+
+TEST(CliOutputTest, CheckpointResumeAfterMidRunKillMatchesUninterrupted) {
+  const std::string forest = WriteCheckpointForest();
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_ckpt_state";
+  std::remove(ckpt.c_str());
+  const std::string flags = " --csv --minsup=2 --threads=2";
+
+  RunResult baseline = RunCli("frequent " + forest + flags);
+  ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+
+  // Kill the run mid-forest: with 2 workers per 3-tree batch, the 5th
+  // worker-body hit lands in the third batch, after two checkpoints.
+  RunResult killed =
+      RunCli("frequent " + forest + flags + " --checkpoint=" + ckpt +
+                 " --checkpoint-every=3",
+             "COUSINS_FAULT_SPEC=parallel.worker:5 ");
+  EXPECT_EQ(killed.exit_code, 1) << killed.output;
+  EXPECT_NE(killed.output.find("injected fault at parallel.worker"),
+            std::string::npos)
+      << killed.output;
+
+  // Disarmed resume from the surviving checkpoint completes and is
+  // byte-identical to the uninterrupted run.
+  RunResult resumed = RunCli("frequent " + forest + flags +
+                             " --checkpoint=" + ckpt +
+                             " --checkpoint-every=3 --resume");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, baseline.output);
+
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+  std::remove(forest.c_str());
+}
+
+TEST(CliOutputTest, CheckpointResumeAfterGovernanceTripMatchesBaseline) {
+  const std::string forest = WriteCheckpointForest();
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_ckpt_trip_state";
+  std::remove(ckpt.c_str());
+  const std::string flags = " --csv --minsup=2 --threads=1";
+
+  RunResult baseline = RunCli("frequent " + forest + flags);
+  ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+
+  // A budget trip (works in every build, no fault sites needed) leaves
+  // a partial checkpoint behind...
+  RunResult tripped = RunCli("frequent " + forest + flags +
+                             " --max-items=5 --checkpoint=" + ckpt +
+                             " --checkpoint-every=3");
+  EXPECT_EQ(tripped.exit_code, 3) << tripped.output;
+  EXPECT_NE(tripped.output.find("ResourceExhausted"), std::string::npos)
+      << tripped.output;
+
+  // ...and a resume with a roomier budget finishes the forest exactly.
+  RunResult resumed = RunCli("frequent " + forest + flags +
+                             " --checkpoint=" + ckpt +
+                             " --checkpoint-every=3 --resume");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, baseline.output);
+
+  std::remove(ckpt.c_str());
+  std::remove(forest.c_str());
+}
+
+TEST(CliOutputTest, ResumeWithoutCheckpointPathIsAUsageError) {
+  RunResult r =
+      RunCli("frequent " + Data("seed_plants.nwk") + " --resume");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--resume requires --checkpoint"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, NonPositiveCheckpointEveryIsAUsageError) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") +
+                       " --checkpoint=/tmp/x --checkpoint-every=0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--checkpoint-every"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, StdoutWriteFailureIsReportedWithExitOne) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2",
+                       "COUSINS_FAULT_SPEC=cli.stdout:1 ");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("stdout write failed"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliOutputTest, InputReadFailureIsReportedWithExitOne) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2",
+                       "COUSINS_FAULT_SPEC=cli.read:1 ");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("read error"), std::string::npos) << r.output;
+}
+
+TEST(CliOutputTest, MalformedFaultSpecEnvAbortsLoudly) {
+  // A typo'd drill must never silently run faultless: the process
+  // aborts (non-zero, not a normal exit path) and names the bad spec.
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk"),
+                       "COUSINS_FAULT_SPEC=parallel.worker:oops ");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.exit_code, 3);
+  EXPECT_NE(r.output.find("COUSINS_FAULT_SPEC"), std::string::npos)
       << r.output;
 }
 

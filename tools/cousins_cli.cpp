@@ -6,6 +6,8 @@
 //                                 [--minsup=S] [--ignore-distance] [--csv]
 //                                 [--threads=T]
 //                                 [--deadline-ms=T] [--max-items=N]
+//                                 [--checkpoint=PATH] [--checkpoint-every=K]
+//                                 [--resume]
 //   cousins_cli consensus <file>
 //       [--method=majority|strict|semi|Adams|Nelson|greedy]
 //   cousins_cli distance  <file> [--abstraction=labels|dist|occur|dist_occur]
@@ -47,6 +49,7 @@
 #include "tree/newick.h"
 #include "tree/nexus.h"
 #include "tree/render.h"
+#include "util/fault_injection.h"
 #include "util/governance.h"
 #include "util/strings.h"
 
@@ -194,6 +197,9 @@ Result<std::vector<Tree>> LoadForest(const std::string& path,
   if (!in) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad() || fault::Fired("cli.read")) {
+    return Status::Internal("read error on '" + path + "'");
+  }
   const std::string text = buffer.str();
 
   std::string lower = text.substr(0, 4096);
@@ -245,8 +251,9 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
                 const std::vector<std::string>& args) {
   Status flags = CheckFlags(args,
                             {"maxdist", "minoccur", "minsup", "threads",
-                             "deadline-ms", "max-items"},
-                            {"ignore-distance", "csv"});
+                             "deadline-ms", "max-items", "checkpoint",
+                             "checkpoint-every"},
+                            {"ignore-distance", "csv", "resume"});
   if (!flags.ok()) return UsageError(flags.message());
   CooccurrenceOptions options;
   if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
@@ -269,6 +276,17 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   options.mining.min_support = static_cast<int>(min_support);
   options.mining.ignore_distance = HasFlag(args, "ignore-distance");
   options.num_threads = static_cast<int32_t>(threads);
+  options.checkpoint.path = Flag(args, "checkpoint", "");
+  int64_t checkpoint_every = 256;
+  if (!ParseInt64Flag(args, "checkpoint-every", 256, &checkpoint_every) ||
+      checkpoint_every < 1) {
+    return UsageError("--checkpoint-every must be a positive integer");
+  }
+  options.checkpoint.every_trees = static_cast<int32_t>(checkpoint_every);
+  options.checkpoint.resume = HasFlag(args, "resume");
+  if (options.checkpoint.resume && options.checkpoint.path.empty()) {
+    return UsageError("--resume requires --checkpoint=PATH");
+  }
   MiningContext context;
   std::string error;
   if (!GovernanceFromFlags(args, &context, &error)) return UsageError(error);
@@ -504,6 +522,18 @@ int Run(const std::string& command, const std::string& path,
   return Usage();
 }
 
+/// Exit-code 0 must mean "the output actually reached stdout": a full
+/// disk or closed pipe silently truncates buffered stdio otherwise.
+int FinalizeStdout(int rc) {
+  const bool stdout_bad = std::fflush(stdout) != 0 ||
+                          std::ferror(stdout) != 0 ||
+                          fault::Fired("cli.stdout");
+  if (stdout_bad && rc == 0) {
+    return Fail("stdout write failed; output may be incomplete");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -515,7 +545,7 @@ int main(int argc, char** argv) {
   // A stray exception must become a diagnosed nonzero exit, never an
   // unhandled terminate with half-written stdout.
   try {
-    return Run(command, path, args);
+    return FinalizeStdout(Run(command, path, args));
   } catch (const std::exception& e) {
     return Fail(std::string("unhandled exception: ") + e.what());
   } catch (...) {
