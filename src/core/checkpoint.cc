@@ -1,0 +1,388 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/multi_tree_mining.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace cousins {
+namespace internal {
+
+uint32_t Crc32(const char* data, size_t size) {
+  static const std::vector<uint32_t>& table = *[] {
+    auto* t = new std::vector<uint32_t>(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace internal
+
+namespace {
+
+// --- little-endian primitives ----------------------------------------
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+/// Bounds-checked sequential reader over the checkpoint body. Any
+/// overrun is kCorruption "truncated checkpoint body" — unreachable
+/// when the length and CRC checks passed, but kept as defense in depth
+/// against codec bugs.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t offset() const { return pos_; }
+
+  Status ReadU32(uint32_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    COUSINS_RETURN_IF_ERROR(ReadU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    COUSINS_RETURN_IF_ERROR(ReadU64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(1));
+    *v = static_cast<unsigned char>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadBytes(size_t n, std::string* out) {
+    COUSINS_RETURN_IF_ERROR(Need(n));
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("truncated checkpoint body");
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string MultiTreeMiner::SerializeCheckpoint() const {
+  std::string out;
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutU32(kCheckpointVersion, &out);
+  PutU64(0, &out);  // total size backpatched below
+
+  PutI32(options_.per_tree.twice_maxdist, &out);
+  PutI64(options_.per_tree.min_occur, &out);
+  PutI32(options_.min_support, &out);
+  out.push_back(options_.ignore_distance ? 1 : 0);
+  PutI64(tree_count_, &out);
+
+  // Full label table in id order (position == LabelId); restore remaps
+  // tally ids by name, so checkpoints survive forests whose reload
+  // interns labels in a different order.
+  const uint64_t label_count = labels_ == nullptr ? 0 : labels_->size();
+  PutU64(label_count, &out);
+  for (uint64_t id = 0; id < label_count; ++id) {
+    const std::string& name = labels_->Name(static_cast<LabelId>(id));
+    PutU32(static_cast<uint32_t>(name.size()), &out);
+    out.append(name);
+  }
+
+  const std::vector<FrequentCousinPair> tallies = AllTallies();
+  PutU64(tallies.size(), &out);
+  for (const FrequentCousinPair& t : tallies) {
+    PutI32(t.label1, &out);
+    PutI32(t.label2, &out);
+    PutI32(t.twice_distance, &out);
+    PutI32(t.support, &out);
+    PutI64(t.total_occurrences, &out);
+  }
+
+  const uint64_t total = out.size() + 4;  // + trailing CRC
+  for (int i = 0; i < 8; ++i) {
+    out[12 + i] = static_cast<char>((total >> (8 * i)) & 0xFFu);
+  }
+  PutU32(internal::Crc32(out.data(), out.size()), &out);
+  return out;
+}
+
+Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpoint(
+    const std::string& bytes, const MultiTreeMiningOptions& expected_options,
+    std::shared_ptr<LabelTable> labels) {
+  Result<MultiTreeMiner> result =
+      RestoreFromCheckpointImpl(bytes, expected_options, std::move(labels));
+  if (result.ok()) {
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.restores", 1);
+  } else {
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.restore_failures", 1);
+  }
+  return result;
+}
+
+Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
+    const std::string& bytes, const MultiTreeMiningOptions& expected_options,
+    std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(labels != nullptr &&
+                "RestoreFromCheckpoint needs the forest's label table");
+  // Fixed-size prefix: magic + version + total size.
+  constexpr size_t kPrefix = sizeof(kCheckpointMagic) + 4 + 8;
+  if (bytes.size() < kPrefix + 4) {
+    return Status::Corruption("checkpoint too short (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  Reader header(bytes.data() + sizeof(kCheckpointMagic),
+                bytes.size() - sizeof(kCheckpointMagic));
+  uint32_t version = 0;
+  uint64_t total = 0;
+  COUSINS_RETURN_IF_ERROR(header.ReadU32(&version));
+  COUSINS_RETURN_IF_ERROR(header.ReadU64(&total));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        ")");
+  }
+  if (total != bytes.size()) {
+    return Status::Corruption(
+        "truncated checkpoint: header declares " + std::to_string(total) +
+        " bytes, file has " + std::to_string(bytes.size()));
+  }
+  const size_t body_end = bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  {
+    Reader trailer(bytes.data() + body_end, 4);
+    COUSINS_RETURN_IF_ERROR(trailer.ReadU32(&stored_crc));
+  }
+  if (internal::Crc32(bytes.data(), body_end) != stored_crc) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  Reader body(bytes.data() + kPrefix, body_end - kPrefix);
+  MultiTreeMiningOptions stored;
+  int64_t min_occur = 0;
+  int32_t twice_maxdist = 0;
+  int32_t min_support = 0;
+  uint8_t ignore_distance = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadI32(&twice_maxdist));
+  COUSINS_RETURN_IF_ERROR(body.ReadI64(&min_occur));
+  COUSINS_RETURN_IF_ERROR(body.ReadI32(&min_support));
+  COUSINS_RETURN_IF_ERROR(body.ReadU8(&ignore_distance));
+  stored.per_tree.twice_maxdist = twice_maxdist;
+  stored.per_tree.min_occur = min_occur;
+  stored.min_support = min_support;
+  stored.ignore_distance = ignore_distance != 0;
+  if (!(stored == expected_options)) {
+    return Status::FailedPrecondition(
+        "checkpoint mining options mismatch (checkpoint: maxdist=" +
+        std::to_string(twice_maxdist) +
+        "/2, minoccur=" + std::to_string(min_occur) +
+        ", minsup=" + std::to_string(min_support) + ", ignore_distance=" +
+        (stored.ignore_distance ? "true" : "false") +
+        ") — resume with the options of the interrupted run");
+  }
+
+  int64_t cursor = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadI64(&cursor));
+  if (cursor < 0) {
+    return Status::Corruption("negative checkpoint tree cursor");
+  }
+
+  uint64_t label_count = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadU64(&label_count));
+  // Old (checkpoint-time) id -> id in the caller's table.
+  std::vector<LabelId> remap;
+  remap.reserve(label_count);
+  for (uint64_t i = 0; i < label_count; ++i) {
+    uint32_t len = 0;
+    COUSINS_RETURN_IF_ERROR(body.ReadU32(&len));
+    std::string name;
+    COUSINS_RETURN_IF_ERROR(body.ReadBytes(len, &name));
+    remap.push_back(labels->Intern(name));
+  }
+
+  MultiTreeMiner miner(expected_options);
+  miner.labels_ = std::move(labels);
+  miner.tree_count_ = static_cast<int32_t>(cursor);
+
+  uint64_t tally_count = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadU64(&tally_count));
+  miner.tallies_.reserve(tally_count);
+  for (uint64_t i = 0; i < tally_count; ++i) {
+    int32_t l1 = 0;
+    int32_t l2 = 0;
+    int32_t twice_distance = 0;
+    int32_t support = 0;
+    int64_t occurrences = 0;
+    COUSINS_RETURN_IF_ERROR(body.ReadI32(&l1));
+    COUSINS_RETURN_IF_ERROR(body.ReadI32(&l2));
+    COUSINS_RETURN_IF_ERROR(body.ReadI32(&twice_distance));
+    COUSINS_RETURN_IF_ERROR(body.ReadI32(&support));
+    COUSINS_RETURN_IF_ERROR(body.ReadI64(&occurrences));
+    if (l1 < 0 || l2 < 0 ||
+        static_cast<uint64_t>(l1) >= label_count ||
+        static_cast<uint64_t>(l2) >= label_count) {
+      return Status::Corruption("checkpoint tally label id out of range");
+    }
+    if (support < 0 || occurrences < 0) {
+      return Status::Corruption("negative checkpoint tally count");
+    }
+    LabelId a = remap[static_cast<size_t>(l1)];
+    LabelId b = remap[static_cast<size_t>(l2)];
+    if (a > b) std::swap(a, b);  // re-canonicalize under the new ids
+    Tally& t = miner.tallies_[{a, b, twice_distance}];
+    t.support = support;
+    t.total_occurrences = occurrences;
+  }
+  if (body.offset() != body_end - kPrefix) {
+    return Status::Corruption("trailing bytes after checkpoint payload");
+  }
+  return miner;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr || fault::Fired("checkpoint.open")) {
+    if (out != nullptr) {
+      std::fclose(out);
+      std::remove(tmp.c_str());
+    }
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return Status::Internal("cannot open checkpoint temp file '" + tmp +
+                            "'");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), out);
+  if (written != bytes.size() || fault::Fired("checkpoint.write")) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return Status::Internal("short write on checkpoint temp file '" + tmp +
+                            "'");
+  }
+  // Flush + fsync before rename: rename(2) is atomic, but only durably
+  // replaces the old checkpoint once the new bytes are on disk.
+  if (std::fflush(out) != 0 || fsync(fileno(out)) != 0 ||
+      fault::Fired("checkpoint.flush")) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return Status::Internal("cannot flush checkpoint temp file '" + tmp +
+                            "'");
+  }
+  if (std::fclose(out) != 0) {
+    std::remove(tmp.c_str());
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return Status::Internal("cannot close checkpoint temp file '" + tmp +
+                            "'");
+  }
+  // The fault site must fire before rename(2) runs: once the rename
+  // syscall executes the destination is already replaced, and a
+  // "failed" write that still clobbered the previous checkpoint would
+  // break the crash-safety contract the sweep test drills.
+  if (fault::Fired("checkpoint.rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return Status::Internal("cannot rename checkpoint into place at '" +
+                            path + "'");
+  }
+  COUSINS_METRIC_COUNTER_ADD("checkpoint.writes", 1);
+  COUSINS_METRIC_COUNTER_ADD("checkpoint.bytes_written", bytes.size());
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    bytes.append(buffer, n);
+  }
+  const bool read_error = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_error || fault::Fired("checkpoint.read")) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return bytes;
+}
+
+}  // namespace cousins

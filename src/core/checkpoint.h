@@ -1,0 +1,89 @@
+// Crash-safe checkpointing of long forest-mining runs.
+//
+// A checkpoint is a versioned, CRC32-checksummed binary snapshot of a
+// MultiTreeMiner: its mining options, the label names its tallies refer
+// to, every (pair, distance) -> (support, occurrences) tally, and the
+// trees-processed cursor. Restoring a checkpoint and resuming ingestion
+// at the cursor yields tallies bit-identical to an uninterrupted run —
+// AddTreeGoverned only ever folds fully-mined trees, so a checkpoint
+// written at a batch boundary is an exact tally of the forest prefix
+// [0, cursor).
+//
+// On-disk layout (little-endian, fixed-width):
+//
+//   [0, 8)    magic "COUSCKP1"
+//   [8, 12)   uint32 format version (kCheckpointVersion)
+//   [12, 20)  uint64 total file size in bytes, trailing CRC included
+//             (detects truncation distinctly from corruption)
+//   [20, ...) mining options: int32 twice_maxdist, int64 min_occur,
+//             int32 min_support, uint8 ignore_distance
+//             int64 tree cursor (trees fully mined and folded)
+//             uint64 label count, then per label: uint32 len + bytes
+//             (position = LabelId at serialization time)
+//             uint64 tally count, then per tally, sorted by key:
+//             int32 label1, int32 label2, int32 twice_distance,
+//             int32 support, int64 total_occurrences
+//   [end-4, end)  uint32 CRC32 (polynomial 0xEDB88320) of [0, end-4)
+//
+// Atomic write protocol: serialize to `path + ".tmp"`, flush, fsync,
+// close, then rename(2) over `path`. A crash at any point leaves either
+// the previous complete checkpoint or a stray .tmp — never a torn file
+// under the checkpoint name. Restore validates magic, version, length,
+// CRC, and options equality, each with a distinct error, before
+// touching any payload.
+//
+// The codec itself (MultiTreeMiner::SerializeCheckpoint /
+// RestoreFromCheckpoint) is declared on the miner in
+// core/multi_tree_mining.h and implemented in checkpoint.cc; this
+// header holds the file protocol and the driver-facing configuration.
+
+#ifndef COUSINS_CORE_CHECKPOINT_H_
+#define COUSINS_CORE_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace cousins {
+
+inline constexpr char kCheckpointMagic[8] = {'C', 'O', 'U', 'S',
+                                             'C', 'K', 'P', '1'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Checkpointing configuration for the forest-mining drivers.
+struct MiningCheckpointConfig {
+  /// Checkpoint file path; empty disables checkpointing entirely.
+  std::string path;
+  /// Write a checkpoint after every `every_trees` fully-mined trees (a
+  /// batch boundary), clamped to >= 1. A final checkpoint with cursor
+  /// == forest size is written on clean completion.
+  int32_t every_trees = 256;
+  /// When true and `path` exists, restore it and resume ingestion at
+  /// its cursor; a missing file is a fresh start, any invalid file is
+  /// an error (never silently remined from scratch).
+  bool resume = false;
+};
+
+/// Atomically replaces `path` with `bytes` (temp file + flush + fsync +
+/// rename). On any failure the previous `path` contents, if any, are
+/// left intact. Fault sites: checkpoint.open / checkpoint.write /
+/// checkpoint.flush / checkpoint.rename.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file. NotFound when it does not exist; fault site
+/// checkpoint.read simulates an unreadable disk.
+Result<std::string> ReadFileToString(const std::string& path);
+
+namespace internal {
+
+/// CRC32 (reflected, polynomial 0xEDB88320) over `size` bytes, as used
+/// by the checkpoint trailer. Exposed for corruption tests.
+uint32_t Crc32(const char* data, size_t size);
+
+}  // namespace internal
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_CHECKPOINT_H_

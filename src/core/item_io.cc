@@ -87,6 +87,19 @@ Result<int> ParseDistanceField(const std::string& field) {
   return static_cast<int>(doubled);
 }
 
+constexpr std::string_view kItemsHeader = "label1,label2,distance,occurrences";
+constexpr std::string_view kFrequentPairsHeader =
+    "label1,label2,distance,support,occurrences";
+
+/// The first non-comment line must be the exact header; anything else means
+/// the input is not a CSV we wrote, and skipping it would drop a data row.
+Status CheckHeader(std::string_view line, std::string_view expected) {
+  if (line == expected) return Status::OK();
+  return Status::InvalidArgument("expected CSV header '" +
+                                 std::string(expected) + "', got '" +
+                                 std::string(line) + "'");
+}
+
 }  // namespace
 
 std::string ItemsToCsv(const LabelTable& labels,
@@ -116,7 +129,8 @@ Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
     std::string_view line = StripWhitespace(raw);
     if (line.empty() || line[0] == '#') continue;
     if (!header_seen) {
-      header_seen = true;  // first data-looking line is the header
+      COUSINS_RETURN_IF_ERROR(CheckHeader(line, kItemsHeader));
+      header_seen = true;
       continue;
     }
     COUSINS_ASSIGN_OR_RETURN(std::vector<std::string> fields,
@@ -167,7 +181,8 @@ Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
     std::string_view line = StripWhitespace(raw);
     if (line.empty() || line[0] == '#') continue;
     if (!header_seen) {
-      header_seen = true;  // first data-looking line is the header
+      COUSINS_RETURN_IF_ERROR(CheckHeader(line, kFrequentPairsHeader));
+      header_seen = true;
       continue;
     }
     COUSINS_ASSIGN_OR_RETURN(std::vector<std::string> fields,

@@ -19,7 +19,8 @@ std::string ItemsToCsv(const LabelTable& labels,
                        const std::vector<CousinPairItem>& items);
 
 /// Parses ItemsToCsv output; labels are interned into `labels`. Fails on
-/// malformed rows; '#' comment lines and the header are skipped.
+/// malformed rows or a missing/unexpected header; '#' comment lines are
+/// skipped.
 Result<std::vector<CousinPairItem>> ItemsFromCsv(const std::string& csv,
                                                  LabelTable* labels);
 
@@ -28,9 +29,10 @@ std::string FrequentPairsToCsv(const LabelTable& labels,
                                const std::vector<FrequentCousinPair>& pairs);
 
 /// Parses FrequentPairsToCsv output; labels are interned into `labels`.
-/// Fails on malformed rows (field count, distance, counts); '#' comment
-/// lines and the header are skipped. Round-trips checkpointed CLI
-/// output so downstream tools can diff resumed vs. uninterrupted runs.
+/// Fails on malformed rows (field count, distance, counts) or a
+/// missing/unexpected header; '#' comment lines are skipped. Round-trips
+/// checkpointed CLI output so downstream tools can diff resumed vs.
+/// uninterrupted runs.
 Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
     const std::string& csv, LabelTable* labels);
 

@@ -78,11 +78,28 @@ TEST(ItemIoTest, SkipsCommentsAndBlankLines) {
 
 TEST(ItemIoTest, RejectsMalformedRows) {
   LabelTable labels;
-  EXPECT_FALSE(ItemsFromCsv("h\na,b,1.5\n", &labels).ok());       // 3 fields
-  EXPECT_FALSE(ItemsFromCsv("h\na,b,x,1\n", &labels).ok());       // bad dist
-  EXPECT_FALSE(ItemsFromCsv("h\na,b,0.3,1\n", &labels).ok());     // not /0.5
-  EXPECT_FALSE(ItemsFromCsv("h\na,b,1,many\n", &labels).ok());    // bad occ
-  EXPECT_FALSE(ItemsFromCsv("h\n\"a,b,1,1\n", &labels).ok());     // quote
+  const std::string h = "label1,label2,distance,occurrences\n";
+  EXPECT_FALSE(ItemsFromCsv(h + "a,b,1.5\n", &labels).ok());    // 3 fields
+  EXPECT_FALSE(ItemsFromCsv(h + "a,b,x,1\n", &labels).ok());    // bad dist
+  EXPECT_FALSE(ItemsFromCsv(h + "a,b,0.3,1\n", &labels).ok());  // not /0.5
+  EXPECT_FALSE(ItemsFromCsv(h + "a,b,1,many\n", &labels).ok());  // bad occ
+  EXPECT_FALSE(ItemsFromCsv(h + "\"a,b,1,1\n", &labels).ok());   // quote
+}
+
+TEST(ItemIoTest, RejectsMissingOrWrongHeader) {
+  LabelTable labels;
+  // A headerless CSV must error, not silently drop its first data row.
+  Result<std::vector<CousinPairItem>> r =
+      ItemsFromCsv("a,b,1.5,2\nc,d,1,3\n", &labels);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("header"), std::string::npos);
+  EXPECT_FALSE(ItemsFromCsv("h\na,b,1.5,2\n", &labels).ok());
+  // Wrong column set (frequent-pair header on item parser) is rejected too.
+  EXPECT_FALSE(
+      ItemsFromCsv("label1,label2,distance,support,occurrences\na,b,1,2,3\n",
+                   &labels)
+          .ok());
 }
 
 TEST(ItemIoTest, EmptyCsvIsEmpty) {
@@ -136,8 +153,8 @@ TEST(ItemIoTest, FrequentPairsCsvRoundTrips) {
 TEST(ItemIoTest, FrequentPairsFromCsvRejectsMalformedRows) {
   LabelTable labels;
   auto bad = [&](const std::string& row, const char* diagnostic) {
-    Result<std::vector<FrequentCousinPair>> r =
-        FrequentPairsFromCsv("h\n" + row + "\n", &labels);
+    Result<std::vector<FrequentCousinPair>> r = FrequentPairsFromCsv(
+        "label1,label2,distance,support,occurrences\n" + row + "\n", &labels);
     EXPECT_FALSE(r.ok()) << row;
     if (!r.ok()) {
       EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << row;
@@ -164,6 +181,13 @@ TEST(ItemIoTest, FrequentPairsFromCsvRejectsMalformedRows) {
   EXPECT_EQ((*ok)[0].twice_distance, 3);
   EXPECT_EQ((*ok)[0].support, 2);
   EXPECT_EQ((*ok)[0].total_occurrences, 5);
+
+  // A headerless CSV errors instead of silently dropping the first row.
+  Result<std::vector<FrequentCousinPair>> headerless =
+      FrequentPairsFromCsv("a,b,1.5,2,5\nc,d,1,2,3\n", &labels);
+  ASSERT_FALSE(headerless.ok());
+  EXPECT_EQ(headerless.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(headerless.status().ToString().find("header"), std::string::npos);
 }
 
 }  // namespace

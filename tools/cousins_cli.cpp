@@ -32,6 +32,7 @@
 #include <exception>
 #include <fstream>
 #include <initializer_list>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -279,8 +280,9 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   options.checkpoint.path = Flag(args, "checkpoint", "");
   int64_t checkpoint_every = 256;
   if (!ParseInt64Flag(args, "checkpoint-every", 256, &checkpoint_every) ||
-      checkpoint_every < 1) {
-    return UsageError("--checkpoint-every must be a positive integer");
+      checkpoint_every < 1 ||
+      checkpoint_every > std::numeric_limits<int32_t>::max()) {
+    return UsageError("--checkpoint-every must be a positive 32-bit integer");
   }
   options.checkpoint.every_trees = static_cast<int32_t>(checkpoint_every);
   options.checkpoint.resume = HasFlag(args, "resume");
