@@ -6,6 +6,8 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "util/fault_injection.h"
+#include "util/retry.h"
+#include "util/status.h"
 
 namespace cousins::bench {
 
@@ -90,21 +92,29 @@ bool BenchReport::Finish(bool ok) {
   std::string path = dir != nullptr && dir[0] != '\0'
                          ? std::string(dir) + "/BENCH_" + name_ + ".json"
                          : "BENCH_" + name_ + ".json";
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "bench_report: cannot write %s\n", path.c_str());
-    return ok;
-  }
   // Every stdio call is checked: a truncated report must not survive
-  // looking complete, so on any failure the file is removed outright.
-  // The benchmark's own pass/fail (`ok`) is unaffected — the report is
-  // a side channel.
-  bool write_ok = std::fputs(writer.str().c_str(), out) >= 0 &&
-                  std::fputc('\n', out) != EOF;
-  write_ok = std::fclose(out) == 0 && write_ok;
-  if (!write_ok || fault::Fired("bench.report.write")) {
-    std::fprintf(stderr, "bench_report: write failed for %s; removing\n",
-                 path.c_str());
+  // looking complete. Report writes are a transient surface — each
+  // attempt rewrites the file from scratch ("w" truncates), so the
+  // whole write is retried with backoff before giving up; on
+  // exhaustion the torn file is removed outright. The benchmark's own
+  // pass/fail (`ok`) is unaffected — the report is a side channel.
+  const Status written =
+      RetryTransient(RetryPolicy::Default(), "bench.report", [&]() {
+        std::FILE* out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+          return Status::Unavailable("cannot open " + path);
+        }
+        bool write_ok = std::fputs(writer.str().c_str(), out) >= 0 &&
+                        std::fputc('\n', out) != EOF;
+        write_ok = std::fclose(out) == 0 && write_ok;
+        if (!write_ok || fault::Fired("bench.report.write")) {
+          return Status::Unavailable("write failed for " + path);
+        }
+        return Status::OK();
+      });
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench_report: %s; removing\n",
+                 written.ToString().c_str());
     std::remove(path.c_str());
     return ok;
   }

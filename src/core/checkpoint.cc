@@ -136,7 +136,76 @@ class Reader {
 
 }  // namespace
 
-std::string MultiTreeMiner::SerializeCheckpoint() const {
+namespace {
+
+void PutLengthPrefixed(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+/// Appends the version-2 quarantine-ledger section: entry count, then
+/// each entry in the ledger's canonical order so the section is
+/// byte-stable across runs and resumes.
+void EncodeLedgerSection(const QuarantineLedger* ledger,
+                         std::string* out) {
+  const std::vector<QuarantineEntry> entries =
+      ledger == nullptr ? std::vector<QuarantineEntry>{}
+                        : ledger->Entries();
+  PutU64(entries.size(), out);
+  for (const QuarantineEntry& entry : entries) {
+    PutI64(entry.tree_index, out);
+    out->push_back(static_cast<char>(entry.stage));
+    PutI32(static_cast<int32_t>(entry.code), out);
+    PutU64(entry.byte_offset, out);
+    PutU64(entry.line, out);
+    PutU64(entry.column, out);
+    PutLengthPrefixed(entry.source, out);
+    PutLengthPrefixed(entry.message, out);
+    PutLengthPrefixed(entry.snippet, out);
+  }
+}
+
+Status DecodeLedgerSection(Reader* body,
+                           std::vector<QuarantineEntry>* out) {
+  uint64_t count = 0;
+  COUSINS_RETURN_IF_ERROR(body->ReadU64(&count));
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    QuarantineEntry entry;
+    COUSINS_RETURN_IF_ERROR(body->ReadI64(&entry.tree_index));
+    uint8_t stage = 0;
+    COUSINS_RETURN_IF_ERROR(body->ReadU8(&stage));
+    if (stage > static_cast<uint8_t>(QuarantineStage::kBootstrap)) {
+      return Status::Corruption("checkpoint quarantine stage out of range");
+    }
+    entry.stage = static_cast<QuarantineStage>(stage);
+    int32_t code = 0;
+    COUSINS_RETURN_IF_ERROR(body->ReadI32(&code));
+    if (code < 0 ||
+        code > static_cast<int32_t>(StatusCode::kUnavailable)) {
+      return Status::Corruption(
+          "checkpoint quarantine status code out of range");
+    }
+    entry.code = static_cast<StatusCode>(code);
+    COUSINS_RETURN_IF_ERROR(body->ReadU64(&entry.byte_offset));
+    COUSINS_RETURN_IF_ERROR(body->ReadU64(&entry.line));
+    COUSINS_RETURN_IF_ERROR(body->ReadU64(&entry.column));
+    uint32_t len = 0;
+    COUSINS_RETURN_IF_ERROR(body->ReadU32(&len));
+    COUSINS_RETURN_IF_ERROR(body->ReadBytes(len, &entry.source));
+    COUSINS_RETURN_IF_ERROR(body->ReadU32(&len));
+    COUSINS_RETURN_IF_ERROR(body->ReadBytes(len, &entry.message));
+    COUSINS_RETURN_IF_ERROR(body->ReadU32(&len));
+    COUSINS_RETURN_IF_ERROR(body->ReadBytes(len, &entry.snippet));
+    out->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string MultiTreeMiner::SerializeCheckpoint(
+    const QuarantineLedger* ledger) const {
   std::string out;
   out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
   PutU32(kCheckpointVersion, &out);
@@ -169,6 +238,8 @@ std::string MultiTreeMiner::SerializeCheckpoint() const {
     PutI64(t.total_occurrences, &out);
   }
 
+  EncodeLedgerSection(ledger, &out);
+
   const uint64_t total = out.size() + 4;  // + trailing CRC
   for (int i = 0; i < 8; ++i) {
     out[12 + i] = static_cast<char>((total >> (8 * i)) & 0xFFu);
@@ -179,9 +250,9 @@ std::string MultiTreeMiner::SerializeCheckpoint() const {
 
 Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpoint(
     const std::string& bytes, const MultiTreeMiningOptions& expected_options,
-    std::shared_ptr<LabelTable> labels) {
-  Result<MultiTreeMiner> result =
-      RestoreFromCheckpointImpl(bytes, expected_options, std::move(labels));
+    std::shared_ptr<LabelTable> labels, QuarantineLedger* ledger) {
+  Result<MultiTreeMiner> result = RestoreFromCheckpointImpl(
+      bytes, expected_options, std::move(labels), ledger);
   if (result.ok()) {
     COUSINS_METRIC_COUNTER_ADD("checkpoint.restores", 1);
   } else {
@@ -192,7 +263,7 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpoint(
 
 Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
     const std::string& bytes, const MultiTreeMiningOptions& expected_options,
-    std::shared_ptr<LabelTable> labels) {
+    std::shared_ptr<LabelTable> labels, QuarantineLedger* ledger) {
   COUSINS_CHECK(labels != nullptr &&
                 "RestoreFromCheckpoint needs the forest's label table");
   // Fixed-size prefix: magic + version + total size.
@@ -308,8 +379,26 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
     t.support = support;
     t.total_occurrences = occurrences;
   }
+
+  std::vector<QuarantineEntry> quarantined;
+  COUSINS_RETURN_IF_ERROR(DecodeLedgerSection(&body, &quarantined));
   if (body.offset() != body_end - kPrefix) {
     return Status::Corruption("trailing bytes after checkpoint payload");
+  }
+  if (!quarantined.empty() && ledger == nullptr) {
+    return Status::FailedPrecondition(
+        "checkpoint records " + std::to_string(quarantined.size()) +
+        " quarantined tree(s) — it was written by a lenient run; resume "
+        "in lenient mode so the quarantine ledger is preserved");
+  }
+  // Merge, not replace: Add() drops exact duplicates, so the entries
+  // this process already recorded (its deterministic re-parse of the
+  // same input) unify with the checkpointed ones instead of doubling,
+  // and entries only one side knows about survive.
+  if (ledger != nullptr) {
+    for (QuarantineEntry& entry : quarantined) {
+      ledger->Add(std::move(entry));
+    }
   }
   return miner;
 }
@@ -323,7 +412,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
       std::remove(tmp.c_str());
     }
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Internal("cannot open checkpoint temp file '" + tmp +
+    return Status::Unavailable("cannot open checkpoint temp file '" + tmp +
                             "'");
   }
   const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), out);
@@ -331,7 +420,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     std::fclose(out);
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Internal("short write on checkpoint temp file '" + tmp +
+    return Status::Unavailable("short write on checkpoint temp file '" + tmp +
                             "'");
   }
   // Flush + fsync before rename: rename(2) is atomic, but only durably
@@ -341,13 +430,13 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     std::fclose(out);
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Internal("cannot flush checkpoint temp file '" + tmp +
+    return Status::Unavailable("cannot flush checkpoint temp file '" + tmp +
                             "'");
   }
   if (std::fclose(out) != 0) {
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Internal("cannot close checkpoint temp file '" + tmp +
+    return Status::Unavailable("cannot close checkpoint temp file '" + tmp +
                             "'");
   }
   // The fault site must fire before rename(2) runs: once the rename
@@ -358,7 +447,7 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
       std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Internal("cannot rename checkpoint into place at '" +
+    return Status::Unavailable("cannot rename checkpoint into place at '" +
                             path + "'");
   }
   COUSINS_METRIC_COUNTER_ADD("checkpoint.writes", 1);
@@ -380,7 +469,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
   const bool read_error = std::ferror(in) != 0;
   std::fclose(in);
   if (read_error || fault::Fired("checkpoint.read")) {
-    return Status::Internal("read error on '" + path + "'");
+    return Status::Unavailable("read error on '" + path + "'");
   }
   return bytes;
 }

@@ -23,6 +23,11 @@
 //             uint64 tally count, then per tally, sorted by key:
 //             int32 label1, int32 label2, int32 twice_distance,
 //             int32 support, int64 total_occurrences
+//             uint64 quarantine count (version 2+; 0 for strict runs),
+//             then per entry, in the ledger's canonical order:
+//             int64 tree_index, uint8 stage, int32 status code,
+//             uint64 byte_offset, uint64 line, uint64 column,
+//             then uint32 len + bytes for source, message, snippet
 //   [end-4, end)  uint32 CRC32 (polynomial 0xEDB88320) of [0, end-4)
 //
 // Atomic write protocol: serialize to `path + ".tmp"`, flush, fsync,
@@ -50,7 +55,10 @@ namespace cousins {
 
 inline constexpr char kCheckpointMagic[8] = {'C', 'O', 'U', 'S',
                                              'C', 'K', 'P', '1'};
-inline constexpr uint32_t kCheckpointVersion = 1;
+/// Version 2 appended the quarantine-ledger section (degraded mode);
+/// version-1 files are refused with a distinct error, never silently
+/// resumed without their run's context.
+inline constexpr uint32_t kCheckpointVersion = 2;
 
 /// Checkpointing configuration for the forest-mining drivers.
 struct MiningCheckpointConfig {
@@ -68,12 +76,15 @@ struct MiningCheckpointConfig {
 
 /// Atomically replaces `path` with `bytes` (temp file + flush + fsync +
 /// rename). On any failure the previous `path` contents, if any, are
-/// left intact. Fault sites: checkpoint.open / checkpoint.write /
-/// checkpoint.flush / checkpoint.rename.
+/// left intact. Failures are kUnavailable (transient: a retry of the
+/// whole write may succeed — see util/retry.h). Fault sites:
+/// checkpoint.open / checkpoint.write / checkpoint.flush /
+/// checkpoint.rename.
 Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 
-/// Reads a whole file. NotFound when it does not exist; fault site
-/// checkpoint.read simulates an unreadable disk.
+/// Reads a whole file. NotFound when it does not exist (permanent);
+/// kUnavailable on a read error of an existing file (transient). Fault
+/// site checkpoint.read simulates an unreadable disk.
 Result<std::string> ReadFileToString(const std::string& path);
 
 namespace internal {

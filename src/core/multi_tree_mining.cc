@@ -92,6 +92,29 @@ Status MultiTreeMiner::AddTreeGoverned(const Tree& tree,
   return Status::OK();
 }
 
+Status MultiTreeMiner::AddTreeDegraded(const Tree& tree,
+                                       int64_t source_index,
+                                       const MiningContext& context,
+                                       const DegradedModeConfig& degraded) {
+  Status st = AddTreeGoverned(tree, context);
+  if (st.ok() || !degraded.lenient || IsGovernanceTrip(st)) return st;
+  COUSINS_CHECK(degraded.ledger != nullptr &&
+                "lenient mode requires a quarantine ledger");
+  QuarantineEntry entry;
+  entry.tree_index = source_index;
+  entry.source = degraded.source_name;
+  entry.code = st.code();
+  entry.message = st.message();
+  entry.stage = QuarantineStage::kMine;
+  degraded.ledger->Add(std::move(entry));
+  // The skipped tree still advances the stream cursor: a checkpointed
+  // resume must not re-mine (and re-quarantine) it, and re-running
+  // from scratch re-creates the same entry deterministically.
+  ++tree_count_;
+  COUSINS_METRIC_COUNTER_ADD("degraded.trees_skipped", 1);
+  return Status::OK();
+}
+
 void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
   // Full option equality: any divergence between shards would silently
   // merge tallies mined under different parameters.

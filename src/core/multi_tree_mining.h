@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/cousin_pair.h"
+#include "core/quarantine.h"
 #include "core/single_tree_mining.h"
 #include "tree/tree.h"
 #include "util/governance.h"
@@ -74,6 +75,18 @@ class MultiTreeMiner {
   /// mismatch comes back as kInvalidArgument instead of aborting.
   Status AddTreeGoverned(const Tree& tree, const MiningContext& context);
 
+  /// AddTreeGoverned with per-tree error isolation. Governance trips
+  /// still propagate (the whole run is being stopped). Any other
+  /// failure — e.g. a label-table mismatch — is, in lenient mode,
+  /// recorded in `degraded.ledger` as a mining-stage quarantine under
+  /// `source_index` and swallowed: the tree still advances
+  /// tree_count() (the stream cursor covers skipped trees, so a
+  /// checkpointed resume does not re-mine them) but contributes no
+  /// tallies. In strict mode this is exactly AddTreeGoverned.
+  Status AddTreeDegraded(const Tree& tree, int64_t source_index,
+                         const MiningContext& context,
+                         const DegradedModeConfig& degraded);
+
   /// Number of trees added so far.
   int tree_count() const { return tree_count_; }
 
@@ -93,8 +106,11 @@ class MultiTreeMiner {
 
   /// Serializes the full miner state (options, label names, tallies,
   /// tree cursor) into the checkpoint format documented in
-  /// core/checkpoint.h. Defined in checkpoint.cc.
-  std::string SerializeCheckpoint() const;
+  /// core/checkpoint.h, together with the run's quarantine ledger
+  /// (empty section when `ledger` is null or empty). Defined in
+  /// checkpoint.cc.
+  std::string SerializeCheckpoint(
+      const QuarantineLedger* ledger = nullptr) const;
 
   /// Validates and decodes a checkpoint: magic, version, length, CRC
   /// and options-equality each fail with a distinct error; nothing is
@@ -102,11 +118,17 @@ class MultiTreeMiner {
   /// `labels` (the forest's shared table) by name, so the restored
   /// miner accepts AddTree for trees over that table and resuming at
   /// tree_count() reproduces an uninterrupted run's tallies exactly.
-  /// Defined in checkpoint.cc.
+  /// A checkpoint carrying a non-empty quarantine ledger was written
+  /// by a lenient run and needs `ledger` to restore into (entries are
+  /// merged; exact duplicates of already-recorded entries are
+  /// dropped); passing null for such a checkpoint is a
+  /// kFailedPrecondition — a strict resume must not silently drop the
+  /// quarantine record. Defined in checkpoint.cc.
   static Result<MultiTreeMiner> RestoreFromCheckpoint(
       const std::string& bytes,
       const MultiTreeMiningOptions& expected_options,
-      std::shared_ptr<LabelTable> labels);
+      std::shared_ptr<LabelTable> labels,
+      QuarantineLedger* ledger = nullptr);
 
  private:
   struct Tally {
@@ -119,7 +141,7 @@ class MultiTreeMiner {
   static Result<MultiTreeMiner> RestoreFromCheckpointImpl(
       const std::string& bytes,
       const MultiTreeMiningOptions& expected_options,
-      std::shared_ptr<LabelTable> labels);
+      std::shared_ptr<LabelTable> labels, QuarantineLedger* ledger);
 
   /// Folds one fully-mined tree's items into the tallies (saturating).
   void FoldItems(const std::vector<CousinPairItem>& items);

@@ -1,6 +1,8 @@
 #include "core/parallel_mining.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <string>
@@ -11,10 +13,21 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/retry.h"
 #include "util/stopwatch.h"
 
 namespace cousins {
 namespace {
+
+/// Original forest index for position `i` of the (possibly already
+/// parse-filtered) tree vector.
+int64_t SourceIndexAt(const DegradedModeConfig& degraded, size_t i) {
+  if (degraded.source_indices != nullptr &&
+      i < degraded.source_indices->size()) {
+    return (*degraded.source_indices)[i];
+  }
+  return static_cast<int64_t>(i);
+}
 
 /// Outcome of mining one batch [begin, end) of the forest. `partial`
 /// holds the batch's own tallies only (never the accumulated prefix).
@@ -36,11 +49,16 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
                                        size_t begin, size_t end,
                                        const MultiTreeMiningOptions& options,
                                        const MiningContext& context,
+                                       const DegradedModeConfig& degraded,
                                        int32_t num_threads) {
   const int32_t workers = std::min<int32_t>(
       std::max<int32_t>(1, num_threads), static_cast<int32_t>(end - begin));
+  // The watchdog observes heartbeats from outside the shard, so it
+  // needs the threaded path even when there is only one worker (the
+  // inline path could not be watched without watching ourselves).
+  const bool watchdog_enabled = degraded.watchdog_interval.count() > 0;
 
-  if (workers <= 1) {
+  if (workers <= 1 && !watchdog_enabled) {
     BatchOutcome outcome{MultiTreeMiner(options), Status::OK(), true};
     Status st;
     // Contain anything the miner throws — injected faults included — so
@@ -49,7 +67,9 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
     try {
       fault::InjectionPoint("parallel.worker");
       for (size_t i = begin; i < end; ++i) {
-        st = outcome.partial.AddTreeGoverned(trees[i], context);
+        st = outcome.partial.AddTreeDegraded(trees[i],
+                                             SourceIndexAt(degraded, i),
+                                             context, degraded);
         if (!st.ok()) break;
       }
     } catch (const std::exception& e) {
@@ -78,6 +98,17 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
   std::vector<MultiTreeMiner> shards(workers, MultiTreeMiner(options));
   std::vector<Status> shard_status(workers);
   std::vector<double> shard_seconds(workers, 0.0);
+  // Watchdog state. Heartbeats count fully-mined trees per shard;
+  // `done` tells the watchdog a quiet shard has finished rather than
+  // stalled. Plain vectors of atomics: sized once, never reallocated
+  // while threads run.
+  std::vector<std::atomic<uint64_t>> heartbeats(workers);
+  std::vector<std::atomic<bool>> shard_done(workers);
+  for (int32_t w = 0; w < workers; ++w) {
+    heartbeats[w].store(0, std::memory_order_relaxed);
+    shard_done[w].store(false, std::memory_order_relaxed);
+  }
+  Status watchdog_trip;
   {
     std::vector<std::thread> threads;
     threads.reserve(workers);
@@ -89,12 +120,28 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
         // become a Status after join, never std::terminate.
         try {
           fault::InjectionPoint("parallel.worker");
-          // Strided sharding keeps per-thread work balanced even when
-          // tree sizes trend over the corpus.
-          for (size_t i = begin + w; i < end;
-               i += static_cast<size_t>(workers)) {
-            st = shards[w].AddTreeGoverned(trees[i], worker_context);
-            if (!st.ok()) break;
+          // A wedged worker for the watchdog drill: spin without
+          // beating until a sibling (the watchdog) cancels us. Guarded
+          // by watchdog_enabled so the site never registers — and the
+          // full-enumeration fault sweep never arms it — outside
+          // watchdog runs, where firing would hang forever.
+          if (watchdog_enabled && fault::Fired("watchdog.stall")) {
+            while (!stop.cancelled()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            st = Status::Cancelled(
+                "cancelled after injected stall at watchdog.stall");
+          } else {
+            // Strided sharding keeps per-thread work balanced even when
+            // tree sizes trend over the corpus.
+            for (size_t i = begin + w; i < end;
+                 i += static_cast<size_t>(workers)) {
+              st = shards[w].AddTreeDegraded(trees[i],
+                                             SourceIndexAt(degraded, i),
+                                             worker_context, degraded);
+              if (!st.ok()) break;
+              heartbeats[w].fetch_add(1, std::memory_order_relaxed);
+            }
           }
         } catch (const std::exception& e) {
           st = Status::Internal("worker " + std::to_string(w) +
@@ -106,11 +153,68 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
         if (!st.ok()) stop.Cancel();
         shard_status[w] = std::move(st);
         shard_seconds[w] = shard_sw.ElapsedSeconds();
+        shard_done[w].store(true, std::memory_order_release);
       });
     }
+
+    std::thread watchdog;
+    std::atomic<bool> watchdog_exit{false};
+    if (watchdog_enabled) {
+      watchdog = std::thread([&]() {
+        using Clock = std::chrono::steady_clock;
+        const auto interval = degraded.watchdog_interval;
+        // Sample a few times per interval so a stall is caught within
+        // roughly one interval; the cap keeps shutdown prompt when the
+        // interval is long.
+        const auto period =
+            std::clamp(interval / 4, std::chrono::milliseconds(1),
+                       std::chrono::milliseconds(50));
+        std::vector<uint64_t> last_beat(workers, 0);
+        std::vector<Clock::time_point> last_change(workers, Clock::now());
+        while (!watchdog_exit.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(period);
+          COUSINS_METRIC_COUNTER_ADD("watchdog.checks", 1);
+          const Clock::time_point now = Clock::now();
+          bool all_done = true;
+          for (int32_t w = 0; w < workers; ++w) {
+            if (shard_done[w].load(std::memory_order_acquire)) continue;
+            all_done = false;
+            const uint64_t beat =
+                heartbeats[w].load(std::memory_order_relaxed);
+            if (beat != last_beat[w]) {
+              last_beat[w] = beat;
+              last_change[w] = now;
+              continue;
+            }
+            if (now - last_change[w] < interval) continue;
+            // Stalled: cancel the siblings and surface a deadline trip
+            // naming the shard and its last-known cursor so the caller
+            // can see exactly where the run wedged.
+            const size_t cursor =
+                begin + static_cast<size_t>(w) +
+                static_cast<size_t>(beat) * static_cast<size_t>(workers);
+            watchdog_trip = Status::DeadlineExceeded(
+                "watchdog: shard " + std::to_string(w) +
+                " made no progress for " +
+                std::to_string(interval.count()) +
+                "ms (stalled at tree index " + std::to_string(cursor) +
+                ")");
+            COUSINS_METRIC_COUNTER_ADD("watchdog.stalls", 1);
+            stop.Cancel();
+            return;
+          }
+          if (all_done) return;
+        }
+      });
+    }
+
     // Join everyone before inspecting any status: no worker may outlive
     // this frame, even when a sibling failed.
     for (std::thread& thread : threads) thread.join();
+    if (watchdog.joinable()) {
+      watchdog_exit.store(true, std::memory_order_release);
+      watchdog.join();
+    }
   }
 
 #if COUSINS_METRICS_ENABLED
@@ -159,10 +263,19 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
       }
     }
   }
+  // A watchdog stall is the originating trip when the only other
+  // evidence is the kCancelled it provoked in the siblings; a shard's
+  // own meaningful trip (budget, deadline) still wins.
+  if (!watchdog_trip.ok() &&
+      (termination.ok() || termination.code() == StatusCode::kCancelled)) {
+    termination = watchdog_trip;
+  }
 
   Stopwatch merge_sw;
+  // A single watched worker still ingests in order, so its partial
+  // batch is an exact prefix even though it ran on the threaded path.
   BatchOutcome outcome{MultiTreeMiner(options), std::move(termination),
-                       false};
+                       workers == 1};
   // Every shard's tallies cover only fully-mined trees, so merging all
   // shards — including tripped ones — yields a well-formed tally.
   // MergeFrom can throw at the multiminer.merge fault site; contain it
@@ -188,7 +301,7 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
 Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, const MiningCheckpointConfig& config,
-    int32_t num_threads) {
+    const DegradedModeConfig& degraded, int32_t num_threads) {
   if (num_threads <= 0) {
     num_threads = static_cast<int32_t>(
         std::max(1u, std::thread::hardware_concurrency()));
@@ -203,7 +316,11 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
   MultiTreeMiner acc(options);
   size_t cursor = 0;
   if (config.resume) {
-    Result<std::string> bytes = ReadFileToString(config.path);
+    // Checkpoint reads are a transient surface: retried under the
+    // degraded policy (fail-fast None() by default).
+    Result<std::string> bytes = RetryTransientValue(
+        degraded.retry, "checkpoint.read",
+        [&]() { return ReadFileToString(config.path); });
     if (!bytes.ok()) {
       // A missing checkpoint is a fresh start (first run of a job that
       // will checkpoint); any other read failure is surfaced — a run
@@ -217,7 +334,8 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
                         : trees[0].labels_ptr();
       COUSINS_ASSIGN_OR_RETURN(
           acc, MultiTreeMiner::RestoreFromCheckpoint(*bytes, options,
-                                                     std::move(labels)));
+                                                     std::move(labels),
+                                                     degraded.ledger));
       cursor = static_cast<size_t>(acc.tree_count());
       COUSINS_METRIC_COUNTER_ADD("checkpoint.resumes", 1);
       if (cursor > n) {
@@ -236,8 +354,15 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
           ? static_cast<size_t>(std::max<int32_t>(1, config.every_trees))
           : std::max<size_t>(1, n);
 
+  // Atomic checkpoint writes are transient (kUnavailable): retried
+  // whole under the degraded policy — WriteFileAtomic never leaves a
+  // torn file, so a retry restarts the protocol cleanly. The run's
+  // quarantine ledger rides in every snapshot.
   const auto write_checkpoint = [&]() -> Status {
-    return WriteFileAtomic(config.path, acc.SerializeCheckpoint());
+    return RetryTransient(degraded.retry, "checkpoint.write", [&]() {
+      return WriteFileAtomic(config.path,
+                             acc.SerializeCheckpoint(degraded.ledger));
+    });
   };
   const auto merge_into_acc = [&](const MultiTreeMiner& partial) -> Status {
     try {
@@ -259,7 +384,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
     BatchOutcome batch{MultiTreeMiner(options), Status::OK(), false};
     COUSINS_ASSIGN_OR_RETURN(
         batch, MineBatchGoverned(trees, cursor, batch_end, options, context,
-                                 num_threads));
+                                 degraded, num_threads));
     if (!batch.termination.ok()) {
       trip = std::move(batch.termination);
       if (batch.prefix_exact) {
@@ -301,12 +426,29 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
   return run;
 }
 
+Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const MiningCheckpointConfig& config,
+    int32_t num_threads) {
+  return MineMultipleTreesCheckpointed(trees, options, context, config,
+                                       DegradedModeConfig{}, num_threads);
+}
+
+Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const DegradedModeConfig& degraded,
+    int32_t num_threads) {
+  return MineMultipleTreesCheckpointed(trees, options, context,
+                                       MiningCheckpointConfig{}, degraded,
+                                       num_threads);
+}
+
 Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, int32_t num_threads) {
-  return MineMultipleTreesCheckpointed(trees, options, context,
-                                       MiningCheckpointConfig{},
-                                       num_threads);
+  return MineMultipleTreesParallelGoverned(trees, options, context,
+                                           DegradedModeConfig{},
+                                           num_threads);
 }
 
 std::vector<FrequentCousinPair> MineMultipleTreesParallel(

@@ -47,6 +47,32 @@ Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, int32_t num_threads = 0);
 
+/// MineMultipleTreesParallelGoverned under a degraded-mode policy
+/// (core/quarantine.h):
+///  - With `degraded.lenient` set, per-tree mining failures that are
+///    not governance trips are quarantined into `degraded.ledger`
+///    (stage kMine) instead of aborting the run; the quarantined tree
+///    advances the stream cursor but contributes no tallies. Ledger
+///    entries carry the tree's original forest index — when the caller
+///    already dropped parse-failed trees, `degraded.source_indices`
+///    (parallel to `trees`) maps positions back to original indices.
+///  - With `degraded.watchdog_interval > 0`, a watchdog thread samples
+///    per-shard heartbeats (one beat per fully-mined tree). A shard
+///    making no progress for a full interval is declared stalled: its
+///    siblings are cancelled via the shared child token and the run
+///    terminates as a kDeadlineExceeded governance trip naming the
+///    stalled shard and its last-known tree cursor — a hung worker
+///    degrades into a truncated partial result instead of hanging the
+///    caller forever. The watchdog forces the threaded path even for
+///    one worker. Fault site `watchdog.stall` (only active while the
+///    watchdog is on) simulates a worker wedging mid-shard.
+/// A default-constructed DegradedModeConfig reproduces the strict
+/// overload above exactly.
+Result<MultiTreeMiningRun> MineMultipleTreesParallelGoverned(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const DegradedModeConfig& degraded,
+    int32_t num_threads = 0);
+
 /// MineMultipleTreesParallelGoverned with crash-safe checkpointing.
 /// With `config.path` set, the forest is mined in batches of
 /// `config.every_trees` trees and the accumulated tally is atomically
@@ -62,6 +88,25 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, const MiningCheckpointConfig& config,
     int32_t num_threads = 0);
+
+/// MineMultipleTreesCheckpointed under a degraded-mode policy. On top
+/// of the lenient / watchdog semantics documented on the governed
+/// overload:
+///  - Checkpoint reads and atomic writes are transient surfaces
+///    (kUnavailable): they are retried under `degraded.retry` with
+///    deterministic exponential backoff before the failure is
+///    surfaced. Permanent failures (NotFound, corruption, version or
+///    options mismatch) are never retried. The default
+///    RetryPolicy::None() fails fast, preserving strict semantics.
+///  - `degraded.ledger`, when set, is serialized into every
+///    checkpoint (format v2) and merged back on resume, so a killed
+///    lenient run resumes with both its tallies and its quarantine
+///    record intact — the final ledger is byte-identical to an
+///    uninterrupted run's.
+Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
+    const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
+    const MiningContext& context, const MiningCheckpointConfig& config,
+    const DegradedModeConfig& degraded, int32_t num_threads = 0);
 
 }  // namespace cousins
 

@@ -1,0 +1,87 @@
+#include "core/quarantine.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace cousins {
+namespace {
+
+/// Canonical ordering: by source position, then stage, then the
+/// remaining fields as tie-breakers so the order is total.
+bool EntryLess(const QuarantineEntry& a, const QuarantineEntry& b) {
+  return std::tie(a.tree_index, a.stage, a.source, a.message, a.code,
+                  a.byte_offset, a.line, a.column, a.snippet) <
+         std::tie(b.tree_index, b.stage, b.source, b.message, b.code,
+                  b.byte_offset, b.line, b.column, b.snippet);
+}
+
+}  // namespace
+
+std::string_view QuarantineStageName(QuarantineStage stage) {
+  switch (stage) {
+    case QuarantineStage::kParse:
+      return "parse";
+    case QuarantineStage::kMine:
+      return "mine";
+    case QuarantineStage::kConsensus:
+      return "consensus";
+    case QuarantineStage::kBootstrap:
+      return "bootstrap";
+  }
+  return "unknown";
+}
+
+void QuarantineLedger::Add(QuarantineEntry entry) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Quarantines are rare and deterministic; a linear duplicate scan
+    // keeps a resumed or re-mined batch from double-recording a tree.
+    if (std::find(entries_.begin(), entries_.end(), entry) !=
+        entries_.end()) {
+      return;
+    }
+    entries_.push_back(std::move(entry));
+  }
+  COUSINS_METRIC_COUNTER_ADD("degraded.quarantined", 1);
+}
+
+size_t QuarantineLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool QuarantineLedger::empty() const { return size() == 0; }
+
+std::vector<QuarantineEntry> QuarantineLedger::Entries() const {
+  std::vector<QuarantineEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), EntryLess);
+  return out;
+}
+
+std::map<std::string, int64_t> QuarantineLedger::CodeHistogram() const {
+  std::map<std::string, int64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const QuarantineEntry& entry : entries_) {
+    ++out[std::string(StatusCodeName(entry.code))];
+  }
+  return out;
+}
+
+void QuarantineLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void QuarantineLedger::Replace(std::vector<QuarantineEntry> entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(entries);
+}
+
+}  // namespace cousins

@@ -6,6 +6,7 @@
 
 #include "obs/json_writer.h"
 #include "util/fault_injection.h"
+#include "util/retry.h"
 
 namespace cousins::obs {
 namespace {
@@ -22,6 +23,21 @@ std::atomic<bool> g_runtime_enabled{true};
     MetricsRegistry& registry = MetricsRegistry::Global();
     registry.GetCounter("faults.triggered").Add(1);
     registry.GetCounter(std::string("faults.") + site).Add(1);
+  });
+  return true;
+}();
+
+/// Mirrors retry activity (util/retry.h) into retry.* counters, via the
+/// same static-init observer bridge as faults above: retries are rare
+/// (transient I/O only), so per-event name lookups are fine.
+[[maybe_unused]] const bool g_retry_observer_installed = [] {
+  retry::SetRetryObserver([](const char* op, uint64_t /*attempt*/,
+                             bool will_retry) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("retry.transient_failures").Add(1);
+    registry.GetCounter(will_retry ? "retry.retried" : "retry.exhausted")
+        .Add(1);
+    registry.GetCounter(std::string("retry.op.") + op).Add(1);
   });
   return true;
 }();

@@ -2,15 +2,25 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "phylo/clusters.h"
 #include "seq/neighbor_joining.h"
 #include "util/bitset.h"
+#include "util/fault_injection.h"
 
 namespace cousins {
 
 Result<std::vector<ClusterSupport>> BootstrapSupport(
     const Tree& reference, const Alignment& alignment,
     const BootstrapOptions& options, Rng& rng) {
+  return BootstrapSupportDegraded(reference, alignment, options, rng,
+                                  DegradedModeConfig{});
+}
+
+Result<std::vector<ClusterSupport>> BootstrapSupportDegraded(
+    const Tree& reference, const Alignment& alignment,
+    const BootstrapOptions& options, Rng& rng,
+    const DegradedModeConfig& degraded) {
   if (options.replicates <= 0) {
     return Status::InvalidArgument("replicates must be positive");
   }
@@ -48,35 +58,68 @@ Result<std::vector<ClusterSupport>> BootstrapSupport(
   }
 
   const int32_t sites = alignment.num_sites();
+  int32_t successes = 0;
   for (int32_t r = 0; r < options.replicates; ++r) {
-    // Resample columns with replacement.
-    Alignment replicate;
-    replicate.rows.resize(alignment.rows.size());
-    for (size_t row = 0; row < alignment.rows.size(); ++row) {
-      replicate.rows[row].taxon = alignment.rows[row].taxon;
-      replicate.rows[row].bases.resize(sites);
-    }
-    for (int32_t s = 0; s < sites; ++s) {
-      const auto pick = static_cast<int32_t>(rng.Uniform(sites));
-      for (size_t row = 0; row < alignment.rows.size(); ++row) {
-        replicate.rows[row].bases[s] = alignment.rows[row].bases[pick];
+    // One replicate: resample columns with replacement, rebuild via NJ,
+    // collect the rebuilt tree's clusters. Failures (the injected
+    // bootstrap.replicate fault, or a real rebuild error) are isolated
+    // per replicate.
+    const auto run_replicate = [&]() -> Result<std::vector<Bitset>> {
+      if (fault::Fired("bootstrap.replicate")) {
+        return Status::Internal(
+            "injected fault at bootstrap.replicate (replicate " +
+            std::to_string(r) + ")");
       }
+      Alignment replicate;
+      replicate.rows.resize(alignment.rows.size());
+      for (size_t row = 0; row < alignment.rows.size(); ++row) {
+        replicate.rows[row].taxon = alignment.rows[row].taxon;
+        replicate.rows[row].bases.resize(sites);
+      }
+      for (int32_t s = 0; s < sites; ++s) {
+        const auto pick = static_cast<int32_t>(rng.Uniform(sites));
+        for (size_t row = 0; row < alignment.rows.size(); ++row) {
+          replicate.rows[row].bases[s] = alignment.rows[row].bases[pick];
+        }
+      }
+      Tree tree = NeighborJoiningTree(replicate, reference.labels_ptr());
+      return TreeClusters(tree, taxa);
+    };
+    Result<std::vector<Bitset>> clusters = run_replicate();
+    if (!clusters.ok()) {
+      if (!degraded.lenient) return clusters.status();
+      COUSINS_CHECK(degraded.ledger != nullptr &&
+                    "lenient mode requires a quarantine ledger");
+      QuarantineEntry entry;
+      entry.tree_index = r;
+      entry.source = degraded.source_name;
+      entry.code = clusters.status().code();
+      entry.message = clusters.status().message();
+      entry.stage = QuarantineStage::kBootstrap;
+      degraded.ledger->Add(std::move(entry));
+      COUSINS_METRIC_COUNTER_ADD("degraded.replicates_skipped", 1);
+      continue;
     }
-    Tree tree = NeighborJoiningTree(replicate, reference.labels_ptr());
-    COUSINS_ASSIGN_OR_RETURN(std::vector<Bitset> clusters,
-                             TreeClusters(tree, taxa));
-    for (const Bitset& c : clusters) {
+    ++successes;
+    for (const Bitset& c : *clusters) {
       auto it = hits.find(c);
       if (it != hits.end()) ++it->second;
     }
   }
+  if (successes == 0) {
+    return Status::InvalidArgument(
+        "no bootstrap replicate succeeded (" +
+        std::to_string(options.replicates) + " attempted)");
+  }
 
+  // Support is normalized over the replicates that actually produced a
+  // tree, so a lenient run's fractions stay in [0, 1] and comparable.
   std::vector<ClusterSupport> out;
   out.reserve(reference_clusters.size());
   for (const auto& [node, cluster] : reference_clusters) {
     out.push_back(ClusterSupport{
         node, static_cast<double>(hits.at(cluster)) /
-                  static_cast<double>(options.replicates)});
+                  static_cast<double>(successes)});
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/quarantine.h"
 #include "seq/alignment.h"
 #include "tree/tree.h"
 #include "util/result.h"
@@ -35,6 +36,19 @@ struct ClusterSupport {
 Result<std::vector<ClusterSupport>> BootstrapSupport(
     const Tree& reference, const Alignment& alignment,
     const BootstrapOptions& options, Rng& rng);
+
+/// BootstrapSupport under a degraded-mode policy. Each replicate
+/// passes the cold fault site `bootstrap.replicate`; a replicate that
+/// fails (injected fault or a real rebuild error) is, in lenient mode,
+/// quarantined into `degraded.ledger` (stage kBootstrap, tree_index =
+/// replicate number) and support fractions are normalized over the
+/// replicates that succeeded — the estimate degrades in precision, not
+/// in correctness. Strict mode surfaces the first failure. Fails if no
+/// replicate succeeds.
+Result<std::vector<ClusterSupport>> BootstrapSupportDegraded(
+    const Tree& reference, const Alignment& alignment,
+    const BootstrapOptions& options, Rng& rng,
+    const DegradedModeConfig& degraded);
 
 }  // namespace cousins
 

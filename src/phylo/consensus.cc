@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "tree/builder.h"
 #include "tree/lca.h"
 
@@ -300,6 +302,67 @@ Result<Tree> ConsensusTree(const std::vector<Tree>& trees,
       COUSINS_CHECK(false);
   }
   return BuildTreeFromClusters(selected, taxa, labels);
+}
+
+Result<Tree> ConsensusTreeDegraded(const std::vector<Tree>& trees,
+                                   ConsensusMethod method,
+                                   const ConsensusOptions& options,
+                                   const DegradedModeConfig& degraded) {
+  if (!degraded.lenient) return ConsensusTree(trees, method, options);
+  COUSINS_CHECK(degraded.ledger != nullptr &&
+                "lenient mode requires a quarantine ledger");
+  const auto source_index = [&](size_t i) -> int64_t {
+    if (degraded.source_indices != nullptr &&
+        i < degraded.source_indices->size()) {
+      return (*degraded.source_indices)[i];
+    }
+    return static_cast<int64_t>(i);
+  };
+  const auto quarantine = [&](size_t i, const Status& st) {
+    QuarantineEntry entry;
+    entry.tree_index = source_index(i);
+    entry.source = degraded.source_name;
+    entry.code = st.code();
+    entry.message = st.message();
+    entry.stage = QuarantineStage::kConsensus;
+    degraded.ledger->Add(std::move(entry));
+  };
+
+  // The reference taxon set is the first tree's whose taxa index
+  // cleanly; trees that disagree with it are quarantined, not fatal.
+  std::vector<Tree> kept;
+  std::optional<TaxonIndex> reference;
+  for (size_t i = 0; i < trees.size(); ++i) {
+    Result<TaxonIndex> taxa = TaxonIndex::FromTree(trees[i]);
+    if (!taxa.ok()) {
+      quarantine(i, taxa.status());
+      continue;
+    }
+    if (!reference.has_value()) {
+      reference = std::move(*taxa);
+      kept.push_back(trees[i]);
+      continue;
+    }
+    bool matches = taxa->size() == reference->size();
+    for (int32_t t = 0; matches && t < taxa->size(); ++t) {
+      matches = reference->index_of(taxa->label_of(t)) >= 0;
+    }
+    if (!matches) {
+      quarantine(i, Status::InvalidArgument(
+                        "taxon set differs from the reference tree's (" +
+                        std::to_string(taxa->size()) + " vs " +
+                        std::to_string(reference->size()) + " taxa)"));
+      continue;
+    }
+    kept.push_back(trees[i]);
+  }
+  if (kept.empty()) {
+    return Status::InvalidArgument(
+        "no usable trees left for consensus after quarantining " +
+        std::to_string(trees.size()) + " input(s)");
+  }
+  COUSINS_METRIC_COUNTER_ADD("degraded.consensus_kept", kept.size());
+  return ConsensusTree(kept, method, options);
 }
 
 }  // namespace cousins

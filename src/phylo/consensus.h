@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/quarantine.h"
 #include "phylo/clusters.h"
 #include "tree/tree.h"
 #include "util/result.h"
@@ -67,6 +68,21 @@ struct ConsensusOptions {
 Result<Tree> ConsensusTree(const std::vector<Tree>& trees,
                            ConsensusMethod method,
                            const ConsensusOptions& options = {});
+
+/// ConsensusTree under a degraded-mode policy. With `degraded.lenient`
+/// unset this is exactly ConsensusTree. In lenient mode the reference
+/// taxon set is the first tree's (more precisely, the first tree whose
+/// taxa form a valid index — unlabeled or duplicated leaves disqualify
+/// a tree); every tree whose taxon set does not match the reference is
+/// quarantined into `degraded.ledger` (stage kConsensus, indexed via
+/// `degraded.source_indices` when the caller pre-filtered the forest)
+/// and the consensus is computed over the trees that remain. Fails if
+/// quarantining leaves no usable tree — a consensus of nothing is not
+/// a degraded result, it is no result.
+Result<Tree> ConsensusTreeDegraded(const std::vector<Tree>& trees,
+                                   ConsensusMethod method,
+                                   const ConsensusOptions& options,
+                                   const DegradedModeConfig& degraded);
 
 }  // namespace cousins
 

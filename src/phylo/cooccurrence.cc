@@ -12,12 +12,19 @@ Result<MultiTreeMiningRun> MineCooccurrencePatterns(
   if (!options.checkpoint.path.empty()) {
     return MineMultipleTreesCheckpointed(trees, options.mining, context,
                                          options.checkpoint,
+                                         options.degraded,
                                          options.num_threads);
   }
-  if (options.num_threads == 1) {
+  // Lenient isolation and the watchdog live in the batch driver, so any
+  // degraded run routes through it even on one thread.
+  const bool degraded_active =
+      options.degraded.lenient ||
+      options.degraded.watchdog_interval.count() > 0;
+  if (options.num_threads == 1 && !degraded_active) {
     return MineMultipleTreesGoverned(trees, options.mining, context);
   }
   return MineMultipleTreesParallelGoverned(trees, options.mining, context,
+                                           options.degraded,
                                            options.num_threads);
 }
 

@@ -31,6 +31,10 @@ struct CooccurrenceOptions {
   /// disables it. With a path set, the checkpointed driver is used for
   /// any thread count, so interrupted runs resume bit-identically.
   MiningCheckpointConfig checkpoint;
+  /// Degraded-mode policy (core/quarantine.h): lenient per-tree
+  /// quarantine, transient-I/O retry, and the worker stall watchdog.
+  /// The default is fully strict and changes nothing.
+  DegradedModeConfig degraded;
 };
 
 /// Mines co-occurring cousin-pair patterns across `trees` under

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -35,10 +36,15 @@ struct SourceContext {
   /// Offset of the parsed slice: into `source` when to_source is null,
   /// into the internal buffer otherwise.
   size_t base = 0;
+  /// When non-null, DescribePosition also records the mapped byte
+  /// offset of the described position here — how lenient callers learn
+  /// machine-readable error positions without parsing message text.
+  size_t* error_offset = nullptr;
 };
 
 /// "line L, column C" (1-based) of parser offset `local_pos` in the
-/// original input.
+/// original input. Line accounting treats "\r\n" as one break and a
+/// lone '\r' as a break, matching Windows-authored forest files.
 std::string DescribePosition(const SourceContext& ctx, size_t local_pos) {
   size_t offset;
   if (ctx.to_source != nullptr) {
@@ -49,18 +55,10 @@ std::string DescribePosition(const SourceContext& ctx, size_t local_pos) {
     offset = ctx.base + local_pos;
   }
   offset = std::min(offset, ctx.source.size());
-  size_t line = 1;
-  size_t column = 1;
-  for (size_t i = 0; i < offset; ++i) {
-    if (ctx.source[i] == '\n') {
-      ++line;
-      column = 1;
-    } else {
-      ++column;
-    }
-  }
-  return "line " + std::to_string(line) + ", column " +
-         std::to_string(column);
+  if (ctx.error_offset != nullptr) *ctx.error_offset = offset;
+  const TextPosition pos = LineColumnAt(ctx.source, offset);
+  return "line " + std::to_string(pos.line) + ", column " +
+         std::to_string(pos.column);
 }
 
 /// Newick parser over a string_view cursor. Nesting is handled with an
@@ -298,41 +296,16 @@ Result<Tree> ParseNewickImpl(std::string_view text,
   return result;
 }
 
-}  // namespace
-
-Result<Tree> ParseNewick(std::string_view text,
-                         std::shared_ptr<LabelTable> labels,
-                         const ParseLimits& limits) {
-  if (text.size() > limits.max_input_bytes) {
-    return Status::ResourceExhausted(
-        "Newick input of " + std::to_string(text.size()) +
-        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
-        "-byte limit");
-  }
-  if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  return ParseNewickImpl(text, std::move(labels),
-                         SourceContext{text, nullptr, 0}, limits);
-}
-
-Result<std::vector<Tree>> ParseNewickForest(
-    std::string_view text, std::shared_ptr<LabelTable> labels,
-    const ParseLimits& limits) {
-  if (text.size() > limits.max_input_bytes) {
-    return Status::ResourceExhausted(
-        "Newick input of " + std::to_string(text.size()) +
-        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
-        "-byte limit");
-  }
-  if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  // Drop '#'-comment lines first; trees are then split on ';'. Both
-  // steps are quote-aware — a quoted label may legally contain ';',
-  // '#', or newlines, and must not shear its tree apart. Each retained
-  // char keeps its offset in `text` so parse errors can point at the
-  // user's input rather than this internal buffer.
-  std::string cleaned;
-  std::vector<size_t> to_source;
-  cleaned.reserve(text.size());
-  to_source.reserve(text.size());
+/// Drops '#'-comment lines from a forest (quote-aware: a quoted label
+/// may legally contain '#' or line breaks), recording each retained
+/// char's offset in `text` so parse errors can point at the user's
+/// input rather than this internal buffer. Line terminators are '\n',
+/// "\r\n", or a lone '\r' — Windows- and classic-Mac-authored forests
+/// must not have a comment swallow the trees that follow it.
+void StripCommentLines(std::string_view text, std::string* cleaned,
+                       std::vector<size_t>* to_source) {
+  cleaned->reserve(text.size());
+  to_source->reserve(text.size());
   bool in_quote = false;
   size_t i = 0;
   while (i < text.size()) {
@@ -340,30 +313,46 @@ Result<std::vector<Tree>> ParseNewickForest(
       // At a line start outside quotes: a line whose first non-blank
       // char is '#' is a comment; drop it whole.
       size_t j = i;
-      while (j < text.size() && text[j] != '\n' &&
+      while (j < text.size() && text[j] != '\n' && text[j] != '\r' &&
              std::isspace(static_cast<unsigned char>(text[j]))) {
         ++j;
       }
       if (j < text.size() && text[j] == '#') {
-        while (i < text.size() && text[i] != '\n') ++i;
-        if (i < text.size()) ++i;  // the newline itself
+        while (i < text.size() && text[i] != '\n' && text[i] != '\r') {
+          ++i;
+        }
+        if (i < text.size()) {
+          // The terminator itself: "\r\n" counts as one.
+          if (text[i] == '\r' && i + 1 < text.size() &&
+              text[i + 1] == '\n') {
+            ++i;
+          }
+          ++i;
+        }
         continue;
       }
     }
     // Copy one line, tracking quote state ('' toggles twice, net
-    // unchanged). A newline inside a quote does not end the "line" for
-    // comment-detection purposes: the next iteration sees in_quote.
+    // unchanged). A line break inside a quote does not end the "line"
+    // for comment-detection purposes: the next iteration sees in_quote.
     while (i < text.size()) {
       const char c = text[i];
-      cleaned.push_back(c);
-      to_source.push_back(i);
+      cleaned->push_back(c);
+      to_source->push_back(i);
       ++i;
       if (c == '\'') in_quote = !in_quote;
-      if (c == '\n') break;
+      if (c == '\n' || c == '\r') break;
     }
   }
-  std::vector<Tree> out;
-  // Split on ';' outside quotes.
+}
+
+/// Invokes `entry(trimmed, base)` for each non-empty ';'-separated
+/// entry of the comment-stripped buffer (split is quote-aware); `base`
+/// is the entry's offset in `cleaned`. Stops at the first non-OK
+/// callback result.
+Status ForEachForestEntry(
+    const std::string& cleaned,
+    const std::function<Status(std::string_view, size_t)>& entry) {
   size_t start = 0;
   bool quoted = false;
   for (size_t k = 0; k <= cleaned.size(); ++k) {
@@ -381,12 +370,107 @@ Result<std::vector<Tree>> ParseNewickForest(
     if (trimmed.empty()) continue;
     const size_t base =
         static_cast<size_t>(trimmed.data() - cleaned.data());
-    COUSINS_ASSIGN_OR_RETURN(
-        Tree t,
-        ParseNewickImpl(trimmed, labels,
-                        SourceContext{text, &to_source, base}, limits));
-    out.push_back(std::move(t));
+    COUSINS_RETURN_IF_ERROR(entry(trimmed, base));
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Tree> ParseNewick(std::string_view text,
+                         std::shared_ptr<LabelTable> labels,
+                         const ParseLimits& limits) {
+  return ParseNewickWithErrorOffset(text, std::move(labels), limits,
+                                    nullptr);
+}
+
+Result<Tree> ParseNewickWithErrorOffset(std::string_view text,
+                                        std::shared_ptr<LabelTable> labels,
+                                        const ParseLimits& limits,
+                                        size_t* error_offset) {
+  text = StripUtf8Bom(text);
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  return ParseNewickImpl(text, std::move(labels),
+                         SourceContext{text, nullptr, 0, error_offset},
+                         limits);
+}
+
+Result<std::vector<Tree>> ParseNewickForest(
+    std::string_view text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  text = StripUtf8Bom(text);
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  std::string cleaned;
+  std::vector<size_t> to_source;
+  StripCommentLines(text, &cleaned, &to_source);
+  std::vector<Tree> out;
+  COUSINS_RETURN_IF_ERROR(ForEachForestEntry(
+      cleaned, [&](std::string_view trimmed, size_t base) -> Status {
+        Result<Tree> t = ParseNewickImpl(
+            trimmed, labels, SourceContext{text, &to_source, base},
+            limits);
+        if (!t.ok()) return t.status();
+        out.push_back(std::move(t).value());
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<LenientForest> ParseNewickForestLenient(
+    std::string_view text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  text = StripUtf8Bom(text);
+  // The whole-input cap guards this process, not one tree: it stays a
+  // hard error even in lenient mode.
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  std::string cleaned;
+  std::vector<size_t> to_source;
+  StripCommentLines(text, &cleaned, &to_source);
+  LenientForest out;
+  int64_t entry_index = 0;
+  COUSINS_RETURN_IF_ERROR(ForEachForestEntry(
+      cleaned, [&](std::string_view trimmed, size_t base) -> Status {
+        // Default the error position to the entry's start in `text`
+        // for failures that never describe a position.
+        size_t error_offset =
+            base < to_source.size() ? to_source[base] : text.size();
+        SourceContext ctx{text, &to_source, base, &error_offset};
+        Result<Tree> t = ParseNewickImpl(trimmed, labels, ctx, limits);
+        const int64_t index = entry_index++;
+        if (t.ok()) {
+          out.trees.push_back(std::move(t).value());
+          out.source_indices.push_back(index);
+        } else {
+          ForestEntryError error;
+          error.tree_index = index;
+          error.byte_offset = error_offset;
+          const TextPosition pos = LineColumnAt(text, error_offset);
+          error.line = pos.line;
+          error.column = pos.column;
+          error.status = t.status();
+          error.snippet = TruncateForDisplay(trimmed, 64);
+          out.errors.push_back(std::move(error));
+        }
+        return Status::OK();
+      }));
   return out;
 }
 

@@ -9,6 +9,7 @@
 #ifndef COUSINS_TREE_NEWICK_H_
 #define COUSINS_TREE_NEWICK_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -17,18 +18,29 @@
 #include "tree/parse_limits.h"
 #include "tree/tree.h"
 #include "util/result.h"
+#include "util/status.h"
 
 namespace cousins {
 
 /// Parses one Newick tree (the trailing ';' is optional). Labels are
 /// interned into `labels` (a fresh table if null). Parse errors report
-/// the 1-based line and column in `text`. Inputs exceeding `limits`
-/// (size, nodes, depth, label length) come back as kResourceExhausted
-/// with the same line/column reporting; pass ParseLimits::Unlimited()
-/// for trusted input.
+/// the 1-based line and column in `text` ("\r\n" and lone '\r' both
+/// count as line breaks; a leading UTF-8 BOM is stripped and positions
+/// refer to the BOM-less text, matching what editors display). Inputs
+/// exceeding `limits` (size, nodes, depth, label length) come back as
+/// kResourceExhausted with the same line/column reporting; pass
+/// ParseLimits::Unlimited() for trusted input.
 Result<Tree> ParseNewick(std::string_view text,
                          std::shared_ptr<LabelTable> labels = nullptr,
                          const ParseLimits& limits = ParseLimits());
+
+/// As ParseNewick; on failure additionally reports the byte offset of
+/// the error within the (BOM-stripped) `text` via `error_offset` when
+/// non-null. Lenient drivers use this to record machine-readable
+/// positions without parsing the message text.
+Result<Tree> ParseNewickWithErrorOffset(
+    std::string_view text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits, size_t* error_offset);
 
 /// Parses a ';'-separated sequence of Newick trees sharing one label
 /// table. Tree separators are ';' characters *outside* quoted labels,
@@ -37,6 +49,42 @@ Result<Tree> ParseNewick(std::string_view text,
 /// parse errors still report line/column positions in the caller's
 /// original `text`, not the internal comment-stripped buffer.
 Result<std::vector<Tree>> ParseNewickForest(
+    std::string_view text, std::shared_ptr<LabelTable> labels = nullptr,
+    const ParseLimits& limits = ParseLimits());
+
+/// One failed entry from a lenient forest parse — everything the
+/// quarantine ledger (core/quarantine.h) needs to name the bad tree.
+struct ForestEntryError {
+  /// Index of the failed entry among the forest's non-empty entries —
+  /// the same numbering LenientForest::source_indices uses for the
+  /// trees that did parse.
+  int64_t tree_index = 0;
+  /// Error position in the (BOM-stripped) original input.
+  size_t byte_offset = 0;
+  size_t line = 1;
+  size_t column = 1;
+  Status status;
+  /// Truncated text of the failed entry, for the health report.
+  std::string snippet;
+};
+
+/// Result of a lenient forest parse: the trees that parsed, each tree's
+/// stable entry index in the input, and one ForestEntryError per entry
+/// that failed. trees.size() + errors.size() == number of non-empty
+/// entries; source_indices and errors partition [0, that total).
+struct LenientForest {
+  std::vector<Tree> trees;
+  std::vector<int64_t> source_indices;
+  std::vector<ForestEntryError> errors;
+};
+
+/// Degraded-mode counterpart of ParseNewickForest: instead of aborting
+/// at the first malformed entry, records it (with its position and a
+/// snippet) and keeps parsing the rest. Only a whole-input limit
+/// violation (ParseLimits::max_input_bytes) is still a hard error —
+/// per-entry failures, including per-entry limit trips such as an
+/// oversized label, are isolated.
+Result<LenientForest> ParseNewickForestLenient(
     std::string_view text, std::shared_ptr<LabelTable> labels = nullptr,
     const ParseLimits& limits = ParseLimits());
 

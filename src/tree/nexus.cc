@@ -11,9 +11,14 @@
 namespace cousins {
 namespace {
 
-Result<std::string> StripBracketComments(const std::string& text) {
+/// Strips '[...]' comments. When `to_source` is non-null, records each
+/// retained char's offset in `text` so lenient error positions can
+/// point at the user's input rather than the stripped buffer.
+Result<std::string> StripBracketComments(std::string_view text,
+                                         std::vector<size_t>* to_source) {
   std::string out;
   out.reserve(text.size());
+  if (to_source != nullptr) to_source->reserve(text.size());
   int depth = 0;
   size_t open_pos = 0;
   for (size_t i = 0; i < text.size(); ++i) {
@@ -25,6 +30,7 @@ Result<std::string> StripBracketComments(const std::string& text) {
       if (depth > 0) --depth;
     } else if (depth == 0) {
       out.push_back(c);
+      if (to_source != nullptr) to_source->push_back(i);
     }
   }
   if (depth > 0) {
@@ -239,28 +245,61 @@ std::string ToNexus(const std::vector<NamedTree>& trees,
   return out;
 }
 
-Result<std::vector<NamedTree>> ParseNexusTrees(
-    const std::string& text, std::shared_ptr<LabelTable> labels,
-    const ParseLimits& limits) {
-  if (text.size() > limits.max_input_bytes) {
+namespace {
+
+/// Shared body of the strict and lenient NEXUS parsers. In strict mode
+/// (`lenient` null) the first bad TREE statement aborts the parse; in
+/// lenient mode it is recorded in `lenient->errors` (with its position
+/// in `body`, the BOM-stripped input) and skipped. File-level defects
+/// (size cap, unterminated comments, bad TRANSLATE) abort both modes.
+Status ParseNexusImpl(std::string_view body,
+                      std::shared_ptr<LabelTable> labels,
+                      const ParseLimits& limits,
+                      std::vector<NamedTree>* out,
+                      LenientNamedForest* lenient) {
+  if (body.size() > limits.max_input_bytes) {
     return Status::ResourceExhausted(
-        "NEXUS input of " + std::to_string(text.size()) +
+        "NEXUS input of " + std::to_string(body.size()) +
         " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
         "-byte limit");
   }
   if (labels == nullptr) labels = std::make_shared<LabelTable>();
-  COUSINS_ASSIGN_OR_RETURN(const std::string cleaned,
-                           StripBracketComments(text));
+  std::vector<size_t> to_source;
+  COUSINS_ASSIGN_OR_RETURN(
+      const std::string cleaned,
+      StripBracketComments(body, lenient != nullptr ? &to_source
+                                                    : nullptr));
 
-  std::vector<NamedTree> out;
+  // Maps an offset in `cleaned` back to the original `body`.
+  auto source_offset = [&](size_t cleaned_offset) {
+    return cleaned_offset < to_source.size() ? to_source[cleaned_offset]
+                                             : body.size();
+  };
+  // Records one failed TREE statement in lenient mode.
+  auto quarantine = [&](int64_t index, Status status,
+                        size_t cleaned_offset,
+                        std::string_view statement) {
+    ForestEntryError error;
+    error.tree_index = index;
+    error.byte_offset = source_offset(cleaned_offset);
+    const TextPosition pos = LineColumnAt(body, error.byte_offset);
+    error.line = pos.line;
+    error.column = pos.column;
+    error.status = std::move(status);
+    error.snippet = TruncateForDisplay(statement, 64);
+    lenient->errors.push_back(std::move(error));
+  };
+
   bool in_trees_block = false;
+  int64_t tree_index = 0;
   TranslateMap translate;
   for (std::string_view raw : Split(cleaned, ';')) {
     std::string_view statement = StripWhitespace(raw);
     // The "#NEXUS" header is a line, not a ';'-terminated statement, so
-    // it prefixes whatever statement follows it; drop such lines.
+    // it prefixes whatever statement follows it; drop such lines. Any
+    // of '\n', "\r\n", or lone '\r' ends the header line.
     while (!statement.empty() && statement[0] == '#') {
-      const size_t eol = statement.find('\n');
+      const size_t eol = statement.find_first_of("\r\n");
       if (eol == std::string_view::npos) {
         statement = {};
         break;
@@ -291,9 +330,15 @@ Result<std::vector<NamedTree>> ParseNexusTrees(
       continue;
     }
     if (StartsWith(lower, "tree ") || StartsWith(lower, "tree\t")) {
+      const int64_t index = tree_index++;
+      const size_t statement_base =
+          static_cast<size_t>(statement.data() - cleaned.data());
       const size_t eq = statement.find('=');
       if (eq == std::string_view::npos) {
-        return Status::InvalidArgument("TREE statement without '='");
+        Status st = Status::InvalidArgument("TREE statement without '='");
+        if (lenient == nullptr) return st;
+        quarantine(index, std::move(st), statement_base, statement);
+        continue;
       }
       NamedTree named;
       named.name =
@@ -302,14 +347,47 @@ Result<std::vector<NamedTree>> ParseNexusTrees(
       // Parse into a scratch table, then rename through TRANSLATE onto
       // the shared table.
       auto scratch = std::make_shared<LabelTable>();
-      COUSINS_ASSIGN_OR_RETURN(Tree parsed,
-                               ParseNewick(newick, scratch, limits));
-      named.tree = ApplyTranslation(parsed, translate, labels);
-      out.push_back(std::move(named));
+      size_t local_error = 0;
+      Result<Tree> parsed = ParseNewickWithErrorOffset(
+          newick, scratch, limits,
+          lenient != nullptr ? &local_error : nullptr);
+      if (!parsed.ok()) {
+        if (lenient == nullptr) return parsed.status();
+        const size_t newick_base =
+            static_cast<size_t>(newick.data() - cleaned.data());
+        quarantine(index, parsed.status(), newick_base + local_error,
+                   statement);
+        continue;
+      }
+      named.tree = ApplyTranslation(*parsed, translate, labels);
+      if (lenient != nullptr) lenient->source_indices.push_back(index);
+      out->push_back(std::move(named));
       continue;
     }
     // Other statements inside the block (e.g. LINK) are ignored.
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<NamedTree>> ParseNexusTrees(
+    const std::string& text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  std::vector<NamedTree> out;
+  COUSINS_RETURN_IF_ERROR(ParseNexusImpl(StripUtf8Bom(text),
+                                         std::move(labels), limits, &out,
+                                         nullptr));
+  return out;
+}
+
+Result<LenientNamedForest> ParseNexusForestLenient(
+    const std::string& text, std::shared_ptr<LabelTable> labels,
+    const ParseLimits& limits) {
+  LenientNamedForest out;
+  COUSINS_RETURN_IF_ERROR(ParseNexusImpl(StripUtf8Bom(text),
+                                         std::move(labels), limits,
+                                         &out.trees, &out));
   return out;
 }
 

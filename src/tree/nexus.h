@@ -10,10 +10,12 @@
 #ifndef COUSINS_TREE_NEXUS_H_
 #define COUSINS_TREE_NEXUS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "tree/newick.h"
 #include "tree/parse_limits.h"
 #include "tree/tree.h"
 #include "util/result.h"
@@ -29,8 +31,30 @@ struct NamedTree {
 /// TRANSLATE tables. All trees share `labels` (fresh if null).
 /// `limits` caps the input size and is forwarded to the embedded
 /// Newick parses (node count, nesting depth, label length); an
-/// unterminated '[' comment is a parse error.
+/// unterminated '[' comment is a parse error. A leading UTF-8 BOM is
+/// stripped, and '\n', "\r\n", and lone '\r' all terminate the
+/// "#NEXUS" header line.
 Result<std::vector<NamedTree>> ParseNexusTrees(
+    const std::string& text, std::shared_ptr<LabelTable> labels = nullptr,
+    const ParseLimits& limits = ParseLimits());
+
+/// Lenient-parse result for a NEXUS file: the TREE statements that
+/// parsed, each one's stable index among the file's TREE statements,
+/// and one ForestEntryError (tree/newick.h) per statement that failed.
+struct LenientNamedForest {
+  std::vector<NamedTree> trees;
+  std::vector<int64_t> source_indices;
+  std::vector<ForestEntryError> errors;
+};
+
+/// Degraded-mode counterpart of ParseNexusTrees: a TREE statement that
+/// fails to parse (malformed Newick, missing '=', per-entry limit
+/// trip) is recorded with its position in `text` and skipped, and the
+/// rest of the file still parses. File-level defects stay hard errors
+/// in both modes: whole-input size cap, unterminated '[' comments, and
+/// malformed TRANSLATE tables (a broken table would silently mislabel
+/// every following tree, which is worse than failing).
+Result<LenientNamedForest> ParseNexusForestLenient(
     const std::string& text, std::shared_ptr<LabelTable> labels = nullptr,
     const ParseLimits& limits = ParseLimits());
 

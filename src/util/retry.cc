@@ -1,0 +1,59 @@
+#include "util/retry.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::atomic<retry::RetryObserver> g_retry_observer{nullptr};
+
+}  // namespace
+
+namespace retry {
+
+void SetRetryObserver(RetryObserver observer) {
+  g_retry_observer.store(observer, std::memory_order_release);
+}
+
+}  // namespace retry
+
+Status RetryTransient(const RetryPolicy& policy, const char* op,
+                      const std::function<Status()>& fn) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Rng jitter(policy.jitter_seed);
+  std::chrono::duration<double, std::milli> delay = policy.initial_delay;
+  for (int attempt = 1;; ++attempt) {
+    Status st;
+    if (fault::Fired("retry.transient")) {
+      st = Status::Unavailable(
+          std::string("injected fault at retry.transient during ") + op);
+    } else {
+      st = fn();
+    }
+    if (st.ok() || !st.IsTransient()) return st;
+    const bool will_retry = attempt < attempts;
+    if (auto* observer =
+            g_retry_observer.load(std::memory_order_acquire)) {
+      observer(op, static_cast<uint64_t>(attempt), will_retry);
+    }
+    if (!will_retry) return st;
+    double scale = 1.0;
+    if (policy.jitter_fraction > 0) {
+      scale += policy.jitter_fraction * (2.0 * jitter.NextDouble() - 1.0);
+    }
+    const auto sleep_for = delay * scale;
+    if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+    delay *= policy.backoff_multiplier;
+    if (delay > std::chrono::duration<double, std::milli>(
+                    policy.max_delay)) {
+      delay = policy.max_delay;
+    }
+  }
+}
+
+}  // namespace cousins

@@ -1,0 +1,101 @@
+// Bounded retry with deterministic backoff for transient-failure
+// surfaces (file reads, checkpoint writes, bench-report writes).
+//
+// Only Status values with IsTransient() == true are ever retried
+// (today: kUnavailable — disk hiccups, short writes, files that exist
+// but momentarily fail to read). Permanent failures — parse errors,
+// corruption, governance trips, logic errors — return immediately on
+// the first attempt: retrying them can only waste time or mask bugs.
+//
+// Backoff is exponential with seeded jitter drawn from util/rng.h, so
+// a retry schedule replays bit-identically run to run — the same
+// discipline the fault-injection drills rely on. The default policy is
+// None() (a single attempt): callers opt in to retry where the ISSUE's
+// degraded-mode contract wants it (lenient CLI runs), and strict
+// library paths keep failing fast so the fault sweep still proves
+// every hard-failure path.
+//
+// Layering: like util/fault_injection.h, this header has no obs/
+// dependency; obs/metrics.cc installs a retry observer at static-init
+// time that mirrors retry activity into the retry.* counters.
+
+#ifndef COUSINS_UTIL_RETRY_H_
+#define COUSINS_UTIL_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cousins {
+
+/// How (and whether) to retry an operation that can fail transiently.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry entirely.
+  int max_attempts = 1;
+  /// Delay before the second attempt; later delays multiply by
+  /// `backoff_multiplier` and clamp at `max_delay`.
+  std::chrono::milliseconds initial_delay{2};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_delay{50};
+  /// Each delay is scaled by a factor uniform in
+  /// [1 - jitter_fraction, 1 + jitter_fraction], drawn from an Rng
+  /// seeded with `jitter_seed` — deterministic, so drills replay.
+  double jitter_fraction = 0.25;
+  uint64_t jitter_seed = 0;
+
+  /// A single attempt, no retry (the default everywhere).
+  static RetryPolicy None() { return RetryPolicy{}; }
+
+  /// The lenient-pipeline default: three attempts, short exponential
+  /// backoff with deterministic jitter.
+  static RetryPolicy Default(uint64_t jitter_seed = 0) {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.jitter_seed = jitter_seed;
+    return policy;
+  }
+};
+
+namespace retry {
+
+/// Called once per transient failure inside RetryTransient, with the
+/// operation name, the 1-based attempt that just failed, and whether
+/// another attempt follows. Installed by obs/metrics.cc to mirror
+/// retry activity into retry.* counters.
+using RetryObserver = void (*)(const char* op, uint64_t attempt,
+                               bool will_retry);
+void SetRetryObserver(RetryObserver observer);
+
+}  // namespace retry
+
+/// Runs `fn` up to `policy.max_attempts` times, sleeping with
+/// exponential backoff + seeded jitter between attempts. Returns the
+/// first OK or permanent Status, or the last transient Status once
+/// attempts are exhausted. The cold fault site "retry.transient" is
+/// consulted before each attempt; when armed it simulates a transient
+/// failure of that attempt without running `fn`.
+Status RetryTransient(const RetryPolicy& policy, const char* op,
+                      const std::function<Status()>& fn);
+
+/// Result<T>-returning flavor of RetryTransient.
+template <typename Fn>
+auto RetryTransientValue(const RetryPolicy& policy, const char* op,
+                         Fn&& fn) -> decltype(fn()) {
+  using ResultT = decltype(fn());
+  std::optional<ResultT> out;
+  Status st = RetryTransient(policy, op, [&]() -> Status {
+    out.emplace(fn());
+    return out->ok() ? Status::OK() : out->status();
+  });
+  if (!st.ok()) return ResultT(std::move(st));
+  return std::move(*out);
+}
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_RETRY_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

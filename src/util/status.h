@@ -28,6 +28,11 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // A transient environmental failure (disk hiccup, short write,
+  // unreadable file that exists): retrying the same operation may
+  // succeed. The retry layer (util/retry.h) only ever retries this
+  // code; parse errors, corruption and logic errors are permanent.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -72,8 +77,15 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True when the failure is worth retrying (see util/retry.h): the
+  /// operation hit a transient environmental condition rather than a
+  /// permanent defect in its input or logic.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -50,4 +50,43 @@ std::string FormatHalfDistance(int twice_distance) {
   return out;
 }
 
+std::string TruncateForDisplay(std::string_view s, size_t max_bytes) {
+  if (s.size() <= max_bytes) return std::string(s);
+  return std::string(s.substr(0, max_bytes)) + "...";
+}
+
+std::string_view StripUtf8Bom(std::string_view s) {
+  if (s.size() >= 3 && static_cast<unsigned char>(s[0]) == 0xEF &&
+      static_cast<unsigned char>(s[1]) == 0xBB &&
+      static_cast<unsigned char>(s[2]) == 0xBF) {
+    return s.substr(3);
+  }
+  return s;
+}
+
+TextPosition LineColumnAt(std::string_view text, size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  TextPosition pos;
+  size_t i = 0;
+  while (i < offset) {
+    char c = text[i];
+    if (c == '\r') {
+      // "\r\n" is one break; never let the '\n' of a CRLF pair count
+      // again, even when `offset` lands between the two bytes.
+      if (i + 1 < text.size() && text[i + 1] == '\n' && i + 1 < offset) {
+        ++i;
+      }
+      ++pos.line;
+      pos.column = 1;
+    } else if (c == '\n') {
+      ++pos.line;
+      pos.column = 1;
+    } else {
+      ++pos.column;
+    }
+    ++i;
+  }
+  return pos;
+}
+
 }  // namespace cousins

@@ -60,11 +60,29 @@ TEST_F(BenchReportTest, FinishWritesTheReportAndReturnsTheVerdict) {
   std::remove(ReportPath(::testing::TempDir(), "report_bad_shape").c_str());
 }
 
-TEST_F(BenchReportTest, FailedWriteRemovesTheTornReportButKeepsVerdict) {
+TEST_F(BenchReportTest, TransientWriteFaultIsRetriedAndTheReportSurvives) {
+  const std::string path =
+      ReportPath(::testing::TempDir(), "report_retried");
+  std::remove(path.c_str());
+  // A single one-shot fault fails the first write attempt; the retry
+  // rewrites the report whole.
+  fault::FaultRegistry::Global().Arm("bench.report.write", 1);
+  bench::BenchReport report("report_retried");
+  report.SetN(1);
+  EXPECT_TRUE(report.Finish(true));
+  fault::FaultRegistry::Global().DisarmAll();
+  const std::string body = ReadAll(path);
+  EXPECT_NE(body.find("\"report_retried\""), std::string::npos) << body;
+  std::remove(path.c_str());
+}
+
+TEST_F(BenchReportTest, ExhaustedWriteRetriesRemoveTheTornReport) {
   const std::string path =
       ReportPath(::testing::TempDir(), "report_torn");
   std::remove(path.c_str());
-  fault::FaultRegistry::Global().Arm("bench.report.write", 1);
+  // Random mode with denominator 1 fires on every hit, so every retry
+  // attempt fails and the policy exhausts.
+  fault::FaultRegistry::Global().ArmRandom(7, 1);
   bench::BenchReport report("report_torn");
   report.SetN(1);
   // The verdict is the shape check, not the telemetry write.

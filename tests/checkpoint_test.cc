@@ -297,7 +297,9 @@ TEST(CheckpointFileTest, FailedWriteLeavesThePreviousCheckpointIntact) {
     Status st = WriteFileAtomic(path, "torn replacement");
     fault::FaultRegistry::Global().DisarmAll();
     ASSERT_FALSE(st.ok()) << site;
-    EXPECT_EQ(st.code(), StatusCode::kInternal) << site;
+    // Atomic-write failures are transient (retryable) by taxonomy.
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << site;
+    EXPECT_TRUE(st.IsTransient()) << site;
     Result<std::string> bytes = ReadFileToString(path);
     ASSERT_TRUE(bytes.ok()) << site;
     EXPECT_EQ(*bytes, "survives") << site;
@@ -377,10 +379,18 @@ TEST_F(CheckpointCorruptionTest, DistinctErrorsForEachHeaderProblem) {
   // Version skew with a recomputed CRC: the version check itself must
   // reject it, not the checksum.
   std::string skewed = bytes_;
-  skewed[8] = 2;  // version field, little-endian
+  skewed[8] = 3;  // version field, little-endian (current version is 2)
   EXPECT_NE(Restore(WithFixedCrc(skewed))
                 .message()
-                .find("unsupported checkpoint version 2"),
+                .find("unsupported checkpoint version 3"),
+            std::string::npos);
+
+  // A version-1 file (pre-quarantine layout) is likewise refused.
+  std::string v1 = bytes_;
+  v1[8] = 1;
+  EXPECT_NE(Restore(WithFixedCrc(v1))
+                .message()
+                .find("unsupported checkpoint version 1"),
             std::string::npos);
 
   std::string crc_only = bytes_;

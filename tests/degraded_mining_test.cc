@@ -1,0 +1,406 @@
+// Degraded-mode execution: the lenient-equivalence property (mining a
+// poisoned forest leniently produces exactly the tallies of a strict
+// run over the forest minus the poisoned entries, across thread counts
+// and checkpoint cadences), the worker stall watchdog drill, the
+// lenient crash→resume drill (bit-identical tallies AND ledger), and
+// the degraded consensus/bootstrap facades.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+#include "core/parallel_mining.h"
+#include "core/quarantine.h"
+#include "gen/yule_generator.h"
+#include "obs/metrics.h"
+#include "phylo/bootstrap.h"
+#include "phylo/consensus.h"
+#include "seq/jukes_cantor.h"
+#include "seq/neighbor_joining.h"
+#include "tree/newick.h"
+#include "util/fault_injection.h"
+#include "util/governance.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+/// A ';'-separated Newick forest of `count` generated phylogenies.
+std::vector<std::string> ForestEntries(int count, uint64_t seed) {
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(seed);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 15;
+  gen.max_nodes = 40;
+  gen.alphabet_size = 50;
+  std::vector<std::string> entries;
+  for (int i = 0; i < count; ++i) {
+    entries.push_back(ToNewick(GenerateYulePhylogeny(gen, rng, labels)));
+  }
+  return entries;
+}
+
+std::string JoinEntries(const std::vector<std::string>& entries) {
+  std::string text;
+  for (const std::string& e : entries) {
+    text += e;
+    text += "\n";
+  }
+  return text;
+}
+
+/// Replaces the entries at `poisoned` indices with malformed Newick.
+std::string PoisonedText(std::vector<std::string> entries,
+                         const std::set<int64_t>& poisoned) {
+  for (int64_t i : poisoned) {
+    entries[static_cast<size_t>(i)] = "((broken,(entry;";
+  }
+  return JoinEntries(entries);
+}
+
+/// Mimics the CLI's lenient ingestion: parse leniently, quarantine the
+/// parse failures, and hand back the surviving trees + their stable
+/// source indices.
+LenientForest LenientIngest(const std::string& text,
+                            std::shared_ptr<LabelTable> labels,
+                            QuarantineLedger* ledger) {
+  Result<LenientForest> parsed = ParseNewickForestLenient(text, labels);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const ForestEntryError& e : parsed->errors) {
+    QuarantineEntry entry;
+    entry.tree_index = e.tree_index;
+    entry.source = "forest.nwk";
+    entry.byte_offset = e.byte_offset;
+    entry.line = e.line;
+    entry.column = e.column;
+    entry.code = e.status.code();
+    entry.message = std::string(e.status.message());
+    entry.snippet = e.snippet;
+    entry.stage = QuarantineStage::kParse;
+    ledger->Add(entry);
+  }
+  return *std::move(parsed);
+}
+
+/// Renders pairs by label name so runs over different label tables
+/// (lenient parsing interns labels from half-parsed bad entries)
+/// compare by content.
+std::vector<std::string> Rendered(const LabelTable& labels,
+                                  const std::vector<FrequentCousinPair>& ps) {
+  std::vector<std::string> out;
+  for (const FrequentCousinPair& p : ps) {
+    out.push_back(FormatFrequentPair(labels, p));
+  }
+  return out;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "cousins_degraded_" + name;
+}
+
+class LenientEquivalence
+    : public ::testing::TestWithParam<std::tuple<int32_t, int32_t>> {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_P(LenientEquivalence, LenientTalliesEqualStrictOnHealthySubset) {
+  const int32_t threads = std::get<0>(GetParam());
+  const int32_t every = std::get<1>(GetParam());
+  const std::vector<std::string> entries = ForestEntries(500, 97);
+  const std::set<int64_t> poisoned = {0, 7, 63, 64, 250, 498, 499};
+
+  // Strict baseline: the forest minus the poisoned entries.
+  std::vector<std::string> healthy;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (poisoned.count(static_cast<int64_t>(i)) == 0) {
+      healthy.push_back(entries[i]);
+    }
+  }
+  auto strict_labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> strict_trees =
+      ParseNewickForest(JoinEntries(healthy), strict_labels);
+  ASSERT_TRUE(strict_trees.ok()) << strict_trees.status().ToString();
+  MultiTreeMiningOptions options;
+  options.min_support = 5;
+  Result<MultiTreeMiningRun> strict = MineMultipleTreesParallelGoverned(
+      *strict_trees, options, MiningContext::Unlimited(), threads);
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  ASSERT_FALSE(strict->truncated);
+
+  // Lenient run over the poisoned text.
+  auto lenient_labels = std::make_shared<LabelTable>();
+  QuarantineLedger ledger;
+  LenientForest forest = LenientIngest(PoisonedText(entries, poisoned),
+                                       lenient_labels, &ledger);
+  ASSERT_EQ(forest.trees.size(), entries.size() - poisoned.size());
+  DegradedModeConfig degraded;
+  degraded.lenient = true;
+  degraded.ledger = &ledger;
+  degraded.source_indices = &forest.source_indices;
+  degraded.source_name = "forest.nwk";
+
+  Result<MultiTreeMiningRun> lenient = Status::Internal("not run");
+  const std::string path =
+      TempPath("equiv_" + std::to_string(threads) + "_" +
+               std::to_string(every));
+  std::remove(path.c_str());
+  if (every == 0) {
+    lenient = MineMultipleTreesParallelGoverned(
+        forest.trees, options, MiningContext::Unlimited(), degraded,
+        threads);
+  } else {
+    MiningCheckpointConfig config;
+    config.path = path;
+    config.every_trees = every;
+    lenient = MineMultipleTreesCheckpointed(forest.trees, options,
+                                            MiningContext::Unlimited(),
+                                            config, degraded, threads);
+  }
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  ASSERT_FALSE(lenient->truncated) << lenient->termination.ToString();
+
+  EXPECT_EQ(Rendered(*lenient_labels, lenient->pairs),
+            Rendered(*strict_labels, strict->pairs));
+
+  // The ledger names exactly the poisoned entries, parse stage.
+  const std::vector<QuarantineEntry> quarantined = ledger.Entries();
+  ASSERT_EQ(quarantined.size(), poisoned.size());
+  std::set<int64_t> recorded;
+  for (const QuarantineEntry& e : quarantined) {
+    recorded.insert(e.tree_index);
+    EXPECT_EQ(e.stage, QuarantineStage::kParse);
+    EXPECT_EQ(e.source, "forest.nwk");
+  }
+  EXPECT_EQ(recorded, poisoned);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByCadence, LenientEquivalence,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(0, 64)));
+
+TEST(WatchdogTest, HealthyRunUnderTheWatchdogIsUnchanged) {
+  fault::FaultRegistry::Global().DisarmAll();
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> trees =
+      ParseNewickForest(JoinEntries(ForestEntries(80, 5)), labels);
+  ASSERT_TRUE(trees.ok());
+  MultiTreeMiningOptions options;
+  options.min_support = 3;
+  Result<MultiTreeMiningRun> plain = MineMultipleTreesParallelGoverned(
+      *trees, options, MiningContext::Unlimited(), 3);
+  ASSERT_TRUE(plain.ok());
+
+  DegradedModeConfig degraded;
+  degraded.watchdog_interval = std::chrono::milliseconds(5000);
+  Result<MultiTreeMiningRun> watched = MineMultipleTreesParallelGoverned(
+      *trees, options, MiningContext::Unlimited(), degraded, 3);
+  ASSERT_TRUE(watched.ok()) << watched.status().ToString();
+  EXPECT_FALSE(watched->truncated);
+  EXPECT_EQ(watched->pairs, plain->pairs);
+}
+
+TEST(WatchdogTest, StalledShardTripsDeadlineAndCancelsSiblings) {
+  fault::FaultRegistry::Global().DisarmAll();
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> trees =
+      ParseNewickForest(JoinEntries(ForestEntries(120, 6)), labels);
+  ASSERT_TRUE(trees.ok());
+  MultiTreeMiningOptions options;
+  options.min_support = 3;
+
+  const int64_t stalls_before =
+      obs::MetricsRegistry::Global().GetCounter("watchdog.stalls").value();
+  DegradedModeConfig degraded;
+  degraded.watchdog_interval = std::chrono::milliseconds(100);
+  fault::FaultRegistry::Global().Arm("watchdog.stall", 1);
+  const auto start = std::chrono::steady_clock::now();
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      *trees, options, MiningContext::Unlimited(), degraded, 3);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  fault::FaultRegistry::Global().DisarmAll();
+
+  // A stall is a governance trip: a partial, truncated run naming the
+  // stuck shard — not a hang and not a hard error.
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->truncated);
+  EXPECT_EQ(run->termination.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsGovernanceTrip(run->termination));
+  EXPECT_NE(run->termination.message().find("watchdog"), std::string::npos)
+      << run->termination.ToString();
+  EXPECT_NE(run->termination.message().find("shard"), std::string::npos);
+  // Sibling cancellation bounds the whole run to a few intervals, not
+  // the natural runtime of the stalled worker (which never finishes).
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(
+      obs::MetricsRegistry::Global().GetCounter("watchdog.stalls").value(),
+      stalls_before + 1);
+}
+
+TEST(LenientResumeTest, KilledLenientRunResumesToIdenticalTalliesAndLedger) {
+  fault::FaultRegistry::Global().DisarmAll();
+  const std::vector<std::string> entries = ForestEntries(200, 44);
+  const std::set<int64_t> poisoned = {3, 77, 150};
+  const std::string text = PoisonedText(entries, poisoned);
+  MultiTreeMiningOptions options;
+  options.min_support = 4;
+  MiningCheckpointConfig config;
+  config.every_trees = 16;
+
+  // Uninterrupted lenient baseline.
+  auto base_labels = std::make_shared<LabelTable>();
+  QuarantineLedger base_ledger;
+  LenientForest base_forest = LenientIngest(text, base_labels, &base_ledger);
+  DegradedModeConfig base_degraded;
+  base_degraded.lenient = true;
+  base_degraded.ledger = &base_ledger;
+  base_degraded.source_indices = &base_forest.source_indices;
+  config.path = TempPath("resume_base");
+  std::remove(config.path.c_str());
+  Result<MultiTreeMiningRun> baseline = MineMultipleTreesCheckpointed(
+      base_forest.trees, options, MiningContext::Unlimited(), config,
+      base_degraded, 3);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_FALSE(baseline->truncated);
+  std::remove(config.path.c_str());
+
+  // Kill a lenient run mid-flight with an injected worker fault.
+  config.path = TempPath("resume_killed");
+  std::remove(config.path.c_str());
+  auto killed_labels = std::make_shared<LabelTable>();
+  QuarantineLedger killed_ledger;
+  LenientForest killed_forest =
+      LenientIngest(text, killed_labels, &killed_ledger);
+  DegradedModeConfig killed_degraded;
+  killed_degraded.lenient = true;
+  killed_degraded.ledger = &killed_ledger;
+  killed_degraded.source_indices = &killed_forest.source_indices;
+  fault::FaultRegistry::Global().Arm("parallel.worker", 8);
+  Result<MultiTreeMiningRun> killed = MineMultipleTreesCheckpointed(
+      killed_forest.trees, options, MiningContext::Unlimited(), config,
+      killed_degraded, 3);
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(killed.ok() && !killed->truncated)
+      << "the armed fault never fired";
+
+  // Resume in a fresh process image: new label table, new ledger seeded
+  // only by re-parsing the input (as the CLI does on restart). The
+  // checkpoint's ledger section merges in; dedup keeps one copy.
+  auto resumed_labels = std::make_shared<LabelTable>();
+  QuarantineLedger resumed_ledger;
+  LenientForest resumed_forest =
+      LenientIngest(text, resumed_labels, &resumed_ledger);
+  DegradedModeConfig resumed_degraded;
+  resumed_degraded.lenient = true;
+  resumed_degraded.ledger = &resumed_ledger;
+  resumed_degraded.source_indices = &resumed_forest.source_indices;
+  config.resume = true;
+  Result<MultiTreeMiningRun> resumed = MineMultipleTreesCheckpointed(
+      resumed_forest.trees, options, MiningContext::Unlimited(), config,
+      resumed_degraded, 3);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_FALSE(resumed->truncated) << resumed->termination.ToString();
+
+  EXPECT_EQ(Rendered(*resumed_labels, resumed->pairs),
+            Rendered(*base_labels, baseline->pairs));
+  EXPECT_EQ(resumed_ledger.Entries(), base_ledger.Entries());
+  std::remove(config.path.c_str());
+}
+
+TEST(DegradedConsensusTest, StrictModeMatchesConsensusTree) {
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> trees = ParseNewickForest(
+      "((A,B),(C,D),E);((A,B),(C,D),E);((A,B),C,D,E);", labels);
+  ASSERT_TRUE(trees.ok());
+  Tree strict =
+      ConsensusTree(*trees, ConsensusMethod::kMajority).value();
+  Tree degraded = ConsensusTreeDegraded(*trees, ConsensusMethod::kMajority,
+                                        {}, DegradedModeConfig{})
+                      .value();
+  EXPECT_EQ(ToNewick(strict), ToNewick(degraded));
+}
+
+TEST(DegradedConsensusTest, MismatchedTaxaAreQuarantinedInLenientMode) {
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> trees = ParseNewickForest(
+      "((A,B),(C,D));((A,B),(C,D));((A,B),(X,Y));(A,(B,(C,D)));", labels);
+  ASSERT_TRUE(trees.ok());
+  // Strict refuses the forest outright.
+  ASSERT_FALSE(ConsensusTree(*trees, ConsensusMethod::kStrict).ok());
+
+  QuarantineLedger ledger;
+  DegradedModeConfig degraded;
+  degraded.lenient = true;
+  degraded.ledger = &ledger;
+  degraded.source_name = "trees.nwk";
+  Result<Tree> consensus = ConsensusTreeDegraded(
+      *trees, ConsensusMethod::kStrict, {}, degraded);
+  ASSERT_TRUE(consensus.ok()) << consensus.status().ToString();
+
+  ASSERT_EQ(ledger.size(), 1u);
+  const QuarantineEntry entry = ledger.Entries()[0];
+  EXPECT_EQ(entry.tree_index, 2);
+  EXPECT_EQ(entry.stage, QuarantineStage::kConsensus);
+
+  // The result is the strict consensus of the three kept trees.
+  std::vector<Tree> kept = {(*trees)[0], (*trees)[1], (*trees)[3]};
+  Tree expected = ConsensusTree(kept, ConsensusMethod::kStrict).value();
+  EXPECT_EQ(ToNewick(*consensus), ToNewick(expected));
+}
+
+TEST(DegradedBootstrapTest, FailedReplicateIsSkippedInLenientMode) {
+  fault::FaultRegistry::Global().DisarmAll();
+  Rng rng(53);
+  Tree truth = RandomCoalescentTree(MakeTaxa(8), rng, nullptr, 0.1);
+  SimulateOptions sim;
+  sim.num_sites = 200;
+  Alignment a = SimulateAlignment(truth, sim, rng);
+  Tree nj = NeighborJoiningTree(a, truth.labels_ptr());
+  BootstrapOptions opt;
+  opt.replicates = 20;
+
+  // Strict: the injected replicate failure surfaces immediately.
+  fault::FaultRegistry::Global().Arm("bootstrap.replicate", 3);
+  Rng strict_rng(7);
+  Result<std::vector<ClusterSupport>> strict =
+      BootstrapSupport(nj, a, opt, strict_rng);
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInternal);
+
+  // Lenient: the replicate is quarantined and support renormalizes
+  // over the 19 survivors.
+  QuarantineLedger ledger;
+  DegradedModeConfig degraded;
+  degraded.lenient = true;
+  degraded.ledger = &ledger;
+  fault::FaultRegistry::Global().Arm("bootstrap.replicate", 3);
+  Rng lenient_rng(7);
+  Result<std::vector<ClusterSupport>> supports =
+      BootstrapSupportDegraded(nj, a, opt, lenient_rng, degraded);
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(supports.ok()) << supports.status().ToString();
+  EXPECT_FALSE(supports->empty());
+  for (const ClusterSupport& s : *supports) {
+    EXPECT_GE(s.support, 0.0);
+    EXPECT_LE(s.support, 1.0);
+  }
+  ASSERT_EQ(ledger.size(), 1u);
+  const QuarantineEntry entry = ledger.Entries()[0];
+  EXPECT_EQ(entry.stage, QuarantineStage::kBootstrap);
+  EXPECT_EQ(entry.tree_index, 2);  // the third replicate, 0-based
+  EXPECT_EQ(entry.code, StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace cousins

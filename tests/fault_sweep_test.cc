@@ -141,8 +141,10 @@ TEST(FaultSweepTest, EveryRegisteredSiteFailsCleanAndResumesToBaseline) {
         EXPECT_TRUE(IsGovernanceTrip(faulted.status))
             << faulted.status.ToString();
       } else {
-        // Hard failure: contained into a diagnosed Internal error.
-        EXPECT_EQ(faulted.status.code(), StatusCode::kInternal)
+        // Hard failure: contained into a diagnosed error — Internal
+        // for worker faults, Unavailable for transient I/O sites.
+        EXPECT_TRUE(faulted.status.code() == StatusCode::kInternal ||
+                    faulted.status.code() == StatusCode::kUnavailable)
             << faulted.status.ToString();
         EXPECT_FALSE(faulted.status.message().empty());
       }
@@ -164,7 +166,7 @@ TEST(FaultSweepTest, EveryRegisteredSiteFailsCleanAndResumesToBaseline) {
   const PipelineOutcome unreadable = RunPipeline(text, path, true);
   registry.DisarmAll();
   ASSERT_FALSE(unreadable.status.ok());
-  EXPECT_EQ(unreadable.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(unreadable.status.code(), StatusCode::kUnavailable);
   std::remove(path.c_str());
   const PipelineOutcome fresh = RunPipeline(text, path, true);
   ASSERT_TRUE(fresh.status.ok()) << fresh.status.ToString();

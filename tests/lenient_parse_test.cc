@@ -1,0 +1,178 @@
+// Lenient forest parsing: malformed entries are isolated with their
+// positions and snippets while the healthy entries still parse, the
+// (trees, errors) pair partitions the input's entries, and whole-input
+// limits stay hard errors even in lenient mode. Covers both the
+// Newick ';'-forest and the NEXUS TREES-block flavors.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/newick.h"
+#include "tree/nexus.h"
+#include "tree/parse_limits.h"
+#include "util/status.h"
+
+namespace cousins {
+namespace {
+
+TEST(LenientNewickForestTest, AllGoodEntriesMatchStrictParsing) {
+  const std::string text = "((a,b),c);\n(d,(e,f));\n# comment\n(g,h);\n";
+  auto labels = std::make_shared<LabelTable>();
+  Result<LenientForest> lenient = ParseNewickForestLenient(text, labels);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(lenient->errors.empty());
+  ASSERT_EQ(lenient->trees.size(), 3u);
+  EXPECT_EQ(lenient->source_indices, (std::vector<int64_t>{0, 1, 2}));
+
+  auto strict_labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> strict =
+      ParseNewickForest(text, strict_labels);
+  ASSERT_TRUE(strict.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ToNewick(lenient->trees[i]), ToNewick((*strict)[i])) << i;
+  }
+}
+
+TEST(LenientNewickForestTest, BadEntriesAreIsolatedWithPositions) {
+  // Entry 0 fine, entry 1 unbalanced, entry 2 fine, entry 3 garbage.
+  const std::string text = "(a,b);\n(c,(d,e);\n(f,g);\n)();\n";
+  Result<LenientForest> lenient = ParseNewickForestLenient(text);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  ASSERT_EQ(lenient->trees.size(), 2u);
+  EXPECT_EQ(lenient->source_indices, (std::vector<int64_t>{0, 2}));
+  ASSERT_EQ(lenient->errors.size(), 2u);
+
+  const ForestEntryError& unbalanced = lenient->errors[0];
+  EXPECT_EQ(unbalanced.tree_index, 1);
+  EXPECT_EQ(unbalanced.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(unbalanced.line, 2u) << unbalanced.status.ToString();
+  EXPECT_FALSE(unbalanced.snippet.empty());
+
+  EXPECT_EQ(lenient->errors[1].tree_index, 3);
+  EXPECT_EQ(lenient->errors[1].line, 4u);
+}
+
+TEST(LenientNewickForestTest, TreesAndErrorsPartitionTheEntries) {
+  std::string text;
+  for (int i = 0; i < 20; ++i) {
+    text += i % 3 == 1 ? "((x,;\n" : "(t" + std::to_string(i) + ",u);\n";
+  }
+  Result<LenientForest> lenient = ParseNewickForestLenient(text);
+  ASSERT_TRUE(lenient.ok());
+  ASSERT_EQ(lenient->trees.size(), lenient->source_indices.size());
+  EXPECT_EQ(lenient->trees.size() + lenient->errors.size(), 20u);
+  std::vector<bool> seen(20, false);
+  for (int64_t i : lenient->source_indices) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 20);
+    EXPECT_FALSE(seen[static_cast<size_t>(i)]) << i;
+    seen[static_cast<size_t>(i)] = true;
+    EXPECT_NE(i % 3, 1) << "poisoned entry parsed as a tree";
+  }
+  for (const ForestEntryError& e : lenient->errors) {
+    EXPECT_FALSE(seen[static_cast<size_t>(e.tree_index)]) << e.tree_index;
+    seen[static_cast<size_t>(e.tree_index)] = true;
+    EXPECT_EQ(e.tree_index % 3, 1);
+  }
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_TRUE(seen[i]) << i;
+}
+
+TEST(LenientNewickForestTest, PerEntryLimitTripsAreIsolated) {
+  ParseLimits limits;
+  limits.max_label_bytes = 8;
+  const std::string text =
+      "(short,ok);\n(a_label_far_over_the_cap,x);\n(fine,too);\n";
+  Result<LenientForest> lenient = ParseNewickForestLenient(text, nullptr,
+                                                           limits);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->trees.size(), 2u);
+  ASSERT_EQ(lenient->errors.size(), 1u);
+  EXPECT_EQ(lenient->errors[0].tree_index, 1);
+  EXPECT_EQ(lenient->errors[0].status.code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(LenientNewickForestTest, WholeInputByteCapStaysAHardError) {
+  ParseLimits limits;
+  limits.max_input_bytes = 10;
+  Result<LenientForest> lenient =
+      ParseNewickForestLenient("(a,b);(c,d);(e,f);", nullptr, limits);
+  ASSERT_FALSE(lenient.ok());
+  EXPECT_EQ(lenient.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LenientNewickForestTest, BomAndCrlfInputBehavesLikeCleanInput) {
+  const std::string dirty = "\xEF\xBB\xBF(a,b);\r\n(c,(d;\r(e,f);\r\n";
+  Result<LenientForest> lenient = ParseNewickForestLenient(dirty);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->trees.size(), 2u);
+  ASSERT_EQ(lenient->errors.size(), 1u);
+  EXPECT_EQ(lenient->errors[0].tree_index, 1);
+  // Positions are reported in the BOM-stripped text with CRLF and lone
+  // CR each counting as one line break.
+  EXPECT_EQ(lenient->errors[0].line, 2u);
+}
+
+TEST(LenientNexusForestTest, BadTreeStatementsAreIsolated) {
+  const std::string text =
+      "#NEXUS\n"
+      "BEGIN TREES;\n"
+      "  TREE one = ((a,b),c);\n"
+      "  TREE two = ((a,b,c);\n"
+      "  TREE three = (b,(a,c));\n"
+      "END;\n";
+  auto labels = std::make_shared<LabelTable>();
+  Result<LenientNamedForest> lenient =
+      ParseNexusForestLenient(text, labels);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  ASSERT_EQ(lenient->trees.size(), 2u);
+  EXPECT_EQ(lenient->trees[0].name, "one");
+  EXPECT_EQ(lenient->trees[1].name, "three");
+  EXPECT_EQ(lenient->source_indices, (std::vector<int64_t>{0, 2}));
+  ASSERT_EQ(lenient->errors.size(), 1u);
+  EXPECT_EQ(lenient->errors[0].tree_index, 1);
+  EXPECT_EQ(lenient->errors[0].line, 4u)
+      << lenient->errors[0].status.ToString();
+  EXPECT_FALSE(lenient->errors[0].snippet.empty());
+}
+
+TEST(LenientNexusForestTest, CleanFileMatchesStrictParsing) {
+  std::vector<NamedTree> named;
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> trees = ParseNewickForest(
+      "((a,b),(c,d));(a,(b,(c,d)));", labels);
+  ASSERT_TRUE(trees.ok());
+  for (size_t i = 0; i < trees->size(); ++i) {
+    named.push_back({"t" + std::to_string(i), std::move((*trees)[i])});
+  }
+  const std::string text = ToNexus(named);
+
+  auto lenient_labels = std::make_shared<LabelTable>();
+  Result<LenientNamedForest> lenient =
+      ParseNexusForestLenient(text, lenient_labels);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(lenient->errors.empty());
+  auto strict_labels = std::make_shared<LabelTable>();
+  Result<std::vector<NamedTree>> strict =
+      ParseNexusTrees(text, strict_labels);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_EQ(lenient->trees.size(), strict->size());
+  for (size_t i = 0; i < strict->size(); ++i) {
+    EXPECT_EQ(lenient->trees[i].name, (*strict)[i].name);
+    EXPECT_EQ(ToNewick(lenient->trees[i].tree), ToNewick((*strict)[i].tree));
+  }
+}
+
+TEST(LenientNexusForestTest, FileLevelDefectsStayHardErrors) {
+  // An unterminated bracket comment poisons everything after it; the
+  // lenient parser refuses the file rather than guessing.
+  Result<LenientNamedForest> lenient = ParseNexusForestLenient(
+      "#NEXUS\nBEGIN TREES;\n TREE a = (x,y); [oops\nEND;\n");
+  EXPECT_FALSE(lenient.ok());
+}
+
+}  // namespace
+}  // namespace cousins

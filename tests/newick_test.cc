@@ -200,5 +200,49 @@ TEST_P(NewickRoundTrip, RandomTreeSurvivesRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NewickRoundTrip,
                          ::testing::Range<uint64_t>(0, 20));
 
+TEST(NewickDirtyInputTest, LeadingUtf8BomIsStripped) {
+  Result<Tree> t = ParseNewick("\xEF\xBB\xBF(A,(B,C));");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(ToNewick(*t), "(A,(B,C));");
+  // Error positions are reported in the BOM-less text — column 9, not
+  // 12 — matching what an editor displays.
+  Result<Tree> bad = ParseNewick("\xEF\xBB\xBF(A,(B,C);");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 1, column 9"),
+            std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(NewickDirtyInputTest, CrlfAndLoneCrEachCountAsOneLineBreak) {
+  // CRLF line endings parse like LF and never split a position count.
+  Result<Tree> crlf = ParseNewick("(A,\r\n(B,\r\nC));");
+  ASSERT_TRUE(crlf.ok()) << crlf.status().ToString();
+  EXPECT_EQ(ToNewick(*crlf), "(A,(B,C));");
+
+  // "\r\n" is ONE break (line 3, not 5) and the column restarts at it.
+  Result<Tree> bad = ParseNewick("(A,\r\n(B,\r\nC));extra");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 3, column 5"),
+            std::string::npos)
+      << bad.status().ToString();
+
+  // Classic-Mac lone '\r' is also a line break.
+  Result<Tree> lone = ParseNewick("(A,\r(B,C);");
+  ASSERT_FALSE(lone.ok());
+  EXPECT_NE(lone.status().ToString().find("line 2, column 6"),
+            std::string::npos)
+      << lone.status().ToString();
+}
+
+TEST(NewickDirtyInputTest, ForestSplittingHandlesBomAndCrlf) {
+  auto labels = std::make_shared<LabelTable>();
+  Result<std::vector<Tree>> forest = ParseNewickForest(
+      "\xEF\xBB\xBF(a,b);\r\n# a comment line\r\n(c,(d,e));\r(f,g);",
+      labels);
+  ASSERT_TRUE(forest.ok()) << forest.status().ToString();
+  ASSERT_EQ(forest->size(), 3u);
+  EXPECT_EQ(ToNewick((*forest)[1]), "(c,(d,e));");
+}
+
 }  // namespace
 }  // namespace cousins

@@ -138,5 +138,35 @@ TEST(NexusTest, CommentsStripped) {
   EXPECT_EQ(result->size(), 1u);
 }
 
+TEST(NexusTest, BomAndCrlfFileParsesLikeACleanOne) {
+  // A TreeBASE-style export saved on Windows: UTF-8 BOM plus CRLF line
+  // endings. The "#NEXUS" header must still be recognized and every
+  // statement parse as if the file were clean.
+  const std::string dirty =
+      "\xEF\xBB\xBF#NEXUS\r\n"
+      "BEGIN TREES;\r\n"
+      "  TRANSLATE 1 alpha, 2 beta, 3 gamma;\r\n"
+      "  TREE one = ((1,2),3);\r\n"
+      "END;\r\n";
+  const std::string clean =
+      "#NEXUS\n"
+      "BEGIN TREES;\n"
+      "  TRANSLATE 1 alpha, 2 beta, 3 gamma;\n"
+      "  TREE one = ((1,2),3);\n"
+      "END;\n";
+  auto labels = std::make_shared<LabelTable>();
+  auto result = ParseNexusTrees(dirty, labels);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  auto expected = ParseNexusTrees(clean, labels);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  EXPECT_EQ(ToNewick((*result)[0].tree), ToNewick((*expected)[0].tree));
+
+  // Classic-Mac lone-'\r' line endings terminate the header line too.
+  auto mac = ParseNexusTrees("#NEXUS\rBEGIN TREES;\rTREE t = (a,b);\rEND;");
+  ASSERT_TRUE(mac.ok()) << mac.status().ToString();
+  EXPECT_EQ(mac->size(), 1u);
+}
+
 }  // namespace
 }  // namespace cousins

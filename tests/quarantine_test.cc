@@ -1,0 +1,176 @@
+// QuarantineLedger semantics: deduplicated Add, canonical Entries()
+// ordering regardless of arrival order, per-code histogram — and the
+// ledger's checkpoint round trip: a lenient run's checkpoint carries
+// its ledger, restore merges (never double-records), and a strict
+// resume of a lenient checkpoint is refused rather than silently
+// dropping the quarantine record.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+#include "core/quarantine.h"
+#include "gen/yule_generator.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cousins {
+namespace {
+
+QuarantineEntry MakeEntry(int64_t index, QuarantineStage stage,
+                          const std::string& message) {
+  QuarantineEntry entry;
+  entry.tree_index = index;
+  entry.source = "forest.nwk";
+  entry.code = StatusCode::kInvalidArgument;
+  entry.message = message;
+  entry.stage = stage;
+  return entry;
+}
+
+TEST(QuarantineLedgerTest, AddDropsExactDuplicates) {
+  QuarantineLedger ledger;
+  ledger.Add(MakeEntry(3, QuarantineStage::kParse, "unbalanced"));
+  ledger.Add(MakeEntry(3, QuarantineStage::kParse, "unbalanced"));
+  EXPECT_EQ(ledger.size(), 1u);
+  // Any differing field makes it a distinct entry.
+  ledger.Add(MakeEntry(3, QuarantineStage::kMine, "unbalanced"));
+  ledger.Add(MakeEntry(3, QuarantineStage::kParse, "oversized"));
+  EXPECT_EQ(ledger.size(), 3u);
+}
+
+TEST(QuarantineLedgerTest, EntriesAreCanonicallyOrdered) {
+  QuarantineLedger ledger;
+  ledger.Add(MakeEntry(7, QuarantineStage::kParse, "late"));
+  ledger.Add(MakeEntry(2, QuarantineStage::kMine, "mid"));
+  ledger.Add(MakeEntry(2, QuarantineStage::kParse, "early"));
+  const std::vector<QuarantineEntry> entries = ledger.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].tree_index, 2);
+  EXPECT_EQ(entries[0].stage, QuarantineStage::kParse);
+  EXPECT_EQ(entries[1].tree_index, 2);
+  EXPECT_EQ(entries[1].stage, QuarantineStage::kMine);
+  EXPECT_EQ(entries[2].tree_index, 7);
+}
+
+TEST(QuarantineLedgerTest, ConcurrentAddsAllLand) {
+  QuarantineLedger ledger;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ledger, t]() {
+      for (int i = 0; i < 50; ++i) {
+        ledger.Add(MakeEntry(t * 100 + i, QuarantineStage::kMine, "x"));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(ledger.size(), 200u);
+}
+
+TEST(QuarantineLedgerTest, CodeHistogramCountsByStatusCodeName) {
+  QuarantineLedger ledger;
+  QuarantineEntry bad = MakeEntry(0, QuarantineStage::kParse, "a");
+  ledger.Add(bad);
+  bad.tree_index = 1;
+  ledger.Add(bad);
+  QuarantineEntry big = MakeEntry(2, QuarantineStage::kParse, "b");
+  big.code = StatusCode::kResourceExhausted;
+  ledger.Add(big);
+  const auto histogram = ledger.CodeHistogram();
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram.at(std::string(
+                StatusCodeName(StatusCode::kInvalidArgument))),
+            2);
+  EXPECT_EQ(histogram.at(std::string(
+                StatusCodeName(StatusCode::kResourceExhausted))),
+            1);
+}
+
+TEST(QuarantineLedgerTest, StageNamesAreStable) {
+  EXPECT_EQ(QuarantineStageName(QuarantineStage::kParse), "parse");
+  EXPECT_EQ(QuarantineStageName(QuarantineStage::kMine), "mine");
+  EXPECT_EQ(QuarantineStageName(QuarantineStage::kConsensus), "consensus");
+  EXPECT_EQ(QuarantineStageName(QuarantineStage::kBootstrap), "bootstrap");
+}
+
+class LedgerCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    labels_ = std::make_shared<LabelTable>();
+    Rng rng(11);
+    YulePhylogenyOptions gen;
+    gen.min_nodes = 10;
+    gen.max_nodes = 20;
+    for (int i = 0; i < 5; ++i) {
+      miner_.AddTree(GenerateYulePhylogeny(gen, rng, labels_));
+    }
+  }
+
+  MultiTreeMiningOptions options_;
+  std::shared_ptr<LabelTable> labels_;
+  MultiTreeMiner miner_{MultiTreeMiningOptions{}};
+};
+
+TEST_F(LedgerCheckpointTest, LedgerRoundTripsThroughTheCheckpoint) {
+  QuarantineLedger ledger;
+  QuarantineEntry parse_error = MakeEntry(4, QuarantineStage::kParse, "bad");
+  parse_error.byte_offset = 120;
+  parse_error.line = 5;
+  parse_error.column = 17;
+  parse_error.snippet = "((a,(b";
+  ledger.Add(parse_error);
+  ledger.Add(MakeEntry(9, QuarantineStage::kMine, "fold failed"));
+
+  const std::string bytes = miner_.SerializeCheckpoint(&ledger);
+  QuarantineLedger restored_ledger;
+  Result<MultiTreeMiner> restored = MultiTreeMiner::RestoreFromCheckpoint(
+      bytes, options_, labels_, &restored_ledger);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->AllTallies(), miner_.AllTallies());
+  EXPECT_EQ(restored_ledger.Entries(), ledger.Entries());
+  // Re-serializing restored state reproduces the bytes exactly.
+  EXPECT_EQ(restored->SerializeCheckpoint(&restored_ledger), bytes);
+}
+
+TEST_F(LedgerCheckpointTest, RestoreMergesIntoANonEmptyLedger) {
+  QuarantineLedger ledger;
+  ledger.Add(MakeEntry(4, QuarantineStage::kParse, "bad"));
+  const std::string bytes = miner_.SerializeCheckpoint(&ledger);
+
+  // The resuming caller re-parsed its input and already re-recorded
+  // entry 4, plus found a new problem; the checkpoint's copy of entry 4
+  // must not double-record.
+  QuarantineLedger resumed;
+  resumed.Add(MakeEntry(4, QuarantineStage::kParse, "bad"));
+  resumed.Add(MakeEntry(6, QuarantineStage::kParse, "also bad"));
+  ASSERT_TRUE(MultiTreeMiner::RestoreFromCheckpoint(bytes, options_, labels_,
+                                                    &resumed)
+                  .ok());
+  EXPECT_EQ(resumed.size(), 2u);
+}
+
+TEST_F(LedgerCheckpointTest, StrictResumeOfALenientCheckpointIsRefused) {
+  QuarantineLedger ledger;
+  ledger.Add(MakeEntry(4, QuarantineStage::kParse, "bad"));
+  const std::string bytes = miner_.SerializeCheckpoint(&ledger);
+  Result<MultiTreeMiner> restored =
+      MultiTreeMiner::RestoreFromCheckpoint(bytes, options_, labels_);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LedgerCheckpointTest, EmptyLedgerSerializesIdenticallyToNull) {
+  QuarantineLedger empty;
+  EXPECT_EQ(miner_.SerializeCheckpoint(&empty), miner_.SerializeCheckpoint());
+  // And a ledger-less checkpoint restores fine without a ledger.
+  EXPECT_TRUE(MultiTreeMiner::RestoreFromCheckpoint(
+                  miner_.SerializeCheckpoint(), options_, labels_)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace cousins

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -289,6 +290,199 @@ TEST(CliOutputTest, GovernedRunWithRoomyLimitsMatchesUngoverned) {
       RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
   EXPECT_EQ(governed.exit_code, 0);
   EXPECT_EQ(governed.output, plain.output);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded mode (--lenient / --health-report / --watchdog-ms).
+// testdata/dirty_forest.nwk is a BOM+CRLF file of six entries where
+// entries 1 (unbalanced parens), 3 (oversized label) and 5 (garbage)
+// are malformed and 0, 2, 4 are healthy.
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
+TEST(CliDegradedTest, StrictModeFailsAtTheFirstDirtyEntry) {
+  RunResult r = RunCli("frequent " + Data("dirty_forest.nwk") +
+                       " --minsup=2");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The first malformed entry sits on line 2 of the (BOM-less) file.
+  EXPECT_NE(r.output.find("line 2, column 2"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliDegradedTest, LenientModeMinesExactlyTheHealthySubset) {
+  RunResult lenient = RunCli("frequent " + Data("dirty_forest.nwk") +
+                             " --minsup=2 --csv --lenient");
+  EXPECT_EQ(lenient.exit_code, 0) << lenient.output;
+
+  // A clean file holding just the three healthy entries mines
+  // byte-identically.
+  const std::string clean =
+      std::string(::testing::TempDir()) + "/cli_clean_subset.nwk";
+  {
+    std::ofstream out(clean);
+    out << "(A,(B,C));\n(B,(C,D));\n((A,C),(B,D));\n";
+  }
+  RunResult strict = RunCli("frequent " + clean + " --minsup=2 --csv");
+  std::remove(clean.c_str());
+  ASSERT_EQ(strict.exit_code, 0) << strict.output;
+  EXPECT_EQ(lenient.output, strict.output);
+}
+
+TEST(CliDegradedTest, LenientFlagOnCleanInputChangesNothing) {
+  RunResult lenient = RunCli("frequent " + Data("seed_plants.nwk") +
+                             " --minsup=2 --lenient");
+  RunResult plain =
+      RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
+  EXPECT_EQ(lenient.exit_code, 0);
+  EXPECT_EQ(lenient.output, plain.output);
+}
+
+TEST(CliDegradedTest, HealthReportNamesEveryPoisonedEntry) {
+  const std::string report =
+      std::string(::testing::TempDir()) + "/cli_health.json";
+  std::remove(report.c_str());
+  RunResult r = RunCli("frequent " + Data("dirty_forest.nwk") +
+                       " --minsup=2 --lenient --health-report=" + report);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string body = ReadAll(report);
+  std::remove(report.c_str());
+  for (const char* expected :
+       {"\"command\": \"frequent\"", "\"lenient\": true",
+        "\"exit_code\": 0", "\"trees_loaded\": 3",
+        "\"trees_quarantined\": 3", "\"tree_index\": 1", "\"tree_index\": 3",
+        "\"tree_index\": 5", "\"stage\": \"parse\"",
+        "\"line\": 2", "\"column\": 2",
+        "\"code\": \"ResourceExhausted\"",
+        "\"degraded.quarantined\": 3"}) {
+    EXPECT_NE(body.find(expected), std::string::npos)
+        << "missing " << expected << " in:\n"
+        << body;
+  }
+  // The healthy entries are not in the quarantine section.
+  EXPECT_EQ(body.find("\"tree_index\": 0"), std::string::npos) << body;
+}
+
+TEST(CliDegradedTest, HealthReportIsWrittenForStrictFailuresToo) {
+  const std::string report =
+      std::string(::testing::TempDir()) + "/cli_health_strict.json";
+  std::remove(report.c_str());
+  RunResult r = RunCli("frequent " + Data("dirty_forest.nwk") +
+                       " --minsup=2 --health-report=" + report);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string body = ReadAll(report);
+  std::remove(report.c_str());
+  EXPECT_NE(body.find("\"exit_code\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"lenient\": false"), std::string::npos) << body;
+}
+
+TEST(CliDegradedTest, WatchdogStallTripsWithExitThree) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") +
+                           " --minsup=2 --threads=3 --watchdog-ms=100",
+                       "COUSINS_FAULT_SPEC=watchdog.stall:1 ");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("watchdog"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("shard"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("DeadlineExceeded"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliDegradedTest, WatchdogOnAHealthyRunChangesNothing) {
+  RunResult watched = RunCli("frequent " + Data("seed_plants.nwk") +
+                             " --minsup=2 --threads=3 --watchdog-ms=5000");
+  RunResult plain =
+      RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
+  EXPECT_EQ(watched.exit_code, 0) << watched.output;
+  EXPECT_EQ(watched.output, plain.output);
+}
+
+TEST(CliDegradedTest, BadDegradedFlagValuesAreUsageErrors) {
+  RunResult attempts = RunCli("frequent " + Data("seed_plants.nwk") +
+                              " --retry-attempts=0");
+  EXPECT_EQ(attempts.exit_code, 2) << attempts.output;
+  EXPECT_NE(attempts.output.find("--retry-attempts"), std::string::npos);
+  RunResult watchdog = RunCli("frequent " + Data("seed_plants.nwk") +
+                              " --watchdog-ms=-5");
+  EXPECT_EQ(watchdog.exit_code, 2) << watchdog.output;
+  EXPECT_NE(watchdog.output.find("--watchdog-ms"), std::string::npos);
+}
+
+TEST(CliDegradedTest, TransientReadFaultIsRetriedUnderRetryAttempts) {
+  // Strict default is fail-fast (covered by InputReadFailureIsReported
+  // WithExitOne); with --retry-attempts=3 the same one-shot fault is
+  // absorbed by the second attempt.
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") +
+                           " --minsup=2 --retry-attempts=3",
+                       "COUSINS_FAULT_SPEC=cli.read:1 ");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("(Gnetum, Welwitschia, 0) support=4"),
+            std::string::npos)
+      << r.output;
+}
+
+/// Writes a 60-entry forest where every 10th entry is malformed —
+/// large enough for several checkpoint boundaries under
+/// --checkpoint-every=5 with three healthy trees per batch surviving.
+std::string WriteDirtyCheckpointForest() {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/cli_dirty_ckpt_forest.nwk";
+  std::ofstream out(path);
+  for (int i = 0; i < 60; ++i) {
+    if (i % 10 == 0) {
+      out << "((p,q,(r;\n";
+    } else if (i % 3 == 0) {
+      out << "((a,b),(c,(d,e)));\n";
+    } else if (i % 3 == 1) {
+      out << "((a,c),(b,(d,e)));\n";
+    } else {
+      out << "((a,(b,c)),(d,e));\n";
+    }
+  }
+  return path;
+}
+
+TEST(CliDegradedTest, KilledLenientRunResumesToIdenticalCsvAndLedger) {
+  const std::string forest = WriteDirtyCheckpointForest();
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_lenient_ckpt";
+  const std::string report =
+      std::string(::testing::TempDir()) + "/cli_lenient_health.json";
+  const std::string flags =
+      " --csv --minsup=2 --threads=2 --lenient --health-report=" + report;
+
+  // Uninterrupted lenient baseline (no checkpointing).
+  RunResult baseline = RunCli("frequent " + forest + flags);
+  ASSERT_EQ(baseline.exit_code, 0) << baseline.output;
+  const std::string baseline_report = ReadAll(report);
+  std::remove(report.c_str());
+
+  // Kill a checkpointed lenient run mid-forest.
+  std::remove(ckpt.c_str());
+  RunResult killed =
+      RunCli("frequent " + forest + flags + " --checkpoint=" + ckpt +
+                 " --checkpoint-every=5",
+             "COUSINS_FAULT_SPEC=parallel.worker:9 ");
+  EXPECT_EQ(killed.exit_code, 1) << killed.output;
+
+  // Disarmed resume: byte-identical CSV AND byte-identical quarantine
+  // ledger in the health report (modulo the exit code recorded for the
+  // killed attempt, which the report of the resumed run overwrites).
+  std::remove(report.c_str());
+  RunResult resumed = RunCli("frequent " + forest + flags +
+                             " --checkpoint=" + ckpt +
+                             " --checkpoint-every=5 --resume");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, baseline.output);
+  EXPECT_EQ(ReadAll(report), baseline_report);
+
+  std::remove(report.c_str());
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+  std::remove(forest.c_str());
 }
 
 }  // namespace

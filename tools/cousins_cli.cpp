@@ -7,7 +7,7 @@
 //                                 [--threads=T]
 //                                 [--deadline-ms=T] [--max-items=N]
 //                                 [--checkpoint=PATH] [--checkpoint-every=K]
-//                                 [--resume]
+//                                 [--resume] [--watchdog-ms=T]
 //   cousins_cli consensus <file>
 //       [--method=majority|strict|semi|Adams|Nelson|greedy]
 //   cousins_cli distance  <file> [--abstraction=labels|dist|occur|dist_occur]
@@ -24,6 +24,23 @@
 // 2 = usage error (unknown command/flag, malformed flag value),
 // 3 = governance trip (--deadline-ms / --max-items cut the run short;
 // whatever was mined before the trip is still printed).
+//
+// Degraded-mode flags, accepted by every command:
+//   --lenient              per-tree error isolation: malformed forest
+//                          entries (and, for frequent/consensus, trees
+//                          that fail downstream) are quarantined and
+//                          skipped instead of failing the run. Strict
+//                          is the default.
+//   --health-report=PATH   write a JSON health report (quarantine
+//                          ledger, degraded./retry./watchdog. counters)
+//                          after the run, whatever its exit code.
+//   --retry-attempts=N     attempts for transient I/O (input read,
+//                          checkpoint read/write, health-report write).
+//                          Default 1 strict, 3 lenient.
+//   --watchdog-ms=T        (frequent) declare a worker shard stalled
+//                          after T ms without progress; siblings are
+//                          cancelled and the run exits 3 with partial
+//                          results. 0 (default) disables the watchdog.
 
 #include <charconv>
 #include <chrono>
@@ -37,9 +54,13 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/item_io.h"
 #include "core/multi_tree_mining.h"
+#include "core/quarantine.h"
 #include "core/single_tree_mining.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "phylo/clustering.h"
 #include "phylo/consensus.h"
 #include "phylo/cooccurrence.h"
@@ -52,6 +73,7 @@
 #include "tree/render.h"
 #include "util/fault_injection.h"
 #include "util/governance.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 using namespace cousins;
@@ -191,31 +213,193 @@ bool GovernanceFromFlags(const std::vector<std::string>& args,
   return true;
 }
 
-/// Loads a forest from a Newick or NEXUS file (auto-detected).
-Result<std::vector<Tree>> LoadForest(const std::string& path,
-                                     std::shared_ptr<LabelTable> labels) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad() || fault::Fired("cli.read")) {
-    return Status::Internal("read error on '" + path + "'");
-  }
-  const std::string text = buffer.str();
+/// Degraded-mode state shared across the run: the flag values, the
+/// quarantine ledger, and (in lenient mode) the surviving trees' map
+/// back to original forest indices.
+struct CliDegraded {
+  bool lenient = false;
+  std::string health_report;
+  RetryPolicy retry = RetryPolicy::None();
+  std::chrono::milliseconds watchdog{0};
+  std::string input_path;
+  QuarantineLedger ledger;
+  std::vector<int64_t> source_indices;
+  int64_t trees_loaded = 0;
 
-  std::string lower = text.substr(0, 4096);
+  /// The policy knobs in library form, for facades that take one.
+  DegradedModeConfig Config() const {
+    DegradedModeConfig config;
+    config.lenient = lenient;
+    config.ledger = lenient ? const_cast<QuarantineLedger*>(&ledger) : nullptr;
+    config.source_indices = lenient ? &source_indices : nullptr;
+    config.source_name = input_path;
+    config.retry = retry;
+    config.watchdog_interval = watchdog;
+    return config;
+  }
+};
+
+/// Extracts the degraded-mode flags (valid for every command) from
+/// `args`, leaving only command-specific flags behind. Returns a usage
+/// message on a malformed value, empty on success.
+std::string ExtractDegradedFlags(std::vector<std::string>* args,
+                                 CliDegraded* degraded) {
+  degraded->lenient = HasFlag(*args, "lenient");
+  degraded->health_report = Flag(*args, "health-report", "");
+  int64_t attempts = degraded->lenient ? 3 : 1;
+  if (!ParseInt64Flag(*args, "retry-attempts", attempts, &attempts) ||
+      attempts < 1 || attempts > 100) {
+    return "--retry-attempts must be an integer in [1, 100]";
+  }
+  int64_t watchdog_ms = 0;
+  if (!ParseInt64Flag(*args, "watchdog-ms", 0, &watchdog_ms) ||
+      watchdog_ms < 0) {
+    return "--watchdog-ms must be a non-negative integer";
+  }
+  degraded->retry = attempts > 1 ? RetryPolicy::Default() : RetryPolicy::None();
+  degraded->retry.max_attempts = static_cast<int>(attempts);
+  degraded->watchdog = std::chrono::milliseconds(watchdog_ms);
+
+  std::vector<std::string> rest;
+  for (std::string& arg : *args) {
+    if (arg == "--lenient" || StartsWith(arg, "--health-report=") ||
+        StartsWith(arg, "--retry-attempts=") ||
+        StartsWith(arg, "--watchdog-ms=")) {
+      continue;
+    }
+    rest.push_back(std::move(arg));
+  }
+  *args = std::move(rest);
+  return "";
+}
+
+/// Records one lenient parse failure in the run's ledger.
+void QuarantineParseError(const std::string& path,
+                          const ForestEntryError& error,
+                          QuarantineLedger* ledger) {
+  QuarantineEntry entry;
+  entry.tree_index = error.tree_index;
+  entry.source = path;
+  entry.byte_offset = error.byte_offset;
+  entry.line = error.line;
+  entry.column = error.column;
+  entry.code = error.status.code();
+  entry.message = error.status.message();
+  entry.snippet = error.snippet;
+  entry.stage = QuarantineStage::kParse;
+  ledger->Add(std::move(entry));
+}
+
+/// Loads a forest from a Newick or NEXUS file (auto-detected). The
+/// file read is a transient surface retried under the degraded policy.
+/// In lenient mode malformed entries are quarantined (stage kParse)
+/// instead of failing the load, and `degraded->source_indices` maps
+/// the surviving trees back to their original forest positions.
+Result<std::vector<Tree>> LoadForest(const std::string& path,
+                                     std::shared_ptr<LabelTable> labels,
+                                     CliDegraded* degraded) {
+  Result<std::string> text = RetryTransientValue(
+      degraded->retry, "cli.read", [&]() -> Result<std::string> {
+        std::ifstream in(path);
+        if (!in) return Status::NotFound("cannot open '" + path + "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        if (in.bad() || fault::Fired("cli.read")) {
+          return Status::Unavailable("read error on '" + path + "'");
+        }
+        return buffer.str();
+      });
+  COUSINS_RETURN_IF_ERROR(text.status());
+
+  std::string lower = text->substr(0, 4096);
   for (char& c : lower) c = static_cast<char>(std::tolower(
                             static_cast<unsigned char>(c)));
-  if (StartsWith(lower, "#nexus") ||
-      lower.find("begin trees") != std::string::npos) {
+  const bool nexus = StartsWith(StripUtf8Bom(lower), "#nexus") ||
+                     lower.find("begin trees") != std::string::npos;
+
+  std::vector<Tree> trees;
+  if (degraded->lenient) {
+    if (nexus) {
+      COUSINS_ASSIGN_OR_RETURN(LenientNamedForest forest,
+                               ParseNexusForestLenient(*text, labels));
+      for (NamedTree& nt : forest.trees) trees.push_back(std::move(nt.tree));
+      degraded->source_indices = std::move(forest.source_indices);
+      for (const ForestEntryError& error : forest.errors) {
+        QuarantineParseError(path, error, &degraded->ledger);
+      }
+    } else {
+      COUSINS_ASSIGN_OR_RETURN(LenientForest forest,
+                               ParseNewickForestLenient(*text, labels));
+      trees = std::move(forest.trees);
+      degraded->source_indices = std::move(forest.source_indices);
+      for (const ForestEntryError& error : forest.errors) {
+        QuarantineParseError(path, error, &degraded->ledger);
+      }
+    }
+  } else if (nexus) {
     COUSINS_ASSIGN_OR_RETURN(std::vector<NamedTree> named,
-                             ParseNexusTrees(text, labels));
-    std::vector<Tree> trees;
+                             ParseNexusTrees(*text, labels));
     trees.reserve(named.size());
     for (NamedTree& nt : named) trees.push_back(std::move(nt.tree));
-    return trees;
+  } else {
+    COUSINS_ASSIGN_OR_RETURN(trees,
+                             ParseNewickForest(*text, std::move(labels)));
   }
-  return ParseNewickForest(text, std::move(labels));
+  degraded->trees_loaded = static_cast<int64_t>(trees.size());
+  return trees;
+}
+
+/// Writes the --health-report JSON: run identity, the quarantine
+/// ledger, and the degraded./retry./watchdog. counters. Atomic and
+/// retried like any other transient write.
+Status WriteHealthReport(const CliDegraded& degraded,
+                         const std::string& command, int exit_code) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("command", command);
+  json.KeyValue("input", degraded.input_path);
+  json.KeyValue("lenient", degraded.lenient);
+  json.KeyValue("exit_code", static_cast<int64_t>(exit_code));
+  json.KeyValue("trees_loaded", degraded.trees_loaded);
+  json.KeyValue("trees_quarantined",
+                static_cast<int64_t>(degraded.ledger.size()));
+  json.Key("quarantine");
+  json.BeginArray();
+  for (const QuarantineEntry& entry : degraded.ledger.Entries()) {
+    json.BeginObject();
+    json.KeyValue("tree_index", entry.tree_index);
+    json.KeyValue("stage", QuarantineStageName(entry.stage));
+    json.KeyValue("source", entry.source);
+    json.KeyValue("code", StatusCodeName(entry.code));
+    json.KeyValue("message", entry.message);
+    json.KeyValue("byte_offset", static_cast<int64_t>(entry.byte_offset));
+    json.KeyValue("line", static_cast<int64_t>(entry.line));
+    json.KeyValue("column", static_cast<int64_t>(entry.column));
+    json.KeyValue("snippet", entry.snippet);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("code_histogram");
+  json.BeginObject();
+  for (const auto& [code, count] : degraded.ledger.CodeHistogram()) {
+    json.KeyValue(code, count);
+  }
+  json.EndObject();
+  json.Key("counters");
+  json.BeginObject();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    if (StartsWith(name, "degraded.") || StartsWith(name, "retry.") ||
+        StartsWith(name, "watchdog.")) {
+      json.KeyValue(name, value);
+    }
+  }
+  json.EndObject();
+  json.EndObject();
+  return RetryTransient(degraded.retry, "health.write", [&]() {
+    return WriteFileAtomic(degraded.health_report, json.str() + "\n");
+  });
 }
 
 int RunMine(const std::vector<Tree>& trees, const LabelTable& labels,
@@ -249,7 +433,8 @@ int RunMine(const std::vector<Tree>& trees, const LabelTable& labels,
 }
 
 int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
-                const std::vector<std::string>& args) {
+                const std::vector<std::string>& args,
+                const CliDegraded& degraded) {
   Status flags = CheckFlags(args,
                             {"maxdist", "minoccur", "minsup", "threads",
                              "deadline-ms", "max-items", "checkpoint",
@@ -292,6 +477,7 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   MiningContext context;
   std::string error;
   if (!GovernanceFromFlags(args, &context, &error)) return UsageError(error);
+  options.degraded = degraded.Config();
 
   Result<MultiTreeMiningRun> run =
       MineCooccurrencePatterns(trees, options, context);
@@ -388,7 +574,8 @@ bool ParseMethod(const std::string& name, ConsensusMethod* method) {
 }
 
 int RunConsensus(const std::vector<Tree>& trees,
-                 const std::vector<std::string>& args) {
+                 const std::vector<std::string>& args,
+                 const CliDegraded& degraded) {
   Status flags = CheckFlags(args, {"method"}, {});
   if (!flags.ok()) return UsageError(flags.message());
   ConsensusMethod method = ConsensusMethod::kMajority;
@@ -396,7 +583,8 @@ int RunConsensus(const std::vector<Tree>& trees,
     return UsageError(
         "unknown --method (majority|strict|semi|Adams|Nelson|greedy)");
   }
-  Result<Tree> consensus = ConsensusTree(trees, method);
+  Result<Tree> consensus =
+      ConsensusTreeDegraded(trees, method, {}, degraded.Config());
   if (!consensus.ok()) return Fail(consensus.status().ToString());
   std::printf("%s\n", ToNewick(*consensus).c_str());
   return 0;
@@ -494,16 +682,25 @@ int RunConvert(const std::vector<Tree>& trees,
   return 0;
 }
 
-int Run(const std::string& command, const std::string& path,
-        const std::vector<std::string>& args) {
+int RunCommand(const std::string& command, const std::string& path,
+               const std::vector<std::string>& args,
+               CliDegraded& degraded) {
   auto labels = std::make_shared<LabelTable>();
-  Result<std::vector<Tree>> forest = LoadForest(path, labels);
+  Result<std::vector<Tree>> forest = LoadForest(path, labels, &degraded);
   if (!forest.ok()) return Fail(forest.status());
-  if (forest->empty()) return Fail("no trees in '" + path + "'");
+  if (forest->empty()) {
+    return Fail(degraded.ledger.empty()
+                    ? "no trees in '" + path + "'"
+                    : "no usable trees in '" + path + "' (" +
+                          std::to_string(degraded.ledger.size()) +
+                          " quarantined)");
+  }
 
   if (command == "mine") return RunMine(*forest, *labels, args);
-  if (command == "frequent") return RunFrequent(*forest, *labels, args);
-  if (command == "consensus") return RunConsensus(*forest, args);
+  if (command == "frequent") {
+    return RunFrequent(*forest, *labels, args, degraded);
+  }
+  if (command == "consensus") return RunConsensus(*forest, args, degraded);
   if (command == "distance") return RunDistance(*forest, args);
   if (command == "cluster") return RunCluster(*forest, args);
   if (command == "stats") return RunStats(*forest, args);
@@ -522,6 +719,28 @@ int Run(const std::string& command, const std::string& path,
     return 0;
   }
   return Usage();
+}
+
+int Run(const std::string& command, const std::string& path,
+        std::vector<std::string> args) {
+  CliDegraded degraded;
+  degraded.input_path = path;
+  const std::string flag_error = ExtractDegradedFlags(&args, &degraded);
+  if (!flag_error.empty()) return UsageError(flag_error);
+
+  const int rc = RunCommand(command, path, args, degraded);
+  // The health report is written whatever the outcome (a failed run's
+  // report is the one an operator needs most) — but never for usage
+  // errors, where nothing ran.
+  if (!degraded.health_report.empty() && rc != kExitUsage) {
+    Status written = WriteHealthReport(degraded, command, rc);
+    if (!written.ok()) {
+      const int failed = Fail("health report not written: " +
+                              written.ToString());
+      return rc == 0 ? failed : rc;
+    }
+  }
+  return rc;
 }
 
 /// Exit-code 0 must mean "the output actually reached stdout": a full
