@@ -77,7 +77,8 @@ int main() {
   // (mine.parallel.shard.*) alongside the streaming numbers above.
   {
     const int64_t parallel_trees = std::min<int64_t>(max_trees, 4000);
-    const int num_threads = 4;
+    const int num_threads =
+        static_cast<int>(EnvScale("COUSINS_FIG6_THREADS", 8));
     report.AddParam("parallel_trees", parallel_trees);
     report.AddParam("parallel_threads", int64_t{num_threads});
     Rng rng(6000);

@@ -352,7 +352,7 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
 
   uint64_t tally_count = 0;
   COUSINS_RETURN_IF_ERROR(body.ReadU64(&tally_count));
-  miner.tallies_.reserve(tally_count);
+  miner.EnsureTallyCapacity();
   for (uint64_t i = 0; i < tally_count; ++i) {
     int32_t l1 = 0;
     int32_t l2 = 0;
@@ -372,12 +372,26 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
     if (support < 0 || occurrences < 0) {
       return Status::Corruption("negative checkpoint tally count");
     }
+    // The per-distance table layout admits only the distances the
+    // options admit; anything else is a corrupt record the old flat
+    // map would have absorbed silently.
+    const bool distance_ok =
+        expected_options.ignore_distance
+            ? twice_distance == kAnyDistance
+            : twice_distance >= 0 &&
+                  twice_distance <= expected_options.per_tree.twice_maxdist;
+    if (!distance_ok) {
+      return Status::Corruption("checkpoint tally distance out of range");
+    }
     LabelId a = remap[static_cast<size_t>(l1)];
     LabelId b = remap[static_cast<size_t>(l2)];
     if (a > b) std::swap(a, b);  // re-canonicalize under the new ids
-    Tally& t = miner.tallies_[{a, b, twice_distance}];
-    t.support = support;
-    t.total_occurrences = occurrences;
+    const bool fresh = miner.tables_[miner.TableIndex(twice_distance)].Add(
+        internal::PackLabelPair(a, b), support, occurrences);
+    if (!fresh) {
+      return Status::Corruption("duplicate checkpoint tally key");
+    }
+    ++miner.total_tallies_;
   }
 
   std::vector<QuarantineEntry> quarantined;

@@ -1,0 +1,60 @@
+// Reusable per-shard scratch for the single-tree miner.
+//
+// Mining one tree needs a per-node level structure (label multisets at
+// each relative depth), one pair accumulator per distance value, and an
+// output item buffer. Allocating these per tree dominated the
+// multi-tree hot path: a 200-node tree costs hundreds of small vector
+// allocations that are immediately torn down again. A MiningScratch
+// owns all of those buffers and is recycled across the forest — each
+// worker shard (and each MultiTreeMiner) keeps exactly one, so in
+// steady state AddTree performs no allocation at all: vectors are
+// cleared (capacity kept) and the accumulators are wiped in place.
+//
+// The scratch is an implementation vehicle, not a results carrier: a
+// fresh scratch and a warm one produce bit-identical items for the
+// same (tree, options) input.
+
+#ifndef COUSINS_CORE_MINING_SCRATCH_H_
+#define COUSINS_CORE_MINING_SCRATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "core/pair_count_map.h"
+
+namespace cousins {
+namespace internal {
+
+/// Label multiset at one relative depth, as a label-sorted flat vector —
+/// cache-friendly for the cross-product loops, no hashing.
+using FlatCounts = std::vector<std::pair<LabelId, int64_t>>;
+
+/// All buffers MineSingleTreeScratch reuses across trees. Treat as
+/// opaque outside single_tree_mining.cc except for `items`, which holds
+/// the mined items of the most recent call.
+struct MiningScratch {
+  /// levels[v][k] = labels of v's descendants at depth k below v.
+  /// Every FlatCounts is empty between runs (capacity retained).
+  std::vector<std::vector<FlatCounts>> levels;
+  /// One accumulator per distance value (index = twice-distance);
+  /// cleared between runs, capacity retained so steady-state mining
+  /// never re-grows them.
+  std::vector<PairCountMap> acc;
+  /// Output of the most recent MineSingleTreeScratch call.
+  std::vector<CousinPairItem> items;
+
+  /// Reactive accumulator rehashes across all distance maps — the
+  /// steady-state-no-growth regression signal (see PairCountMap::Stats).
+  int64_t AccumulatorRehashes() const {
+    int64_t total = 0;
+    for (const PairCountMap& m : acc) total += m.stats().rehashes;
+    return total;
+  }
+};
+
+}  // namespace internal
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_MINING_SCRATCH_H_

@@ -4,42 +4,114 @@
 #include <string>
 #include <utility>
 
+#include "core/pair_count_map.h"
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
+#include "obs/sched_events.h"
 #include "util/fault_injection.h"
-#include "util/overflow.h"
 #include "util/strings.h"
 
 namespace cousins {
 
+using internal::PackLabelPair;
+using internal::UnpackFirst;
+using internal::UnpackSecond;
+
+namespace {
+
+/// Live-entry presize hint for one distance table: the number of
+/// distinct unordered pairs over `labels` interned names, capped so
+/// huge alphabets (TreeBASE: 18,870 taxa) do not pre-commit gigabytes
+/// — beyond the cap, reactive growth takes over.
+size_t TallyPresizeHint(size_t labels) {
+  constexpr size_t kMaxPresizeLive = size_t{1} << 16;
+  if (labels >= 512) return kMaxPresizeLive;  // labels² would overflow care
+  const size_t pairs = labels * (labels + 1) / 2;
+  return std::min(pairs, kMaxPresizeLive);
+}
+
+}  // namespace
+
 MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
-    : options_(options) {}
+    : options_(options) {
+  const size_t num_tables =
+      options_.ignore_distance
+          ? 1
+          : static_cast<size_t>(
+                std::max(options_.per_tree.twice_maxdist, 0)) +
+                1;
+  tables_.resize(num_tables);
+}
+
+size_t MultiTreeMiner::TableIndex(int twice_distance) const {
+  if (options_.ignore_distance) return 0;
+  return static_cast<size_t>(twice_distance);
+}
+
+int MultiTreeMiner::TableDistance(size_t index) const {
+  if (options_.ignore_distance) return kAnyDistance;
+  return static_cast<int>(index);
+}
+
+void MultiTreeMiner::EnsureTallyCapacity() {
+  if (labels_ == nullptr) return;
+  const size_t cardinality = labels_->size();
+  if (cardinality <= sized_for_labels_) return;
+  sized_for_labels_ = cardinality;
+  const size_t live = TallyPresizeHint(cardinality);
+  for (internal::TallyMap& table : tables_) table.ReserveLive(live);
+}
 
 void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
-  // Tally-map growth is the miner's allocation hot spot across a big
+  // Tally-table growth is the miner's allocation hot spot across a big
   // forest; a fault here exercises mid-ingestion failure containment.
   COUSINS_FAULT_POINT("multiminer.fold");
+  EnsureTallyCapacity();
+#if COUSINS_METRICS_ENABLED
+  int64_t probes_before = 0;
+  for (const internal::TallyMap& t : tables_) {
+    probes_before += t.stats().probes;
+  }
+#endif
+  // Items arrive grouped by distance (the single-tree extractor's
+  // outer loop is the distance), so prefetching a few items ahead
+  // almost always targets the table currently being probed.
+  constexpr size_t kPrefetchAhead = 8;
   if (!options_.ignore_distance) {
-    for (const CousinPairItem& item : items) {
-      Tally& t = tallies_[{item.label1, item.label2, item.twice_distance}];
-      t.support = SaturatingAddInt(t.support, 1);
-      t.total_occurrences =
-          SaturatingAdd(t.total_occurrences, item.occurrences);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i + kPrefetchAhead < items.size()) {
+        const CousinPairItem& ahead = items[i + kPrefetchAhead];
+        tables_[TableIndex(ahead.twice_distance)].PrefetchKey(
+            PackLabelPair(ahead.label1, ahead.label2));
+      }
+      const CousinPairItem& item = items[i];
+      total_tallies_ +=
+          tables_[TableIndex(item.twice_distance)].Add(
+              PackLabelPair(item.label1, item.label2), 1,
+              item.occurrences);
     }
   } else {
     // Distance-ignored support: a tree supports (a, b, @) once no
-    // matter how many distinct distances realize the pair in it.
-    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
+    // matter how many distinct distances realize the pair in it. The
+    // reusable scratch counter collapses distances within the tree
+    // before the single fold into the @ table.
+    fold_scratch_.Clear();
     for (const CousinPairItem& item : items) {
-      int64_t& occ = per_pair[{item.label1, item.label2, kAnyDistance}];
-      occ = SaturatingAdd(occ, item.occurrences);
+      fold_scratch_.Add(PackLabelPair(item.label1, item.label2),
+                        item.occurrences);
     }
-    for (const auto& [key, occ] : per_pair) {
-      Tally& t = tallies_[key];
-      t.support = SaturatingAddInt(t.support, 1);
-      t.total_occurrences = SaturatingAdd(t.total_occurrences, occ);
-    }
+    fold_scratch_.ForEach([&](uint64_t key, int64_t occurrences) {
+      total_tallies_ += tables_[0].Add(key, 1, occurrences);
+    });
   }
+#if COUSINS_METRICS_ENABLED
+  int64_t probes_after = 0;
+  for (const internal::TallyMap& t : tables_) {
+    probes_after += t.stats().probes;
+  }
+  obs::RecordAccumProbeLen(probes_after - probes_before,
+                           static_cast<int64_t>(items.size()));
+#endif
 }
 
 void MultiTreeMiner::AddTree(const Tree& tree) {
@@ -52,10 +124,12 @@ void MultiTreeMiner::AddTree(const Tree& tree) {
   }
   ++tree_count_;
 
-  FoldItems(MineSingleTreeUnordered(tree, options_.per_tree));
+  const Status mined = internal::MineSingleTreeScratch(
+      tree, options_.per_tree, MiningContext::Unlimited(), &scratch_);
+  COUSINS_CHECK(mined.ok() && "ungoverned single-tree mining cannot trip");
+  FoldItems(scratch_.items);
   COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
-  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size",
-                                  tallies_.size());
+  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size", total_tallies_);
 }
 
 Status MultiTreeMiner::AddTreeGoverned(const Tree& tree,
@@ -69,24 +143,22 @@ Status MultiTreeMiner::AddTreeGoverned(const Tree& tree,
   }
   COUSINS_RETURN_IF_ERROR(context.Check());
 
-  SingleTreeMiningRun run =
-      MineSingleTreeGovernedUnordered(tree, options_.per_tree, context);
-  if (run.truncated) {
+  const Status mined = internal::MineSingleTreeScratch(
+      tree, options_.per_tree, context, &scratch_);
+  if (!mined.ok()) {
     // Discard the half-mined tree: tallies must only ever reflect
     // fully-mined trees so a truncated run is a valid prefix tally.
-    return std::move(run.termination);
+    return mined;
   }
   ++tree_count_;
-  FoldItems(run.items);
+  FoldItems(scratch_.items);
   COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
-  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size",
-                                  tallies_.size());
+  COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size", total_tallies_);
   if (context.governed() &&
-      static_cast<int64_t>(tallies_.size()) >
-          context.budget().max_pair_map_entries) {
+      total_tallies_ > context.budget().max_pair_map_entries) {
     return Status::ResourceExhausted(
         "support-tally budget exceeded (" +
-        std::to_string(tallies_.size()) + " entries > " +
+        std::to_string(total_tallies_) + " entries > " +
         std::to_string(context.budget().max_pair_map_entries) + ")");
   }
   return Status::OK();
@@ -124,7 +196,7 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
   COUSINS_FAULT_POINT("multiminer.merge");
   COUSINS_METRIC_COUNTER_ADD("mine.multi.merges", 1);
   COUSINS_METRIC_COUNTER_ADD("mine.multi.merged_tallies",
-                             other.tallies_.size());
+                             other.total_tallies_);
   if (other.labels_ != nullptr) {
     if (labels_ == nullptr) {
       labels_ = other.labels_;
@@ -133,22 +205,45 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
     }
   }
   tree_count_ += other.tree_count_;
-  for (const auto& [key, tally] : other.tallies_) {
-    Tally& mine = tallies_[key];
-    mine.support = SaturatingAddInt(mine.support, tally.support);
-    mine.total_occurrences =
-        SaturatingAdd(mine.total_occurrences, tally.total_occurrences);
+  EnsureTallyCapacity();
+  // Identical options imply identical table counts; per-distance
+  // merging is a straight SoA-to-SoA fold, no key re-derivation.
+  COUSINS_CHECK(tables_.size() == other.tables_.size());
+  for (size_t d = 0; d < tables_.size(); ++d) {
+    internal::TallyMap& mine = tables_[d];
+    other.tables_[d].ForEach(
+        [&](uint64_t key, int32_t support, int64_t occurrences) {
+          total_tallies_ += mine.Add(key, support, occurrences);
+        });
   }
+}
+
+MultiTreeMiner::AccumulatorStats MultiTreeMiner::accumulator_stats()
+    const {
+  AccumulatorStats stats;
+  for (const internal::TallyMap& t : tables_) {
+    stats.tally_grows += t.stats().grows;
+    stats.tally_probes += t.stats().probes;
+  }
+  stats.tally_entries = total_tallies_;
+  stats.scratch_rehashes = scratch_.AccumulatorRehashes() +
+                           fold_scratch_.stats().rehashes;
+  return stats;
 }
 
 std::vector<FrequentCousinPair> MultiTreeMiner::FrequentPairs() const {
   std::vector<FrequentCousinPair> out;
-  for (const auto& [key, tally] : tallies_) {
-    if (tally.support >= options_.min_support) {
-      out.push_back(FrequentCousinPair{key.label1, key.label2,
-                                       key.twice_distance, tally.support,
-                                       tally.total_occurrences});
-    }
+  for (size_t d = 0; d < tables_.size(); ++d) {
+    const int twice_distance = TableDistance(d);
+    tables_[d].ForEach(
+        [&](uint64_t key, int32_t support, int64_t occurrences) {
+          if (support >= options_.min_support) {
+            out.push_back(FrequentCousinPair{UnpackFirst(key),
+                                             UnpackSecond(key),
+                                             twice_distance, support,
+                                             occurrences});
+          }
+        });
   }
   std::sort(out.begin(), out.end(),
             [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
@@ -161,11 +256,16 @@ std::vector<FrequentCousinPair> MultiTreeMiner::FrequentPairs() const {
 
 std::vector<FrequentCousinPair> MultiTreeMiner::AllTallies() const {
   std::vector<FrequentCousinPair> out;
-  out.reserve(tallies_.size());
-  for (const auto& [key, tally] : tallies_) {
-    out.push_back(FrequentCousinPair{key.label1, key.label2,
-                                     key.twice_distance, tally.support,
-                                     tally.total_occurrences});
+  out.reserve(static_cast<size_t>(total_tallies_));
+  for (size_t d = 0; d < tables_.size(); ++d) {
+    const int twice_distance = TableDistance(d);
+    tables_[d].ForEach(
+        [&](uint64_t key, int32_t support, int64_t occurrences) {
+          out.push_back(FrequentCousinPair{UnpackFirst(key),
+                                           UnpackSecond(key),
+                                           twice_distance, support,
+                                           occurrences});
+        });
   }
   std::sort(out.begin(), out.end(),
             [](const FrequentCousinPair& a, const FrequentCousinPair& b) {

@@ -15,12 +15,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/cousin_pair.h"
+#include "core/mining_scratch.h"
 #include "core/quarantine.h"
 #include "core/single_tree_mining.h"
+#include "core/tally_map.h"
 #include "tree/tree.h"
 #include "util/governance.h"
 #include "util/result.h"
@@ -104,6 +105,21 @@ class MultiTreeMiner {
 
   const MultiTreeMiningOptions& options() const { return options_; }
 
+  /// Cumulative hash-table accounting across the miner's fold path and
+  /// its reusable per-tree scratch. `tally_grows` / `scratch_rehashes`
+  /// count reactive (load-factor) rehashes and are maintained in every
+  /// build; they back the regression test that label-cardinality
+  /// presizing plus scratch reuse makes steady-state mining
+  /// allocation-free. `tally_probes` is telemetry-only (zero with
+  /// COUSINS_METRICS=OFF).
+  struct AccumulatorStats {
+    int64_t tally_grows = 0;
+    int64_t tally_probes = 0;
+    int64_t tally_entries = 0;
+    int64_t scratch_rehashes = 0;
+  };
+  AccumulatorStats accumulator_stats() const;
+
   /// Serializes the full miner state (options, label names, tallies,
   /// tree cursor) into the checkpoint format documented in
   /// core/checkpoint.h, together with the run's quarantine ledger
@@ -131,11 +147,6 @@ class MultiTreeMiner {
       QuarantineLedger* ledger = nullptr);
 
  private:
-  struct Tally {
-    int support = 0;
-    int64_t total_occurrences = 0;
-  };
-
   /// RestoreFromCheckpoint's decoding body; the public wrapper adds the
   /// checkpoint.restores / checkpoint.restore_failures telemetry.
   static Result<MultiTreeMiner> RestoreFromCheckpointImpl(
@@ -146,9 +157,33 @@ class MultiTreeMiner {
   /// Folds one fully-mined tree's items into the tallies (saturating).
   void FoldItems(const std::vector<CousinPairItem>& items);
 
+  /// Table index for an item's twice-distance: the distance itself,
+  /// or 0 for the single kAnyDistance table under ignore_distance.
+  size_t TableIndex(int twice_distance) const;
+
+  /// Rendered twice-distance of table `index` (inverse of TableIndex).
+  int TableDistance(size_t index) const;
+
+  /// Presizes every distance table from the forest label-table
+  /// cardinality (distinct unordered pairs over the interned alphabet,
+  /// capped), so workloads with a bounded alphabet never trigger a
+  /// reactive grow mid-fold. Re-run whenever the cardinality has grown
+  /// past the last presize.
+  void EnsureTallyCapacity();
+
   MultiTreeMiningOptions options_;
   std::shared_ptr<LabelTable> labels_;  // identity check across trees
-  std::unordered_map<CousinPairKey, Tally, CousinPairKeyHash> tallies_;
+  /// Flat SoA support tables, one per twice-distance value (a single
+  /// table under ignore_distance); keys are packed label pairs.
+  std::vector<internal::TallyMap> tables_;
+  /// Live tallies across all tables (== the old tallies_.size()).
+  int64_t total_tallies_ = 0;
+  /// Label cardinality the tables were last presized for.
+  size_t sized_for_labels_ = 0;
+  /// Reusable per-tree buffers (mining levels, accumulators, items)
+  /// and the per-tree distance-collapse counter for ignore_distance.
+  internal::MiningScratch scratch_;
+  internal::PairCountMap fold_scratch_;
   int tree_count_ = 0;
 };
 

@@ -42,13 +42,28 @@ inline LabelId UnpackSecond(uint64_t key) {
 /// when entries with nonzero counts genuinely crowd it.
 class PairCountMap {
  public:
-  /// Cumulative accounting of hash-table work, for mining telemetry.
+  /// Cumulative accounting of hash-table work. `rehashes` (reactive
+  /// growth/purge rehashes, initial alloc excluded) is maintained
+  /// unconditionally — it backs the regression test that accumulator
+  /// reuse plus capacity presizing makes Grow a steady-state no-op;
+  /// `probes` is telemetry-only.
   struct Stats {
     int64_t probes = 0;    // slots inspected across all Add calls
     int64_t rehashes = 0;  // growth/purge rehashes (initial alloc excluded)
   };
 
   PairCountMap() { Rehash(64); }
+
+  /// Pre-sized construction: capacity is the smallest power of two
+  /// that keeps `live_hint` entries under the 0.7 load-factor
+  /// threshold, so a workload whose distinct-pair count is known (e.g.
+  /// bounded by the forest label-table cardinality) never triggers a
+  /// reactive Grow.
+  explicit PairCountMap(size_t live_hint) {
+    size_t capacity = 64;
+    while (live_hint * 10 >= capacity * 7) capacity *= 2;
+    Rehash(capacity);
+  }
 
   void Add(uint64_t key, int64_t delta) {
     if (delta == 0) return;
@@ -76,8 +91,9 @@ class PairCountMap {
   /// Current slot count (always a power of two).
   size_t capacity() const { return keys_.size(); }
 
-  /// Cumulative probe/rehash counts. Always zero when telemetry is
-  /// compiled out (COUSINS_METRICS=OFF).
+  /// Cumulative probe/rehash counts. `probes` is always zero when
+  /// telemetry is compiled out (COUSINS_METRICS=OFF); `rehashes` is
+  /// counted in every build.
   const Stats& stats() const { return stats_; }
 
   /// Invokes fn(key, count) for every entry with count != 0
@@ -111,7 +127,7 @@ class PairCountMap {
     // The accumulator's only allocation point after construction —
     // where a real std::bad_alloc would surface on adversarial corpora.
     COUSINS_FAULT_POINT("paircount.grow");
-    COUSINS_METRICS_ONLY(++stats_.rehashes;)
+    ++stats_.rehashes;
     size_t live = 0;
     for (size_t i = 0; i < keys_.size(); ++i) {
       if (keys_[i] != kEmpty && values_[i] != 0) ++live;

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
+#include "obs/sched_events.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/retry.h"
@@ -18,6 +22,77 @@
 
 namespace cousins {
 namespace {
+
+/// A contiguous run of tree indices, the unit of scheduling: dealt to
+/// worker deques up front, stolen in bulk when a worker runs dry.
+struct Chunk {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Mutex-guarded chunk deque. The owner pops from the front (preserving
+/// ingestion order within its initial deal); thieves take half from the
+/// back, so an owner mid-corpus keeps the work nearest its cursor and
+/// contention stays at the opposite end.
+class ChunkDeque {
+ public:
+  void Push(Chunk chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    chunks_.push_back(chunk);
+  }
+
+  bool PopFront(Chunk* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chunks_.empty()) return false;
+    *out = chunks_.front();
+    chunks_.pop_front();
+    return true;
+  }
+
+  /// Moves the back half (at least one chunk) of this deque into
+  /// `thief`. Returns the number of chunks transferred (0 = nothing to
+  /// steal). Only this deque's mutex is held while extracting, so
+  /// thief-side pushes cannot deadlock against concurrent steals.
+  size_t StealHalfInto(ChunkDeque* thief) {
+    std::vector<Chunk> taken;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const size_t take = (chunks_.size() + 1) / 2;
+      for (size_t i = 0; i < take; ++i) {
+        taken.push_back(chunks_.back());
+        chunks_.pop_back();
+      }
+    }
+    // Front-of-thief in ascending index order: the stolen run was
+    // popped back-to-front, so reverse-iterate to keep mining order
+    // monotone within the haul.
+    for (size_t i = taken.size(); i > 0; --i) thief->Push(taken[i - 1]);
+    return taken.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<Chunk> chunks_;
+};
+
+/// splitmix64 — the same mix PairCountMap keys with; used here to
+/// derive each worker's deterministic starting victim from the
+/// scheduler seed.
+uint64_t MixSeed(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Scheduling chunk size: explicit knob, or a heuristic giving each
+/// worker several chunks to deal and a meaningful back half to steal.
+size_t ChunkSize(const ShardSchedulerOptions& sched, size_t batch,
+                 int32_t workers) {
+  if (sched.chunk_trees > 0) return static_cast<size_t>(sched.chunk_trees);
+  const size_t target = batch / (static_cast<size_t>(workers) * 8);
+  return std::clamp<size_t>(target, 1, 1024);
+}
 
 /// Original forest index for position `i` of the (possibly already
 /// parse-filtered) tree vector.
@@ -36,8 +111,8 @@ struct BatchOutcome {
   /// OK on a clean batch, otherwise the governance trip that ended it.
   Status termination;
   /// True when `partial` covers an exact prefix of the batch even under
-  /// a trip (single-worker ingestion is in order; strided multi-worker
-  /// shards are not).
+  /// a trip (single-worker ingestion is in order; chunk-scheduled
+  /// multi-worker shards are not).
   bool prefix_exact = false;
 };
 
@@ -98,15 +173,33 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
   std::vector<MultiTreeMiner> shards(workers, MultiTreeMiner(options));
   std::vector<Status> shard_status(workers);
   std::vector<double> shard_seconds(workers, 0.0);
+
+  // Chunked deal: chunk k to deque k mod workers, ascending, so each
+  // worker's own deque is a monotone subsequence of the batch and the
+  // no-stealing configuration is a deterministic static partition.
+  const ShardSchedulerOptions& sched = degraded.scheduler;
+  const size_t chunk_size = ChunkSize(sched, end - begin, workers);
+  std::vector<ChunkDeque> deques(workers);
+  {
+    size_t k = 0;
+    for (size_t b = begin; b < end; b += chunk_size, ++k) {
+      deques[k % workers].Push({b, std::min(end, b + chunk_size)});
+    }
+  }
+
   // Watchdog state. Heartbeats count fully-mined trees per shard;
   // `done` tells the watchdog a quiet shard has finished rather than
-  // stalled. Plain vectors of atomics: sized once, never reallocated
-  // while threads run.
+  // stalled; `last_index` is the tree a shard most recently started
+  // (the stall cursor — under stealing there is no closed-form cursor
+  // to derive from the beat count). Plain vectors of atomics: sized
+  // once, never reallocated while threads run.
   std::vector<std::atomic<uint64_t>> heartbeats(workers);
   std::vector<std::atomic<bool>> shard_done(workers);
+  std::vector<std::atomic<size_t>> last_index(workers);
   for (int32_t w = 0; w < workers; ++w) {
     heartbeats[w].store(0, std::memory_order_relaxed);
     shard_done[w].store(false, std::memory_order_relaxed);
+    last_index[w].store(begin, std::memory_order_relaxed);
   }
   Status watchdog_trip;
   {
@@ -132,16 +225,49 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
             st = Status::Cancelled(
                 "cancelled after injected stall at watchdog.stall");
           } else {
-            // Strided sharding keeps per-thread work balanced even when
-            // tree sizes trend over the corpus.
-            for (size_t i = begin + w; i < end;
-                 i += static_cast<size_t>(workers)) {
-              st = shards[w].AddTreeDegraded(trees[i],
-                                             SourceIndexAt(degraded, i),
-                                             worker_context, degraded);
+            // Drain the own deque front-to-back; when it runs dry,
+            // steal half of a sibling's remaining chunks. The visit
+            // order starts at a seed-derived victim and walks
+            // cyclically, so steal patterns replay exactly under the
+            // same seed. Results cannot depend on who mines what:
+            // tallies merge commutatively and outputs are canonically
+            // sorted.
+            int64_t steals = 0;
+            int64_t idle_ns = 0;
+            for (;;) {
+              Chunk chunk;
+              if (!deques[w].PopFront(&chunk)) {
+                if (!sched.work_stealing || workers <= 1) break;
+                Stopwatch idle_sw;
+                size_t got = 0;
+                const int32_t first_victim = static_cast<int32_t>(
+                    MixSeed(sched.steal_seed ^
+                            static_cast<uint64_t>(w)) %
+                    static_cast<uint64_t>(workers));
+                for (int32_t step = 0; step < workers && got == 0;
+                     ++step) {
+                  const int32_t victim = (first_victim + step) % workers;
+                  if (victim == w) continue;
+                  got = deques[victim].StealHalfInto(&deques[w]);
+                }
+                idle_ns +=
+                    static_cast<int64_t>(idle_sw.ElapsedSeconds() * 1e9);
+                if (got == 0) break;  // every deque is dry: batch done
+                ++steals;
+                continue;
+              }
+              for (size_t i = chunk.begin; i < chunk.end; ++i) {
+                last_index[w].store(i, std::memory_order_relaxed);
+                st = shards[w].AddTreeDegraded(trees[i],
+                                               SourceIndexAt(degraded, i),
+                                               worker_context, degraded);
+                if (!st.ok()) break;
+                heartbeats[w].fetch_add(1, std::memory_order_relaxed);
+              }
               if (!st.ok()) break;
-              heartbeats[w].fetch_add(1, std::memory_order_relaxed);
             }
+            obs::RecordSchedSteals(steals);
+            obs::RecordSchedIdleNs(idle_ns);
           }
         } catch (const std::exception& e) {
           st = Status::Internal("worker " + std::to_string(w) +
@@ -189,10 +315,11 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
             if (now - last_change[w] < interval) continue;
             // Stalled: cancel the siblings and surface a deadline trip
             // naming the shard and its last-known cursor so the caller
-            // can see exactly where the run wedged.
+            // can see exactly where the run wedged. The cursor is the
+            // tree the shard most recently started (published by the
+            // worker), valid under any steal pattern.
             const size_t cursor =
-                begin + static_cast<size_t>(w) +
-                static_cast<size_t>(beat) * static_cast<size_t>(workers);
+                last_index[w].load(std::memory_order_relaxed);
             watchdog_trip = Status::DeadlineExceeded(
                 "watchdog: shard " + std::to_string(w) +
                 " made no progress for " +
@@ -219,7 +346,9 @@ Result<BatchOutcome> MineBatchGoverned(const std::vector<Tree>& trees,
 
 #if COUSINS_METRICS_ENABLED
   // Per-shard telemetry exposes load balance: shard wall times should
-  // be near-equal when the strided split is working.
+  // be near-equal when stealing is on (idle workers rebalance
+  // themselves); a spread here with sched.steals at zero means the
+  // static deal went lopsided.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("mine.parallel.runs").Add(1);
   registry.GetCounter("mine.parallel.threads").Add(workers);
@@ -393,7 +522,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
         COUSINS_RETURN_IF_ERROR(merge_into_acc(batch.partial));
         if (checkpointing) COUSINS_RETURN_IF_ERROR(write_checkpoint());
       } else {
-        // Strided shards stopped mid-batch: their union is a
+        // Parallel shards stopped mid-batch: their union is a
         // well-formed tally but not a forest prefix. Checkpoint the
         // boundary state first so resume re-mines the batch whole, then
         // merge for the returned (truncated) partial result.

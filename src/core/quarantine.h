@@ -98,6 +98,27 @@ class QuarantineLedger {
   std::vector<QuarantineEntry> entries_;
 };
 
+/// Shard scheduling policy of the parallel forest miner. Defaults give
+/// work-stealing with a deterministic seed; results are bit-identical
+/// to sequential mining under every setting (tallies merge
+/// commutatively and outputs are canonically sorted), so these knobs
+/// trade only throughput and telemetry, never answers.
+struct ShardSchedulerOptions {
+  /// Steal from other workers' deques when the own deque drains. Off =
+  /// static chunked partitioning (each worker mines only its initially
+  /// dealt chunks).
+  bool work_stealing = true;
+  /// Trees per scheduling chunk (the unit dealt to deques and stolen).
+  /// <= 0 picks a heuristic from batch size and worker count.
+  int32_t chunk_trees = 0;
+  /// Seed of the per-worker victim visit order, so a hung run's steal
+  /// pattern can be replayed exactly.
+  uint64_t steal_seed = 0x9E3779B97F4A7C15ull;
+
+  friend bool operator==(const ShardSchedulerOptions&,
+                         const ShardSchedulerOptions&) = default;
+};
+
 /// Degraded-mode execution knob threaded through the mining drivers
 /// and the phylo facades. Default-constructed = strict: today's
 /// fail-fast behavior, no ledger, no retry, no watchdog.
@@ -120,6 +141,9 @@ struct DegradedModeConfig {
   /// interval trips kDeadlineExceeded and cancels its siblings.
   /// Zero (the default) disables the watchdog.
   std::chrono::milliseconds watchdog_interval{0};
+  /// Shard scheduling policy (execution-only, like watchdog_interval:
+  /// it cannot change mining results).
+  ShardSchedulerOptions scheduler;
 };
 
 }  // namespace cousins

@@ -11,14 +11,12 @@
 namespace cousins {
 namespace {
 
+using internal::FlatCounts;
+using internal::MiningScratch;
 using internal::PackLabelPair;
 using internal::PairCountMap;
 using internal::UnpackFirst;
 using internal::UnpackSecond;
-
-/// Label multiset at one relative depth, as a label-sorted flat vector —
-/// cache-friendly for the cross-product loops, no hashing.
-using FlatCounts = std::vector<std::pair<LabelId, int64_t>>;
 
 /// Sorts and combines duplicate labels in place.
 void Normalize(FlatCounts* counts) {
@@ -49,26 +47,58 @@ void AddProduct(const FlatCounts& a, const FlatCounts& b, int64_t sign,
   }
 }
 
-/// The governed core: MineSingleTreeUnordered's algorithm with
-/// cooperative checkpoints. `context` is consulted once per small batch
-/// of source nodes (stride 64, amortizing the clock read), so an
-/// ungoverned context costs one predictable branch per node and the
-/// item stream is bit-identical to the pre-governance miner.
-SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
-                             const MiningContext& context) {
-  SingleTreeMiningRun run;
-  std::vector<CousinPairItem>& items = run.items;
-  if (tree.empty() || options.twice_maxdist < 0) return run;
+/// Readies the scratch for one run: every per-node FlatCounts empty
+/// (capacity kept), one cleared accumulator per distance value. A
+/// truncated previous run may have left residue anywhere, so the wipe
+/// covers the whole scratch — clears of trivially-destructible
+/// vectors, no deallocation.
+void ResetScratch(MiningScratch* scratch, size_t tree_size,
+                  int twice_maxdist) {
+  for (std::vector<FlatCounts>& node_levels : scratch->levels) {
+    for (FlatCounts& counts : node_levels) counts.clear();
+  }
+  if (scratch->levels.size() < tree_size) scratch->levels.resize(tree_size);
+  const size_t num_acc = static_cast<size_t>(twice_maxdist) + 1;
+  if (scratch->acc.size() != num_acc) scratch->acc.resize(num_acc);
+  for (PairCountMap& m : scratch->acc) m.Clear();
+  scratch->items.clear();
+}
+
+/// The governed core: the exact-LCA inclusion–exclusion miner with
+/// cooperative checkpoints, writing items into scratch->items.
+/// `context` is consulted once per small batch of source nodes (stride
+/// 64, amortizing the clock read), so an ungoverned context costs one
+/// predictable branch per node and the item stream is bit-identical to
+/// the pre-governance miner.
+Status MineCore(const Tree& tree, const MiningOptions& options,
+                const MiningContext& context, MiningScratch* scratch) {
+  if (tree.empty() || options.twice_maxdist < 0) {
+    scratch->items.clear();
+    return Status::OK();
+  }
+  ResetScratch(scratch, tree.size(), options.twice_maxdist);
+  std::vector<CousinPairItem>& items = scratch->items;
 
   const int32_t max_level = MyLevel(options.twice_maxdist);
   // levels[v][k] = labels of v's descendants at depth k below v.
-  std::vector<std::vector<FlatCounts>> levels(tree.size());
+  std::vector<std::vector<FlatCounts>>& levels = scratch->levels;
   // One accumulator per distance value; even distances collect ordered
   // pairs and are halved at the end.
-  std::vector<PairCountMap> acc(options.twice_maxdist + 1);
+  std::vector<PairCountMap>& acc = scratch->acc;
+#if COUSINS_METRICS_ENABLED
+  // Stats are cumulative over the scratch's lifetime; snapshot so the
+  // per-call counters below report this tree's work only.
+  int64_t probes_before = 0;
+  int64_t rehashes_before = 0;
+  for (const PairCountMap& m : acc) {
+    probes_before += m.stats().probes;
+    rehashes_before += m.stats().rehashes;
+  }
+#endif
 
   const bool governed = context.governed();
   uint32_t node_tick = 0;
+  Status termination;
 
   // Preorder ids make descending order a valid postorder.
   for (NodeId a = tree.size() - 1; a >= 0; --a) {
@@ -76,7 +106,9 @@ SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
       Status st = context.Check();
       if (st.ok() && !context.budget().unlimited()) {
         // Approximate working set: the per-distance accumulators (the
-        // O(|T|²) part). 16 bytes per slot (key + count).
+        // O(|T|²) part). 16 bytes per slot (key + count). A warm
+        // scratch counts its retained capacity — memory budgets see
+        // what is actually resident.
         int64_t entries = 0;
         int64_t bytes = 0;
         for (const PairCountMap& m : acc) {
@@ -86,8 +118,7 @@ SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
         st = context.CheckWork(entries, bytes, 0);
       }
       if (!st.ok()) {
-        run.truncated = true;
-        run.termination = std::move(st);
+        termination = std::move(st);
         break;
       }
     }
@@ -127,9 +158,10 @@ SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
         }
       }
     }
+    // Consumed: empty the children's level sets but keep their
+    // capacity — the next tree through this scratch reuses it.
     for (NodeId c : kids) {
-      levels[c].clear();
-      levels[c].shrink_to_fit();
+      for (FlatCounts& counts : levels[c]) counts.clear();
     }
   }
 
@@ -155,16 +187,15 @@ SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
       }
     });
   }
-  if (item_cap_hit && !run.truncated) {
-    run.truncated = true;
-    run.termination = Status::ResourceExhausted(
+  if (item_cap_hit && termination.ok()) {
+    termination = Status::ResourceExhausted(
         "mined-item budget exceeded (" + std::to_string(max_items) +
         " items)");
   }
 
 #if COUSINS_METRICS_ENABLED
-  int64_t probes = 0;
-  int64_t rehashes = 0;
+  int64_t probes = -probes_before;
+  int64_t rehashes = -rehashes_before;
   for (const PairCountMap& m : acc) {
     probes += m.stats().probes;
     rehashes += m.stats().rehashes;
@@ -175,15 +206,26 @@ SingleTreeMiningRun MineCore(const Tree& tree, const MiningOptions& options,
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_probes", probes);
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_rehashes", rehashes);
 #endif
-  return run;
+  return termination;
 }
 
 }  // namespace
 
+namespace internal {
+
+Status MineSingleTreeScratch(const Tree& tree, const MiningOptions& options,
+                             const MiningContext& context,
+                             MiningScratch* scratch) {
+  return MineCore(tree, options, context, scratch);
+}
+
+}  // namespace internal
+
 std::vector<CousinPairItem> MineSingleTreeUnordered(
     const Tree& tree, const MiningOptions& options) {
-  return std::move(
-      MineCore(tree, options, MiningContext::Unlimited()).items);
+  MiningScratch scratch;
+  MineCore(tree, options, MiningContext::Unlimited(), &scratch);
+  return std::move(scratch.items);
 }
 
 std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
@@ -196,13 +238,19 @@ std::vector<CousinPairItem> MineSingleTree(const Tree& tree,
 SingleTreeMiningRun MineSingleTreeGovernedUnordered(
     const Tree& tree, const MiningOptions& options,
     const MiningContext& context) {
-  return MineCore(tree, options, context);
+  MiningScratch scratch;
+  SingleTreeMiningRun run;
+  run.termination = MineCore(tree, options, context, &scratch);
+  run.truncated = !run.termination.ok();
+  run.items = std::move(scratch.items);
+  return run;
 }
 
 SingleTreeMiningRun MineSingleTreeGoverned(const Tree& tree,
                                            const MiningOptions& options,
                                            const MiningContext& context) {
-  SingleTreeMiningRun run = MineCore(tree, options, context);
+  SingleTreeMiningRun run = MineSingleTreeGovernedUnordered(tree, options,
+                                                            context);
   CanonicalizeItems(&run.items);
   obs::RecordGovernanceEvent(run.termination);
   return run;

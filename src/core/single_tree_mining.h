@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/cousin_pair.h"
+#include "core/mining_scratch.h"
 #include "tree/tree.h"
 #include "util/governance.h"
 
@@ -55,6 +56,23 @@ SingleTreeMiningRun MineSingleTreeGoverned(const Tree& tree,
 SingleTreeMiningRun MineSingleTreeGovernedUnordered(
     const Tree& tree, const MiningOptions& options,
     const MiningContext& context);
+
+namespace internal {
+
+/// The allocation-free hot path: mines `tree` into `scratch->items`
+/// (unordered, label1 <= label2), reusing every buffer the scratch
+/// already holds — in steady state a forest fold performs no heap
+/// allocation per tree. Returns OK when mining completed, in which
+/// case scratch->items is exactly MineSingleTreeUnordered's item set;
+/// a non-OK status is the governance trip (or item-budget exhaustion)
+/// that truncated the run — forest folds must then discard the partial
+/// items. Warm and cold scratches produce identical item sets; only
+/// the unspecified order may differ.
+Status MineSingleTreeScratch(const Tree& tree, const MiningOptions& options,
+                             const MiningContext& context,
+                             MiningScratch* scratch);
+
+}  // namespace internal
 
 }  // namespace cousins
 

@@ -1,0 +1,155 @@
+// Flat SoA accumulator for forest-wide support tallies — the fold/merge
+// hot path of Multiple_Tree_Mining. Replaces the node-based
+// unordered_map<CousinPairKey, Tally> the miner used to fold every
+// mined item into: a node map pays a heap allocation per distinct pair
+// plus a pointer chase per fold, while this open-addressing table keeps
+// keys, supports and occurrence counts in three parallel flat arrays
+// (structure-of-arrays), so the probe stream touches one dense uint64
+// array and the counters it updates stay on their own cache lines.
+//
+// Keys are packed label pairs (PackLabelPair in pair_count_map.h):
+// labels are interned into dense uint32 ids forest-wide, so a canonical
+// unordered pair fits one uint64 and hashing is a single integer mix —
+// no string or struct hashing anywhere in the fold. The cousin distance
+// is NOT part of the key: the miner keeps one TallyMap per distance
+// value (distances are small integers bounded by twice_maxdist), which
+// keeps the key dense and makes per-distance iteration free.
+
+#ifndef COUSINS_CORE_TALLY_MAP_H_
+#define COUSINS_CORE_TALLY_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/overflow.h"
+
+namespace cousins {
+namespace internal {
+
+/// packed-label-pair -> (support, total_occurrences) with linear
+/// probing over power-of-two capacity. Supports are always positive
+/// (one per containing tree), so unlike PairCountMap there are no
+/// zero-net entries and no purge logic.
+class TallyMap {
+ public:
+  /// Cumulative accounting of hash-table work. `grows` counts
+  /// load-factor-triggered rehashes and is maintained unconditionally
+  /// (it backs a regression test that presizing makes growth a no-op
+  /// on forest workloads); `probes` is telemetry-only.
+  struct Stats {
+    int64_t probes = 0;  // slots inspected across all Add calls
+    int64_t grows = 0;   // reactive (load-factor) rehashes
+  };
+
+  /// Default construction allocates nothing; the table materializes on
+  /// the first Add or ReserveLive.
+  TallyMap() = default;
+
+  /// Ensures capacity for `live` entries without a reactive grow:
+  /// capacity becomes the smallest power of two keeping the load
+  /// factor under 0.7. Never shrinks. Rehashes in place when the
+  /// table already holds entries; such presizes are not counted as
+  /// `grows`.
+  void ReserveLive(size_t live) {
+    size_t capacity = kMinCapacity;
+    while (live * 10 >= capacity * 7) capacity *= 2;
+    if (capacity > keys_.size()) Rehash(capacity);
+  }
+
+  /// Folds (support_delta, occ_delta) into `key`, inserting it if new.
+  /// Saturating adds: adversarial corpora clamp instead of wrapping.
+  /// Returns true when the key was newly inserted.
+  bool Add(uint64_t key, int32_t support_delta, int64_t occ_delta) {
+    if (keys_.empty()) Rehash(kMinCapacity);
+    COUSINS_METRICS_ONLY(++stats_.probes;)
+    size_t i = Slot(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        supports_[i] = SaturatingAddInt(supports_[i], support_delta);
+        occurrences_[i] = SaturatingAdd(occurrences_[i], occ_delta);
+        return false;
+      }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    supports_[i] = support_delta;
+    occurrences_[i] = occ_delta;
+    if (++size_ * 10 >= keys_.size() * 7) {
+      ++stats_.grows;
+      Rehash(keys_.size() * 2);
+    }
+    return true;
+  }
+
+  /// Issues a software prefetch for `key`'s home slot so a later Add
+  /// finds the probe line resident. The fold loop runs this a few
+  /// items ahead of the item it is folding.
+  void PrefetchKey(uint64_t key) const {
+    if (keys_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&keys_[Slot(key)], 1 /*write*/, 1);
+#endif
+  }
+
+  /// Number of distinct keys.
+  size_t size() const { return size_; }
+
+  /// Current slot count (zero before first use, else a power of two).
+  size_t capacity() const { return keys_.size(); }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Invokes fn(key, support, occurrences) for every entry
+  /// (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) fn(keys_[i], supports_[i], occurrences_[i]);
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+  static constexpr size_t kMinCapacity = 64;
+
+  size_t Slot(uint64_t key) const {
+    uint64_t h = key;
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(h ^ (h >> 31)) & mask_;
+  }
+
+  void Rehash(size_t capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<int32_t> old_supports = std::move(supports_);
+    std::vector<int64_t> old_occurrences = std::move(occurrences_);
+    keys_.assign(capacity, kEmpty);
+    supports_.assign(capacity, 0);
+    occurrences_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      size_t j = Slot(old_keys[i]);
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      supports_[j] = old_supports[i];
+      occurrences_[j] = old_occurrences[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<int32_t> supports_;
+  std::vector<int64_t> occurrences_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace internal
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_TALLY_MAP_H_

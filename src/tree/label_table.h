@@ -2,11 +2,17 @@
 // alphabet (TreeBASE: 18,870 distinct taxa); interning makes cousin-pair
 // keys integer pairs, so hashing and comparison are O(1) regardless of
 // label length.
+//
+// The index uses heterogeneous (transparent) lookup: Intern and Find
+// hash the caller's string_view directly, so the parse/generate hot
+// path never allocates a temporary std::string just to probe the map —
+// only genuinely new labels pay an allocation.
 
 #ifndef COUSINS_TREE_LABEL_TABLE_H_
 #define COUSINS_TREE_LABEL_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -28,7 +34,7 @@ class LabelTable {
  public:
   /// Returns the id of `name`, interning it if new.
   LabelId Intern(std::string_view name) {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);
     if (it != index_.end()) return it->second;
     auto id = static_cast<LabelId>(names_.size());
     names_.emplace_back(name);
@@ -38,7 +44,7 @@ class LabelTable {
 
   /// Returns the id of `name`, or kNoLabel if it was never interned.
   LabelId Find(std::string_view name) const {
-    auto it = index_.find(std::string(name));
+    auto it = index_.find(name);
     return it == index_.end() ? kNoLabel : it->second;
   }
 
@@ -50,9 +56,28 @@ class LabelTable {
 
   size_t size() const { return names_.size(); }
 
+  /// Pre-allocates for `labels` distinct names (e.g. a known corpus
+  /// alphabet) so bulk interning does not rehash the index.
+  void Reserve(size_t labels) {
+    names_.reserve(labels);
+    index_.reserve(labels);
+  }
+
  private:
+  /// Transparent string hasher: lets unordered_map::find accept a
+  /// string_view without materializing a std::string.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, LabelId> index_;
+  /// Keys are owning std::strings; string_view is only the probe type
+  /// (transparent hash + std::equal_to<>, C++20 heterogeneous lookup).
+  std::unordered_map<std::string, LabelId, StringHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace cousins

@@ -1,0 +1,150 @@
+// Work-stealing determinism matrix: the parallel forest miner must
+// render bit-identical frequent-pair CSV to the sequential miner across
+// every combination of thread count, stealing on/off, checkpoint
+// cadence, and strict/lenient mode — the shard scheduler may only move
+// work between threads, never change answers. Plus the containment
+// drill: a fault armed at parallel.worker under stealing is contained
+// to a Status, and the disarmed rerun matches the baseline again.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/item_io.h"
+#include "core/parallel_mining.h"
+#include "gen/yule_generator.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+std::vector<Tree> MatrixForest(std::shared_ptr<LabelTable> labels) {
+  // Enough trees that an every-64 cadence spans several batches and an
+  // 8-worker deal leaves chunks worth stealing; varied sizes so shard
+  // finishing times actually spread.
+  Rng rng(97531);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = 20;
+  gen.max_nodes = 90;
+  gen.alphabet_size = 50;
+  std::vector<Tree> trees;
+  for (int i = 0; i < 150; ++i) {
+    trees.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  return trees;
+}
+
+MultiTreeMiningOptions MatrixOptions() {
+  MultiTreeMiningOptions opt;
+  opt.min_support = 2;
+  return opt;
+}
+
+/// Canonical rendered output: any tally difference — order included —
+/// shows up as a byte difference.
+std::string MineToCsv(const std::vector<Tree>& trees,
+                      const LabelTable& labels,
+                      const DegradedModeConfig& degraded,
+                      const std::string& checkpoint_path, int32_t threads) {
+  MiningCheckpointConfig config;
+  config.path = checkpoint_path;  // empty = no checkpointing
+  config.every_trees = 64;
+  Result<MultiTreeMiningRun> run = MineMultipleTreesCheckpointed(
+      trees, MatrixOptions(), MiningContext::Unlimited(), config, degraded,
+      threads);
+  EXPECT_TRUE(run.ok()) << run.status().message();
+  if (!run.ok()) return "<error>";
+  EXPECT_FALSE(run->truncated);
+  return FrequentPairsToCsv(labels, run->pairs);
+}
+
+// (threads, work_stealing, checkpoint_every, lenient)
+using MatrixParam = std::tuple<int32_t, bool, int32_t, bool>;
+
+class StealingMatrix : public ::testing::TestWithParam<MatrixParam> {
+  void SetUp() override { fault::FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_P(StealingMatrix, ParallelCsvIsBitIdenticalToSequential) {
+  const auto [threads, stealing, every, lenient] = GetParam();
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = MatrixForest(labels);
+
+  const std::string sequential = FrequentPairsToCsv(
+      *labels, MineMultipleTrees(trees, MatrixOptions()));
+
+  QuarantineLedger ledger;
+  DegradedModeConfig degraded;
+  degraded.scheduler.work_stealing = stealing;
+  degraded.scheduler.chunk_trees = 4;  // small chunks: steals do happen
+  if (lenient) {
+    degraded.lenient = true;
+    degraded.ledger = &ledger;
+  }
+
+  std::string checkpoint_path;
+  if (every > 0) {
+    checkpoint_path = ::testing::TempDir() + "cousins_steal_" +
+                      std::to_string(threads) + "_" +
+                      std::to_string(stealing) + "_" +
+                      std::to_string(lenient);
+    std::remove(checkpoint_path.c_str());
+  }
+
+  EXPECT_EQ(sequential, MineToCsv(trees, *labels, degraded,
+                                  checkpoint_path, threads))
+      << "threads=" << threads << " stealing=" << stealing
+      << " every=" << every << " lenient=" << lenient;
+  EXPECT_TRUE(ledger.empty()) << "healthy forest must not quarantine";
+  if (!checkpoint_path.empty()) std::remove(checkpoint_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, StealingMatrix,
+    ::testing::Combine(::testing::Values(int32_t{1}, int32_t{2}, int32_t{3},
+                                         int32_t{8}),
+                       ::testing::Bool(),                       // stealing
+                       ::testing::Values(int32_t{0}, int32_t{64}),
+                       ::testing::Bool()),                      // lenient
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_steal" : "_static") + "_ckpt" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "_lenient" : "_strict");
+    });
+
+TEST(StealingFaultDrill, WorkerFaultUnderStealingIsContained) {
+  fault::FaultRegistry::Global().DisarmAll();
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = MatrixForest(labels);
+  const std::string baseline = FrequentPairsToCsv(
+      *labels, MineMultipleTrees(trees, MatrixOptions()));
+
+  DegradedModeConfig degraded;  // strict: a worker fault must surface
+  degraded.scheduler.work_stealing = true;
+  degraded.scheduler.chunk_trees = 4;
+
+  fault::FaultRegistry::Global().Arm("parallel.worker", 2);
+  Result<MultiTreeMiningRun> faulted = MineMultipleTreesParallelGoverned(
+      trees, MatrixOptions(), MiningContext::Unlimited(), degraded, 3);
+  fault::FaultRegistry::Global().DisarmAll();
+  ASSERT_FALSE(faulted.ok()) << "armed worker fault did not surface";
+  EXPECT_EQ(faulted.status().code(), StatusCode::kInternal)
+      << faulted.status().message();
+
+  // Containment proven; the disarmed rerun must match the baseline
+  // bit-for-bit — the fault left no residue in any shared state.
+  Result<MultiTreeMiningRun> rerun = MineMultipleTreesParallelGoverned(
+      trees, MatrixOptions(), MiningContext::Unlimited(), degraded, 3);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().message();
+  EXPECT_EQ(baseline, FrequentPairsToCsv(*labels, rerun->pairs));
+}
+
+}  // namespace
+}  // namespace cousins

@@ -1,0 +1,470 @@
+// bench_diff: the CI perf gate. Compares a set of current BENCH_*.json
+// reports against committed baselines and exits nonzero on regression.
+//
+//   bench_diff --baseline <file-or-dir> --current <file-or-dir>
+//              [--tolerance 0.15]
+//
+// Reports are matched by their "name" field. Within each matched
+// report's "results" map:
+//   - timing keys (containing "us_per", "wall", "seconds", or ending
+//     in "_us") are lower-is-better and fail when current exceeds
+//     baseline by more than the tolerance;
+//   - "throughput"-keyed results are higher-is-better with the same
+//     tolerance;
+//   - correctness keys (containing "frequent_pairs", "tripped", or
+//     "processed") must match the baseline exactly — a perf PR that
+//     changes answers is a correctness bug wearing a speedup;
+//   - anything else is informational.
+// A baseline report or result key with no current counterpart fails
+// the gate: losing coverage must be a deliberate baseline refresh (see
+// bench/baselines/README.md), never a silent pass.
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON reader ---------------------------------------------
+// The reports are machine-written by bench_report.h, so this parser
+// supports exactly the JSON subset that writer emits (objects, arrays,
+// strings with \-escapes, numbers, true/false/null) and rejects the
+// rest loudly.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    if (ok && pos_ != text_.size()) {
+      ok = false;
+      message_ = "trailing characters";
+    }
+    if (!ok) {
+      *error = message_.empty() ? "malformed JSON" : message_;
+      *error += " at byte " + std::to_string(pos_);
+    }
+    return ok;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      message_ = "unknown literal";
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') {
+      message_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default:
+            message_ = "unsupported escape";
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      message_ = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      message_ = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = c == 't';
+      return Literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    // Number: delegate to strtod, which accepts a superset of JSON
+    // numbers — fine for trusted machine-written input.
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) {
+      message_ = "expected a value";
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        message_ = "expected ':'";
+        return false;
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      message_ = "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->items.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      message_ = "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string message_;
+};
+
+// --- report loading --------------------------------------------------
+
+struct Report {
+  std::string file;
+  std::string name;
+  std::string status;
+  std::map<std::string, double> results;
+};
+
+bool LoadReport(const std::filesystem::path& path, Report* out,
+                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot read " + path.string();
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root, error)) {
+    *error = path.string() + ": " + *error;
+    return false;
+  }
+  out->file = path.string();
+  const JsonValue* name = root.Find("name");
+  const JsonValue* status = root.Find("status");
+  const JsonValue* results = root.Find("results");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+      results == nullptr || results->kind != JsonValue::Kind::kObject) {
+    *error = path.string() + ": not a bench report (missing name/results)";
+    return false;
+  }
+  out->name = name->str;
+  out->status = status != nullptr ? status->str : "";
+  for (const auto& [key, value] : results->members) {
+    if (value.kind == JsonValue::Kind::kNumber) {
+      out->results[key] = value.number;
+    }
+  }
+  return true;
+}
+
+/// Loads every BENCH_*.json under `path` (a report file, or a
+/// directory scanned non-recursively in sorted order).
+bool LoadReportSet(const std::string& path, std::vector<Report>* out,
+                   std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
+      const std::string base = entry.path().filename().string();
+      if (base.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      *error = "no BENCH_*.json files in " + path;
+      return false;
+    }
+  } else if (fs::exists(path, ec)) {
+    files.push_back(path);
+  } else {
+    *error = "no such file or directory: " + path;
+    return false;
+  }
+  for (const fs::path& file : files) {
+    Report report;
+    if (!LoadReport(file, &report, error)) return false;
+    out->push_back(std::move(report));
+  }
+  return true;
+}
+
+// --- comparison ------------------------------------------------------
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+enum class KeyClass { kTiming, kThroughput, kExact, kInfo };
+
+KeyClass ClassifyKey(const std::string& key) {
+  if (Contains(key, "frequent_pairs") || Contains(key, "tripped") ||
+      Contains(key, "processed")) {
+    return KeyClass::kExact;
+  }
+  if (Contains(key, "us_per") || Contains(key, "wall") ||
+      Contains(key, "seconds") || EndsWith(key, "_us")) {
+    return KeyClass::kTiming;
+  }
+  if (Contains(key, "throughput")) return KeyClass::kThroughput;
+  return KeyClass::kInfo;
+}
+
+struct GateResult {
+  int checked = 0;
+  int failures = 0;
+};
+
+void CompareReports(const Report& base, const Report& current,
+                    double tolerance, GateResult* gate) {
+  for (const auto& [key, base_value] : base.results) {
+    const auto cur_it = current.results.find(key);
+    if (cur_it == current.results.end()) {
+      std::printf("FAIL    %s.%s: missing from current report (%s)\n",
+                  base.name.c_str(), key.c_str(), current.file.c_str());
+      ++gate->failures;
+      continue;
+    }
+    const double cur_value = cur_it->second;
+    const double ratio =
+        base_value != 0 ? cur_value / base_value
+                        : (cur_value == 0 ? 1.0 : HUGE_VAL);
+    ++gate->checked;
+    switch (ClassifyKey(key)) {
+      case KeyClass::kExact:
+        if (cur_value != base_value) {
+          std::printf("FAIL    %s.%s: exact-match key changed "
+                      "(baseline %.17g, current %.17g)\n",
+                      base.name.c_str(), key.c_str(), base_value,
+                      cur_value);
+          ++gate->failures;
+        } else {
+          std::printf("OK      %s.%s: %.17g (exact)\n", base.name.c_str(),
+                      key.c_str(), cur_value);
+        }
+        break;
+      case KeyClass::kTiming:
+        if (cur_value > base_value * (1.0 + tolerance)) {
+          std::printf("FAIL    %s.%s: %.1f -> %.1f (%+.1f%%, "
+                      "tolerance %.0f%%)\n",
+                      base.name.c_str(), key.c_str(), base_value,
+                      cur_value, (ratio - 1.0) * 100, tolerance * 100);
+          ++gate->failures;
+        } else {
+          std::printf("OK      %s.%s: %.1f -> %.1f (%+.1f%%)\n",
+                      base.name.c_str(), key.c_str(), base_value,
+                      cur_value, (ratio - 1.0) * 100);
+        }
+        break;
+      case KeyClass::kThroughput:
+        if (cur_value < base_value * (1.0 - tolerance)) {
+          std::printf("FAIL    %s.%s: %.1f -> %.1f (%+.1f%%, "
+                      "tolerance %.0f%%)\n",
+                      base.name.c_str(), key.c_str(), base_value,
+                      cur_value, (ratio - 1.0) * 100, tolerance * 100);
+          ++gate->failures;
+        } else {
+          std::printf("OK      %s.%s: %.1f -> %.1f (%+.1f%%)\n",
+                      base.name.c_str(), key.c_str(), base_value,
+                      cur_value, (ratio - 1.0) * 100);
+        }
+        break;
+      case KeyClass::kInfo:
+        std::printf("INFO    %s.%s: %.17g -> %.17g\n", base.name.c_str(),
+                    key.c_str(), base_value, cur_value);
+        break;
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff --baseline <file-or-dir> --current <file-or-dir>"
+      " [--tolerance 0.15]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() || tolerance < 0) {
+    return Usage();
+  }
+
+  std::vector<Report> baselines;
+  std::vector<Report> currents;
+  std::string error;
+  if (!LoadReportSet(baseline_path, &baselines, &error) ||
+      !LoadReportSet(current_path, &currents, &error)) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.c_str());
+    return 2;
+  }
+
+  GateResult gate;
+  for (const Report& base : baselines) {
+    const Report* current = nullptr;
+    for (const Report& candidate : currents) {
+      if (candidate.name == base.name) {
+        current = &candidate;
+        break;
+      }
+    }
+    if (current == nullptr) {
+      std::printf("FAIL    %s: baseline report has no current "
+                  "counterpart\n",
+                  base.name.c_str());
+      ++gate.failures;
+      continue;
+    }
+    if (current->status != "ok") {
+      std::printf("FAIL    %s: current report status is \"%s\"\n",
+                  base.name.c_str(), current->status.c_str());
+      ++gate.failures;
+      continue;
+    }
+    CompareReports(base, *current, tolerance, &gate);
+  }
+
+  std::printf("bench_diff: %d result(s) checked, %d failure(s), "
+              "tolerance %.0f%%\n",
+              gate.checked, gate.failures, tolerance * 100);
+  return gate.failures == 0 ? 0 : 1;
+}
