@@ -6,9 +6,12 @@
 // direct bounded-BFS implementation, verifying they agree.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "bench_report.h"
+#include "core/multi_tree_mining.h"
+#include "core/parallel_mining.h"
 #include "freetree/free_tree.h"
 #include "freetree/free_tree_mining.h"
 #include "gen/uniform_generator.h"
@@ -67,5 +70,53 @@ int main() {
   csv.WriteComment(all_agree ? "shape check: OK — both §6 algorithms "
                                "agree on every graph"
                              : "shape check: MISMATCH");
+
+  // Free variant through the unified forest pipeline (the production
+  // path MineMultipleFreeTrees delegates to): a pinned synthetic
+  // forest, mined with variant=kFreeTree. `frequent_pairs` is an
+  // exact perf-gate key; the per-tree timing rides the gate's timing
+  // tolerance.
+  {
+    const int32_t forest_size =
+        static_cast<int32_t>(EnvScale("COUSINS_FREETREE_TREES", 2000));
+    const int32_t threads =
+        static_cast<int32_t>(EnvScale("COUSINS_FREETREE_THREADS", 4));
+    report.AddParam("pipeline_forest_size", int64_t{forest_size});
+    report.AddParam("pipeline_threads", int64_t{threads});
+    auto labels = std::make_shared<LabelTable>();
+    UniformTreeOptions gen;
+    gen.tree_size = 64;
+    gen.alphabet_size = kAlphabetSize;
+    Rng rng(4242);
+    std::vector<Tree> forest;
+    forest.reserve(forest_size);
+    for (int32_t i = 0; i < forest_size; ++i) {
+      forest.push_back(GenerateUniformTree(gen, rng, labels));
+    }
+    MultiTreeMiningOptions options;
+    options.variant = MinerVariant::kFreeTree;
+    options.per_tree = mining;
+    options.min_support = 2;
+    Stopwatch sw;
+    Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+        forest, options, MiningContext::Unlimited(), threads);
+    const double pipeline_s = sw.ElapsedSeconds();
+    const bool pipeline_ok = run.ok() && !run->truncated &&
+                             run->trees_processed == forest_size;
+    all_agree = all_agree && pipeline_ok;
+    report.AddToN(forest_size);
+    report.AddResult("pipeline_frequent_pairs",
+                     static_cast<int64_t>(pipeline_ok ? run->pairs.size()
+                                                      : -1));
+    report.AddResult("pipeline_us_per_tree",
+                     pipeline_s * 1e6 / forest_size);
+    csv.WriteComment("pipeline: " + std::to_string(forest_size) +
+                     " trees, " + std::to_string(threads) + " threads, " +
+                     std::to_string(pipeline_s * 1e3) + " ms, " +
+                     (pipeline_ok
+                          ? std::to_string(run->pairs.size()) +
+                                " frequent pairs"
+                          : "FAILED"));
+  }
   return report.Finish(all_agree) ? 0 : 1;
 }

@@ -47,7 +47,9 @@ int main() {
   WeightedMiningOptions weighted;
   weighted.bucket_width = 0.5;
   std::printf("\nWeighted items (bucket width 0.5):\n");
-  for (const WeightedPairItem& item : MineWeighted(tree, weighted)) {
+  const std::vector<WeightedPairItem> weighted_items =
+      MineWeighted(tree, weighted).value();
+  for (const WeightedPairItem& item : weighted_items) {
     std::printf("  %s\n", FormatWeightedItem(*labels, item).c_str());
   }
 

@@ -215,6 +215,14 @@ std::string MultiTreeMiner::SerializeCheckpoint(
   PutI64(options_.per_tree.min_occur, &out);
   PutI32(options_.min_support, &out);
   out.push_back(options_.ignore_distance ? 1 : 0);
+  out.push_back(static_cast<char>(options_.variant));
+  PutI32(options_.generalized.max_horizontal, &out);
+  PutI32(options_.generalized.max_vertical, &out);
+  uint64_t bucket_bits = 0;
+  static_assert(sizeof(bucket_bits) == sizeof(options_.weighted.bucket_width));
+  std::memcpy(&bucket_bits, &options_.weighted.bucket_width,
+              sizeof(bucket_bits));
+  PutU64(bucket_bits, &out);
   PutI64(tree_count_, &out);
 
   // Full label table in id order (position == LabelId); restore remaps
@@ -228,14 +236,49 @@ std::string MultiTreeMiner::SerializeCheckpoint(
     out.append(name);
   }
 
-  const std::vector<FrequentCousinPair> tallies = AllTallies();
-  PutU64(tallies.size(), &out);
-  for (const FrequentCousinPair& t : tallies) {
+  // Unified tally record across variants: (labels, distance, aux).
+  // The aux word is 0 for the cousin/free variants, the packed (h, v)
+  // kinship for generalized (distance 0 there) and the bit-cast bucket
+  // for weighted. Each accessor returns canonical key order, so the
+  // section is byte-stable.
+  struct Record {
+    int32_t label1, label2, twice_distance;
+    uint32_t aux;
+    int32_t support;
+    int64_t occurrences;
+  };
+  std::vector<Record> records;
+  switch (options_.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      for (const FrequentCousinPair& t : AllTallies()) {
+        records.push_back({t.label1, t.label2, t.twice_distance, 0,
+                           t.support, t.total_occurrences});
+      }
+      break;
+    case MinerVariant::kGeneralized:
+      for (const FrequentGeneralizedPair& t : AllGeneralizedTallies()) {
+        records.push_back({t.label1, t.label2, 0,
+                           internal::PackHV(t.horizontal, t.vertical),
+                           t.support, t.total_occurrences});
+      }
+      break;
+    case MinerVariant::kWeighted:
+      for (const FrequentWeightedPair& t : AllWeightedTallies()) {
+        records.push_back({t.label1, t.label2, t.twice_distance,
+                           internal::PackBucket(t.weight_bucket), t.support,
+                           t.total_occurrences});
+      }
+      break;
+  }
+  PutU64(records.size(), &out);
+  for (const Record& t : records) {
     PutI32(t.label1, &out);
     PutI32(t.label2, &out);
     PutI32(t.twice_distance, &out);
+    PutU32(t.aux, &out);
     PutI32(t.support, &out);
-    PutI64(t.total_occurrences, &out);
+    PutI64(t.occurrences, &out);
   }
 
   EncodeLedgerSection(ledger, &out);
@@ -313,17 +356,37 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
   COUSINS_RETURN_IF_ERROR(body.ReadI64(&min_occur));
   COUSINS_RETURN_IF_ERROR(body.ReadI32(&min_support));
   COUSINS_RETURN_IF_ERROR(body.ReadU8(&ignore_distance));
+  uint8_t variant_byte = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadU8(&variant_byte));
+  if (variant_byte > static_cast<uint8_t>(MinerVariant::kWeighted)) {
+    return Status::Corruption("checkpoint miner variant out of range");
+  }
+  int32_t max_horizontal = 0;
+  int32_t max_vertical = 0;
+  uint64_t bucket_bits = 0;
+  COUSINS_RETURN_IF_ERROR(body.ReadI32(&max_horizontal));
+  COUSINS_RETURN_IF_ERROR(body.ReadI32(&max_vertical));
+  COUSINS_RETURN_IF_ERROR(body.ReadU64(&bucket_bits));
   stored.per_tree.twice_maxdist = twice_maxdist;
   stored.per_tree.min_occur = min_occur;
   stored.min_support = min_support;
   stored.ignore_distance = ignore_distance != 0;
+  stored.variant = static_cast<MinerVariant>(variant_byte);
+  stored.generalized.max_horizontal = max_horizontal;
+  stored.generalized.max_vertical = max_vertical;
+  std::memcpy(&stored.weighted.bucket_width, &bucket_bits,
+              sizeof(bucket_bits));
   if (!(stored == expected_options)) {
     return Status::FailedPrecondition(
-        "checkpoint mining options mismatch (checkpoint: maxdist=" +
-        std::to_string(twice_maxdist) +
+        "checkpoint mining options mismatch (checkpoint: variant=" +
+        MinerVariantName(stored.variant) +
+        ", maxdist=" + std::to_string(twice_maxdist) +
         "/2, minoccur=" + std::to_string(min_occur) +
         ", minsup=" + std::to_string(min_support) + ", ignore_distance=" +
         (stored.ignore_distance ? "true" : "false") +
+        ", max_h=" + std::to_string(max_horizontal) +
+        ", max_v=" + std::to_string(max_vertical) +
+        ", bucket_width=" + std::to_string(stored.weighted.bucket_width) +
         ") — resume with the options of the interrupted run");
   }
 
@@ -357,11 +420,13 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
     int32_t l1 = 0;
     int32_t l2 = 0;
     int32_t twice_distance = 0;
+    uint32_t aux = 0;
     int32_t support = 0;
     int64_t occurrences = 0;
     COUSINS_RETURN_IF_ERROR(body.ReadI32(&l1));
     COUSINS_RETURN_IF_ERROR(body.ReadI32(&l2));
     COUSINS_RETURN_IF_ERROR(body.ReadI32(&twice_distance));
+    COUSINS_RETURN_IF_ERROR(body.ReadU32(&aux));
     COUSINS_RETURN_IF_ERROR(body.ReadI32(&support));
     COUSINS_RETURN_IF_ERROR(body.ReadI64(&occurrences));
     if (l1 < 0 || l2 < 0 ||
@@ -372,22 +437,64 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
     if (support < 0 || occurrences < 0) {
       return Status::Corruption("negative checkpoint tally count");
     }
-    // The per-distance table layout admits only the distances the
-    // options admit; anything else is a corrupt record the old flat
-    // map would have absorbed silently.
-    const bool distance_ok =
-        expected_options.ignore_distance
-            ? twice_distance == kAnyDistance
-            : twice_distance >= 0 &&
-                  twice_distance <= expected_options.per_tree.twice_maxdist;
-    if (!distance_ok) {
-      return Status::Corruption("checkpoint tally distance out of range");
-    }
+    // Each variant admits only the (distance, aux) shapes its tables
+    // can hold; anything else is a corrupt record the old flat map
+    // would have absorbed silently.
     LabelId a = remap[static_cast<size_t>(l1)];
     LabelId b = remap[static_cast<size_t>(l2)];
-    if (a > b) std::swap(a, b);  // re-canonicalize under the new ids
-    const bool fresh = miner.tables_[miner.TableIndex(twice_distance)].Add(
-        internal::PackLabelPair(a, b), support, occurrences);
+    // Re-canonicalize under the new ids; safe for every variant — the
+    // aux word ((h, v) kinship or weight bucket) is symmetric in the
+    // label order.
+    if (a > b) std::swap(a, b);
+    bool fresh = false;
+    switch (expected_options.variant) {
+      case MinerVariant::kCousin:
+      case MinerVariant::kFreeTree: {
+        const bool distance_ok =
+            expected_options.ignore_distance
+                ? twice_distance == kAnyDistance
+                : twice_distance >= 0 &&
+                      twice_distance <=
+                          expected_options.per_tree.twice_maxdist;
+        if (!distance_ok) {
+          return Status::Corruption(
+              "checkpoint tally distance out of range");
+        }
+        if (aux != 0) {
+          return Status::Corruption(
+              "nonzero aux word on a cousin-variant checkpoint tally");
+        }
+        fresh = miner.tables_[miner.TableIndex(twice_distance)].Add(
+            internal::PackLabelPair(a, b), support, occurrences);
+        break;
+      }
+      case MinerVariant::kGeneralized: {
+        if (twice_distance != 0) {
+          return Status::Corruption(
+              "checkpoint tally distance out of range");
+        }
+        if (internal::UnpackH(aux) >
+                expected_options.generalized.max_horizontal ||
+            internal::UnpackV(aux) >
+                expected_options.generalized.max_vertical) {
+          return Status::Corruption(
+              "checkpoint tally kinship exceeds the generalized caps");
+        }
+        fresh = miner.aux_tables_[0].Add(internal::PackLabelPair(a, b), aux,
+                                         support, occurrences);
+        break;
+      }
+      case MinerVariant::kWeighted: {
+        if (twice_distance < 0 ||
+            twice_distance > expected_options.per_tree.twice_maxdist) {
+          return Status::Corruption(
+              "checkpoint tally distance out of range");
+        }
+        fresh = miner.aux_tables_[static_cast<size_t>(twice_distance)].Add(
+            internal::PackLabelPair(a, b), aux, support, occurrences);
+        break;
+      }
+    }
     if (!fresh) {
       return Status::Corruption("duplicate checkpoint tally key");
     }

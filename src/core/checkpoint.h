@@ -16,12 +16,18 @@
 //   [12, 20)  uint64 total file size in bytes, trailing CRC included
 //             (detects truncation distinctly from corruption)
 //   [20, ...) mining options: int32 twice_maxdist, int64 min_occur,
-//             int32 min_support, uint8 ignore_distance
+//             int32 min_support, uint8 ignore_distance,
+//             uint8 miner variant (version 3+; MinerVariant value),
+//             int32 generalized max_horizontal, int32 max_vertical,
+//             uint64 weighted bucket_width (IEEE-754 bit pattern)
 //             int64 tree cursor (trees fully mined and folded)
 //             uint64 label count, then per label: uint32 len + bytes
 //             (position = LabelId at serialization time)
 //             uint64 tally count, then per tally, sorted by key:
 //             int32 label1, int32 label2, int32 twice_distance,
+//             uint32 aux (version 3+: 0 for the cousin/free variants,
+//             packed (h, v) for generalized — twice_distance 0 there —
+//             and the bit-cast weight bucket for weighted),
 //             int32 support, int64 total_occurrences
 //             uint64 quarantine count (version 2+; 0 for strict runs),
 //             then per entry, in the ledger's canonical order:
@@ -56,9 +62,11 @@ namespace cousins {
 inline constexpr char kCheckpointMagic[8] = {'C', 'O', 'U', 'S',
                                              'C', 'K', 'P', '1'};
 /// Version 2 appended the quarantine-ledger section (degraded mode);
-/// version-1 files are refused with a distinct error, never silently
-/// resumed without their run's context.
-inline constexpr uint32_t kCheckpointVersion = 2;
+/// version 3 added the miner-variant byte, the variant option fields
+/// and the per-tally aux word (unified payload across all variants).
+/// Older-version files are refused with a distinct error, never
+/// silently reinterpreted.
+inline constexpr uint32_t kCheckpointVersion = 3;
 
 /// Checkpointing configuration for the forest-mining drivers.
 struct MiningCheckpointConfig {

@@ -4,15 +4,14 @@
 #include <unordered_map>
 #include <utility>
 
-#include "core/level_sweep.h"
+#include "core/variant_mining.h"
 #include "tree/lca.h"
+#include "util/check.h"
+#include "util/overflow.h"
 #include "util/strings.h"
 
 namespace cousins {
 namespace {
-
-using internal::LabelCounts;
-using internal::NodeLevels;
 
 struct GenKey {
   LabelId label1;
@@ -40,58 +39,8 @@ void Add(Accumulator* acc, LabelId x, LabelId y, int32_t horizontal,
          int32_t vertical, int64_t count) {
   if (count == 0) return;
   GenKey key{std::min(x, y), std::max(x, y), horizontal, vertical};
-  (*acc)[key] += count;
-}
-
-/// Counts exact-LCA pairs at depths (m, n) below `a`, m >= n >= 1; same
-/// inclusion–exclusion as the Fig. 2 miner.
-void CountPairsAtLevels(const Tree& tree, NodeId a,
-                        const std::vector<NodeLevels>& maps, int32_t m,
-                        int32_t n, Accumulator* acc) {
-  const NodeLevels& mine = maps[a];
-  const LabelCounts& at_m = mine[m];
-  const LabelCounts& at_n = mine[n];
-  if (at_m.empty() || at_n.empty()) return;
-  const std::vector<NodeId>& kids = tree.children(a);
-  const int32_t horizontal = n - 1;
-  const int32_t vertical = m - n;
-
-  if (m == n) {
-    for (const auto& [x, cx] : at_m) {
-      for (const auto& [y, cy] : at_m) {
-        if (x > y) continue;
-        int64_t same_child = 0;
-        for (NodeId c : kids) {
-          const LabelCounts& cm = maps[c][m - 1];
-          auto ix = cm.find(x);
-          if (ix == cm.end()) continue;
-          auto iy = x == y ? ix : cm.find(y);
-          if (iy == cm.end()) continue;
-          same_child += ix->second * iy->second;
-        }
-        int64_t cross = cx * cy - same_child;
-        if (x == y) cross /= 2;
-        Add(acc, x, y, horizontal, vertical, cross);
-      }
-    }
-    return;
-  }
-
-  for (const auto& [x, cx] : at_m) {
-    for (const auto& [y, cy] : at_n) {
-      int64_t same_child = 0;
-      for (NodeId c : kids) {
-        const LabelCounts& cm = maps[c][m - 1];
-        const LabelCounts& cn = maps[c][n - 1];
-        auto ix = cm.find(x);
-        if (ix == cm.end()) continue;
-        auto iy = cn.find(y);
-        if (iy == cn.end()) continue;
-        same_child += ix->second * iy->second;
-      }
-      Add(acc, x, y, horizontal, vertical, cx * cy - same_child);
-    }
-  }
+  int64_t& slot = (*acc)[key];
+  slot = SaturatingAdd(slot, count);
 }
 
 std::vector<GeneralizedPairItem> Finalize(const Accumulator& acc,
@@ -113,20 +62,20 @@ std::vector<GeneralizedPairItem> Finalize(const Accumulator& acc,
 
 std::vector<GeneralizedPairItem> MineGeneralized(
     const Tree& tree, const GeneralizedMiningOptions& options) {
-  if (tree.empty() || options.max_horizontal < 0 || options.max_vertical < 0) {
-    return {};
-  }
-  const int32_t max_level = options.max_horizontal + 1 + options.max_vertical;
-  Accumulator acc;
-  internal::SweepDescendantLevels(
-      tree, max_level, [&](NodeId a, const std::vector<NodeLevels>& maps) {
-        for (int32_t n = 1; n <= options.max_horizontal + 1; ++n) {
-          for (int32_t m = n; m <= n + options.max_vertical; ++m) {
-            CountPairsAtLevels(tree, a, maps, m, n, &acc);
-          }
-        }
-      });
-  return Finalize(acc, options.min_occur);
+  // Single implementation of the level-sweep miner: the forest
+  // pipeline's governed, saturating fold (variant_mining.cc). The old
+  // standalone copy here accumulated with raw +/* — signed-overflow UB
+  // on adversarial high-multiplicity trees.
+  internal::VariantScratch scratch;
+  MiningOptions per_tree;
+  per_tree.min_occur = options.min_occur;
+  GeneralizedVariantOptions caps;
+  caps.max_horizontal = options.max_horizontal;
+  caps.max_vertical = options.max_vertical;
+  const Status st = internal::MineGeneralizedScratch(
+      tree, per_tree, caps, MiningContext::Unlimited(), &scratch);
+  COUSINS_CHECK(st.ok() && "ungoverned generalized mining cannot trip");
+  return std::move(scratch.gen_items);
 }
 
 std::vector<GeneralizedPairItem> MineGeneralizedNaive(

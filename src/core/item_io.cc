@@ -172,6 +172,47 @@ std::string FrequentPairsToCsv(
   return out;
 }
 
+std::string GeneralizedPairsToCsv(
+    const LabelTable& labels,
+    const std::vector<FrequentGeneralizedPair>& pairs) {
+  std::string out = "label1,label2,horizontal,vertical,support,occurrences\n";
+  for (const FrequentGeneralizedPair& pair : pairs) {
+    AppendField(labels.Name(pair.label1), &out);
+    out += ',';
+    AppendField(labels.Name(pair.label2), &out);
+    out += ',';
+    out += std::to_string(pair.horizontal);
+    out += ',';
+    out += std::to_string(pair.vertical);
+    out += ',';
+    out += std::to_string(pair.support);
+    out += ',';
+    out += std::to_string(pair.total_occurrences);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WeightedPairsToCsv(
+    const LabelTable& labels, const std::vector<FrequentWeightedPair>& pairs) {
+  std::string out = "label1,label2,distance,bucket,support,occurrences\n";
+  for (const FrequentWeightedPair& pair : pairs) {
+    AppendField(labels.Name(pair.label1), &out);
+    out += ',';
+    AppendField(labels.Name(pair.label2), &out);
+    out += ',';
+    out += FormatHalfDistance(pair.twice_distance);
+    out += ',';
+    out += std::to_string(pair.weight_bucket);
+    out += ',';
+    out += std::to_string(pair.support);
+    out += ',';
+    out += std::to_string(pair.total_occurrences);
+    out += '\n';
+  }
+  return out;
+}
+
 Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
     const std::string& csv, LabelTable* labels) {
   COUSINS_CHECK(labels != nullptr);

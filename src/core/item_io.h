@@ -36,6 +36,17 @@ std::string FrequentPairsToCsv(const LabelTable& labels,
 Result<std::vector<FrequentCousinPair>> FrequentPairsFromCsv(
     const std::string& csv, LabelTable* labels);
 
+/// "label1,label2,horizontal,vertical,support,occurrences" rows for the
+/// generalized variant's frequent pairs.
+std::string GeneralizedPairsToCsv(
+    const LabelTable& labels,
+    const std::vector<FrequentGeneralizedPair>& pairs);
+
+/// "label1,label2,distance,bucket,support,occurrences" rows for the
+/// weighted variant's frequent pairs.
+std::string WeightedPairsToCsv(
+    const LabelTable& labels, const std::vector<FrequentWeightedPair>& pairs);
+
 }  // namespace cousins
 
 #endif  // COUSINS_CORE_ITEM_IO_H_

@@ -1,0 +1,66 @@
+// The unified miner concept: every miner in the repo is a *tree →
+// pair-item fold into a TallyMap-backed accumulator*, and the four
+// concrete folds — cousin (§2/§3), free-tree (§6), generalized (§2's
+// horizontal/vertical caps), weighted (§7 future work (i)) — differ
+// only in how a tree is reduced to items and how an item's non-label
+// coordinates pack into the accumulator key space. This header names
+// the variants and their extra knobs; it is deliberately free of any
+// miner dependency so both the per-tree fold implementations
+// (core/variant_mining.h) and the forest pipeline
+// (core/multi_tree_mining.h) can include it without a cycle.
+//
+// Key packing per variant (the per-distance table index + the packed
+// uint64 label pair + a uint32 auxiliary word):
+//   cousin       table = 2·d,  key = PackLabelPair, aux unused
+//   free-tree    table = 2·d,  key = PackLabelPair, aux unused
+//                (Eq. (7) distances pack into the same interned-uint64
+//                scheme as the rooted miner — no new accumulator)
+//   generalized  table = 0,    key = PackLabelPair, aux = (h << 16) | v
+//   weighted     table = 2·d,  key = PackLabelPair, aux = bucket bits
+
+#ifndef COUSINS_CORE_MINER_VARIANT_H_
+#define COUSINS_CORE_MINER_VARIANT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cousins {
+
+/// Which per-tree fold the forest pipeline runs. Values are stable:
+/// they are serialized into checkpoints (format v3+).
+enum class MinerVariant : uint8_t {
+  kCousin = 0,
+  kFreeTree = 1,
+  kGeneralized = 2,
+  kWeighted = 3,
+};
+
+/// "cousin" / "free" / "generalized" / "weighted" (CLI vocabulary).
+std::string MinerVariantName(MinerVariant variant);
+
+/// Parses MinerVariantName output; returns false on an unknown name.
+bool ParseMinerVariant(const std::string& name, MinerVariant* out);
+
+/// Extra knobs of the generalized variant (caps on the §2 horizontal /
+/// vertical kinship coordinates). Both must fit the 16-bit halves of
+/// the packed aux word; ValidateVariantOptions enforces that.
+struct GeneralizedVariantOptions {
+  int32_t max_horizontal = 1;
+  int32_t max_vertical = 2;
+
+  friend bool operator==(const GeneralizedVariantOptions&,
+                         const GeneralizedVariantOptions&) = default;
+};
+
+/// Extra knob of the weighted variant: the bucket width the continuous
+/// weighted path length aggregates by (> 0, finite).
+struct WeightedVariantOptions {
+  double bucket_width = 1.0;
+
+  friend bool operator==(const WeightedVariantOptions&,
+                         const WeightedVariantOptions&) = default;
+};
+
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_MINER_VARIANT_H_

@@ -1,6 +1,7 @@
 #include "core/multi_tree_mining.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -32,15 +33,61 @@ size_t TallyPresizeHint(size_t labels) {
 
 }  // namespace
 
+Status ValidateVariantOptions(const MultiTreeMiningOptions& options) {
+  switch (options.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      return Status::OK();
+    case MinerVariant::kGeneralized:
+      if (options.ignore_distance) {
+        return Status::InvalidArgument(
+            "the generalized variant has no \"@\" distance abstraction "
+            "(items are keyed by (h, v), not a distance)");
+      }
+      if (options.generalized.max_horizontal < 0 ||
+          options.generalized.max_vertical < 0) {
+        return Status::InvalidArgument(
+            "generalized kinship caps must be non-negative");
+      }
+      if (options.generalized.max_horizontal > 0xFFFF ||
+          options.generalized.max_vertical > 0xFFFF) {
+        return Status::InvalidArgument(
+            "generalized kinship caps must fit 16 bits (<= 65535)");
+      }
+      return Status::OK();
+    case MinerVariant::kWeighted:
+      if (options.ignore_distance) {
+        return Status::InvalidArgument(
+            "the weighted variant has no \"@\" distance abstraction "
+            "(items are keyed by (distance, bucket))");
+      }
+      if (!std::isfinite(options.weighted.bucket_width) ||
+          options.weighted.bucket_width <= 0.0) {
+        return Status::InvalidArgument(
+            "weighted mining needs a finite bucket width > 0");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown miner variant");
+}
+
 MultiTreeMiner::MultiTreeMiner(MultiTreeMiningOptions options)
     : options_(options) {
-  const size_t num_tables =
-      options_.ignore_distance
-          ? 1
-          : static_cast<size_t>(
-                std::max(options_.per_tree.twice_maxdist, 0)) +
-                1;
-  tables_.resize(num_tables);
+  const size_t num_distances =
+      static_cast<size_t>(std::max(options_.per_tree.twice_maxdist, 0)) + 1;
+  switch (options_.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      tables_.resize(options_.ignore_distance ? 1 : num_distances);
+      break;
+    case MinerVariant::kGeneralized:
+      // One table: item identity is (pair, (h, v)), no distance axis.
+      aux_tables_.resize(1);
+      break;
+    case MinerVariant::kWeighted:
+      aux_tables_.resize(num_distances);
+      break;
+  }
 }
 
 size_t MultiTreeMiner::TableIndex(int twice_distance) const {
@@ -60,6 +107,7 @@ void MultiTreeMiner::EnsureTallyCapacity() {
   sized_for_labels_ = cardinality;
   const size_t live = TallyPresizeHint(cardinality);
   for (internal::TallyMap& table : tables_) table.ReserveLive(live);
+  for (internal::WideTallyMap& table : aux_tables_) table.ReserveLive(live);
 }
 
 void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
@@ -114,6 +162,82 @@ void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
 #endif
 }
 
+void MultiTreeMiner::FoldGeneralized(
+    const std::vector<GeneralizedPairItem>& items) {
+  COUSINS_FAULT_POINT("multiminer.fold");
+  EnsureTallyCapacity();
+  constexpr size_t kPrefetchAhead = 8;
+  internal::WideTallyMap& table = aux_tables_[0];
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i + kPrefetchAhead < items.size()) {
+      const GeneralizedPairItem& ahead = items[i + kPrefetchAhead];
+      table.PrefetchKey(PackLabelPair(ahead.label1, ahead.label2),
+                        internal::PackHV(ahead.horizontal, ahead.vertical));
+    }
+    const GeneralizedPairItem& item = items[i];
+    total_tallies_ += table.Add(
+        PackLabelPair(item.label1, item.label2),
+        internal::PackHV(item.horizontal, item.vertical), 1,
+        item.occurrences);
+  }
+}
+
+void MultiTreeMiner::FoldWeighted(
+    const std::vector<WeightedPairItem>& items) {
+  COUSINS_FAULT_POINT("multiminer.fold");
+  EnsureTallyCapacity();
+  // Items arrive grouped by distance (the extractor's outer loop), so
+  // the ahead-prefetch almost always targets the table being probed.
+  constexpr size_t kPrefetchAhead = 8;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i + kPrefetchAhead < items.size()) {
+      const WeightedPairItem& ahead = items[i + kPrefetchAhead];
+      aux_tables_[static_cast<size_t>(ahead.twice_distance)].PrefetchKey(
+          PackLabelPair(ahead.label1, ahead.label2),
+          internal::PackBucket(ahead.weight_bucket));
+    }
+    const WeightedPairItem& item = items[i];
+    total_tallies_ +=
+        aux_tables_[static_cast<size_t>(item.twice_distance)].Add(
+            PackLabelPair(item.label1, item.label2),
+            internal::PackBucket(item.weight_bucket), 1,
+            item.occurrences);
+  }
+}
+
+Status MultiTreeMiner::MineAndFoldTree(const Tree& tree,
+                                       const MiningContext& context) {
+  switch (options_.variant) {
+    case MinerVariant::kCousin: {
+      COUSINS_RETURN_IF_ERROR(internal::MineSingleTreeScratch(
+          tree, options_.per_tree, context, &scratch_));
+      FoldItems(scratch_.items);
+      return Status::OK();
+    }
+    case MinerVariant::kFreeTree: {
+      COUSINS_RETURN_IF_ERROR(internal::MineFreeVariantScratch(
+          tree, options_.per_tree, context, &variant_scratch_));
+      FoldItems(variant_scratch_.free_items);
+      return Status::OK();
+    }
+    case MinerVariant::kGeneralized: {
+      COUSINS_RETURN_IF_ERROR(internal::MineGeneralizedScratch(
+          tree, options_.per_tree, options_.generalized, context,
+          &variant_scratch_));
+      FoldGeneralized(variant_scratch_.gen_items);
+      return Status::OK();
+    }
+    case MinerVariant::kWeighted: {
+      COUSINS_RETURN_IF_ERROR(internal::MineWeightedScratch(
+          tree, options_.per_tree, options_.weighted, context,
+          &variant_scratch_));
+      FoldWeighted(variant_scratch_.weighted_items);
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown miner variant");
+}
+
 void MultiTreeMiner::AddTree(const Tree& tree) {
   COUSINS_METRIC_SCOPED_TIMER("mine.multi.add_tree");
   if (labels_ == nullptr) {
@@ -124,10 +248,11 @@ void MultiTreeMiner::AddTree(const Tree& tree) {
   }
   ++tree_count_;
 
-  const Status mined = internal::MineSingleTreeScratch(
-      tree, options_.per_tree, MiningContext::Unlimited(), &scratch_);
-  COUSINS_CHECK(mined.ok() && "ungoverned single-tree mining cannot trip");
-  FoldItems(scratch_.items);
+  // Ungoverned mining cannot trip governance; the only other per-tree
+  // failure (a non-finite branch length under kWeighted) is a caller
+  // contract violation here — the governed APIs surface it as a Status.
+  const Status mined = MineAndFoldTree(tree, MiningContext::Unlimited());
+  COUSINS_CHECK(mined.ok() && "ungoverned per-tree mining cannot fail");
   COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
   COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size", total_tallies_);
 }
@@ -143,15 +268,13 @@ Status MultiTreeMiner::AddTreeGoverned(const Tree& tree,
   }
   COUSINS_RETURN_IF_ERROR(context.Check());
 
-  const Status mined = internal::MineSingleTreeScratch(
-      tree, options_.per_tree, context, &scratch_);
+  const Status mined = MineAndFoldTree(tree, context);
   if (!mined.ok()) {
     // Discard the half-mined tree: tallies must only ever reflect
     // fully-mined trees so a truncated run is a valid prefix tally.
     return mined;
   }
   ++tree_count_;
-  FoldItems(scratch_.items);
   COUSINS_METRIC_COUNTER_ADD("mine.multi.trees_added", 1);
   COUSINS_METRIC_HISTOGRAM_RECORD("mine.multi.tally_size", total_tallies_);
   if (context.governed() &&
@@ -216,6 +339,14 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
           total_tallies_ += mine.Add(key, support, occurrences);
         });
   }
+  COUSINS_CHECK(aux_tables_.size() == other.aux_tables_.size());
+  for (size_t d = 0; d < aux_tables_.size(); ++d) {
+    internal::WideTallyMap& mine = aux_tables_[d];
+    other.aux_tables_[d].ForEach([&](uint64_t key, uint32_t aux,
+                                     int32_t support, int64_t occurrences) {
+      total_tallies_ += mine.Add(key, aux, support, occurrences);
+    });
+  }
 }
 
 MultiTreeMiner::AccumulatorStats MultiTreeMiner::accumulator_stats()
@@ -225,9 +356,14 @@ MultiTreeMiner::AccumulatorStats MultiTreeMiner::accumulator_stats()
     stats.tally_grows += t.stats().grows;
     stats.tally_probes += t.stats().probes;
   }
+  for (const internal::WideTallyMap& t : aux_tables_) {
+    stats.tally_grows += t.stats().grows;
+    stats.tally_probes += t.stats().probes;
+  }
   stats.tally_entries = total_tallies_;
   stats.scratch_rehashes = scratch_.AccumulatorRehashes() +
-                           fold_scratch_.stats().rehashes;
+                           fold_scratch_.stats().rehashes +
+                           variant_scratch_.AccumulatorRehashes();
   return stats;
 }
 
@@ -275,8 +411,98 @@ std::vector<FrequentCousinPair> MultiTreeMiner::AllTallies() const {
   return out;
 }
 
+std::vector<FrequentGeneralizedPair> MultiTreeMiner::AllGeneralizedTallies()
+    const {
+  std::vector<FrequentGeneralizedPair> out;
+  if (aux_tables_.empty()) return out;
+  out.reserve(static_cast<size_t>(total_tallies_));
+  aux_tables_[0].ForEach([&](uint64_t key, uint32_t aux, int32_t support,
+                             int64_t occurrences) {
+    out.push_back(FrequentGeneralizedPair{
+        UnpackFirst(key), UnpackSecond(key), internal::UnpackH(aux),
+        internal::UnpackV(aux), support, occurrences});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const FrequentGeneralizedPair& a,
+               const FrequentGeneralizedPair& b) {
+              return std::tie(a.label1, a.label2, a.horizontal, a.vertical) <
+                     std::tie(b.label1, b.label2, b.horizontal, b.vertical);
+            });
+  return out;
+}
+
+std::vector<FrequentGeneralizedPair> MultiTreeMiner::FrequentGeneralizedPairs()
+    const {
+  std::vector<FrequentGeneralizedPair> out = AllGeneralizedTallies();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const FrequentGeneralizedPair& p) {
+                             return p.support < options_.min_support;
+                           }),
+            out.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FrequentGeneralizedPair& a,
+                      const FrequentGeneralizedPair& b) {
+                     return a.support > b.support;
+                   });
+  return out;
+}
+
+std::vector<FrequentWeightedPair> MultiTreeMiner::AllWeightedTallies() const {
+  std::vector<FrequentWeightedPair> out;
+  out.reserve(static_cast<size_t>(total_tallies_));
+  for (size_t d = 0; d < aux_tables_.size(); ++d) {
+    const int twice_distance = static_cast<int>(d);
+    aux_tables_[d].ForEach([&](uint64_t key, uint32_t aux, int32_t support,
+                               int64_t occurrences) {
+      out.push_back(FrequentWeightedPair{
+          UnpackFirst(key), UnpackSecond(key), twice_distance,
+          internal::UnpackBucket(aux), support, occurrences});
+    });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentWeightedPair& a, const FrequentWeightedPair& b) {
+              return std::tie(a.label1, a.label2, a.twice_distance,
+                              a.weight_bucket) <
+                     std::tie(b.label1, b.label2, b.twice_distance,
+                              b.weight_bucket);
+            });
+  return out;
+}
+
+std::vector<FrequentWeightedPair> MultiTreeMiner::FrequentWeightedPairs()
+    const {
+  std::vector<FrequentWeightedPair> out = AllWeightedTallies();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const FrequentWeightedPair& p) {
+                             return p.support < options_.min_support;
+                           }),
+            out.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FrequentWeightedPair& a,
+                      const FrequentWeightedPair& b) {
+                     return a.support > b.support;
+                   });
+  return out;
+}
+
+void MultiTreeMiner::ExtractResults(MultiTreeMiningRun* run) const {
+  switch (options_.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      run->pairs = FrequentPairs();
+      break;
+    case MinerVariant::kGeneralized:
+      run->generalized = FrequentGeneralizedPairs();
+      break;
+    case MinerVariant::kWeighted:
+      run->weighted = FrequentWeightedPairs();
+      break;
+  }
+}
+
 std::vector<FrequentCousinPair> MineMultipleTrees(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options) {
+  COUSINS_CHECK(ValidateVariantOptions(options).ok());
   MultiTreeMiner miner(options);
   for (const Tree& tree : trees) miner.AddTree(tree);
   return miner.FrequentPairs();
@@ -285,6 +511,7 @@ std::vector<FrequentCousinPair> MineMultipleTrees(
 Result<MultiTreeMiningRun> MineMultipleTreesGoverned(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context) {
+  COUSINS_RETURN_IF_ERROR(ValidateVariantOptions(options));
   MultiTreeMiner miner(options);
   MultiTreeMiningRun run;
   for (const Tree& tree : trees) {
@@ -298,7 +525,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesGoverned(
     }
   }
   run.trees_processed = miner.tree_count();
-  run.pairs = miner.FrequentPairs();
+  miner.ExtractResults(&run);
   return run;
 }
 
@@ -312,6 +539,33 @@ std::string FormatFrequentPair(const LabelTable& labels,
   out += pair.twice_distance == kAnyDistance
              ? "@"
              : FormatHalfDistance(pair.twice_distance);
+  out += ") support=" + std::to_string(pair.support);
+  out += " occ=" + std::to_string(pair.total_occurrences);
+  return out;
+}
+
+std::string FormatFrequentGeneralizedPair(const LabelTable& labels,
+                                          const FrequentGeneralizedPair& pair) {
+  std::string out = "(";
+  out += labels.Name(pair.label1);
+  out += ", ";
+  out += labels.Name(pair.label2);
+  out += ", h=" + std::to_string(pair.horizontal);
+  out += ", v=" + std::to_string(pair.vertical);
+  out += ") support=" + std::to_string(pair.support);
+  out += " occ=" + std::to_string(pair.total_occurrences);
+  return out;
+}
+
+std::string FormatFrequentWeightedPair(const LabelTable& labels,
+                                       const FrequentWeightedPair& pair) {
+  std::string out = "(";
+  out += labels.Name(pair.label1);
+  out += ", ";
+  out += labels.Name(pair.label2);
+  out += ", ";
+  out += FormatHalfDistance(pair.twice_distance);
+  out += ", w" + std::to_string(pair.weight_bucket);
   out += ") support=" + std::to_string(pair.support);
   out += " occ=" + std::to_string(pair.total_occurrences);
   return out;

@@ -18,10 +18,12 @@
 #include <vector>
 
 #include "core/cousin_pair.h"
+#include "core/miner_variant.h"
 #include "core/mining_scratch.h"
 #include "core/quarantine.h"
 #include "core/single_tree_mining.h"
 #include "core/tally_map.h"
+#include "core/variant_mining.h"
 #include "tree/tree.h"
 #include "util/governance.h"
 #include "util/result.h"
@@ -30,19 +32,39 @@ namespace cousins {
 
 struct MultiTreeMiningOptions {
   /// Per-tree mining parameters (maxdist, minoccur; Table 2 defaults).
+  /// Every variant honors min_occur; twice_maxdist governs the cousin,
+  /// free-tree and weighted variants (the generalized variant's reach
+  /// comes from its own caps below).
   MiningOptions per_tree;
   /// minsup: minimum number of trees containing the pair. Default 2,
   /// the paper's Table 2 value.
   int min_support = 2;
   /// When true, support is counted per label pair regardless of the
-  /// cousin distance (the paper's "@" abstraction).
+  /// cousin distance (the paper's "@" abstraction). Cousin and
+  /// free-tree variants only; ValidateVariantOptions rejects it for
+  /// the generalized/weighted variants, whose item identity is not a
+  /// (pair, distance).
   bool ignore_distance = false;
+  /// Which per-tree fold this forest runs (core/miner_variant.h).
+  MinerVariant variant = MinerVariant::kCousin;
+  /// Extra knobs of the generalized / weighted variants; ignored (but
+  /// still part of option equality) for the others.
+  GeneralizedVariantOptions generalized;
+  WeightedVariantOptions weighted;
 
   /// Memberwise; MergeFrom requires full option equality between
   /// shards, so new fields are covered automatically.
   friend bool operator==(const MultiTreeMiningOptions&,
                          const MultiTreeMiningOptions&) = default;
 };
+
+/// Validates the variant-specific option surface: the generalized and
+/// weighted variants reject ignore_distance, the generalized caps must
+/// be non-negative and fit the packed 16-bit aux halves, and the
+/// weighted bucket width must be finite and > 0. The forest drivers
+/// call this up front so misconfiguration is a kInvalidArgument, never
+/// a silent empty result.
+Status ValidateVariantOptions(const MultiTreeMiningOptions& options);
 
 /// A frequent cousin pair with its support (number of containing trees)
 /// and the total occurrence count summed over all containing trees.
@@ -58,8 +80,43 @@ struct FrequentCousinPair {
                          const FrequentCousinPair&) = default;
 };
 
+/// A frequent generalized cousin pair (the kGeneralized variant's
+/// result row): unordered label pair with its (horizontal, vertical)
+/// kinship, support and summed occurrences.
+struct FrequentGeneralizedPair {
+  LabelId label1 = kNoLabel;
+  LabelId label2 = kNoLabel;
+  int32_t horizontal = 0;
+  int32_t vertical = 0;
+  int support = 0;
+  int64_t total_occurrences = 0;
+
+  friend bool operator==(const FrequentGeneralizedPair&,
+                         const FrequentGeneralizedPair&) = default;
+};
+
+/// A frequent weighted cousin pair (the kWeighted variant's result
+/// row): the unweighted key plus the weighted-path bucket.
+struct FrequentWeightedPair {
+  LabelId label1 = kNoLabel;
+  LabelId label2 = kNoLabel;
+  int twice_distance = kUndefinedDistance;
+  int32_t weight_bucket = 0;
+  int support = 0;
+  int64_t total_occurrences = 0;
+
+  friend bool operator==(const FrequentWeightedPair&,
+                         const FrequentWeightedPair&) = default;
+};
+
+struct MultiTreeMiningRun;
+
 /// Incremental frequent-pair counter over a stream of trees. All trees
-/// must share one LabelTable.
+/// must share one LabelTable. The per-tree reduction is selected by
+/// options.variant; accessors are per-variant (FrequentPairs for the
+/// cousin/free variants, FrequentGeneralizedPairs / FrequentWeightedPairs
+/// for the others) and ExtractResults fills the matching field of a
+/// MultiTreeMiningRun.
 class MultiTreeMiner {
  public:
   explicit MultiTreeMiner(MultiTreeMiningOptions options = {});
@@ -102,6 +159,22 @@ class MultiTreeMiner {
   /// Every tally regardless of min_support, sorted by canonical key
   /// order — the deterministic basis of checkpoint serialization.
   std::vector<FrequentCousinPair> AllTallies() const;
+
+  /// kGeneralized-variant results: pairs with support >= min_support,
+  /// sorted by descending support then canonical (labels, h, v) order;
+  /// AllGeneralizedTallies is every tally in canonical key order.
+  std::vector<FrequentGeneralizedPair> FrequentGeneralizedPairs() const;
+  std::vector<FrequentGeneralizedPair> AllGeneralizedTallies() const;
+
+  /// kWeighted-variant results, mirroring the generalized accessors.
+  std::vector<FrequentWeightedPair> FrequentWeightedPairs() const;
+  std::vector<FrequentWeightedPair> AllWeightedTallies() const;
+
+  /// Fills the variant-matching result field of `run` (pairs /
+  /// generalized / weighted) from the current tallies — the single
+  /// dispatch point the forest drivers use, so they stay
+  /// variant-agnostic.
+  void ExtractResults(MultiTreeMiningRun* run) const;
 
   const MultiTreeMiningOptions& options() const { return options_; }
 
@@ -157,6 +230,17 @@ class MultiTreeMiner {
   /// Folds one fully-mined tree's items into the tallies (saturating).
   void FoldItems(const std::vector<CousinPairItem>& items);
 
+  /// Variant folds into the aux tables (saturating): generalized items
+  /// into aux_tables_[0] keyed (pair, (h, v)); weighted items into
+  /// aux_tables_[twice_distance] keyed (pair, bucket).
+  void FoldGeneralized(const std::vector<GeneralizedPairItem>& items);
+  void FoldWeighted(const std::vector<WeightedPairItem>& items);
+
+  /// Runs the variant-selected per-tree fold and folds its items;
+  /// the body of AddTreeGoverned after the shared label/governance
+  /// preamble.
+  Status MineAndFoldTree(const Tree& tree, const MiningContext& context);
+
   /// Table index for an item's twice-distance: the distance itself,
   /// or 0 for the single kAnyDistance table under ignore_distance.
   size_t TableIndex(int twice_distance) const;
@@ -174,8 +258,13 @@ class MultiTreeMiner {
   MultiTreeMiningOptions options_;
   std::shared_ptr<LabelTable> labels_;  // identity check across trees
   /// Flat SoA support tables, one per twice-distance value (a single
-  /// table under ignore_distance); keys are packed label pairs.
+  /// table under ignore_distance); keys are packed label pairs. The
+  /// cousin and free-tree variants tally here.
   std::vector<internal::TallyMap> tables_;
+  /// Aux-keyed support tables for the generalized variant (one table,
+  /// aux = packed (h, v)) and the weighted variant (one table per
+  /// twice-distance, aux = bucket). Empty for the other variants.
+  std::vector<internal::WideTallyMap> aux_tables_;
   /// Live tallies across all tables (== the old tallies_.size()).
   int64_t total_tallies_ = 0;
   /// Label cardinality the tables were last presized for.
@@ -184,6 +273,8 @@ class MultiTreeMiner {
   /// and the per-tree distance-collapse counter for ignore_distance.
   internal::MiningScratch scratch_;
   internal::PairCountMap fold_scratch_;
+  /// Reusable per-tree buffers of the non-cousin variant folds.
+  internal::VariantScratch variant_scratch_;
   int tree_count_ = 0;
 };
 
@@ -192,12 +283,17 @@ std::vector<FrequentCousinPair> MineMultipleTrees(
     const std::vector<Tree>& trees,
     const MultiTreeMiningOptions& options = {});
 
-/// Outcome of a governed forest mining run. On a trip, `pairs` is the
-/// frequent-pair tally over the first `trees_processed` trees
-/// (`truncated` set, `termination` holding the trip status); when the
-/// run completes, `pairs` is bit-identical to MineMultipleTrees.
+/// Outcome of a governed forest mining run. Exactly one of the result
+/// vectors is populated, matching the run's variant: `pairs` for the
+/// cousin and free-tree variants, `generalized` / `weighted` for the
+/// others. On a trip the populated vector is the frequent tally over
+/// the first `trees_processed` trees (`truncated` set, `termination`
+/// holding the trip status); when the run completes it is
+/// bit-identical to the sequential leg.
 struct MultiTreeMiningRun {
   std::vector<FrequentCousinPair> pairs;
+  std::vector<FrequentGeneralizedPair> generalized;
+  std::vector<FrequentWeightedPair> weighted;
   int32_t trees_processed = 0;
   bool truncated = false;
   Status termination;
@@ -214,6 +310,14 @@ Result<MultiTreeMiningRun> MineMultipleTreesGoverned(
 /// "(a, b, 1.5) support=2 occ=5" rendering for reports.
 std::string FormatFrequentPair(const LabelTable& labels,
                                const FrequentCousinPair& pair);
+
+/// "(a, b, h=0, v=1) support=2 occ=5" rendering.
+std::string FormatFrequentGeneralizedPair(const LabelTable& labels,
+                                          const FrequentGeneralizedPair& pair);
+
+/// "(a, b, 1.5, w7) support=2 occ=5" rendering.
+std::string FormatFrequentWeightedPair(const LabelTable& labels,
+                                       const FrequentWeightedPair& pair);
 
 }  // namespace cousins
 

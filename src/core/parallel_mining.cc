@@ -431,6 +431,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
     const std::vector<Tree>& trees, const MultiTreeMiningOptions& options,
     const MiningContext& context, const MiningCheckpointConfig& config,
     const DegradedModeConfig& degraded, int32_t num_threads) {
+  COUSINS_RETURN_IF_ERROR(ValidateVariantOptions(options));
   if (num_threads <= 0) {
     num_threads = static_cast<int32_t>(
         std::max(1u, std::thread::hardware_concurrency()));
@@ -546,7 +547,7 @@ Result<MultiTreeMiningRun> MineMultipleTreesCheckpointed(
 
   MultiTreeMiningRun run;
   run.trees_processed = acc.tree_count();
-  run.pairs = acc.FrequentPairs();
+  acc.ExtractResults(&run);
   if (!trip.ok()) {
     obs::RecordGovernanceEvent(trip);
     run.truncated = true;

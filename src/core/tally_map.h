@@ -149,6 +149,125 @@ class TallyMap {
   Stats stats_;
 };
 
+/// TallyMap with one extra uint32 auxiliary word per entry, for the
+/// miner variants whose item identity does not fit (table, label pair)
+/// alone: the generalized miner packs (h, v) into the aux word, the
+/// weighted miner packs its weight bucket. Identity is the (key, aux)
+/// composite; the aux word is mixed into the probe hash so entries
+/// sharing a label pair but differing in kinship/bucket spread apart.
+/// Kept as a separate class (not a TallyMap mode) so the flagship
+/// cousin fold keeps its exact three-array layout and hot-path codegen.
+class WideTallyMap {
+ public:
+  WideTallyMap() = default;
+
+  /// See TallyMap::ReserveLive.
+  void ReserveLive(size_t live) {
+    size_t capacity = kMinCapacity;
+    while (live * 10 >= capacity * 7) capacity *= 2;
+    if (capacity > keys_.size()) Rehash(capacity);
+  }
+
+  /// Folds (support_delta, occ_delta) into (key, aux), inserting the
+  /// composite if new. Saturating adds. Returns true when newly
+  /// inserted.
+  bool Add(uint64_t key, uint32_t aux, int32_t support_delta,
+           int64_t occ_delta) {
+    if (keys_.empty()) Rehash(kMinCapacity);
+    COUSINS_METRICS_ONLY(++stats_.probes;)
+    size_t i = Slot(key, aux);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key && aux_[i] == aux) {
+        supports_[i] = SaturatingAddInt(supports_[i], support_delta);
+        occurrences_[i] = SaturatingAdd(occurrences_[i], occ_delta);
+        return false;
+      }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    aux_[i] = aux;
+    supports_[i] = support_delta;
+    occurrences_[i] = occ_delta;
+    if (++size_ * 10 >= keys_.size() * 7) {
+      ++stats_.grows;
+      Rehash(keys_.size() * 2);
+    }
+    return true;
+  }
+
+  /// See TallyMap::PrefetchKey.
+  void PrefetchKey(uint64_t key, uint32_t aux) const {
+    if (keys_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&keys_[Slot(key, aux)], 1 /*write*/, 1);
+#endif
+  }
+
+  /// Empties the table keeping its capacity — the per-tree variant
+  /// scratch is cleared between trees so steady-state mining stays
+  /// allocation-free (mirrors PairCountMap::Clear).
+  void Clear() {
+    size_ = 0;
+    keys_.assign(keys_.size(), kEmpty);
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return keys_.size(); }
+  const TallyMap::Stats& stats() const { return stats_; }
+
+  /// Invokes fn(key, aux, support, occurrences) for every entry
+  /// (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) {
+        fn(keys_[i], aux_[i], supports_[i], occurrences_[i]);
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+  static constexpr size_t kMinCapacity = 64;
+
+  size_t Slot(uint64_t key, uint32_t aux) const {
+    uint64_t h = key ^ (static_cast<uint64_t>(aux) << 16);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(h ^ (h >> 31)) & mask_;
+  }
+
+  void Rehash(size_t capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_aux = std::move(aux_);
+    std::vector<int32_t> old_supports = std::move(supports_);
+    std::vector<int64_t> old_occurrences = std::move(occurrences_);
+    keys_.assign(capacity, kEmpty);
+    aux_.assign(capacity, 0);
+    supports_.assign(capacity, 0);
+    occurrences_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      size_t j = Slot(old_keys[i], old_aux[i]);
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      aux_[j] = old_aux[i];
+      supports_[j] = old_supports[i];
+      occurrences_[j] = old_occurrences[i];
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> aux_;
+  std::vector<int32_t> supports_;
+  std::vector<int64_t> occurrences_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  TallyMap::Stats stats_;
+};
+
 }  // namespace internal
 }  // namespace cousins
 

@@ -1,0 +1,128 @@
+// Governed per-tree folds for the non-cousin miner variants
+// (core/miner_variant.h): free-tree (§6), generalized (§2 caps) and
+// weighted (§7 future work (i)) reductions of one tree to pair items,
+// with the same contract as internal::MineSingleTreeScratch — reusable
+// scratch, cooperative MiningContext checkpoints, bit-identical items
+// whether governed or not, and a half-mined tree discarded on a trip.
+// The forest pipeline (MultiTreeMiner) dispatches on its variant to
+// exactly one of these per tree.
+//
+// All occurrence arithmetic here is saturating (util/overflow.h):
+// the legacy variant miners' raw ++/*/- on counts were signed-overflow
+// UB on adversarial high-multiplicity inputs.
+
+#ifndef COUSINS_CORE_VARIANT_MINING_H_
+#define COUSINS_CORE_VARIANT_MINING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cousin_pair.h"
+#include "core/generalized_mining.h"
+#include "core/miner_variant.h"
+#include "core/pair_count_map.h"
+#include "core/tally_map.h"
+#include "core/weighted_mining.h"
+#include "tree/tree.h"
+#include "util/governance.h"
+#include "util/result.h"
+
+namespace cousins {
+namespace internal {
+
+/// Packs the generalized (horizontal, vertical) kinship into the
+/// WideTallyMap aux word. Requires 0 <= h, v <= 0xFFFF
+/// (ValidateVariantOptions enforces the caps).
+inline uint32_t PackHV(int32_t horizontal, int32_t vertical) {
+  return (static_cast<uint32_t>(horizontal) << 16) |
+         (static_cast<uint32_t>(vertical) & 0xFFFFu);
+}
+inline int32_t UnpackH(uint32_t aux) {
+  return static_cast<int32_t>(aux >> 16);
+}
+inline int32_t UnpackV(uint32_t aux) {
+  return static_cast<int32_t>(aux & 0xFFFFu);
+}
+
+/// Bit-exact int32 <-> uint32 bridge for the weighted bucket in the
+/// aux word (buckets may be negative under negative branch lengths).
+inline uint32_t PackBucket(int32_t bucket) {
+  return static_cast<uint32_t>(bucket);
+}
+inline int32_t UnpackBucket(uint32_t aux) {
+  return static_cast<int32_t>(aux);
+}
+
+/// floor(weighted_path / bucket_width) clamped into int32. The raw
+/// static_cast the legacy miner used is UB whenever the quotient is
+/// non-finite or outside int32 range (huge branch lengths overflow the
+/// weighted depth to +inf even when every individual length is finite,
+/// and inf − inf yields NaN); here every input maps deterministically:
+/// quotients at or beyond the int32 limits saturate, and a NaN path
+/// saturates high (it only arises from +inf depths).
+int32_t ClampWeightBucket(double weighted_path, double bucket_width);
+
+/// All buffers the variant folds reuse across trees (the analog of
+/// MiningScratch). Treat as opaque outside variant_mining.cc except
+/// for the *_items vectors, which hold the most recent call's output.
+struct VariantScratch {
+  // Free-tree fold: bounded-BFS state over the tree-as-free-tree plus
+  // one pair accumulator per twice-distance.
+  std::vector<int32_t> dist;
+  std::vector<NodeId> queue;
+  std::vector<PairCountMap> pair_acc;
+  std::vector<CousinPairItem> free_items;
+
+  // Generalized fold: one (pair, aux=(h,v)) accumulator.
+  WideTallyMap gen_acc;
+  std::vector<GeneralizedPairItem> gen_items;
+
+  // Weighted fold: weighted depths plus one (pair, aux=bucket)
+  // accumulator per twice-distance.
+  std::vector<double> weighted_depth;
+  std::vector<WideTallyMap> weighted_acc;
+  std::vector<WeightedPairItem> weighted_items;
+
+  /// Reactive accumulator rehashes across all variant accumulators —
+  /// the steady-state-no-growth regression signal, mirroring
+  /// MiningScratch::AccumulatorRehashes.
+  int64_t AccumulatorRehashes() const {
+    int64_t total = 0;
+    for (const PairCountMap& m : pair_acc) total += m.stats().rehashes;
+    total += gen_acc.stats().grows;
+    for (const WideTallyMap& m : weighted_acc) total += m.stats().grows;
+    return total;
+  }
+};
+
+/// §6 cousin mining of `tree` read as a free tree (orientation
+/// forgotten): items are (labels, Eq. (7) twice-distance, occurrences),
+/// written to scratch->free_items in canonical order. Equivalent to
+/// MineFreeTreeBfs on FreeTree::FromRootedTree(tree). Governance is
+/// checked once per BFS source node; on a trip the items are garbage
+/// and the caller must discard the tree.
+Status MineFreeVariantScratch(const Tree& tree, const MiningOptions& options,
+                              const MiningContext& context,
+                              VariantScratch* scratch);
+
+/// Generalized cousin mining of `tree` under the (h, v) caps; items in
+/// canonical order in scratch->gen_items, filtered by
+/// options.min_occur. Equivalent to MineGeneralized with the same caps.
+Status MineGeneralizedScratch(const Tree& tree, const MiningOptions& options,
+                              const GeneralizedVariantOptions& generalized,
+                              const MiningContext& context,
+                              VariantScratch* scratch);
+
+/// Weighted cousin mining of `tree`; items in canonical order in
+/// scratch->weighted_items. Non-finite branch lengths are rejected
+/// with kInvalidArgument (a hard per-tree failure — quarantinable
+/// under lenient mode, never UB).
+Status MineWeightedScratch(const Tree& tree, const MiningOptions& options,
+                           const WeightedVariantOptions& weighted,
+                           const MiningContext& context,
+                           VariantScratch* scratch);
+
+}  // namespace internal
+}  // namespace cousins
+
+#endif  // COUSINS_CORE_VARIANT_MINING_H_

@@ -1,57 +1,28 @@
 #include "core/weighted_mining.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-#include <tuple>
+#include <utility>
 
-#include "core/cousin_distance.h"
-#include "tree/lca.h"
+#include "core/variant_mining.h"
 #include "util/strings.h"
 
 namespace cousins {
 
-std::vector<WeightedPairItem> MineWeighted(
+Result<std::vector<WeightedPairItem>> MineWeighted(
     const Tree& tree, const WeightedMiningOptions& options) {
-  COUSINS_CHECK(options.bucket_width > 0);
-  std::vector<WeightedPairItem> items;
-  if (tree.empty() || options.twice_maxdist < 0) return items;
-
-  // Weighted depth from the root, per node.
-  std::vector<double> weighted_depth(tree.size(), 0.0);
-  for (NodeId v = 1; v < tree.size(); ++v) {
-    weighted_depth[v] =
-        weighted_depth[tree.parent(v)] + tree.branch_length(v);
-  }
-
-  LcaIndex lca(tree);
-  std::map<std::tuple<LabelId, LabelId, int, int32_t>, int64_t> acc;
-  for (NodeId u = 0; u < tree.size(); ++u) {
-    if (!tree.has_label(u)) continue;
-    for (NodeId v = u + 1; v < tree.size(); ++v) {
-      if (!tree.has_label(v)) continue;
-      const int twice_d = TwiceCousinDistance(tree, lca, u, v);
-      if (twice_d == kUndefinedDistance ||
-          twice_d > options.twice_maxdist) {
-        continue;
-      }
-      const NodeId a = lca.Lca(u, v);
-      const double weighted_path = (weighted_depth[u] - weighted_depth[a]) +
-                                   (weighted_depth[v] - weighted_depth[a]);
-      const auto bucket = static_cast<int32_t>(
-          std::floor(weighted_path / options.bucket_width));
-      ++acc[{std::min(tree.label(u), tree.label(v)),
-             std::max(tree.label(u), tree.label(v)), twice_d, bucket}];
-    }
-  }
-  for (const auto& [key, count] : acc) {
-    if (count >= options.min_occur) {
-      items.push_back(WeightedPairItem{std::get<0>(key), std::get<1>(key),
-                                       std::get<2>(key), std::get<3>(key),
-                                       count});
-    }
-  }
-  return items;  // std::map iteration is canonical order
+  // Single implementation: the forest pipeline's governed fold
+  // (variant_mining.cc), which validates the bucket width and every
+  // branch length up front and clamps out-of-range bucket quotients —
+  // the old standalone loop cast floor(path / width) straight to int32,
+  // undefined behavior on non-finite or out-of-range quotients.
+  internal::VariantScratch scratch;
+  MiningOptions per_tree;
+  per_tree.twice_maxdist = options.twice_maxdist;
+  per_tree.min_occur = options.min_occur;
+  WeightedVariantOptions weighted;
+  weighted.bucket_width = options.bucket_width;
+  COUSINS_RETURN_IF_ERROR(internal::MineWeightedScratch(
+      tree, per_tree, weighted, MiningContext::Unlimited(), &scratch));
+  return std::move(scratch.weighted_items);
 }
 
 std::string FormatWeightedItem(const LabelTable& labels,

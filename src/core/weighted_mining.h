@@ -20,6 +20,7 @@
 #include "core/cousin_pair.h"
 #include "tree/label_table.h"
 #include "tree/tree.h"
+#include "util/result.h"
 
 namespace cousins {
 
@@ -50,7 +51,13 @@ struct WeightedPairItem {
 };
 
 /// Mines all weighted cousin pair items of `tree`; canonical order.
-std::vector<WeightedPairItem> MineWeighted(
+/// kInvalidArgument when `options.bucket_width` is not finite and > 0,
+/// or when any branch length in the tree is non-finite — weighted paths
+/// over NaN/inf lengths have no defensible bucket (the old
+/// static_cast<int32_t>(floor(...)) was undefined behavior there), so
+/// such trees are rejected whole instead of yielding garbage items.
+/// Quotients outside int32 range saturate to the extreme buckets.
+Result<std::vector<WeightedPairItem>> MineWeighted(
     const Tree& tree, const WeightedMiningOptions& options = {});
 
 std::string FormatWeightedItem(const LabelTable& labels,

@@ -110,4 +110,26 @@ FreeTree::Rooted FreeTree::RootAtEdge(int32_t edge_index) const {
   return out;
 }
 
+Tree FreeTree::ToRootedTree() const {
+  TreeBuilder b(labels_);
+  struct Frame {
+    int32_t node;
+    int32_t from;
+    NodeId parent;
+  };
+  NodeId root = b.AddRoot();
+  if (label_[0] != kNoLabel) b.SetLabel(root, labels_->Name(label_[0]));
+  std::vector<Frame> stack;
+  for (int32_t w : adjacency_[0]) stack.push_back({w, 0, root});
+  while (!stack.empty()) {
+    auto [node, from, parent] = stack.back();
+    stack.pop_back();
+    NodeId id = b.AddChildWithLabelId(parent, label_[node]);
+    for (int32_t w : adjacency_[node]) {
+      if (w != from) stack.push_back({w, node, id});
+    }
+  }
+  return std::move(b).Build();
+}
+
 }  // namespace cousins

@@ -67,6 +67,15 @@ class FreeTree {
   };
   Rooted RootAtEdge(int32_t edge_index) const;
 
+  /// Orients the free tree away from node 0 — no artificial node, no
+  /// edge subdivision, so unlike RootAtEdge the result is
+  /// distance-preserving: the path length between any two nodes equals
+  /// their free-tree path length. Node ids are renumbered to preorder;
+  /// labels are shared. This is the per-graph conversion the forest
+  /// pipeline's free-tree variant mines (the variant's BFS reads the
+  /// rooted tree as an undirected graph again, so any root works).
+  Tree ToRootedTree() const;
+
  private:
   FreeTree() = default;
 

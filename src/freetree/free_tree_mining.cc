@@ -1,9 +1,10 @@
 #include "freetree/free_tree_mining.h"
 
 #include <algorithm>
-#include <tuple>
 #include <unordered_map>
+#include <utility>
 
+#include "core/parallel_mining.h"
 #include "tree/lca.h"
 
 namespace cousins {
@@ -96,53 +97,24 @@ std::vector<CousinPairItem> MineFreeTreeBfs(const FreeTree& graph,
   return Finalize(acc, options.min_occur);
 }
 
-std::vector<FrequentCousinPair> MineMultipleFreeTrees(
+Result<std::vector<FrequentCousinPair>> MineMultipleFreeTrees(
     const std::vector<FreeTree>& graphs,
     const MultiTreeMiningOptions& options) {
-  struct Tally {
-    int support = 0;
-    int64_t total_occurrences = 0;
-  };
-  std::unordered_map<CousinPairKey, Tally, CousinPairKeyHash> tallies;
-  for (const FreeTree& graph : graphs) {
-    COUSINS_CHECK(graph.labels_ptr() == graphs[0].labels_ptr());
-    const std::vector<CousinPairItem> items =
-        MineFreeTreeBfs(graph, options.per_tree);
-    if (!options.ignore_distance) {
-      for (const CousinPairItem& item : items) {
-        Tally& t = tallies[{item.label1, item.label2, item.twice_distance}];
-        ++t.support;
-        t.total_occurrences += item.occurrences;
-      }
-      continue;
-    }
-    std::unordered_map<CousinPairKey, int64_t, CousinPairKeyHash> per_pair;
-    for (const CousinPairItem& item : items) {
-      per_pair[{item.label1, item.label2, kAnyDistance}] +=
-          item.occurrences;
-    }
-    for (const auto& [key, occ] : per_pair) {
-      Tally& t = tallies[key];
-      ++t.support;
-      t.total_occurrences += occ;
-    }
-  }
-
-  std::vector<FrequentCousinPair> out;
-  for (const auto& [key, tally] : tallies) {
-    if (tally.support >= options.min_support) {
-      out.push_back(FrequentCousinPair{key.label1, key.label2,
-                                       key.twice_distance, tally.support,
-                                       tally.total_occurrences});
-    }
-  }
-  std::sort(out.begin(), out.end(),
-            [](const FrequentCousinPair& a, const FrequentCousinPair& b) {
-              if (a.support != b.support) return a.support > b.support;
-              return std::tie(a.label1, a.label2, a.twice_distance) <
-                     std::tie(b.label1, b.label2, b.twice_distance);
-            });
-  return out;
+  // Delegate to the production forest pipeline: the kFreeTree variant
+  // of MultiTreeMiner mines each rooted conversion with the same
+  // bounded BFS as MineFreeTreeBfs (ToRootedTree preserves path
+  // lengths) and folds into the shared saturating tally tables. Mixed
+  // label tables surface as kInvalidArgument from the pipeline's
+  // identity check — the old hand-rolled loop aborted the process.
+  std::vector<Tree> trees;
+  trees.reserve(graphs.size());
+  for (const FreeTree& graph : graphs) trees.push_back(graph.ToRootedTree());
+  MultiTreeMiningOptions opts = options;
+  opts.variant = MinerVariant::kFreeTree;
+  Result<MultiTreeMiningRun> run = MineMultipleTreesParallelGoverned(
+      trees, opts, MiningContext::Unlimited(), /*num_threads=*/1);
+  if (!run.ok()) return run.status();
+  return std::move(run->pairs);
 }
 
 }  // namespace cousins

@@ -35,7 +35,12 @@ std::vector<CousinPairItem> MineFreeTreeBfs(
 /// §6's closing remark — "one can easily extend this algorithm to find
 /// frequent cousin pairs in multiple graphs": support counting over a
 /// set of free trees, with the same semantics as MineMultipleTrees.
-std::vector<FrequentCousinPair> MineMultipleFreeTrees(
+/// Runs the production forest pipeline (MultiTreeMiner, kFreeTree
+/// variant) over distance-preserving rootings of the graphs. Graphs
+/// over different label tables are a kInvalidArgument — previously an
+/// abort, which violated the library's no-abort contract for input
+/// errors. options.variant is overridden to kFreeTree.
+Result<std::vector<FrequentCousinPair>> MineMultipleFreeTrees(
     const std::vector<FreeTree>& graphs,
     const MultiTreeMiningOptions& options = {});
 

@@ -35,6 +35,30 @@ inline int SaturatingAddInt(int a, int b) {
   return out;
 }
 
+/// a - b clamped to [INT64_MIN, INT64_MAX].
+inline int64_t SaturatingSub(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    return b < 0 ? std::numeric_limits<int64_t>::max()
+                 : std::numeric_limits<int64_t>::min();
+  }
+  return out;
+}
+
+/// a * b clamped to [INT64_MIN, INT64_MAX]. Level-product counting
+/// (inclusion–exclusion over descendant multisets) multiplies two
+/// per-level multiplicities; adversarial high-multiplicity trees must
+/// clamp here instead of wrapping into signed-overflow UB.
+inline int64_t SaturatingMul(int64_t a, int64_t b) {
+  int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    const bool negative = (a < 0) != (b < 0);
+    return negative ? std::numeric_limits<int64_t>::min()
+                    : std::numeric_limits<int64_t>::max();
+  }
+  return out;
+}
+
 }  // namespace cousins
 
 #endif  // COUSINS_UTIL_OVERFLOW_H_

@@ -379,18 +379,25 @@ TEST_F(CheckpointCorruptionTest, DistinctErrorsForEachHeaderProblem) {
   // Version skew with a recomputed CRC: the version check itself must
   // reject it, not the checksum.
   std::string skewed = bytes_;
-  skewed[8] = 3;  // version field, little-endian (current version is 2)
+  skewed[8] = 4;  // version field, little-endian (current version is 3)
   EXPECT_NE(Restore(WithFixedCrc(skewed))
                 .message()
-                .find("unsupported checkpoint version 3"),
+                .find("unsupported checkpoint version 4"),
             std::string::npos);
 
-  // A version-1 file (pre-quarantine layout) is likewise refused.
+  // Older versions (pre-quarantine v1, pre-variant v2) are likewise
+  // refused, never silently reinterpreted.
   std::string v1 = bytes_;
   v1[8] = 1;
   EXPECT_NE(Restore(WithFixedCrc(v1))
                 .message()
                 .find("unsupported checkpoint version 1"),
+            std::string::npos);
+  std::string v2 = bytes_;
+  v2[8] = 2;
+  EXPECT_NE(Restore(WithFixedCrc(v2))
+                .message()
+                .find("unsupported checkpoint version 2"),
             std::string::npos);
 
   std::string crc_only = bytes_;

@@ -194,9 +194,10 @@ TEST(MultipleFreeTreesTest, SupportCountsAcrossGraphs) {
   // Graph 2: a-y-c: 2 edges -> distance 0.
   MultiTreeMiningOptions opt;
   opt.min_support = 1;
-  auto pairs = MineMultipleFreeTrees(graphs, opt);
+  auto mined = MineMultipleFreeTrees(graphs, opt);
+  ASSERT_TRUE(mined.ok()) << mined.status().message();
   bool found_half = false;
-  for (const FrequentCousinPair& p : pairs) {
+  for (const FrequentCousinPair& p : *mined) {
     if (p.label1 == std::min(labels->Find("a"), labels->Find("c")) &&
         p.label2 == std::max(labels->Find("a"), labels->Find("c"))) {
       if (p.twice_distance == 1) {
@@ -220,9 +221,10 @@ TEST(MultipleFreeTreesTest, IgnoreDistanceMergesAcrossDistances) {
   MultiTreeMiningOptions opt;
   opt.min_support = 2;
   opt.ignore_distance = true;
-  auto pairs = MineMultipleFreeTrees(graphs, opt);
+  auto mined = MineMultipleFreeTrees(graphs, opt);
+  ASSERT_TRUE(mined.ok()) << mined.status().message();
   bool found = false;
-  for (const FrequentCousinPair& p : pairs) {
+  for (const FrequentCousinPair& p : *mined) {
     if (p.label1 == std::min(labels->Find("a"), labels->Find("c")) &&
         p.label2 == std::max(labels->Find("a"), labels->Find("c")) &&
         p.twice_distance == kAnyDistance) {
@@ -231,6 +233,39 @@ TEST(MultipleFreeTreesTest, IgnoreDistanceMergesAcrossDistances) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// Regression: graphs over different label tables used to abort the
+// process via COUSINS_CHECK; the pipeline surfaces kInvalidArgument.
+TEST(MultipleFreeTreesTest, MixedLabelTablesIsInvalidArgumentNotAbort) {
+  auto labels1 = std::make_shared<LabelTable>();
+  auto labels2 = std::make_shared<LabelTable>();
+  std::vector<FreeTree> graphs = {
+      FreeTree::FromRootedTree(MustParse("(a,c)x;", labels1)),
+      FreeTree::FromRootedTree(MustParse("(a,c)y;", labels2))};
+  auto mined = MineMultipleFreeTrees(graphs);
+  ASSERT_FALSE(mined.ok());
+  EXPECT_EQ(mined.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ToRootedTree must preserve pairwise path lengths (unlike RootAtEdge,
+// which subdivides an edge), so the pipeline's free-tree variant sees
+// the same distances as the BFS reference on the original graph.
+TEST(FreeTreeTest, ToRootedTreePreservesDistances) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed + 1234);
+    UniformTreeOptions opts;
+    opts.tree_size = 24;
+    opts.alphabet_size = 3;
+    Tree t = GenerateUniformTree(opts, rng);
+    FreeTree g = FreeTree::FromRootedTree(t);
+    Tree rerooted = g.ToRootedTree();
+    MiningOptions mopt;
+    mopt.twice_maxdist = 6;
+    auto expected = MineFreeTreeBfs(g, mopt);
+    auto actual = MineFreeTreeBfs(FreeTree::FromRootedTree(rerooted), mopt);
+    EXPECT_EQ(actual, expected) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,338 @@
+// The unified-miner pipeline contract: every variant (cousin, free,
+// generalized, weighted) runs through the governed, degraded-mode,
+// work-stealing, checkpointed forest drivers and produces results
+// bit-identical to the sequential strict leg — across thread counts,
+// checkpoint cadences and lenient mode; governance trips yield exact
+// prefixes; checkpoints round-trip per variant and reject
+// variant-option skew.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/item_io.h"
+#include "core/multi_tree_mining.h"
+#include "core/parallel_mining.h"
+#include "core/quarantine.h"
+#include "gen/yule_generator.h"
+#include "tree/builder.h"
+#include "util/governance.h"
+#include "util/rng.h"
+
+namespace cousins {
+namespace {
+
+constexpr MinerVariant kAllVariants[] = {
+    MinerVariant::kCousin, MinerVariant::kFreeTree,
+    MinerVariant::kGeneralized, MinerVariant::kWeighted};
+
+std::vector<Tree> RandomForest(int count, uint64_t seed,
+                               std::shared_ptr<LabelTable> labels,
+                               int min_nodes = 10, int max_nodes = 30) {
+  Rng rng(seed);
+  YulePhylogenyOptions gen;
+  gen.min_nodes = min_nodes;
+  gen.max_nodes = max_nodes;
+  gen.alphabet_size = 20;
+  std::vector<Tree> trees;
+  for (int i = 0; i < count; ++i) {
+    trees.push_back(GenerateYulePhylogeny(gen, rng, labels));
+  }
+  return trees;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "cousins_variant_" + name;
+}
+
+MultiTreeMiningOptions OptionsFor(MinerVariant variant) {
+  MultiTreeMiningOptions options;
+  options.variant = variant;
+  options.min_support = 3;
+  options.per_tree.twice_maxdist = 3;
+  options.generalized.max_horizontal = 2;
+  options.generalized.max_vertical = 2;
+  options.weighted.bucket_width = 0.25;
+  return options;
+}
+
+/// The acceptance criterion is a bit-identical rendered result, so
+/// equivalence is compared on the variant's CSV rendering.
+std::string RenderCsv(const LabelTable& labels,
+                      const MultiTreeMiningRun& run, MinerVariant variant) {
+  switch (variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      return FrequentPairsToCsv(labels, run.pairs);
+    case MinerVariant::kGeneralized:
+      return GeneralizedPairsToCsv(labels, run.generalized);
+    case MinerVariant::kWeighted:
+      return WeightedPairsToCsv(labels, run.weighted);
+  }
+  return "";
+}
+
+class VariantPipeline : public ::testing::TestWithParam<MinerVariant> {};
+
+TEST_P(VariantPipeline, ParallelCheckpointedLenientMatchSequentialBitForBit) {
+  const MinerVariant variant = GetParam();
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(60, 17, labels);
+  const MultiTreeMiningOptions options = OptionsFor(variant);
+
+  Result<MultiTreeMiningRun> reference = MineMultipleTreesGoverned(
+      trees, options, MiningContext::Unlimited());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_FALSE(reference->truncated);
+  const std::string want = RenderCsv(*labels, *reference, variant);
+  ASSERT_FALSE(want.empty());
+
+  for (int32_t threads : {1, 3, 8}) {
+    for (int32_t every : {0, 8}) {
+      for (bool lenient : {false, true}) {
+        MiningCheckpointConfig config;
+        if (every > 0) {
+          config.path = TempPath(
+              MinerVariantName(variant) + "_" + std::to_string(threads) +
+              "_" + std::to_string(every) + (lenient ? "_lenient" : ""));
+          config.every_trees = every;
+          std::remove(config.path.c_str());
+        }
+        QuarantineLedger ledger;
+        DegradedModeConfig degraded;
+        degraded.lenient = lenient;
+        if (lenient) degraded.ledger = &ledger;
+        Result<MultiTreeMiningRun> run = MineMultipleTreesCheckpointed(
+            trees, options, MiningContext::Unlimited(), config, degraded,
+            threads);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        EXPECT_FALSE(run->truncated);
+        EXPECT_EQ(run->trees_processed, 60);
+        EXPECT_EQ(RenderCsv(*labels, *run, variant), want)
+            << MinerVariantName(variant) << " threads=" << threads
+            << " every=" << every << " lenient=" << lenient;
+        if (lenient) {
+          EXPECT_TRUE(ledger.Entries().empty());
+        }
+        if (every > 0) std::remove(config.path.c_str());
+      }
+    }
+  }
+}
+
+// A budget trip must leave a well-formed tally over an exact prefix of
+// the forest: re-mining that prefix from scratch reproduces the
+// partial result bit for bit — for every variant.
+TEST_P(VariantPipeline, GovernanceTripYieldsExactPrefix) {
+  const MinerVariant variant = GetParam();
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(80, 31, labels);
+  const MultiTreeMiningOptions options = OptionsFor(variant);
+
+  ResourceBudget budget;
+  budget.max_pair_map_entries = 60;
+  MiningContext tight;
+  tight.set_budget(budget);
+  Result<MultiTreeMiningRun> tripped = MineMultipleTreesParallelGoverned(
+      trees, options, tight, /*num_threads=*/1);
+  ASSERT_TRUE(tripped.ok()) << tripped.status().ToString();
+  ASSERT_TRUE(tripped->truncated) << MinerVariantName(variant);
+  EXPECT_EQ(tripped->termination.code(), StatusCode::kResourceExhausted);
+  ASSERT_LT(tripped->trees_processed, 80);
+
+  const std::vector<Tree> prefix(
+      trees.begin(), trees.begin() + tripped->trees_processed);
+  Result<MultiTreeMiningRun> replay = MineMultipleTreesGoverned(
+      prefix, options, MiningContext::Unlimited());
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(RenderCsv(*labels, *tripped, variant),
+            RenderCsv(*labels, *replay, variant))
+      << MinerVariantName(variant);
+}
+
+// Kill → resume drill on the free variant: trip a checkpointed run on
+// a budget (the "kill"), verify the checkpoint is a restorable exact
+// prefix, then resume without the budget and match the uninterrupted
+// baseline bit for bit.
+TEST(VariantPipelineDrill, FreeVariantKillResumeMatchesBaseline) {
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(100, 53, labels);
+  const MultiTreeMiningOptions options = OptionsFor(MinerVariant::kFreeTree);
+  Result<MultiTreeMiningRun> baseline = MineMultipleTreesGoverned(
+      trees, options, MiningContext::Unlimited());
+  ASSERT_TRUE(baseline.ok());
+
+  const std::string path = TempPath("free_kill_resume");
+  std::remove(path.c_str());
+  ResourceBudget budget;
+  budget.max_pair_map_entries = 60;
+  MiningContext tight;
+  tight.set_budget(budget);
+  MiningCheckpointConfig config;
+  config.path = path;
+  config.every_trees = 8;
+  Result<MultiTreeMiningRun> tripped = MineMultipleTreesCheckpointed(
+      trees, options, tight, config, /*num_threads=*/1);
+  ASSERT_TRUE(tripped.ok()) << tripped.status().ToString();
+  ASSERT_TRUE(tripped->truncated);
+
+  // What the "killed" process left on disk restores cleanly and covers
+  // exactly the trees the run reported.
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  Result<MultiTreeMiner> state =
+      MultiTreeMiner::RestoreFromCheckpoint(*bytes, options, labels);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  EXPECT_EQ(state->tree_count(), tripped->trees_processed);
+
+  config.resume = true;
+  Result<MultiTreeMiningRun> resumed = MineMultipleTreesCheckpointed(
+      trees, options, MiningContext::Unlimited(), config, /*num_threads=*/3);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_FALSE(resumed->truncated);
+  EXPECT_EQ(resumed->trees_processed, 100);
+  EXPECT_EQ(FrequentPairsToCsv(*labels, resumed->pairs),
+            FrequentPairsToCsv(*labels, baseline->pairs));
+  std::remove(path.c_str());
+}
+
+TEST_P(VariantPipeline, CheckpointRoundTripsPerVariant) {
+  const MinerVariant variant = GetParam();
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(12, 71, labels);
+  const MultiTreeMiningOptions options = OptionsFor(variant);
+  MultiTreeMiner miner(options);
+  for (const Tree& tree : trees) miner.AddTree(tree);
+
+  const std::string bytes = miner.SerializeCheckpoint();
+  Result<MultiTreeMiner> restored =
+      MultiTreeMiner::RestoreFromCheckpoint(bytes, options, labels);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->tree_count(), 12);
+  // Re-serialization is the strongest equality: every tally, aux word
+  // and option byte must have survived.
+  EXPECT_EQ(restored->SerializeCheckpoint(), bytes);
+  MultiTreeMiningRun want, got;
+  miner.ExtractResults(&want);
+  restored->ExtractResults(&got);
+  EXPECT_EQ(RenderCsv(*labels, got, variant),
+            RenderCsv(*labels, want, variant));
+}
+
+TEST(VariantCheckpointTest, VariantOptionSkewIsFailedPrecondition) {
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(6, 83, labels);
+
+  // A cousin checkpoint must not restore into a generalized run...
+  MultiTreeMiner cousin(OptionsFor(MinerVariant::kCousin));
+  for (const Tree& tree : trees) cousin.AddTree(tree);
+  const std::string cousin_bytes = cousin.SerializeCheckpoint();
+  Result<MultiTreeMiner> as_generalized =
+      MultiTreeMiner::RestoreFromCheckpoint(
+          cousin_bytes, OptionsFor(MinerVariant::kGeneralized), labels);
+  ASSERT_FALSE(as_generalized.ok());
+  EXPECT_EQ(as_generalized.status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // ...nor a weighted checkpoint into a run with a different bucket
+  // width (the buckets would silently mean different distances).
+  MultiTreeMiner weighted(OptionsFor(MinerVariant::kWeighted));
+  for (const Tree& tree : trees) weighted.AddTree(tree);
+  const std::string weighted_bytes = weighted.SerializeCheckpoint();
+  MultiTreeMiningOptions other_width = OptionsFor(MinerVariant::kWeighted);
+  other_width.weighted.bucket_width = 0.5;
+  Result<MultiTreeMiner> skewed = MultiTreeMiner::RestoreFromCheckpoint(
+      weighted_bytes, other_width, labels);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_EQ(skewed.status().code(), StatusCode::kFailedPrecondition);
+
+  // Same-variant, same-knob restore still works (control).
+  Result<MultiTreeMiner> control = MultiTreeMiner::RestoreFromCheckpoint(
+      weighted_bytes, OptionsFor(MinerVariant::kWeighted), labels);
+  EXPECT_TRUE(control.ok()) << control.status().ToString();
+}
+
+TEST(VariantValidationTest, MisconfiguredVariantsAreInvalidArgument) {
+  auto labels = std::make_shared<LabelTable>();
+  const std::vector<Tree> trees = RandomForest(4, 91, labels);
+
+  MultiTreeMiningOptions bad = OptionsFor(MinerVariant::kGeneralized);
+  bad.ignore_distance = true;  // "@" has no meaning for (h, v) items
+  Result<MultiTreeMiningRun> run = MineMultipleTreesGoverned(
+      trees, bad, MiningContext::Unlimited());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  bad = OptionsFor(MinerVariant::kGeneralized);
+  bad.generalized.max_horizontal = 0x10000;  // overflows the aux half
+  EXPECT_EQ(ValidateVariantOptions(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad.generalized.max_horizontal = -1;
+  EXPECT_EQ(ValidateVariantOptions(bad).code(),
+            StatusCode::kInvalidArgument);
+
+  bad = OptionsFor(MinerVariant::kWeighted);
+  bad.weighted.bucket_width = 0.0;
+  EXPECT_EQ(ValidateVariantOptions(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad.weighted.bucket_width = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ValidateVariantOptions(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad.weighted.bucket_width = 0.25;
+  bad.ignore_distance = true;  // "@" is undefined for bucketed items too
+  EXPECT_EQ(ValidateVariantOptions(bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Degraded-mode integration of the weighted bugfix: one tree with a
+// NaN branch length fails the strict run whole, while a lenient run
+// quarantines exactly that tree and matches the strict run over the
+// healthy subset.
+TEST(VariantDegradedTest, LenientQuarantinesNonFiniteWeightedTree) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<Tree> trees = RandomForest(20, 101, labels);
+  TreeBuilder b(labels);
+  NodeId r = b.AddRoot("r");
+  b.AddChild(r, "poison", std::numeric_limits<double>::quiet_NaN());
+  b.AddChild(r, "poison2", 1.0);
+  const std::vector<Tree> healthy = trees;
+  trees.insert(trees.begin() + 10, std::move(b).Build());
+
+  const MultiTreeMiningOptions options = OptionsFor(MinerVariant::kWeighted);
+  Result<MultiTreeMiningRun> strict = MineMultipleTreesParallelGoverned(
+      trees, options, MiningContext::Unlimited(), /*num_threads=*/1);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+
+  QuarantineLedger ledger;
+  DegradedModeConfig degraded;
+  degraded.lenient = true;
+  degraded.ledger = &ledger;
+  Result<MultiTreeMiningRun> lenient = MineMultipleTreesParallelGoverned(
+      trees, options, MiningContext::Unlimited(), degraded,
+      /*num_threads=*/1);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  ASSERT_EQ(ledger.Entries().size(), 1u);
+  EXPECT_EQ(ledger.Entries()[0].tree_index, 10);
+
+  Result<MultiTreeMiningRun> want = MineMultipleTreesGoverned(
+      healthy, options, MiningContext::Unlimited());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(WeightedPairsToCsv(*labels, lenient->weighted),
+            WeightedPairsToCsv(*labels, want->weighted));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantPipeline,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           return MinerVariantName(info.param);
+                         });
+
+}  // namespace
+}  // namespace cousins

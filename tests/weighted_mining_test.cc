@@ -1,13 +1,26 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/single_tree_mining.h"
+#include "core/variant_mining.h"
 #include "core/weighted_mining.h"
 #include "test_util.h"
+#include "tree/builder.h"
 
 namespace cousins {
 namespace {
 
 using testing_util::MustParse;
+
+std::vector<WeightedPairItem> MustMineWeighted(
+    const Tree& t, const WeightedMiningOptions& opt = {}) {
+  auto items = MineWeighted(t, opt);
+  EXPECT_TRUE(items.ok()) << items.status().message();
+  return items.ok() ? std::move(items).value()
+                    : std::vector<WeightedPairItem>{};
+}
 
 int64_t Occ(const Tree& t, const std::vector<WeightedPairItem>& items,
             const std::string& a, const std::string& b, int twice_d,
@@ -29,7 +42,7 @@ TEST(WeightedMiningTest, UnitWeightsBucketByTopologicalPath) {
   Tree t = MustParse("((u,v)p,w)r;");
   WeightedMiningOptions opt;
   opt.twice_maxdist = 2;
-  auto items = MineWeighted(t, opt);
+  auto items = MustMineWeighted(t, opt);
   EXPECT_EQ(Occ(t, items, "u", "v", 0, 2), 1);  // siblings: path 2
   EXPECT_EQ(Occ(t, items, "u", "w", 1, 3), 1);  // aunt-niece: path 3
   EXPECT_EQ(Occ(t, items, "p", "w", 0, 2), 1);
@@ -41,7 +54,7 @@ TEST(WeightedMiningTest, BranchLengthsSeparateEqualTopologies) {
   WeightedMiningOptions opt;
   opt.twice_maxdist = 0;
   opt.bucket_width = 1.0;
-  auto items = MineWeighted(t, opt);
+  auto items = MustMineWeighted(t, opt);
   EXPECT_EQ(Occ(t, items, "a", "b", 0, 0), 1);   // 0.2 -> bucket 0
   EXPECT_EQ(Occ(t, items, "c", "d", 0, 10), 1);  // 10 -> bucket 10
 }
@@ -51,7 +64,7 @@ TEST(WeightedMiningTest, BucketWidthControlsGranularity) {
   WeightedMiningOptions opt;
   opt.twice_maxdist = 0;
   opt.bucket_width = 100.0;  // everything lands in bucket 0
-  auto items = MineWeighted(t, opt);
+  auto items = MustMineWeighted(t, opt);
   EXPECT_EQ(Occ(t, items, "a", "b", 0, 0), 1);
   EXPECT_EQ(Occ(t, items, "c", "d", 0, 0), 1);
 }
@@ -64,7 +77,7 @@ TEST(WeightedMiningTest, CollapsedBucketsMatchUnweightedItems) {
   wopt.twice_maxdist = 5;
   wopt.bucket_width = 1e9;
   std::vector<CousinPairItem> collapsed;
-  for (const WeightedPairItem& item : MineWeighted(t, wopt)) {
+  for (const WeightedPairItem& item : MustMineWeighted(t, wopt)) {
     EXPECT_EQ(item.weight_bucket, 0);
     collapsed.push_back(CousinPairItem{item.label1, item.label2,
                                        item.twice_distance,
@@ -80,7 +93,7 @@ TEST(WeightedMiningTest, TopologicalCutoffStillApplies) {
   Tree t = testing_util::FamilyTree();
   WeightedMiningOptions opt;
   opt.twice_maxdist = 2;
-  for (const WeightedPairItem& item : MineWeighted(t, opt)) {
+  for (const WeightedPairItem& item : MustMineWeighted(t, opt)) {
     EXPECT_LE(item.twice_distance, 2);
   }
 }
@@ -90,7 +103,7 @@ TEST(WeightedMiningTest, MinOccurFilters) {
   WeightedMiningOptions opt;
   opt.twice_maxdist = 2;
   opt.min_occur = 2;
-  auto items = MineWeighted(t, opt);
+  auto items = MustMineWeighted(t, opt);
   for (const WeightedPairItem& item : items) {
     EXPECT_GE(item.occurrences, 2);
   }
@@ -99,8 +112,76 @@ TEST(WeightedMiningTest, MinOccurFilters) {
 }
 
 TEST(WeightedMiningTest, EmptyAndDegenerate) {
-  EXPECT_TRUE(MineWeighted(Tree()).empty());
-  EXPECT_TRUE(MineWeighted(MustParse("a;")).empty());
+  EXPECT_TRUE(MustMineWeighted(Tree()).empty());
+  EXPECT_TRUE(MustMineWeighted(MustParse("a;")).empty());
+}
+
+// Regression (was UB): a NaN branch length flowed into
+// static_cast<int32_t>(floor(NaN / width)). Now the tree is rejected
+// whole with kInvalidArgument naming the offending edge.
+TEST(WeightedMiningTest, NanBranchLengthIsRejected) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("r");
+  b.AddChild(r, "a", std::numeric_limits<double>::quiet_NaN());
+  b.AddChild(r, "b", 1.0);
+  Tree t = std::move(b).Build();
+  auto items = MineWeighted(t);
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression (was UB): infinite branch lengths made the quotient +inf.
+TEST(WeightedMiningTest, InfiniteBranchLengthIsRejected) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("r");
+  b.AddChild(r, "a", std::numeric_limits<double>::infinity());
+  b.AddChild(r, "b", 1.0);
+  Tree t = std::move(b).Build();
+  auto items = MineWeighted(t);
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression (was UB): finite-but-huge branch lengths push the bucket
+// quotient past int32 range; it must saturate, not wrap or trap.
+TEST(WeightedMiningTest, HugeFiniteWeightedPathSaturatesBucket) {
+  TreeBuilder b;
+  NodeId r = b.AddRoot("r");
+  b.AddChild(r, "a", 1e300);
+  b.AddChild(r, "b", 1e300);
+  Tree t = std::move(b).Build();
+  WeightedMiningOptions opt;
+  opt.twice_maxdist = 0;
+  opt.bucket_width = 1e-9;
+  auto items = MustMineWeighted(t, opt);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].weight_bucket, std::numeric_limits<int32_t>::max());
+}
+
+TEST(WeightedMiningTest, NonPositiveBucketWidthIsInvalidArgument) {
+  Tree t = MustParse("(a,b)r;");
+  WeightedMiningOptions opt;
+  opt.bucket_width = 0.0;
+  EXPECT_FALSE(MineWeighted(t, opt).ok());
+  opt.bucket_width = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(MineWeighted(t, opt).ok());
+}
+
+TEST(WeightedMiningTest, ClampWeightBucketBoundaries) {
+  using internal::ClampWeightBucket;
+  EXPECT_EQ(ClampWeightBucket(3.7, 1.0), 3);
+  EXPECT_EQ(ClampWeightBucket(-0.5, 1.0), -1);
+  EXPECT_EQ(ClampWeightBucket(1e300, 1.0),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(ClampWeightBucket(-1e300, 1.0),
+            std::numeric_limits<int32_t>::min());
+  // Exactly 2^31 must already saturate (2^31 - 1 fits, 2^31 does not).
+  EXPECT_EQ(ClampWeightBucket(2147483648.0, 1.0),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(ClampWeightBucket(2147483647.0, 1.0),
+            std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(ClampWeightBucket(-2147483648.0, 1.0),
+            std::numeric_limits<int32_t>::min());
 }
 
 TEST(WeightedMiningTest, Format) {

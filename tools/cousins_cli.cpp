@@ -2,12 +2,22 @@
 //
 //   cousins_cli mine      <file> [--maxdist=D] [--minoccur=N]
 //                                 [--deadline-ms=T] [--max-items=N]
-//   cousins_cli frequent  <file> [--maxdist=D] [--minoccur=N]
+//   cousins_cli frequent  <file> [--miner=cousin|free|generalized|weighted]
+//                                 [--maxdist=D] [--minoccur=N]
 //                                 [--minsup=S] [--ignore-distance] [--csv]
+//                                 [--max-horizontal=H] [--max-vertical=V]
+//                                 [--bucket-width=W]
 //                                 [--threads=T]
 //                                 [--deadline-ms=T] [--max-items=N]
 //                                 [--checkpoint=PATH] [--checkpoint-every=K]
 //                                 [--resume] [--watchdog-ms=T]
+//       --miner picks the per-tree fold the forest pipeline runs:
+//       cousin (default, Fig. 2 distances), free (§6 Eq. (7) distances
+//       on the unrooted topology), generalized ((h, v) kinship up to
+//       --max-horizontal/--max-vertical), weighted (branch-length
+//       separations bucketed by --bucket-width). --ignore-distance only
+//       applies to cousin/free; the kinship/bucket flags only apply to
+//       their variant.
 //   cousins_cli consensus <file>
 //       [--method=majority|strict|semi|Adams|Nelson|greedy]
 //   cousins_cli distance  <file> [--abstraction=labels|dist|occur|dist_occur]
@@ -44,7 +54,9 @@
 
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -56,6 +68,7 @@
 
 #include "core/checkpoint.h"
 #include "core/item_io.h"
+#include "core/miner_variant.h"
 #include "core/multi_tree_mining.h"
 #include "core/quarantine.h"
 #include "core/single_tree_mining.h"
@@ -438,13 +451,42 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   Status flags = CheckFlags(args,
                             {"maxdist", "minoccur", "minsup", "threads",
                              "deadline-ms", "max-items", "checkpoint",
-                             "checkpoint-every"},
+                             "checkpoint-every", "miner", "max-horizontal",
+                             "max-vertical", "bucket-width"},
                             {"ignore-distance", "csv", "resume"});
   if (!flags.ok()) return UsageError(flags.message());
   CooccurrenceOptions options;
   if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
                     &options.mining.per_tree.twice_maxdist)) {
     return UsageError("--maxdist must be a non-negative multiple of 0.5");
+  }
+  if (!ParseMinerVariant(Flag(args, "miner", "cousin"),
+                         &options.mining.variant)) {
+    return UsageError("--miner must be cousin|free|generalized|weighted");
+  }
+  int64_t max_horizontal = options.mining.generalized.max_horizontal;
+  int64_t max_vertical = options.mining.generalized.max_vertical;
+  if (!ParseInt64Flag(args, "max-horizontal", max_horizontal,
+                      &max_horizontal) ||
+      !ParseInt64Flag(args, "max-vertical", max_vertical, &max_vertical) ||
+      max_horizontal < 0 || max_horizontal > 0xFFFF || max_vertical < 0 ||
+      max_vertical > 0xFFFF) {
+    return UsageError(
+        "--max-horizontal/--max-vertical must be integers in [0, 65535]");
+  }
+  options.mining.generalized.max_horizontal =
+      static_cast<int32_t>(max_horizontal);
+  options.mining.generalized.max_vertical =
+      static_cast<int32_t>(max_vertical);
+  {
+    const std::string bucket = Flag(args, "bucket-width", "1");
+    char* end = nullptr;
+    const double width = std::strtod(bucket.c_str(), &end);
+    if (end != bucket.c_str() + bucket.size() || bucket.empty() ||
+        !std::isfinite(width) || width <= 0) {
+      return UsageError("--bucket-width must be a finite number > 0");
+    }
+    options.mining.weighted.bucket_width = width;
   }
   int64_t min_occur = 1;
   int64_t min_support = 2;
@@ -461,6 +503,11 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   options.mining.per_tree.min_occur = min_occur;
   options.mining.min_support = static_cast<int>(min_support);
   options.mining.ignore_distance = HasFlag(args, "ignore-distance");
+  if (options.mining.ignore_distance &&
+      (options.mining.variant == MinerVariant::kGeneralized ||
+       options.mining.variant == MinerVariant::kWeighted)) {
+    return UsageError("--ignore-distance only applies to --miner=cousin|free");
+  }
   options.num_threads = static_cast<int32_t>(threads);
   options.checkpoint.path = Flag(args, "checkpoint", "");
   int64_t checkpoint_every = 256;
@@ -482,12 +529,39 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   Result<MultiTreeMiningRun> run =
       MineCooccurrencePatterns(trees, options, context);
   if (!run.ok()) return Fail(run.status());
-  if (HasFlag(args, "csv")) {
-    std::fputs(FrequentPairsToCsv(labels, run->pairs).c_str(), stdout);
-  } else {
-    for (const FrequentCousinPair& pair : run->pairs) {
-      std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
-    }
+  const bool csv = HasFlag(args, "csv");
+  switch (options.mining.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      if (csv) {
+        std::fputs(FrequentPairsToCsv(labels, run->pairs).c_str(), stdout);
+      } else {
+        for (const FrequentCousinPair& pair : run->pairs) {
+          std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
+        }
+      }
+      break;
+    case MinerVariant::kGeneralized:
+      if (csv) {
+        std::fputs(GeneralizedPairsToCsv(labels, run->generalized).c_str(),
+                   stdout);
+      } else {
+        for (const FrequentGeneralizedPair& pair : run->generalized) {
+          std::printf("%s\n",
+                      FormatFrequentGeneralizedPair(labels, pair).c_str());
+        }
+      }
+      break;
+    case MinerVariant::kWeighted:
+      if (csv) {
+        std::fputs(WeightedPairsToCsv(labels, run->weighted).c_str(), stdout);
+      } else {
+        for (const FrequentWeightedPair& pair : run->weighted) {
+          std::printf("%s\n",
+                      FormatFrequentWeightedPair(labels, pair).c_str());
+        }
+      }
+      break;
   }
   if (run->truncated) return Truncated(run->termination);
   return 0;
