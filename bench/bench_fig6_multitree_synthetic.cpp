@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "core/multi_tree_mining.h"
 #include "core/parallel_mining.h"
 #include "paper_params.h"
+#include "proc/supervisor.h"
+#include "tree/newick.h"
 #include "util/csv.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -113,6 +116,75 @@ int main() {
     report.AddResult("governance.deadline_demo_trees_processed",
                      int64_t{governed.ok() ? governed->trees_processed : -1});
   }
+  // Multi-process phase: the same corpus slice mined out-of-core by
+  // forked worker processes (proc/supervisor.h) — workers mmap and
+  // window-parse a materialized forest file under journaled shard
+  // leases. proc.frequent_pairs is an exact perf-gate key: the
+  // multi-process pipeline must reproduce the sequential answers
+  // bit for bit, so a divergence fails the gate as a correctness bug
+  // no matter how the timings move.
+  {
+    const int64_t proc_trees = std::min<int64_t>(max_trees, 4000);
+    const int num_workers =
+        static_cast<int>(EnvScale("COUSINS_FIG6_WORKERS", 4));
+    report.AddParam("proc_trees", proc_trees);
+    report.AddParam("proc_workers", int64_t{num_workers});
+
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string base = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                             "/cousins_fig6_proc";
+    const std::string forest_path = base + ".nwk";
+    const std::string checkpoint_path = base + ".ckpt";
+    {
+      Rng rng(6000);
+      auto labels = std::make_shared<LabelTable>();
+      std::FILE* out = std::fopen(forest_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", forest_path.c_str());
+        return 1;
+      }
+      for (int64_t i = 0; i < proc_trees; ++i) {
+        const std::string line = ToNewick(GenerateFanoutTree(gen, rng, labels));
+        std::fputs(line.c_str(), out);
+        std::fputc('\n', out);
+      }
+      std::fclose(out);
+    }
+
+    proc::MultiProcessOptions mp;
+    mp.workers = num_workers;
+    mp.checkpoint_path = checkpoint_path;
+    Stopwatch sw;
+    Result<proc::MultiProcessRun> run =
+        proc::MineForestMultiProcess(forest_path, PaperMultiOptions(), mp,
+                                     nullptr);
+    const double seconds = sw.ElapsedSeconds();
+    const bool proc_ok = run.ok();
+    if (proc_ok) {
+      report.AddResult("proc.us_per_tree", seconds / proc_trees * 1e6);
+      report.AddResult("proc.frequent_pairs",
+                       static_cast<int64_t>(run->mining.pairs.size()));
+      report.AddResult("proc.trees_processed",
+                       int64_t{run->mining.trees_processed});
+      csv.WriteComment("multi-process (" + std::to_string(num_workers) +
+                       " workers, " + std::to_string(proc_trees) +
+                       " trees): " + std::to_string(seconds) + "s, " +
+                       std::to_string(run->mining.pairs.size()) +
+                       " frequent pairs");
+    } else {
+      csv.WriteComment("multi-process phase FAILED: " +
+                       run.status().ToString());
+    }
+    std::remove(forest_path.c_str());
+    std::remove(checkpoint_path.c_str());
+    const std::string journal = checkpoint_path + ".leases";
+    std::remove(journal.c_str());
+    for (int shard = 0; shard < 4 * num_workers + 8; ++shard) {
+      std::remove((journal + ".shard" + std::to_string(shard)).c_str());
+    }
+    if (!proc_ok) return report.Finish(false) ? 0 : 1;
+  }
+
   // Linearity: per-tree cost at the largest point within 2x of the
   // smallest (hash-table growth causes mild drift).
   const bool linear = us_large < 2.0 * us_small;

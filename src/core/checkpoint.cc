@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "core/multi_tree_mining.h"
@@ -570,6 +571,28 @@ Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
     return Status::Unavailable("cannot rename checkpoint into place at '" +
                             path + "'");
+  }
+  // rename(2) alone is atomic but not durable: the directory entry
+  // pointing at the new inode lives in the directory's own data, and a
+  // crash before that hits disk resurrects the old file (or nothing).
+  // fsync the containing directory so a returned OK means the rename
+  // itself survives a crash. On failure the new contents are already
+  // visible at `path` — do NOT remove them; the caller's retry rewrites
+  // the same bytes idempotently.
+  {
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dir_fd = open(dir.c_str(), O_RDONLY);
+    const bool injected = fault::Fired("checkpoint.dirsync");
+    if (dir_fd < 0 || fsync(dir_fd) != 0 || injected) {
+      if (dir_fd >= 0) close(dir_fd);
+      COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+      return Status::Unavailable(
+          "cannot fsync directory '" + dir + "' after renaming '" + path +
+          "' into place");
+    }
+    close(dir_fd);
   }
   COUSINS_METRIC_COUNTER_ADD("checkpoint.writes", 1);
   COUSINS_METRIC_COUNTER_ADD("checkpoint.bytes_written", bytes.size());

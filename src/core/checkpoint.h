@@ -83,11 +83,16 @@ struct MiningCheckpointConfig {
 };
 
 /// Atomically replaces `path` with `bytes` (temp file + flush + fsync +
-/// rename). On any failure the previous `path` contents, if any, are
-/// left intact. Failures are kUnavailable (transient: a retry of the
+/// rename + fsync of the containing directory — without the last step a
+/// crash shortly after a "successful" write can roll the rename back,
+/// losing the checkpoint the caller was told is durable). On a failure
+/// up to and including the rename the previous `path` contents, if any,
+/// are left intact; a failed directory fsync reports kUnavailable with
+/// the new contents already in place, so retrying the whole write is
+/// idempotent. All failures are kUnavailable (transient: a retry of the
 /// whole write may succeed — see util/retry.h). Fault sites:
 /// checkpoint.open / checkpoint.write / checkpoint.flush /
-/// checkpoint.rename.
+/// checkpoint.rename / checkpoint.dirsync.
 Status WriteFileAtomic(const std::string& path, const std::string& bytes);
 
 /// Reads a whole file. NotFound when it does not exist (permanent);

@@ -238,6 +238,16 @@ Status MultiTreeMiner::MineAndFoldTree(const Tree& tree,
   return Status::InvalidArgument("unknown miner variant");
 }
 
+void MultiTreeMiner::BindLabels(std::shared_ptr<LabelTable> labels) {
+  COUSINS_CHECK(labels != nullptr && "BindLabels requires a table");
+  if (labels_ == nullptr) {
+    labels_ = std::move(labels);
+  } else {
+    COUSINS_CHECK(labels_ == labels &&
+                  "BindLabels: a different table is already bound");
+  }
+}
+
 void MultiTreeMiner::AddTree(const Tree& tree) {
   COUSINS_METRIC_SCOPED_TIMER("mine.multi.add_tree");
   if (labels_ == nullptr) {

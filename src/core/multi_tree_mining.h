@@ -121,6 +121,16 @@ class MultiTreeMiner {
  public:
   explicit MultiTreeMiner(MultiTreeMiningOptions options = {});
 
+  /// Binds the forest label table up front, before any tree is added.
+  /// AddTree adopts the first tree's table automatically; binding
+  /// explicitly matters when the miner may see zero trees but its
+  /// serialized snapshot must still carry the table — a lenient shard
+  /// whose entries all failed to parse still interned labels before
+  /// each failure, and downstream label IDs depend on them. No-op when
+  /// the same table is already bound; a different table is a
+  /// programming error.
+  void BindLabels(std::shared_ptr<LabelTable> labels);
+
   /// Mines one tree and folds its items into the support counts. The
   /// tree is not retained.
   void AddTree(const Tree& tree);

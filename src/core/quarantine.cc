@@ -84,4 +84,20 @@ void QuarantineLedger::Replace(std::vector<QuarantineEntry> entries) {
   entries_ = std::move(entries);
 }
 
+void QuarantineParseError(const std::string& source,
+                          const ForestEntryError& error,
+                          QuarantineLedger* ledger) {
+  QuarantineEntry entry;
+  entry.tree_index = error.tree_index;
+  entry.source = source;
+  entry.byte_offset = error.byte_offset;
+  entry.line = error.line;
+  entry.column = error.column;
+  entry.code = error.status.code();
+  entry.message = error.status.message();
+  entry.snippet = error.snippet;
+  entry.stage = QuarantineStage::kParse;
+  ledger->Add(std::move(entry));
+}
+
 }  // namespace cousins

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "tree/newick.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -97,6 +98,15 @@ class QuarantineLedger {
   mutable std::mutex mu_;
   std::vector<QuarantineEntry> entries_;
 };
+
+/// Records one lenient forest-parse failure in `ledger` as a
+/// kParse-stage entry naming `source`. The CLI loader and the
+/// multi-process shard workers both record entries through here, so a
+/// sharded lenient run's ledger is byte-identical to the sequential
+/// run's on the same input.
+void QuarantineParseError(const std::string& source,
+                          const ForestEntryError& error,
+                          QuarantineLedger* ledger);
 
 /// Shard scheduling policy of the parallel forest miner. Defaults give
 /// work-stealing with a deterministic seed; results are bit-identical

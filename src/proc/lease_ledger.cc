@@ -1,0 +1,233 @@
+#include "proc/lease_ledger.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace cousins::proc {
+namespace {
+
+/// CRC32 of a record body, rendered as the 8-hex-digit frame suffix.
+std::string CrcSuffix(const std::string& body) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                internal::Crc32(body.data(), body.size()));
+  return buf;
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+bool ParseLeaseRecordLine(std::string_view line, LeaseRecord* out) {
+  const size_t hash = line.find_last_of('#');
+  if (hash == std::string_view::npos || hash + 9 != line.size() ||
+      hash < 1 || line[hash - 1] != ' ') {
+    return false;
+  }
+  const std::string body(line.substr(0, hash - 1));
+  if (CrcSuffix(body) != line.substr(hash + 1)) return false;
+  std::vector<std::string_view> fields = Split(body, ' ');
+  if (fields.empty()) return false;
+  std::vector<int64_t> values;
+  for (size_t i = 1; i < fields.size(); ++i) {
+    int64_t v = 0;
+    if (!ParseInt(fields[i], &v)) return false;
+    values.push_back(v);
+  }
+  const std::string_view kind = fields[0];
+  LeaseRecord record;
+  if (kind == "PLAN" && values.size() == 4) {
+    record.kind = LeaseRecord::Kind::kPlan;
+    record.a = values[0];
+    record.b = values[1];
+    record.c = values[2];
+    record.d = values[3];
+  } else if (kind == "GRANT" && values.size() == 3) {
+    record.kind = LeaseRecord::Kind::kGrant;
+    record.shard = values[0];
+    record.a = values[1];
+    record.b = values[2];
+  } else if (kind == "BEAT" && values.size() == 2) {
+    record.kind = LeaseRecord::Kind::kBeat;
+    record.shard = values[0];
+    record.a = values[1];
+  } else if (kind == "DONE" && values.size() == 2) {
+    record.kind = LeaseRecord::Kind::kDone;
+    record.shard = values[0];
+    record.a = values[1];
+  } else if (kind == "REVOKE" && values.size() == 1) {
+    record.kind = LeaseRecord::Kind::kRevoke;
+    record.shard = values[0];
+  } else {
+    return false;
+  }
+  *out = record;
+  return true;
+}
+
+LeaseJournal::LeaseJournal(LeaseJournal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+LeaseJournal& LeaseJournal::operator=(LeaseJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+LeaseJournal::~LeaseJournal() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<LeaseJournal> LeaseJournal::Open(const std::string& path,
+                                        bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open lease journal '" + path + "'");
+  }
+  LeaseJournal journal;
+  journal.fd_ = fd;
+  return journal;
+}
+
+Status LeaseJournal::Append(const std::string& body, bool durable) {
+  const std::string line = body + " #" + CrcSuffix(body) + "\n";
+  if (fault::Fired("proc.journal.append")) {
+    COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
+    return Status::Unavailable("injected fault at proc.journal.append");
+  }
+  // One write(2) per record: O_APPEND makes concurrent appends from the
+  // supervisor and its workers land whole, never interleaved.
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
+      return Status::Unavailable("lease journal append failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (durable && fsync(fd_) != 0) {
+    COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
+    return Status::Unavailable("lease journal fsync failed");
+  }
+  COUSINS_METRIC_COUNTER_ADD("proc.journal_appends", 1);
+  return Status::OK();
+}
+
+Status LeaseJournal::AppendPlan(uint32_t fingerprint, int64_t total_bytes,
+                                int64_t shards, int64_t entries) {
+  return Append("PLAN " + std::to_string(fingerprint) + " " +
+                    std::to_string(total_bytes) + " " +
+                    std::to_string(shards) + " " + std::to_string(entries),
+                /*durable=*/true);
+}
+
+Status LeaseJournal::AppendGrant(int64_t shard, int slot, int64_t pid) {
+  return Append("GRANT " + std::to_string(shard) + " " +
+                    std::to_string(slot) + " " + std::to_string(pid),
+                /*durable=*/true);
+}
+
+Status LeaseJournal::AppendBeat(int64_t shard, int64_t trees) {
+  return Append(
+      "BEAT " + std::to_string(shard) + " " + std::to_string(trees),
+      /*durable=*/false);
+}
+
+Status LeaseJournal::AppendDone(int64_t shard, int64_t trees) {
+  return Append(
+      "DONE " + std::to_string(shard) + " " + std::to_string(trees),
+      /*durable=*/true);
+}
+
+Status LeaseJournal::AppendRevoke(int64_t shard) {
+  return Append("REVOKE " + std::to_string(shard), /*durable=*/true);
+}
+
+Result<std::vector<LeaseRecord>> ReplayLeaseJournal(const std::string& path,
+                                                    size_t* valid_prefix) {
+  COUSINS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  std::vector<LeaseRecord> records;
+  size_t pos = 0;
+  if (valid_prefix != nullptr) *valid_prefix = 0;
+  while (pos < bytes.size()) {
+    const size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated tail: the writer always ends a record with '\n'
+      // in the same write, so whatever is here is a torn append — even
+      // if the CRC happens to check out, don't trust it (the caller
+      // may truncate to valid_prefix, and records must match).
+      COUSINS_METRIC_COUNTER_ADD("proc.journal_torn_tails", 1);
+      break;
+    }
+    const std::string_view line(bytes.data() + pos, nl - pos);
+    LeaseRecord record;
+    if (!ParseLeaseRecordLine(line, &record)) {
+      // A bad final line is the torn tail of a crashed append: ignore
+      // it. Bad bytes with valid content after them mean the journal
+      // body itself is damaged — refuse to trust any of it.
+      if (nl + 1 >= bytes.size()) {
+        COUSINS_METRIC_COUNTER_ADD("proc.journal_torn_tails", 1);
+        break;
+      }
+      return Status::Corruption("corrupt lease journal record in '" + path +
+                              "'");
+    }
+    records.push_back(record);
+    pos = nl + 1;
+    if (valid_prefix != nullptr) *valid_prefix = pos;
+  }
+  return records;
+}
+
+void LeaseTable::Grant(int64_t shard, int slot, TimePoint now) {
+  leases_[shard] = Lease{slot, now};
+}
+
+void LeaseTable::Beat(int64_t shard, TimePoint now) {
+  auto it = leases_.find(shard);
+  if (it != leases_.end()) it->second.last_beat = now;
+}
+
+void LeaseTable::Release(int64_t shard) { leases_.erase(shard); }
+
+bool LeaseTable::held(int64_t shard) const {
+  return leases_.count(shard) > 0;
+}
+
+int LeaseTable::holder(int64_t shard) const {
+  auto it = leases_.find(shard);
+  return it == leases_.end() ? -1 : it->second.slot;
+}
+
+std::vector<int64_t> LeaseTable::Expired(
+    TimePoint now, std::chrono::milliseconds timeout) const {
+  std::vector<int64_t> out;
+  for (const auto& [shard, lease] : leases_) {
+    if (now - lease.last_beat > timeout) out.push_back(shard);
+  }
+  return out;
+}
+
+}  // namespace cousins::proc

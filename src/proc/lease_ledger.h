@@ -1,0 +1,132 @@
+// Crash-safe shard-lease ledger: an append-only, CRC-framed journal
+// next to the checkpoint that records the shard plan identity and the
+// lifecycle of every lease (GRANT → BEAT* → DONE | REVOKE).
+//
+// Durability discipline: records that change what a resume may trust
+// (PLAN, GRANT, DONE, REVOKE) are fsync'd; BEAT heartbeats are plain
+// appends — losing them can only make a lease look staler than it was,
+// which is safe (the shard gets re-mined, and merging is idempotent
+// because shards are all-or-nothing). Each record line carries a CRC
+// suffix, so a torn final append (the expected crash artifact of an
+// append-only file) is detected and ignored on replay, while corruption
+// in the middle of the journal is a hard kCorruption.
+//
+// Both the supervisor (PLAN/GRANT/REVOKE) and its forked workers
+// (BEAT/DONE) append through the same inherited O_APPEND descriptor;
+// single-write() appends keep concurrent records from interleaving.
+
+#ifndef COUSINS_PROC_LEASE_LEDGER_H_
+#define COUSINS_PROC_LEASE_LEDGER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cousins::proc {
+
+/// One parsed journal record.
+struct LeaseRecord {
+  enum class Kind : uint8_t {
+    kPlan,    // PLAN <fingerprint> <total_bytes> <shards> <entries>
+    kGrant,   // GRANT <shard> <slot> <pid>
+    kBeat,    // BEAT <shard> <trees>
+    kDone,    // DONE <shard> <trees>
+    kRevoke,  // REVOKE <shard>
+  };
+  Kind kind = Kind::kBeat;
+  int64_t shard = 0;
+  /// PLAN: fingerprint/total_bytes/shards/entries; GRANT: slot/pid;
+  /// BEAT and DONE: trees mined so far / in total.
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  int64_t d = 0;
+};
+
+/// Append side of the journal. Movable; closes its descriptor on
+/// destruction. Fault site proc.journal.append simulates a failed
+/// durable append (kUnavailable).
+class LeaseJournal {
+ public:
+  /// Opens `path` for appending. `truncate` starts a fresh journal
+  /// (a run without --resume must not inherit stale leases).
+  static Result<LeaseJournal> Open(const std::string& path, bool truncate);
+
+  LeaseJournal() = default;
+  LeaseJournal(LeaseJournal&& other) noexcept;
+  LeaseJournal& operator=(LeaseJournal&& other) noexcept;
+  LeaseJournal(const LeaseJournal&) = delete;
+  LeaseJournal& operator=(const LeaseJournal&) = delete;
+  ~LeaseJournal();
+
+  Status AppendPlan(uint32_t fingerprint, int64_t total_bytes,
+                    int64_t shards, int64_t entries);
+  Status AppendGrant(int64_t shard, int slot, int64_t pid);
+  Status AppendBeat(int64_t shard, int64_t trees);
+  Status AppendDone(int64_t shard, int64_t trees);
+  Status AppendRevoke(int64_t shard);
+
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  /// Frames `body` as "body #crc32hex\n" and appends it with one
+  /// write(2); fsyncs when `durable`.
+  Status Append(const std::string& body, bool durable);
+
+  int fd_ = -1;
+};
+
+/// Decodes one framed journal line (without the trailing '\n').
+/// Returns false on any framing, CRC or field error. The supervisor
+/// uses this to tail live BEAT records out of the growing journal.
+bool ParseLeaseRecordLine(std::string_view line, LeaseRecord* out);
+
+/// Replays a journal file into records. A torn or CRC-bad *final* line
+/// is dropped silently (crash artifact); any bad line followed by more
+/// content is kCorruption. A missing file is kNotFound. `valid_prefix`,
+/// when non-null, receives the byte length of the decodable prefix —
+/// the supervisor truncates a resumed journal to it so new appends
+/// never land after torn bytes.
+Result<std::vector<LeaseRecord>> ReplayLeaseJournal(
+    const std::string& path, size_t* valid_prefix = nullptr);
+
+/// Pure in-memory lease bookkeeping with an injectable clock, so the
+/// expiry boundary is unit-testable without sleeping. The supervisor
+/// feeds it grant/beat observations and asks which leases went stale.
+class LeaseTable {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  void Grant(int64_t shard, int slot, TimePoint now);
+  /// A beat for an unleased shard is ignored (late heartbeat of a
+  /// revoked lease).
+  void Beat(int64_t shard, TimePoint now);
+  void Release(int64_t shard);
+
+  bool held(int64_t shard) const;
+  /// Slot holding `shard`, or -1.
+  int holder(int64_t shard) const;
+  size_t size() const { return leases_.size(); }
+
+  /// Shards whose last heartbeat is STRICTLY older than `timeout`:
+  /// expired iff now - last_beat > timeout, so a beat exactly
+  /// `timeout` old is still live. Sorted by shard id.
+  std::vector<int64_t> Expired(TimePoint now,
+                               std::chrono::milliseconds timeout) const;
+
+ private:
+  struct Lease {
+    int slot = -1;
+    TimePoint last_beat;
+  };
+  std::map<int64_t, Lease> leases_;
+};
+
+}  // namespace cousins::proc
+
+#endif  // COUSINS_PROC_LEASE_LEDGER_H_

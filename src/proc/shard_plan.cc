@@ -1,0 +1,216 @@
+#include "proc/shard_plan.h"
+
+#include <cctype>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace cousins::proc {
+
+MappedForest::MappedForest(MappedForest&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      text_(std::exchange(other.text_, std::string_view())),
+      bom_bytes_(std::exchange(other.bom_bytes_, 0)) {}
+
+MappedForest& MappedForest::operator=(MappedForest&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) munmap(map_, map_size_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    text_ = std::exchange(other.text_, std::string_view());
+    bom_bytes_ = std::exchange(other.bom_bytes_, 0);
+  }
+  return *this;
+}
+
+MappedForest::~MappedForest() {
+  if (map_ != nullptr) munmap(map_, map_size_);
+}
+
+Result<MappedForest> MappedForest::Open(const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 || fault::Fired("proc.mmap")) {
+    close(fd);
+    return Status::Unavailable("cannot map '" + path + "'");
+  }
+  MappedForest out;
+  out.map_size_ = static_cast<size_t>(st.st_size);
+  if (out.map_size_ > 0) {
+    out.map_ = mmap(nullptr, out.map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (out.map_ == MAP_FAILED) {
+      out.map_ = nullptr;
+      close(fd);
+      return Status::Unavailable("cannot map '" + path + "'");
+    }
+  }
+  close(fd);
+  const std::string_view raw(static_cast<const char*>(out.map_),
+                             out.map_size_);
+  out.text_ = StripUtf8Bom(raw);
+  out.bom_bytes_ = raw.size() - out.text_.size();
+  COUSINS_METRIC_COUNTER_ADD("proc.mapped_bytes", out.text_.size());
+  return out;
+}
+
+namespace {
+
+/// Serializes the plan geometry for fingerprinting: any change to the
+/// text size, entry count or a shard boundary changes the CRC.
+uint32_t PlanFingerprint(const ShardPlan& plan) {
+  std::string bytes;
+  auto put = [&bytes](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  put(plan.total_bytes);
+  put(static_cast<uint64_t>(plan.total_entries));
+  put(plan.shards.size());
+  for (const ForestShard& shard : plan.shards) {
+    put(shard.byte_begin);
+    put(shard.byte_end);
+    put(shard.line_begin);
+    put(static_cast<uint64_t>(shard.entry_begin));
+    put(static_cast<uint64_t>(shard.entry_count));
+  }
+  return internal::Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace
+
+ShardPlan BuildShardPlan(std::string_view text,
+                         const ShardPlanOptions& options) {
+  // The scan mirrors the forest reader's comment-stripping and
+  // entry-splitting semantics (tree/newick.cc: StripCommentLines +
+  // ForEachForestEntry) without materializing anything: it only needs
+  // quote state, whether the pending entry has any non-whitespace
+  // content, and textual line counts. proc_test.cc locks the
+  // equivalence against the sequential parser on adversarial inputs
+  // (quoted ';' and '#', comments inside entries, CRLF, lone CR).
+  ShardPlan plan;
+  plan.total_bytes = text.size();
+  const int64_t target = options.target_shard_bytes > 0
+                             ? options.target_shard_bytes
+                             : int64_t{4} << 20;
+  const int64_t min_shards = options.min_shards > 0 ? options.min_shards : 1;
+  // Shrink the target so at least min_shards cut targets exist; the
+  // actual count is still bounded by the eligible cut points.
+  int64_t shard_bytes = target;
+  if (min_shards > 1 &&
+      static_cast<int64_t>(text.size()) / shard_bytes < min_shards) {
+    shard_bytes = static_cast<int64_t>(text.size()) / min_shards;
+    if (shard_bytes < 1) shard_bytes = 1;
+  }
+
+  const size_t n = text.size();
+  bool in_quote = false;
+  bool has_content = false;  // pending entry has non-whitespace content
+  int64_t entries = 0;       // completed non-empty entries so far
+  size_t line = 1;           // 1-based line of the current position
+  ForestShard current;
+  current.id = 0;
+  current.byte_begin = 0;
+  current.line_begin = 1;
+  current.entry_begin = 0;
+
+  auto close_shard = [&](size_t end) {
+    current.byte_end = end;
+    current.entry_count = entries - current.entry_begin;
+    plan.shards.push_back(current);
+    current = ForestShard();
+    current.id = static_cast<int64_t>(plan.shards.size());
+    current.byte_begin = end;
+    current.line_begin = line;
+    current.entry_begin = entries;
+  };
+  // A cut is legal at a line start when no quote is open and the
+  // pending entry is still whitespace-only (its trimmed content, if
+  // any, lies entirely after the cut).
+  auto maybe_cut = [&](size_t pos) {
+    if (in_quote || has_content) return;
+    if (static_cast<int64_t>(pos - current.byte_begin) < shard_bytes) return;
+    if (entries == current.entry_begin) return;  // never emit empty shards
+    close_shard(pos);
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    if (!in_quote) {
+      // Line-start comment detection, as in StripCommentLines.
+      size_t j = i;
+      while (j < n && text[j] != '\n' && text[j] != '\r' &&
+             std::isspace(static_cast<unsigned char>(text[j]))) {
+        ++j;
+      }
+      if (j < n && text[j] == '#') {
+        while (i < n && text[i] != '\n' && text[i] != '\r') ++i;
+        if (i < n) {
+          if (text[i] == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+          ++i;
+          ++line;
+          maybe_cut(i);
+        }
+        continue;
+      }
+    }
+    // One retained line, tracking quote/entry state per char.
+    while (i < n) {
+      const char c = text[i];
+      ++i;
+      if (c == '\'') {
+        in_quote = !in_quote;
+        has_content = true;
+      } else if (!in_quote && c == ';') {
+        if (has_content) ++entries;
+        has_content = false;
+      } else if (c != '\n' && c != '\r' &&
+                 !std::isspace(static_cast<unsigned char>(c))) {
+        has_content = true;
+      }
+      if (c == '\n') {
+        ++line;
+        maybe_cut(i);
+        break;
+      }
+      if (c == '\r') {
+        // Never cut between the two bytes of a CRLF pair: the split
+        // halves would each count a line break where the whole text
+        // counts one.
+        if (i < n && text[i] == '\n') ++i;
+        ++line;
+        maybe_cut(i);
+        break;
+      }
+    }
+  }
+  if (has_content) ++entries;  // final unterminated entry
+  plan.total_entries = entries;
+  if (entries > current.entry_begin) {
+    current.byte_end = n;
+    current.entry_count = entries - current.entry_begin;
+    plan.shards.push_back(current);
+  } else if (!plan.shards.empty()) {
+    // Trailing entry-free residue (comments, whitespace) belongs to the
+    // last real shard so every byte is covered by exactly one window.
+    plan.shards.back().byte_end = n;
+  }
+  plan.fingerprint = PlanFingerprint(plan);
+  COUSINS_METRIC_COUNTER_ADD("proc.shards_planned",
+                             static_cast<int64_t>(plan.shards.size()));
+  return plan;
+}
+
+}  // namespace cousins::proc

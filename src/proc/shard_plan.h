@@ -1,0 +1,109 @@
+// Out-of-core forest sharding: mmap a Newick forest file and split it
+// into contiguous byte-range shards that worker processes mine
+// independently (proc/supervisor.h).
+//
+// The cut points are chosen so that windowed parsing of each shard via
+// ParseNewickForestWindow is observationally identical to one
+// sequential ParseNewickForestLenient over the whole file: every cut
+// lands at the start of a line, outside any quoted label, with no
+// partial forest entry pending — so no entry, comment line, quote or
+// CRLF pair ever spans two shards, and each shard's ForestWindowOrigin
+// (byte offset, line number, entry index) makes positions and indices
+// come out in whole-file terms. The plan scan is a single forward pass
+// over the mapped bytes with O(#shards) memory; per-shard parse memory
+// is bounded by the largest shard, never the file.
+
+#ifndef COUSINS_PROC_SHARD_PLAN_H_
+#define COUSINS_PROC_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/newick.h"
+#include "util/result.h"
+
+namespace cousins::proc {
+
+/// Read-only memory map of a forest file. Workers inherit the mapping
+/// across fork(2), so the file is opened and mapped exactly once per
+/// run regardless of worker count.
+class MappedForest {
+ public:
+  /// Maps `path` read-only. Fault site proc.mmap simulates an
+  /// open/map failure (kUnavailable). An empty file maps to an empty
+  /// view.
+  static Result<MappedForest> Open(const std::string& path);
+
+  MappedForest() = default;
+  MappedForest(MappedForest&& other) noexcept;
+  MappedForest& operator=(MappedForest&& other) noexcept;
+  MappedForest(const MappedForest&) = delete;
+  MappedForest& operator=(const MappedForest&) = delete;
+  ~MappedForest();
+
+  /// The file contents with any leading UTF-8 BOM already skipped —
+  /// the same view ParseNewickForestLenient positions refer to.
+  std::string_view text() const { return text_; }
+
+  /// Bytes of BOM skipped at the start of the mapping (0 or 3).
+  size_t bom_bytes() const { return bom_bytes_; }
+
+ private:
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  std::string_view text_;
+  size_t bom_bytes_ = 0;
+};
+
+/// One shard of the plan: a byte window of the (BOM-stripped) forest
+/// text plus the window origin the parser needs to report whole-file
+/// positions.
+struct ForestShard {
+  int64_t id = 0;
+  /// Window [byte_begin, byte_end) in the BOM-stripped text.
+  size_t byte_begin = 0;
+  size_t byte_end = 0;
+  /// 1-based line number of byte_begin in the whole text.
+  size_t line_begin = 1;
+  /// Non-empty forest entries before byte_begin / within the window.
+  int64_t entry_begin = 0;
+  int64_t entry_count = 0;
+
+  ForestWindowOrigin origin() const {
+    return ForestWindowOrigin{byte_begin, line_begin, entry_begin};
+  }
+
+  friend bool operator==(const ForestShard&, const ForestShard&) = default;
+};
+
+struct ShardPlanOptions {
+  /// Preferred shard size; a cut is taken at the first eligible point
+  /// at or after each multiple. <= 0 picks 4 MiB.
+  int64_t target_shard_bytes = 0;
+  /// Lower bound on shard count (so small inputs still exercise the
+  /// multi-process path); the plan can't exceed the number of eligible
+  /// cut points, so a one-line forest still yields a single shard.
+  int64_t min_shards = 1;
+};
+
+/// The full plan over one forest text. `fingerprint` covers the text
+/// size, entry count and every shard boundary — the lease ledger
+/// records it so a resume against a changed file (or different plan
+/// options) is refused instead of silently mis-sharded.
+struct ShardPlan {
+  std::vector<ForestShard> shards;
+  size_t total_bytes = 0;
+  int64_t total_entries = 0;
+  uint32_t fingerprint = 0;
+};
+
+/// Single-pass scan of `text` (BOM already stripped) producing the
+/// shard plan. Deterministic: same text and options, same plan.
+ShardPlan BuildShardPlan(std::string_view text,
+                         const ShardPlanOptions& options);
+
+}  // namespace cousins::proc
+
+#endif  // COUSINS_PROC_SHARD_PLAN_H_

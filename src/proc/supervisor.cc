@@ -1,0 +1,822 @@
+#include "proc/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "proc/lease_ledger.h"
+#include "tree/newick.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace cousins::proc {
+
+std::string LeaseJournalPath(const std::string& checkpoint_path) {
+  return checkpoint_path + ".leases";
+}
+
+std::string ShardSnapshotPath(const std::string& journal_path,
+                              int64_t shard) {
+  return journal_path + ".shard" + std::to_string(shard);
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Writes `line` with one write(2) (short writes retried). Returns
+/// false on any unrecoverable error (e.g. EPIPE from a dead peer).
+bool WriteLineRaw(int fd, const std::string& line) {
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = write(fd, line.data() + written,
+                            line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Worker side: runs in the forked child, communicates with the
+// supervisor over its control/status pipes and the inherited journal.
+// Children only ever leave via _exit — never back up the fork's stack.
+// ---------------------------------------------------------------------
+
+struct WorkerEnv {
+  std::string_view text;  // BOM-stripped forest text (inherited mapping)
+  const ShardPlan* plan = nullptr;
+  const MultiTreeMiningOptions* options = nullptr;
+  const MultiProcessOptions* proc = nullptr;
+  LeaseJournal* journal = nullptr;
+  std::string journal_path;
+  int ctrl_fd = -1;    // supervisor -> worker commands
+  int status_fd = -1;  // worker -> supervisor results
+};
+
+/// Mines one shard all-or-nothing: windowed parse with incremental
+/// mining and heartbeats, then snapshot write, then the DONE record —
+/// in that order, so a kill at any instant either left no trace or a
+/// fully committed shard. Returns the number of trees mined.
+Result<int64_t> WorkerMineShard(const WorkerEnv& env,
+                                const ForestShard& shard) {
+  auto labels = std::make_shared<LabelTable>();
+  MultiTreeMiner miner(*env.options);
+  // Bind the parse table up front: even a shard whose entries all fail
+  // to parse must snapshot the labels interned before each failure,
+  // or downstream label IDs diverge from the sequential run.
+  miner.BindLabels(labels);
+  QuarantineLedger local;
+  DegradedModeConfig degraded;
+  degraded.lenient = env.proc->lenient;
+  degraded.ledger = &local;
+  degraded.source_name = env.proc->source_name;
+
+  const std::string_view window =
+      env.text.substr(shard.byte_begin, shard.byte_end - shard.byte_begin);
+  std::vector<ForestEntryError> errors;
+  int64_t mined = 0;
+  Clock::time_point last_beat = Clock::now();
+  const Clock::duration beat_every = std::min<Clock::duration>(
+      env.proc->lease_timeout / 4, std::chrono::milliseconds(250));
+  COUSINS_RETURN_IF_ERROR(ParseNewickForestWindow(
+      window, shard.origin(), labels, env.proc->parse_limits,
+      [&](Tree tree, int64_t index) -> Status {
+        COUSINS_RETURN_IF_ERROR(
+            env.proc->lenient
+                ? miner.AddTreeDegraded(tree, index,
+                                        MiningContext::Unlimited(), degraded)
+                : miner.AddTreeGoverned(tree, MiningContext::Unlimited()));
+        ++mined;
+        if ((mined & 63) == 0) {
+          const Clock::time_point now = Clock::now();
+          if (now - last_beat >= beat_every) {
+            // A lost heartbeat can only make this lease look stale —
+            // worst case the shard is re-mined, which is safe.
+            (void)env.journal->AppendBeat(shard.id, mined);
+            last_beat = now;
+          }
+        }
+        return Status::OK();
+      },
+      &errors));
+  if (env.proc->lenient) {
+    for (const ForestEntryError& error : errors) {
+      QuarantineParseError(env.proc->source_name, error, &local);
+    }
+  } else if (!errors.empty()) {
+    const ForestEntryError& e = errors.front();
+    return Status(e.status.code(),
+                  "forest entry " + std::to_string(e.tree_index) +
+                      " (line " + std::to_string(e.line) + ", column " +
+                      std::to_string(e.column) +
+                      "): " + e.status.message());
+  }
+
+  const std::string bytes = miner.SerializeCheckpoint(&local);
+  const std::string snapshot =
+      ShardSnapshotPath(env.journal_path, shard.id);
+  COUSINS_RETURN_IF_ERROR(
+      RetryTransient(env.proc->retry, "proc.snapshot.write",
+                     [&] { return WriteFileAtomic(snapshot, bytes); }));
+  // DONE is the commit point: it is only appended (fsync'd) once the
+  // snapshot is durably in place under its final name.
+  COUSINS_RETURN_IF_ERROR(env.journal->AppendDone(shard.id, mined));
+  return mined;
+}
+
+[[noreturn]] void WorkerMain(const WorkerEnv& env) {
+  std::string buf;
+  for (;;) {
+    char c = 0;
+    const ssize_t n = read(env.ctrl_fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      _exit(1);
+    }
+    if (n == 0) _exit(0);  // supervisor went away: quit quietly
+    if (c != '\n') {
+      buf.push_back(c);
+      continue;
+    }
+    const std::string cmd = std::move(buf);
+    buf.clear();
+    if (cmd == "Q") _exit(0);
+    if (cmd.size() < 3 || cmd[0] != 'M' || cmd[1] != ' ') continue;
+    const int64_t shard_id = std::strtoll(cmd.c_str() + 2, nullptr, 10);
+    if (shard_id < 0 ||
+        shard_id >= static_cast<int64_t>(env.plan->shards.size())) {
+      _exit(1);
+    }
+    // Worker-side crash drill: children inherit the parent's arming
+    // across fork, so every worker honors it — the restart budget is
+    // what this site exercises.
+    if (fault::Fired("proc.worker.crash")) _exit(70);
+    std::string line;
+    try {
+      Result<int64_t> mined =
+          WorkerMineShard(env, env.plan->shards[shard_id]);
+      if (mined.ok()) {
+        line = "D " + std::to_string(shard_id) + " " +
+               std::to_string(*mined) + "\n";
+      } else {
+        std::string msg = mined.status().message();
+        for (char& ch : msg) {
+          if (ch == '\n' || ch == '\r') ch = ' ';
+        }
+        line = "E " + std::to_string(shard_id) + " " +
+               std::to_string(static_cast<int>(mined.status().code())) +
+               " " + msg + "\n";
+      }
+    } catch (const std::exception& e) {
+      std::string msg = e.what();
+      for (char& ch : msg) {
+        if (ch == '\n' || ch == '\r') ch = ' ';
+      }
+      line = "E " + std::to_string(shard_id) + " " +
+             std::to_string(static_cast<int>(StatusCode::kInternal)) +
+             " worker exception: " + msg + "\n";
+    }
+    if (!WriteLineRaw(env.status_fd, line)) _exit(1);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor side.
+// ---------------------------------------------------------------------
+
+struct WorkerProc {
+  int slot = 0;
+  pid_t pid = -1;
+  int ctrl_fd = -1;    // supervisor writes commands
+  int status_fd = -1;  // supervisor reads results (nonblocking)
+  std::string inbuf;
+  int64_t busy_shard = -1;
+  bool alive = false;
+};
+
+class Supervisor {
+ public:
+  Supervisor(std::string forest_path, const MultiTreeMiningOptions& options,
+             const MultiProcessOptions& proc, QuarantineLedger* ledger)
+      : forest_path_(std::move(forest_path)),
+        options_(options),
+        proc_(proc),
+        ledger_(ledger) {}
+
+  ~Supervisor() {
+    if (tail_fd_ >= 0) close(tail_fd_);
+    for (WorkerProc& w : workers_) CloseWorkerFds(&w);
+  }
+
+  Result<MultiProcessRun> Run() {
+    COUSINS_RETURN_IF_ERROR(Setup());
+    const int64_t total = static_cast<int64_t>(plan_.shards.size());
+    if (done_count_ < total) {
+      COUSINS_RETURN_IF_ERROR(SpawnInitialWorkers());
+      while (done_count_ < total && !failed_) {
+        const Status assigned = AssignWork();
+        if (!assigned.ok()) Fail(assigned);
+        if (failed_) break;
+        PollStatus(20);
+        DrainJournalTail();
+        ExpireLeases();
+        ReapExited();
+        if (!failed_ && live_workers_ == 0 && done_count_ < total) {
+          Fail(Status::Internal(
+              respawns_used_ >= proc_.max_respawns
+                  ? "worker respawn budget exhausted (" +
+                        std::to_string(proc_.max_respawns) + ") with " +
+                        std::to_string(total - done_count_) +
+                        " shards unmined"
+                  : "all worker processes are gone with " +
+                        std::to_string(total - done_count_) +
+                        " shards unmined"));
+        }
+      }
+    }
+    Shutdown();
+    RecordRssPeak();
+    if (failed_) return failure_;
+    return Finish();
+  }
+
+ private:
+  void Fail(Status status) {
+    if (failed_) return;
+    failed_ = true;
+    failure_ = std::move(status);
+  }
+
+  Status Setup() {
+    if (proc_.workers < 1) {
+      return Status::InvalidArgument("multi-process mining needs >= 1 worker");
+    }
+    if (proc_.checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "multi-process mining requires a checkpoint path (the lease "
+          "journal and shard snapshots live next to it)");
+    }
+    if (proc_.lenient && ledger_ == nullptr) {
+      return Status::InvalidArgument(
+          "lenient multi-process mining requires a quarantine ledger");
+    }
+    COUSINS_RETURN_IF_ERROR(ValidateVariantOptions(options_));
+
+    COUSINS_ASSIGN_OR_RETURN(forest_, MappedForest::Open(forest_path_));
+    ShardPlanOptions plan_options;
+    plan_options.target_shard_bytes = proc_.target_shard_bytes;
+    plan_options.min_shards = proc_.min_shards > 0
+                                  ? proc_.min_shards
+                                  : int64_t{4} * proc_.workers;
+    plan_ = BuildShardPlan(forest_.text(), plan_options);
+    journal_path_ = LeaseJournalPath(proc_.checkpoint_path);
+    done_.assign(plan_.shards.size(), false);
+
+    bool fresh = true;
+    if (proc_.resume) {
+      size_t valid_prefix = 0;
+      Result<std::vector<LeaseRecord>> replayed =
+          ReplayLeaseJournal(journal_path_, &valid_prefix);
+      if (!replayed.ok() &&
+          replayed.status().code() != StatusCode::kNotFound) {
+        return replayed.status();
+      }
+      if (replayed.ok() && !replayed->empty()) {
+        const std::vector<LeaseRecord>& records = *replayed;
+        if (records.front().kind != LeaseRecord::Kind::kPlan) {
+          return Status::Corruption(
+              "lease journal '" + journal_path_ +
+              "' does not start with a PLAN record");
+        }
+        const LeaseRecord& plan_record = records.front();
+        if (plan_record.a != static_cast<int64_t>(plan_.fingerprint) ||
+            plan_record.b != static_cast<int64_t>(plan_.total_bytes) ||
+            plan_record.c != static_cast<int64_t>(plan_.shards.size()) ||
+            plan_record.d != plan_.total_entries) {
+          return Status::FailedPrecondition(
+              "lease journal '" + journal_path_ +
+              "' was written for a different forest or shard plan; "
+              "refusing to resume");
+        }
+        // Truncate torn bytes so new appends never land after garbage.
+        (void)truncate(journal_path_.c_str(),
+                       static_cast<off_t>(valid_prefix));
+        for (const LeaseRecord& record : records) {
+          if (record.kind != LeaseRecord::Kind::kDone) continue;
+          const int64_t shard = record.shard;
+          if (shard < 0 ||
+              shard >= static_cast<int64_t>(plan_.shards.size()) ||
+              done_[shard]) {
+            continue;
+          }
+          if (SnapshotValidates(shard)) {
+            done_[shard] = true;
+            ++done_count_;
+            ++shards_recovered_;
+          }
+        }
+        COUSINS_METRIC_COUNTER_ADD("proc.shards_recovered",
+                                   shards_recovered_);
+        COUSINS_METRIC_COUNTER_ADD("proc.supervisor_resumes", 1);
+        fresh = false;
+      }
+    }
+    COUSINS_ASSIGN_OR_RETURN(journal_,
+                             LeaseJournal::Open(journal_path_, fresh));
+    if (fresh) {
+      COUSINS_RETURN_IF_ERROR(journal_.AppendPlan(
+          plan_.fingerprint, static_cast<int64_t>(plan_.total_bytes),
+          static_cast<int64_t>(plan_.shards.size()), plan_.total_entries));
+    }
+    for (int64_t s = 0; s < static_cast<int64_t>(plan_.shards.size());
+         ++s) {
+      if (!done_[s]) pending_.push_back(s);
+    }
+    // Tail the journal for worker heartbeats, starting at the current
+    // end: beats from a previous crashed run must not look fresh.
+    tail_fd_ = open(journal_path_.c_str(), O_RDONLY);
+    if (tail_fd_ >= 0) lseek(tail_fd_, 0, SEEK_END);
+    return Status::OK();
+  }
+
+  bool SnapshotValidates(int64_t shard) {
+    Result<std::string> bytes =
+        ReadFileToString(ShardSnapshotPath(journal_path_, shard));
+    if (!bytes.ok()) return false;
+    // Validate with scratch targets: the real merge happens exactly
+    // once in Finish(), so a validating restore here must not intern
+    // labels or double-record quarantine entries anywhere real.
+    auto scratch_labels = std::make_shared<LabelTable>();
+    QuarantineLedger scratch_ledger;
+    return MultiTreeMiner::RestoreFromCheckpoint(*bytes, options_,
+                                                 scratch_labels,
+                                                 &scratch_ledger)
+        .ok();
+  }
+
+  Status SpawnInitialWorkers() {
+    const int want = static_cast<int>(
+        std::min<int64_t>(proc_.workers,
+                          static_cast<int64_t>(pending_.size())));
+    workers_.resize(want);
+    reports_.resize(want);
+    Status first_failure = Status::OK();
+    for (int slot = 0; slot < want; ++slot) {
+      workers_[slot].slot = slot;
+      reports_[slot].slot = slot;
+      const Status spawned = SpawnWorker(slot);
+      if (!spawned.ok() && first_failure.ok()) first_failure = spawned;
+    }
+    if (live_workers_ == 0) {
+      return first_failure.ok()
+                 ? Status::Internal("no workers could be spawned")
+                 : first_failure;
+    }
+    return Status::OK();
+  }
+
+  Status SpawnWorker(int slot) {
+    if (fault::Fired("proc.spawn")) {
+      COUSINS_METRIC_COUNTER_ADD("proc.spawn_failures", 1);
+      return Status::Unavailable("injected fault at proc.spawn");
+    }
+    int ctrl[2] = {-1, -1};
+    int status[2] = {-1, -1};
+    if (pipe(ctrl) != 0) {
+      COUSINS_METRIC_COUNTER_ADD("proc.spawn_failures", 1);
+      return Status::Unavailable("cannot create worker control pipe");
+    }
+    if (pipe(status) != 0) {
+      close(ctrl[0]);
+      close(ctrl[1]);
+      COUSINS_METRIC_COUNTER_ADD("proc.spawn_failures", 1);
+      return Status::Unavailable("cannot create worker status pipe");
+    }
+    // Flush before fork so buffered output is never emitted twice.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(ctrl[0]);
+      close(ctrl[1]);
+      close(status[0]);
+      close(status[1]);
+      COUSINS_METRIC_COUNTER_ADD("proc.spawn_failures", 1);
+      return Status::Unavailable("fork failed for worker slot " +
+                                 std::to_string(slot));
+    }
+    if (pid == 0) {
+      // Child: keep only its own pipe ends, the journal append fd and
+      // the inherited forest mapping.
+      close(ctrl[1]);
+      close(status[0]);
+      if (tail_fd_ >= 0) close(tail_fd_);
+      for (const WorkerProc& other : workers_) {
+        if (other.slot == slot || !other.alive) continue;
+        if (other.ctrl_fd >= 0) close(other.ctrl_fd);
+        if (other.status_fd >= 0) close(other.status_fd);
+      }
+      WorkerEnv env;
+      env.text = forest_.text();
+      env.plan = &plan_;
+      env.options = &options_;
+      env.proc = &proc_;
+      env.journal = &journal_;
+      env.journal_path = journal_path_;
+      env.ctrl_fd = ctrl[0];
+      env.status_fd = status[1];
+      WorkerMain(env);  // never returns
+    }
+    close(ctrl[0]);
+    close(status[1]);
+    const int fd_flags = fcntl(status[0], F_GETFL, 0);
+    fcntl(status[0], F_SETFL, fd_flags | O_NONBLOCK);
+    WorkerProc& w = workers_[slot];
+    w.slot = slot;
+    w.pid = pid;
+    w.ctrl_fd = ctrl[1];
+    w.status_fd = status[0];
+    w.inbuf.clear();
+    w.busy_shard = -1;
+    w.alive = true;
+    ++live_workers_;
+    reports_[slot].pid = pid;
+    reports_[slot].exit_code = -1;
+    reports_[slot].term_signal = 0;
+    COUSINS_METRIC_COUNTER_ADD("proc.workers_spawned", 1);
+    return Status::OK();
+  }
+
+  Status AssignWork() {
+    for (WorkerProc& w : workers_) {
+      if (pending_.empty()) break;
+      if (!w.alive || w.busy_shard >= 0) continue;
+      const int64_t shard = pending_.front();
+      int& grant_count = grants_[shard];
+      if (grant_count >= proc_.max_grants_per_shard) {
+        return Status::Internal(
+            "shard " + std::to_string(shard) + " burned " +
+            std::to_string(grant_count) +
+            " leases without completing; declaring it poisonous");
+      }
+      COUSINS_RETURN_IF_ERROR(
+          journal_.AppendGrant(shard, w.slot, w.pid));
+      pending_.pop_front();
+      ++grant_count;
+      table_.Grant(shard, w.slot, Clock::now());
+      w.busy_shard = shard;
+      COUSINS_METRIC_COUNTER_ADD("proc.leases_granted", 1);
+      // A write failure here means the worker already died; the reap
+      // path revokes and requeues its lease.
+      (void)WriteLineRaw(w.ctrl_fd,
+                         "M " + std::to_string(shard) + "\n");
+      // Supervisor-side crash drills, applied to the worker just
+      // granted: SIGKILL exercises death recovery, SIGSTOP a genuine
+      // stall that only lease expiry can detect. Both are parent-side
+      // sites so exactly one victim fires per arming.
+      if (fault::Fired("proc.kill_worker")) kill(w.pid, SIGKILL);
+      if (fault::Fired("proc.stop_worker")) kill(w.pid, SIGSTOP);
+    }
+    return Status::OK();
+  }
+
+  void PollStatus(int timeout_ms) {
+    std::vector<pollfd> fds;
+    std::vector<int> slots;
+    for (const WorkerProc& w : workers_) {
+      if (!w.alive || w.status_fd < 0) continue;
+      fds.push_back(pollfd{w.status_fd, POLLIN, 0});
+      slots.push_back(w.slot);
+    }
+    const int ready =
+        poll(fds.empty() ? nullptr : fds.data(),
+             static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready <= 0) return;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
+      DrainStatusPipe(&workers_[slots[i]]);
+    }
+  }
+
+  void DrainStatusPipe(WorkerProc* w) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = read(w->status_fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or a real error; lines so far still process
+      }
+      if (n == 0) break;  // EOF: writer gone; reap handles the rest
+      w->inbuf.append(buf, static_cast<size_t>(n));
+    }
+    size_t pos = 0;
+    for (;;) {
+      const size_t nl = w->inbuf.find('\n', pos);
+      if (nl == std::string::npos) break;
+      HandleStatusLine(w, std::string_view(w->inbuf).substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    w->inbuf.erase(0, pos);
+  }
+
+  void HandleStatusLine(WorkerProc* w, std::string_view line) {
+    if (line.size() < 3 || line[1] != ' ') return;
+    const char kind = line[0];
+    const std::vector<std::string_view> fields = Split(line, ' ');
+    if (kind == 'D' && fields.size() == 3) {
+      const int64_t shard = std::strtoll(std::string(fields[1]).c_str(),
+                                         nullptr, 10);
+      if (shard < 0 || shard >= static_cast<int64_t>(done_.size())) return;
+      if (w->busy_shard == shard) w->busy_shard = -1;
+      table_.Release(shard);
+      if (!done_[shard]) {
+        done_[shard] = true;
+        ++done_count_;
+        reports_[w->slot].shards_mined.push_back(shard);
+        COUSINS_METRIC_COUNTER_ADD("proc.shards_mined", 1);
+      }
+      // Supervisor-death drill: die (as if kill -9) right after a
+      // shard committed, leaving a journal a --resume must honor.
+      if (fault::Fired("proc.supervisor.die")) _exit(137);
+      return;
+    }
+    if (kind == 'E' && fields.size() >= 3) {
+      const int64_t shard = std::strtoll(std::string(fields[1]).c_str(),
+                                         nullptr, 10);
+      const int code = static_cast<int>(
+          std::strtol(std::string(fields[2]).c_str(), nullptr, 10));
+      std::string message;
+      for (size_t i = 3; i < fields.size(); ++i) {
+        if (i > 3) message += ' ';
+        message += std::string(fields[i]);
+      }
+      if (w->busy_shard == shard) w->busy_shard = -1;
+      table_.Release(shard);
+      Fail(Status(static_cast<StatusCode>(code),
+                  "worker " + std::to_string(w->slot) + " failed shard " +
+                      std::to_string(shard) + ": " + message));
+    }
+  }
+
+  void DrainJournalTail() {
+    if (tail_fd_ < 0) return;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = read(tail_fd_, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;
+      tail_buf_.append(buf, static_cast<size_t>(n));
+    }
+    size_t pos = 0;
+    for (;;) {
+      const size_t nl = tail_buf_.find('\n', pos);
+      if (nl == std::string::npos) break;
+      LeaseRecord record;
+      if (ParseLeaseRecordLine(
+              std::string_view(tail_buf_).substr(pos, nl - pos), &record) &&
+          record.kind == LeaseRecord::Kind::kBeat) {
+        table_.Beat(record.shard, Clock::now());
+      }
+      pos = nl + 1;
+    }
+    tail_buf_.erase(0, pos);
+  }
+
+  void ExpireLeases() {
+    for (const int64_t shard :
+         table_.Expired(Clock::now(), proc_.lease_timeout)) {
+      const int slot = table_.holder(shard);
+      if (slot < 0 || slot >= static_cast<int>(workers_.size())) continue;
+      WorkerProc& w = workers_[slot];
+      COUSINS_METRIC_COUNTER_ADD("proc.leases_expired", 1);
+      // SIGKILL works on stopped processes too; the reap path then
+      // revokes the lease and requeues the shard.
+      if (w.alive && w.pid > 0) kill(w.pid, SIGKILL);
+    }
+  }
+
+  void CloseWorkerFds(WorkerProc* w) {
+    if (w->ctrl_fd >= 0) {
+      close(w->ctrl_fd);
+      w->ctrl_fd = -1;
+    }
+    if (w->status_fd >= 0) {
+      close(w->status_fd);
+      w->status_fd = -1;
+    }
+  }
+
+  void ReapOne(pid_t pid, int wstatus, const struct rusage& ru) {
+    rss_peak_kb_ = std::max<int64_t>(rss_peak_kb_, ru.ru_maxrss);
+    WorkerProc* w = nullptr;
+    for (WorkerProc& candidate : workers_) {
+      if (candidate.alive && candidate.pid == pid) {
+        w = &candidate;
+        break;
+      }
+    }
+    if (w == nullptr) return;
+    // Results written just before death are still in the pipe.
+    DrainStatusPipe(w);
+    CloseWorkerFds(w);
+    w->alive = false;
+    --live_workers_;
+    WorkerReport& report = reports_[w->slot];
+    if (WIFEXITED(wstatus)) {
+      report.exit_code = WEXITSTATUS(wstatus);
+      report.term_signal = 0;
+    } else if (WIFSIGNALED(wstatus)) {
+      report.exit_code = -1;
+      report.term_signal = WTERMSIG(wstatus);
+    }
+    const int64_t lost_shard = w->busy_shard;
+    w->busy_shard = -1;
+    if (lost_shard >= 0 && !done_[lost_shard]) {
+      (void)journal_.AppendRevoke(lost_shard);
+      table_.Release(lost_shard);
+      pending_.push_front(lost_shard);
+      ++leases_reissued_;
+      COUSINS_METRIC_COUNTER_ADD("proc.leases_reissued", 1);
+    }
+    const bool clean_exit =
+        WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0 && shutting_down_;
+    if (clean_exit) return;
+    ++workers_died_;
+    COUSINS_METRIC_COUNTER_ADD("proc.workers_died", 1);
+    if (shutting_down_ || failed_) return;
+    if (pending_.empty() && done_count_ ==
+                                static_cast<int64_t>(done_.size())) {
+      return;  // nothing left to mine
+    }
+    if (respawns_used_ < proc_.max_respawns) {
+      ++respawns_used_;
+      ++report.restarts;
+      const Status spawned = SpawnWorker(w->slot);
+      // A failed respawn is survivable while siblings live; the
+      // post-reap check fails the run once nobody is left.
+      (void)spawned;
+    }
+  }
+
+  void ReapExited() {
+    for (;;) {
+      struct rusage ru;
+      int wstatus = 0;
+      const pid_t pid = wait4(-1, &wstatus, WNOHANG, &ru);
+      if (pid < 0 && errno == EINTR) continue;
+      if (pid <= 0) break;
+      ReapOne(pid, wstatus, ru);
+    }
+  }
+
+  void Shutdown() {
+    shutting_down_ = true;
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      if (failed_) {
+        // Failure path: don't wait for in-flight shards.
+        kill(w.pid, SIGKILL);
+      } else {
+        (void)WriteLineRaw(w.ctrl_fd, "Q\n");
+      }
+      if (w.ctrl_fd >= 0) {
+        close(w.ctrl_fd);
+        w.ctrl_fd = -1;
+      }
+    }
+    while (live_workers_ > 0) {
+      struct rusage ru;
+      int wstatus = 0;
+      const pid_t pid = wait4(-1, &wstatus, 0, &ru);
+      if (pid < 0) {
+        if (errno == EINTR) continue;
+        break;  // ECHILD: nothing left to reap
+      }
+      ReapOne(pid, wstatus, ru);
+    }
+  }
+
+  void RecordRssPeak() {
+    struct rusage self;
+    if (getrusage(RUSAGE_SELF, &self) == 0) {
+      rss_peak_kb_ = std::max<int64_t>(rss_peak_kb_, self.ru_maxrss);
+    }
+    COUSINS_METRIC_COUNTER_ADD("proc.rss_peak_kb", rss_peak_kb_);
+  }
+
+  Result<MultiProcessRun> Finish() {
+    // Merge in shard-id order: each snapshot re-interns its labels (in
+    // per-shard first-occurrence order) into the one shared table, so
+    // the merged table reproduces the sequential whole-file intern
+    // order and with it every downstream byte.
+    auto shared_labels = std::make_shared<LabelTable>();
+    MultiTreeMiner merged(options_);
+    merged.BindLabels(shared_labels);
+    for (const ForestShard& shard : plan_.shards) {
+      const std::string snapshot =
+          ShardSnapshotPath(journal_path_, shard.id);
+      COUSINS_ASSIGN_OR_RETURN(
+          std::string bytes,
+          RetryTransientValue(proc_.retry, "proc.snapshot.read",
+                              [&] { return ReadFileToString(snapshot); }));
+      COUSINS_ASSIGN_OR_RETURN(MultiTreeMiner shard_miner,
+                               MultiTreeMiner::RestoreFromCheckpoint(
+                                   bytes, options_, shared_labels, ledger_));
+      merged.MergeFrom(shard_miner);
+    }
+    const std::string final_bytes = merged.SerializeCheckpoint(ledger_);
+    COUSINS_RETURN_IF_ERROR(RetryTransient(
+        proc_.retry, "checkpoint.write", [&] {
+          return WriteFileAtomic(proc_.checkpoint_path, final_bytes);
+        }));
+
+    MultiProcessRun out;
+    out.labels = shared_labels;
+    merged.ExtractResults(&out.mining);
+    out.mining.trees_processed = merged.tree_count();
+    out.mining.truncated = false;
+    out.mining.termination = Status::OK();
+    out.workers = reports_;
+    out.shards_total = static_cast<int64_t>(plan_.shards.size());
+    out.shards_recovered = shards_recovered_;
+    out.workers_died = workers_died_;
+    out.leases_reissued = leases_reissued_;
+    out.rss_peak_kb = rss_peak_kb_;
+    return out;
+  }
+
+  const std::string forest_path_;
+  const MultiTreeMiningOptions options_;
+  const MultiProcessOptions proc_;
+  QuarantineLedger* const ledger_;
+
+  MappedForest forest_;
+  ShardPlan plan_;
+  std::string journal_path_;
+  LeaseJournal journal_;
+  int tail_fd_ = -1;
+  std::string tail_buf_;
+  LeaseTable table_;
+  std::deque<int64_t> pending_;
+  std::vector<bool> done_;
+  int64_t done_count_ = 0;
+  std::map<int64_t, int> grants_;
+  std::vector<WorkerProc> workers_;
+  std::vector<WorkerReport> reports_;
+  int live_workers_ = 0;
+  int respawns_used_ = 0;
+  bool shutting_down_ = false;
+  bool failed_ = false;
+  Status failure_ = Status::OK();
+  int64_t shards_recovered_ = 0;
+  int64_t workers_died_ = 0;
+  int64_t leases_reissued_ = 0;
+  int64_t rss_peak_kb_ = 0;
+};
+
+}  // namespace
+
+Result<MultiProcessRun> MineForestMultiProcess(
+    const std::string& forest_path, const MultiTreeMiningOptions& options,
+    const MultiProcessOptions& proc, QuarantineLedger* ledger) {
+  COUSINS_METRIC_SCOPED_TIMER("proc.mine");
+  // Writing a command to a worker that just died must come back as
+  // EPIPE, not kill the supervisor. Restore the caller's disposition
+  // on every exit path.
+  struct sigaction ignore_pipe;
+  struct sigaction saved_pipe;
+  sigemptyset(&ignore_pipe.sa_mask);
+  ignore_pipe.sa_flags = 0;
+  ignore_pipe.sa_handler = SIG_IGN;
+  const bool pipe_saved =
+      sigaction(SIGPIPE, &ignore_pipe, &saved_pipe) == 0;
+  Supervisor supervisor(forest_path, options, proc, ledger);
+  Result<MultiProcessRun> run = supervisor.Run();
+  if (pipe_saved) sigaction(SIGPIPE, &saved_pipe, nullptr);
+  return run;
+}
+
+}  // namespace cousins::proc

@@ -1,0 +1,138 @@
+// Crash-isolated multi-process forest mining.
+//
+// MineForestMultiProcess forks N worker processes and hands out
+// file-shard leases (proc/shard_plan.h) through a crash-safe lease
+// journal (proc/lease_ledger.h) kept next to the checkpoint. Each
+// worker mines its shard out-of-core — the mmap'd forest is inherited
+// across fork, parsed through the windowed lenient parser in a bounded
+// parse→mine→release loop — snapshots its shard tally as a
+// checkpoint-v3 file, appends DONE, and heartbeats through the journal.
+// The supervisor reaps exits (normal, nonzero, signaled), expires stale
+// leases, and re-issues a dead or stalled worker's shard to a survivor;
+// shards are all-or-nothing, so a kill -9 at any instant loses at most
+// uncommitted shard work that simply gets re-mined.
+//
+// Determinism contract: each worker parses its shard into a FRESH label
+// table and its snapshot serializes that table in first-occurrence
+// order; the supervisor merges snapshots in shard-id order, re-interning
+// into one shared table — which reproduces the sequential whole-file
+// intern order exactly, so label IDs, tally sort order, the CSV, the
+// quarantine ledger and the final merged checkpoint are byte-identical
+// to the sequential governed run, no matter which workers died when.
+//
+// Supervisor crash: every trust-changing journal record (PLAN, GRANT,
+// DONE, REVOKE) is fsync'd, so `resume = true` replays the journal,
+// refuses a changed input (plan fingerprint mismatch), readopts DONE
+// shards whose snapshots still validate, and re-mines the rest —
+// completing with the same byte-identical outputs.
+
+#ifndef COUSINS_PROC_SUPERVISOR_H_
+#define COUSINS_PROC_SUPERVISOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+#include "core/quarantine.h"
+#include "proc/shard_plan.h"
+#include "tree/parse_limits.h"
+#include "util/result.h"
+#include "util/retry.h"
+
+namespace cousins::proc {
+
+/// Path of the lease journal kept next to `checkpoint_path`.
+std::string LeaseJournalPath(const std::string& checkpoint_path);
+
+/// Path of shard `shard`'s snapshot file next to the journal.
+std::string ShardSnapshotPath(const std::string& journal_path,
+                              int64_t shard);
+
+struct MultiProcessOptions {
+  /// Worker processes to fork. Must be >= 1.
+  int workers = 2;
+  /// A lease whose last heartbeat is STRICTLY older than this is
+  /// expired: its holder is SIGKILLed and the shard re-issued.
+  std::chrono::milliseconds lease_timeout{10'000};
+  /// Shard plan knobs (proc/shard_plan.h). min_shards <= 0 defaults to
+  /// 4 * workers so every worker gets several leases and a reissued
+  /// shard is a small loss.
+  int64_t target_shard_bytes = 0;
+  int64_t min_shards = 0;
+  /// Resume a previous run from its lease journal: DONE shards with
+  /// validating snapshots are readopted, the rest re-mined. A missing
+  /// journal is a fresh start; a plan-fingerprint mismatch (changed
+  /// input or shard options) is kFailedPrecondition.
+  bool resume = false;
+  /// Final-checkpoint destination; required (the journal and shard
+  /// snapshots live next to it). The merged checkpoint written here on
+  /// completion is byte-identical to the sequential run's final one.
+  std::string checkpoint_path;
+  /// Degraded-mode policy, mirroring DegradedModeConfig: lenient
+  /// quarantines parse and per-tree mining failures instead of failing
+  /// the run; `source_name` is recorded in ledger entries; `retry`
+  /// governs the transient I/O (snapshot reads/writes, the final
+  /// checkpoint write).
+  bool lenient = false;
+  std::string source_name;
+  RetryPolicy retry = RetryPolicy::None();
+  ParseLimits parse_limits;
+  /// Crash-loop bounds. A run may respawn at most `max_respawns`
+  /// replacement workers in total; one shard may be granted at most
+  /// `max_grants_per_shard` times before it is declared poisonous
+  /// (kInternal naming the shard) — both turn a pathological kill loop
+  /// into a clean error instead of an unbounded fork storm.
+  int max_respawns = 8;
+  int max_grants_per_shard = 4;
+};
+
+/// Per-worker-slot accounting for the health report. A slot keeps its
+/// report across respawns: `pid` is the last incarnation, `restarts`
+/// how many replacements the slot needed.
+struct WorkerReport {
+  int slot = 0;
+  int64_t pid = 0;
+  std::vector<int64_t> shards_mined;
+  /// Final exit status of the last incarnation: `exit_code` >= 0 for a
+  /// normal exit, else `term_signal` > 0 for a signaled death.
+  int exit_code = -1;
+  int term_signal = 0;
+  int restarts = 0;
+};
+
+struct MultiProcessRun {
+  /// The mined result, bit-identical to the sequential governed run.
+  MultiTreeMiningRun mining;
+  /// The merged label table the result's LabelIds refer to — identical
+  /// contents and order to the sequential run's table.
+  std::shared_ptr<LabelTable> labels;
+  std::vector<WorkerReport> workers;
+  int64_t shards_total = 0;
+  /// DONE shards readopted from the journal by a resume.
+  int64_t shards_recovered = 0;
+  int64_t workers_died = 0;
+  int64_t leases_reissued = 0;
+  /// Max resident set over supervisor and reaped workers, in KiB.
+  int64_t rss_peak_kb = 0;
+};
+
+/// Mines the forest file at `forest_path` with `proc.workers` forked
+/// worker processes. `ledger` collects quarantine entries (required
+/// non-null when `proc.lenient`); entries come out identical to the
+/// sequential lenient run's. Counters: proc.workers_died,
+/// proc.leases_reissued, proc.leases_expired, proc.shards_mined,
+/// proc.shards_recovered, proc.rss_peak_kb. Fault sites: proc.mmap,
+/// proc.journal.append, proc.spawn, proc.kill_worker (SIGKILL a
+/// just-granted worker), proc.stop_worker (SIGSTOP it — a genuine
+/// stall, recovered via lease expiry), proc.worker.crash (worker-side
+/// _exit before mining), proc.supervisor.die (supervisor _exit(137)
+/// after a DONE — drillable end-to-end with --resume).
+Result<MultiProcessRun> MineForestMultiProcess(
+    const std::string& forest_path, const MultiTreeMiningOptions& options,
+    const MultiProcessOptions& proc, QuarantineLedger* ledger);
+
+}  // namespace cousins::proc
+
+#endif  // COUSINS_PROC_SUPERVISOR_H_

@@ -40,6 +40,11 @@ struct SourceContext {
   /// offset of the described position here — how lenient callers learn
   /// machine-readable error positions without parsing message text.
   size_t* error_offset = nullptr;
+  /// Lines preceding `source` when it is a window of a larger input
+  /// (ParseNewickForestWindow): added to the line DescribePosition
+  /// renders, so messages name whole-file lines. Columns need no bias
+  /// because windows start at column 1.
+  size_t line_bias = 0;
 };
 
 /// "line L, column C" (1-based) of parser offset `local_pos` in the
@@ -57,8 +62,8 @@ std::string DescribePosition(const SourceContext& ctx, size_t local_pos) {
   offset = std::min(offset, ctx.source.size());
   if (ctx.error_offset != nullptr) *ctx.error_offset = offset;
   const TextPosition pos = LineColumnAt(ctx.source, offset);
-  return "line " + std::to_string(pos.line) + ", column " +
-         std::to_string(pos.column);
+  return "line " + std::to_string(pos.line + ctx.line_bias) +
+         ", column " + std::to_string(pos.column);
 }
 
 /// Newick parser over a string_view cursor. Nesting is handled with an
@@ -472,6 +477,50 @@ Result<LenientForest> ParseNewickForestLenient(
         return Status::OK();
       }));
   return out;
+}
+
+Status ParseNewickForestWindow(
+    std::string_view text, const ForestWindowOrigin& origin,
+    std::shared_ptr<LabelTable> labels, const ParseLimits& limits,
+    const std::function<Status(Tree, int64_t)>& on_tree,
+    std::vector<ForestEntryError>* errors) {
+  // No BOM strip here: windows are slices of an already-BOM-stripped
+  // input, and a mid-file window that happens to start with the BOM
+  // byte sequence holds those bytes as (malformed) content, exactly as
+  // the whole-file parse would see them.
+  if (text.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "Newick input of " + std::to_string(text.size()) +
+        " bytes exceeds the " + std::to_string(limits.max_input_bytes) +
+        "-byte limit");
+  }
+  if (labels == nullptr) labels = std::make_shared<LabelTable>();
+  std::string cleaned;
+  std::vector<size_t> to_source;
+  StripCommentLines(text, &cleaned, &to_source);
+  int64_t entry_index = origin.entry_index;
+  return ForEachForestEntry(
+      cleaned, [&](std::string_view trimmed, size_t base) -> Status {
+        size_t error_offset =
+            base < to_source.size() ? to_source[base] : text.size();
+        SourceContext ctx{text, &to_source, base, &error_offset,
+                          origin.line - 1};
+        Result<Tree> t = ParseNewickImpl(trimmed, labels, ctx, limits);
+        const int64_t index = entry_index++;
+        if (t.ok()) return on_tree(std::move(t).value(), index);
+        if (errors != nullptr) {
+          ForestEntryError error;
+          error.tree_index = index;
+          error.byte_offset = error_offset + origin.byte_offset;
+          const TextPosition pos = LineColumnAt(text, error_offset);
+          error.line = pos.line + (origin.line - 1);
+          error.column = pos.column;
+          error.status = t.status();
+          error.snippet = TruncateForDisplay(trimmed, 64);
+          errors->push_back(std::move(error));
+        }
+        return Status::OK();
+      });
 }
 
 namespace {

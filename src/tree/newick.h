@@ -10,6 +10,7 @@
 #define COUSINS_TREE_NEWICK_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -87,6 +88,37 @@ struct LenientForest {
 Result<LenientForest> ParseNewickForestLenient(
     std::string_view text, std::shared_ptr<LabelTable> labels = nullptr,
     const ParseLimits& limits = ParseLimits());
+
+/// Where a forest window starts inside the whole (BOM-stripped) input:
+/// its byte offset, its 1-based line number, and how many non-empty
+/// forest entries precede it. The multi-process shard reader slices a
+/// large forest file into such windows; this origin lets the windowed
+/// parse report positions and indices in whole-file terms.
+struct ForestWindowOrigin {
+  size_t byte_offset = 0;
+  size_t line = 1;
+  int64_t entry_index = 0;
+};
+
+/// Streaming lenient parse of one window of a larger forest: `on_tree`
+/// receives each entry that parses (the tree is moved in and not
+/// retained — the parse→mine→release shape of out-of-core mining) with
+/// its whole-file entry index; each failed entry is appended to
+/// `errors` with exactly the fields ParseNewickForestLenient over the
+/// whole input would record (same index, byte offset, line/column,
+/// message text, snippet). A non-OK `on_tree` result aborts the scan
+/// and is returned.
+///
+/// The window must begin at the start of a line (column 1), outside any
+/// quoted label and outside a '#'-comment line — proc/shard_plan.h cut
+/// points guarantee this. Unlike the whole-input entry points, no UTF-8
+/// BOM is stripped (the caller strips it once when slicing windows) and
+/// `limits.max_input_bytes` caps this window, not the whole file.
+Status ParseNewickForestWindow(
+    std::string_view text, const ForestWindowOrigin& origin,
+    std::shared_ptr<LabelTable> labels, const ParseLimits& limits,
+    const std::function<Status(Tree, int64_t)>& on_tree,
+    std::vector<ForestEntryError>* errors);
 
 /// Options for Newick serialization.
 struct NewickWriteOptions {

@@ -11,6 +11,7 @@ namespace cousins {
 namespace {
 
 std::atomic<retry::RetryObserver> g_retry_observer{nullptr};
+std::atomic<retry::SleepFn> g_sleep_fn{nullptr};
 
 }  // namespace
 
@@ -18,6 +19,10 @@ namespace retry {
 
 void SetRetryObserver(RetryObserver observer) {
   g_retry_observer.store(observer, std::memory_order_release);
+}
+
+void SetSleepFn(SleepFn sleep_fn) {
+  g_sleep_fn.store(sleep_fn, std::memory_order_release);
 }
 
 }  // namespace retry
@@ -47,7 +52,13 @@ Status RetryTransient(const RetryPolicy& policy, const char* op,
       scale += policy.jitter_fraction * (2.0 * jitter.NextDouble() - 1.0);
     }
     const auto sleep_for = delay * scale;
-    if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+    if (sleep_for.count() > 0) {
+      if (auto* sleep_fn = g_sleep_fn.load(std::memory_order_acquire)) {
+        sleep_fn(sleep_for);
+      } else {
+        std::this_thread::sleep_for(sleep_for);
+      }
+    }
     delay *= policy.backoff_multiplier;
     if (delay > std::chrono::duration<double, std::milli>(
                     policy.max_delay)) {

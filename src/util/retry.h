@@ -71,6 +71,12 @@ using RetryObserver = void (*)(const char* op, uint64_t attempt,
                                bool will_retry);
 void SetRetryObserver(RetryObserver observer);
 
+/// Replaces the real inter-attempt sleep (null restores it). Tests
+/// install a recorder so the exact backoff+jitter schedule can be
+/// asserted without any wall-clock sleeping — tier-1 runs no sleeps.
+using SleepFn = void (*)(std::chrono::duration<double, std::milli> delay);
+void SetSleepFn(SleepFn sleep_fn);
+
 }  // namespace retry
 
 /// Runs `fn` up to `policy.max_attempts` times, sleeping with

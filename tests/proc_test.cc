@@ -1,0 +1,792 @@
+// Multi-process mining subsystem (src/proc/): shard plans whose
+// windowed parse is observationally identical to the sequential
+// lenient parse, the CRC-framed crash-safe lease journal, lease-expiry
+// boundary timing on a fake clock, and the fork/supervise/merge
+// pipeline — clean runs, injected worker kills/stalls/crashes, resume
+// from a completed journal, and a mini fault sweep over every
+// parent-visible proc.* site.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/multi_tree_mining.h"
+#include "core/quarantine.h"
+#include "proc/lease_ledger.h"
+#include "proc/shard_plan.h"
+#include "proc/supervisor.h"
+#include "tree/newick.h"
+#include "tree/parse_limits.h"
+#include "util/fault_injection.h"
+#include "util/governance.h"
+
+namespace cousins::proc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "cousins_proc_" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good());
+}
+
+void AppendRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+// ---------------------------------------------------------------------
+// Shard plan: windowed parse over the plan == sequential lenient parse.
+// ---------------------------------------------------------------------
+
+/// Adversarial forest: quoted ';' and '#' that must not be treated as
+/// entry/comment markers, comment lines, CRLF and LF line endings,
+/// blank lines, an entry spanning multiple lines, malformed entries,
+/// and a final entry without a trailing newline.
+std::string AdversarialForest() {
+  return
+      "# leading comment with ; and ( and '\r\n"
+      "('a;x',b)r;\r\n"
+      "\r\n"
+      "('q#y',c);\n"
+      "(a,\n"
+      "   (b,c));\n"
+      "# comment between entries; (((\n"
+      "((broken;\n"
+      "   \n"
+      "(d,'e;;#f');\r\n"
+      ")(also broken;\n"
+      "(g,h);";
+}
+
+struct WindowedParse {
+  std::vector<std::string> trees;  // ToNewick renderings
+  std::vector<int64_t> indices;
+  std::vector<ForestEntryError> errors;
+  std::shared_ptr<LabelTable> labels;
+};
+
+/// Parses every shard of `plan` in shard order through the windowed
+/// parser, sharing one label table across shards (the sequential
+/// intern order the supervisor's merge reproduces).
+WindowedParse ParseViaWindows(const std::string& text,
+                              const ShardPlan& plan) {
+  WindowedParse out;
+  out.labels = std::make_shared<LabelTable>();
+  for (const ForestShard& shard : plan.shards) {
+    std::vector<ForestEntryError> errors;
+    const Status st = ParseNewickForestWindow(
+        std::string_view(text).substr(shard.byte_begin,
+                                      shard.byte_end - shard.byte_begin),
+        shard.origin(), out.labels, ParseLimits(),
+        [&](Tree tree, int64_t index) -> Status {
+          out.trees.push_back(ToNewick(tree));
+          out.indices.push_back(index);
+          return Status::OK();
+        },
+        &errors);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    for (ForestEntryError& error : errors) {
+      out.errors.push_back(std::move(error));
+    }
+    // Per-shard entry accounting: trees + errors so far == the plan's
+    // running entry tally.
+    EXPECT_EQ(static_cast<int64_t>(out.trees.size()) +
+                  static_cast<int64_t>(out.errors.size()),
+              shard.entry_begin + shard.entry_count)
+        << "shard " << shard.id << " entry accounting";
+  }
+  return out;
+}
+
+void ExpectPlanEquivalence(const std::string& text, int64_t target_bytes,
+                           int64_t min_shards) {
+  auto seq_labels = std::make_shared<LabelTable>();
+  Result<LenientForest> seq = ParseNewickForestLenient(text, seq_labels);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+  ShardPlanOptions options;
+  options.target_shard_bytes = target_bytes;
+  options.min_shards = min_shards;
+  const ShardPlan plan = BuildShardPlan(text, options);
+
+  // Coverage invariants: contiguous, gap-free, whole-file.
+  ASSERT_FALSE(plan.shards.empty());
+  EXPECT_EQ(plan.shards.front().byte_begin, 0u);
+  EXPECT_EQ(plan.shards.back().byte_end, text.size());
+  for (size_t i = 1; i < plan.shards.size(); ++i) {
+    EXPECT_EQ(plan.shards[i].byte_begin, plan.shards[i - 1].byte_end);
+    EXPECT_LT(plan.shards[i].byte_begin, plan.shards[i].byte_end);
+  }
+
+  const WindowedParse win = ParseViaWindows(text, plan);
+
+  ASSERT_EQ(win.trees.size(), seq->trees.size());
+  for (size_t i = 0; i < win.trees.size(); ++i) {
+    EXPECT_EQ(win.trees[i], ToNewick(seq->trees[i])) << "tree " << i;
+  }
+  EXPECT_EQ(win.indices, seq->source_indices);
+
+  ASSERT_EQ(win.errors.size(), seq->errors.size());
+  for (size_t i = 0; i < win.errors.size(); ++i) {
+    const ForestEntryError& w = win.errors[i];
+    const ForestEntryError& s = seq->errors[i];
+    EXPECT_EQ(w.tree_index, s.tree_index) << "error " << i;
+    EXPECT_EQ(w.byte_offset, s.byte_offset) << "error " << i;
+    EXPECT_EQ(w.line, s.line) << "error " << i;
+    EXPECT_EQ(w.column, s.column) << "error " << i;
+    EXPECT_EQ(w.status.code(), s.status.code()) << "error " << i;
+    EXPECT_EQ(w.status.message(), s.status.message()) << "error " << i;
+    EXPECT_EQ(w.snippet, s.snippet) << "error " << i;
+  }
+
+  // Same labels interned in the same order.
+  ASSERT_EQ(win.labels->size(), seq_labels->size());
+  for (size_t id = 0; id < win.labels->size(); ++id) {
+    EXPECT_EQ(win.labels->Name(static_cast<LabelId>(id)),
+              seq_labels->Name(static_cast<LabelId>(id)));
+  }
+}
+
+TEST(ShardPlanTest, FinestGrainedPlanReproducesSequentialParse) {
+  // target_shard_bytes=1 cuts at every eligible point — the maximally
+  // adversarial plan.
+  ExpectPlanEquivalence(AdversarialForest(), /*target_bytes=*/1,
+                        /*min_shards=*/1);
+}
+
+TEST(ShardPlanTest, CoarsePlansReproduceSequentialParse) {
+  ExpectPlanEquivalence(AdversarialForest(), /*target_bytes=*/40,
+                        /*min_shards=*/1);
+  ExpectPlanEquivalence(AdversarialForest(), /*target_bytes=*/0,
+                        /*min_shards=*/4);
+}
+
+TEST(ShardPlanTest, SingleShardPlanIsTheWholeFile) {
+  const std::string text = "(a,b);\n(c,d);\n";
+  ShardPlanOptions options;  // default 4 MiB target
+  const ShardPlan plan = BuildShardPlan(text, options);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0].byte_begin, 0u);
+  EXPECT_EQ(plan.shards[0].byte_end, text.size());
+  EXPECT_EQ(plan.shards[0].entry_count, 2);
+  EXPECT_EQ(plan.total_entries, 2);
+}
+
+TEST(ShardPlanTest, FingerprintCoversGeometry) {
+  const std::string text = AdversarialForest();
+  ShardPlanOptions a;
+  a.target_shard_bytes = 1;
+  ShardPlanOptions b;
+  b.target_shard_bytes = 40;
+  const ShardPlan plan_a = BuildShardPlan(text, a);
+  const ShardPlan plan_b = BuildShardPlan(text, b);
+  EXPECT_EQ(plan_a.fingerprint, BuildShardPlan(text, a).fingerprint);
+  EXPECT_NE(plan_a.fingerprint, plan_b.fingerprint);
+}
+
+// ---------------------------------------------------------------------
+// Lease journal: round-trip, torn tails, corruption, valid_prefix.
+// ---------------------------------------------------------------------
+
+TEST(LeaseJournalTest, RoundTripsEveryRecordKind) {
+  const std::string path = TempPath("journal_roundtrip");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, true);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendPlan(0xDEADBEEF, 1024, 4, 17).ok());
+    ASSERT_TRUE(journal->AppendGrant(2, 1, 4242).ok());
+    ASSERT_TRUE(journal->AppendBeat(2, 64).ok());
+    ASSERT_TRUE(journal->AppendDone(2, 130).ok());
+    ASSERT_TRUE(journal->AppendRevoke(3).ok());
+  }
+  size_t valid_prefix = 0;
+  Result<std::vector<LeaseRecord>> records =
+      ReplayLeaseJournal(path, &valid_prefix);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 5u);
+  EXPECT_EQ((*records)[0].kind, LeaseRecord::Kind::kPlan);
+  EXPECT_EQ((*records)[0].a, 0xDEADBEEF);
+  EXPECT_EQ((*records)[0].b, 1024);
+  EXPECT_EQ((*records)[0].c, 4);
+  EXPECT_EQ((*records)[0].d, 17);
+  EXPECT_EQ((*records)[1].kind, LeaseRecord::Kind::kGrant);
+  EXPECT_EQ((*records)[1].shard, 2);
+  EXPECT_EQ((*records)[1].a, 1);
+  EXPECT_EQ((*records)[1].b, 4242);
+  EXPECT_EQ((*records)[2].kind, LeaseRecord::Kind::kBeat);
+  EXPECT_EQ((*records)[3].kind, LeaseRecord::Kind::kDone);
+  EXPECT_EQ((*records)[3].a, 130);
+  EXPECT_EQ((*records)[4].kind, LeaseRecord::Kind::kRevoke);
+  EXPECT_EQ((*records)[4].shard, 3);
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(valid_prefix, bytes->size());
+}
+
+TEST(LeaseJournalTest, UnterminatedTailIsDroppedWithShorterValidPrefix) {
+  const std::string path = TempPath("journal_torn");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, true);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendPlan(1, 2, 3, 4).ok());
+    ASSERT_TRUE(journal->AppendDone(0, 9).ok());
+  }
+  Result<std::string> before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+  // A crash mid-append leaves an unterminated fragment.
+  AppendRaw(path, "DONE 1 9 #deadbe");
+  size_t valid_prefix = 0;
+  Result<std::vector<LeaseRecord>> records =
+      ReplayLeaseJournal(path, &valid_prefix);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), 2u);
+  EXPECT_EQ(valid_prefix, before->size());
+}
+
+TEST(LeaseJournalTest, CorruptTerminatedFinalLineIsATornTail) {
+  const std::string path = TempPath("journal_badfinal");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, true);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendPlan(1, 2, 3, 4).ok());
+  }
+  Result<std::string> before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+  AppendRaw(path, "DONE 1 9 #00000000\n");  // wrong CRC, terminated
+  size_t valid_prefix = 0;
+  Result<std::vector<LeaseRecord>> records =
+      ReplayLeaseJournal(path, &valid_prefix);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(valid_prefix, before->size());
+}
+
+TEST(LeaseJournalTest, MidFileCorruptionIsAHardError) {
+  const std::string path = TempPath("journal_midfile");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, true);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendPlan(1, 2, 3, 4).ok());
+  }
+  AppendRaw(path, "GRANT zap #ffffffff\n");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, false);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendDone(0, 5).ok());
+  }
+  Result<std::vector<LeaseRecord>> records = ReplayLeaseJournal(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LeaseJournalTest, MissingJournalIsNotFound) {
+  Result<std::vector<LeaseRecord>> records =
+      ReplayLeaseJournal(TempPath("journal_missing_nonexistent"));
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LeaseRecordLineTest, RejectsTamperedFrames) {
+  LeaseRecord record;
+  EXPECT_FALSE(ParseLeaseRecordLine("", &record));
+  EXPECT_FALSE(ParseLeaseRecordLine("DONE 1 2", &record));  // no CRC
+  EXPECT_FALSE(ParseLeaseRecordLine("DONE 1 2 #zzzzzzzz", &record));
+  EXPECT_FALSE(ParseLeaseRecordLine("DONE 1 #00000000", &record));
+  EXPECT_FALSE(ParseLeaseRecordLine("NOPE 1 2 #00000000", &record));
+  // A genuine frame survives…
+  const std::string path = TempPath("journal_oneline");
+  {
+    Result<LeaseJournal> journal = LeaseJournal::Open(path, true);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->AppendDone(7, 8).ok());
+  }
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string line = *bytes;
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // strip '\n'
+  EXPECT_TRUE(ParseLeaseRecordLine(line, &record));
+  EXPECT_EQ(record.kind, LeaseRecord::Kind::kDone);
+  EXPECT_EQ(record.shard, 7);
+  // …and flipping one payload byte kills it.
+  std::string flipped = line;
+  flipped[5] ^= 1;
+  EXPECT_FALSE(ParseLeaseRecordLine(flipped, &record));
+}
+
+// ---------------------------------------------------------------------
+// Lease expiry boundaries on a fake clock — no sleeping.
+// ---------------------------------------------------------------------
+
+TEST(LeaseTableTest, ExpiryIsStrictlyGreaterThanTimeout) {
+  using std::chrono::milliseconds;
+  const LeaseTable::TimePoint t0 =
+      LeaseTable::TimePoint{} + milliseconds(1'000'000);
+  LeaseTable table;
+  table.Grant(7, /*slot=*/1, t0);
+  ASSERT_TRUE(table.held(7));
+  EXPECT_EQ(table.holder(7), 1);
+  const milliseconds timeout(100);
+  // Just under and exactly at the threshold: still live.
+  EXPECT_TRUE(table.Expired(t0 + milliseconds(99), timeout).empty());
+  EXPECT_TRUE(table.Expired(t0 + milliseconds(100), timeout).empty());
+  // One past: expired.
+  const std::vector<int64_t> expired =
+      table.Expired(t0 + milliseconds(101), timeout);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 7);
+}
+
+TEST(LeaseTableTest, BeatResetsTheExpiryWindow) {
+  using std::chrono::milliseconds;
+  const LeaseTable::TimePoint t0 =
+      LeaseTable::TimePoint{} + milliseconds(5'000'000);
+  LeaseTable table;
+  table.Grant(3, 0, t0);
+  table.Beat(3, t0 + milliseconds(80));
+  const milliseconds timeout(100);
+  EXPECT_TRUE(table.Expired(t0 + milliseconds(180), timeout).empty());
+  EXPECT_EQ(table.Expired(t0 + milliseconds(181), timeout).size(), 1u);
+}
+
+TEST(LeaseTableTest, BeatOnUnleasedShardIsIgnoredAndReleaseDrops) {
+  using std::chrono::milliseconds;
+  const LeaseTable::TimePoint t0 =
+      LeaseTable::TimePoint{} + milliseconds(1000);
+  LeaseTable table;
+  table.Beat(9, t0);  // late heartbeat of a revoked lease: no-op
+  EXPECT_FALSE(table.held(9));
+  EXPECT_EQ(table.holder(9), -1);
+  EXPECT_EQ(table.size(), 0u);
+  table.Grant(9, 2, t0);
+  EXPECT_EQ(table.size(), 1u);
+  table.Release(9);
+  EXPECT_FALSE(table.held(9));
+  EXPECT_TRUE(table.Expired(t0 + milliseconds(10'000), milliseconds(1))
+                  .empty());
+}
+
+TEST(LeaseTableTest, ExpiredReportsAllStaleLeasesSorted) {
+  using std::chrono::milliseconds;
+  const LeaseTable::TimePoint t0 =
+      LeaseTable::TimePoint{} + milliseconds(1000);
+  LeaseTable table;
+  table.Grant(5, 0, t0);
+  table.Grant(1, 1, t0);
+  table.Grant(3, 2, t0 + milliseconds(500));  // still fresh
+  const std::vector<int64_t> expired =
+      table.Expired(t0 + milliseconds(600), milliseconds(100));
+  EXPECT_EQ(expired, (std::vector<int64_t>{1, 5}));
+}
+
+// ---------------------------------------------------------------------
+// Supervisor end-to-end (in-process; workers are forked children of
+// the test binary and only ever leave via _exit).
+// ---------------------------------------------------------------------
+
+/// A deterministic forest over a small alphabet, with `dirty`
+/// controlling whether malformed entries and comment noise are mixed
+/// in (for lenient runs).
+std::string BuildForest(int entries, bool dirty) {
+  std::string text;
+  for (int i = 0; i < entries; ++i) {
+    if (dirty && i % 17 == 5) {
+      text += "((unbalanced;\n";
+      continue;
+    }
+    if (dirty && i % 23 == 7) {
+      text += "# interleaved comment ;((\n";
+    }
+    const int a = i % 7;
+    const int b = (i * 3 + 1) % 7;
+    const int c = (i * 5 + 2) % 7;
+    text += "(L" + std::to_string(a) + ",(L" + std::to_string(b) + ",L" +
+            std::to_string(c) + "));";
+    text += (dirty && i % 11 == 3) ? "\r\n" : "\n";
+  }
+  return text;
+}
+
+struct SequentialReference {
+  std::string checkpoint_bytes;
+  std::vector<FrequentCousinPair> pairs;
+  int tree_count = 0;
+  size_t quarantined = 0;
+};
+
+/// The sequential lenient pipeline the multi-process run must
+/// reproduce byte for byte: one label table over the whole file,
+/// parse-stage quarantines from the lenient parse, mining-stage
+/// quarantines from AddTreeDegraded, one final checkpoint.
+SequentialReference MineSequentially(const std::string& text,
+                                     const std::string& source_name,
+                                     const MultiTreeMiningOptions& options,
+                                     bool lenient) {
+  SequentialReference out;
+  auto labels = std::make_shared<LabelTable>();
+  MultiTreeMiner miner(options);
+  miner.BindLabels(labels);
+  QuarantineLedger ledger;
+  if (lenient) {
+    Result<LenientForest> forest = ParseNewickForestLenient(text, labels);
+    EXPECT_TRUE(forest.ok());
+    for (const ForestEntryError& error : forest->errors) {
+      QuarantineParseError(source_name, error, &ledger);
+    }
+    DegradedModeConfig degraded;
+    degraded.lenient = true;
+    degraded.ledger = &ledger;
+    degraded.source_name = source_name;
+    for (size_t i = 0; i < forest->trees.size(); ++i) {
+      EXPECT_TRUE(miner
+                      .AddTreeDegraded(forest->trees[i],
+                                       forest->source_indices[i],
+                                       MiningContext::Unlimited(), degraded)
+                      .ok());
+    }
+  } else {
+    Result<std::vector<Tree>> trees = ParseNewickForest(text, labels);
+    EXPECT_TRUE(trees.ok());
+    for (const Tree& tree : *trees) miner.AddTree(tree);
+  }
+  out.checkpoint_bytes =
+      miner.SerializeCheckpoint(ledger.empty() ? nullptr : &ledger);
+  out.pairs = miner.FrequentPairs();
+  out.tree_count = miner.tree_count();
+  out.quarantined = ledger.size();
+  return out;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::FaultRegistry::Global().DisarmAll(); }
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+
+  /// Baseline proc options over a fresh checkpoint path. Scrubs any
+  /// checkpoint/journal/snapshot left at the same path by a previous
+  /// test-binary invocation (TempDir is stable across runs), so tests
+  /// that depend on the journal's absence stay hermetic.
+  MultiProcessOptions ProcOptions(const std::string& tag, int workers) {
+    MultiProcessOptions proc;
+    proc.workers = workers;
+    proc.checkpoint_path = TempPath(tag + ".ckpt");
+    proc.min_shards = 6;
+    std::remove(proc.checkpoint_path.c_str());
+    const std::string journal = LeaseJournalPath(proc.checkpoint_path);
+    std::remove(journal.c_str());
+    for (int shard = 0; shard < 64; ++shard) {
+      std::remove(ShardSnapshotPath(journal, shard).c_str());
+    }
+    return proc;
+  }
+
+  /// Asserts `run` reproduced the sequential reference bit for bit:
+  /// frequent pairs, tree count, and the final checkpoint file.
+  void ExpectMatchesSequential(const MultiProcessRun& run,
+                               const MultiProcessOptions& proc,
+                               const SequentialReference& seq) {
+    EXPECT_EQ(run.mining.pairs, seq.pairs);
+    EXPECT_EQ(run.mining.trees_processed, seq.tree_count);
+    Result<std::string> final_bytes =
+        ReadFileToString(proc.checkpoint_path);
+    ASSERT_TRUE(final_bytes.ok());
+    EXPECT_EQ(*final_bytes, seq.checkpoint_bytes);
+  }
+};
+
+TEST_F(SupervisorTest, CleanStrictRunMatchesSequentialByteForByte) {
+  const std::string text = BuildForest(120, /*dirty=*/false);
+  const std::string forest_path = TempPath("clean.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+
+  const MultiProcessOptions proc = ProcOptions("clean", 3);
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectMatchesSequential(*run, proc, seq);
+  EXPECT_GE(run->shards_total, 6);
+  EXPECT_EQ(run->workers_died, 0);
+  EXPECT_EQ(run->leases_reissued, 0);
+  EXPECT_GT(run->rss_peak_kb, 0);
+  // Every shard was mined by exactly one worker slot.
+  int64_t mined = 0;
+  for (const WorkerReport& worker : run->workers) {
+    EXPECT_EQ(worker.exit_code, 0);
+    EXPECT_EQ(worker.term_signal, 0);
+    EXPECT_EQ(worker.restarts, 0);
+    mined += static_cast<int64_t>(worker.shards_mined.size());
+  }
+  EXPECT_EQ(mined, run->shards_total);
+}
+
+TEST_F(SupervisorTest, DirtyLenientRunMatchesSequentialLedgerAndBytes) {
+  const std::string text = BuildForest(150, /*dirty=*/true);
+  const std::string forest_path = TempPath("dirty.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/true);
+  ASSERT_GT(seq.quarantined, 0u);
+
+  MultiProcessOptions proc = ProcOptions("dirty", 3);
+  proc.lenient = true;
+  proc.source_name = forest_path;
+  QuarantineLedger ledger;
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, &ledger);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectMatchesSequential(*run, proc, seq);
+  EXPECT_EQ(ledger.size(), seq.quarantined);
+}
+
+TEST_F(SupervisorTest, KilledWorkerIsReapedAndItsShardReissued) {
+  const std::string text = BuildForest(120, /*dirty=*/false);
+  const std::string forest_path = TempPath("killed.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+
+  fault::FaultRegistry::Global().Arm("proc.kill_worker", 1);
+  const MultiProcessOptions proc = ProcOptions("killed", 3);
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectMatchesSequential(*run, proc, seq);
+  EXPECT_GE(run->workers_died, 1);
+  EXPECT_GE(run->leases_reissued, 1);
+  bool some_sigkill = false;
+  bool some_restart = false;
+  for (const WorkerReport& worker : run->workers) {
+    some_sigkill |= worker.term_signal == SIGKILL;
+    some_restart |= worker.restarts > 0;
+  }
+  // The victim's slot was respawned (it died long before shutdown), so
+  // its final incarnation exits cleanly — the restart count and death
+  // tally carry the evidence.
+  EXPECT_TRUE(some_restart || some_sigkill);
+}
+
+TEST_F(SupervisorTest, StalledWorkerIsRecoveredByLeaseExpiry) {
+  const std::string text = BuildForest(120, /*dirty=*/false);
+  const std::string forest_path = TempPath("stalled.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+
+  fault::FaultRegistry::Global().Arm("proc.stop_worker", 1);
+  MultiProcessOptions proc = ProcOptions("stalled", 3);
+  // Short lease so the drill detects the SIGSTOP'd worker quickly;
+  // healthy workers heartbeat every lease_timeout/4.
+  proc.lease_timeout = std::chrono::milliseconds(300);
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectMatchesSequential(*run, proc, seq);
+  EXPECT_GE(run->workers_died, 1);
+  EXPECT_GE(run->leases_reissued, 1);
+}
+
+TEST_F(SupervisorTest, CrashLoopingWorkersExhaustTheRespawnBudget) {
+  const std::string text = BuildForest(60, /*dirty=*/false);
+  const std::string forest_path = TempPath("crashloop.nwk");
+  WriteFile(forest_path, text);
+  // Children inherit the armed registry across fork, so EVERY worker
+  // (original and respawned) crashes on its first work item.
+  fault::FaultRegistry::Global().Arm("proc.worker.crash", 1);
+  MultiProcessOptions proc = ProcOptions("crashloop", 2);
+  proc.max_respawns = 3;
+  MultiTreeMiningOptions options;
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("respawn"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST_F(SupervisorTest, ResumeReadoptsCompletedShardsWithoutRemining) {
+  const std::string text = BuildForest(120, /*dirty=*/false);
+  const std::string forest_path = TempPath("resume.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+
+  const MultiProcessOptions first = ProcOptions("resume", 3);
+  Result<MultiProcessRun> run1 =
+      MineForestMultiProcess(forest_path, options, first, nullptr);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+
+  // Resume over the completed journal: every DONE shard readopts from
+  // its validating snapshot; nothing is re-mined, outputs re-merge to
+  // the same bytes.
+  MultiProcessOptions second = first;
+  second.resume = true;
+  Result<MultiProcessRun> run2 =
+      MineForestMultiProcess(forest_path, options, second, nullptr);
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  ExpectMatchesSequential(*run2, second, seq);
+  EXPECT_EQ(run2->shards_recovered, run2->shards_total);
+  EXPECT_EQ(run2->leases_reissued, 0);
+
+  // A torn tail on the journal (crash artifact) must not break resume.
+  AppendRaw(LeaseJournalPath(second.checkpoint_path), "GRANT 0 0 99");
+  Result<MultiProcessRun> run3 =
+      MineForestMultiProcess(forest_path, options, second, nullptr);
+  ASSERT_TRUE(run3.ok()) << run3.status().ToString();
+  ExpectMatchesSequential(*run3, second, seq);
+}
+
+TEST_F(SupervisorTest, ResumeRefusesAChangedForest) {
+  const std::string forest_path = TempPath("changed.nwk");
+  WriteFile(forest_path, BuildForest(80, /*dirty=*/false));
+  MultiTreeMiningOptions options;
+  const MultiProcessOptions first = ProcOptions("changed", 2);
+  Result<MultiProcessRun> run1 =
+      MineForestMultiProcess(forest_path, options, first, nullptr);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+
+  WriteFile(forest_path, BuildForest(81, /*dirty=*/false));
+  MultiProcessOptions second = first;
+  second.resume = true;
+  Result<MultiProcessRun> run2 =
+      MineForestMultiProcess(forest_path, options, second, nullptr);
+  ASSERT_FALSE(run2.ok());
+  EXPECT_EQ(run2.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SupervisorTest, ResumeWithoutAJournalIsAFreshRun) {
+  const std::string text = BuildForest(60, /*dirty=*/false);
+  const std::string forest_path = TempPath("freshresume.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+  MultiProcessOptions proc = ProcOptions("freshresume", 2);
+  proc.resume = true;  // --resume on a first run: nothing to replay
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectMatchesSequential(*run, proc, seq);
+  EXPECT_EQ(run->shards_recovered, 0);
+}
+
+TEST_F(SupervisorTest, InvalidConfigurationsAreRejectedUpFront) {
+  const std::string forest_path = TempPath("badconfig.nwk");
+  WriteFile(forest_path, "(a,b);\n");
+  MultiTreeMiningOptions options;
+  MultiProcessOptions proc;
+  proc.checkpoint_path = "";  // required
+  EXPECT_EQ(MineForestMultiProcess(forest_path, options, proc, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  proc = MultiProcessOptions{};
+  proc.checkpoint_path = TempPath("badconfig.ckpt");
+  proc.workers = 0;
+  EXPECT_EQ(MineForestMultiProcess(forest_path, options, proc, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  proc = MultiProcessOptions{};
+  proc.checkpoint_path = TempPath("badconfig.ckpt");
+  proc.lenient = true;  // lenient requires a ledger
+  EXPECT_EQ(MineForestMultiProcess(forest_path, options, proc, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MineForestMultiProcess(TempPath("no_such_forest.nwk"), options,
+                                   ProcOptions("noforest", 2), nullptr)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SupervisorTest, EmptyForestCompletesWithAnEmptyResult) {
+  const std::string forest_path = TempPath("empty.nwk");
+  WriteFile(forest_path, "");
+  MultiTreeMiningOptions options;
+  const MultiProcessOptions proc = ProcOptions("empty", 2);
+  Result<MultiProcessRun> run =
+      MineForestMultiProcess(forest_path, options, proc, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->mining.trees_processed, 0);
+  EXPECT_TRUE(run->mining.pairs.empty());
+}
+
+// ---------------------------------------------------------------------
+// Mini fault sweep: every parent-visible proc.* site either recovers
+// with bit-identical results or fails as a clean Status — never a
+// crash, never silently-wrong output.
+// ---------------------------------------------------------------------
+
+TEST_F(SupervisorTest, EveryProcFaultSiteRecoversOrFailsClean) {
+  const std::string text = BuildForest(90, /*dirty=*/false);
+  const std::string forest_path = TempPath("sweep.nwk");
+  WriteFile(forest_path, text);
+  MultiTreeMiningOptions options;
+  const SequentialReference seq =
+      MineSequentially(text, forest_path, options, /*lenient=*/false);
+
+  // Discovery run registers the parent-side sites.
+  {
+    const MultiProcessOptions proc = ProcOptions("sweep_discover", 2);
+    ASSERT_TRUE(
+        MineForestMultiProcess(forest_path, options, proc, nullptr).ok());
+  }
+  std::vector<std::string> sites;
+  for (const std::string& site :
+       fault::FaultRegistry::Global().SiteNames()) {
+    // proc.supervisor.die would _exit this test binary — the CLI crash
+    // drill covers it end-to-end instead.
+    if (site.rfind("proc.", 0) == 0 && site != "proc.supervisor.die") {
+      sites.push_back(site);
+    }
+  }
+  // Worker-side site: registers only inside forked children, so the
+  // parent's registry never lists it — add it by hand.
+  sites.push_back("proc.worker.crash");
+  ASSERT_GE(sites.size(), 5u) << "site discovery regressed";
+
+  int sweep = 0;
+  for (const std::string& site : sites) {
+    SCOPED_TRACE("fault site " + site);
+    fault::FaultRegistry::Global().DisarmAll();
+    fault::FaultRegistry::Global().Arm(site, 1);
+    MultiProcessOptions proc =
+        ProcOptions("sweep_" + std::to_string(sweep++), 2);
+    // Keep stall recovery (proc.stop_worker) fast.
+    proc.lease_timeout = std::chrono::milliseconds(300);
+    Result<MultiProcessRun> run =
+        MineForestMultiProcess(forest_path, options, proc, nullptr);
+    if (run.ok()) {
+      EXPECT_EQ(run->mining.pairs, seq.pairs);
+      EXPECT_EQ(run->mining.trees_processed, seq.tree_count);
+    } else {
+      EXPECT_NE(run.status().code(), StatusCode::kOk);
+      EXPECT_FALSE(run.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cousins::proc

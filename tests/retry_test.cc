@@ -163,6 +163,92 @@ TEST_F(RetryTest, ArmedFaultSiteSimulatesOneTransientAttempt) {
   EXPECT_TRUE(observed_[0].will_retry);
 }
 
+/// Recorded inter-attempt delays, captured via retry::SetSleepFn so
+/// the exact backoff+jitter schedule is assertable without sleeping.
+std::vector<double>* g_slept_ms = nullptr;
+
+void RecordSleep(std::chrono::duration<double, std::milli> delay) {
+  if (g_slept_ms != nullptr) g_slept_ms->push_back(delay.count());
+}
+
+/// Runs an always-transient operation under `policy` and returns the
+/// recorded sleep schedule (max_attempts - 1 delays).
+std::vector<double> ScheduleOf(const RetryPolicy& policy) {
+  std::vector<double> slept;
+  g_slept_ms = &slept;
+  retry::SetSleepFn(&RecordSleep);
+  Status st = RetryTransient(policy, "test.schedule",
+                             []() { return Status::Unavailable("down"); });
+  retry::SetSleepFn(nullptr);
+  g_slept_ms = nullptr;
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  return slept;
+}
+
+TEST_F(RetryTest, JitteredDelaysReplayBitIdenticallyForTheSameSeed) {
+  RetryPolicy policy = RetryPolicy::Default(/*jitter_seed=*/99);
+  policy.max_attempts = 6;
+  const std::vector<double> first = ScheduleOf(policy);
+  const std::vector<double> second = ScheduleOf(policy);
+  ASSERT_EQ(first.size(), 5u);
+  // Bit-identical, not approximately equal: the jitter draw is a
+  // deterministic function of (seed, attempt), nothing else.
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(RetryTest, DifferentSeedsDrawDifferentJitter) {
+  RetryPolicy a = RetryPolicy::Default(/*jitter_seed=*/1);
+  RetryPolicy b = RetryPolicy::Default(/*jitter_seed=*/2);
+  a.max_attempts = b.max_attempts = 6;
+  EXPECT_NE(ScheduleOf(a), ScheduleOf(b));
+}
+
+TEST_F(RetryTest, EveryDelayStaysInsideTheJitterEnvelope) {
+  RetryPolicy policy = RetryPolicy::Default(/*jitter_seed=*/7);
+  policy.max_attempts = 4;
+  policy.initial_delay = std::chrono::milliseconds(2);
+  policy.backoff_multiplier = 2.0;
+  policy.max_delay = std::chrono::milliseconds(50);
+  policy.jitter_fraction = 0.25;
+  const std::vector<double> slept = ScheduleOf(policy);
+  ASSERT_EQ(slept.size(), 3u);
+  double base = 2.0;
+  for (const double delay : slept) {
+    EXPECT_GE(delay, base * 0.75);
+    EXPECT_LE(delay, base * 1.25);
+    base *= 2.0;
+  }
+}
+
+TEST_F(RetryTest, BackoffClampsAtMaxDelayBeforeJitter) {
+  RetryPolicy policy = RetryPolicy::Default(/*jitter_seed=*/3);
+  policy.max_attempts = 10;
+  policy.initial_delay = std::chrono::milliseconds(2);
+  policy.backoff_multiplier = 2.0;
+  policy.max_delay = std::chrono::milliseconds(10);
+  policy.jitter_fraction = 0.25;
+  const std::vector<double> slept = ScheduleOf(policy);
+  ASSERT_EQ(slept.size(), 9u);
+  for (const double delay : slept) {
+    // 2 → 4 → 8 → clamp at 10; jitter widens by at most 25%.
+    EXPECT_LE(delay, 10.0 * 1.25);
+  }
+  // The tail of the schedule has reached the clamp.
+  EXPECT_GE(slept.back(), 10.0 * 0.75);
+}
+
+TEST_F(RetryTest, ZeroJitterFractionYieldsTheExactExponentialLadder) {
+  RetryPolicy policy = RetryPolicy::Default(/*jitter_seed=*/5);
+  policy.max_attempts = 4;
+  policy.initial_delay = std::chrono::milliseconds(2);
+  policy.jitter_fraction = 0.0;
+  const std::vector<double> slept = ScheduleOf(policy);
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 2.0);
+  EXPECT_DOUBLE_EQ(slept[1], 4.0);
+  EXPECT_DOUBLE_EQ(slept[2], 8.0);
+}
+
 TEST_F(RetryTest, RetryScheduleIsDeterministicForAFixedSeed) {
   // Same seed → the jittered backoff draws the same delays, so the
   // whole schedule (observable through the observer) replays exactly.

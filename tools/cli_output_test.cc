@@ -485,4 +485,242 @@ TEST(CliDegradedTest, KilledLenientRunResumesToIdenticalCsvAndLedger) {
   std::remove(forest.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process mining (--workers): the supervisor forks workers that
+// mine mmap'd forest shards under journaled leases; its CSV, ledger and
+// checkpoint must be byte-identical to the sequential run, including
+// across injected worker kills and a supervisor death + --resume.
+
+/// Removes the checkpoint plus the lease journal and shard snapshots
+/// the multi-process run keeps next to it.
+void RemoveProcArtifacts(const std::string& ckpt) {
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+  const std::string journal = ckpt + ".leases";
+  std::remove(journal.c_str());
+  for (int shard = 0; shard < 64; ++shard) {
+    std::remove((journal + ".shard" + std::to_string(shard)).c_str());
+  }
+}
+
+/// A 24-entry forest (clean or with malformed entries mixed in) —
+/// enough lines for the default 4*workers shard plan to really shard.
+std::string WriteProcForest(const std::string& name, bool dirty) {
+  const std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::ofstream out(path);
+  for (int i = 0; i < 24; ++i) {
+    if (dirty && i % 7 == 2) {
+      out << "((oops,(;\n";
+    } else if (i % 3 == 0) {
+      out << "((a,b),(c,(d,e)));\n";
+    } else if (i % 3 == 1) {
+      out << "((a,c),(b,(d,e)));\n";
+    } else {
+      out << "((a,(b,c)),(d,e));\n";
+    }
+  }
+  return path;
+}
+
+TEST(CliMultiProcTest, WorkersMatchTheSequentialRunByteForByte) {
+  const std::string forest = WriteProcForest("cli_mp_clean.nwk", false);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_mp_clean_ckpt";
+  RemoveProcArtifacts(ckpt);
+
+  RunResult sequential =
+      RunCli("frequent " + forest + " --csv --minsup=2");
+  ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+
+  RunResult multi = RunCli("frequent " + forest +
+                           " --csv --minsup=2 --workers=3 --checkpoint=" +
+                           ckpt);
+  EXPECT_EQ(multi.exit_code, 0) << multi.output;
+  EXPECT_EQ(multi.output, sequential.output);
+
+  RemoveProcArtifacts(ckpt);
+  std::remove(forest.c_str());
+}
+
+TEST(CliMultiProcTest, DirtyLenientWorkersMatchTheSequentialRun) {
+  const std::string forest = WriteProcForest("cli_mp_dirty.nwk", true);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_mp_dirty_ckpt";
+  RemoveProcArtifacts(ckpt);
+
+  RunResult sequential =
+      RunCli("frequent " + forest + " --csv --minsup=2 --lenient");
+  ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+
+  RunResult multi = RunCli("frequent " + forest +
+                           " --csv --minsup=2 --lenient --workers=3"
+                           " --checkpoint=" +
+                           ckpt);
+  EXPECT_EQ(multi.exit_code, 0) << multi.output;
+  EXPECT_EQ(multi.output, sequential.output);
+
+  RemoveProcArtifacts(ckpt);
+  std::remove(forest.c_str());
+}
+
+TEST(CliMultiProcTest, KilledWorkerDrillStillMatchesSequential) {
+  const std::string forest = WriteProcForest("cli_mp_kill.nwk", false);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_mp_kill_ckpt";
+  RemoveProcArtifacts(ckpt);
+
+  RunResult sequential =
+      RunCli("frequent " + forest + " --csv --minsup=2");
+  ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+
+  // SIGKILL the worker holding the second granted lease, mid-run. The
+  // supervisor reaps it, re-issues the shard, and completes with the
+  // exact sequential bytes.
+  RunResult drilled = RunCli("frequent " + forest +
+                                 " --csv --minsup=2 --workers=3"
+                                 " --checkpoint=" +
+                                 ckpt,
+                             "COUSINS_FAULT_SPEC=proc.kill_worker:2 ");
+  EXPECT_EQ(drilled.exit_code, 0) << drilled.output;
+  EXPECT_EQ(drilled.output, sequential.output);
+
+  RemoveProcArtifacts(ckpt);
+  std::remove(forest.c_str());
+}
+
+TEST(CliMultiProcTest, SupervisorDeathResumesToIdenticalOutput) {
+  const std::string forest = WriteProcForest("cli_mp_die.nwk", false);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_mp_die_ckpt";
+  RemoveProcArtifacts(ckpt);
+
+  RunResult sequential =
+      RunCli("frequent " + forest + " --csv --minsup=2");
+  ASSERT_EQ(sequential.exit_code, 0) << sequential.output;
+
+  // The supervisor _exit(137)s right after recording the first DONE —
+  // the fsync'd journal and that shard's snapshot survive the crash.
+  RunResult killed = RunCli("frequent " + forest +
+                                " --csv --minsup=2 --workers=3"
+                                " --checkpoint=" +
+                                ckpt,
+                            "COUSINS_FAULT_SPEC=proc.supervisor.die:1 ");
+  EXPECT_EQ(killed.exit_code, 137) << killed.output;
+
+  // Disarmed --resume readopts the completed shard, re-mines the rest,
+  // and emits the sequential bytes.
+  RunResult resumed = RunCli("frequent " + forest +
+                             " --csv --minsup=2 --workers=3 --resume"
+                             " --checkpoint=" +
+                             ckpt);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_EQ(resumed.output, sequential.output);
+
+  RemoveProcArtifacts(ckpt);
+  std::remove(forest.c_str());
+}
+
+TEST(CliMultiProcTest, HealthReportPinsThePerWorkerSchema) {
+  const std::string forest = WriteProcForest("cli_mp_health.nwk", true);
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "/cli_mp_health_ckpt";
+  const std::string report =
+      std::string(::testing::TempDir()) + "/cli_mp_health.json";
+  RemoveProcArtifacts(ckpt);
+  std::remove(report.c_str());
+
+  RunResult r = RunCli("frequent " + forest +
+                       " --csv --minsup=2 --lenient --workers=2"
+                       " --checkpoint=" +
+                       ckpt + " --health-report=" + report);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string body = ReadAll(report);
+  std::remove(report.c_str());
+  for (const char* expected :
+       {"\"proc\"", "\"workers\": 2", "\"shards_total\"",
+        "\"shards_recovered\": 0", "\"workers_died\": 0",
+        "\"leases_reissued\": 0", "\"rss_peak_kb\"", "\"worker\"",
+        "\"slot\": 0", "\"slot\": 1", "\"pid\"", "\"restarts\": 0",
+        "\"exit_code\": 0", "\"term_signal\": 0", "\"shards_mined\"",
+        "\"proc.shards_mined\"", "\"proc.leases_granted\"",
+        "\"stage\": \"parse\""}) {
+    EXPECT_NE(body.find(expected), std::string::npos)
+        << "missing " << expected << " in:\n"
+        << body;
+  }
+
+  RemoveProcArtifacts(ckpt);
+  std::remove(forest.c_str());
+}
+
+TEST(CliMultiProcTest, ConflictingOrIncompleteFlagsAreUsageErrors) {
+  const std::string input = Data("seed_plants.nwk");
+  RunResult no_ckpt = RunCli("frequent " + input + " --workers=2");
+  EXPECT_EQ(no_ckpt.exit_code, 2) << no_ckpt.output;
+  EXPECT_NE(no_ckpt.output.find("--workers requires --checkpoint"),
+            std::string::npos)
+      << no_ckpt.output;
+
+  RunResult threads = RunCli("frequent " + input +
+                             " --workers=2 --threads=2 --checkpoint=/tmp/x");
+  EXPECT_EQ(threads.exit_code, 2) << threads.output;
+  EXPECT_NE(threads.output.find("--threads cannot be combined with "
+                                "--workers"),
+            std::string::npos)
+      << threads.output;
+
+  RunResult watchdog =
+      RunCli("frequent " + input +
+             " --workers=2 --watchdog-ms=100 --checkpoint=/tmp/x");
+  EXPECT_EQ(watchdog.exit_code, 2) << watchdog.output;
+  EXPECT_NE(watchdog.output.find("--watchdog-ms cannot be combined with "
+                                 "--workers"),
+            std::string::npos)
+      << watchdog.output;
+
+  RunResult bad_count =
+      RunCli("frequent " + input + " --workers=0 --checkpoint=/tmp/x");
+  EXPECT_EQ(bad_count.exit_code, 2) << bad_count.output;
+  EXPECT_NE(bad_count.output.find("--workers must be an integer in "
+                                  "[1, 256]"),
+            std::string::npos)
+      << bad_count.output;
+
+  RunResult bad_lease = RunCli(
+      "frequent " + input +
+      " --workers=2 --lease-timeout-ms=0 --checkpoint=/tmp/x");
+  EXPECT_EQ(bad_lease.exit_code, 2) << bad_lease.output;
+  EXPECT_NE(bad_lease.output.find("--lease-timeout-ms"), std::string::npos)
+      << bad_lease.output;
+}
+
+TEST(CliMultiProcTest, ClosedStdoutPipeExitsOneNotSigpipeDeath) {
+  // A forest whose pair table overflows the 64 KiB pipe buffer, so
+  // `cousins frequent ... | head -n 1` has head close the pipe while
+  // the CLI is still printing. SIGPIPE is ignored; the strict output
+  // path must turn the EPIPE into exit code 1 — not a signal death.
+  const std::string forest =
+      std::string(::testing::TempDir()) + "/cli_mp_sigpipe.nwk";
+  {
+    std::ofstream out(forest);
+    out << "(";
+    for (int i = 0; i < 400; ++i) {
+      out << (i == 0 ? "" : ",") << "T" << i;
+    }
+    out << ");\n";
+  }
+  const std::string rc_path =
+      std::string(::testing::TempDir()) + "/cli_mp_sigpipe.rc";
+  std::remove(rc_path.c_str());
+  const std::string command =
+      "( " + std::string(CLI_BINARY) + " frequent " + forest +
+      " --csv --minsup=1 2>/dev/null; echo $? > " + rc_path +
+      " ) | head -n 1 > /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  const std::string rc = ReadAll(rc_path);
+  std::remove(rc_path.c_str());
+  std::remove(forest.c_str());
+  EXPECT_EQ(rc, "1\n");
+}
+
 }  // namespace

@@ -11,6 +11,17 @@
 //                                 [--deadline-ms=T] [--max-items=N]
 //                                 [--checkpoint=PATH] [--checkpoint-every=K]
 //                                 [--resume] [--watchdog-ms=T]
+//                                 [--workers=N] [--lease-timeout-ms=T]
+//                                 [--min-shards=S]
+//       --workers=N forks N worker processes that mine the forest file
+//       out-of-core under crash-safe shard leases (src/proc/). Requires
+//       --checkpoint=PATH (the lease journal and shard snapshots live
+//       next to it); strictly Newick input. Combines with --lenient,
+//       --resume (recover a killed run from its lease journal) and
+//       --csv, but not with --threads, --deadline-ms, --max-items or
+//       --watchdog-ms. Output, quarantine ledger and final checkpoint
+//       are byte-identical to the sequential run, even across worker
+//       crashes and supervisor kill -9 → --resume.
 //       --miner picks the per-tree fold the forest pipeline runs:
 //       cousin (default, Fig. 2 distances), free (§6 Eq. (7) distances
 //       on the unrooted topology), generalized ((h, v) kinship up to
@@ -55,6 +66,7 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,6 +93,7 @@
 #include "phylo/supertree.h"
 #include "phylo/tree_distance.h"
 #include "phylo/tree_stats.h"
+#include "proc/supervisor.h"
 #include "tree/newick.h"
 #include "tree/nexus.h"
 #include "tree/render.h"
@@ -238,6 +251,15 @@ struct CliDegraded {
   QuarantineLedger ledger;
   std::vector<int64_t> source_indices;
   int64_t trees_loaded = 0;
+  /// Multi-process run accounting (--workers), for the health report's
+  /// per-worker section. `multiproc` gates the section.
+  bool multiproc = false;
+  std::vector<proc::WorkerReport> worker_reports;
+  int64_t shards_total = 0;
+  int64_t shards_recovered = 0;
+  int64_t workers_died = 0;
+  int64_t leases_reissued = 0;
+  int64_t rss_peak_kb = 0;
 
   /// The policy knobs in library form, for facades that take one.
   DegradedModeConfig Config() const {
@@ -284,23 +306,6 @@ std::string ExtractDegradedFlags(std::vector<std::string>* args,
   }
   *args = std::move(rest);
   return "";
-}
-
-/// Records one lenient parse failure in the run's ledger.
-void QuarantineParseError(const std::string& path,
-                          const ForestEntryError& error,
-                          QuarantineLedger* ledger) {
-  QuarantineEntry entry;
-  entry.tree_index = error.tree_index;
-  entry.source = path;
-  entry.byte_offset = error.byte_offset;
-  entry.line = error.line;
-  entry.column = error.column;
-  entry.code = error.status.code();
-  entry.message = error.status.message();
-  entry.snippet = error.snippet;
-  entry.stage = QuarantineStage::kParse;
-  ledger->Add(std::move(entry));
 }
 
 /// Loads a forest from a Newick or NEXUS file (auto-detected). The
@@ -398,13 +403,47 @@ Status WriteHealthReport(const CliDegraded& degraded,
     json.KeyValue(code, count);
   }
   json.EndObject();
+  if (degraded.multiproc) {
+    // Per-worker supervision record. pid and rss_peak_kb vary run to
+    // run; consumers comparing reports normalize them (the crash drill
+    // does).
+    json.Key("proc");
+    json.BeginObject();
+    json.KeyValue("workers",
+                  static_cast<int64_t>(degraded.worker_reports.size()));
+    json.KeyValue("shards_total", degraded.shards_total);
+    json.KeyValue("shards_recovered", degraded.shards_recovered);
+    json.KeyValue("workers_died", degraded.workers_died);
+    json.KeyValue("leases_reissued", degraded.leases_reissued);
+    json.KeyValue("rss_peak_kb", degraded.rss_peak_kb);
+    json.Key("worker");
+    json.BeginArray();
+    for (const proc::WorkerReport& worker : degraded.worker_reports) {
+      json.BeginObject();
+      json.KeyValue("slot", static_cast<int64_t>(worker.slot));
+      json.KeyValue("pid", worker.pid);
+      json.KeyValue("restarts", static_cast<int64_t>(worker.restarts));
+      json.KeyValue("exit_code", static_cast<int64_t>(worker.exit_code));
+      json.KeyValue("term_signal",
+                    static_cast<int64_t>(worker.term_signal));
+      json.Key("shards_mined");
+      json.BeginArray();
+      for (const int64_t shard : worker.shards_mined) {
+        json.Int(shard);
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
   json.Key("counters");
   json.BeginObject();
   const obs::MetricsSnapshot snapshot =
       obs::MetricsRegistry::Global().Snapshot();
   for (const auto& [name, value] : snapshot.counters) {
     if (StartsWith(name, "degraded.") || StartsWith(name, "retry.") ||
-        StartsWith(name, "watchdog.")) {
+        StartsWith(name, "watchdog.") || StartsWith(name, "proc.")) {
       json.KeyValue(name, value);
     }
   }
@@ -445,6 +484,101 @@ int RunMine(const std::vector<Tree>& trees, const LabelTable& labels,
   return 0;
 }
 
+/// Parses the mining-option flags shared by the sequential and
+/// multi-process `frequent` paths into `mining`. Returns a usage
+/// message on a malformed value, empty on success.
+std::string ParseFrequentMiningFlags(const std::vector<std::string>& args,
+                                     MultiTreeMiningOptions* mining) {
+  if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
+                    &mining->per_tree.twice_maxdist)) {
+    return "--maxdist must be a non-negative multiple of 0.5";
+  }
+  if (!ParseMinerVariant(Flag(args, "miner", "cousin"), &mining->variant)) {
+    return "--miner must be cousin|free|generalized|weighted";
+  }
+  int64_t max_horizontal = mining->generalized.max_horizontal;
+  int64_t max_vertical = mining->generalized.max_vertical;
+  if (!ParseInt64Flag(args, "max-horizontal", max_horizontal,
+                      &max_horizontal) ||
+      !ParseInt64Flag(args, "max-vertical", max_vertical, &max_vertical) ||
+      max_horizontal < 0 || max_horizontal > 0xFFFF || max_vertical < 0 ||
+      max_vertical > 0xFFFF) {
+    return "--max-horizontal/--max-vertical must be integers in [0, 65535]";
+  }
+  mining->generalized.max_horizontal = static_cast<int32_t>(max_horizontal);
+  mining->generalized.max_vertical = static_cast<int32_t>(max_vertical);
+  {
+    const std::string bucket = Flag(args, "bucket-width", "1");
+    char* end = nullptr;
+    const double width = std::strtod(bucket.c_str(), &end);
+    if (end != bucket.c_str() + bucket.size() || bucket.empty() ||
+        !std::isfinite(width) || width <= 0) {
+      return "--bucket-width must be a finite number > 0";
+    }
+    mining->weighted.bucket_width = width;
+  }
+  int64_t min_occur = 1;
+  int64_t min_support = 2;
+  if (!ParseInt64Flag(args, "minoccur", 1, &min_occur)) {
+    return "--minoccur must be an integer";
+  }
+  if (!ParseInt64Flag(args, "minsup", 2, &min_support)) {
+    return "--minsup must be an integer";
+  }
+  mining->per_tree.min_occur = min_occur;
+  mining->min_support = static_cast<int>(min_support);
+  mining->ignore_distance = HasFlag(args, "ignore-distance");
+  if (mining->ignore_distance &&
+      (mining->variant == MinerVariant::kGeneralized ||
+       mining->variant == MinerVariant::kWeighted)) {
+    return "--ignore-distance only applies to --miner=cousin|free";
+  }
+  return "";
+}
+
+/// Prints a frequent run's result rows (text or CSV, by variant) and
+/// maps a truncation onto the governance exit code. Both the
+/// sequential and multi-process paths print through here, so their
+/// output bytes cannot drift apart.
+int PrintFrequentRun(const LabelTable& labels, const MultiTreeMiningRun& run,
+                     MinerVariant variant, bool csv) {
+  switch (variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      if (csv) {
+        std::fputs(FrequentPairsToCsv(labels, run.pairs).c_str(), stdout);
+      } else {
+        for (const FrequentCousinPair& pair : run.pairs) {
+          std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
+        }
+      }
+      break;
+    case MinerVariant::kGeneralized:
+      if (csv) {
+        std::fputs(GeneralizedPairsToCsv(labels, run.generalized).c_str(),
+                   stdout);
+      } else {
+        for (const FrequentGeneralizedPair& pair : run.generalized) {
+          std::printf("%s\n",
+                      FormatFrequentGeneralizedPair(labels, pair).c_str());
+        }
+      }
+      break;
+    case MinerVariant::kWeighted:
+      if (csv) {
+        std::fputs(WeightedPairsToCsv(labels, run.weighted).c_str(), stdout);
+      } else {
+        for (const FrequentWeightedPair& pair : run.weighted) {
+          std::printf("%s\n",
+                      FormatFrequentWeightedPair(labels, pair).c_str());
+        }
+      }
+      break;
+  }
+  if (run.truncated) return Truncated(run.termination);
+  return 0;
+}
+
 int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
                 const std::vector<std::string>& args,
                 const CliDegraded& degraded) {
@@ -456,57 +590,12 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
                             {"ignore-distance", "csv", "resume"});
   if (!flags.ok()) return UsageError(flags.message());
   CooccurrenceOptions options;
-  if (!ParseMaxdist(Flag(args, "maxdist", "1.5"),
-                    &options.mining.per_tree.twice_maxdist)) {
-    return UsageError("--maxdist must be a non-negative multiple of 0.5");
-  }
-  if (!ParseMinerVariant(Flag(args, "miner", "cousin"),
-                         &options.mining.variant)) {
-    return UsageError("--miner must be cousin|free|generalized|weighted");
-  }
-  int64_t max_horizontal = options.mining.generalized.max_horizontal;
-  int64_t max_vertical = options.mining.generalized.max_vertical;
-  if (!ParseInt64Flag(args, "max-horizontal", max_horizontal,
-                      &max_horizontal) ||
-      !ParseInt64Flag(args, "max-vertical", max_vertical, &max_vertical) ||
-      max_horizontal < 0 || max_horizontal > 0xFFFF || max_vertical < 0 ||
-      max_vertical > 0xFFFF) {
-    return UsageError(
-        "--max-horizontal/--max-vertical must be integers in [0, 65535]");
-  }
-  options.mining.generalized.max_horizontal =
-      static_cast<int32_t>(max_horizontal);
-  options.mining.generalized.max_vertical =
-      static_cast<int32_t>(max_vertical);
-  {
-    const std::string bucket = Flag(args, "bucket-width", "1");
-    char* end = nullptr;
-    const double width = std::strtod(bucket.c_str(), &end);
-    if (end != bucket.c_str() + bucket.size() || bucket.empty() ||
-        !std::isfinite(width) || width <= 0) {
-      return UsageError("--bucket-width must be a finite number > 0");
-    }
-    options.mining.weighted.bucket_width = width;
-  }
-  int64_t min_occur = 1;
-  int64_t min_support = 2;
+  const std::string mining_error =
+      ParseFrequentMiningFlags(args, &options.mining);
+  if (!mining_error.empty()) return UsageError(mining_error);
   int64_t threads = 1;
-  if (!ParseInt64Flag(args, "minoccur", 1, &min_occur)) {
-    return UsageError("--minoccur must be an integer");
-  }
-  if (!ParseInt64Flag(args, "minsup", 2, &min_support)) {
-    return UsageError("--minsup must be an integer");
-  }
   if (!ParseInt64Flag(args, "threads", 1, &threads) || threads < 0) {
     return UsageError("--threads must be a non-negative integer");
-  }
-  options.mining.per_tree.min_occur = min_occur;
-  options.mining.min_support = static_cast<int>(min_support);
-  options.mining.ignore_distance = HasFlag(args, "ignore-distance");
-  if (options.mining.ignore_distance &&
-      (options.mining.variant == MinerVariant::kGeneralized ||
-       options.mining.variant == MinerVariant::kWeighted)) {
-    return UsageError("--ignore-distance only applies to --miner=cousin|free");
   }
   options.num_threads = static_cast<int32_t>(threads);
   options.checkpoint.path = Flag(args, "checkpoint", "");
@@ -529,42 +618,93 @@ int RunFrequent(const std::vector<Tree>& trees, const LabelTable& labels,
   Result<MultiTreeMiningRun> run =
       MineCooccurrencePatterns(trees, options, context);
   if (!run.ok()) return Fail(run.status());
-  const bool csv = HasFlag(args, "csv");
-  switch (options.mining.variant) {
-    case MinerVariant::kCousin:
-    case MinerVariant::kFreeTree:
-      if (csv) {
-        std::fputs(FrequentPairsToCsv(labels, run->pairs).c_str(), stdout);
-      } else {
-        for (const FrequentCousinPair& pair : run->pairs) {
-          std::printf("%s\n", FormatFrequentPair(labels, pair).c_str());
-        }
-      }
-      break;
-    case MinerVariant::kGeneralized:
-      if (csv) {
-        std::fputs(GeneralizedPairsToCsv(labels, run->generalized).c_str(),
-                   stdout);
-      } else {
-        for (const FrequentGeneralizedPair& pair : run->generalized) {
-          std::printf("%s\n",
-                      FormatFrequentGeneralizedPair(labels, pair).c_str());
-        }
-      }
-      break;
-    case MinerVariant::kWeighted:
-      if (csv) {
-        std::fputs(WeightedPairsToCsv(labels, run->weighted).c_str(), stdout);
-      } else {
-        for (const FrequentWeightedPair& pair : run->weighted) {
-          std::printf("%s\n",
-                      FormatFrequentWeightedPair(labels, pair).c_str());
-        }
-      }
-      break;
+  return PrintFrequentRun(labels, *run, options.mining.variant,
+                          HasFlag(args, "csv"));
+}
+
+/// The --workers path of `frequent`: crash-isolated multi-process
+/// out-of-core mining (src/proc/supervisor.h). Runs before LoadForest —
+/// the workers mmap and window-parse the forest file themselves — so it
+/// validates its own flag surface.
+int RunFrequentMultiProcess(const std::string& path,
+                            const std::vector<std::string>& args,
+                            CliDegraded& degraded) {
+  // The governance and in-process-parallelism flags have no meaning
+  // across worker processes; reject them pointedly rather than as a
+  // generic unknown flag.
+  const std::string absent = "\x01";
+  for (const char* name : {"threads", "deadline-ms", "max-items",
+                           "checkpoint-every"}) {
+    if (Flag(args, name, absent) != absent) {
+      return UsageError(std::string("--") + name +
+                        " cannot be combined with --workers");
+    }
   }
-  if (run->truncated) return Truncated(run->termination);
-  return 0;
+  if (degraded.watchdog.count() != 0) {
+    return UsageError(
+        "--watchdog-ms cannot be combined with --workers; stalled workers "
+        "are recovered via --lease-timeout-ms");
+  }
+  Status flags = CheckFlags(args,
+                            {"maxdist", "minoccur", "minsup", "miner",
+                             "max-horizontal", "max-vertical", "bucket-width",
+                             "workers", "lease-timeout-ms", "min-shards",
+                             "checkpoint"},
+                            {"ignore-distance", "csv", "resume"});
+  if (!flags.ok()) return UsageError(flags.message());
+  MultiTreeMiningOptions mining;
+  const std::string mining_error = ParseFrequentMiningFlags(args, &mining);
+  if (!mining_error.empty()) return UsageError(mining_error);
+  int64_t workers = 2;
+  if (!ParseInt64Flag(args, "workers", 2, &workers) || workers < 1 ||
+      workers > 256) {
+    return UsageError("--workers must be an integer in [1, 256]");
+  }
+  int64_t lease_timeout_ms = 10'000;
+  if (!ParseInt64Flag(args, "lease-timeout-ms", 10'000, &lease_timeout_ms) ||
+      lease_timeout_ms < 1) {
+    return UsageError("--lease-timeout-ms must be a positive integer");
+  }
+  int64_t min_shards = 0;
+  if (!ParseInt64Flag(args, "min-shards", 0, &min_shards) || min_shards < 0) {
+    return UsageError("--min-shards must be a non-negative integer");
+  }
+  proc::MultiProcessOptions mp;
+  mp.checkpoint_path = Flag(args, "checkpoint", "");
+  if (mp.checkpoint_path.empty()) {
+    return UsageError(
+        "--workers requires --checkpoint=PATH (the lease journal and "
+        "shard snapshots live next to it)");
+  }
+  mp.workers = static_cast<int>(workers);
+  mp.lease_timeout = std::chrono::milliseconds(lease_timeout_ms);
+  mp.min_shards = min_shards;
+  mp.resume = HasFlag(args, "resume");
+  mp.lenient = degraded.lenient;
+  mp.source_name = path;
+  mp.retry = degraded.retry;
+
+  Result<proc::MultiProcessRun> run =
+      proc::MineForestMultiProcess(path, mining, mp, &degraded.ledger);
+  if (!run.ok()) return Fail(run.status());
+  degraded.trees_loaded = run->mining.trees_processed;
+  degraded.multiproc = true;
+  degraded.worker_reports = run->workers;
+  degraded.shards_total = run->shards_total;
+  degraded.shards_recovered = run->shards_recovered;
+  degraded.workers_died = run->workers_died;
+  degraded.leases_reissued = run->leases_reissued;
+  degraded.rss_peak_kb = run->rss_peak_kb;
+  // Same empty-input surface as the sequential path.
+  if (run->mining.trees_processed == 0) {
+    return Fail(degraded.ledger.empty()
+                    ? "no trees in '" + path + "'"
+                    : "no usable trees in '" + path + "' (" +
+                          std::to_string(degraded.ledger.size()) +
+                          " quarantined)");
+  }
+  return PrintFrequentRun(*run->labels, run->mining, mining.variant,
+                          HasFlag(args, "csv"));
 }
 
 int RunStats(const std::vector<Tree>& trees,
@@ -759,6 +899,11 @@ int RunConvert(const std::vector<Tree>& trees,
 int RunCommand(const std::string& command, const std::string& path,
                const std::vector<std::string>& args,
                CliDegraded& degraded) {
+  // The multi-process path owns its input handling (workers mmap and
+  // window-parse the file), so it branches off before LoadForest.
+  if (command == "frequent" && !Flag(args, "workers", "").empty()) {
+    return RunFrequentMultiProcess(path, args, degraded);
+  }
   auto labels = std::make_shared<LabelTable>();
   Result<std::vector<Tree>> forest = LoadForest(path, labels, &degraded);
   if (!forest.ok()) return Fail(forest.status());
@@ -832,6 +977,10 @@ int FinalizeStdout(int rc) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A reader that goes away (cousins ... | head) must surface as an
+  // EPIPE write error on stdout — caught by FinalizeStdout and exited
+  // as a failure — not as a silent SIGPIPE death mid-output.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
