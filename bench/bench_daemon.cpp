@@ -1,0 +1,180 @@
+// Resident daemon (cousinsd) serving costs: WAL-journaled ingest,
+// snapshot queries, and counted retraction, all in-process through
+// CousinService::Handle (no socket, so the numbers isolate the service
+// layer: mining + WAL fsync + snapshot publication).
+//
+// Perf-gate keys: `svc.frequent_pairs` and
+// `svc.frequent_pairs_after_retract` are exact (answers must not move);
+// `ingest.us_per_tree`, `query.us_per_call` and `retract.us_per_batch`
+// ride the gate's timing tolerance. The shape check is the crash
+// contract itself: a second service started over the WAL the bench
+// just wrote must answer the frequent-pairs query byte-identically.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "gen/yule_generator.h"
+#include "paper_params.h"
+#include "svc/daemon.h"
+#include "svc/protocol.h"
+#include "tree/newick.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace cousins;
+using namespace cousins::bench;
+
+namespace {
+
+int64_t CountCsvRows(const std::string& payload) {
+  int64_t lines = 0;
+  for (char c : payload) lines += c == '\n';
+  return lines > 0 ? lines - 1 : 0;  // drop the header
+}
+
+/// Median of per-call wall times: robust to fsync/scheduler outliers,
+/// which would otherwise flap the perf gate on a busy machine.
+double MedianSeconds(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples.empty() ? 0.0 : samples[samples.size() / 2];
+}
+
+svc::Response Call(svc::CousinService* service, const std::string& verb,
+                   std::vector<std::string> args,
+                   std::string payload = "") {
+  svc::Request request;
+  request.verb = verb;
+  request.args = std::move(args);
+  request.payload = std::move(payload);
+  return service->Handle(request);
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("daemon");
+  CsvWriter csv;
+  csv.WriteComment(
+      "cousinsd service layer: ingest (mine + WAL fsync + snapshot "
+      "swap), snapshot query, counted retract");
+
+  const int32_t batches =
+      static_cast<int32_t>(EnvScale("COUSINS_DAEMON_BATCHES", 48));
+  const int32_t trees_per_batch =
+      static_cast<int32_t>(EnvScale("COUSINS_DAEMON_TREES", 16));
+  const int32_t queries =
+      static_cast<int32_t>(EnvScale("COUSINS_DAEMON_QUERIES", 256));
+  report.AddParam("batches", int64_t{batches});
+  report.AddParam("trees_per_batch", int64_t{trees_per_batch});
+  report.AddParam("queries", int64_t{queries});
+
+  // A pinned phylogeny stream: label reuse across batches is what makes
+  // pairs cross the support threshold, like a real accession feed.
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(777);
+  YulePhylogenyOptions gen = PaperPhyloOptions();
+  // A 64-taxon universe (vs the paper's sparse alphabet) so support
+  // actually accumulates across batches and the exact-key pair count
+  // is a non-trivial answer to pin.
+  gen.alphabet_size = 64;
+  report.AddParam("alphabet_size", int64_t{64});
+  std::vector<std::string> payloads;
+  payloads.reserve(batches);
+  for (int32_t b = 0; b < batches; ++b) {
+    std::string payload;
+    for (int32_t t = 0; t < trees_per_batch; ++t) {
+      payload += ToNewick(GenerateYulePhylogeny(gen, rng, labels)) + ";\n";
+    }
+    payloads.push_back(std::move(payload));
+  }
+
+  const std::string wal_path = "BENCH_daemon.wal";
+  std::remove(wal_path.c_str());
+  svc::ServiceConfig config;
+  config.mining.min_support = 4;
+  config.wal_path = wal_path;
+  Result<std::unique_ptr<svc::CousinService>> service =
+      svc::CousinService::Start(config);
+  if (!service.ok()) {
+    std::fprintf(stderr, "bench_daemon: Start failed: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  std::vector<double> ingest_samples;
+  ingest_samples.reserve(batches);
+  for (const std::string& payload : payloads) {
+    Stopwatch call;
+    ok = ok && Call(service->get(), "INGEST", {}, payload).status.ok();
+    ingest_samples.push_back(call.ElapsedSeconds());
+  }
+  const int64_t total_trees = int64_t{batches} * trees_per_batch;
+  report.AddToN(total_trees);
+  const double ingest_us_per_tree =
+      MedianSeconds(std::move(ingest_samples)) * 1e6 / trees_per_batch;
+  report.AddResult("ingest.us_per_tree", ingest_us_per_tree);
+
+  std::string frequent;
+  std::vector<double> query_samples;
+  query_samples.reserve(queries);
+  for (int32_t q = 0; q < queries; ++q) {
+    Stopwatch call;
+    svc::Response response =
+        Call(service->get(), "QUERY", {"frequent-pairs"});
+    query_samples.push_back(call.ElapsedSeconds());
+    ok = ok && response.status.ok();
+    frequent = std::move(response.payload);
+  }
+  report.AddToN(queries);
+  const double query_us_per_call =
+      MedianSeconds(std::move(query_samples)) * 1e6;
+  report.AddResult("query.us_per_call", query_us_per_call);
+  report.AddResult("svc.frequent_pairs", CountCsvRows(frequent));
+
+  // Retract every other batch (ids are 1-based, in ingest order).
+  std::vector<double> retract_samples;
+  for (int32_t id = 2; id <= batches; id += 2) {
+    Stopwatch call;
+    ok = ok &&
+         Call(service->get(), "RETRACT", {std::to_string(id)}).status.ok();
+    retract_samples.push_back(call.ElapsedSeconds());
+  }
+  report.AddToN(static_cast<int64_t>(retract_samples.size()));
+  report.AddResult("retract.us_per_batch",
+                   MedianSeconds(std::move(retract_samples)) * 1e6);
+  const std::string after_retract =
+      Call(service->get(), "QUERY", {"frequent-pairs"}).payload;
+  report.AddResult("svc.frequent_pairs_after_retract",
+                   CountCsvRows(after_retract));
+
+  // Shape check = the crash contract: a fresh service over the WAL we
+  // just wrote must answer byte-identically to the live one.
+  service->reset();
+  Result<std::unique_ptr<svc::CousinService>> revived =
+      svc::CousinService::Start(config);
+  ok = ok && revived.ok();
+  if (revived.ok()) {
+    const std::string replayed =
+        Call(revived->get(), "QUERY", {"frequent-pairs"}).payload;
+    ok = ok && replayed == after_retract;
+    csv.WriteComment(std::string("replay check: ") +
+                     (replayed == after_retract ? "byte-identical"
+                                                : "DIVERGED"));
+  }
+  std::remove(wal_path.c_str());
+
+  csv.WriteRow({"batches", "trees", "ingest_us_per_tree",
+                "query_us_per_call", "frequent_pairs"});
+  csv.WriteRow({std::to_string(batches), std::to_string(total_trees),
+                std::to_string(ingest_us_per_tree),
+                std::to_string(query_us_per_call),
+                std::to_string(CountCsvRows(frequent))});
+  return report.Finish(ok) ? 0 : 1;
+}

@@ -359,6 +359,36 @@ void MultiTreeMiner::MergeFrom(const MultiTreeMiner& other) {
   }
 }
 
+void MultiTreeMiner::SubtractFrom(const MultiTreeMiner& other) {
+  COUSINS_CHECK(options_ == other.options_ &&
+                "SubtractFrom requires identical mining options");
+  COUSINS_CHECK((labels_ == nullptr || other.labels_ == nullptr ||
+                 labels_ == other.labels_) &&
+                "SubtractFrom requires a shared label table");
+  COUSINS_METRIC_SCOPED_TIMER("mine.multi.subtract");
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.subtracts", 1);
+  COUSINS_METRIC_COUNTER_ADD("mine.multi.subtracted_tallies",
+                             other.total_tallies_);
+  tree_count_ -= other.tree_count_;
+  if (tree_count_ < 0) tree_count_ = 0;
+  COUSINS_CHECK(tables_.size() == other.tables_.size());
+  for (size_t d = 0; d < tables_.size(); ++d) {
+    internal::TallyMap& mine = tables_[d];
+    other.tables_[d].ForEach(
+        [&](uint64_t key, int32_t support, int64_t occurrences) {
+          total_tallies_ += mine.Subtract(key, support, occurrences);
+        });
+  }
+  COUSINS_CHECK(aux_tables_.size() == other.aux_tables_.size());
+  for (size_t d = 0; d < aux_tables_.size(); ++d) {
+    internal::WideTallyMap& mine = aux_tables_[d];
+    other.aux_tables_[d].ForEach([&](uint64_t key, uint32_t aux,
+                                     int32_t support, int64_t occurrences) {
+      total_tallies_ += mine.Subtract(key, aux, support, occurrences);
+    });
+  }
+}
+
 MultiTreeMiner::AccumulatorStats MultiTreeMiner::accumulator_stats()
     const {
   AccumulatorStats stats;

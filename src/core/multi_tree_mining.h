@@ -162,6 +162,15 @@ class MultiTreeMiner {
   /// sharded miner). Both must have identical options and label tables.
   void MergeFrom(const MultiTreeMiner& other);
 
+  /// Inverse of MergeFrom: counted subtraction of another miner's
+  /// tallies (the daemon's RETRACT primitive — the retracted batch is
+  /// re-mined into a staging miner and subtracted here). Supports and
+  /// occurrences clamp at zero; entries netting out to zero leave the
+  /// live tally count (and ForEach/FrequentPairs visibility) exactly as
+  /// if the batch had never been ingested. Both miners must have
+  /// identical options and label tables.
+  void SubtractFrom(const MultiTreeMiner& other);
+
   /// All pairs with support >= min_support, sorted by descending
   /// support, then canonical label/distance order.
   std::vector<FrequentCousinPair> FrequentPairs() const;

@@ -30,9 +30,14 @@ namespace cousins {
 namespace internal {
 
 /// packed-label-pair -> (support, total_occurrences) with linear
-/// probing over power-of-two capacity. Supports are always positive
-/// (one per containing tree), so unlike PairCountMap there are no
-/// zero-net entries and no purge logic.
+/// probing over power-of-two capacity. Counted deletion (Subtract, the
+/// RETRACT primitive of the resident daemon) can leave zero-net slots
+/// behind: they keep occupying their probe slot (erasing from a
+/// linear-probe chain would break lookups for keys probing past them)
+/// but are invisible to ForEach/live() and are purged on the next
+/// rehash, exactly the PairCountMap discipline — growth only doubles
+/// capacity when the *live* entries genuinely crowd the table, so a
+/// subtract-heavy workload cannot ratchet capacity upward.
 class TallyMap {
  public:
   /// Cumulative accounting of hash-table work. `grows` counts
@@ -61,16 +66,24 @@ class TallyMap {
 
   /// Folds (support_delta, occ_delta) into `key`, inserting it if new.
   /// Saturating adds: adversarial corpora clamp instead of wrapping.
-  /// Returns true when the key was newly inserted.
-  bool Add(uint64_t key, int32_t support_delta, int64_t occ_delta) {
+  /// Returns the live-entry delta: +1 when the key was newly inserted
+  /// (or a zero-net slot was revived), 0 otherwise — callers keep
+  /// their live-tally accounting by summing the return values of Add
+  /// and Subtract.
+  int Add(uint64_t key, int32_t support_delta, int64_t occ_delta) {
     if (keys_.empty()) Rehash(kMinCapacity);
     COUSINS_METRICS_ONLY(++stats_.probes;)
     size_t i = Slot(key);
     while (keys_[i] != kEmpty) {
       if (keys_[i] == key) {
+        const bool was_dead = supports_[i] == 0 && occurrences_[i] == 0;
         supports_[i] = SaturatingAddInt(supports_[i], support_delta);
         occurrences_[i] = SaturatingAdd(occurrences_[i], occ_delta);
-        return false;
+        if (was_dead && !(supports_[i] == 0 && occurrences_[i] == 0)) {
+          ++live_;
+          return 1;
+        }
+        return 0;
       }
       COUSINS_METRICS_ONLY(++stats_.probes;)
       i = (i + 1) & mask_;
@@ -78,11 +91,39 @@ class TallyMap {
     keys_[i] = key;
     supports_[i] = support_delta;
     occurrences_[i] = occ_delta;
-    if (++size_ * 10 >= keys_.size() * 7) {
-      ++stats_.grows;
-      Rehash(keys_.size() * 2);
+    const int delta = (support_delta == 0 && occ_delta == 0) ? 0 : 1;
+    live_ += delta;
+    if (++size_ * 10 >= keys_.size() * 7) Grow();
+    return delta;
+  }
+
+  /// Counted deletion: subtracts (support_delta, occ_delta) from `key`,
+  /// clamping both counters at zero (SaturatingSub-to-zero — retracting
+  /// more than was ever added cannot wrap into negative support). A key
+  /// that was never added is a no-op. Returns the live-entry delta:
+  /// -1 when the entry netted out to zero on this call, 0 otherwise.
+  int Subtract(uint64_t key, int32_t support_delta, int64_t occ_delta) {
+    if (keys_.empty()) return 0;
+    COUSINS_METRICS_ONLY(++stats_.probes;)
+    size_t i = Slot(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        const bool was_dead = supports_[i] == 0 && occurrences_[i] == 0;
+        const int64_t s =
+            static_cast<int64_t>(supports_[i]) - support_delta;
+        supports_[i] = s < 0 ? 0 : static_cast<int32_t>(s);
+        const int64_t o = SaturatingSub(occurrences_[i], occ_delta);
+        occurrences_[i] = o < 0 ? 0 : o;
+        if (!was_dead && supports_[i] == 0 && occurrences_[i] == 0) {
+          --live_;
+          return -1;
+        }
+        return 0;
+      }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
+      i = (i + 1) & mask_;
     }
-    return true;
+    return 0;
   }
 
   /// Issues a software prefetch for `key`'s home slot so a later Add
@@ -95,20 +136,26 @@ class TallyMap {
 #endif
   }
 
-  /// Number of distinct keys.
+  /// Number of occupied slots, including zero-net ones awaiting purge
+  /// (drives the load factor).
   size_t size() const { return size_; }
+
+  /// Number of entries visible to ForEach (occupied minus zero-net).
+  size_t live() const { return live_; }
 
   /// Current slot count (zero before first use, else a power of two).
   size_t capacity() const { return keys_.size(); }
 
   const Stats& stats() const { return stats_; }
 
-  /// Invokes fn(key, support, occurrences) for every entry
-  /// (unspecified order).
+  /// Invokes fn(key, support, occurrences) for every live entry
+  /// (unspecified order); zero-net slots are skipped.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != kEmpty) fn(keys_[i], supports_[i], occurrences_[i]);
+      if (keys_[i] == kEmpty) continue;
+      if (supports_[i] == 0 && occurrences_[i] == 0) continue;
+      fn(keys_[i], supports_[i], occurrences_[i]);
     }
   }
 
@@ -123,6 +170,15 @@ class TallyMap {
     return static_cast<size_t>(h ^ (h >> 31)) & mask_;
   }
 
+  /// Load-factor response, purge-before-grow (the PairCountMap fix):
+  /// rehashing drops zero-net slots, so capacity only doubles when the
+  /// live entries alone would keep the table over half full.
+  void Grow() {
+    ++stats_.grows;
+    const size_t capacity = keys_.size();
+    Rehash(live_ * 2 >= capacity ? capacity * 2 : capacity);
+  }
+
   void Rehash(size_t capacity) {
     std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<int32_t> old_supports = std::move(supports_);
@@ -131,14 +187,18 @@ class TallyMap {
     supports_.assign(capacity, 0);
     occurrences_.assign(capacity, 0);
     mask_ = capacity - 1;
+    size_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {
       if (old_keys[i] == kEmpty) continue;
+      if (old_supports[i] == 0 && old_occurrences[i] == 0) continue;
       size_t j = Slot(old_keys[i]);
       while (keys_[j] != kEmpty) j = (j + 1) & mask_;
       keys_[j] = old_keys[i];
       supports_[j] = old_supports[i];
       occurrences_[j] = old_occurrences[i];
+      ++size_;
     }
+    live_ = size_;
   }
 
   std::vector<uint64_t> keys_;
@@ -146,6 +206,7 @@ class TallyMap {
   std::vector<int64_t> occurrences_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  size_t live_ = 0;
   Stats stats_;
 };
 
@@ -169,18 +230,24 @@ class WideTallyMap {
   }
 
   /// Folds (support_delta, occ_delta) into (key, aux), inserting the
-  /// composite if new. Saturating adds. Returns true when newly
-  /// inserted.
-  bool Add(uint64_t key, uint32_t aux, int32_t support_delta,
-           int64_t occ_delta) {
+  /// composite if new. Saturating adds. Returns the live-entry delta:
+  /// +1 when newly inserted or revived from zero-net, 0 otherwise
+  /// (see TallyMap::Add).
+  int Add(uint64_t key, uint32_t aux, int32_t support_delta,
+          int64_t occ_delta) {
     if (keys_.empty()) Rehash(kMinCapacity);
     COUSINS_METRICS_ONLY(++stats_.probes;)
     size_t i = Slot(key, aux);
     while (keys_[i] != kEmpty) {
       if (keys_[i] == key && aux_[i] == aux) {
+        const bool was_dead = supports_[i] == 0 && occurrences_[i] == 0;
         supports_[i] = SaturatingAddInt(supports_[i], support_delta);
         occurrences_[i] = SaturatingAdd(occurrences_[i], occ_delta);
-        return false;
+        if (was_dead && !(supports_[i] == 0 && occurrences_[i] == 0)) {
+          ++live_;
+          return 1;
+        }
+        return 0;
       }
       COUSINS_METRICS_ONLY(++stats_.probes;)
       i = (i + 1) & mask_;
@@ -189,11 +256,37 @@ class WideTallyMap {
     aux_[i] = aux;
     supports_[i] = support_delta;
     occurrences_[i] = occ_delta;
-    if (++size_ * 10 >= keys_.size() * 7) {
-      ++stats_.grows;
-      Rehash(keys_.size() * 2);
+    const int delta = (support_delta == 0 && occ_delta == 0) ? 0 : 1;
+    live_ += delta;
+    if (++size_ * 10 >= keys_.size() * 7) Grow();
+    return delta;
+  }
+
+  /// Counted deletion of the (key, aux) composite; see
+  /// TallyMap::Subtract for the clamp-at-zero and live-delta contract.
+  int Subtract(uint64_t key, uint32_t aux, int32_t support_delta,
+               int64_t occ_delta) {
+    if (keys_.empty()) return 0;
+    COUSINS_METRICS_ONLY(++stats_.probes;)
+    size_t i = Slot(key, aux);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key && aux_[i] == aux) {
+        const bool was_dead = supports_[i] == 0 && occurrences_[i] == 0;
+        const int64_t s =
+            static_cast<int64_t>(supports_[i]) - support_delta;
+        supports_[i] = s < 0 ? 0 : static_cast<int32_t>(s);
+        const int64_t o = SaturatingSub(occurrences_[i], occ_delta);
+        occurrences_[i] = o < 0 ? 0 : o;
+        if (!was_dead && supports_[i] == 0 && occurrences_[i] == 0) {
+          --live_;
+          return -1;
+        }
+        return 0;
+      }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
+      i = (i + 1) & mask_;
     }
-    return true;
+    return 0;
   }
 
   /// See TallyMap::PrefetchKey.
@@ -209,21 +302,23 @@ class WideTallyMap {
   /// allocation-free (mirrors PairCountMap::Clear).
   void Clear() {
     size_ = 0;
+    live_ = 0;
     keys_.assign(keys_.size(), kEmpty);
   }
 
   size_t size() const { return size_; }
+  size_t live() const { return live_; }
   size_t capacity() const { return keys_.size(); }
   const TallyMap::Stats& stats() const { return stats_; }
 
-  /// Invokes fn(key, aux, support, occurrences) for every entry
-  /// (unspecified order).
+  /// Invokes fn(key, aux, support, occurrences) for every live entry
+  /// (unspecified order); zero-net slots are skipped.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != kEmpty) {
-        fn(keys_[i], aux_[i], supports_[i], occurrences_[i]);
-      }
+      if (keys_[i] == kEmpty) continue;
+      if (supports_[i] == 0 && occurrences_[i] == 0) continue;
+      fn(keys_[i], aux_[i], supports_[i], occurrences_[i]);
     }
   }
 
@@ -238,6 +333,13 @@ class WideTallyMap {
     return static_cast<size_t>(h ^ (h >> 31)) & mask_;
   }
 
+  /// See TallyMap::Grow — purge-before-grow.
+  void Grow() {
+    ++stats_.grows;
+    const size_t capacity = keys_.size();
+    Rehash(live_ * 2 >= capacity ? capacity * 2 : capacity);
+  }
+
   void Rehash(size_t capacity) {
     std::vector<uint64_t> old_keys = std::move(keys_);
     std::vector<uint32_t> old_aux = std::move(aux_);
@@ -248,15 +350,19 @@ class WideTallyMap {
     supports_.assign(capacity, 0);
     occurrences_.assign(capacity, 0);
     mask_ = capacity - 1;
+    size_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {
       if (old_keys[i] == kEmpty) continue;
+      if (old_supports[i] == 0 && old_occurrences[i] == 0) continue;
       size_t j = Slot(old_keys[i], old_aux[i]);
       while (keys_[j] != kEmpty) j = (j + 1) & mask_;
       keys_[j] = old_keys[i];
       aux_[j] = old_aux[i];
       supports_[j] = old_supports[i];
       occurrences_[j] = old_occurrences[i];
+      ++size_;
     }
+    live_ = size_;
   }
 
   std::vector<uint64_t> keys_;
@@ -265,6 +371,7 @@ class WideTallyMap {
   std::vector<int64_t> occurrences_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  size_t live_ = 0;
   TallyMap::Stats stats_;
 };
 

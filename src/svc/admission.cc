@@ -1,0 +1,60 @@
+#include "svc/admission.h"
+
+#include "obs/metrics.h"
+
+namespace cousins::svc {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config) {}
+
+AdmissionDecision AdmissionController::TryAdmit(int64_t bytes) {
+  AdmissionDecision decision;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ >= config_.max_inflight) {
+    decision.reason = "admission queue full (" +
+                      std::to_string(inflight_) + " in flight)";
+  } else if (inflight_bytes_ + bytes > config_.max_inflight_bytes) {
+    decision.reason = "admission byte watermark exceeded (" +
+                      std::to_string(inflight_bytes_ + bytes) + " > " +
+                      std::to_string(config_.max_inflight_bytes) + ")";
+  } else {
+    decision.admitted = true;
+    ++inflight_;
+    inflight_bytes_ += bytes;
+    ++admitted_total_;
+    COUSINS_METRIC_COUNTER_ADD("svc.admitted", 1);
+    return decision;
+  }
+  decision.retry_after_ms = config_.retry_after_ms;
+  ++shed_;
+  COUSINS_METRIC_COUNTER_ADD("svc.shed", 1);
+  return decision;
+}
+
+void AdmissionController::Release(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  inflight_bytes_ -= bytes;
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+int64_t AdmissionController::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_bytes_;
+}
+
+int64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+int64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+}  // namespace cousins::svc

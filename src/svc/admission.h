@@ -1,0 +1,84 @@
+// Admission control for the resident mining daemon: a pure-logic
+// controller bounding in-flight work by request count (queue depth)
+// and by admitted payload bytes (a memory watermark), so overload
+// sheds cheap kUnavailable + Retry-After responses instead of queueing
+// until the process OOMs. HEALTH bypasses admission by design — the
+// daemon must stay observable exactly when it is refusing work.
+
+#ifndef COUSINS_SVC_ADMISSION_H_
+#define COUSINS_SVC_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace cousins::svc {
+
+struct AdmissionConfig {
+  /// Maximum concurrently admitted requests (INGEST/RETRACT/QUERY).
+  int max_inflight = 4;
+  /// Watermark over the payload bytes of admitted requests: a new
+  /// request is shed while admitted bytes + its bytes would exceed
+  /// this.
+  int64_t max_inflight_bytes = 256ll << 20;
+  /// Advisory Retry-After for shed responses.
+  int retry_after_ms = 50;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  int retry_after_ms = 0;
+  std::string reason;  // why the request was shed (empty if admitted)
+};
+
+/// Thread-safe. Every TryAdmit that returns admitted=true must be
+/// paired with exactly one Release(bytes) with the same byte count —
+/// callers hold an AdmissionSlot (below) to make that structural.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config = {});
+
+  AdmissionDecision TryAdmit(int64_t bytes);
+  void Release(int64_t bytes);
+
+  int inflight() const;
+  int64_t inflight_bytes() const;
+  /// Total requests shed since construction (== every rejection this
+  /// controller ever issued; the overload contract's accounting).
+  int64_t shed() const;
+  int64_t admitted_total() const;
+
+ private:
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  int inflight_ = 0;
+  int64_t inflight_bytes_ = 0;
+  int64_t shed_ = 0;
+  int64_t admitted_total_ = 0;
+};
+
+/// RAII admission slot: releases on destruction when admitted.
+class AdmissionSlot {
+ public:
+  AdmissionSlot(AdmissionController& controller, int64_t bytes)
+      : controller_(controller),
+        bytes_(bytes),
+        decision_(controller.TryAdmit(bytes)) {}
+  ~AdmissionSlot() {
+    if (decision_.admitted) controller_.Release(bytes_);
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  const AdmissionDecision& decision() const { return decision_; }
+  bool admitted() const { return decision_.admitted; }
+
+ private:
+  AdmissionController& controller_;
+  int64_t bytes_;
+  AdmissionDecision decision_;
+};
+
+}  // namespace cousins::svc
+
+#endif  // COUSINS_SVC_ADMISSION_H_

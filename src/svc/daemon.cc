@@ -1,0 +1,533 @@
+#include "svc/daemon.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "core/item_io.h"
+#include "obs/metrics.h"
+#include "tree/newick.h"
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace cousins::svc {
+namespace {
+
+constexpr std::string_view kDeadlineArgPrefix = "deadline-ms=";
+
+Response ErrorResponse(Status status) {
+  Response response;
+  response.status = std::move(status);
+  return response;
+}
+
+Response ShedResponse(const AdmissionDecision& decision) {
+  Response response;
+  response.status = Status::Unavailable("request shed: " + decision.reason);
+  response.retry_after_ms = decision.retry_after_ms;
+  return response;
+}
+
+/// The lenient-mode quarantine source name of a batch — batch-local,
+/// so replayed re-mining reproduces byte-identical ledger entries.
+std::string BatchSource(int64_t batch_id) {
+  return "batch:" + std::to_string(batch_id);
+}
+
+}  // namespace
+
+CousinService::CousinService(const ServiceConfig& config)
+    : config_(config),
+      // The lenient flag changes which entries of a batch tally, so it
+      // is part of the WAL identity alongside the mining options.
+      fingerprint_(MiningOptionsFingerprint(config.mining) ^
+                   (config.lenient ? 0x5CACADAFu : 0u)),
+      labels_(std::make_shared<LabelTable>()),
+      miner_(config.mining),
+      admission_(config.admission) {
+  miner_.BindLabels(labels_);
+}
+
+Result<std::unique_ptr<CousinService>> CousinService::Start(
+    const ServiceConfig& config) {
+  if (config.wal_path.empty()) {
+    return Status::InvalidArgument("service requires a WAL path");
+  }
+  COUSINS_RETURN_IF_ERROR(ValidateVariantOptions(config.mining));
+  std::unique_ptr<CousinService> service(new CousinService(config));
+
+  size_t valid_prefix = 0;
+  Result<std::vector<SvcWalRecord>> replay =
+      ReplaySvcWal(config.wal_path, service->fingerprint_, &valid_prefix);
+  bool need_header = false;
+  if (replay.ok()) {
+    // Trim any torn tail so new appends never land after junk bytes.
+    if (::truncate(config.wal_path.c_str(),
+                   static_cast<off_t>(valid_prefix)) != 0) {
+      return Status::Unavailable("cannot trim service WAL '" +
+                                 config.wal_path + "'");
+    }
+    need_header = valid_prefix == 0;
+    for (const SvcWalRecord& record : *replay) {
+      COUSINS_RETURN_IF_ERROR(service->ApplyReplayRecord(record));
+    }
+  } else if (replay.status().code() == StatusCode::kNotFound) {
+    need_header = true;
+  } else {
+    return replay.status();
+  }
+
+  COUSINS_ASSIGN_OR_RETURN(service->wal_, SvcWal::Open(config.wal_path));
+  if (need_header) {
+    COUSINS_RETURN_IF_ERROR(service->wal_.AppendHeader(service->fingerprint_));
+  }
+  COUSINS_METRIC_COUNTER_ADD("svc.replayed_batches",
+                             service->replayed_batches_);
+  COUSINS_RETURN_IF_ERROR(service->PublishSnapshot());
+  return service;
+}
+
+MiningContext CousinService::ContextFor(const Request& request) const {
+  MiningContext context;
+  // The client's deadline-ms and the server ceiling combine tighter-
+  // wins; a client asking for 0 ms is already expired (the first
+  // governance checkpoint trips), it is not "no deadline".
+  int64_t deadline_ms = -1;
+  for (const std::string& arg : request.args) {
+    if (StartsWith(arg, kDeadlineArgPrefix)) {
+      const int64_t client_ms =
+          std::atoll(arg.c_str() + kDeadlineArgPrefix.size());
+      if (client_ms >= 0 && (deadline_ms < 0 || client_ms < deadline_ms)) {
+        deadline_ms = client_ms;
+      }
+    }
+  }
+  if (config_.max_request_ms > 0 &&
+      (deadline_ms < 0 || config_.max_request_ms < deadline_ms)) {
+    deadline_ms = config_.max_request_ms;
+  }
+  if (deadline_ms >= 0) {
+    context.set_timeout(std::chrono::milliseconds(deadline_ms));
+  }
+  context.set_budget(config_.budget);
+  return context;
+}
+
+Status CousinService::MineBatch(int64_t batch_id, const std::string& payload,
+                                const MiningContext& context,
+                                MultiTreeMiner* staging,
+                                QuarantineLedger* quarantine) {
+  staging->BindLabels(labels_);
+  if (config_.lenient) {
+    COUSINS_ASSIGN_OR_RETURN(
+        LenientForest forest,
+        ParseNewickForestLenient(payload, labels_, config_.parse_limits));
+    const std::string source = BatchSource(batch_id);
+    for (const ForestEntryError& error : forest.errors) {
+      QuarantineParseError(source, error, quarantine);
+    }
+    DegradedModeConfig degraded;
+    degraded.lenient = true;
+    degraded.ledger = quarantine;
+    degraded.source_name = source;
+    for (size_t i = 0; i < forest.trees.size(); ++i) {
+      COUSINS_RETURN_IF_ERROR(staging->AddTreeDegraded(
+          forest.trees[i], forest.source_indices[i], context, degraded));
+    }
+    return Status::OK();
+  }
+  COUSINS_ASSIGN_OR_RETURN(
+      std::vector<Tree> trees,
+      ParseNewickForest(payload, labels_, config_.parse_limits));
+  for (const Tree& tree : trees) {
+    COUSINS_RETURN_IF_ERROR(staging->AddTreeGoverned(tree, context));
+  }
+  return Status::OK();
+}
+
+Status CousinService::ApplyReplayRecord(const SvcWalRecord& record) {
+  if (record.kind == SvcWalRecord::Kind::kBatch) {
+    MultiTreeMiner staging(config_.mining);
+    COUSINS_RETURN_IF_ERROR(MineBatch(record.id, record.payload,
+                                      MiningContext::Unlimited(), &staging,
+                                      &quarantine_));
+    miner_.MergeFrom(staging);
+    batches_[record.id] =
+        BatchInfo{record.payload, staging.tree_count()};
+    if (record.id >= next_batch_id_) next_batch_id_ = record.id + 1;
+    ++replayed_batches_;
+    return Status::OK();
+  }
+  if (record.kind == SvcWalRecord::Kind::kRetract) {
+    auto it = batches_.find(record.id);
+    if (it == batches_.end()) {
+      return Status::Corruption(
+          "WAL retracts unknown batch " + std::to_string(record.id));
+    }
+    MultiTreeMiner staging(config_.mining);
+    QuarantineLedger scratch;
+    COUSINS_RETURN_IF_ERROR(MineBatch(record.id, it->second.payload,
+                                      MiningContext::Unlimited(), &staging,
+                                      &scratch));
+    miner_.SubtractFrom(staging);
+    batches_.erase(it);
+    return Status::OK();
+  }
+  return Status::Corruption("unexpected WAL record kind");
+}
+
+Status CousinService::PublishSnapshot() {
+  const auto start = std::chrono::steady_clock::now();
+  if (fault::Fired("svc.swap")) {
+    COUSINS_METRIC_COUNTER_ADD("svc.swap_failures", 1);
+    return Status::Unavailable(
+        "injected fault at svc.swap; state is durable and will surface "
+        "on the next publish or restart");
+  }
+  auto next = std::make_shared<ServiceSnapshot>();
+  next->version = snapshot_version_.fetch_add(1,
+                                              std::memory_order_relaxed) +
+                  1;
+  next->trees = miner_.tree_count();
+  next->live_batches = static_cast<int64_t>(batches_.size());
+  next->tallies = miner_.accumulator_stats().tally_entries;
+  switch (config_.mining.variant) {
+    case MinerVariant::kCousin:
+    case MinerVariant::kFreeTree:
+      next->frequent_csv =
+          FrequentPairsToCsv(*labels_, miner_.FrequentPairs());
+      next->all_csv = FrequentPairsToCsv(*labels_, miner_.AllTallies());
+      break;
+    case MinerVariant::kGeneralized:
+      next->frequent_csv = GeneralizedPairsToCsv(
+          *labels_, miner_.FrequentGeneralizedPairs());
+      next->all_csv =
+          GeneralizedPairsToCsv(*labels_, miner_.AllGeneralizedTallies());
+      break;
+    case MinerVariant::kWeighted:
+      next->frequent_csv =
+          WeightedPairsToCsv(*labels_, miner_.FrequentWeightedPairs());
+      next->all_csv =
+          WeightedPairsToCsv(*labels_, miner_.AllWeightedTallies());
+      break;
+  }
+  snapshot_cell_.Store(std::move(next));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  COUSINS_METRIC_COUNTER_ADD("svc.swaps", 1);
+  COUSINS_METRIC_HISTOGRAM_RECORD(
+      "svc.swap_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count());
+  return Status::OK();
+}
+
+Response CousinService::HandleIngest(const Request& request) {
+  if (draining()) {
+    return ErrorResponse(
+        Status::Unavailable("service is draining; not accepting ingest"));
+  }
+  if (static_cast<int64_t>(request.payload.size()) >
+      config_.max_batch_bytes) {
+    return ErrorResponse(Status::InvalidArgument(
+        "batch exceeds max_batch_bytes (" +
+        std::to_string(request.payload.size()) + " > " +
+        std::to_string(config_.max_batch_bytes) + ")"));
+  }
+  AdmissionSlot slot(admission_,
+                     static_cast<int64_t>(request.payload.size()));
+  if (!slot.admitted()) return ShedResponse(slot.decision());
+  const MiningContext context = ContextFor(request);
+
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  const int64_t id = next_batch_id_;
+  MultiTreeMiner staging(config_.mining);
+  QuarantineLedger batch_quarantine;
+  Status mined =
+      MineBatch(id, request.payload, context, &staging, &batch_quarantine);
+  if (!mined.ok()) {
+    // Staging discarded: a rejected or tripped batch leaves the
+    // resident tallies, the WAL and the quarantine ledger untouched.
+    COUSINS_METRIC_COUNTER_ADD("svc.ingest_rejected", 1);
+    return ErrorResponse(std::move(mined));
+  }
+  Status appended = wal_.AppendBatch(id, request.payload);
+  if (!appended.ok()) {
+    COUSINS_METRIC_COUNTER_ADD("svc.ingest_rejected", 1);
+    return ErrorResponse(std::move(appended));
+  }
+  // Point of no return: the batch is durable. Everything after must
+  // succeed or leave a state the WAL replay converges to.
+  for (QuarantineEntry& entry : batch_quarantine.Entries()) {
+    quarantine_.Add(std::move(entry));
+  }
+  const int trees = staging.tree_count();
+  miner_.MergeFrom(staging);
+  batches_[id] = BatchInfo{request.payload, trees};
+  next_batch_id_ = id + 1;
+  COUSINS_METRIC_COUNTER_ADD("svc.ingest_batches", 1);
+  COUSINS_METRIC_COUNTER_ADD("svc.ingest_trees", trees);
+  Status published = PublishSnapshot();
+  if (!published.ok()) return ErrorResponse(std::move(published));
+  Response response;
+  response.payload = "id=" + std::to_string(id) +
+                     " trees=" + std::to_string(trees) + "\n";
+  return response;
+}
+
+Response CousinService::HandleRetract(const Request& request) {
+  if (draining()) {
+    return ErrorResponse(
+        Status::Unavailable("service is draining; not accepting retract"));
+  }
+  if (request.args.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("RETRACT requires a batch id"));
+  }
+  AdmissionSlot slot(admission_, 0);
+  if (!slot.admitted()) return ShedResponse(slot.decision());
+  const int64_t id = std::atoll(request.args[0].c_str());
+  const MiningContext context = ContextFor(request);
+
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  auto it = batches_.find(id);
+  if (it == batches_.end()) {
+    return ErrorResponse(Status::NotFound(
+        "batch " + std::to_string(id) + " is not live (never ingested, "
+        "or already retracted)"));
+  }
+  MultiTreeMiner staging(config_.mining);
+  // Re-mining reproduces exactly the tallies the batch contributed;
+  // its quarantine entries were recorded at ingest, so the re-parse
+  // failures go to a throwaway ledger.
+  QuarantineLedger scratch;
+  Status mined =
+      MineBatch(id, it->second.payload, context, &staging, &scratch);
+  if (!mined.ok()) return ErrorResponse(std::move(mined));
+  Status appended = wal_.AppendRetract(id);
+  if (!appended.ok()) return ErrorResponse(std::move(appended));
+  const int trees = staging.tree_count();
+  miner_.SubtractFrom(staging);
+  batches_.erase(it);
+  COUSINS_METRIC_COUNTER_ADD("svc.retracts", 1);
+  Status published = PublishSnapshot();
+  if (!published.ok()) return ErrorResponse(std::move(published));
+  Response response;
+  response.payload = "id=" + std::to_string(id) +
+                     " trees=" + std::to_string(trees) + "\n";
+  return response;
+}
+
+Response CousinService::HandleQuery(const Request& request) const {
+  if (request.args.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "QUERY requires a mode: frequent-pairs | support"));
+  }
+  AdmissionSlot slot(const_cast<AdmissionController&>(admission_), 0);
+  if (!slot.admitted()) return ShedResponse(slot.decision());
+  std::shared_ptr<const ServiceSnapshot> snapshot = snapshot_cell_.Load();
+  Response response;
+  if (request.args[0] == "frequent-pairs") {
+    response.payload = snapshot->frequent_csv;
+    return response;
+  }
+  if (request.args[0] == "support") {
+    if (request.args.size() < 4) {
+      return ErrorResponse(Status::InvalidArgument(
+          "QUERY support requires <label1> <label2> <distance>"));
+    }
+    // Row match over the all-tallies CSV: the first three fields are
+    // label1, label2 and the rendered distance for every variant's CSV
+    // shape. Labels containing commas or quotes are matched by their
+    // CSV-escaped form.
+    const std::string needle =
+        request.args[1] + "," + request.args[2] + "," + request.args[3] + ",";
+    bool first = true;
+    for (std::string_view line : Split(snapshot->all_csv, '\n')) {
+      if (first) {
+        // Header row.
+        response.payload.assign(line);
+        response.payload += "\n";
+        first = false;
+        continue;
+      }
+      if (StartsWith(line, needle)) {
+        response.payload.append(line);
+        response.payload += "\n";
+      }
+    }
+    return response;
+  }
+  return ErrorResponse(Status::InvalidArgument(
+      "unknown QUERY mode '" + request.args[0] + "'"));
+}
+
+std::string CousinService::HealthJson() const {
+  std::shared_ptr<const ServiceSnapshot> snapshot = snapshot_cell_.Load();
+  std::string out = "{\"svc\":{";
+  out += "\"draining\":" + std::string(draining() ? "true" : "false");
+  out += ",\"trees\":" + std::to_string(snapshot->trees);
+  out += ",\"live_batches\":" + std::to_string(snapshot->live_batches);
+  out += ",\"tallies\":" + std::to_string(snapshot->tallies);
+  out += ",\"snapshot_version\":" + std::to_string(snapshot->version);
+  out += ",\"replayed_batches\":" + std::to_string(replayed_batches_);
+  out += ",\"requests\":" +
+         std::to_string(requests_.load(std::memory_order_relaxed));
+  out += ",\"admission\":{";
+  out += "\"inflight\":" + std::to_string(admission_.inflight());
+  out += ",\"inflight_bytes\":" +
+         std::to_string(admission_.inflight_bytes());
+  out += ",\"shed\":" + std::to_string(admission_.shed());
+  out += ",\"admitted\":" + std::to_string(admission_.admitted_total());
+  out += "}}}";
+  return out;
+}
+
+Response CousinService::HandleHealth() const {
+  // No admission, no mutation mutex: HEALTH answers even when the
+  // service is saturated or mid-ingest.
+  Response response;
+  response.payload = HealthJson() + "\n";
+  return response;
+}
+
+Response CousinService::HandleDrain() {
+  BeginDrain();
+  Response response;
+  response.payload = "draining\n";
+  return response;
+}
+
+Response CousinService::Handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  COUSINS_METRIC_COUNTER_ADD("svc.requests", 1);
+  if (request.verb == "INGEST") return HandleIngest(request);
+  if (request.verb == "RETRACT") return HandleRetract(request);
+  if (request.verb == "QUERY") return HandleQuery(request);
+  if (request.verb == "HEALTH") return HandleHealth();
+  if (request.verb == "DRAIN") return HandleDrain();
+  return ErrorResponse(
+      Status::InvalidArgument("unknown verb '" + request.verb + "'"));
+}
+
+Status CousinService::FinishDrain() {
+  if (drained_.exchange(true)) return Status::OK();
+  BeginDrain();
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  if (!config_.checkpoint_path.empty()) {
+    COUSINS_RETURN_IF_ERROR(WriteFileAtomic(
+        config_.checkpoint_path, miner_.SerializeCheckpoint(&quarantine_)));
+  }
+  if (!config_.health_report_path.empty()) {
+    COUSINS_RETURN_IF_ERROR(
+        WriteFileAtomic(config_.health_report_path, HealthJson() + "\n"));
+  }
+  COUSINS_METRIC_COUNTER_ADD("svc.drains", 1);
+  return Status::OK();
+}
+
+void ServeConnection(int in_fd, int out_fd, CousinService& service,
+                     std::atomic<bool>* stop) {
+  std::string body;
+  for (;;) {
+    Result<bool> got = ReadFrame(in_fd, &body);
+    if (!got.ok()) {
+      // A torn frame or injected read fault drops this connection
+      // only; the daemon (and every other connection) keeps serving.
+      COUSINS_METRIC_COUNTER_ADD("svc.conn_errors", 1);
+      break;
+    }
+    if (!*got) break;  // clean EOF
+    Response response;
+    Result<Request> request = ParseRequest(body);
+    bool served_drain = false;
+    if (!request.ok()) {
+      response.status = request.status();
+    } else {
+      response = service.Handle(*request);
+      served_drain = request->verb == "DRAIN" && response.status.ok();
+    }
+    Status written = WriteFrame(out_fd, RenderResponse(response));
+    if (!written.ok()) {
+      COUSINS_METRIC_COUNTER_ADD("svc.conn_errors", 1);
+      break;
+    }
+    if (served_drain) {
+      if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+Status RunUnixServer(const std::string& socket_path,
+                     CousinService& service, std::atomic<bool>* stop) {
+  const int listen_fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Unavailable("cannot create unix socket");
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    close(listen_fd);
+    return Status::InvalidArgument("socket path too long");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());
+  if (bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(listen_fd);
+    return Status::Unavailable("cannot bind unix socket '" + socket_path +
+                               "'");
+  }
+  if (listen(listen_fd, 16) != 0) {
+    close(listen_fd);
+    return Status::Unavailable("cannot listen on '" + socket_path + "'");
+  }
+  std::vector<std::thread> connections;
+  while (stop == nullptr || !stop->load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int conn = accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      COUSINS_METRIC_COUNTER_ADD("svc.accept_failures", 1);
+      continue;
+    }
+    if (fault::Fired("svc.accept")) {
+      // Simulated transient accept failure: the client sees a dropped
+      // connection; the accept loop keeps serving.
+      COUSINS_METRIC_COUNTER_ADD("svc.accept_failures", 1);
+      close(conn);
+      continue;
+    }
+    COUSINS_METRIC_COUNTER_ADD("svc.accepts", 1);
+    connections.emplace_back([conn, &service, stop] {
+      ServeConnection(conn, conn, service, stop);
+      close(conn);
+    });
+  }
+  close(listen_fd);
+  // Graceful drain: every in-flight connection finishes its requests
+  // before the caller writes the final checkpoint.
+  for (std::thread& t : connections) t.join();
+  ::unlink(socket_path.c_str());
+  return Status::OK();
+}
+
+}  // namespace cousins::svc

@@ -1,0 +1,182 @@
+// The resident mining daemon (`cousinsd`): a long-lived CousinService
+// keeping one MultiTreeMiner (any MinerVariant) warm across requests,
+// with crash safety, retraction, admission control and graceful drain.
+//
+// Request handling (svc/protocol.h verbs):
+//
+//   INGEST  [deadline-ms=N]   payload = Newick batch text
+//   RETRACT <batch-id> [deadline-ms=N]
+//   QUERY   frequent-pairs | support <label1> <label2> <distance>
+//   HEALTH
+//   DRAIN
+//
+// Durability: an ingest batch is mined into a staging miner first (a
+// failed or tripped batch leaves the resident tallies untouched), then
+// appended to the WAL (svc/wal.h) and fsync'd, then merged and
+// published — so the WAL holds exactly the accepted mutations, every
+// acknowledged request is durable, and a kill -9 at any point replays
+// into a state whose query answers are byte-identical to a batch run
+// over the acknowledged batches. A batch that reached the WAL but
+// whose acknowledgement was lost (crash in the ack window, or an
+// injected svc.swap fault) is the standard WAL ambiguity: it replays
+// as accepted.
+//
+// Concurrency: INGEST/RETRACT/DRAIN serialize on one mutation mutex;
+// QUERY and HEALTH read the RCU snapshot (svc/snapshot.h) and shared
+// counters only, so they answer concurrently with an in-flight ingest
+// and never block it. Admission (svc/admission.h) bounds in-flight
+// mutations and queries; HEALTH bypasses admission so the daemon stays
+// observable under overload.
+
+#ifndef COUSINS_SVC_DAEMON_H_
+#define COUSINS_SVC_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/multi_tree_mining.h"
+#include "core/quarantine.h"
+#include "svc/admission.h"
+#include "svc/protocol.h"
+#include "svc/snapshot.h"
+#include "svc/wal.h"
+#include "tree/parse_limits.h"
+#include "util/governance.h"
+#include "util/result.h"
+
+namespace cousins::svc {
+
+struct ServiceConfig {
+  MultiTreeMiningOptions mining;
+  /// Path of the write-ahead log (required). Replayed on Start.
+  std::string wal_path;
+  /// Optional final-checkpoint path, written by FinishDrain.
+  std::string checkpoint_path;
+  /// Optional final health-report path, written by FinishDrain.
+  std::string health_report_path;
+  /// Lenient ingest: malformed forest entries are quarantined (batch
+  /// id recorded as the source) instead of rejecting the batch.
+  bool lenient = false;
+  /// Per-entry parse limits for ingest payloads.
+  ParseLimits parse_limits;
+  AdmissionConfig admission;
+  /// Per-INGEST payload cap (admission watermark aside): a single
+  /// batch larger than this is kInvalidArgument, not shed.
+  int64_t max_batch_bytes = 64ll << 20;
+  /// Server-side ceiling on any request's mining deadline, combined
+  /// with the client's deadline-ms argument (the tighter one wins).
+  /// 0 = no server ceiling.
+  int64_t max_request_ms = 0;
+  /// Server-side resource budget folded into every request's
+  /// MiningContext.
+  ResourceBudget budget;
+};
+
+/// The resident service. Thread-safe Handle; create via Start (which
+/// replays or creates the WAL).
+class CousinService {
+ public:
+  /// Opens/replays the WAL and builds the initial snapshot. Refuses a
+  /// corrupt WAL (kCorruption) or one written under different mining
+  /// options (kFailedPrecondition); a torn final record is trimmed.
+  static Result<std::unique_ptr<CousinService>> Start(
+      const ServiceConfig& config);
+
+  /// Handles one parsed request; never throws. DRAIN flips the service
+  /// into draining (subsequent mutations are refused kUnavailable) —
+  /// the serve loop is responsible for stopping accepts and calling
+  /// FinishDrain once in-flight requests are done.
+  Response Handle(const Request& request);
+
+  /// Writes the final checkpoint and health report (when configured)
+  /// and marks the drain complete. Idempotent.
+  Status FinishDrain();
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+
+  std::shared_ptr<const ServiceSnapshot> snapshot() const {
+    return snapshot_cell_.Load();
+  }
+  int64_t replayed_batches() const { return replayed_batches_; }
+  const AdmissionController& admission() const { return admission_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  explicit CousinService(const ServiceConfig& config);
+
+  Response HandleIngest(const Request& request);
+  Response HandleRetract(const Request& request);
+  Response HandleQuery(const Request& request) const;
+  Response HandleHealth() const;
+  Response HandleDrain();
+
+  /// Mines `payload` into a staging miner over the shared label table.
+  /// On success *staging holds exactly the batch's contribution.
+  Status MineBatch(int64_t batch_id, const std::string& payload,
+                   const MiningContext& context, MultiTreeMiner* staging,
+                   QuarantineLedger* quarantine);
+
+  /// Applies one WAL record during Start (no WAL append, no deadline).
+  Status ApplyReplayRecord(const SvcWalRecord& record);
+
+  /// Renders and atomically publishes a fresh snapshot. Fault site
+  /// svc.swap simulates a failed publish (the mutation stays applied
+  /// and durable; the snapshot catches up on the next publish).
+  Status PublishSnapshot();
+
+  /// MiningContext from the request's deadline-ms argument and the
+  /// server's ceiling/budget.
+  MiningContext ContextFor(const Request& request) const;
+
+  std::string HealthJson() const;
+
+  const ServiceConfig config_;
+  const uint32_t fingerprint_;
+
+  /// Serializes all state mutation (miner, WAL, batches_, publish).
+  std::mutex mutate_mu_;
+  std::shared_ptr<LabelTable> labels_;
+  MultiTreeMiner miner_;
+  SvcWal wal_;
+  QuarantineLedger quarantine_;
+  /// Live (non-retracted) batches by id; RETRACT re-mines the stored
+  /// payload to subtract exactly what the batch contributed.
+  struct BatchInfo {
+    std::string payload;
+    int trees = 0;
+  };
+  std::map<int64_t, BatchInfo> batches_;
+  int64_t next_batch_id_ = 1;
+  int64_t replayed_batches_ = 0;
+
+  SnapshotCell snapshot_cell_;
+  std::atomic<int64_t> snapshot_version_{0};
+  AdmissionController admission_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<int64_t> requests_{0};
+};
+
+/// Serves one connection: reads frames, handles requests, writes
+/// responses, until EOF, a stream error, or a served DRAIN (which also
+/// sets *stop when non-null). Read/write faults close the connection;
+/// they never take the service down.
+void ServeConnection(int in_fd, int out_fd, CousinService& service,
+                     std::atomic<bool>* stop);
+
+/// Unix-socket accept loop: binds `socket_path` (unlinking any stale
+/// socket), serves each connection on its own thread, and returns once
+/// `stop` is set (by DRAIN, or externally e.g. from a signal handler)
+/// with all connection threads joined. Fault site svc.accept simulates
+/// a transient accept failure (connection dropped, loop continues).
+Status RunUnixServer(const std::string& socket_path,
+                     CousinService& service, std::atomic<bool>* stop);
+
+}  // namespace cousins::svc
+
+#endif  // COUSINS_SVC_DAEMON_H_

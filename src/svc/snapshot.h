@@ -1,0 +1,62 @@
+// RCU-style query snapshot of the resident miner. After every applied
+// mutation (ingest batch, retraction, WAL replay) the daemon renders
+// the miner's results into an immutable ServiceSnapshot and atomically
+// publishes it; queries load the current pointer and read without any
+// coordination with in-flight ingest — a query observes either the
+// state before a batch or after it, never a half-folded table.
+//
+// The cell is a mutex-guarded shared_ptr rather than
+// std::atomic<shared_ptr> for portability; the critical section is two
+// pointer operations, so readers never block for longer than a swap.
+
+#ifndef COUSINS_SVC_SNAPSHOT_H_
+#define COUSINS_SVC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace cousins::svc {
+
+/// Immutable, pre-rendered view of the miner at one publish point.
+struct ServiceSnapshot {
+  /// Monotone publish counter (0 = the empty pre-ingest snapshot).
+  int64_t version = 0;
+  int64_t trees = 0;
+  int64_t live_batches = 0;
+  int64_t tallies = 0;
+  /// Variant-matched CSV of the frequent pairs (what QUERY
+  /// frequent-pairs returns, and the byte-comparison target of the
+  /// crash drill).
+  std::string frequent_csv;
+  /// Same CSV shape over every tally regardless of min_support —
+  /// QUERY support scans this.
+  std::string all_csv;
+};
+
+/// The publish/load cell.
+class SnapshotCell {
+ public:
+  SnapshotCell()
+      : current_(std::make_shared<const ServiceSnapshot>()) {}
+
+  std::shared_ptr<const ServiceSnapshot> Load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  void Store(std::shared_ptr<const ServiceSnapshot> next) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServiceSnapshot> current_;
+};
+
+}  // namespace cousins::svc
+
+#endif  // COUSINS_SVC_SNAPSHOT_H_

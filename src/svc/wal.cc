@@ -1,0 +1,290 @@
+#include "svc/wal.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "core/miner_variant.h"
+#include "obs/metrics.h"
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+namespace cousins::svc {
+namespace {
+
+/// The WAL format version this build writes and replays.
+constexpr int64_t kWalVersion = 1;
+
+/// CRC32 of a record body, rendered as the 8-hex-digit frame suffix
+/// (identical framing to proc/lease_ledger.cc).
+std::string CrcSuffix(const std::string& body) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                internal::Crc32(body.data(), body.size()));
+  return buf;
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+uint32_t MiningOptionsFingerprint(const MultiTreeMiningOptions& options) {
+  // Every option that changes what a batch tallies into goes into the
+  // fingerprint; a new option field defaulting differently will (by
+  // design) orphan old WALs rather than silently replay them wrong.
+  std::string repr;
+  repr += "v=" + std::to_string(static_cast<int>(options.variant));
+  repr += ";md=" + std::to_string(options.per_tree.twice_maxdist);
+  repr += ";mo=" + std::to_string(options.per_tree.min_occur);
+  repr += ";ms=" + std::to_string(options.min_support);
+  repr += ";ig=" + std::to_string(options.ignore_distance ? 1 : 0);
+  repr += ";gh=" + std::to_string(options.generalized.max_horizontal);
+  repr += ";gv=" + std::to_string(options.generalized.max_vertical);
+  char bucket[64];
+  std::snprintf(bucket, sizeof(bucket), ";wb=%.17g",
+                options.weighted.bucket_width);
+  repr += bucket;
+  return internal::Crc32(repr.data(), repr.size());
+}
+
+std::string EscapeWalPayload(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (char c : payload) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeWalPayload(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 1 >= escaped.size()) {
+      return Status::Corruption("dangling escape in WAL payload");
+    }
+    switch (escaped[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        return Status::Corruption("unknown escape in WAL payload");
+    }
+  }
+  return out;
+}
+
+bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out) {
+  const size_t hash = line.find_last_of('#');
+  if (hash == std::string_view::npos || hash + 9 != line.size() ||
+      hash < 1 || line[hash - 1] != ' ') {
+    return false;
+  }
+  const std::string body(line.substr(0, hash - 1));
+  if (CrcSuffix(body) != line.substr(hash + 1)) return false;
+  SvcWalRecord record;
+  if (StartsWith(body, "SVCWAL ")) {
+    std::vector<std::string_view> fields = Split(body, ' ');
+    int64_t fingerprint = 0;
+    if (fields.size() != 3 || !ParseInt(fields[1], &record.version) ||
+        !ParseInt(fields[2], &fingerprint) || fingerprint < 0 ||
+        fingerprint > std::numeric_limits<uint32_t>::max()) {
+      return false;
+    }
+    record.kind = SvcWalRecord::Kind::kHeader;
+    record.fingerprint = static_cast<uint32_t>(fingerprint);
+  } else if (StartsWith(body, "BATCH ")) {
+    // "BATCH <id> <escaped payload>": the payload may contain spaces,
+    // so only the first two tokens are split off.
+    const size_t id_begin = 6;
+    const size_t id_end = body.find(' ', id_begin);
+    if (id_end == std::string::npos) return false;
+    if (!ParseInt(std::string_view(body).substr(id_begin, id_end - id_begin),
+                  &record.id)) {
+      return false;
+    }
+    Result<std::string> payload =
+        UnescapeWalPayload(std::string_view(body).substr(id_end + 1));
+    if (!payload.ok()) return false;
+    record.kind = SvcWalRecord::Kind::kBatch;
+    record.payload = *std::move(payload);
+  } else if (StartsWith(body, "RETRACT ")) {
+    std::vector<std::string_view> fields = Split(body, ' ');
+    if (fields.size() != 2 || !ParseInt(fields[1], &record.id)) {
+      return false;
+    }
+    record.kind = SvcWalRecord::Kind::kRetract;
+  } else {
+    return false;
+  }
+  *out = std::move(record);
+  return true;
+}
+
+SvcWal::SvcWal(SvcWal&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+SvcWal& SvcWal::operator=(SvcWal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+SvcWal::~SvcWal() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<SvcWal> SvcWal::Open(const std::string& path) {
+  const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Unavailable("cannot open service WAL '" + path + "'");
+  }
+  SvcWal wal;
+  wal.fd_ = fd;
+  return wal;
+}
+
+Status SvcWal::Append(const std::string& body) {
+  const std::string line = body + " #" + CrcSuffix(body) + "\n";
+  if (fault::Fired("svc.wal.append")) {
+    COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
+    return Status::Unavailable("injected fault at svc.wal.append");
+  }
+  // One write(2) per record: the '\n' lands in the same append as the
+  // body, so replay's torn-tail rule (an unterminated tail is never a
+  // whole record) holds by construction.
+  size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
+      return Status::Unavailable("service WAL append failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Always durable: the daemon acknowledges nothing it could lose.
+  if (fsync(fd_) != 0) {
+    COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
+    return Status::Unavailable("service WAL fsync failed");
+  }
+  COUSINS_METRIC_COUNTER_ADD("svc.wal_appends", 1);
+  COUSINS_METRIC_COUNTER_ADD("svc.wal_bytes",
+                             static_cast<int64_t>(line.size()));
+  return Status::OK();
+}
+
+Status SvcWal::AppendHeader(uint32_t options_fingerprint) {
+  return Append("SVCWAL " + std::to_string(kWalVersion) + " " +
+                std::to_string(options_fingerprint));
+}
+
+Status SvcWal::AppendBatch(int64_t id, std::string_view payload) {
+  return Append("BATCH " + std::to_string(id) + " " +
+                EscapeWalPayload(payload));
+}
+
+Status SvcWal::AppendRetract(int64_t id) {
+  return Append("RETRACT " + std::to_string(id));
+}
+
+Result<std::vector<SvcWalRecord>> ReplaySvcWal(
+    const std::string& path, uint32_t expected_fingerprint,
+    size_t* valid_prefix) {
+  COUSINS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  std::vector<SvcWalRecord> records;
+  bool saw_header = false;
+  size_t pos = 0;
+  if (valid_prefix != nullptr) *valid_prefix = 0;
+  while (pos < bytes.size()) {
+    const size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated tail: the writer ends every record with '\n' in
+      // the same write, so this is a torn append of a request that was
+      // never acknowledged — drop it.
+      COUSINS_METRIC_COUNTER_ADD("svc.wal_torn_tails", 1);
+      break;
+    }
+    const std::string_view line(bytes.data() + pos, nl - pos);
+    SvcWalRecord record;
+    if (!ParseSvcWalLine(line, &record)) {
+      if (nl + 1 >= bytes.size()) {
+        COUSINS_METRIC_COUNTER_ADD("svc.wal_torn_tails", 1);
+        break;
+      }
+      return Status::Corruption("corrupt service WAL record in '" + path +
+                                "'");
+    }
+    if (!saw_header) {
+      if (record.kind != SvcWalRecord::Kind::kHeader) {
+        return Status::Corruption("service WAL '" + path +
+                                  "' does not start with a header");
+      }
+      if (record.version != kWalVersion) {
+        return Status::FailedPrecondition(
+            "service WAL '" + path + "' has format version " +
+            std::to_string(record.version) + ", expected " +
+            std::to_string(kWalVersion));
+      }
+      if (record.fingerprint != expected_fingerprint) {
+        return Status::FailedPrecondition(
+            "service WAL '" + path +
+            "' was written under different mining options");
+      }
+      saw_header = true;
+    } else {
+      if (record.kind == SvcWalRecord::Kind::kHeader) {
+        return Status::Corruption("duplicate header in service WAL '" +
+                                  path + "'");
+      }
+      records.push_back(std::move(record));
+    }
+    pos = nl + 1;
+    if (valid_prefix != nullptr) *valid_prefix = pos;
+  }
+  if (!saw_header && valid_prefix != nullptr && *valid_prefix == 0 &&
+      !bytes.empty()) {
+    // A file holding only a torn header: treat as empty (the create
+    // crashed before the header append completed).
+    return std::vector<SvcWalRecord>();
+  }
+  return records;
+}
+
+}  // namespace cousins::svc

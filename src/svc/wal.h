@@ -1,0 +1,113 @@
+// Write-ahead log of the resident mining daemon (svc/daemon.h): an
+// append-only, CRC-framed journal of every acknowledged state mutation
+// (ingest batches and retractions), using the same line framing and
+// crash discipline as the shard-lease ledger (proc/lease_ledger.h).
+//
+// Every record is one line "BODY #crc32hex\n" appended with a single
+// write(2) on an O_APPEND descriptor and fsync'd before the daemon
+// acknowledges the request — so an acknowledged mutation is always
+// durable, and the only crash artifact an append-only file can carry
+// is a torn final line. Replay mirrors the lease-ledger semantics
+// exactly: a torn or CRC-bad *final* line is dropped silently (it was
+// never acknowledged), while bad bytes followed by more content mean
+// the journal body itself is damaged and replay refuses with
+// kCorruption rather than trusting any of it.
+//
+// The first record pins the WAL format version and a fingerprint of
+// the mining options, so a daemon restarted with different options
+// refuses the journal (kFailedPrecondition) instead of replaying
+// batches into a miner that would tally them differently.
+
+#ifndef COUSINS_SVC_WAL_H_
+#define COUSINS_SVC_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/multi_tree_mining.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cousins::svc {
+
+/// Stable CRC32 fingerprint over every field of the mining options —
+/// the WAL header value that ties a journal to the option set its
+/// batches were tallied under.
+uint32_t MiningOptionsFingerprint(const MultiTreeMiningOptions& options);
+
+/// Escapes a Newick batch payload into a single WAL line fragment:
+/// '\\' -> "\\\\", '\n' -> "\\n", '\r' -> "\\r". Lossless inverse
+/// below; everything else passes through unchanged.
+std::string EscapeWalPayload(std::string_view payload);
+
+/// Inverse of EscapeWalPayload. Fails on a dangling or unknown escape.
+Result<std::string> UnescapeWalPayload(std::string_view escaped);
+
+/// One parsed WAL record.
+struct SvcWalRecord {
+  enum class Kind : uint8_t {
+    kHeader,   // SVCWAL <version> <options_fingerprint>
+    kBatch,    // BATCH <id> <escaped payload>
+    kRetract,  // RETRACT <id>
+  };
+  Kind kind = Kind::kHeader;
+  int64_t id = 0;
+  /// kHeader: format version / fingerprint.
+  int64_t version = 0;
+  uint32_t fingerprint = 0;
+  /// kBatch: the unescaped Newick batch text.
+  std::string payload;
+};
+
+/// Decodes one framed WAL line (without the trailing '\n'). Returns
+/// false on any framing, CRC or field error.
+bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out);
+
+/// Append side of the WAL. Movable; closes its descriptor on
+/// destruction. Every append is durable (fsync'd) — the daemon never
+/// acknowledges from a volatile buffer. Fault site svc.wal.append
+/// simulates a failed append (kUnavailable).
+class SvcWal {
+ public:
+  /// Opens `path` for appending, creating it if missing. Never
+  /// truncates — the daemon trims a replayed journal to its valid
+  /// prefix before reopening (see ReplaySvcWal).
+  static Result<SvcWal> Open(const std::string& path);
+
+  SvcWal() = default;
+  SvcWal(SvcWal&& other) noexcept;
+  SvcWal& operator=(SvcWal&& other) noexcept;
+  SvcWal(const SvcWal&) = delete;
+  SvcWal& operator=(const SvcWal&) = delete;
+  ~SvcWal();
+
+  Status AppendHeader(uint32_t options_fingerprint);
+  Status AppendBatch(int64_t id, std::string_view payload);
+  Status AppendRetract(int64_t id);
+
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  Status Append(const std::string& body);
+
+  int fd_ = -1;
+};
+
+/// Replays a WAL file. The first record must be a header carrying the
+/// supported format version and `expected_fingerprint`, else
+/// kFailedPrecondition. A torn or CRC-bad final line is dropped
+/// silently (crash artifact of an unacknowledged append); any bad line
+/// followed by more content is kCorruption; a missing file is
+/// kNotFound. `valid_prefix`, when non-null, receives the byte length
+/// of the decodable prefix — the daemon truncates the file to it so
+/// new appends never land after torn bytes. The returned records
+/// exclude the header.
+Result<std::vector<SvcWalRecord>> ReplaySvcWal(
+    const std::string& path, uint32_t expected_fingerprint,
+    size_t* valid_prefix = nullptr);
+
+}  // namespace cousins::svc
+
+#endif  // COUSINS_SVC_WAL_H_

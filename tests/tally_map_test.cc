@@ -111,6 +111,104 @@ TEST(TallyMap, SaturatesInsteadOfWrapping) {
   });
 }
 
+TEST(TallyMap, SubtractToZeroHidesEntryAndShrinksLive) {
+  TallyMap map;
+  EXPECT_EQ(map.Add(42, 2, 10), 1);
+  EXPECT_EQ(map.Add(7, 1, 1), 1);
+  EXPECT_EQ(map.live(), 2u);
+  // Partial subtraction: entry stays visible, no live change.
+  EXPECT_EQ(map.Subtract(42, 1, 4), 0);
+  int entries = 0;
+  map.ForEach([&](uint64_t key, int32_t support, int64_t occ) {
+    ++entries;
+    if (key == 42) {
+      EXPECT_EQ(support, 1);
+      EXPECT_EQ(occ, 6);
+    }
+  });
+  EXPECT_EQ(entries, 2);
+  // Subtraction to zero-net: hidden from ForEach, live shrinks, the
+  // slot itself stays occupied until the next rehash purges it.
+  EXPECT_EQ(map.Subtract(42, 1, 6), -1);
+  EXPECT_EQ(map.live(), 1u);
+  EXPECT_EQ(map.size(), 2u);
+  entries = 0;
+  map.ForEach([&](uint64_t key, int32_t, int64_t) {
+    ++entries;
+    EXPECT_EQ(key, 7u);
+  });
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(TallyMap, SubtractClampsAndIgnoresMissingKeys) {
+  TallyMap map;
+  map.Add(42, 1, 3);
+  // Over-subtraction clamps at zero and reports the single transition.
+  EXPECT_EQ(map.Subtract(42, 100, 100), -1);
+  // Subtracting an already-dead entry is a no-op, not a second -1.
+  EXPECT_EQ(map.Subtract(42, 1, 1), 0);
+  // A key that was never added is a no-op (and must not insert).
+  EXPECT_EQ(map.Subtract(999, 1, 1), 0);
+  EXPECT_EQ(map.live(), 0u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(TallyMap, ReAddRevivesZeroNetEntry) {
+  TallyMap map;
+  map.Add(42, 1, 5);
+  map.Subtract(42, 1, 5);
+  EXPECT_EQ(map.live(), 0u);
+  // Reviving a dead slot is a fresh insert from the caller's
+  // perspective: counts restart, live grows back.
+  EXPECT_EQ(map.Add(42, 3, 7), 1);
+  EXPECT_EQ(map.live(), 1u);
+  map.ForEach([&](uint64_t, int32_t support, int64_t occ) {
+    EXPECT_EQ(support, 3);
+    EXPECT_EQ(occ, 7);
+  });
+}
+
+TEST(TallyMap, PurgeBeforeGrowDropsZeroNetSlots) {
+  // An add/subtract churn workload must not balloon capacity: when the
+  // occupied slots would trigger a grow but most are zero-net, the
+  // rehash purges in place instead of doubling.
+  TallyMap map;
+  constexpr int kChurn = 20000;
+  for (int i = 0; i < kChurn; ++i) {
+    map.Add(PackLabelPair(i, i + 1), 1, 1);
+    if (i >= 16) {
+      // Keep a 16-entry live window; everything older goes zero-net.
+      map.Subtract(PackLabelPair(i - 16, i - 15), 1, 1);
+    }
+  }
+  EXPECT_EQ(map.live(), 16u);
+  // Capacity stays bounded by the live set, not the churn volume
+  // (kChurn entries at 0.7 load would need 32Ki slots without purging).
+  EXPECT_LE(map.capacity(), 4096u);
+  int entries = 0;
+  map.ForEach([&](uint64_t, int32_t support, int64_t occ) {
+    ++entries;
+    EXPECT_EQ(support, 1);
+    EXPECT_EQ(occ, 1);
+  });
+  EXPECT_EQ(entries, 16);
+}
+
+TEST(WideTallyMap, SubtractMirrorsTallyMapSemantics) {
+  internal::WideTallyMap map;
+  EXPECT_EQ(map.Add(42, 9, 2, 10), 1);
+  EXPECT_EQ(map.Subtract(42, 9, 1, 4), 0);
+  EXPECT_EQ(map.Subtract(42, 9, 1, 6), -1);
+  EXPECT_EQ(map.live(), 0u);
+  int entries = 0;
+  map.ForEach([&](uint64_t, uint32_t, int32_t, int64_t) { ++entries; });
+  EXPECT_EQ(entries, 0);
+  // Distinct aux under the same key is a distinct entry.
+  EXPECT_EQ(map.Add(42, 8, 1, 1), 1);
+  EXPECT_EQ(map.Subtract(42, 9, 1, 1), 0) << "wrong aux must not match";
+  EXPECT_EQ(map.live(), 1u);
+}
+
 /// Streams `num_trees` of a Table 3-shaped corpus (200-node fanout-5
 /// trees over a 200-label alphabet — the Figure 6 workload) into the
 /// miner; rng/labels carry across calls so the stream is one corpus.

@@ -39,6 +39,13 @@ std::string Data(const std::string& name) {
   return std::string(CLI_TESTDATA) + "/" + name;
 }
 
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string out((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return out;
+}
+
 TEST(CliOutputTest, FrequentReportsThePaperPattern) {
   RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --minsup=2");
   EXPECT_EQ(r.exit_code, 0);
@@ -160,6 +167,69 @@ TEST(CliOutputTest, ExpiredDeadlineTruncatesWithExitThree) {
   EXPECT_EQ(r.exit_code, 3);
   EXPECT_NE(r.output.find("DeadlineExceeded"), std::string::npos)
       << r.output;
+}
+
+TEST(CliOutputTest, SigtermMidRunWritesPartialStateAndExitsThree) {
+  // A real operator interrupt: SIGTERM a long run and demand the same
+  // contract as any governance trip — exit 3, the truncation warning,
+  // a surviving checkpoint, and a health report naming the signal.
+  // The workload (300 star trees of 400 leaves) runs >1s, so a signal
+  // a fraction of a second in reliably lands mid-forest; if the box is
+  // fast enough to finish first we retry with a shorter fuse.
+  const std::string base = std::string(::testing::TempDir());
+  const std::string forest = base + "/cli_sigterm_forest.nwk";
+  {
+    std::ofstream out(forest);
+    std::string star = "(";
+    for (int i = 0; i < 400; ++i) {
+      star += (i == 0 ? "L" : ",L") + std::to_string(i);
+    }
+    star += ");\n";
+    for (int i = 0; i < 300; ++i) out << star;
+  }
+  const std::string ckpt = base + "/cli_sigterm_ckpt";
+  const std::string report = base + "/cli_sigterm_health.json";
+  const std::string out_path = base + "/cli_sigterm.out";
+  const std::string rc_path = base + "/cli_sigterm.rc";
+
+  int rc = -1;
+  std::string output;
+  for (const char* fuse : {"0.3", "0.1", "0.02"}) {
+    std::remove(ckpt.c_str());
+    std::remove(report.c_str());
+    const std::string command =
+        std::string(CLI_BINARY) + " frequent " + forest +
+        " --csv --minsup=300 --threads=1 --checkpoint=" + ckpt +
+        " --checkpoint-every=20 --health-report=" + report + " > " +
+        out_path + " 2>&1 & pid=$!; sleep " + fuse +
+        "; kill -TERM $pid 2>/dev/null; wait $pid; echo $? > " + rc_path;
+    ASSERT_EQ(std::system(("sh -c '" + command + "'").c_str()), 0);
+    rc = std::atoi(ReadAll(rc_path).c_str());
+    output = ReadAll(out_path);
+    if (rc == 3) break;  // the signal landed mid-run
+  }
+  std::remove(forest.c_str());
+  std::remove(out_path.c_str());
+  std::remove(rc_path.c_str());
+  if (rc == 0) {
+    std::remove(ckpt.c_str());
+    std::remove(report.c_str());
+    GTEST_SKIP() << "run completed before any SIGTERM fuse";
+  }
+  EXPECT_EQ(rc, 3) << output;
+  EXPECT_NE(output.find("output truncated"), std::string::npos) << output;
+  EXPECT_NE(output.find("Cancelled"), std::string::npos) << output;
+  // The interrupted run still checkpointed the mined prefix...
+  std::ifstream surviving(ckpt);
+  EXPECT_TRUE(surviving.good()) << "no checkpoint after SIGTERM";
+  // ...and the health report records both the exit and the signal.
+  const std::string body = ReadAll(report);
+  EXPECT_NE(body.find("\"exit_code\": 3"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"interrupt_signal\": 15"), std::string::npos)
+      << body;
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".tmp").c_str());
+  std::remove(report.c_str());
 }
 
 /// A 12-tree forest with enough shared structure that --minsup=2 has
@@ -297,13 +367,6 @@ TEST(CliOutputTest, GovernedRunWithRoomyLimitsMatchesUngoverned) {
 // testdata/dirty_forest.nwk is a BOM+CRLF file of six entries where
 // entries 1 (unbalanced parens), 3 (oversized label) and 5 (garbage)
 // are malformed and 0, 2, 4 are healthy.
-
-std::string ReadAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::string out((std::istreambuf_iterator<char>(in)),
-                  std::istreambuf_iterator<char>());
-  return out;
-}
 
 TEST(CliDegradedTest, StrictModeFailsAtTheFirstDirtyEntry) {
   RunResult r = RunCli("frequent " + Data("dirty_forest.nwk") +

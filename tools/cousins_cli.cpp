@@ -43,8 +43,9 @@
 // file with a TREES block (auto-detected). All commands print to
 // stdout; errors go to stderr with a non-zero exit code: 1 = failure,
 // 2 = usage error (unknown command/flag, malformed flag value),
-// 3 = governance trip (--deadline-ms / --max-items cut the run short;
-// whatever was mined before the trip is still printed).
+// 3 = governance trip (--deadline-ms / --max-items / SIGTERM / SIGINT
+// cut the run short; whatever was mined before the trip is still
+// printed, and the health report records the signal).
 //
 // Degraded-mode flags, accepted by every command:
 //   --lenient              per-tree error isolation: malformed forest
@@ -63,6 +64,7 @@
 //                          cancelled and the run exits 3 with partial
 //                          results. 0 (default) disables the watchdog.
 
+#include <atomic>
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -128,6 +130,21 @@ int Truncated(const Status& termination) {
   std::fprintf(stderr, "warning: output truncated: %s\n",
                termination.ToString().c_str());
   return kExitTruncated;
+}
+
+/// Process-wide interrupt token, tripped by SIGTERM/SIGINT. Governed
+/// runs carry it in their MiningContext, so a termination request
+/// surfaces as a cooperative kCancelled trip — partial output, the
+/// periodic checkpoint machinery's last write, the health report, and
+/// exit 3 — instead of an abrupt death with half-written stdout.
+CancellationToken g_interrupt = CancellationToken::Create();
+std::atomic<int> g_interrupt_signal{0};
+
+void OnInterrupt(int sig) {
+  // Both calls are relaxed atomic stores on pre-allocated state —
+  // async-signal-safe. A second signal re-stores harmlessly.
+  g_interrupt_signal.store(sig, std::memory_order_relaxed);
+  g_interrupt.Cancel();
 }
 
 int Usage() {
@@ -236,6 +253,10 @@ bool GovernanceFromFlags(const std::vector<std::string>& args,
     budget.max_items = max_items;
     context->set_budget(budget);
   }
+  // Every governed entry point also honors the process interrupt
+  // token, so SIGTERM/SIGINT stop the run at the next governance
+  // checkpoint rather than killing it mid-output.
+  context->set_cancellation(g_interrupt);
   return true;
 }
 
@@ -378,6 +399,9 @@ Status WriteHealthReport(const CliDegraded& degraded,
   json.KeyValue("input", degraded.input_path);
   json.KeyValue("lenient", degraded.lenient);
   json.KeyValue("exit_code", static_cast<int64_t>(exit_code));
+  json.KeyValue(
+      "interrupt_signal",
+      static_cast<int64_t>(g_interrupt_signal.load(std::memory_order_relaxed)));
   json.KeyValue("trees_loaded", degraded.trees_loaded);
   json.KeyValue("trees_quarantined",
                 static_cast<int64_t>(degraded.ledger.size()));
@@ -981,6 +1005,13 @@ int main(int argc, char** argv) {
   // EPIPE write error on stdout — caught by FinalizeStdout and exited
   // as a failure — not as a silent SIGPIPE death mid-output.
   std::signal(SIGPIPE, SIG_IGN);
+  // Graceful termination: SIGTERM/SIGINT trip the interrupt token and
+  // the run winds down cooperatively (partial output, checkpoint,
+  // health report, exit 3). A second signal still only sets the flag —
+  // a wedged run is for SIGKILL, which the checkpoint/WAL machinery is
+  // built to survive.
+  std::signal(SIGTERM, OnInterrupt);
+  std::signal(SIGINT, OnInterrupt);
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   const std::string path = argv[2];

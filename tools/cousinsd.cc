@@ -1,0 +1,335 @@
+// cousinsd — the resident mining daemon (src/svc) and its line client.
+//
+//   cousinsd serve --wal=PATH (--socket=PATH | --stdio) [flags]
+//   cousinsd client --socket=PATH VERB [args...] [--file=PATH]
+//
+// serve keeps one MultiTreeMiner warm and answers the framed protocol
+// (svc/protocol.h) over a Unix socket (connection per thread) or over
+// stdin/stdout (--stdio; single connection, handy under a test
+// harness). Every accepted INGEST/RETRACT is WAL-journaled and fsync'd
+// before its acknowledgement, so a kill -9 at any instant replays into
+// a state whose query answers match a batch CLI run over the
+// acknowledged batches byte for byte. SIGTERM/SIGINT drain: stop
+// accepting, finish in-flight requests, write the final checkpoint and
+// health report, exit 0.
+//
+// serve flags:
+//   mining:    --maxdist=D --miner=cousin|free|generalized|weighted
+//              --minsup=N --minoccur=N --ignore-distance
+//              --max-horizontal=N --max-vertical=N --bucket-width=W
+//   ingest:    --lenient (quarantine malformed forest entries instead
+//              of rejecting the batch)
+//   drain:     --checkpoint=PATH --health-report=PATH
+//   admission: --max-inflight=N --max-inflight-bytes=N
+//              --retry-after-ms=N
+//   limits:    --max-batch-bytes=N --max-request-ms=N
+//
+// client sends one request and prints the response payload to stdout.
+// INGEST reads its batch from --file=PATH or stdin. An ERR response
+// prints "error: <Code>: <message>" (plus "retry-after-ms=N" when the
+// server shed the request) to stderr and exits 1; transport failures
+// exit 1 too; usage errors exit 2.
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/miner_variant.h"
+#include "core/multi_tree_mining.h"
+#include "svc/daemon.h"
+#include "svc/protocol.h"
+#include "util/strings.h"
+
+using namespace cousins;
+
+namespace {
+
+constexpr int kExitFail = 1;
+constexpr int kExitUsage = 2;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cousinsd serve --wal=PATH (--socket=PATH | --stdio) [flags]\n"
+      "       cousinsd client --socket=PATH VERB [args...] [--file=PATH]\n");
+  return kExitUsage;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return kExitFail;
+}
+
+std::string Flag(const std::vector<std::string>& args,
+                 const std::string& name, const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (const std::string& arg : args) {
+    if (StartsWith(arg, prefix)) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (const std::string& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+bool ParseInt64Flag(const std::vector<std::string>& args,
+                    const std::string& name, int64_t fallback,
+                    int64_t* out) {
+  const std::string value = Flag(args, name, "");
+  if (value.empty()) {
+    *out = fallback;
+    return true;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+/// The serve-mode mining flags, mirroring the batch CLI's `frequent`
+/// surface so a daemon and a batch run over the same flags mine under
+/// identical options (the byte-identity contract depends on it).
+std::string ParseMiningFlags(const std::vector<std::string>& args,
+                             MultiTreeMiningOptions* mining) {
+  {
+    const std::string maxdist = Flag(args, "maxdist", "1.5");
+    char* end = nullptr;
+    const double d = std::strtod(maxdist.c_str(), &end);
+    const double twice = d * 2.0;
+    if (end != maxdist.c_str() + maxdist.size() || maxdist.empty() ||
+        !std::isfinite(d) || d < 0 || twice != std::floor(twice)) {
+      return "--maxdist must be a non-negative multiple of 0.5";
+    }
+    mining->per_tree.twice_maxdist = static_cast<int32_t>(twice);
+  }
+  if (!ParseMinerVariant(Flag(args, "miner", "cousin"), &mining->variant)) {
+    return "--miner must be cousin|free|generalized|weighted";
+  }
+  int64_t minsup = 2;
+  int64_t minoccur = 1;
+  int64_t max_horizontal = mining->generalized.max_horizontal;
+  int64_t max_vertical = mining->generalized.max_vertical;
+  if (!ParseInt64Flag(args, "minsup", 2, &minsup) ||
+      !ParseInt64Flag(args, "minoccur", 1, &minoccur) ||
+      !ParseInt64Flag(args, "max-horizontal", max_horizontal,
+                      &max_horizontal) ||
+      !ParseInt64Flag(args, "max-vertical", max_vertical, &max_vertical) ||
+      max_horizontal < 0 || max_horizontal > 0xFFFF || max_vertical < 0 ||
+      max_vertical > 0xFFFF) {
+    return "--minsup/--minoccur/--max-horizontal/--max-vertical must be "
+           "integers";
+  }
+  mining->min_support = static_cast<int>(minsup);
+  mining->per_tree.min_occur = minoccur;
+  mining->generalized.max_horizontal = static_cast<int32_t>(max_horizontal);
+  mining->generalized.max_vertical = static_cast<int32_t>(max_vertical);
+  {
+    const std::string bucket = Flag(args, "bucket-width", "1");
+    char* end = nullptr;
+    const double width = std::strtod(bucket.c_str(), &end);
+    if (end != bucket.c_str() + bucket.size() || bucket.empty() ||
+        !std::isfinite(width) || width <= 0) {
+      return "--bucket-width must be a finite number > 0";
+    }
+    mining->weighted.bucket_width = width;
+  }
+  mining->ignore_distance = HasFlag(args, "ignore-distance");
+  return "";
+}
+
+std::atomic<bool> g_stop{false};
+
+void OnTerminate(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int RunServe(const std::vector<std::string>& args) {
+  svc::ServiceConfig config;
+  const std::string mining_error = ParseMiningFlags(args, &config.mining);
+  if (!mining_error.empty()) {
+    std::fprintf(stderr, "error: %s\n", mining_error.c_str());
+    return kExitUsage;
+  }
+  config.wal_path = Flag(args, "wal", "");
+  if (config.wal_path.empty()) {
+    std::fprintf(stderr, "error: serve requires --wal=PATH\n");
+    return kExitUsage;
+  }
+  config.checkpoint_path = Flag(args, "checkpoint", "");
+  config.health_report_path = Flag(args, "health-report", "");
+  config.lenient = HasFlag(args, "lenient");
+  int64_t max_inflight = config.admission.max_inflight;
+  int64_t max_inflight_bytes = config.admission.max_inflight_bytes;
+  int64_t retry_after_ms = config.admission.retry_after_ms;
+  if (!ParseInt64Flag(args, "max-inflight", max_inflight, &max_inflight) ||
+      !ParseInt64Flag(args, "max-inflight-bytes", max_inflight_bytes,
+                      &max_inflight_bytes) ||
+      !ParseInt64Flag(args, "retry-after-ms", retry_after_ms,
+                      &retry_after_ms) ||
+      !ParseInt64Flag(args, "max-batch-bytes", config.max_batch_bytes,
+                      &config.max_batch_bytes) ||
+      !ParseInt64Flag(args, "max-request-ms", 0, &config.max_request_ms) ||
+      max_inflight < 1 || max_inflight_bytes < 1 || retry_after_ms < 0 ||
+      config.max_batch_bytes < 1 || config.max_request_ms < 0) {
+    std::fprintf(stderr, "error: malformed admission/limit flag\n");
+    return kExitUsage;
+  }
+  config.admission.max_inflight = static_cast<int>(max_inflight);
+  config.admission.max_inflight_bytes = max_inflight_bytes;
+  config.admission.retry_after_ms = static_cast<int>(retry_after_ms);
+
+  const std::string socket_path = Flag(args, "socket", "");
+  const bool stdio = HasFlag(args, "stdio");
+  if (socket_path.empty() == !stdio) {
+    std::fprintf(stderr,
+                 "error: serve requires exactly one of --socket=PATH or "
+                 "--stdio\n");
+    return kExitUsage;
+  }
+
+  Result<std::unique_ptr<svc::CousinService>> service =
+      svc::CousinService::Start(config);
+  if (!service.ok()) return Fail(service.status().ToString());
+  std::fprintf(stderr, "cousinsd: serving (replayed %lld batches)\n",
+               static_cast<long long>((*service)->replayed_batches()));
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGTERM, OnTerminate);
+  std::signal(SIGINT, OnTerminate);
+
+  if (stdio) {
+    svc::ServeConnection(STDIN_FILENO, STDOUT_FILENO, **service, &g_stop);
+  } else {
+    Status served = svc::RunUnixServer(socket_path, **service, &g_stop);
+    if (!served.ok()) return Fail(served.ToString());
+  }
+  Status drained = (*service)->FinishDrain();
+  if (!drained.ok()) return Fail(drained.ToString());
+  std::fprintf(stderr, "cousinsd: drained cleanly\n");
+  return 0;
+}
+
+int RunClient(const std::vector<std::string>& args) {
+  const std::string socket_path = Flag(args, "socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "error: client requires --socket=PATH\n");
+    return kExitUsage;
+  }
+  std::string verb;
+  std::vector<std::string> request_args;
+  std::string file;
+  for (const std::string& arg : args) {
+    if (StartsWith(arg, "--file=")) {
+      file = arg.substr(strlen("--file="));
+      continue;
+    }
+    if (StartsWith(arg, "--")) continue;
+    if (verb.empty()) {
+      verb = arg;
+    } else {
+      request_args.push_back(arg);
+    }
+  }
+  if (verb.empty()) {
+    std::fprintf(stderr, "error: client requires a VERB\n");
+    return kExitUsage;
+  }
+
+  // Only the verb is case-normalized; arguments keep their case.
+  std::string body = verb;
+  for (char& c : body) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (const std::string& arg : request_args) body += " " + arg;
+  body += "\n";
+  if (body.rfind("INGEST", 0) == 0) {
+    if (!file.empty()) {
+      std::FILE* in = std::fopen(file.c_str(), "rb");
+      if (in == nullptr) return Fail("cannot open '" + file + "'");
+      char buffer[1 << 16];
+      size_t got;
+      while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+        body.append(buffer, got);
+      }
+      std::fclose(in);
+    } else {
+      std::ostringstream payload;
+      payload << std::cin.rdbuf();
+      body += payload.str();
+    }
+  }
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("cannot create unix socket");
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    close(fd);
+    return Fail("socket path too long");
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Fail("cannot connect to '" + socket_path + "'");
+  }
+  Status sent = svc::WriteFrame(fd, body);
+  if (!sent.ok()) {
+    close(fd);
+    return Fail(sent.ToString());
+  }
+  std::string response_body;
+  Result<bool> got = svc::ReadFrame(fd, &response_body);
+  close(fd);
+  if (!got.ok()) return Fail(got.status().ToString());
+  if (!*got) return Fail("server closed the connection without a response");
+  Result<svc::ParsedResponse> parsed = svc::ParseResponse(response_body);
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  const svc::ParsedResponse& response = *parsed;
+  if (!response.ok) {
+    std::string detail = response.code_name + ": " + response.message;
+    if (response.retry_after_ms > 0) {
+      detail += " (retry-after-ms=" + std::to_string(response.retry_after_ms) +
+                ")";
+    }
+    return Fail(detail);
+  }
+  std::fputs(response.payload.c_str(), stdout);
+  if (std::fflush(stdout) != 0) return Fail("stdout write failed");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    if (mode == "serve") return RunServe(args);
+    if (mode == "client") return RunClient(args);
+    return Usage();
+  } catch (const std::exception& e) {
+    return Fail(std::string("unhandled exception: ") + e.what());
+  } catch (...) {
+    return Fail("unhandled non-standard exception");
+  }
+}

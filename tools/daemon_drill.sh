@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Crash + overload drill for the resident daemon (cousinsd), against
+# the real binaries over a real Unix socket:
+#
+#   leg 1  ingest R acked batches, kill -9 the daemon, restart on the
+#          WAL; its frequent-pairs CSV must be byte-identical to the
+#          batch CLI mining the same R batches in one run.
+#   leg 2  kill -9 racing an in-flight ingest; the restart may hold R
+#          or R+1 batches (the ack decides), but whichever it holds,
+#          the CSV must be byte-identical to the batch CLI over
+#          exactly those batches — never a torn in-between.
+#   leg 3  overload: an inflight-bytes watermark of 8 sheds the next
+#          ingest with Unavailable + the configured retry-after while
+#          HEALTH keeps answering and accounts the shed.
+#   leg 4  DRAIN: the daemon finishes cleanly (exit 0) and leaves the
+#          final checkpoint and health report behind.
+#
+# Usage: daemon_drill.sh <cousins_cli> <cousinsd> [seed]
+# The seed moves the kill point (R) so CI sweeps interleavings.
+set -euo pipefail
+
+CLI=${1:?usage: daemon_drill.sh <cousins_cli> <cousinsd> [seed]}
+DAEMON=${2:?usage: daemon_drill.sh <cousins_cli> <cousinsd> [seed]}
+SEED=${3:-0}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/cousins_daemon_drill.XXXXXX")
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2> /dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Six deterministic batches over a shared label universe, each one
+# shifting the support landscape so a missing or extra batch is
+# visible in the frequent CSV.
+for i in $(seq 1 6); do
+  {
+    echo "((a,b),(c,(d,e$i)));"
+    echo "((a,c$i),(b,(d,e)));"
+    echo "((a,(b,c)),(d,e$i));"
+    echo "((b,d),(a,(c,e)));"
+  } > "$WORK/batch$i.nwk"
+done
+
+SOCK="$WORK/daemon.sock"
+WAL="$WORK/daemon.wal"
+MINE_FLAGS="--minsup=2"
+
+start_daemon() {
+  # $@: extra serve flags. Waits until HEALTH answers.
+  "$DAEMON" serve --wal="$WAL" --socket="$SOCK" $MINE_FLAGS "$@" \
+    2>> "$WORK/daemon.log" &
+  DAEMON_PID=$!
+  for _ in $(seq 100); do
+    if "$DAEMON" client --socket="$SOCK" HEALTH > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "FAIL: daemon never answered HEALTH"; exit 1
+}
+
+client() { "$DAEMON" client --socket="$SOCK" "$@"; }
+
+live_batches() {
+  client HEALTH | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)["svc"]["live_batches"])'
+}
+
+batch_csv() {
+  # Batch-CLI oracle over batches 1..$1, mined in one run.
+  cat $(for i in $(seq 1 "$1"); do echo "$WORK/batch$i.nwk"; done) \
+    > "$WORK/oracle.nwk"
+  "$CLI" frequent "$WORK/oracle.nwk" --csv $MINE_FLAGS
+}
+
+R=$(( SEED % 4 + 2 ))
+echo "== leg 1: ingest $R batches, kill -9, restart, byte-compare"
+start_daemon
+for i in $(seq 1 "$R"); do
+  client INGEST --file="$WORK/batch$i.nwk" > /dev/null
+done
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+
+start_daemon
+[ "$(live_batches)" -eq "$R" ] \
+  || { echo "FAIL: restart lost acked batches"; exit 1; }
+client QUERY frequent-pairs > "$WORK/leg1.csv"
+batch_csv "$R" > "$WORK/leg1.oracle"
+cmp "$WORK/leg1.csv" "$WORK/leg1.oracle" \
+  || { echo "FAIL: leg 1 CSV diverged from batch CLI"; exit 1; }
+
+NEXT=$(( R + 1 ))
+echo "== leg 2: kill -9 racing the ingest of batch $NEXT"
+client INGEST --file="$WORK/batch$NEXT.nwk" > /dev/null 2>&1 &
+INGEST_PID=$!
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+wait "$INGEST_PID" 2> /dev/null || true
+
+start_daemon
+B=$(live_batches)
+if [ "$B" -ne "$R" ] && [ "$B" -ne "$NEXT" ]; then
+  echo "FAIL: torn state — $B batches live, expected $R or $NEXT"
+  exit 1
+fi
+client QUERY frequent-pairs > "$WORK/leg2.csv"
+batch_csv "$B" > "$WORK/leg2.oracle"
+cmp "$WORK/leg2.csv" "$WORK/leg2.oracle" \
+  || { echo "FAIL: leg 2 CSV diverged from batch CLI over $B"; exit 1; }
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+
+echo "== leg 3: overload sheds with Unavailable while HEALTH answers"
+rm -f "$WAL"
+start_daemon --max-inflight-bytes=8 --retry-after-ms=77
+set +e
+client INGEST --file="$WORK/batch1.nwk" > /dev/null 2> "$WORK/shed.err"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "FAIL: shed ingest exited $rc, not 1"; exit 1; }
+grep -q "Unavailable" "$WORK/shed.err" \
+  || { echo "FAIL: shed error lacks Unavailable"; cat "$WORK/shed.err"; exit 1; }
+grep -q "retry-after-ms=77" "$WORK/shed.err" \
+  || { echo "FAIL: shed error lacks retry-after"; cat "$WORK/shed.err"; exit 1; }
+client HEALTH > "$WORK/shed.health"
+grep -q '"shed":1' "$WORK/shed.health" \
+  || { echo "FAIL: HEALTH does not account the shed"; exit 1; }
+
+echo "== leg 4: DRAIN exits 0 with checkpoint + health report"
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+rm -f "$WAL"
+start_daemon --checkpoint="$WORK/final.ckpt" \
+  --health-report="$WORK/final.health.json"
+client INGEST --file="$WORK/batch1.nwk" > /dev/null
+client DRAIN > /dev/null
+wait "$DAEMON_PID"
+rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || { echo "FAIL: drained daemon exited $rc"; exit 1; }
+[ -s "$WORK/final.ckpt" ] || { echo "FAIL: no final checkpoint"; exit 1; }
+[ -s "$WORK/final.health.json" ] \
+  || { echo "FAIL: no final health report"; exit 1; }
+
+echo "daemon drill OK (seed=$SEED, kill point R=$R, leg 2 landed on $B)"
