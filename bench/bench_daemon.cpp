@@ -3,16 +3,21 @@
 // CousinService::Handle (no socket, so the numbers isolate the service
 // layer: mining + WAL fsync + snapshot publication).
 //
-// Perf-gate keys: `svc.frequent_pairs` and
-// `svc.frequent_pairs_after_retract` are exact (answers must not move);
-// `ingest.us_per_tree`, `query.us_per_call` and `retract.us_per_batch`
-// ride the gate's timing tolerance. The shape check is the crash
-// contract itself: a second service started over the WAL the bench
-// just wrote must answer the frequent-pairs query byte-identically.
+// Perf-gate keys: `svc.frequent_pairs`,
+// `svc.frequent_pairs_after_retract` and
+// `svc.frequent_pairs_after_recover` are exact (answers must not
+// move); `ingest.us_per_tree`, `query.us_per_call`,
+// `retract.us_per_batch`, `compact.us` and `recover.us_per_record`
+// ride the gate's timing tolerance. The recovery leg times a restart
+// over a compacted store with a known tail — the cost compaction
+// exists to bound — and the shape check is the crash contract itself:
+// the restarted service must answer the frequent-pairs query
+// byte-identically to the one it replaced.
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -95,7 +100,7 @@ int main() {
   }
 
   const std::string wal_path = "BENCH_daemon.wal";
-  std::remove(wal_path.c_str());
+  std::filesystem::remove_all(wal_path);
   svc::ServiceConfig config;
   config.mining.min_support = 4;
   config.wal_path = wal_path;
@@ -154,21 +159,49 @@ int main() {
   report.AddResult("svc.frequent_pairs_after_retract",
                    CountCsvRows(after_retract));
 
-  // Shape check = the crash contract: a fresh service over the WAL we
-  // just wrote must answer byte-identically to the live one.
+  // Compaction: fold the acked state (with its retractions) into a
+  // snapshot and retire the journal so far.
+  Stopwatch compact_watch;
+  ok = ok && Call(service->get(), "COMPACT", {}).status.ok();
+  report.AddResult("compact.us", compact_watch.ElapsedSeconds() * 1e6);
+  report.AddToN(1);
+
+  // A known tail past the snapshot: re-ingest the retracted payloads,
+  // so recovery has exactly batches/2 records to replay.
+  for (int32_t id = 2; id <= batches; id += 2) {
+    ok = ok &&
+         Call(service->get(), "INGEST", {}, payloads[id - 1]).status.ok();
+  }
+  const std::string live_final =
+      Call(service->get(), "QUERY", {"frequent-pairs"}).payload;
+
+  // Recovery leg + shape check = the crash contract: a fresh service
+  // over the store we just wrote loads the snapshot, replays only the
+  // tail, and must answer byte-identically to the one it replaced.
   service->reset();
+  Stopwatch recover_watch;
   Result<std::unique_ptr<svc::CousinService>> revived =
       svc::CousinService::Start(config);
+  const double recover_seconds = recover_watch.ElapsedSeconds();
   ok = ok && revived.ok();
   if (revived.ok()) {
+    const int64_t replayed_records = (*revived)->replayed_records();
+    ok = ok && replayed_records == int64_t{batches} / 2;
+    report.AddResult("recover.us_per_record",
+                     recover_seconds * 1e6 /
+                         std::max(int64_t{1}, replayed_records));
+    report.AddToN(replayed_records);
     const std::string replayed =
         Call(revived->get(), "QUERY", {"frequent-pairs"}).payload;
-    ok = ok && replayed == after_retract;
+    ok = ok && replayed == live_final;
+    report.AddResult("svc.frequent_pairs_after_recover",
+                     CountCsvRows(replayed));
     csv.WriteComment(std::string("replay check: ") +
-                     (replayed == after_retract ? "byte-identical"
-                                                : "DIVERGED"));
+                     (replayed == live_final ? "byte-identical"
+                                             : "DIVERGED"));
+    revived->reset();
   }
-  std::remove(wal_path.c_str());
+  std::filesystem::remove_all(wal_path);
 
   csv.WriteRow({"batches", "trees", "ingest_us_per_tree",
                 "query_us_per_call", "frequent_pairs"});

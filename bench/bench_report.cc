@@ -3,9 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <unistd.h>
+
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
-#include "util/fault_injection.h"
+#include "util/fs_ops.h"
+#include "util/result.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -92,23 +95,23 @@ bool BenchReport::Finish(bool ok) {
   std::string path = dir != nullptr && dir[0] != '\0'
                          ? std::string(dir) + "/BENCH_" + name_ + ".json"
                          : "BENCH_" + name_ + ".json";
-  // Every stdio call is checked: a truncated report must not survive
-  // looking complete. Report writes are a transient surface — each
-  // attempt rewrites the file from scratch ("w" truncates), so the
-  // whole write is retried with backoff before giving up; on
+  // Routed through the fs_ops seam (fault family bench.report.open /
+  // bench.report.write and their errno sub-sites): a truncated report
+  // must not survive looking complete. Report writes are a transient
+  // surface — each attempt rewrites the file from scratch (O_TRUNC),
+  // so the whole write is retried with backoff before giving up; on
   // exhaustion the torn file is removed outright. The benchmark's own
   // pass/fail (`ok`) is unaffected — the report is a side channel.
+  const std::string body = writer.str() + "\n";
   const Status written =
       RetryTransient(RetryPolicy::Default(), "bench.report", [&]() {
-        std::FILE* out = std::fopen(path.c_str(), "w");
-        if (out == nullptr) {
-          return Status::Unavailable("cannot open " + path);
-        }
-        bool write_ok = std::fputs(writer.str().c_str(), out) >= 0 &&
-                        std::fputc('\n', out) != EOF;
-        write_ok = std::fclose(out) == 0 && write_ok;
-        if (!write_ok || fault::Fired("bench.report.write")) {
-          return Status::Unavailable("write failed for " + path);
+        Result<int> fd = fs::OpenTrunc("bench.report.open", path);
+        if (!fd.ok()) return fd.status();
+        fs::IoOutcome wrote = fs::WriteAll("bench.report.write", *fd, body);
+        const bool closed = ::close(*fd) == 0;
+        if (!wrote.ok()) return wrote.status;
+        if (!closed) {
+          return Status::Unavailable("close failed for " + path);
         }
         return Status::OK();
       });

@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
+#include "util/fs_ops.h"
 
 namespace cousins {
 namespace internal {
@@ -525,81 +527,72 @@ Result<MultiTreeMiner> MultiTreeMiner::RestoreFromCheckpointImpl(
   return miner;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const std::string& site_prefix, int* err) {
+  if (err != nullptr) *err = 0;
   const std::string tmp = path + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr || fault::Fired("checkpoint.open")) {
-    if (out != nullptr) {
-      std::fclose(out);
-      std::remove(tmp.c_str());
-    }
+  Result<int> fd = fs::OpenTrunc((site_prefix + ".open").c_str(), tmp, err);
+  if (!fd.ok()) {
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Unavailable("cannot open checkpoint temp file '" + tmp +
-                            "'");
+    return fd.status();
   }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), out);
-  if (written != bytes.size() || fault::Fired("checkpoint.write")) {
-    std::fclose(out);
+  fs::IoOutcome wrote =
+      fs::WriteAll((site_prefix + ".write").c_str(), *fd, bytes);
+  if (!wrote.ok()) {
+    if (err != nullptr) *err = wrote.err;
+    close(*fd);
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Unavailable("short write on checkpoint temp file '" + tmp +
-                            "'");
+    return wrote.status;
   }
-  // Flush + fsync before rename: rename(2) is atomic, but only durably
-  // replaces the old checkpoint once the new bytes are on disk.
-  if (std::fflush(out) != 0 || fsync(fileno(out)) != 0 ||
-      fault::Fired("checkpoint.flush")) {
-    std::fclose(out);
+  // fsync before rename: rename(2) is atomic, but only durably
+  // replaces the old file once the new bytes are on disk. The tmp fd
+  // is discarded on failure, so the fsync-poisoning rule reduces to
+  // "remove the tmp file and report" here.
+  fs::IoOutcome synced = fs::Fsync((site_prefix + ".flush").c_str(), *fd);
+  if (!synced.ok()) {
+    if (err != nullptr) *err = synced.err;
+    close(*fd);
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Unavailable("cannot flush checkpoint temp file '" + tmp +
-                            "'");
+    return synced.status;
   }
-  if (std::fclose(out) != 0) {
+  if (close(*fd) != 0) {
+    if (err != nullptr) *err = errno;
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Unavailable("cannot close checkpoint temp file '" + tmp +
-                            "'");
+    return Status::Unavailable("cannot close temp file '" + tmp + "'");
   }
-  // The fault site must fire before rename(2) runs: once the rename
-  // syscall executes the destination is already replaced, and a
-  // "failed" write that still clobbered the previous checkpoint would
-  // break the crash-safety contract the sweep test drills.
-  if (fault::Fired("checkpoint.rename") ||
-      std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // fs::Rename fires its fault before the syscall runs: once rename
+  // executes the destination is already replaced, and a "failed" write
+  // that still clobbered the previous file would break the
+  // crash-safety contract the sweep test drills.
+  Status renamed =
+      fs::Rename((site_prefix + ".rename").c_str(), tmp, path, err);
+  if (!renamed.ok()) {
     std::remove(tmp.c_str());
     COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-    return Status::Unavailable("cannot rename checkpoint into place at '" +
-                            path + "'");
+    return renamed;
   }
   // rename(2) alone is atomic but not durable: the directory entry
   // pointing at the new inode lives in the directory's own data, and a
   // crash before that hits disk resurrects the old file (or nothing).
-  // fsync the containing directory so a returned OK means the rename
-  // itself survives a crash. On failure the new contents are already
-  // visible at `path` — do NOT remove them; the caller's retry rewrites
-  // the same bytes idempotently.
-  {
-    const size_t slash = path.find_last_of('/');
-    const std::string dir =
-        slash == std::string::npos ? "." : path.substr(0, slash + 1);
-    const int dir_fd = open(dir.c_str(), O_RDONLY);
-    const bool injected = fault::Fired("checkpoint.dirsync");
-    if (dir_fd < 0 || fsync(dir_fd) != 0 || injected) {
-      if (dir_fd >= 0) close(dir_fd);
-      COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
-      return Status::Unavailable(
-          "cannot fsync directory '" + dir + "' after renaming '" + path +
-          "' into place");
-    }
-    close(dir_fd);
+  // On failure the new contents are already visible at `path` — do NOT
+  // remove them; the caller's retry rewrites the same bytes
+  // idempotently.
+  Status dir_synced =
+      fs::FsyncDirOf((site_prefix + ".dirsync").c_str(), path, err);
+  if (!dir_synced.ok()) {
+    COUSINS_METRIC_COUNTER_ADD("checkpoint.write_failures", 1);
+    return dir_synced;
   }
   COUSINS_METRIC_COUNTER_ADD("checkpoint.writes", 1);
   COUSINS_METRIC_COUNTER_ADD("checkpoint.bytes_written", bytes.size());
   return Status::OK();
 }
 
-Result<std::string> ReadFileToString(const std::string& path) {
+Result<std::string> ReadFileToString(const std::string& path,
+                                     const char* site) {
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -612,8 +605,9 @@ Result<std::string> ReadFileToString(const std::string& path) {
   }
   const bool read_error = std::ferror(in) != 0;
   std::fclose(in);
-  if (read_error || fault::Fired("checkpoint.read")) {
-    return Status::Unavailable("read error on '" + path + "'");
+  if (read_error || fault::Fired(site)) {
+    return Status::Unavailable("read error on '" + path + "' (at " +
+                               site + ")");
   }
   return bytes;
 }

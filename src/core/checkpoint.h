@@ -90,15 +90,25 @@ struct MiningCheckpointConfig {
 /// are left intact; a failed directory fsync reports kUnavailable with
 /// the new contents already in place, so retrying the whole write is
 /// idempotent. All failures are kUnavailable (transient: a retry of the
-/// whole write may succeed — see util/retry.h). Fault sites:
-/// checkpoint.open / checkpoint.write / checkpoint.flush /
-/// checkpoint.rename / checkpoint.dirsync.
-Status WriteFileAtomic(const std::string& path, const std::string& bytes);
+/// whole write may succeed — see util/retry.h). Every file operation
+/// routes through util/fs_ops.h under `site_prefix`, consulting fault
+/// sites <prefix>.open / <prefix>.write / <prefix>.flush /
+/// <prefix>.rename / <prefix>.dirsync plus their errno-typed
+/// sub-sites; the default prefix keeps the historical checkpoint.*
+/// names, while the service WAL passes "svc.manifest" / "svc.snapshot"
+/// so its swaps are independently sweepable.
+/// `err`, when non-null, receives the errno class behind a failure (0
+/// for none / a legacy boolean fault) so callers can distinguish disk
+/// exhaustion from injected no-op faults.
+Status WriteFileAtomic(const std::string& path, const std::string& bytes,
+                       const std::string& site_prefix = "checkpoint",
+                       int* err = nullptr);
 
 /// Reads a whole file. NotFound when it does not exist (permanent);
 /// kUnavailable on a read error of an existing file (transient). Fault
-/// site checkpoint.read simulates an unreadable disk.
-Result<std::string> ReadFileToString(const std::string& path);
+/// site `site` (default checkpoint.read) simulates an unreadable disk.
+Result<std::string> ReadFileToString(const std::string& path,
+                                     const char* site = "checkpoint.read");
 
 namespace internal {
 

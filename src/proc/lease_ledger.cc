@@ -11,6 +11,7 @@
 #include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "util/fault_injection.h"
+#include "util/fs_ops.h"
 #include "util/strings.h"
 
 namespace cousins::proc {
@@ -97,11 +98,21 @@ LeaseJournal::~LeaseJournal() {
 
 Result<LeaseJournal> LeaseJournal::Open(const std::string& path,
                                         bool truncate) {
-  int flags = O_WRONLY | O_CREAT | O_APPEND;
-  if (truncate) flags |= O_TRUNC;
-  const int fd = open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    return Status::Unavailable("cannot open lease journal '" + path + "'");
+  bool created = false;
+  COUSINS_ASSIGN_OR_RETURN(
+      const int fd,
+      fs::OpenAppend("proc.journal.open", path, truncate, &created));
+  // A freshly created journal exists only in its directory's data
+  // until that directory is fsync'd: without this, a crash right
+  // after creation silently loses the whole journal — and with it the
+  // shard-plan identity that stops a resume from double-mining.
+  if (created) {
+    Status dir_synced = fs::FsyncDirOf("proc.journal.dirsync", path);
+    if (!dir_synced.ok()) {
+      close(fd);
+      ::unlink(path.c_str());
+      return dir_synced;
+    }
   }
   LeaseJournal journal;
   journal.fd_ = fd;
@@ -110,26 +121,19 @@ Result<LeaseJournal> LeaseJournal::Open(const std::string& path,
 
 Status LeaseJournal::Append(const std::string& body, bool durable) {
   const std::string line = body + " #" + CrcSuffix(body) + "\n";
-  if (fault::Fired("proc.journal.append")) {
-    COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
-    return Status::Unavailable("injected fault at proc.journal.append");
-  }
   // One write(2) per record: O_APPEND makes concurrent appends from the
   // supervisor and its workers land whole, never interleaved.
-  size_t written = 0;
-  while (written < line.size()) {
-    const ssize_t n =
-        write(fd_, line.data() + written, line.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
-      return Status::Unavailable("lease journal append failed");
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (durable && fsync(fd_) != 0) {
+  fs::IoOutcome wrote = fs::WriteAll("proc.journal.append", fd_, line);
+  if (!wrote.ok()) {
     COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
-    return Status::Unavailable("lease journal fsync failed");
+    return wrote.status;
+  }
+  if (durable) {
+    fs::IoOutcome synced = fs::Fsync("proc.journal.fsync", fd_);
+    if (!synced.ok()) {
+      COUSINS_METRIC_COUNTER_ADD("proc.journal_append_failures", 1);
+      return synced.status;
+    }
   }
   COUSINS_METRIC_COUNTER_ADD("proc.journal_appends", 1);
   return Status::OK();

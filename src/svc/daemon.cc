@@ -18,12 +18,17 @@
 #include "obs/metrics.h"
 #include "tree/newick.h"
 #include "util/fault_injection.h"
+#include "util/fs_ops.h"
 #include "util/strings.h"
 
 namespace cousins::svc {
 namespace {
 
 constexpr std::string_view kDeadlineArgPrefix = "deadline-ms=";
+
+/// How long a client should back off before retrying a mutation shed
+/// by read-only mode — compaction (the exit) is operator-paced.
+constexpr int64_t kReadOnlyRetryMs = 1000;
 
 Response ErrorResponse(Status status) {
   Response response;
@@ -38,10 +43,126 @@ Response ShedResponse(const AdmissionDecision& decision) {
   return response;
 }
 
+Response ReadOnlyResponse(const std::string& reason) {
+  Response response;
+  response.status = Status::Unavailable(
+      "service is read-only (" + reason +
+      "); mutations shed until compaction reclaims storage");
+  response.retry_after_ms = kReadOnlyRetryMs;
+  return response;
+}
+
 /// The lenient-mode quarantine source name of a batch — batch-local,
 /// so replayed re-mining reproduces byte-identical ledger entries.
 std::string BatchSource(int64_t batch_id) {
   return "batch:" + std::to_string(batch_id);
+}
+
+// --- service-snapshot codec ------------------------------------------
+//
+// The opaque blob WalStore anchors a compaction on: magic "SVCSNAP1",
+// then little-endian fields
+//   u32 fingerprint, i64 next_batch_id,
+//   u64 miner-checkpoint length + bytes (core checkpoint codec,
+//       quarantine ledger included),
+//   u64 batch count, then per live batch
+//     i64 id, u8 retained, i32 trees, [u64 payload length + bytes
+//     when retained],
+// and a trailing u32 CRC32 over everything before it.
+
+constexpr std::string_view kSnapMagic = "SVCSNAP1";
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+void PutI64(int64_t v, std::string* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+void PutI32(int32_t v, std::string* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+}
+
+/// Bounds-checked reader over the snapshot body (CRC already checked;
+/// kept as defense in depth against codec bugs).
+struct SnapReader {
+  const char* data;
+  size_t size;
+  size_t pos = 0;
+
+  Status Need(size_t n) {
+    if (pos + n > size) {
+      return Status::Corruption("truncated service snapshot body");
+    }
+    return Status::OK();
+  }
+  Status ReadU32(uint32_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(
+                static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 4;
+    return Status::OK();
+  }
+  Status ReadU64(uint64_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(
+                static_cast<unsigned char>(data[pos + i]))
+            << (8 * i);
+    }
+    pos += 8;
+    return Status::OK();
+  }
+  Status ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    COUSINS_RETURN_IF_ERROR(ReadU64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+  Status ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    COUSINS_RETURN_IF_ERROR(ReadU32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+  Status ReadU8(uint8_t* v) {
+    COUSINS_RETURN_IF_ERROR(Need(1));
+    *v = static_cast<unsigned char>(data[pos++]);
+    return Status::OK();
+  }
+  Status ReadBytes(size_t n, std::string* out) {
+    COUSINS_RETURN_IF_ERROR(Need(n));
+    out->assign(data + pos, n);
+    pos += n;
+    return Status::OK();
+  }
+};
+
+/// Minimal JSON string escape for the health report's read-only
+/// reason (our own status messages: quotes and backslashes only).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
 }
 
 }  // namespace
@@ -65,36 +186,141 @@ Result<std::unique_ptr<CousinService>> CousinService::Start(
   }
   COUSINS_RETURN_IF_ERROR(ValidateVariantOptions(config.mining));
   std::unique_ptr<CousinService> service(new CousinService(config));
+  const auto recovery_start = std::chrono::steady_clock::now();
 
-  size_t valid_prefix = 0;
-  Result<std::vector<SvcWalRecord>> replay =
-      ReplaySvcWal(config.wal_path, service->fingerprint_, &valid_prefix);
-  bool need_header = false;
-  if (replay.ok()) {
-    // Trim any torn tail so new appends never land after junk bytes.
-    if (::truncate(config.wal_path.c_str(),
-                   static_cast<off_t>(valid_prefix)) != 0) {
-      return Status::Unavailable("cannot trim service WAL '" +
-                                 config.wal_path + "'");
-    }
-    need_header = valid_prefix == 0;
-    for (const SvcWalRecord& record : *replay) {
+  WalStoreConfig wal_config;
+  wal_config.segment_bytes = config.wal_segment_bytes;
+
+  struct stat st;
+  const bool v1_file = ::stat(config.wal_path.c_str(), &st) == 0 &&
+                       S_ISREG(st.st_mode);
+  if (v1_file) {
+    // A v1 single-file WAL from an older build: replay it fully (it
+    // has no snapshot anchor), then migrate it in place into the
+    // segmented layout — its replayed state becomes the first
+    // snapshot, and the v1 file is retired only once the new store is
+    // durable.
+    COUSINS_ASSIGN_OR_RETURN(
+        std::vector<SvcWalRecord> replay,
+        ReplaySvcWal(config.wal_path, service->fingerprint_));
+    for (const SvcWalRecord& record : replay) {
       COUSINS_RETURN_IF_ERROR(service->ApplyReplayRecord(record));
     }
-  } else if (replay.status().code() == StatusCode::kNotFound) {
-    need_header = true;
+    service->replayed_records_ = static_cast<int64_t>(replay.size());
+    COUSINS_ASSIGN_OR_RETURN(
+        service->store_,
+        WalStore::MigrateFromV1(config.wal_path, service->fingerprint_,
+                                wal_config,
+                                service->SerializeServiceSnapshot()));
   } else {
-    return replay.status();
+    WalRecovery recovery;
+    COUSINS_ASSIGN_OR_RETURN(
+        service->store_,
+        WalStore::Open(config.wal_path, service->fingerprint_, wal_config,
+                       &recovery));
+    if (!recovery.snapshot_bytes.empty()) {
+      COUSINS_RETURN_IF_ERROR(
+          service->RestoreServiceSnapshot(recovery.snapshot_bytes));
+    }
+    for (const SvcWalRecord& record : recovery.tail) {
+      COUSINS_RETURN_IF_ERROR(service->ApplyReplayRecord(record));
+    }
+    service->replayed_records_ = recovery.replayed_records;
   }
-
-  COUSINS_ASSIGN_OR_RETURN(service->wal_, SvcWal::Open(config.wal_path));
-  if (need_header) {
-    COUSINS_RETURN_IF_ERROR(service->wal_.AppendHeader(service->fingerprint_));
-  }
+  service->recovery_ms_ =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - recovery_start)
+          .count();
+  service->UpdateStorageStats();
   COUSINS_METRIC_COUNTER_ADD("svc.replayed_batches",
                              service->replayed_batches_);
+  COUSINS_METRIC_COUNTER_ADD("svc.replayed_records",
+                             service->replayed_records_);
   COUSINS_RETURN_IF_ERROR(service->PublishSnapshot());
   return service;
+}
+
+std::string CousinService::SerializeServiceSnapshot() const {
+  std::string out(kSnapMagic);
+  PutU32(fingerprint_, &out);
+  PutI64(next_batch_id_, &out);
+  const std::string ckpt = miner_.SerializeCheckpoint(&quarantine_);
+  PutU64(ckpt.size(), &out);
+  out += ckpt;
+  PutU64(batches_.size(), &out);
+  for (const auto& [id, info] : batches_) {
+    PutI64(id, &out);
+    out.push_back(info.retained ? 1 : 0);
+    PutI32(info.trees, &out);
+    if (info.retained) {
+      PutU64(info.payload.size(), &out);
+      out += info.payload;
+    }
+  }
+  PutU32(internal::Crc32(out.data(), out.size()), &out);
+  return out;
+}
+
+Status CousinService::RestoreServiceSnapshot(const std::string& bytes) {
+  if (bytes.size() < kSnapMagic.size() + 4 ||
+      std::string_view(bytes).substr(0, kSnapMagic.size()) != kSnapMagic) {
+    return Status::Corruption("service snapshot magic mismatch");
+  }
+  const size_t body_end = bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(
+                      static_cast<unsigned char>(bytes[body_end + i]))
+                  << (8 * i);
+  }
+  if (internal::Crc32(bytes.data(), body_end) != stored_crc) {
+    return Status::Corruption("service snapshot CRC mismatch");
+  }
+  SnapReader reader{bytes.data() + kSnapMagic.size(),
+                    body_end - kSnapMagic.size()};
+  uint32_t fp = 0;
+  COUSINS_RETURN_IF_ERROR(reader.ReadU32(&fp));
+  if (fp != fingerprint_) {
+    return Status::FailedPrecondition(
+        "service snapshot was written under different mining options");
+  }
+  int64_t next_id = 0;
+  COUSINS_RETURN_IF_ERROR(reader.ReadI64(&next_id));
+  uint64_t ckpt_len = 0;
+  COUSINS_RETURN_IF_ERROR(reader.ReadU64(&ckpt_len));
+  std::string ckpt;
+  COUSINS_RETURN_IF_ERROR(reader.ReadBytes(ckpt_len, &ckpt));
+  COUSINS_ASSIGN_OR_RETURN(
+      MultiTreeMiner restored,
+      MultiTreeMiner::RestoreFromCheckpoint(ckpt, config_.mining, labels_,
+                                            &quarantine_));
+  miner_ = std::move(restored);
+  uint64_t count = 0;
+  COUSINS_RETURN_IF_ERROR(reader.ReadU64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id = 0;
+    uint8_t retained = 0;
+    BatchInfo info;
+    COUSINS_RETURN_IF_ERROR(reader.ReadI64(&id));
+    COUSINS_RETURN_IF_ERROR(reader.ReadU8(&retained));
+    COUSINS_RETURN_IF_ERROR(reader.ReadI32(&info.trees));
+    info.retained = retained != 0;
+    if (info.retained) {
+      uint64_t len = 0;
+      COUSINS_RETURN_IF_ERROR(reader.ReadU64(&len));
+      COUSINS_RETURN_IF_ERROR(reader.ReadBytes(len, &info.payload));
+    }
+    batches_[id] = std::move(info);
+  }
+  if (reader.pos != reader.size) {
+    return Status::Corruption("trailing bytes after service snapshot");
+  }
+  next_batch_id_ = next_id;
+  // Snapshot-restored batches count as replayed state for the health
+  // report's svc.replayed_batches; the storage section's
+  // replayed_records tracks only the post-snapshot tail.
+  replayed_batches_ += static_cast<int64_t>(count);
+  return Status::OK();
 }
 
 MiningContext CousinService::ContextFor(const Request& request) const {
@@ -174,6 +400,13 @@ Status CousinService::ApplyReplayRecord(const SvcWalRecord& record) {
       return Status::Corruption(
           "WAL retracts unknown batch " + std::to_string(record.id));
     }
+    if (!it->second.retained) {
+      // The daemon refuses RETRACT of a batch past the retention
+      // horizon, so a tail retract of one can only be damage.
+      return Status::Corruption(
+          "WAL retracts batch " + std::to_string(record.id) +
+          " whose payload was compacted away");
+    }
     MultiTreeMiner staging(config_.mining);
     QuarantineLedger scratch;
     COUSINS_RETURN_IF_ERROR(MineBatch(record.id, it->second.payload,
@@ -231,11 +464,38 @@ Status CousinService::PublishSnapshot() {
   return Status::OK();
 }
 
+void CousinService::EnterReadOnly(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    read_only_reason_ = reason;
+  }
+  if (!read_only_.exchange(true, std::memory_order_relaxed)) {
+    COUSINS_METRIC_COUNTER_ADD("svc.read_only_entries", 1);
+  }
+}
+
+void CousinService::UpdateStorageStats() {
+  storage_segments_.store(store_.segment_count(),
+                          std::memory_order_relaxed);
+  storage_wal_bytes_.store(store_.total_bytes(),
+                           std::memory_order_relaxed);
+  storage_sealed_bytes_.store(store_.sealed_bytes(),
+                              std::memory_order_relaxed);
+  storage_compaction_id_.store(store_.last_compaction_id(),
+                               std::memory_order_relaxed);
+}
+
+std::string CousinService::ReadOnlyReason() const {
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  return read_only_reason_;
+}
+
 Response CousinService::HandleIngest(const Request& request) {
   if (draining()) {
     return ErrorResponse(
         Status::Unavailable("service is draining; not accepting ingest"));
   }
+  if (read_only()) return ReadOnlyResponse(ReadOnlyReason());
   if (static_cast<int64_t>(request.payload.size()) >
       config_.max_batch_bytes) {
     return ErrorResponse(Status::InvalidArgument(
@@ -260,9 +520,22 @@ Response CousinService::HandleIngest(const Request& request) {
     COUSINS_METRIC_COUNTER_ADD("svc.ingest_rejected", 1);
     return ErrorResponse(std::move(mined));
   }
-  Status appended = wal_.AppendBatch(id, request.payload);
+  Status appended = store_.AppendBatch(id, request.payload);
   if (!appended.ok()) {
     COUSINS_METRIC_COUNTER_ADD("svc.ingest_rejected", 1);
+    // The id was never acked, so it is not consumed — and when the
+    // failure carried an errno class (real disk error or typed fault)
+    // the store is degraded: flip read-only so no later ingest can
+    // reuse the id against indeterminate durable bytes. A plain
+    // injected fault (no errno, nothing landed) stays retryable in
+    // place.
+    if (store_.degraded()) {
+      EnterReadOnly(appended.message());
+      UpdateStorageStats();
+      Response response = ErrorResponse(std::move(appended));
+      response.retry_after_ms = kReadOnlyRetryMs;
+      return response;
+    }
     return ErrorResponse(std::move(appended));
   }
   // Point of no return: the batch is durable. Everything after must
@@ -276,6 +549,17 @@ Response CousinService::HandleIngest(const Request& request) {
   next_batch_id_ = id + 1;
   COUSINS_METRIC_COUNTER_ADD("svc.ingest_batches", 1);
   COUSINS_METRIC_COUNTER_ADD("svc.ingest_trees", trees);
+  if (config_.wal_compact_bytes > 0 &&
+      store_.sealed_bytes() >= config_.wal_compact_bytes) {
+    // Auto-compaction keeps recovery bounded without an operator in
+    // the loop; a failure is non-fatal — the ingest itself is durable
+    // and a later COMPACT (or the next threshold crossing) retries.
+    Status compacted = CompactLocked();
+    if (!compacted.ok()) {
+      COUSINS_METRIC_COUNTER_ADD("svc.auto_compact_failures", 1);
+    }
+  }
+  UpdateStorageStats();
   Status published = PublishSnapshot();
   if (!published.ok()) return ErrorResponse(std::move(published));
   Response response;
@@ -289,6 +573,7 @@ Response CousinService::HandleRetract(const Request& request) {
     return ErrorResponse(
         Status::Unavailable("service is draining; not accepting retract"));
   }
+  if (read_only()) return ReadOnlyResponse(ReadOnlyReason());
   if (request.args.empty()) {
     return ErrorResponse(
         Status::InvalidArgument("RETRACT requires a batch id"));
@@ -305,6 +590,12 @@ Response CousinService::HandleRetract(const Request& request) {
         "batch " + std::to_string(id) + " is not live (never ingested, "
         "or already retracted)"));
   }
+  if (!it->second.retained) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "batch " + std::to_string(id) +
+        " is beyond the retention horizon (payload compacted away); it "
+        "stays tallied and cannot be retracted"));
+  }
   MultiTreeMiner staging(config_.mining);
   // Re-mining reproduces exactly the tallies the batch contributed;
   // its quarantine entries were recorded at ingest, so the re-parse
@@ -313,12 +604,22 @@ Response CousinService::HandleRetract(const Request& request) {
   Status mined =
       MineBatch(id, it->second.payload, context, &staging, &scratch);
   if (!mined.ok()) return ErrorResponse(std::move(mined));
-  Status appended = wal_.AppendRetract(id);
-  if (!appended.ok()) return ErrorResponse(std::move(appended));
+  Status appended = store_.AppendRetract(id);
+  if (!appended.ok()) {
+    if (store_.degraded()) {
+      EnterReadOnly(appended.message());
+      UpdateStorageStats();
+      Response response = ErrorResponse(std::move(appended));
+      response.retry_after_ms = kReadOnlyRetryMs;
+      return response;
+    }
+    return ErrorResponse(std::move(appended));
+  }
   const int trees = staging.tree_count();
   miner_.SubtractFrom(staging);
   batches_.erase(it);
   COUSINS_METRIC_COUNTER_ADD("svc.retracts", 1);
+  UpdateStorageStats();
   Status published = PublishSnapshot();
   if (!published.ok()) return ErrorResponse(std::move(published));
   Response response;
@@ -371,6 +672,57 @@ Response CousinService::HandleQuery(const Request& request) const {
       "unknown QUERY mode '" + request.args[0] + "'"));
 }
 
+Status CousinService::CompactLocked() {
+  // Retention horizon: only the N most-recent live batches keep their
+  // payloads past this compaction. Older batches stay tallied (the
+  // snapshot carries the miner state) but can no longer be retracted.
+  if (config_.retain_batches > 0 &&
+      static_cast<int64_t>(batches_.size()) > config_.retain_batches) {
+    int64_t drop =
+        static_cast<int64_t>(batches_.size()) - config_.retain_batches;
+    for (auto it = batches_.begin(); drop > 0 && it != batches_.end();
+         ++it, --drop) {
+      if (!it->second.retained) continue;
+      it->second.payload.clear();
+      it->second.payload.shrink_to_fit();
+      it->second.retained = false;
+      COUSINS_METRIC_COUNTER_ADD("svc.retention_dropped", 1);
+    }
+  }
+  // The snapshot serializes the ACKED in-memory state: a phantom
+  // record (durable in the old segments but never acknowledged, e.g.
+  // a crash-window append) is resolved toward "not accepted" here —
+  // the old segments are retired and the phantom with them.
+  COUSINS_RETURN_IF_ERROR(store_.Compact(SerializeServiceSnapshot()));
+  if (read_only_.exchange(false, std::memory_order_relaxed)) {
+    COUSINS_METRIC_COUNTER_ADD("svc.read_only_exits", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    read_only_reason_.clear();
+  }
+  UpdateStorageStats();
+  return Status::OK();
+}
+
+Response CousinService::HandleCompact() {
+  // No admission gate and no draining check: COMPACT is the recovery
+  // path out of read-only mode and must stay reachable exactly when
+  // the daemon is otherwise refusing work.
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  Status compacted = CompactLocked();
+  if (!compacted.ok()) {
+    UpdateStorageStats();
+    return ErrorResponse(std::move(compacted));
+  }
+  Response response;
+  response.payload =
+      "compaction=" + std::to_string(store_.last_compaction_id()) +
+      " segments=" + std::to_string(store_.segment_count()) +
+      " wal_bytes=" + std::to_string(store_.total_bytes()) + "\n";
+  return response;
+}
+
 std::string CousinService::HealthJson() const {
   std::shared_ptr<const ServiceSnapshot> snapshot = snapshot_cell_.Load();
   std::string out = "{\"svc\":{";
@@ -388,6 +740,21 @@ std::string CousinService::HealthJson() const {
          std::to_string(admission_.inflight_bytes());
   out += ",\"shed\":" + std::to_string(admission_.shed());
   out += ",\"admitted\":" + std::to_string(admission_.admitted_total());
+  out += "},\"storage\":{";
+  out += "\"segments\":" +
+         std::to_string(storage_segments_.load(std::memory_order_relaxed));
+  out += ",\"wal_bytes\":" +
+         std::to_string(storage_wal_bytes_.load(std::memory_order_relaxed));
+  out += ",\"sealed_bytes\":" +
+         std::to_string(
+             storage_sealed_bytes_.load(std::memory_order_relaxed));
+  out += ",\"last_compaction\":" +
+         std::to_string(
+             storage_compaction_id_.load(std::memory_order_relaxed));
+  out += ",\"replayed_records\":" + std::to_string(replayed_records_);
+  out += ",\"recovery_ms\":" + std::to_string(recovery_ms_);
+  out += ",\"read_only\":" + std::string(read_only() ? "true" : "false");
+  out += ",\"reason\":\"" + JsonEscape(ReadOnlyReason()) + "\"";
   out += "}}}";
   return out;
 }
@@ -414,6 +781,7 @@ Response CousinService::Handle(const Request& request) {
   if (request.verb == "RETRACT") return HandleRetract(request);
   if (request.verb == "QUERY") return HandleQuery(request);
   if (request.verb == "HEALTH") return HandleHealth();
+  if (request.verb == "COMPACT") return HandleCompact();
   if (request.verb == "DRAIN") return HandleDrain();
   return ErrorResponse(
       Status::InvalidArgument("unknown verb '" + request.verb + "'"));

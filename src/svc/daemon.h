@@ -8,25 +8,39 @@
 //   RETRACT <batch-id> [deadline-ms=N]
 //   QUERY   frequent-pairs | support <label1> <label2> <distance>
 //   HEALTH
+//   COMPACT
 //   DRAIN
 //
 // Durability: an ingest batch is mined into a staging miner first (a
 // failed or tripped batch leaves the resident tallies untouched), then
-// appended to the WAL (svc/wal.h) and fsync'd, then merged and
-// published — so the WAL holds exactly the accepted mutations, every
-// acknowledged request is durable, and a kill -9 at any point replays
-// into a state whose query answers are byte-identical to a batch run
-// over the acknowledged batches. A batch that reached the WAL but
-// whose acknowledgement was lost (crash in the ack window, or an
-// injected svc.swap fault) is the standard WAL ambiguity: it replays
-// as accepted.
+// appended to the segmented WAL (svc/wal_store.h) and fsync'd, then
+// merged and published — so the WAL holds exactly the accepted
+// mutations, every acknowledged request is durable, and a kill -9 at
+// any point replays into a state whose query answers are
+// byte-identical to a batch run over the acknowledged batches. A batch
+// that reached the WAL but whose acknowledgement was lost (crash in
+// the ack window, or an injected svc.swap fault) is the standard WAL
+// ambiguity: it replays as accepted.
 //
-// Concurrency: INGEST/RETRACT/DRAIN serialize on one mutation mutex;
-// QUERY and HEALTH read the RCU snapshot (svc/snapshot.h) and shared
-// counters only, so they answer concurrently with an in-flight ingest
-// and never block it. Admission (svc/admission.h) bounds in-flight
-// mutations and queries; HEALTH bypasses admission so the daemon stays
-// observable under overload.
+// Storage: the WAL is a directory of numbered segments anchored by a
+// snapshot (svc/wal_store.h) — recovery loads the snapshot and replays
+// only the tail, so restart cost tracks segment size, not uptime.
+// COMPACT (or auto-compaction past wal_compact_bytes) folds the acked
+// state into a fresh snapshot and retires the old segments. A failed
+// fsync poisons its segment (durability indeterminate — never
+// retry-fsync-then-ack); any errno-carrying storage failure flips the
+// daemon READ-ONLY: mutations are shed kUnavailable with a
+// retry-after while QUERY/HEALTH keep answering from the RCU
+// snapshot, and a successful COMPACT (which discards the poisoned
+// segment) is the way back out.
+//
+// Concurrency: INGEST/RETRACT/COMPACT/DRAIN serialize on one mutation
+// mutex; QUERY and HEALTH read the RCU snapshot (svc/snapshot.h) and
+// shared counters only, so they answer concurrently with an in-flight
+// ingest and never block it. Admission (svc/admission.h) bounds
+// in-flight mutations and queries; HEALTH and COMPACT bypass
+// admission so the daemon stays observable and recoverable under
+// overload.
 
 #ifndef COUSINS_SVC_DAEMON_H_
 #define COUSINS_SVC_DAEMON_H_
@@ -44,6 +58,7 @@
 #include "svc/protocol.h"
 #include "svc/snapshot.h"
 #include "svc/wal.h"
+#include "svc/wal_store.h"
 #include "tree/parse_limits.h"
 #include "util/governance.h"
 #include "util/result.h"
@@ -52,8 +67,19 @@ namespace cousins::svc {
 
 struct ServiceConfig {
   MultiTreeMiningOptions mining;
-  /// Path of the write-ahead log (required). Replayed on Start.
+  /// Path of the write-ahead log (required): a v2 segment directory.
+  /// A v1 single-file WAL at this path is migrated in place on Start.
   std::string wal_path;
+  /// Rotate the active WAL segment once its acked bytes reach this.
+  int64_t wal_segment_bytes = 4ll << 20;
+  /// Auto-compact after a mutation once the sealed (non-active) WAL
+  /// bytes reach this. 0 = only explicit COMPACT requests compact.
+  int64_t wal_compact_bytes = 0;
+  /// Retraction retention horizon: at compaction, only the N
+  /// most-recent live batches keep their payloads (retractable);
+  /// older batches stay tallied but RETRACT of one is
+  /// kFailedPrecondition. 0 = retain every payload.
+  int64_t retain_batches = 0;
   /// Optional final-checkpoint path, written by FinishDrain.
   std::string checkpoint_path;
   /// Optional final health-report path, written by FinishDrain.
@@ -103,6 +129,15 @@ class CousinService {
     return snapshot_cell_.Load();
   }
   int64_t replayed_batches() const { return replayed_batches_; }
+  /// Tail records replayed from WAL segments at Start (batches +
+  /// retracts, snapshot-restored batches excluded) — the measure of
+  /// how well compaction bounds recovery.
+  int64_t replayed_records() const { return replayed_records_; }
+  /// True while storage is degraded: mutations are shed, QUERY/HEALTH
+  /// keep serving. Cleared by a successful COMPACT.
+  bool read_only() const {
+    return read_only_.load(std::memory_order_relaxed);
+  }
   const AdmissionController& admission() const { return admission_; }
   const ServiceConfig& config() const { return config_; }
 
@@ -113,6 +148,7 @@ class CousinService {
   Response HandleRetract(const Request& request);
   Response HandleQuery(const Request& request) const;
   Response HandleHealth() const;
+  Response HandleCompact();
   Response HandleDrain();
 
   /// Mines `payload` into a staging miner over the shared label table.
@@ -135,6 +171,27 @@ class CousinService {
 
   std::string HealthJson() const;
 
+  /// Serializes the acked service state (miner tallies + quarantine +
+  /// live batches + next id) into an opaque snapshot blob for
+  /// WalStore::Compact / MigrateFromV1. Caller holds mutate_mu_ (or is
+  /// single-threaded Start).
+  std::string SerializeServiceSnapshot() const;
+  /// Inverse of SerializeServiceSnapshot, applied during Start before
+  /// tail replay. kCorruption on damage, kFailedPrecondition on a
+  /// fingerprint from different mining options.
+  Status RestoreServiceSnapshot(const std::string& bytes);
+
+  /// Compaction body (caller holds mutate_mu_): applies the retention
+  /// horizon, folds the acked state into WalStore::Compact, and on
+  /// success exits read-only mode.
+  Status CompactLocked();
+  /// Flips the daemon read-only with an operator-facing reason.
+  void EnterReadOnly(const std::string& reason);
+  std::string ReadOnlyReason() const;
+  /// Refreshes the storage health atomics from store_ (caller holds
+  /// mutate_mu_) so HEALTH stays lock-free.
+  void UpdateStorageStats();
+
   const ServiceConfig config_;
   const uint32_t fingerprint_;
 
@@ -142,17 +199,22 @@ class CousinService {
   std::mutex mutate_mu_;
   std::shared_ptr<LabelTable> labels_;
   MultiTreeMiner miner_;
-  SvcWal wal_;
+  WalStore store_;
   QuarantineLedger quarantine_;
   /// Live (non-retracted) batches by id; RETRACT re-mines the stored
-  /// payload to subtract exactly what the batch contributed.
+  /// payload to subtract exactly what the batch contributed. A batch
+  /// compacted past the retention horizon keeps its tallies but drops
+  /// its payload (retained=false) and can no longer be retracted.
   struct BatchInfo {
     std::string payload;
     int trees = 0;
+    bool retained = true;
   };
   std::map<int64_t, BatchInfo> batches_;
   int64_t next_batch_id_ = 1;
   int64_t replayed_batches_ = 0;
+  int64_t replayed_records_ = 0;
+  int64_t recovery_ms_ = 0;
 
   SnapshotCell snapshot_cell_;
   std::atomic<int64_t> snapshot_version_{0};
@@ -160,6 +222,16 @@ class CousinService {
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};
   std::atomic<int64_t> requests_{0};
+
+  /// Storage health, mirrored into atomics by UpdateStorageStats so
+  /// HandleHealth never takes mutate_mu_.
+  std::atomic<bool> read_only_{false};
+  std::atomic<int64_t> storage_segments_{0};
+  std::atomic<int64_t> storage_wal_bytes_{0};
+  std::atomic<int64_t> storage_sealed_bytes_{0};
+  std::atomic<int64_t> storage_compaction_id_{0};
+  mutable std::mutex reason_mu_;
+  std::string read_only_reason_;
 };
 
 /// Serves one connection: reads frames, handles requests, writes

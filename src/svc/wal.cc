@@ -9,21 +9,26 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <sys/stat.h>
+
 #include "core/checkpoint.h"
 #include "core/miner_variant.h"
 #include "obs/metrics.h"
 #include "util/fault_injection.h"
+#include "util/fs_ops.h"
 #include "util/strings.h"
 
 namespace cousins::svc {
 namespace {
 
-/// The WAL format version this build writes and replays.
+/// The v1 (single-file) WAL format version this build replays.
 constexpr int64_t kWalVersion = 1;
+/// The v2 (segmented) format version this build writes and replays.
+constexpr int64_t kSegVersion = 2;
 
 /// CRC32 of a record body, rendered as the 8-hex-digit frame suffix
 /// (identical framing to proc/lease_ledger.cc).
-std::string CrcSuffix(const std::string& body) {
+std::string CrcSuffix(std::string_view body) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%08x",
                 internal::Crc32(body.data(), body.size()));
@@ -107,14 +112,30 @@ Result<std::string> UnescapeWalPayload(std::string_view escaped) {
   return out;
 }
 
-bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out) {
+std::string FrameWalLine(std::string_view body) {
+  std::string line(body);
+  line += " #";
+  line += CrcSuffix(body);
+  line += "\n";
+  return line;
+}
+
+bool UnframeWalLine(std::string_view line, std::string_view* body) {
   const size_t hash = line.find_last_of('#');
   if (hash == std::string_view::npos || hash + 9 != line.size() ||
       hash < 1 || line[hash - 1] != ' ') {
     return false;
   }
-  const std::string body(line.substr(0, hash - 1));
-  if (CrcSuffix(body) != line.substr(hash + 1)) return false;
+  const std::string_view candidate = line.substr(0, hash - 1);
+  if (CrcSuffix(candidate) != line.substr(hash + 1)) return false;
+  *body = candidate;
+  return true;
+}
+
+bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out) {
+  std::string_view framed_body;
+  if (!UnframeWalLine(line, &framed_body)) return false;
+  const std::string body(framed_body);
   SvcWalRecord record;
   if (StartsWith(body, "SVCWAL ")) {
     std::vector<std::string_view> fields = Split(body, ' ');
@@ -125,6 +146,17 @@ bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out) {
       return false;
     }
     record.kind = SvcWalRecord::Kind::kHeader;
+    record.fingerprint = static_cast<uint32_t>(fingerprint);
+  } else if (StartsWith(body, "SVCSEG ")) {
+    std::vector<std::string_view> fields = Split(body, ' ');
+    int64_t fingerprint = 0;
+    if (fields.size() != 4 || !ParseInt(fields[1], &record.version) ||
+        !ParseInt(fields[2], &fingerprint) || fingerprint < 0 ||
+        fingerprint > std::numeric_limits<uint32_t>::max() ||
+        !ParseInt(fields[3], &record.id) || record.id < 0) {
+      return false;
+    }
+    record.kind = SvcWalRecord::Kind::kSegHeader;
     record.fingerprint = static_cast<uint32_t>(fingerprint);
   } else if (StartsWith(body, "BATCH ")) {
     // "BATCH <id> <escaped payload>": the payload may contain spaces,
@@ -155,12 +187,18 @@ bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out) {
 }
 
 SvcWal::SvcWal(SvcWal&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      poisoned_(std::exchange(other.poisoned_, false)),
+      last_errno_(std::exchange(other.last_errno_, 0)),
+      acked_bytes_(std::exchange(other.acked_bytes_, 0)) {}
 
 SvcWal& SvcWal::operator=(SvcWal&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    poisoned_ = std::exchange(other.poisoned_, false);
+    last_errno_ = std::exchange(other.last_errno_, 0);
+    acked_bytes_ = std::exchange(other.acked_bytes_, 0);
   }
   return *this;
 }
@@ -169,41 +207,70 @@ SvcWal::~SvcWal() {
   if (fd_ >= 0) close(fd_);
 }
 
-Result<SvcWal> SvcWal::Open(const std::string& path) {
-  const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Status::Unavailable("cannot open service WAL '" + path + "'");
+Result<SvcWal> SvcWal::Open(const std::string& path, bool truncate,
+                            int* err) {
+  if (err != nullptr) *err = 0;
+  bool created = false;
+  COUSINS_ASSIGN_OR_RETURN(
+      const int fd, fs::OpenAppend("svc.wal.open", path, truncate,
+                                   &created, err));
+  // A freshly created journal exists only in its directory's data
+  // until the directory is fsync'd: without this, a crash right after
+  // creation loses the file — and every mutation acked into it.
+  if (created) {
+    Status dir_synced = fs::FsyncDirOf("svc.wal.dirsync", path, err);
+    if (!dir_synced.ok()) {
+      close(fd);
+      ::unlink(path.c_str());
+      return dir_synced;
+    }
   }
   SvcWal wal;
   wal.fd_ = fd;
+  if (!truncate) {
+    struct stat st;
+    if (fstat(fd, &st) == 0) {
+      wal.acked_bytes_ = static_cast<int64_t>(st.st_size);
+    }
+  }
   return wal;
 }
 
 Status SvcWal::Append(const std::string& body) {
-  const std::string line = body + " #" + CrcSuffix(body) + "\n";
-  if (fault::Fired("svc.wal.append")) {
-    COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
-    return Status::Unavailable("injected fault at svc.wal.append");
+  if (poisoned_) {
+    return Status::Unavailable(
+        "WAL segment poisoned by an earlier write/fsync failure (" +
+        fs::ErrnoName(last_errno_) +
+        "); refusing append — compaction or rotation required");
   }
   // One write(2) per record: the '\n' lands in the same append as the
   // body, so replay's torn-tail rule (an unterminated tail is never a
   // whole record) holds by construction.
-  size_t written = 0;
-  while (written < line.size()) {
-    const ssize_t n =
-        write(fd_, line.data() + written, line.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
-      return Status::Unavailable("service WAL append failed");
-    }
-    written += static_cast<size_t>(n);
-  }
-  // Always durable: the daemon acknowledges nothing it could lose.
-  if (fsync(fd_) != 0) {
+  const std::string line = FrameWalLine(body);
+  fs::IoOutcome wrote = fs::WriteAll("svc.wal.append", fd_, line);
+  if (!wrote.ok()) {
     COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
-    return Status::Unavailable("service WAL fsync failed");
+    // Bytes may have landed: the file now carries a torn record, so
+    // the handle is poisoned and never appended to again. A pre-write
+    // failure (legacy boolean fault, or ENOSPC before any byte) left
+    // the file exactly as acked — no poison, safe to retry in place.
+    if (wrote.maybe_partial) poisoned_ = true;
+    last_errno_ = wrote.err;
+    return wrote.status;
   }
+  // Always durable: the daemon acknowledges nothing it could lose. A
+  // failed fsync may have dropped the dirty pages (fsyncgate): durable
+  // contents are indeterminate, so the segment is poisoned outright —
+  // never retry-fsync-then-ack.
+  fs::IoOutcome synced = fs::Fsync("svc.wal.fsync", fd_);
+  if (!synced.ok()) {
+    COUSINS_METRIC_COUNTER_ADD("svc.wal_append_failures", 1);
+    poisoned_ = true;
+    last_errno_ = synced.err;
+    return synced.status;
+  }
+  last_errno_ = 0;
+  acked_bytes_ += static_cast<int64_t>(line.size());
   COUSINS_METRIC_COUNTER_ADD("svc.wal_appends", 1);
   COUSINS_METRIC_COUNTER_ADD("svc.wal_bytes",
                              static_cast<int64_t>(line.size()));
@@ -213,6 +280,13 @@ Status SvcWal::Append(const std::string& body) {
 Status SvcWal::AppendHeader(uint32_t options_fingerprint) {
   return Append("SVCWAL " + std::to_string(kWalVersion) + " " +
                 std::to_string(options_fingerprint));
+}
+
+Status SvcWal::AppendSegHeader(uint32_t options_fingerprint,
+                               int64_t seq) {
+  return Append("SVCSEG " + std::to_string(kSegVersion) + " " +
+                std::to_string(options_fingerprint) + " " +
+                std::to_string(seq));
 }
 
 Status SvcWal::AppendBatch(int64_t id, std::string_view payload) {

@@ -13,10 +13,23 @@
 // the journal body itself is damaged and replay refuses with
 // kCorruption rather than trusting any of it.
 //
-// The first record pins the WAL format version and a fingerprint of
-// the mining options, so a daemon restarted with different options
-// refuses the journal (kFailedPrecondition) instead of replaying
-// batches into a miner that would tally them differently.
+// Two formats share the framing:
+//
+//  * v1 — one unbounded file whose first record "SVCWAL 1 <fp>" pins
+//    the format version and an options fingerprint. Read-only legacy:
+//    svc/wal_store.h migrates a v1 file into the segmented layout on
+//    first open.
+//  * v2 — numbered segment files, each starting with "SVCSEG 2 <fp>
+//    <seq>", listed by an atomically swapped manifest (wal_store.h).
+//    This header owns the per-segment append handle and the record
+//    codec; the store owns segments, rotation and compaction.
+//
+// Failure discipline (the fsyncgate rule): a failed write that may
+// have landed bytes, or ANY failed fsync, poisons the segment handle —
+// the durable contents of the fd are indeterminate, so the handle
+// refuses every further append rather than retry-fsync-then-ack. The
+// store recovers by rotating to a fresh segment or compacting; the
+// poisoned file is never appended to again.
 
 #ifndef COUSINS_SVC_WAL_H_
 #define COUSINS_SVC_WAL_H_
@@ -45,16 +58,28 @@ std::string EscapeWalPayload(std::string_view payload);
 /// Inverse of EscapeWalPayload. Fails on a dangling or unknown escape.
 Result<std::string> UnescapeWalPayload(std::string_view escaped);
 
+/// Frames a record body as one journal line "BODY #crc32hex\n" —
+/// shared by WAL records, segment headers and the store manifest.
+std::string FrameWalLine(std::string_view body);
+
+/// Inverse of FrameWalLine for one line (without the trailing '\n'):
+/// checks the CRC suffix and yields the body. False on framing or CRC
+/// mismatch.
+bool UnframeWalLine(std::string_view line, std::string_view* body);
+
 /// One parsed WAL record.
 struct SvcWalRecord {
   enum class Kind : uint8_t {
-    kHeader,   // SVCWAL <version> <options_fingerprint>
-    kBatch,    // BATCH <id> <escaped payload>
-    kRetract,  // RETRACT <id>
+    kHeader,     // SVCWAL <version> <options_fingerprint>       (v1)
+    kSegHeader,  // SVCSEG <version> <options_fingerprint> <seq> (v2)
+    kBatch,      // BATCH <id> <escaped payload>
+    kRetract,    // RETRACT <id>
   };
   Kind kind = Kind::kHeader;
+  /// kBatch/kRetract: the batch id. kSegHeader: the segment sequence
+  /// number (must match the file name it was read from).
   int64_t id = 0;
-  /// kHeader: format version / fingerprint.
+  /// kHeader/kSegHeader: format version / options fingerprint.
   int64_t version = 0;
   uint32_t fingerprint = 0;
   /// kBatch: the unescaped Newick batch text.
@@ -65,16 +90,22 @@ struct SvcWalRecord {
 /// false on any framing, CRC or field error.
 bool ParseSvcWalLine(std::string_view line, SvcWalRecord* out);
 
-/// Append side of the WAL. Movable; closes its descriptor on
-/// destruction. Every append is durable (fsync'd) — the daemon never
-/// acknowledges from a volatile buffer. Fault site svc.wal.append
-/// simulates a failed append (kUnavailable).
+/// Append side of one WAL file (a v2 segment, or a whole v1 journal).
+/// Movable; closes its descriptor on destruction. Every append is
+/// durable (fsync'd) — the daemon never acknowledges from a volatile
+/// buffer. All file operations route through util/fs_ops.h: fault
+/// families svc.wal.open, svc.wal.dirsync, svc.wal.append and
+/// svc.wal.fsync (each with errno-typed sub-sites).
 class SvcWal {
  public:
-  /// Opens `path` for appending, creating it if missing. Never
-  /// truncates — the daemon trims a replayed journal to its valid
-  /// prefix before reopening (see ReplaySvcWal).
-  static Result<SvcWal> Open(const std::string& path);
+  /// Opens `path` for appending, creating it if missing (truncating
+  /// when `truncate`, for a fresh segment). A newly created file is
+  /// made durable by fsyncing its directory before any append — a
+  /// crash right after creation must not lose the journal itself.
+  /// `err`, when non-null, receives the errno class behind a failure
+  /// (0 for none / a legacy boolean fault).
+  static Result<SvcWal> Open(const std::string& path,
+                             bool truncate = false, int* err = nullptr);
 
   SvcWal() = default;
   SvcWal(SvcWal&& other) noexcept;
@@ -83,25 +114,40 @@ class SvcWal {
   SvcWal& operator=(const SvcWal&) = delete;
   ~SvcWal();
 
-  Status AppendHeader(uint32_t options_fingerprint);
+  Status AppendHeader(uint32_t options_fingerprint);  // v1 header
+  Status AppendSegHeader(uint32_t options_fingerprint, int64_t seq);
   Status AppendBatch(int64_t id, std::string_view payload);
   Status AppendRetract(int64_t id);
 
   bool valid() const { return fd_ >= 0; }
+  /// True once a write may have landed partial bytes or an fsync
+  /// failed: the durable contents are indeterminate and every further
+  /// append is refused (kUnavailable). Only discarding the segment
+  /// (rotation/compaction) recovers.
+  bool poisoned() const { return poisoned_; }
+  /// errno class of the last failed operation (0 = none, or a legacy
+  /// boolean fault that failed before touching the file).
+  int last_errno() const { return last_errno_; }
+  /// Bytes acknowledged durable in this file (initial size at open
+  /// plus every fsync'd append) — the store's rotation threshold input.
+  int64_t acked_bytes() const { return acked_bytes_; }
 
  private:
   Status Append(const std::string& body);
 
   int fd_ = -1;
+  bool poisoned_ = false;
+  int last_errno_ = 0;
+  int64_t acked_bytes_ = 0;
 };
 
-/// Replays a WAL file. The first record must be a header carrying the
-/// supported format version and `expected_fingerprint`, else
+/// Replays a v1 WAL file. The first record must be a header carrying
+/// the supported format version and `expected_fingerprint`, else
 /// kFailedPrecondition. A torn or CRC-bad final line is dropped
 /// silently (crash artifact of an unacknowledged append); any bad line
 /// followed by more content is kCorruption; a missing file is
 /// kNotFound. `valid_prefix`, when non-null, receives the byte length
-/// of the decodable prefix — the daemon truncates the file to it so
+/// of the decodable prefix — the caller truncates the file to it so
 /// new appends never land after torn bytes. The returned records
 /// exclude the header.
 Result<std::vector<SvcWalRecord>> ReplaySvcWal(

@@ -1,0 +1,539 @@
+#include "svc/wal_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "util/fs_ops.h"
+#include "util/strings.h"
+
+namespace cousins::svc {
+namespace {
+
+constexpr int64_t kManifestVersion = 2;
+constexpr int64_t kSegVersion = 2;
+
+struct Manifest {
+  int64_t compaction_id = 0;
+  std::string snapshot;  // empty = none
+  std::vector<std::string> segments;
+};
+
+bool ParseInt64(std::string_view token, int64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const std::string owned(token);
+  *out = std::strtoll(owned.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Parses the sequence number out of "seg-NNNNNN.wal" /
+/// "snap-NNNNNN.ckpt"; -1 for anything else.
+int64_t SeqOfName(std::string_view name) {
+  std::string_view rest;
+  if (StartsWith(name, "seg-") && name.size() > 8 &&
+      name.substr(name.size() - 4) == ".wal") {
+    rest = name.substr(4, name.size() - 8);
+  } else if (StartsWith(name, "snap-") && name.size() > 10 &&
+             name.substr(name.size() - 5) == ".ckpt") {
+    rest = name.substr(5, name.size() - 10);
+  } else {
+    return -1;
+  }
+  int64_t seq = -1;
+  if (!ParseInt64(rest, &seq)) return -1;
+  return seq;
+}
+
+Status ParseManifest(const std::string& bytes, uint32_t fingerprint,
+                     Manifest* out) {
+  std::string_view line(bytes);
+  if (!line.empty() && line.back() == '\n') line.remove_suffix(1);
+  std::string_view body;
+  if (line.find('\n') != std::string_view::npos ||
+      !UnframeWalLine(line, &body)) {
+    return Status::Corruption("corrupt WAL manifest");
+  }
+  std::vector<std::string_view> fields = Split(body, ' ');
+  int64_t version = 0;
+  int64_t manifest_fp = 0;
+  if (fields.size() != 6 || fields[0] != "SVCMANIFEST" ||
+      !ParseInt64(fields[1], &version) ||
+      !ParseInt64(fields[2], &manifest_fp) ||
+      !ParseInt64(fields[3], &out->compaction_id)) {
+    return Status::Corruption("malformed WAL manifest record");
+  }
+  if (version != kManifestVersion) {
+    return Status::FailedPrecondition(
+        "WAL manifest has format version " + std::to_string(version) +
+        ", expected " + std::to_string(kManifestVersion));
+  }
+  if (manifest_fp != static_cast<int64_t>(fingerprint)) {
+    return Status::FailedPrecondition(
+        "WAL was written under different mining options");
+  }
+  out->snapshot = fields[4] == "-" ? "" : std::string(fields[4]);
+  out->segments.clear();
+  if (fields[5] != "-") {
+    for (std::string_view seg : Split(fields[5], ',')) {
+      if (SeqOfName(seg) < 0) {
+        return Status::Corruption("manifest lists malformed segment '" +
+                                  std::string(seg) + "'");
+      }
+      out->segments.emplace_back(seg);
+    }
+  }
+  if (out->segments.empty()) {
+    return Status::Corruption("WAL manifest lists no segments");
+  }
+  return Status::OK();
+}
+
+/// Replays one segment's bytes. Torn bytes (an unterminated tail or a
+/// bad final line) are legal only when `final` — only the last listed
+/// segment was ever appended to. *valid_prefix receives the decodable
+/// byte length; *saw_header reports whether the segment header landed
+/// (a zero-byte or torn-header-only FINAL segment replays as empty —
+/// the crash hit between creation and the header fsync).
+Status ReplaySegmentBytes(const std::string& bytes, const std::string& name,
+                          uint32_t fingerprint, int64_t expected_seq,
+                          bool final, std::vector<SvcWalRecord>* records,
+                          size_t* valid_prefix, bool* saw_header) {
+  *valid_prefix = 0;
+  *saw_header = false;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const size_t nl = bytes.find('\n', pos);
+    const bool unterminated = nl == std::string::npos;
+    SvcWalRecord record;
+    bool parsed = false;
+    if (!unterminated) {
+      parsed = ParseSvcWalLine(
+          std::string_view(bytes.data() + pos, nl - pos), &record);
+    }
+    if (unterminated || !parsed) {
+      const bool is_tail = unterminated || nl + 1 >= bytes.size();
+      if (final && is_tail) {
+        COUSINS_METRIC_COUNTER_ADD("svc.wal_torn_tails", 1);
+        return Status::OK();
+      }
+      return Status::Corruption("corrupt WAL record in segment '" + name +
+                                "'");
+    }
+    if (!*saw_header) {
+      if (record.kind != SvcWalRecord::Kind::kSegHeader) {
+        return Status::Corruption("segment '" + name +
+                                  "' does not start with SVCSEG");
+      }
+      if (record.version != kSegVersion) {
+        return Status::FailedPrecondition(
+            "segment '" + name + "' has format version " +
+            std::to_string(record.version) + ", expected " +
+            std::to_string(kSegVersion));
+      }
+      if (record.fingerprint != fingerprint) {
+        return Status::FailedPrecondition(
+            "segment '" + name +
+            "' was written under different mining options");
+      }
+      if (record.id != expected_seq) {
+        return Status::Corruption(
+            "segment '" + name + "' carries sequence number " +
+            std::to_string(record.id) + ", expected " +
+            std::to_string(expected_seq));
+      }
+      *saw_header = true;
+    } else if (record.kind == SvcWalRecord::Kind::kSegHeader ||
+               record.kind == SvcWalRecord::Kind::kHeader) {
+      return Status::Corruption("duplicate header in segment '" + name +
+                                "'");
+    } else {
+      records->push_back(std::move(record));
+    }
+    pos = nl + 1;
+    *valid_prefix = pos;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalStore::SegName(int64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06lld.wal",
+                static_cast<long long>(seq));
+  return buf;
+}
+
+std::string WalStore::SnapName(int64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap-%06lld.ckpt",
+                static_cast<long long>(seq));
+  return buf;
+}
+
+std::string WalStore::PathOf(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+void WalStore::NoteFailure(int err, bool poisoned_now) {
+  if (err != 0 || poisoned_now) {
+    degraded_ = true;
+    last_errno_ = err;
+  }
+}
+
+Status WalStore::CreateSegment(int64_t seq, SvcWal* out) {
+  // O_TRUNC: the name may exist as an orphan of a failed rotation or
+  // compaction — a fresh segment always starts from its header.
+  int err = 0;
+  Result<SvcWal> wal =
+      SvcWal::Open(PathOf(SegName(seq)), /*truncate=*/true, &err);
+  if (!wal.ok()) {
+    NoteFailure(err, false);
+    return wal.status();
+  }
+  Status header = wal->AppendSegHeader(fingerprint_, seq);
+  if (!header.ok()) {
+    NoteFailure(wal->last_errno(), false);
+    return header;
+  }
+  *out = std::move(*wal);
+  return Status::OK();
+}
+
+Status WalStore::CommitManifest(int64_t compaction_id,
+                                const std::string& snapshot_name,
+                                const std::vector<std::string>& segment_names,
+                                int* err) {
+  std::string body = "SVCMANIFEST " + std::to_string(kManifestVersion) +
+                     " " + std::to_string(fingerprint_) + " " +
+                     std::to_string(compaction_id) + " " +
+                     (snapshot_name.empty() ? "-" : snapshot_name) + " ";
+  for (size_t i = 0; i < segment_names.size(); ++i) {
+    if (i > 0) body += ",";
+    body += segment_names[i];
+  }
+  return WriteFileAtomic(PathOf("MANIFEST"), FrameWalLine(body),
+                         "svc.manifest", err);
+}
+
+void WalStore::RetireExcept(const std::vector<std::string>& keep) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name == "MANIFEST") continue;
+    const bool stale_tmp =
+        name.size() > 4 && name.substr(name.size() - 4) == ".tmp";
+    if (SeqOfName(name) < 0 && !stale_tmp) continue;
+    bool kept = false;
+    for (const std::string& k : keep) kept = kept || k == name;
+    if (kept) continue;
+    // Unreferenced by the manifest: failures are tolerated — the file
+    // stays an inert orphan and the next open retries.
+    (void)fs::Unlink("svc.wal.retire", entry.path().string());
+  }
+}
+
+Status WalStore::Rotate() {
+  const int64_t seq = next_seq_++;
+  SvcWal fresh;
+  COUSINS_RETURN_IF_ERROR(CreateSegment(seq, &fresh));
+  // Segment + header are durable before the manifest names them: a
+  // listed segment always exists with a valid header; a crash here
+  // leaves only an orphan file.
+  std::vector<std::string> names;
+  names.reserve(sealed_.size() + 2);
+  for (const Sealed& s : sealed_) names.push_back(SegName(s.seq));
+  names.push_back(SegName(active_seq_));
+  names.push_back(SegName(seq));
+  int err = 0;
+  Status committed =
+      CommitManifest(compaction_id_, snapshot_name_, names, &err);
+  if (!committed.ok()) {
+    NoteFailure(err, false);
+    return committed;
+  }
+  sealed_.push_back(Sealed{active_seq_, active_.acked_bytes()});
+  sealed_bytes_ += active_.acked_bytes();
+  active_ = std::move(fresh);
+  active_seq_ = seq;
+  COUSINS_METRIC_COUNTER_ADD("svc.wal_rotations", 1);
+  return Status::OK();
+}
+
+Status WalStore::Append(bool retract, int64_t id,
+                        std::string_view payload) {
+  if (degraded_) {
+    return Status::Unavailable(
+        "WAL store degraded (" + fs::ErrnoName(last_errno_) +
+        "); mutations refused until compaction reclaims the log");
+  }
+  if (active_.acked_bytes() >= config_.segment_bytes &&
+      !active_.poisoned()) {
+    COUSINS_RETURN_IF_ERROR(Rotate());
+  }
+  Status appended =
+      retract ? active_.AppendRetract(id) : active_.AppendBatch(id, payload);
+  if (!appended.ok()) {
+    NoteFailure(active_.last_errno(), active_.poisoned());
+  }
+  return appended;
+}
+
+Status WalStore::AppendBatch(int64_t id, std::string_view payload) {
+  return Append(/*retract=*/false, id, payload);
+}
+
+Status WalStore::AppendRetract(int64_t id) {
+  return Append(/*retract=*/true, id, "");
+}
+
+Status WalStore::Compact(const std::string& snapshot_bytes) {
+  const int64_t snap_seq = next_seq_++;
+  const std::string snap = SnapName(snap_seq);
+  int err = 0;
+  Status wrote =
+      WriteFileAtomic(PathOf(snap), snapshot_bytes, "svc.snapshot", &err);
+  if (!wrote.ok()) {
+    NoteFailure(err, false);
+    return wrote;
+  }
+  const int64_t seg_seq = next_seq_++;
+  SvcWal fresh;
+  Status created = CreateSegment(seg_seq, &fresh);
+  if (!created.ok()) {
+    ::unlink(PathOf(snap).c_str());
+    return created;
+  }
+  // The manifest swap is the commit point: before it, recovery sees
+  // the old {snapshot, segments}; after it, exactly the new pair.
+  Status committed =
+      CommitManifest(compaction_id_ + 1, snap, {SegName(seg_seq)}, &err);
+  if (!committed.ok()) {
+    NoteFailure(err, false);
+    ::unlink(PathOf(snap).c_str());
+    ::unlink(PathOf(SegName(seg_seq)).c_str());
+    return committed;
+  }
+  ++compaction_id_;
+  snapshot_name_ = snap;
+  sealed_.clear();
+  sealed_bytes_ = 0;
+  active_ = std::move(fresh);
+  active_seq_ = seg_seq;
+  // Compaction is the sanctioned exit from poisoning and degraded
+  // mode: the poisoned segment is no longer referenced by anything.
+  degraded_ = false;
+  last_errno_ = 0;
+  RetireExcept({snap, SegName(seg_seq)});
+  COUSINS_METRIC_COUNTER_ADD("svc.wal_compactions", 1);
+  return Status::OK();
+}
+
+Result<WalStore> WalStore::Open(const std::string& dir,
+                                uint32_t fingerprint,
+                                const WalStoreConfig& config,
+                                WalRecovery* recovery) {
+  namespace fsys = std::filesystem;
+  std::error_code ec;
+  if (!fsys::exists(dir, ec)) {
+    // A missing store with a complete "<dir>.migrate" sibling is an
+    // interrupted v1 migration caught between unlink(v1) and the
+    // directory rename: finish the rename and open normally.
+    const std::string migrate = dir + ".migrate";
+    if (fsys::exists(migrate + "/MANIFEST", ec)) {
+      COUSINS_RETURN_IF_ERROR(fs::Rename("svc.wal.migrate", migrate, dir));
+      COUSINS_RETURN_IF_ERROR(fs::FsyncDirOf("svc.wal.dirsync", dir));
+    }
+  }
+  if (!fsys::exists(dir, ec)) {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Unavailable("cannot create WAL directory '" + dir +
+                                 "' (" + fs::ErrnoName(errno) + ")");
+    }
+    COUSINS_RETURN_IF_ERROR(fs::FsyncDirOf("svc.wal.dirsync", dir));
+  }
+
+  WalStore store;
+  store.dir_ = dir;
+  store.fingerprint_ = fingerprint;
+  store.config_ = config;
+
+  // Seed the sequence counter past every file present — including
+  // orphans of interrupted rotations/compactions — so new names never
+  // collide with bytes already on disk.
+  int64_t max_seq = 0;
+  for (const auto& entry : fsys::directory_iterator(dir, ec)) {
+    const int64_t seq = SeqOfName(entry.path().filename().string());
+    if (seq > max_seq) max_seq = seq;
+  }
+  store.next_seq_ = max_seq + 1;
+
+  Result<std::string> manifest_bytes =
+      ReadFileToString(store.PathOf("MANIFEST"), "svc.manifest.read");
+  if (!manifest_bytes.ok()) {
+    if (manifest_bytes.status().code() != StatusCode::kNotFound) {
+      return manifest_bytes.status();
+    }
+    // Fresh (or partially initialized) store: initialize from scratch.
+    // Idempotent — a crash mid-initialization re-runs it; nothing was
+    // ever acked without a committed manifest.
+    const int64_t seq = store.next_seq_++;
+    COUSINS_RETURN_IF_ERROR(store.CreateSegment(seq, &store.active_));
+    store.active_seq_ = seq;
+    int err = 0;
+    COUSINS_RETURN_IF_ERROR(
+        store.CommitManifest(0, "", {SegName(seq)}, &err));
+    store.RetireExcept({SegName(seq)});
+    if (recovery != nullptr) recovery->segments = 1;
+    return store;
+  }
+
+  Manifest manifest;
+  COUSINS_RETURN_IF_ERROR(
+      ParseManifest(*manifest_bytes, fingerprint, &manifest));
+  store.compaction_id_ = manifest.compaction_id;
+  store.snapshot_name_ = manifest.snapshot;
+  if (!manifest.snapshot.empty() && recovery != nullptr) {
+    Result<std::string> snapshot = ReadFileToString(
+        store.PathOf(manifest.snapshot), "svc.snapshot.read");
+    if (!snapshot.ok()) {
+      if (snapshot.status().code() == StatusCode::kNotFound) {
+        return Status::Corruption("manifest anchors missing snapshot '" +
+                                  manifest.snapshot + "'");
+      }
+      return snapshot.status();
+    }
+    recovery->snapshot_bytes = *std::move(snapshot);
+  }
+
+  std::vector<SvcWalRecord> tail;
+  bool need_header = false;
+  for (size_t i = 0; i < manifest.segments.size(); ++i) {
+    const std::string& name = manifest.segments[i];
+    const bool final = i + 1 == manifest.segments.size();
+    const std::string path = store.PathOf(name);
+    const int64_t seq = SeqOfName(name);
+    Result<std::string> bytes = ReadFileToString(path, "svc.wal.read");
+    if (!bytes.ok()) {
+      if (bytes.status().code() == StatusCode::kNotFound) {
+        return Status::Corruption("manifest lists missing segment '" +
+                                  name + "'");
+      }
+      return bytes.status();
+    }
+    size_t valid_prefix = 0;
+    bool saw_header = false;
+    COUSINS_RETURN_IF_ERROR(ReplaySegmentBytes(*bytes, name, fingerprint,
+                                               seq, final, &tail,
+                                               &valid_prefix, &saw_header));
+    if (!final) {
+      // Sealed segments were fsync'd whole before the manifest listed
+      // a successor; anything undecodable in one is real damage.
+      if (!saw_header || valid_prefix != bytes->size()) {
+        return Status::Corruption("sealed segment '" + name +
+                                  "' is damaged");
+      }
+      store.sealed_.push_back(
+          Sealed{seq, static_cast<int64_t>(bytes->size())});
+      store.sealed_bytes_ += static_cast<int64_t>(bytes->size());
+      continue;
+    }
+    // Final segment: trim any torn tail so new appends never land
+    // after junk bytes. A segment whose header never landed (zero-byte
+    // file, or a torn header-only line) replays as empty and gets a
+    // fresh header on reopen.
+    if (valid_prefix != bytes->size()) {
+      COUSINS_RETURN_IF_ERROR(
+          fs::Truncate("svc.wal.trim", path,
+                       static_cast<int64_t>(valid_prefix)));
+    }
+    need_header = !saw_header;
+    store.active_seq_ = seq;
+  }
+  COUSINS_ASSIGN_OR_RETURN(
+      store.active_,
+      SvcWal::Open(store.PathOf(SegName(store.active_seq_)),
+                   /*truncate=*/false));
+  if (need_header) {
+    COUSINS_RETURN_IF_ERROR(
+        store.active_.AppendSegHeader(fingerprint, store.active_seq_));
+  }
+  std::vector<std::string> keep = manifest.segments;
+  if (!manifest.snapshot.empty()) keep.push_back(manifest.snapshot);
+  store.RetireExcept(keep);
+  if (recovery != nullptr) {
+    recovery->replayed_records = static_cast<int64_t>(tail.size());
+    recovery->segments = static_cast<int64_t>(manifest.segments.size());
+    recovery->tail = std::move(tail);
+  }
+  return store;
+}
+
+Result<WalStore> WalStore::MigrateFromV1(const std::string& path,
+                                         uint32_t fingerprint,
+                                         const WalStoreConfig& config,
+                                         const std::string& snapshot_bytes) {
+  namespace fsys = std::filesystem;
+  const std::string migrate = path + ".migrate";
+  // The v1 file is still the source of truth: any stale half-built
+  // migration directory is discarded and rebuilt from scratch.
+  std::error_code ec;
+  fsys::remove_all(migrate, ec);
+  if (::mkdir(migrate.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable("cannot create migration directory '" +
+                               migrate + "' (" + fs::ErrnoName(errno) +
+                               ")");
+  }
+  COUSINS_RETURN_IF_ERROR(fs::FsyncDirOf("svc.wal.dirsync", migrate));
+
+  WalStore store;
+  store.dir_ = migrate;
+  store.fingerprint_ = fingerprint;
+  store.config_ = config;
+  const int64_t snap_seq = store.next_seq_++;
+  const std::string snap = SnapName(snap_seq);
+  int err = 0;
+  COUSINS_RETURN_IF_ERROR(WriteFileAtomic(store.PathOf(snap),
+                                          snapshot_bytes, "svc.snapshot",
+                                          &err));
+  const int64_t seg_seq = store.next_seq_++;
+  COUSINS_RETURN_IF_ERROR(store.CreateSegment(seg_seq, &store.active_));
+  store.active_seq_ = seg_seq;
+  COUSINS_RETURN_IF_ERROR(
+      store.CommitManifest(1, snap, {SegName(seg_seq)}, &err));
+  store.compaction_id_ = 1;
+  store.snapshot_name_ = snap;
+
+  // The migration directory is complete and durable; now retire the
+  // v1 file and rename the directory over its path. Crash windows:
+  // before the unlink is durable the v1 file survives and migration
+  // re-runs; after it, Open finds "<path>.migrate" and finishes the
+  // rename.
+  Status unlinked = fs::Unlink("svc.wal.retire", path);
+  if (!unlinked.ok() && unlinked.code() != StatusCode::kNotFound) {
+    return unlinked;
+  }
+  COUSINS_RETURN_IF_ERROR(fs::FsyncDirOf("svc.wal.dirsync", path));
+  COUSINS_RETURN_IF_ERROR(fs::Rename("svc.wal.migrate", migrate, path));
+  COUSINS_RETURN_IF_ERROR(fs::FsyncDirOf("svc.wal.dirsync", path));
+  // The open segment fd tracks its inode, not its path: the rename of
+  // the parent directory leaves it valid.
+  store.dir_ = path;
+  COUSINS_METRIC_COUNTER_ADD("svc.wal_migrations", 1);
+  return store;
+}
+
+}  // namespace cousins::svc

@@ -1,0 +1,184 @@
+// Segmented WAL v2 store for the resident daemon: numbered segment
+// files plus an atomically swapped manifest, with snapshot-anchored
+// compaction so recovery replays a bounded tail instead of the
+// daemon's whole uptime.
+//
+// On-disk layout (`dir` is ServiceConfig::wal_path, now a directory):
+//
+//   MANIFEST            one framed line (wal.h framing):
+//                       "SVCMANIFEST 2 <fp> <compaction_id>
+//                        <snapshot-file|-> <seg,seg,...> #crc"
+//                       replaced atomically (core/checkpoint.h
+//                       WriteFileAtomic under the svc.manifest.*
+//                       fault family) — the manifest swap IS the
+//                       commit point for rotation and compaction.
+//   seg-NNNNNN.wal      append-only record segments; first record
+//                       "SVCSEG 2 <fp> <seq>", then BATCH/RETRACT
+//                       lines (svc/wal.h).
+//   snap-NNNNNN.ckpt    opaque service snapshot blobs (the daemon's
+//                       serialized acked state), written under the
+//                       svc.snapshot.* fault family.
+//
+// Rotation (active segment exceeded config.segment_bytes): create and
+// fsync the next segment + its header, fsync the directory, then swap
+// a manifest listing it — a crash between the steps leaves an orphan
+// file the next open deletes, never a listed-but-missing segment.
+//
+// Compaction: write the snapshot blob (atomic), create a fresh
+// segment, then swap a manifest naming {snapshot, [fresh]} with a
+// bumped compaction id; only after that commit point are the old
+// segments and snapshot retired (unlink failures are tolerated — the
+// files are unreferenced orphans). Compaction discards any poisoned
+// segment wholesale, which is the one sanctioned exit from the
+// fsyncgate poisoning rule and from the daemon's read-only mode.
+//
+// Recovery: load the manifest (fingerprint mismatch =
+// kFailedPrecondition), hand the caller the snapshot blob, then replay
+// the listed segments in order. A torn tail is legal only in the FINAL
+// segment (the only one ever appended to) and is truncated away;
+// torn/empty bytes anywhere else are kCorruption. A header-only or
+// empty segment mid-list is legal (rotation can race a quiet period).
+// kill -9 at any instant — mid-append, mid-rotation, mid-compaction —
+// recovers to a state containing every acked record.
+
+#ifndef COUSINS_SVC_WAL_STORE_H_
+#define COUSINS_SVC_WAL_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cousins::svc {
+
+struct WalStoreConfig {
+  /// Rotate the active segment once its acked bytes reach this.
+  int64_t segment_bytes = 4ll << 20;
+};
+
+/// What Open recovered for the caller to rebuild state from.
+struct WalRecovery {
+  /// The snapshot blob anchored by the manifest; empty when none.
+  std::string snapshot_bytes;
+  /// Tail records (BATCH/RETRACT, headers excluded) from the listed
+  /// segments, in append order.
+  std::vector<SvcWalRecord> tail;
+  /// == tail.size(): what the health report exposes as
+  /// storage.replayed_records.
+  int64_t replayed_records = 0;
+  int64_t segments = 0;
+};
+
+class WalStore {
+ public:
+  /// Opens (or initializes) the segmented store at directory `dir`.
+  /// A missing directory is created; a directory with no manifest is
+  /// (re-)initialized idempotently — a crash mid-initialization just
+  /// re-runs it. When `dir` is missing but "<dir>.migrate" holds a
+  /// complete store, the interrupted v1 migration is finished first
+  /// (rename into place). kFailedPrecondition when the manifest was
+  /// written under a different options fingerprint; kCorruption on
+  /// damaged non-final segments.
+  static Result<WalStore> Open(const std::string& dir,
+                               uint32_t fingerprint,
+                               const WalStoreConfig& config,
+                               WalRecovery* recovery);
+
+  /// Migrates a v1 single-file WAL at `path` into a v2 store in place:
+  /// builds "<path>.migrate" completely (snapshot + fresh segment +
+  /// manifest, all fsync'd), unlinks the v1 file, then renames the
+  /// directory over `path`. `snapshot_bytes` is the caller's
+  /// serialized state after replaying the v1 file. Crash-safe at every
+  /// step: v1 file still present => migration re-runs from scratch;
+  /// v1 gone + .migrate present => Open completes the rename.
+  static Result<WalStore> MigrateFromV1(const std::string& path,
+                                        uint32_t fingerprint,
+                                        const WalStoreConfig& config,
+                                        const std::string& snapshot_bytes);
+
+  WalStore() = default;
+  WalStore(WalStore&&) = default;
+  WalStore& operator=(WalStore&&) = default;
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  /// Appends one record to the active segment, rotating first when the
+  /// segment is full. A failure that may have landed bytes (or any
+  /// failed fsync) poisons the active segment; `degraded()` turns true
+  /// on every errno-carrying failure and the store refuses mutations
+  /// until Compact succeeds.
+  Status AppendBatch(int64_t id, std::string_view payload);
+  Status AppendRetract(int64_t id);
+
+  /// Snapshot-anchored compaction: folds `snapshot_bytes` into a new
+  /// snapshot file, opens a fresh segment, commits both via the
+  /// manifest swap, then retires every old segment and snapshot.
+  /// Success clears poisoning and degraded mode. On failure the prior
+  /// store state (manifest, segments) is untouched.
+  Status Compact(const std::string& snapshot_bytes);
+
+  int64_t segment_count() const {
+    return static_cast<int64_t>(sealed_.size()) + 1;
+  }
+  /// Acked bytes across sealed segments + the active one.
+  int64_t total_bytes() const {
+    return sealed_bytes_ + active_.acked_bytes();
+  }
+  int64_t sealed_bytes() const { return sealed_bytes_; }
+  int64_t last_compaction_id() const { return compaction_id_; }
+  bool poisoned() const { return active_.poisoned(); }
+  /// True after any errno-carrying storage failure (typed fault or
+  /// real disk error) or poisoning; cleared by a successful Compact.
+  bool degraded() const { return degraded_; }
+  /// errno class behind degraded(); 0 when the cause carried none
+  /// (e.g. a poisoning legacy-boolean fsync fault).
+  int last_errno() const { return last_errno_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Sealed {
+    int64_t seq = 0;
+    int64_t bytes = 0;
+  };
+
+  static std::string SegName(int64_t seq);
+  static std::string SnapName(int64_t seq);
+  std::string PathOf(const std::string& name) const;
+
+  Status Append(bool retract, int64_t id, std::string_view payload);
+  /// Creates + fsyncs segment `seq` (truncating any orphan), writes
+  /// its header, fsyncs the directory. On success *out holds the
+  /// open handle.
+  Status CreateSegment(int64_t seq, SvcWal* out);
+  /// Renders and atomically swaps the manifest for the given layout.
+  Status CommitManifest(int64_t compaction_id,
+                        const std::string& snapshot_name,
+                        const std::vector<std::string>& segment_names,
+                        int* err);
+  Status Rotate();
+  void NoteFailure(int err, bool poisoned_now);
+  /// Unlinks every seg-*/snap-* file in dir_ not in `keep` (plus any
+  /// stale "*.tmp"); failures tolerated — orphans are unreferenced.
+  void RetireExcept(const std::vector<std::string>& keep);
+
+  std::string dir_;
+  uint32_t fingerprint_ = 0;
+  WalStoreConfig config_;
+  std::vector<Sealed> sealed_;
+  int64_t sealed_bytes_ = 0;
+  SvcWal active_;
+  int64_t active_seq_ = 0;
+  std::string snapshot_name_;  // empty = none
+  int64_t compaction_id_ = 0;
+  int64_t next_seq_ = 1;
+  bool degraded_ = false;
+  int last_errno_ = 0;
+};
+
+}  // namespace cousins::svc
+
+#endif  // COUSINS_SVC_WAL_STORE_H_

@@ -1,0 +1,291 @@
+#include "util/fs_ops.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace cousins::fs {
+namespace {
+
+/// Consults the pre-syscall fault family of `site` in a fixed order:
+/// the legacy boolean form first (err = 0, preserving the semantics of
+/// the scattered fault points this shim replaced), then the typed
+/// errno forms. Consulting registers every sub-site with the fault
+/// registry, so one disarmed discovery run enumerates the full family.
+/// Returns true when a fault fired; *err holds its errno class and
+/// *what a human-readable cause.
+bool PreFault(const std::string& site, int* err, std::string* what) {
+  if (fault::Fired(site.c_str())) {
+    *err = 0;
+    *what = "injected fault at " + site;
+    return true;
+  }
+  if (fault::Fired((site + ".enospc").c_str())) {
+    *err = ENOSPC;
+    *what = "injected " + ErrnoName(ENOSPC) + " at " + site;
+    return true;
+  }
+  if (fault::Fired((site + ".eio").c_str())) {
+    *err = EIO;
+    *what = "injected " + ErrnoName(EIO) + " at " + site;
+    return true;
+  }
+  return false;
+}
+
+Status Fail(const std::string& what, int err, int* err_out) {
+  if (err_out != nullptr) *err_out = err;
+  if (err == 0) return Status::Unavailable(what);
+  return Status::Unavailable(what + " (" + ErrnoName(err) + ")");
+}
+
+/// EINTR-retrying write(2) of bytes[0, stop). Returns 0 on success or
+/// the errno of the failed write; *written reports how many bytes
+/// landed either way.
+int WriteRange(int fd, std::string_view bytes, size_t stop,
+               size_t* written) {
+  *written = 0;
+  while (*written < stop) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + *written, stop - *written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    *written += static_cast<size_t>(n);
+  }
+  return 0;
+}
+
+Result<int> OpenCommon(const char* site, const std::string& path,
+                       int flags, bool* created, int* err_out) {
+  const std::string s(site);
+  int err = 0;
+  std::string what;
+  if (PreFault(s, &err, &what)) {
+    return Fail(what + " opening '" + path + "'", err, err_out);
+  }
+  // O_EXCL-free create detection: probe existence first. The probe and
+  // the open are not atomic, but every caller owns its file's
+  // directory, so the race is theoretical and the answer only gates an
+  // extra (idempotent) directory fsync.
+  if (created != nullptr) {
+    struct stat st;
+    *created = ::stat(path.c_str(), &st) != 0;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Fail(s + ": cannot open '" + path + "'",
+                errno != 0 ? errno : EIO, err_out);
+  }
+  if (err_out != nullptr) *err_out = 0;
+  return fd;
+}
+
+}  // namespace
+
+std::string ErrnoName(int err) {
+  switch (err) {
+    case 0:
+      return "OK";
+    case EIO:
+      return "EIO";
+    case ENOSPC:
+      return "ENOSPC";
+    case ENOENT:
+      return "ENOENT";
+    case EACCES:
+      return "EACCES";
+    case EDQUOT:
+      return "EDQUOT";
+    case EROFS:
+      return "EROFS";
+    case EINTR:
+      return "EINTR";
+    case EBADF:
+      return "EBADF";
+    case EEXIST:
+      return "EEXIST";
+    case EISDIR:
+      return "EISDIR";
+    case ENOTDIR:
+      return "ENOTDIR";
+    default:
+      return "errno=" + std::to_string(err);
+  }
+}
+
+Result<int> OpenAppend(const char* site, const std::string& path,
+                       bool truncate, bool* created, int* err) {
+  return OpenCommon(site, path,
+                    O_WRONLY | O_CREAT | O_APPEND |
+                        (truncate ? O_TRUNC : 0),
+                    created, err);
+}
+
+Result<int> OpenTrunc(const char* site, const std::string& path,
+                      int* err) {
+  return OpenCommon(site, path, O_WRONLY | O_CREAT | O_TRUNC, nullptr,
+                    err);
+}
+
+IoOutcome WriteAll(const char* site, int fd, std::string_view bytes) {
+  const std::string s(site);
+  IoOutcome out;
+  std::string what;
+  if (PreFault(s, &out.err, &what)) {
+    out.status = Fail(what, out.err, nullptr);
+    return out;
+  }
+  // Partial-write faults: land a prefix for real (so replay sees
+  // genuinely torn bytes on disk), then report the failure.
+  size_t stop = bytes.size();
+  int planned_err = 0;
+  if (fault::Fired((s + ".short").c_str())) {
+    stop = bytes.size() / 2;
+    planned_err = EIO;
+  } else if (fault::Fired((s + ".torn").c_str())) {
+    stop = bytes.size() / 3;
+    planned_err = EIO;
+  }
+  size_t written = 0;
+  const int write_err = WriteRange(fd, bytes, stop, &written);
+  if (write_err != 0) {
+    out.err = write_err;
+    out.maybe_partial = written > 0;
+    out.status =
+        Fail(s + ": write failed after " + std::to_string(written) +
+                 " of " + std::to_string(bytes.size()) + " bytes",
+             write_err, nullptr);
+    return out;
+  }
+  if (planned_err != 0) {
+    out.err = planned_err;
+    out.maybe_partial = true;
+    out.status = Fail(
+        s + ": injected torn write (" + std::to_string(stop) + " of " +
+            std::to_string(bytes.size()) + " bytes landed)",
+        planned_err, nullptr);
+    return out;
+  }
+  out.status = Status::OK();
+  return out;
+}
+
+IoOutcome Fsync(const char* site, int fd) {
+  const std::string s(site);
+  IoOutcome out;
+  std::string what;
+  if (PreFault(s, &out.err, &what)) {
+    // A failed fsync leaves durability indeterminate even when the
+    // failure was injected before the syscall: the caller must apply
+    // the poisoning rule either way, so the sweep exercises it.
+    out.maybe_partial = true;
+    out.status = Fail(what + " (fsync)", out.err, nullptr);
+    return out;
+  }
+  if (::fsync(fd) != 0) {
+    out.err = errno != 0 ? errno : EIO;
+    out.maybe_partial = true;
+    out.status = Fail(s + ": fsync failed", out.err, nullptr);
+    return out;
+  }
+  out.status = Status::OK();
+  return out;
+}
+
+Status Rename(const char* site, const std::string& from,
+              const std::string& to, int* err) {
+  const std::string s(site);
+  int fault_err = 0;
+  std::string what;
+  if (PreFault(s, &fault_err, &what)) {
+    return Fail(what + " renaming '" + from + "' -> '" + to + "'",
+                fault_err, err);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Fail(s + ": cannot rename '" + from + "' -> '" + to + "'",
+                errno != 0 ? errno : EIO, err);
+  }
+  if (err != nullptr) *err = 0;
+  return Status::OK();
+}
+
+Status Unlink(const char* site, const std::string& path, int* err) {
+  const std::string s(site);
+  if (fault::Fired(s.c_str())) {
+    return Fail("injected fault at " + s + " unlinking '" + path + "'",
+                0, err);
+  }
+  if (fault::Fired((s + ".eio").c_str())) {
+    return Fail("injected " + ErrnoName(EIO) + " at " + s +
+                    " unlinking '" + path + "'",
+                EIO, err);
+  }
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) {
+      if (err != nullptr) *err = ENOENT;
+      return Status::NotFound("no such file '" + path + "'");
+    }
+    return Fail(s + ": cannot unlink '" + path + "'",
+                errno != 0 ? errno : EIO, err);
+  }
+  if (err != nullptr) *err = 0;
+  return Status::OK();
+}
+
+Status Truncate(const char* site, const std::string& path, int64_t size,
+                int* err) {
+  const std::string s(site);
+  if (fault::Fired(s.c_str())) {
+    return Fail("injected fault at " + s + " truncating '" + path + "'",
+                0, err);
+  }
+  if (fault::Fired((s + ".eio").c_str())) {
+    return Fail("injected " + ErrnoName(EIO) + " at " + s +
+                    " truncating '" + path + "'",
+                EIO, err);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Fail(s + ": cannot truncate '" + path + "' to " +
+                    std::to_string(size) + " bytes",
+                errno != 0 ? errno : EIO, err);
+  }
+  if (err != nullptr) *err = 0;
+  return Status::OK();
+}
+
+Status FsyncDirOf(const char* site, const std::string& path, int* err) {
+  const std::string s(site);
+  int fault_err = 0;
+  std::string what;
+  if (PreFault(s, &fault_err, &what)) {
+    return Fail(what + " fsyncing directory of '" + path + "'",
+                fault_err, err);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Fail(s + ": cannot open directory '" + dir + "'",
+                errno != 0 ? errno : EIO, err);
+  }
+  if (::fsync(dir_fd) != 0) {
+    const int sync_err = errno != 0 ? errno : EIO;
+    ::close(dir_fd);
+    return Fail(s + ": cannot fsync directory '" + dir + "'", sync_err,
+                err);
+  }
+  ::close(dir_fd);
+  if (err != nullptr) *err = 0;
+  return Status::OK();
+}
+
+}  // namespace cousins::fs

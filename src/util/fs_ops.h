@@ -1,0 +1,110 @@
+// Errno-typed file-operation shim: every durable write path (service
+// WAL segments, the WAL manifest and snapshots, the shard-lease
+// ledger, checkpoints, bench reports) routes its open/write/fsync/
+// rename/unlink syscalls through these wrappers, so one deterministic
+// seam can fire the disk faults a long-lived daemon will eventually
+// see — ENOSPC, EIO, a short write, a failed fsync, or a torn write
+// (crash after k bytes) — instead of the scattered boolean "the write
+// failed" points the fault registry grew up with.
+//
+// Each operation taking a `site` consults a family of fault sub-sites
+// derived from it (util/fault_injection.h; sites self-register on
+// first consult, so a discovery run enumerates the whole family for
+// the errno sweep):
+//
+//   <site>          legacy boolean: fail before the syscall, err = 0
+//   <site>.enospc   fail before any byte lands, err = ENOSPC
+//   <site>.eio      fail before any byte lands, err = EIO
+//
+// and WriteAll additionally:
+//
+//   <site>.short    roughly half the buffer lands, then EIO — the
+//                   classic short write a full disk produces
+//   <site>.torn     roughly a third lands, then EIO — models a crash
+//                   after k bytes; the fd now holds torn bytes
+//
+// while Fsync consults <site>, <site>.eio and <site>.enospc. Every
+// failure reports the errno class it fired (0 for the legacy boolean
+// form), so callers can tell "nothing happened" (safe to retry in
+// place) from "bytes may have landed" (the fd is poisoned: fsyncgate
+// taught that a failed fsync may have dropped dirty pages, so
+// retry-fsync-then-ack is never sound).
+
+#ifndef COUSINS_UTIL_FS_OPS_H_
+#define COUSINS_UTIL_FS_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cousins::fs {
+
+/// Symbolic name of an errno class ("ENOSPC", "EIO", ...), falling
+/// back to "errno=<n>"; "OK" for 0. Error messages built by this shim
+/// always embed it, so tests can assert errno-exact failures.
+std::string ErrnoName(int err);
+
+/// Outcome of a write-side operation. `err` is the errno class of the
+/// failure (0 for a legacy boolean fault); `maybe_partial` is true
+/// when bytes may have reached the file before the failure — the
+/// caller must treat the fd as holding torn bytes.
+struct IoOutcome {
+  Status status;
+  int err = 0;
+  bool maybe_partial = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Opens `path` O_WRONLY|O_CREAT|O_APPEND (O_TRUNC when `truncate`).
+/// `*created` (optional) reports whether the file was newly created —
+/// callers owning a durability contract must FsyncDirOf after a
+/// create, or a crash can lose the file itself. Fault family: <site>,
+/// .enospc, .eio. `*err` (optional) receives the errno class.
+Result<int> OpenAppend(const char* site, const std::string& path,
+                       bool truncate = false, bool* created = nullptr,
+                       int* err = nullptr);
+
+/// Opens `path` O_WRONLY|O_CREAT|O_TRUNC (a from-scratch rewrite, the
+/// tmp side of an atomic replace). Same fault family as OpenAppend.
+Result<int> OpenTrunc(const char* site, const std::string& path,
+                      int* err = nullptr);
+
+/// Writes all of `bytes` to `fd` (EINTR-retrying). Fault family:
+/// <site>, .enospc, .eio (pre-write), .short, .torn (partial).
+IoOutcome WriteAll(const char* site, int fd, std::string_view bytes);
+
+/// fsync(2). Fault family: <site>, .eio, .enospc. Any failure reports
+/// maybe_partial: after a failed fsync the kernel may have discarded
+/// the dirty pages, so the fd's durable contents are indeterminate.
+IoOutcome Fsync(const char* site, int fd);
+
+/// rename(2). The fault fires BEFORE the syscall runs: once rename
+/// executes the destination is already replaced, and a "failed"
+/// replace that still clobbered the target would break the atomic-
+/// replace contract the sweeps drill. Fault family: <site>, .enospc,
+/// .eio.
+Status Rename(const char* site, const std::string& from,
+              const std::string& to, int* err = nullptr);
+
+/// unlink(2); kNotFound when the path does not exist. Fault family:
+/// <site>, .eio.
+Status Unlink(const char* site, const std::string& path,
+              int* err = nullptr);
+
+/// truncate(2) to `size`. Fault family: <site>, .eio.
+Status Truncate(const char* site, const std::string& path, int64_t size,
+                int* err = nullptr);
+
+/// Opens the directory containing `path` and fsyncs it — the step that
+/// makes a create or rename durable (the directory entry lives in the
+/// directory's own data). Fault family: <site>, .eio, .enospc.
+Status FsyncDirOf(const char* site, const std::string& path,
+                  int* err = nullptr);
+
+}  // namespace cousins::fs
+
+#endif  // COUSINS_UTIL_FS_OPS_H_

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -279,7 +280,7 @@ SvcSweepOutcome RunSvcPipeline(const std::string& wal,
 /// label-interning order matches what WAL replay produces.
 std::string SvcOracleCsv(const std::vector<std::string>& batches) {
   const std::string wal = ::testing::TempDir() + "svc_sweep_oracle_wal";
-  std::remove(wal.c_str());
+  std::filesystem::remove_all(wal);
   svc::ServiceConfig config;
   config.mining.min_support = 2;
   config.wal_path = wal;
@@ -297,7 +298,8 @@ std::string SvcOracleCsv(const std::vector<std::string>& batches) {
   query.args = {"frequent-pairs"};
   const svc::Response response = (*service)->Handle(query);
   EXPECT_TRUE(response.status.ok());
-  std::remove(wal.c_str());
+  service->reset();
+  std::filesystem::remove_all(wal);
   return response.payload;
 }
 
@@ -323,30 +325,50 @@ TEST(FaultSweepTest, SvcSitesFailCleanAndRecoverToAckedState) {
   }
 
   // Discovery: a disarmed run over the real socket registers every
-  // site on the daemon's path.
-  std::remove(wal.c_str());
+  // site on the daemon's path — including the errno-typed fs_ops
+  // sub-sites of every storage operation the segmented store touches.
+  std::filesystem::remove_all(wal);
   const SvcSweepOutcome baseline =
       RunSvcPipeline(wal, socket_path, batches);
   ASSERT_TRUE(baseline.start.ok()) << baseline.start.ToString();
   for (const bool acked : baseline.acked) ASSERT_TRUE(acked);
   ASSERT_TRUE(baseline.health_answered);
+  // A second disarmed run over the surviving store walks the recovery
+  // path too (manifest + segment reads), so its sites join the sweep.
+  const SvcSweepOutcome rerun = RunSvcPipeline(wal, socket_path, batches);
+  ASSERT_TRUE(rerun.start.ok()) << rerun.start.ToString();
 
   const std::vector<std::string> sites = registry.SiteNames();
   std::vector<std::string> svc_sites;
   for (const std::string& site : sites) {
     if (site.rfind("svc.", 0) == 0) svc_sites.push_back(site);
   }
-  for (const char* expected : {"svc.accept", "svc.read", "svc.write",
-                               "svc.wal.append", "svc.swap"}) {
+  for (const char* expected :
+       {"svc.accept", "svc.read", "svc.write", "svc.swap", "svc.wal.open",
+        "svc.wal.dirsync", "svc.wal.append", "svc.wal.append.enospc",
+        "svc.wal.append.eio", "svc.wal.append.short", "svc.wal.append.torn",
+        "svc.wal.fsync", "svc.wal.fsync.eio", "svc.manifest.write",
+        "svc.manifest.flush", "svc.manifest.rename", "svc.manifest.read"}) {
     EXPECT_NE(std::find(svc_sites.begin(), svc_sites.end(), expected),
               svc_sites.end())
         << "site " << expected << " was not discovered";
   }
 
+  // The admissible-subset oracle answers are fault-independent:
+  // compute each candidate once up front instead of per armed site.
+  std::vector<std::string> candidates(1u << batches.size());
+  for (uint32_t mask = 0; mask < candidates.size(); ++mask) {
+    std::vector<std::string> subset;
+    for (size_t i = 0; i < batches.size(); ++i) {
+      if ((mask >> i) & 1) subset.push_back(batches[i]);
+    }
+    candidates[mask] = SvcOracleCsv(subset);
+  }
+
   for (const std::string& site : svc_sites) {
     for (uint64_t k : {uint64_t{1}, uint64_t{2}}) {
       SCOPED_TRACE(site + " k=" + std::to_string(k));
-      std::remove(wal.c_str());
+      std::filesystem::remove_all(wal);
       registry.DisarmAll();
       registry.Arm(site, k);
       const SvcSweepOutcome faulted =
@@ -390,16 +412,12 @@ TEST(FaultSweepTest, SvcSitesFailCleanAndRecoverToAckedState) {
       const size_t n = batches.size();
       for (uint32_t mask = 0; mask < (1u << n) && !matched; ++mask) {
         bool admissible = true;
-        std::vector<std::string> subset;
         for (size_t i = 0; i < n; ++i) {
-          const bool in = (mask >> i) & 1;
-          if (acked[i] && !in) admissible = false;
-          if (in) subset.push_back(batches[i]);
+          if (acked[i] && !((mask >> i) & 1)) admissible = false;
         }
         if (!admissible) continue;
-        const std::string candidate = SvcOracleCsv(subset);
-        expectations += candidate + "---\n";
-        matched = recovered.payload == candidate;
+        expectations += candidates[mask] + "---\n";
+        matched = recovered.payload == candidates[mask];
       }
       EXPECT_TRUE(matched)
           << "recovered state matches no admissible batch set.\ngot:\n"
@@ -407,7 +425,7 @@ TEST(FaultSweepTest, SvcSitesFailCleanAndRecoverToAckedState) {
           << expectations;
     }
   }
-  std::remove(wal.c_str());
+  std::filesystem::remove_all(wal);
 }
 
 }  // namespace

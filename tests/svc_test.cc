@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,6 +43,26 @@ using svc::SvcWalRecord;
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + name;
+}
+
+/// Removes a WAL store (a v2 segment directory — or a leftover v1
+/// file) between tests.
+void RemoveStore(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
+}
+
+/// Path of the active (highest-sequence) segment inside a v2 WAL
+/// directory — the file the next append lands in, and the only one a
+/// torn-tail test may legally damage.
+std::string ActiveSegmentPath(const std::string& wal_dir) {
+  std::string best;
+  for (const auto& entry : std::filesystem::directory_iterator(wal_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("seg-", 0) == 0 && name > best) best = name;
+  }
+  EXPECT_FALSE(best.empty()) << "no segment in " << wal_dir;
+  return wal_dir + "/" + best;
 }
 
 /// A small deterministic Newick batch; distinct seeds give disjoint
@@ -331,7 +352,7 @@ TEST(SvcAdmissionTest, QueueDepthAndByteWatermarkShed) {
 
 TEST(SvcServiceTest, IngestQueryRetractLifecycle) {
   const std::string wal = TempPath("svc_service_lifecycle");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   config.checkpoint_path = TempPath("svc_service_ckpt");
   config.health_report_path = TempPath("svc_service_health");
@@ -389,14 +410,14 @@ TEST(SvcServiceTest, IngestQueryRetractLifecycle) {
   ASSERT_TRUE(report.ok());
   EXPECT_NE(report->find("\"draining\":true"), std::string::npos);
 
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   std::remove(config.checkpoint_path.c_str());
   std::remove(config.health_report_path.c_str());
 }
 
 TEST(SvcServiceTest, UnknownVerbAndOversizedBatchRejected) {
   const std::string wal = TempPath("svc_service_reject");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   config.max_batch_bytes = 16;
   Result<std::unique_ptr<CousinService>> service =
@@ -411,12 +432,12 @@ TEST(SvcServiceTest, UnknownVerbAndOversizedBatchRejected) {
   Response ok = (*service)->Handle(MakeRequest("INGEST", {}, "(a,b);"));
   ASSERT_TRUE(ok.status.ok());
   EXPECT_NE(ok.payload.find("id=1"), std::string::npos);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcServiceTest, ByteWatermarkShedsWithRetryAfterWhileHealthAnswers) {
   const std::string wal = TempPath("svc_service_shed");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   config.admission.max_inflight_bytes = 8;  // any real batch sheds
   config.admission.retry_after_ms = 44;
@@ -433,12 +454,12 @@ TEST(SvcServiceTest, ByteWatermarkShedsWithRetryAfterWhileHealthAnswers) {
   Response health = (*service)->Handle(MakeRequest("HEALTH"));
   ASSERT_TRUE(health.status.ok());
   EXPECT_NE(health.payload.find("\"shed\":1"), std::string::npos);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcServiceTest, PerRequestDeadlineTripsAsGovernance) {
   const std::string wal = TempPath("svc_service_deadline");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   Result<std::unique_ptr<CousinService>> service =
       CousinService::Start(BaseConfig(wal));
   ASSERT_TRUE(service.ok());
@@ -451,7 +472,7 @@ TEST(SvcServiceTest, PerRequestDeadlineTripsAsGovernance) {
   ASSERT_TRUE(ok.status.ok());
   EXPECT_NE(ok.payload.find("id=1"), std::string::npos)
       << "tripped ingest must not have consumed an id";
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 // --- Crash contract ----------------------------------------------------
@@ -463,7 +484,7 @@ TEST(SvcServiceTest, AbandonedServiceReplaysByteIdentical) {
       SCOPED_TRACE("variant=" + std::to_string(static_cast<int>(variant)) +
                    " threads=" + std::to_string(threads));
       const std::string wal = TempPath("svc_replay_equiv");
-      std::remove(wal.c_str());
+      RemoveStore(wal);
       ServiceConfig config = BaseConfig(wal);
       config.mining.variant = variant;
       const std::vector<std::string> batches = {
@@ -493,14 +514,14 @@ TEST(SvcServiceTest, AbandonedServiceReplaysByteIdentical) {
       // over the acknowledged batches, at every thread count.
       EXPECT_EQ(recovered_csv,
                 BatchPipelineCsv(batches, config.mining, threads));
-      std::remove(wal.c_str());
+      RemoveStore(wal);
     }
   }
 }
 
 TEST(SvcServiceTest, ReplayHonorsRetractionsAndContinuesIds) {
   const std::string wal = TempPath("svc_replay_retract");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   const std::string batch1 = MakeBatch(44, 4);
   const std::string batch2 = MakeBatch(55, 4);
@@ -531,12 +552,12 @@ TEST(SvcServiceTest, ReplayHonorsRetractionsAndContinuesIds) {
   Response next = (*revived)->Handle(MakeRequest("INGEST", {}, batch1));
   ASSERT_TRUE(next.status.ok());
   EXPECT_NE(next.payload.find("id=3"), std::string::npos);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcServiceTest, TornFinalRecordReplaysAsUnacknowledged) {
   const std::string wal = TempPath("svc_replay_torn");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   const std::string batch1 = MakeBatch(66, 4);
   const std::string batch2 = MakeBatch(77, 4);
@@ -550,15 +571,17 @@ TEST(SvcServiceTest, TornFinalRecordReplaysAsUnacknowledged) {
         (*service)->Handle(MakeRequest("INGEST", {}, batch2)).status.ok());
   }
   // Tear the final record at several seeded offsets: every prefix
-  // strictly inside batch 2's line must recover to batch 1 alone.
-  Result<std::string> text = ReadFileToString(wal);
+  // strictly inside batch 2's line must recover to batch 1 alone. In
+  // the v2 layout the damage lands in the active segment file.
+  const std::string segment = ActiveSegmentPath(wal);
+  Result<std::string> text = ReadFileToString(segment);
   ASSERT_TRUE(text.ok());
   const size_t batch2_start = text->find("BATCH 2");
   ASSERT_NE(batch2_start, std::string::npos);
   for (const size_t cut :
        {text->size() - 1, batch2_start + 9, batch2_start}) {
     SCOPED_TRACE("cut=" + std::to_string(cut));
-    ASSERT_TRUE(WriteFileAtomic(wal, text->substr(0, cut)).ok());
+    ASSERT_TRUE(WriteFileAtomic(segment, text->substr(0, cut)).ok());
     Result<std::unique_ptr<CousinService>> revived =
         CousinService::Start(config);
     ASSERT_TRUE(revived.ok()) << revived.status().ToString();
@@ -577,12 +600,12 @@ TEST(SvcServiceTest, TornFinalRecordReplaysAsUnacknowledged) {
     EXPECT_EQ(QueryFrequent(**again),
               BatchPipelineCsv({batch1, batch2}, config.mining, 1));
   }
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcServiceTest, MidFileCorruptionRefusesToStart) {
   const std::string wal = TempPath("svc_replay_corrupt");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   {
     Result<std::unique_ptr<CousinService>> service =
@@ -595,21 +618,22 @@ TEST(SvcServiceTest, MidFileCorruptionRefusesToStart) {
                     ->Handle(MakeRequest("INGEST", {}, MakeBatch(99, 3)))
                     .status.ok());
   }
-  Result<std::string> text = ReadFileToString(wal);
+  const std::string segment = ActiveSegmentPath(wal);
+  Result<std::string> text = ReadFileToString(segment);
   ASSERT_TRUE(text.ok());
   std::string corrupted = *text;
   corrupted[text->find("BATCH 1") + 10] ^= 0x01;
-  ASSERT_TRUE(WriteFileAtomic(wal, corrupted).ok());
+  ASSERT_TRUE(WriteFileAtomic(segment, corrupted).ok());
   Result<std::unique_ptr<CousinService>> refused =
       CousinService::Start(config);
   ASSERT_FALSE(refused.ok());
   EXPECT_EQ(refused.status().code(), StatusCode::kCorruption);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcServiceTest, OptionsMismatchRefusesToStart) {
   const std::string wal = TempPath("svc_replay_options");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   ServiceConfig config = BaseConfig(wal);
   {
     Result<std::unique_ptr<CousinService>> service =
@@ -628,14 +652,217 @@ TEST(SvcServiceTest, OptionsMismatchRefusesToStart) {
   // The original options still open it fine.
   Result<std::unique_ptr<CousinService>> ok = CousinService::Start(config);
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
-  std::remove(wal.c_str());
+  RemoveStore(wal);
+}
+
+// --- Storage engine ----------------------------------------------------
+
+TEST(SvcStorageTest, HealthReportsStorageSchema) {
+  const std::string wal = TempPath("svc_storage_health");
+  RemoveStore(wal);
+  Result<std::unique_ptr<CousinService>> service =
+      CousinService::Start(BaseConfig(wal));
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE(
+      (*service)->Handle(MakeRequest("INGEST", {}, MakeBatch(5, 3))).status.ok());
+  Response health = (*service)->Handle(MakeRequest("HEALTH"));
+  ASSERT_TRUE(health.status.ok());
+  // The storage section's schema is a pinned operator contract: every
+  // key below is consumed by tools/daemon_drill.sh and dashboards.
+  for (const char* key :
+       {"\"storage\":{\"segments\":1", "\"wal_bytes\":", "\"sealed_bytes\":0",
+        "\"last_compaction\":0", "\"replayed_records\":0", "\"recovery_ms\":",
+        "\"read_only\":false", "\"reason\":\"\""}) {
+    EXPECT_NE(health.payload.find(key), std::string::npos)
+        << "missing " << key << " in " << health.payload;
+  }
+  RemoveStore(wal);
+}
+
+TEST(SvcStorageTest, CompactionBoundsReplayToTheTail) {
+  const std::string wal = TempPath("svc_storage_compact");
+  RemoveStore(wal);
+  ServiceConfig config = BaseConfig(wal);
+  const std::vector<std::string> batches = {
+      MakeBatch(301, 4), MakeBatch(302, 4), MakeBatch(303, 4),
+      MakeBatch(304, 3), MakeBatch(305, 3), MakeBatch(306, 3)};
+  std::string live_csv;
+  {
+    Result<std::unique_ptr<CousinService>> service =
+        CousinService::Start(config);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE((*service)
+                      ->Handle(MakeRequest("INGEST", {}, batches[i]))
+                      .status.ok());
+    }
+    Response compacted = (*service)->Handle(MakeRequest("COMPACT"));
+    ASSERT_TRUE(compacted.status.ok()) << compacted.status.ToString();
+    EXPECT_NE(compacted.payload.find("compaction=1"), std::string::npos);
+    for (int i = 4; i < 6; ++i) {
+      ASSERT_TRUE((*service)
+                      ->Handle(MakeRequest("INGEST", {}, batches[i]))
+                      .status.ok());
+    }
+    live_csv = QueryFrequent(**service);
+    // Abandoned without DRAIN: the kill -9 stand-in.
+  }
+  Result<std::unique_ptr<CousinService>> revived =
+      CousinService::Start(config);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  // All six batches are live, but only the two post-compaction records
+  // were replayed from segments — the snapshot anchored the rest.
+  EXPECT_EQ((*revived)->replayed_batches(), 6);
+  EXPECT_EQ((*revived)->replayed_records(), 2);
+  EXPECT_EQ(QueryFrequent(**revived), live_csv);
+  EXPECT_EQ(QueryFrequent(**revived),
+            BatchPipelineCsv(batches, config.mining, 1));
+  Response health = (*revived)->Handle(MakeRequest("HEALTH"));
+  ASSERT_TRUE(health.status.ok());
+  EXPECT_NE(health.payload.find("\"last_compaction\":1"), std::string::npos);
+  EXPECT_NE(health.payload.find("\"replayed_records\":2"), std::string::npos);
+  // Ids continue past everything the store ever issued.
+  Response next =
+      (*revived)->Handle(MakeRequest("INGEST", {}, MakeBatch(307, 2)));
+  ASSERT_TRUE(next.status.ok());
+  EXPECT_NE(next.payload.find("id=7"), std::string::npos);
+  RemoveStore(wal);
+}
+
+TEST(SvcStorageTest, RotationAndAutoCompactionPreserveAnswers) {
+  const std::string wal = TempPath("svc_storage_rotate");
+  RemoveStore(wal);
+  ServiceConfig config = BaseConfig(wal);
+  config.wal_segment_bytes = 256;  // every batch rotates
+  config.wal_compact_bytes = 1;    // every sealed byte auto-compacts
+  const std::vector<std::string> batches = {
+      MakeBatch(401, 3), MakeBatch(402, 3), MakeBatch(403, 3)};
+  std::string live_csv;
+  {
+    Result<std::unique_ptr<CousinService>> service =
+        CousinService::Start(config);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    for (const std::string& batch : batches) {
+      ASSERT_TRUE(
+          (*service)->Handle(MakeRequest("INGEST", {}, batch)).status.ok());
+    }
+    live_csv = QueryFrequent(**service);
+  }
+  Result<std::unique_ptr<CousinService>> revived =
+      CousinService::Start(config);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->replayed_batches(), 3);
+  EXPECT_EQ(QueryFrequent(**revived), live_csv);
+  EXPECT_EQ(QueryFrequent(**revived),
+            BatchPipelineCsv(batches, config.mining, 1));
+  RemoveStore(wal);
+}
+
+TEST(SvcStorageTest, RetentionHorizonBlocksOldRetractsButKeepsTallies) {
+  const std::string wal = TempPath("svc_storage_retention");
+  RemoveStore(wal);
+  ServiceConfig config = BaseConfig(wal);
+  config.retain_batches = 1;
+  const std::string batch1 = MakeBatch(501, 4);
+  const std::string batch2 = MakeBatch(502, 4);
+  std::string live_csv;
+  {
+    Result<std::unique_ptr<CousinService>> service =
+        CousinService::Start(config);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    ASSERT_TRUE(
+        (*service)->Handle(MakeRequest("INGEST", {}, batch1)).status.ok());
+    ASSERT_TRUE(
+        (*service)->Handle(MakeRequest("INGEST", {}, batch2)).status.ok());
+    ASSERT_TRUE((*service)->Handle(MakeRequest("COMPACT")).status.ok());
+    // Batch 1 fell past the horizon: still tallied, no longer
+    // retractable. Batch 2 (most recent) keeps its payload.
+    Response blocked = (*service)->Handle(MakeRequest("RETRACT", {"1"}));
+    EXPECT_EQ(blocked.status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(blocked.status.message().find("retention"), std::string::npos)
+        << blocked.status.ToString();
+    Response allowed = (*service)->Handle(MakeRequest("RETRACT", {"2"}));
+    ASSERT_TRUE(allowed.status.ok()) << allowed.status.ToString();
+    EXPECT_EQ(QueryFrequent(**service),
+              BatchPipelineCsv({batch1}, config.mining, 1));
+    live_csv = QueryFrequent(**service);
+  }
+  // The tail RETRACT replays against the snapshot-restored state.
+  Result<std::unique_ptr<CousinService>> revived =
+      CousinService::Start(config);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(QueryFrequent(**revived), live_csv);
+  RemoveStore(wal);
+}
+
+TEST(SvcStorageTest, MigratesV1SingleFileWalInPlace) {
+  const std::string wal = TempPath("svc_storage_migrate");
+  RemoveStore(wal);
+  ServiceConfig config = BaseConfig(wal);
+  const std::string batch1 = MakeBatch(601, 4);
+  const std::string batch2 = MakeBatch(602, 4);
+  // A PR-8-era daemon left a single-file v1 journal behind.
+  {
+    Result<SvcWal> v1 = SvcWal::Open(wal);
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    ASSERT_TRUE(
+        v1->AppendHeader(svc::MiningOptionsFingerprint(config.mining)).ok());
+    ASSERT_TRUE(v1->AppendBatch(1, batch1).ok());
+    ASSERT_TRUE(v1->AppendBatch(2, batch2).ok());
+  }
+  Result<std::unique_ptr<CousinService>> service =
+      CousinService::Start(config);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->replayed_batches(), 2);
+  // The file is now a v2 directory with a manifest.
+  EXPECT_TRUE(std::filesystem::is_directory(wal));
+  EXPECT_TRUE(std::filesystem::exists(wal + "/MANIFEST"));
+  EXPECT_EQ(QueryFrequent(**service),
+            BatchPipelineCsv({batch1, batch2}, config.mining, 1));
+  // Ids continue past the v1 journal's; a restart replays from the
+  // migration snapshot (zero tail records).
+  Response next = (*service)->Handle(MakeRequest("INGEST", {}, MakeBatch(603, 2)));
+  ASSERT_TRUE(next.status.ok());
+  EXPECT_NE(next.payload.find("id=3"), std::string::npos);
+  const std::string live_csv = QueryFrequent(**service);
+  service->reset();
+  Result<std::unique_ptr<CousinService>> revived =
+      CousinService::Start(config);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->replayed_batches(), 3);
+  EXPECT_EQ((*revived)->replayed_records(), 1);  // only the post-migration ingest
+  EXPECT_EQ(QueryFrequent(**revived), live_csv);
+  RemoveStore(wal);
+}
+
+TEST(SvcStorageTest, CompactRunsWhileDraining) {
+  // COMPACT is the storage-recovery verb: it must stay reachable while
+  // the daemon drains (and under overload — it bypasses admission).
+  const std::string wal = TempPath("svc_storage_drain_compact");
+  RemoveStore(wal);
+  Result<std::unique_ptr<CousinService>> service =
+      CousinService::Start(BaseConfig(wal));
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)
+                  ->Handle(MakeRequest("INGEST", {}, MakeBatch(701, 3)))
+                  .status.ok());
+  ASSERT_TRUE((*service)->Handle(MakeRequest("DRAIN")).status.ok());
+  Response compacted = (*service)->Handle(MakeRequest("COMPACT"));
+  ASSERT_TRUE(compacted.status.ok()) << compacted.status.ToString();
+  // Draining still refuses mutations after the compaction.
+  EXPECT_EQ((*service)
+                ->Handle(MakeRequest("INGEST", {}, MakeBatch(702, 2)))
+                .status.code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE((*service)->FinishDrain().ok());
+  RemoveStore(wal);
 }
 
 // --- Fault sites -------------------------------------------------------
 
 TEST(SvcFaultTest, WalAppendFaultLeavesStateUntouched) {
   const std::string wal = TempPath("svc_fault_wal_append");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   FaultRegistry& registry = FaultRegistry::Global();
   registry.DisarmAll();
   Result<std::unique_ptr<CousinService>> service =
@@ -657,12 +884,12 @@ TEST(SvcFaultTest, WalAppendFaultLeavesStateUntouched) {
       CousinService::Start(BaseConfig(wal));
   ASSERT_TRUE(revived.ok());
   EXPECT_EQ((*revived)->replayed_batches(), 1);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 TEST(SvcFaultTest, SwapFaultLosesAckButNotDurability) {
   const std::string wal = TempPath("svc_fault_swap");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   FaultRegistry& registry = FaultRegistry::Global();
   registry.DisarmAll();
   ServiceConfig config = BaseConfig(wal);
@@ -684,14 +911,14 @@ TEST(SvcFaultTest, SwapFaultLosesAckButNotDurability) {
   EXPECT_EQ((*revived)->replayed_batches(), 1);
   EXPECT_EQ(QueryFrequent(**revived),
             BatchPipelineCsv({batch}, config.mining, 1));
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 // --- Serving over a byte stream ----------------------------------------
 
 TEST(SvcServeTest, ServeConnectionOverPipes) {
   const std::string wal = TempPath("svc_serve_pipes");
-  std::remove(wal.c_str());
+  RemoveStore(wal);
   Result<std::unique_ptr<CousinService>> service =
       CousinService::Start(BaseConfig(wal));
   ASSERT_TRUE(service.ok());
@@ -728,7 +955,7 @@ TEST(SvcServeTest, ServeConnectionOverPipes) {
   close(to_server[1]);  // client hangs up; server loop exits on EOF
   server.join();
   close(to_client[0]);
-  std::remove(wal.c_str());
+  RemoveStore(wal);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -784,6 +785,54 @@ TEST(CliMultiProcTest, ClosedStdoutPipeExitsOneNotSigpipeDeath) {
   std::remove(rc_path.c_str());
   std::remove(forest.c_str());
   EXPECT_EQ(rc, "1\n");
+}
+
+// --- Daemon health schema ----------------------------------------------
+
+TEST(CliDaemonTest, HealthAndDrainReportPinStorageSchema) {
+  // The daemon's HEALTH payload and its --health-report file both
+  // carry the storage section; its keys are an operator contract
+  // consumed by tools/daemon_drill.sh and dashboards, so the whole
+  // schema is pinned here against the real binary.
+  const std::string base = ::testing::TempDir();
+  const std::string wal = base + "/cli_daemon_wal";
+  const std::string sock = base + "/cli_daemon.sock";
+  const std::string report = base + "/cli_daemon_health.json";
+  const std::string daemon = DAEMON_BINARY;
+  const std::string script =
+      "rm -rf '" + wal + "' '" + sock + "' '" + report + "'; " + daemon +
+      " serve --wal='" + wal + "' --socket='" + sock +
+      "' --health-report='" + report +
+      "' & pid=$!; "
+      "for i in $(seq 1 100); do " +
+      daemon + " client --socket='" + sock +
+      "' HEALTH 2>/dev/null && break; sleep 0.1; done; " + daemon +
+      " client --socket='" + sock + "' DRAIN >/dev/null 2>&1; wait $pid; "
+      "cat '" + report + "'";
+  RunResult r;
+  std::FILE* pipe = popen((script + " 2>&1").c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    r.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* key :
+       {"\"storage\":{\"segments\":", "\"wal_bytes\":", "\"sealed_bytes\":",
+        "\"last_compaction\":", "\"replayed_records\":", "\"recovery_ms\":",
+        "\"read_only\":false", "\"reason\":\"\""}) {
+    // Twice: once in the live HEALTH payload, once in the drain report.
+    const size_t first = r.output.find(key);
+    ASSERT_NE(first, std::string::npos) << key << "\n" << r.output;
+    EXPECT_NE(r.output.find(key, first + 1), std::string::npos)
+        << key << " missing from the drain report\n"
+        << r.output;
+  }
+  std::remove(report.c_str());
+  std::filesystem::remove_all(wal);
 }
 
 }  // namespace

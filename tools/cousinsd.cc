@@ -23,6 +23,12 @@
 //   admission: --max-inflight=N --max-inflight-bytes=N
 //              --retry-after-ms=N
 //   limits:    --max-batch-bytes=N --max-request-ms=N
+//   storage:   --wal-segment-bytes=N (rotate the active WAL segment
+//              past N acked bytes) --wal-compact-bytes=N (auto-compact
+//              once sealed segments hold N bytes; 0 = explicit COMPACT
+//              only) --retain-batches=N (retraction horizon: past a
+//              compaction only the N newest live batches stay
+//              retractable; 0 = all)
 //
 // client sends one request and prints the response payload to stdout.
 // INGEST reads its batch from --file=PATH or stdin. An ERR response
@@ -185,8 +191,16 @@ int RunServe(const std::vector<std::string>& args) {
       !ParseInt64Flag(args, "max-batch-bytes", config.max_batch_bytes,
                       &config.max_batch_bytes) ||
       !ParseInt64Flag(args, "max-request-ms", 0, &config.max_request_ms) ||
+      !ParseInt64Flag(args, "wal-segment-bytes", config.wal_segment_bytes,
+                      &config.wal_segment_bytes) ||
+      !ParseInt64Flag(args, "wal-compact-bytes", config.wal_compact_bytes,
+                      &config.wal_compact_bytes) ||
+      !ParseInt64Flag(args, "retain-batches", config.retain_batches,
+                      &config.retain_batches) ||
       max_inflight < 1 || max_inflight_bytes < 1 || retry_after_ms < 0 ||
-      config.max_batch_bytes < 1 || config.max_request_ms < 0) {
+      config.max_batch_bytes < 1 || config.max_request_ms < 0 ||
+      config.wal_segment_bytes < 1 || config.wal_compact_bytes < 0 ||
+      config.retain_batches < 0) {
     std::fprintf(stderr, "error: malformed admission/limit flag\n");
     return kExitUsage;
   }

@@ -14,6 +14,17 @@
 #          HEALTH keeps answering and accounts the shed.
 #   leg 4  DRAIN: the daemon finishes cleanly (exit 0) and leaves the
 #          final checkpoint and health report behind.
+#   leg 5  snapshot-anchored recovery: ingest 4 batches, COMPACT,
+#          ingest 2 more, kill -9; the restart must replay ONLY the
+#          post-snapshot tail (storage.replayed_records == 2) and its
+#          CSV must still be byte-identical to the batch CLI over all
+#          six batches.
+#   leg 6  disk-full: an injected ENOSPC on a WAL append flips the
+#          daemon read-only — the mutation is shed Unavailable with a
+#          retry-after while QUERY/HEALTH keep answering — then
+#          COMPACT reclaims the log and writes resume; the final CSV
+#          byte-compares against the batch CLI over exactly the acked
+#          batches.
 #
 # Usage: daemon_drill.sh <cousins_cli> <cousinsd> [seed]
 # The seed moves the kill point (R) so CI sweeps interleavings.
@@ -67,6 +78,16 @@ live_batches() {
     'import json,sys; print(json.load(sys.stdin)["svc"]["live_batches"])'
 }
 
+health_field() {
+  # $1: dotted path under "svc", e.g. storage.replayed_records
+  client HEALTH | python3 -c '
+import json, sys
+node = json.load(sys.stdin)["svc"]
+for part in sys.argv[1].split("."):
+    node = node[part]
+print(node)' "$1"
+}
+
 batch_csv() {
   # Batch-CLI oracle over batches 1..$1, mined in one run.
   cat $(for i in $(seq 1 "$1"); do echo "$WORK/batch$i.nwk"; done) \
@@ -110,7 +131,7 @@ cmp "$WORK/leg2.csv" "$WORK/leg2.oracle" \
 kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
 
 echo "== leg 3: overload sheds with Unavailable while HEALTH answers"
-rm -f "$WAL"
+rm -rf "$WAL"
 start_daemon --max-inflight-bytes=8 --retry-after-ms=77
 set +e
 client INGEST --file="$WORK/batch1.nwk" > /dev/null 2> "$WORK/shed.err"
@@ -127,7 +148,7 @@ grep -q '"shed":1' "$WORK/shed.health" \
 
 echo "== leg 4: DRAIN exits 0 with checkpoint + health report"
 kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
-rm -f "$WAL"
+rm -rf "$WAL"
 start_daemon --checkpoint="$WORK/final.ckpt" \
   --health-report="$WORK/final.health.json"
 client INGEST --file="$WORK/batch1.nwk" > /dev/null
@@ -139,5 +160,84 @@ DAEMON_PID=""
 [ -s "$WORK/final.ckpt" ] || { echo "FAIL: no final checkpoint"; exit 1; }
 [ -s "$WORK/final.health.json" ] \
   || { echo "FAIL: no final health report"; exit 1; }
+python3 -c '
+import json, sys
+storage = json.load(open(sys.argv[1]))["svc"]["storage"]
+for key in ("segments", "wal_bytes", "sealed_bytes", "last_compaction",
+            "replayed_records", "recovery_ms", "read_only", "reason"):
+    assert key in storage, key' "$WORK/final.health.json" \
+  || { echo "FAIL: final health report lacks the storage section"; exit 1; }
+
+echo "== leg 5: compaction bounds recovery to the post-snapshot tail"
+rm -rf "$WAL"
+start_daemon
+for i in 1 2 3 4; do
+  client INGEST --file="$WORK/batch$i.nwk" > /dev/null
+done
+client COMPACT > /dev/null
+for i in 5 6; do
+  client INGEST --file="$WORK/batch$i.nwk" > /dev/null
+done
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+
+start_daemon
+[ "$(live_batches)" -eq 6 ] \
+  || { echo "FAIL: leg 5 restart lost acked batches"; exit 1; }
+REPLAYED=$(health_field storage.replayed_records)
+[ "$REPLAYED" -eq 2 ] \
+  || { echo "FAIL: replayed $REPLAYED records, snapshot should bound it to 2"; exit 1; }
+[ "$(health_field storage.last_compaction)" -ge 1 ] \
+  || { echo "FAIL: leg 5 restart forgot the compaction"; exit 1; }
+client QUERY frequent-pairs > "$WORK/leg5.csv"
+batch_csv 6 > "$WORK/leg5.oracle"
+cmp "$WORK/leg5.csv" "$WORK/leg5.oracle" \
+  || { echo "FAIL: leg 5 CSV diverged from batch CLI"; exit 1; }
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+
+echo "== leg 6: disk-full sheds read-only, COMPACT reclaims, writes resume"
+rm -rf "$WAL"
+# Hit 1 of svc.wal.append is the fresh segment header; hit 2 acks
+# batch 1; hit 3 (batch 2's append) fails with ENOSPC before any byte
+# lands — an errno-carrying storage failure, so the daemon goes
+# read-only.
+COUSINS_FAULT_SPEC="svc.wal.append.enospc:3" start_daemon
+client INGEST --file="$WORK/batch1.nwk" > /dev/null
+set +e
+client INGEST --file="$WORK/batch2.nwk" > /dev/null 2> "$WORK/enospc.err"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "FAIL: ENOSPC ingest exited $rc, not 1"; exit 1; }
+grep -q "Unavailable" "$WORK/enospc.err" \
+  || { echo "FAIL: ENOSPC error lacks Unavailable"; cat "$WORK/enospc.err"; exit 1; }
+grep -q "retry-after-ms=" "$WORK/enospc.err" \
+  || { echo "FAIL: ENOSPC error lacks retry-after"; cat "$WORK/enospc.err"; exit 1; }
+[ "$(health_field storage.read_only)" = "True" ] \
+  || { echo "FAIL: daemon not read-only after ENOSPC"; exit 1; }
+# Mutations stay shed while degraded; QUERY keeps serving the acked
+# snapshot.
+set +e
+client INGEST --file="$WORK/batch3.nwk" > /dev/null 2> "$WORK/shed2.err"
+rc=$?
+set -e
+[ "$rc" -eq 1 ] || { echo "FAIL: read-only ingest exited $rc, not 1"; exit 1; }
+grep -q "read-only" "$WORK/shed2.err" \
+  || { echo "FAIL: read-only shed lacks the reason"; cat "$WORK/shed2.err"; exit 1; }
+client QUERY frequent-pairs > "$WORK/leg6.readonly.csv"
+"$CLI" frequent "$WORK/batch1.nwk" --csv $MINE_FLAGS > "$WORK/leg6.readonly.oracle"
+cmp "$WORK/leg6.readonly.csv" "$WORK/leg6.readonly.oracle" \
+  || { echo "FAIL: read-only QUERY diverged from acked state"; exit 1; }
+# COMPACT discards the old segments (simulated disk pressure freed)
+# and exits read-only mode; writes resume.
+client COMPACT > /dev/null
+[ "$(health_field storage.read_only)" = "False" ] \
+  || { echo "FAIL: COMPACT did not exit read-only mode"; exit 1; }
+client INGEST --file="$WORK/batch3.nwk" > /dev/null
+client QUERY frequent-pairs > "$WORK/leg6.csv"
+cat "$WORK/batch1.nwk" "$WORK/batch3.nwk" > "$WORK/leg6.acked.nwk"
+"$CLI" frequent "$WORK/leg6.acked.nwk" --csv $MINE_FLAGS > "$WORK/leg6.oracle"
+cmp "$WORK/leg6.csv" "$WORK/leg6.oracle" \
+  || { echo "FAIL: leg 6 CSV diverged from the acked batches"; exit 1; }
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2> /dev/null || true
+DAEMON_PID=""
 
 echo "daemon drill OK (seed=$SEED, kill point R=$R, leg 2 landed on $B)"
