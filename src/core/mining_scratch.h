@@ -31,6 +31,46 @@ namespace internal {
 /// cache-friendly for the cross-product loops, no hashing.
 using FlatCounts = std::vector<std::pair<LabelId, int64_t>>;
 
+/// Batch scratch + telemetry for the dispatched fold kernels
+/// (simd_fold.h). Owned by the per-shard scratch structs and recycled
+/// across trees, so steady-state vector mining allocates nothing. The
+/// scalar kernels only touch the counters.
+struct FoldBuffer {
+  /// Packed item keys for the batched forest-tally fold, and their
+  /// precomputed tally-table home slots (hash moved off the fold's
+  /// Add dependency chain; see MultiTreeMiner::FoldItems).
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> slots;
+  /// Sort-key scratch for the vector Normalize.
+  std::vector<uint64_t> sort_keys;
+  std::vector<std::pair<LabelId, int64_t>> tmp_counts;
+
+  /// 4-at-a-time key-pack batches executed (accum.simd_batches).
+  int64_t simd_batches = 0;
+  /// Kernel invocations that fell back to the scalar loop — inputs too
+  /// short for a vector batch, or a scalar-tier call
+  /// (accum.scalar_fallbacks).
+  int64_t scalar_fallbacks = 0;
+
+  void ResetStats() {
+    simd_batches = 0;
+    scalar_fallbacks = 0;
+  }
+};
+
+/// Flat per-tree accumulator for the dense vector-tier fold
+/// (single_tree_mining.cc): after the per-tree labels are remapped to
+/// dense ids in [0, L), cell [lo * L + hi] holds the running count of
+/// the unordered dense pair (lo, hi) — a plain array store instead of
+/// a hash probe. `dirty` records each cell index at first touch, so
+/// emit and clear both walk only touched cells. Invariant between
+/// runs: every cell is zero (emit zeroes cells as it drains them;
+/// ResetScratch wipes the residue of truncated runs via `dirty`).
+struct DensePairAccumulator {
+  std::vector<int64_t> cells;
+  std::vector<uint32_t> dirty;
+};
+
 /// All buffers MineSingleTreeScratch reuses across trees. Treat as
 /// opaque outside single_tree_mining.cc except for `items`, which holds
 /// the mined items of the most recent call.
@@ -44,6 +84,18 @@ struct MiningScratch {
   std::vector<PairCountMap> acc;
   /// Output of the most recent MineSingleTreeScratch call.
   std::vector<CousinPairItem> items;
+  /// Batch buffer + tier telemetry for the dispatched fold kernels;
+  /// stats are zeroed per run and flushed to accum.* counters.
+  FoldBuffer fold;
+  /// Dense-tier accumulators (one per distance value) and the per-tree
+  /// label remap backing them. dense_of_global maps global label id ->
+  /// dense id and is -1 everywhere between runs (entries are unwound
+  /// through dense_to_global after each tree); dense_to_global maps a
+  /// dense id back to the global label it was assigned from, in
+  /// first-encounter node order. Only the vector tiers touch these.
+  std::vector<DensePairAccumulator> dense_acc;
+  std::vector<int32_t> dense_of_global;
+  std::vector<LabelId> dense_to_global;
 
   /// Reactive accumulator rehashes across all distance maps — the
   /// steady-state-no-growth regression signal (see PairCountMap::Stats).

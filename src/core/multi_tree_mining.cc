@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "core/kernel_dispatch.h"
 #include "core/pair_count_map.h"
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
@@ -125,7 +126,58 @@ void MultiTreeMiner::FoldItems(const std::vector<CousinPairItem>& items) {
   // outer loop is the distance), so prefetching a few items ahead
   // almost always targets the table currently being probed.
   constexpr size_t kPrefetchAhead = 8;
-  if (!options_.ignore_distance) {
+  const internal::FoldKernels& kernels = internal::ActiveKernels();
+  if (!options_.ignore_distance &&
+      kernels.tier != SimdTier::kScalar && items.size() >= 16) {
+    // Vector tier: pack all keys up front (4 per 256-bit lane) and
+    // precompute every item's tally home slot in a second tight pass,
+    // then fold behind a deeper prefetch that pulls every SoA array of
+    // the home slot — the Add loop runs with no hash arithmetic on its
+    // load-address chain at all. Add order is the item order —
+    // identical table layout to the scalar loop. A mid-fold grow
+    // invalidates the precomputed slots for that table; the per-item
+    // capacity check recomputes them (grows are rare after presize).
+    internal::FoldBuffer& fold = scratch_.fold;
+    const size_t n = items.size();
+    fold.keys.resize(n);
+    kernels.pack_item_keys(items.data(), n, fold.keys.data());
+    fold.slots.resize(n);
+    constexpr size_t kMaxHintedTables = 64;
+    size_t caps[kMaxHintedTables] = {0};
+    const bool hinted = tables_.size() <= kMaxHintedTables;
+    if (hinted) {
+      for (size_t t = 0; t < tables_.size(); ++t) {
+        caps[t] = tables_[t].capacity();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        fold.slots[i] = tables_[TableIndex(items[i].twice_distance)]
+                            .HomeSlot(fold.keys[i]);
+      }
+    }
+    constexpr size_t kEntryAhead = 24;
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kEntryAhead < n) {
+        const size_t ta = TableIndex(items[i + kEntryAhead].twice_distance);
+        if (hinted && tables_[ta].capacity() == caps[ta]) {
+          tables_[ta].PrefetchEntryAt(fold.slots[i + kEntryAhead]);
+        } else {
+          tables_[ta].PrefetchEntry(fold.keys[i + kEntryAhead]);
+        }
+      }
+      const size_t t = TableIndex(items[i].twice_distance);
+      size_t home;
+      if (hinted && tables_[t].capacity() == caps[t]) {
+        home = fold.slots[i];
+      } else {
+        home = tables_[t].HomeSlot(fold.keys[i]);
+      }
+      total_tallies_ +=
+          tables_[t].AddFrom(home, fold.keys[i], 1, items[i].occurrences);
+      if (hinted) caps[t] = tables_[t].capacity();
+    }
+    COUSINS_METRIC_COUNTER_ADD("accum.simd_batches",
+                               static_cast<int64_t>(n / 4));
+  } else if (!options_.ignore_distance) {
     for (size_t i = 0; i < items.size(); ++i) {
       if (i + kPrefetchAhead < items.size()) {
         const CousinPairItem& ahead = items[i + kPrefetchAhead];

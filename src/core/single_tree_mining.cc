@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/kernel_dispatch.h"
 #include "core/pair_count_map.h"
 #include "obs/governance_events.h"
 #include "obs/metrics.h"
@@ -11,6 +12,7 @@
 namespace cousins {
 namespace {
 
+using internal::DensePairAccumulator;
 using internal::FlatCounts;
 using internal::MiningScratch;
 using internal::PackLabelPair;
@@ -18,34 +20,46 @@ using internal::PairCountMap;
 using internal::UnpackFirst;
 using internal::UnpackSecond;
 
-/// Sorts and combines duplicate labels in place.
-void Normalize(FlatCounts* counts) {
-  std::sort(counts->begin(), counts->end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  size_t out = 0;
-  for (size_t i = 0; i < counts->size();) {
-    size_t j = i;
-    int64_t total = 0;
-    while (j < counts->size() && (*counts)[j].first == (*counts)[i].first) {
-      total += (*counts)[j].second;
-      ++j;
+/// Per-tree distinct-label ceiling for the dense-tier accumulator:
+/// above this the flat cells array (L * L * 8 bytes per distance
+/// value) stops paying for itself and the hash kernels take over.
+/// Must keep kDenseMaxLabels^2 within uint32_t (dirty-index width).
+constexpr int32_t kDenseMaxLabels = 1024;
+
+/// Assigns dense ids (first-encounter node order, deterministic) to
+/// every distinct label in the tree via scratch->dense_of_global /
+/// dense_to_global. Returns the distinct-label count L, or -1 when the
+/// tree exceeds kDenseMaxLabels (assignments unwound — the caller must
+/// fall back to the hash kernels). On success the assignments stay in
+/// place for the rest of the run; the next run's ResetScratch unwinds
+/// them through dense_to_global. Requires a clean map on entry (every
+/// dense_of_global entry -1), which ResetScratch guarantees.
+int32_t BuildDenseLabelRemap(const Tree& tree, MiningScratch* scratch) {
+  std::vector<int32_t>& dense_of = scratch->dense_of_global;
+  std::vector<LabelId>& to_global = scratch->dense_to_global;
+  to_global.clear();
+  for (NodeId a = 0; a < static_cast<NodeId>(tree.size()); ++a) {
+    if (!tree.has_label(a)) continue;
+    const LabelId g = tree.label(a);
+    if (static_cast<size_t>(g) >= dense_of.size()) {
+      dense_of.resize(static_cast<size_t>(g) + 1, -1);
     }
-    (*counts)[out++] = {(*counts)[i].first, total};
-    i = j;
+    if (dense_of[g] < 0) {
+      if (static_cast<int32_t>(to_global.size()) >= kDenseMaxLabels) {
+        for (LabelId assigned : to_global) dense_of[assigned] = -1;
+        to_global.clear();
+        return -1;
+      }
+      dense_of[g] = static_cast<int32_t>(to_global.size());
+      to_global.push_back(g);
+    }
   }
-  counts->resize(out);
+  return static_cast<int32_t>(to_global.size());
 }
 
-/// Emits sign * (cross product of two label multisets) into acc.
-void AddProduct(const FlatCounts& a, const FlatCounts& b, int64_t sign,
-                PairCountMap* acc) {
-  for (const auto& [x, cx] : a) {
-    const int64_t scaled = sign * cx;
-    for (const auto& [y, cy] : b) {
-      acc->Add(PackLabelPair(x, y), scaled * cy);
-    }
-  }
-}
+// Normalize and AddProduct live behind the runtime SIMD dispatch now
+// (kernel_dispatch.h / simd_fold.cc); the scalar kernels there are the
+// pre-dispatch code verbatim.
 
 /// Readies the scratch for one run: every per-node FlatCounts empty
 /// (capacity kept), one cleared accumulator per distance value. A
@@ -61,7 +75,19 @@ void ResetScratch(MiningScratch* scratch, size_t tree_size,
   const size_t num_acc = static_cast<size_t>(twice_maxdist) + 1;
   if (scratch->acc.size() != num_acc) scratch->acc.resize(num_acc);
   for (PairCountMap& m : scratch->acc) m.Clear();
+  // Dense-tier residue: a truncated run leaves un-emitted cells
+  // nonzero and a partially-unwound label remap; the dirty lists and
+  // dense_to_global record exactly what to undo.
+  for (DensePairAccumulator& d : scratch->dense_acc) {
+    for (uint32_t idx : d.dirty) d.cells[idx] = 0;
+    d.dirty.clear();
+  }
+  for (LabelId g : scratch->dense_to_global) {
+    scratch->dense_of_global[g] = -1;
+  }
+  scratch->dense_to_global.clear();
   scratch->items.clear();
+  scratch->fold.ResetStats();
 }
 
 /// The governed core: the exact-LCA inclusion–exclusion miner with
@@ -96,6 +122,44 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
   }
 #endif
 
+  // One dispatch read per tree; every kernel call below goes through
+  // this table so the whole tree runs a single tier.
+  const internal::FoldKernels& kernels = internal::ActiveKernels();
+  // Vector tiers accumulate into the dense per-tree array (no hash
+  // probes) when the tree's distinct-label count fits; the item
+  // multiset is identical to the hash path's, in a different order
+  // that the canonical item sort downstream erases. Scalar stays on
+  // the hash path so a scalar run is bit-for-bit the legacy miner.
+  const int32_t dense_labels = kernels.tier != SimdTier::kScalar
+                                   ? BuildDenseLabelRemap(tree, scratch)
+                                   : -1;
+  const bool dense = dense_labels >= 0;
+  std::vector<DensePairAccumulator>& dense_acc = scratch->dense_acc;
+  // Stride is dense_labels rounded up to a power of two: the kernels
+  // see an ordinary stride, but emit can unpack cell indices with a
+  // shift and a mask instead of two integer divisions per item. Cells
+  // are sized L * stride (max index (L-1) * stride + (L-1)), so the
+  // rounding costs at most 2x-of-L*L, not stride * stride.
+  int32_t dense_stride = 1;
+  int dense_shift = 0;
+  if (dense) {
+    while (dense_stride < dense_labels) {
+      dense_stride <<= 1;
+      ++dense_shift;
+    }
+    const size_t num_acc =
+        static_cast<size_t>(options.twice_maxdist) + 1;
+    if (dense_acc.size() < num_acc) dense_acc.resize(num_acc);
+    const size_t cells_needed = static_cast<size_t>(dense_labels)
+                                << dense_shift;
+    for (size_t d = 0; d < num_acc; ++d) {
+      // Grown cells are zero-filled; existing cells are already all
+      // zero (the between-runs invariant), so no wipe is needed here.
+      if (dense_acc[d].cells.size() < cells_needed) {
+        dense_acc[d].cells.resize(cells_needed, 0);
+      }
+    }
+  }
   const bool governed = context.governed();
   uint32_t node_tick = 0;
   Status termination;
@@ -111,9 +175,20 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
         // what is actually resident.
         int64_t entries = 0;
         int64_t bytes = 0;
-        for (const PairCountMap& m : acc) {
-          entries += static_cast<int64_t>(m.size());
-          bytes += static_cast<int64_t>(m.capacity()) * 16;
+        if (dense) {
+          // Dense equivalents: touched cells stand in for hash
+          // entries, and the resident flat arrays (8-byte cells plus
+          // 4-byte dirty indices) for table capacity.
+          for (const DensePairAccumulator& d : dense_acc) {
+            entries += static_cast<int64_t>(d.dirty.size());
+            bytes += static_cast<int64_t>(d.cells.capacity()) * 8 +
+                     static_cast<int64_t>(d.dirty.capacity()) * 4;
+          }
+        } else {
+          for (const PairCountMap& m : acc) {
+            entries += static_cast<int64_t>(m.size());
+            bytes += static_cast<int64_t>(m.capacity()) * 16;
+          }
         }
         st = context.CheckWork(entries, bytes, 0);
       }
@@ -124,7 +199,13 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
     }
     std::vector<FlatCounts>& mine = levels[a];
     mine.resize(max_level + 1);
-    if (tree.has_label(a)) mine[0].push_back({tree.label(a), 1});
+    if (tree.has_label(a)) {
+      const LabelId label = tree.label(a);
+      mine[0].push_back(
+          {dense ? static_cast<LabelId>(scratch->dense_of_global[label])
+                 : label,
+           1});
+    }
     const std::vector<NodeId>& kids = tree.children(a);
     // Children's vectors are still needed below for the same-child
     // subtraction, so aggregate by copy.
@@ -135,7 +216,7 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
       }
     }
     for (int32_t level = 1; level <= max_level; ++level) {
-      Normalize(&mine[level]);
+      kernels.normalize(&mine[level], &scratch->fold);
     }
 
     if (!kids.empty()) {
@@ -148,13 +229,29 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
         // Exact-LCA inclusion–exclusion: aggregate product minus
         // same-child products. For m == n (even distance) this counts
         // ordered pairs and the diagonal cancels; halved at finalize.
-        AddProduct(at_m, at_n, +1, &acc[twice_d]);
+        if (dense) {
+          DensePairAccumulator& d = dense_acc[twice_d];
+          kernels.add_product_dense(at_m, at_n, +1, dense_stride,
+                                    d.cells.data(), &d.dirty,
+                                    &scratch->fold);
+          for (NodeId c : kids) {
+            const FlatCounts& cm = levels[c][m - 1];
+            if (cm.empty()) continue;
+            const FlatCounts& cn = levels[c][n - 1];
+            if (cn.empty()) continue;
+            kernels.add_product_dense(cm, cn, -1, dense_stride,
+                                      d.cells.data(), &d.dirty,
+                                      &scratch->fold);
+          }
+          continue;
+        }
+        kernels.add_product(at_m, at_n, +1, &acc[twice_d], &scratch->fold);
         for (NodeId c : kids) {
           const FlatCounts& cm = levels[c][m - 1];
           if (cm.empty()) continue;
           const FlatCounts& cn = levels[c][n - 1];
           if (cn.empty()) continue;
-          AddProduct(cm, cn, -1, &acc[twice_d]);
+          kernels.add_product(cm, cn, -1, &acc[twice_d], &scratch->fold);
         }
       }
     }
@@ -168,13 +265,52 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
   const int64_t max_items = context.budget().max_items;
   bool item_cap_hit = false;
   size_t total = 0;
-  for (const PairCountMap& m : acc) total += m.size();
+  if (dense) {
+    for (const DensePairAccumulator& d : dense_acc) total += d.dirty.size();
+  } else {
+    for (const PairCountMap& m : acc) total += m.size();
+  }
   items.reserve(std::min<size_t>(
       total, max_items == ResourceBudget::kUnlimited
                  ? total
                  : static_cast<size_t>(std::max<int64_t>(max_items, 0))));
-  for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
+  int64_t emit_tables_scanned = 0;
+  // A tripped item cap also short-circuits the outer loop: the
+  // remaining per-distance accumulators can contribute nothing, so
+  // scanning them is pure wasted work on capped trees.
+  for (int twice_d = 0;
+       twice_d <= options.twice_maxdist && !item_cap_hit; ++twice_d) {
     const bool ordered = twice_d % 2 == 0;  // m == n counts both orders
+    ++emit_tables_scanned;
+    if (dense) {
+      // Drain the touched cells in first-touch order, zeroing each as
+      // it is read: the zeroing restores the between-runs invariant
+      // AND skips duplicate dirty entries (a cell cancelled to zero
+      // and re-touched is listed twice). Cells a capped scan never
+      // reaches stay nonzero with their dirty entries intact, and the
+      // next ResetScratch wipes them.
+      DensePairAccumulator& d = dense_acc[twice_d];
+      for (uint32_t idx : d.dirty) {
+        int64_t count = d.cells[idx];
+        if (count == 0) continue;
+        d.cells[idx] = 0;
+        if (ordered) count /= 2;
+        if (count >= options.min_occur && count > 0) {
+          if (static_cast<int64_t>(items.size()) >= max_items) {
+            item_cap_hit = true;
+            break;
+          }
+          const LabelId g1 = scratch->dense_to_global[idx >> dense_shift];
+          const LabelId g2 =
+              scratch->dense_to_global[idx &
+                                       static_cast<uint32_t>(dense_stride - 1)];
+          items.push_back(CousinPairItem{std::min(g1, g2), std::max(g1, g2),
+                                         twice_d, count});
+        }
+      }
+      if (!item_cap_hit) d.dirty.clear();
+      continue;
+    }
     acc[twice_d].ForEach([&](uint64_t key, int64_t count) {
       if (ordered) count /= 2;
       if (count >= options.min_occur && count > 0) {
@@ -205,6 +341,14 @@ Status MineCore(const Tree& tree, const MiningOptions& options,
   COUSINS_METRIC_COUNTER_ADD("mine.single.items_emitted", items.size());
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_probes", probes);
   COUSINS_METRIC_COUNTER_ADD("mine.single.accumulator_rehashes", rehashes);
+  COUSINS_METRIC_COUNTER_ADD("mine.single.emit_tables_scanned",
+                             emit_tables_scanned);
+  COUSINS_METRIC_COUNTER_ADD("accum.simd_batches",
+                             scratch->fold.simd_batches);
+  COUSINS_METRIC_COUNTER_ADD("accum.scalar_fallbacks",
+                             scratch->fold.scalar_fallbacks);
+#else
+  (void)emit_tables_scanned;
 #endif
   return termination;
 }

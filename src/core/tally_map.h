@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/hugepage.h"
 #include "util/overflow.h"
 
 namespace cousins {
@@ -97,6 +98,49 @@ class TallyMap {
     return delta;
   }
 
+  /// Home (probe-start) slot for `key` at the current capacity; 0 when
+  /// the table is unallocated. Stale after any rehash — callers that
+  /// precompute home slots must recheck capacity() before using them.
+  size_t HomeSlot(uint64_t key) const {
+    return keys_.empty() ? 0 : Slot(key);
+  }
+
+  /// Add whose probe starts at `home`, which MUST equal HomeSlot(key)
+  /// at the current capacity. The batched fold precomputes home slots
+  /// in a separate pass so the hash arithmetic stays off the Add
+  /// load-address dependency chain; probe sequence, table layout and
+  /// live accounting are exactly Add's.
+  int AddFrom(size_t home, uint64_t key, int32_t support_delta,
+              int64_t occ_delta) {
+    if (keys_.empty()) {
+      Rehash(kMinCapacity);
+      home = Slot(key);
+    }
+    COUSINS_METRICS_ONLY(++stats_.probes;)
+    size_t i = home;
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) {
+        const bool was_dead = supports_[i] == 0 && occurrences_[i] == 0;
+        supports_[i] = SaturatingAddInt(supports_[i], support_delta);
+        occurrences_[i] = SaturatingAdd(occurrences_[i], occ_delta);
+        if (was_dead && !(supports_[i] == 0 && occurrences_[i] == 0)) {
+          ++live_;
+          return 1;
+        }
+        return 0;
+      }
+      COUSINS_METRICS_ONLY(++stats_.probes;)
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    supports_[i] = support_delta;
+    occurrences_[i] = occ_delta;
+    const int delta = (support_delta == 0 && occ_delta == 0) ? 0 : 1;
+    live_ += delta;
+    if (++size_ * 10 >= keys_.size() * 7) Grow();
+    return delta;
+  }
+
   /// Counted deletion: subtracts (support_delta, occ_delta) from `key`,
   /// clamping both counters at zero (SaturatingSub-to-zero — retracting
   /// more than was ever added cannot wrap into negative support). A key
@@ -133,6 +177,31 @@ class TallyMap {
     if (keys_.empty()) return;
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_prefetch(&keys_[Slot(key)], 1 /*write*/, 1);
+#endif
+  }
+
+  /// Like PrefetchKey, but pulls all three SoA arrays' lines for the
+  /// home slot — the batched fold path knows it will write the support
+  /// and occurrence words too, and at a deeper lookahead there is time
+  /// to overlap all three misses instead of just the key probe.
+  void PrefetchEntry(uint64_t key) const {
+    if (keys_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    const size_t i = Slot(key);
+    __builtin_prefetch(&keys_[i], 1 /*write*/, 1);
+    __builtin_prefetch(&supports_[i], 1 /*write*/, 1);
+    __builtin_prefetch(&occurrences_[i], 1 /*write*/, 1);
+#endif
+  }
+
+  /// Like PrefetchEntry with the home slot already in hand (see
+  /// HomeSlot) — no hash on the prefetch path either.
+  void PrefetchEntryAt(size_t i) const {
+    if (keys_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&keys_[i], 1 /*write*/, 1);
+    __builtin_prefetch(&supports_[i], 1 /*write*/, 1);
+    __builtin_prefetch(&occurrences_[i], 1 /*write*/, 1);
 #endif
   }
 
@@ -186,6 +255,14 @@ class TallyMap {
     keys_.assign(capacity, kEmpty);
     supports_.assign(capacity, 0);
     occurrences_.assign(capacity, 0);
+    // Hint huge-page backing for large tally arrays (policy-gated,
+    // no-op below the threshold): random probes over 4 KiB pages make
+    // every fold a likely dTLB miss.
+    size_t advised = AdviseHugePages(keys_.data(), capacity * sizeof(uint64_t));
+    advised += AdviseHugePages(supports_.data(), capacity * sizeof(int32_t));
+    advised +=
+        AdviseHugePages(occurrences_.data(), capacity * sizeof(int64_t));
+    if (advised != 0) COUSINS_METRIC_COUNTER_ADD("mem.thp_bytes", advised);
     mask_ = capacity - 1;
     size_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {
@@ -349,6 +426,13 @@ class WideTallyMap {
     aux_.assign(capacity, 0);
     supports_.assign(capacity, 0);
     occurrences_.assign(capacity, 0);
+    // See TallyMap::Rehash — same huge-page hint, plus the aux array.
+    size_t advised = AdviseHugePages(keys_.data(), capacity * sizeof(uint64_t));
+    advised += AdviseHugePages(aux_.data(), capacity * sizeof(uint32_t));
+    advised += AdviseHugePages(supports_.data(), capacity * sizeof(int32_t));
+    advised +=
+        AdviseHugePages(occurrences_.data(), capacity * sizeof(int64_t));
+    if (advised != 0) COUSINS_METRIC_COUNTER_ADD("mem.thp_bytes", advised);
     mask_ = capacity - 1;
     size_ = 0;
     for (size_t i = 0; i < old_keys.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/cousin_distance.h"
+#include "core/kernel_dispatch.h"
 #include "core/level_sweep.h"
 #include "tree/lca.h"
 #include "util/overflow.h"
@@ -89,6 +90,18 @@ Status MineFreeVariantScratch(const Tree& tree, const MiningOptions& options,
   for (PairCountMap& m : scratch->pair_acc) m.Clear();
   scratch->dist.assign(tree.size(), -1);
   scratch->queue.clear();
+  // Under a vector tier the per-source flush into the accumulators is
+  // batched per distance and drained behind grouped prefetch. The
+  // per-table Add order equals the scalar loop's per-table subsequence
+  // (BFS visit order), so table layouts stay identical across tiers.
+  const bool batched =
+      ActiveKernels().tier != SimdTier::kScalar && tree.size() >= 16;
+  if (batched) {
+    if (scratch->flush_keys.size() < num_acc) {
+      scratch->flush_keys.resize(num_acc);
+    }
+    for (std::vector<uint64_t>& keys : scratch->flush_keys) keys.clear();
+  }
 
   // Eq. (7): c_dist = (path edges − 2) / 2, so the BFS frontier stops
   // at twice_maxdist + 2 edges.
@@ -134,18 +147,37 @@ Status MineFreeVariantScratch(const Tree& tree, const MiningOptions& options,
         }
       }
     }
-    for (NodeId v : queue) {
-      if (v <= u || !tree.has_label(v)) continue;
-      const int twice_d = dist[v] - 2;
-      if (twice_d < 0 || twice_d > options.twice_maxdist) continue;
-      scratch->pair_acc[twice_d].Add(
-          PackLabelPair(tree.label(u), tree.label(v)), 1);
+    if (batched) {
+      for (NodeId v : queue) {
+        if (v <= u || !tree.has_label(v)) continue;
+        const int twice_d = dist[v] - 2;
+        if (twice_d < 0 || twice_d > options.twice_maxdist) continue;
+        scratch->flush_keys[twice_d].push_back(
+            PackLabelPair(tree.label(u), tree.label(v)));
+      }
+      for (size_t d = 0; d < num_acc; ++d) {
+        std::vector<uint64_t>& keys = scratch->flush_keys[d];
+        if (keys.empty()) continue;
+        FlushUnitAdds(&scratch->pair_acc[d], keys.data(), keys.size());
+        keys.clear();
+      }
+    } else {
+      for (NodeId v : queue) {
+        if (v <= u || !tree.has_label(v)) continue;
+        const int twice_d = dist[v] - 2;
+        if (twice_d < 0 || twice_d > options.twice_maxdist) continue;
+        scratch->pair_acc[twice_d].Add(
+            PackLabelPair(tree.label(u), tree.label(v)), 1);
+      }
     }
   }
 
   const int64_t max_items = context.budget().max_items;
   bool item_cap_hit = false;
-  for (int twice_d = 0; twice_d <= options.twice_maxdist; ++twice_d) {
+  // Same early exit as MineCore: once the cap trips, the remaining
+  // accumulators cannot contribute.
+  for (int twice_d = 0;
+       twice_d <= options.twice_maxdist && !item_cap_hit; ++twice_d) {
     scratch->pair_acc[twice_d].ForEach([&](uint64_t key, int64_t count) {
       if (count >= options.min_occur && count > 0) {
         if (static_cast<int64_t>(items.size()) >= max_items) {

@@ -72,6 +72,9 @@ struct VariantScratch {
   std::vector<NodeId> queue;
   std::vector<PairCountMap> pair_acc;
   std::vector<CousinPairItem> free_items;
+  /// Per-distance key batches for the vector-tier accumulator flush
+  /// (empty and unused under the scalar tier).
+  std::vector<std::vector<uint64_t>> flush_keys;
 
   // Generalized fold: one (pair, aux=(h,v)) accumulator.
   WideTallyMap gen_acc;

@@ -1,0 +1,109 @@
+#include "util/hugepage.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace cousins {
+
+namespace {
+
+/// THP granule on every supported x86-64/aarch64 Linux configuration.
+constexpr size_t kHugePageBytes = size_t{2} << 20;
+/// kAuto only bothers the kernel for ranges big enough to span several
+/// huge pages.
+constexpr size_t kAutoThresholdBytes = size_t{4} << 20;
+
+/// -1 = no SetHugePagePolicy override yet; consult COUSINS_THP.
+std::atomic<int> g_policy_override{-1};
+
+HugePagePolicy EnvPolicy() {
+  const char* value = std::getenv("COUSINS_THP");
+  if (value == nullptr || value[0] == '\0') return HugePagePolicy::kAuto;
+  HugePagePolicy policy;
+  if (!ParseHugePagePolicy(value, &policy)) {
+    std::fprintf(stderr,
+                 "cousins: ignoring unrecognized COUSINS_THP=\"%s\" "
+                 "(expected auto|on|off)\n",
+                 value);
+    return HugePagePolicy::kAuto;
+  }
+  return policy;
+}
+
+}  // namespace
+
+const char* HugePagePolicyName(HugePagePolicy policy) {
+  switch (policy) {
+    case HugePagePolicy::kAuto:
+      return "auto";
+    case HugePagePolicy::kOn:
+      return "on";
+    case HugePagePolicy::kOff:
+      return "off";
+  }
+  return "auto";
+}
+
+bool ParseHugePagePolicy(const std::string& name, HugePagePolicy* out) {
+  if (name == "auto") {
+    *out = HugePagePolicy::kAuto;
+    return true;
+  }
+  if (name == "on") {
+    *out = HugePagePolicy::kOn;
+    return true;
+  }
+  if (name == "off") {
+    *out = HugePagePolicy::kOff;
+    return true;
+  }
+  return false;
+}
+
+void SetHugePagePolicy(HugePagePolicy policy) {
+  g_policy_override.store(static_cast<int>(policy),
+                          std::memory_order_release);
+}
+
+HugePagePolicy ActiveHugePagePolicy() {
+  const int override_policy =
+      g_policy_override.load(std::memory_order_acquire);
+  if (override_policy >= 0) {
+    return static_cast<HugePagePolicy>(override_policy);
+  }
+  static const HugePagePolicy env_policy = EnvPolicy();
+  return env_policy;
+}
+
+size_t AdviseHugePages(const void* ptr, size_t bytes) {
+  const HugePagePolicy policy = ActiveHugePagePolicy();
+  if (policy == HugePagePolicy::kOff || ptr == nullptr) return 0;
+  const size_t threshold =
+      policy == HugePagePolicy::kOn ? kHugePageBytes : kAutoThresholdBytes;
+  if (bytes < threshold) return 0;
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  const long page = sysconf(_SC_PAGESIZE);
+  const uintptr_t page_mask = static_cast<uintptr_t>(page) - 1;
+  const uintptr_t begin =
+      (reinterpret_cast<uintptr_t>(ptr) + page_mask) & ~page_mask;
+  const uintptr_t end =
+      (reinterpret_cast<uintptr_t>(ptr) + bytes) & ~page_mask;
+  if (end <= begin) return 0;
+  const size_t aligned = end - begin;
+  if (madvise(reinterpret_cast<void*>(begin), aligned, MADV_HUGEPAGE) != 0) {
+    return 0;
+  }
+  return aligned;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cousins

@@ -1,0 +1,52 @@
+// Transparent-hugepage hints for large flat arrays.
+//
+// The forest-wide tally tables and the per-distance accumulators are
+// tens-of-MB open-addressing arrays probed at random slots, so on
+// 4 KiB pages the probe stream is also a dTLB-miss stream. Backing the
+// arrays with transparent huge pages (madvise(MADV_HUGEPAGE)) removes
+// most of those misses without changing a single byte of table
+// content. The hint is best-effort and policy-gated: the COUSINS_THP
+// environment variable (auto|on|off, default auto) or an explicit
+// SetHugePagePolicy() call decides whether ranges get advised at all,
+// and small ranges are never advised — a table below the threshold
+// cannot span enough huge pages to matter.
+//
+// This layer has zero observability dependencies by design: it returns
+// the number of bytes advised and callers record mem.thp_bytes.
+
+#ifndef COUSINS_UTIL_HUGEPAGE_H_
+#define COUSINS_UTIL_HUGEPAGE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace cousins {
+
+/// kAuto advises ranges of at least 4 MiB; kOn lowers the threshold to
+/// one huge page (2 MiB); kOff never advises.
+enum class HugePagePolicy { kAuto, kOn, kOff };
+
+/// "auto" / "on" / "off".
+const char* HugePagePolicyName(HugePagePolicy policy);
+
+/// Parses a policy name; returns false (out untouched) on anything
+/// else.
+bool ParseHugePagePolicy(const std::string& name, HugePagePolicy* out);
+
+/// Process-wide policy override; wins over COUSINS_THP. Takes effect
+/// on the next AdviseHugePages call.
+void SetHugePagePolicy(HugePagePolicy policy);
+
+/// The policy in force: override > COUSINS_THP env > auto.
+HugePagePolicy ActiveHugePagePolicy();
+
+/// Advises the kernel to back [ptr, ptr+bytes) with transparent huge
+/// pages, rounding inward to page boundaries. No-op (returns 0) when
+/// the policy is off, the range is below the policy's threshold, the
+/// platform has no madvise(MADV_HUGEPAGE), or the kernel rejects the
+/// hint. Returns the number of bytes actually advised.
+size_t AdviseHugePages(const void* ptr, size_t bytes);
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_HUGEPAGE_H_

@@ -1,0 +1,83 @@
+#include "util/topology.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace cousins {
+
+namespace {
+
+/// Backstop against a runaway _SC_NPROCESSORS_CONF; far above any real
+/// box this code targets.
+constexpr int kMaxCpus = 4096;
+
+std::vector<int32_t> ReadPackageIds() {
+  std::vector<int32_t> ids;
+#if defined(__linux__)
+  long configured = sysconf(_SC_NPROCESSORS_CONF);
+  if (configured < 1) configured = 1;
+  if (configured > kMaxCpus) configured = kMaxCpus;
+  ids.reserve(static_cast<size_t>(configured));
+  for (long cpu = 0; cpu < configured; ++cpu) {
+    char path[128];
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%ld/topology/"
+                  "physical_package_id",
+                  cpu);
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) break;  // offline/sparse cpu range: stop cleanly
+    int package = 0;
+    const bool ok = std::fscanf(f, "%d", &package) == 1;
+    std::fclose(f);
+    if (!ok) break;
+    ids.push_back(package);
+  }
+#endif
+  return ids;
+}
+
+}  // namespace
+
+CpuTopology TopologyFromPackageIds(
+    const std::vector<int32_t>& package_ids) {
+  CpuTopology topology;
+  // Dense re-index in first-seen (CPU id) order, so socket numbering is
+  // stable regardless of what ids the firmware picked.
+  std::vector<int32_t> seen;
+  topology.cpu_socket.reserve(package_ids.size());
+  for (int32_t package : package_ids) {
+    int32_t dense = -1;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == package) {
+        dense = static_cast<int32_t>(i);
+        break;
+      }
+    }
+    if (dense < 0) {
+      dense = static_cast<int32_t>(seen.size());
+      seen.push_back(package);
+    }
+    topology.cpu_socket.push_back(dense);
+  }
+  if (!seen.empty()) topology.sockets = static_cast<int32_t>(seen.size());
+  return topology;
+}
+
+const CpuTopology& CpuTopology::Detect() {
+  static const CpuTopology cached = TopologyFromPackageIds(ReadPackageIds());
+  return cached;
+}
+
+int32_t SocketForWorker(const CpuTopology& topology, int32_t worker,
+                        int32_t workers) {
+  if (topology.sockets <= 1 || workers <= 0) return 0;
+  if (worker < 0) return 0;
+  if (worker >= workers) worker = workers - 1;
+  return static_cast<int32_t>(static_cast<int64_t>(worker) *
+                              topology.sockets / workers);
+}
+
+}  // namespace cousins

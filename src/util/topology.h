@@ -1,0 +1,48 @@
+// CPU socket topology for the NUMA-aware work-stealing scheduler.
+//
+// Stealing across sockets drags a half-deque of chunk state plus the
+// victim's warm tally lines over the interconnect, so the scheduler
+// prefers same-socket victims and only then walks the remote ones
+// (parallel_mining.cc). All it needs from the platform is "which
+// socket does each worker land on" — derived here from sysfs
+// (/sys/devices/system/cpu/cpu*/topology/physical_package_id), with a
+// graceful single-socket fallback when sysfs is absent (non-Linux,
+// sandboxes). On a single-socket machine every worker maps to socket 0
+// and the scheduler behaves exactly as before this layer existed.
+//
+// Detection is cached per process; worker->socket assignment is a pure
+// deterministic function so scheduler runs stay reproducible.
+
+#ifndef COUSINS_UTIL_TOPOLOGY_H_
+#define COUSINS_UTIL_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cousins {
+
+struct CpuTopology {
+  /// Dense socket index (0..sockets-1) per logical CPU id; empty when
+  /// detection found nothing (treat as one socket).
+  std::vector<int32_t> cpu_socket;
+  /// Number of distinct sockets; at least 1.
+  int32_t sockets = 1;
+
+  /// The machine's topology, detected once per process and cached.
+  static const CpuTopology& Detect();
+};
+
+/// Builds a topology from raw physical package ids (one per CPU, any
+/// id values) — the deterministic core of Detect(), exposed so tests
+/// can exercise multi-socket layouts on single-socket machines.
+CpuTopology TopologyFromPackageIds(const std::vector<int32_t>& package_ids);
+
+/// Deterministic worker -> socket assignment: workers are split into
+/// contiguous blocks, one block per socket (block sizes differ by at
+/// most one). Returns 0 whenever the topology has a single socket.
+int32_t SocketForWorker(const CpuTopology& topology, int32_t worker,
+                        int32_t workers);
+
+}  // namespace cousins
+
+#endif  // COUSINS_UTIL_TOPOLOGY_H_

@@ -18,6 +18,7 @@
 #include "gen/yule_generator.h"
 #include "obs/metrics.h"
 #include "phylo/cooccurrence.h"
+#include "test_util.h"
 #include "phylo/kernel_trees.h"
 #include "phylo/similarity.h"
 #include "util/fault_injection.h"
@@ -164,6 +165,29 @@ TEST(GovernedSingleTreeTest, ItemBudgetCapsEmission) {
   EXPECT_TRUE(run.truncated);
   EXPECT_EQ(run.termination.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(run.items.size(), 3u);
+}
+
+TEST(GovernedSingleTreeTest, ItemBudgetTripShortCircuitsEmitScan) {
+  // Regression: once the item cap trips, the emit loop must stop
+  // scanning the remaining per-distance accumulator tables instead of
+  // walking (and probing) all twice_maxdist+1 of them. The tree has
+  // items at twice-distance 0, so a cap of 1 trips inside the first
+  // table and exactly one table may be scanned.
+  Tree t = testing_util::MustParse("((u,v)p,w)r;");
+  MiningOptions opt;
+  opt.twice_maxdist = 3;
+  ResourceBudget budget;
+  budget.max_items = 1;
+  MiningContext context;
+  context.set_budget(budget);
+  obs::Counter& scanned = obs::MetricsRegistry::Global().GetCounter(
+      "mine.single.emit_tables_scanned");
+  const int64_t before = scanned.value();
+  SingleTreeMiningRun run = MineSingleTreeGoverned(t, opt, context);
+  EXPECT_TRUE(run.truncated);
+  EXPECT_EQ(run.termination.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(run.items.size(), 1u);
+  EXPECT_EQ(scanned.value() - before, 1);
 }
 
 TEST(GovernedSingleTreeTest, PairMapEntryBudgetTripsMidMining) {

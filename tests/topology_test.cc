@@ -1,0 +1,158 @@
+// Tests for the NUMA topology layer (util/topology.h) and the
+// transparent-hugepage policy layer (util/hugepage.h): dense socket
+// re-indexing from raw package ids, the contiguous-block worker ->
+// socket assignment the scheduler relies on for same-socket stealing,
+// and policy-gated madvise behavior.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hugepage.h"
+#include "util/topology.h"
+
+namespace cousins {
+namespace {
+
+TEST(TopologyTest, EmptyPackageIdsIsOneSocket) {
+  const CpuTopology topo = TopologyFromPackageIds({});
+  EXPECT_EQ(topo.sockets, 1);
+  EXPECT_TRUE(topo.cpu_socket.empty());
+}
+
+TEST(TopologyTest, SingleSocketCollapsesToZero) {
+  const CpuTopology topo = TopologyFromPackageIds({3, 3, 3, 3});
+  EXPECT_EQ(topo.sockets, 1);
+  EXPECT_EQ(topo.cpu_socket, (std::vector<int32_t>{0, 0, 0, 0}));
+}
+
+TEST(TopologyTest, DenseReindexInFirstSeenOrder) {
+  // Raw package ids need not be dense or ordered; the dense index is
+  // assigned in first-seen order so cpu 0 always lands on socket 0.
+  const CpuTopology topo = TopologyFromPackageIds({7, 7, 2, 2, 7, 9});
+  EXPECT_EQ(topo.sockets, 3);
+  EXPECT_EQ(topo.cpu_socket, (std::vector<int32_t>{0, 0, 1, 1, 0, 2}));
+}
+
+TEST(TopologyTest, DetectReturnsAtLeastOneSocket) {
+  const CpuTopology& topo = CpuTopology::Detect();
+  EXPECT_GE(topo.sockets, 1);
+  for (int32_t socket : topo.cpu_socket) {
+    EXPECT_GE(socket, 0);
+    EXPECT_LT(socket, topo.sockets);
+  }
+  // Cached: the same object comes back.
+  EXPECT_EQ(&topo, &CpuTopology::Detect());
+}
+
+TEST(TopologyTest, SocketForWorkerSingleSocketIsAlwaysZero) {
+  const CpuTopology topo = TopologyFromPackageIds({0, 0});
+  for (int32_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(SocketForWorker(topo, w, 8), 0);
+  }
+}
+
+TEST(TopologyTest, SocketForWorkerSplitsContiguousBlocks) {
+  const CpuTopology topo = TopologyFromPackageIds({0, 0, 1, 1});
+  // 8 workers over 2 sockets: first block of 4 on socket 0, rest on 1.
+  std::vector<int32_t> got;
+  for (int32_t w = 0; w < 8; ++w) got.push_back(SocketForWorker(topo, w, 8));
+  EXPECT_EQ(got, (std::vector<int32_t>{0, 0, 0, 0, 1, 1, 1, 1}));
+  // Blocks stay contiguous and sizes differ by at most one when the
+  // split is uneven.
+  got.clear();
+  for (int32_t w = 0; w < 5; ++w) got.push_back(SocketForWorker(topo, w, 5));
+  EXPECT_EQ(got, (std::vector<int32_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(TopologyTest, SocketForWorkerMoreSocketsThanWorkers) {
+  const CpuTopology topo = TopologyFromPackageIds({0, 1, 2, 3});
+  for (int32_t w = 0; w < 2; ++w) {
+    const int32_t socket = SocketForWorker(topo, w, 2);
+    EXPECT_GE(socket, 0);
+    EXPECT_LT(socket, 4);
+  }
+}
+
+/// Restores the auto policy when a test scope ends.
+struct HugePagePolicyGuard {
+  ~HugePagePolicyGuard() { SetHugePagePolicy(HugePagePolicy::kAuto); }
+};
+
+TEST(HugePageTest, ParsesPolicyNames) {
+  HugePagePolicy policy = HugePagePolicy::kOff;
+  EXPECT_TRUE(ParseHugePagePolicy("auto", &policy));
+  EXPECT_EQ(policy, HugePagePolicy::kAuto);
+  EXPECT_TRUE(ParseHugePagePolicy("on", &policy));
+  EXPECT_EQ(policy, HugePagePolicy::kOn);
+  EXPECT_TRUE(ParseHugePagePolicy("off", &policy));
+  EXPECT_EQ(policy, HugePagePolicy::kOff);
+  EXPECT_FALSE(ParseHugePagePolicy("", &policy));
+  EXPECT_FALSE(ParseHugePagePolicy("ON", &policy));
+  EXPECT_EQ(policy, HugePagePolicy::kOff);  // untouched on failure
+}
+
+TEST(HugePageTest, PolicyNamesRoundTrip) {
+  for (HugePagePolicy policy : {HugePagePolicy::kAuto, HugePagePolicy::kOn,
+                                HugePagePolicy::kOff}) {
+    HugePagePolicy parsed = HugePagePolicy::kAuto;
+    EXPECT_TRUE(ParseHugePagePolicy(HugePagePolicyName(policy), &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+}
+
+TEST(HugePageTest, SetPolicyOverridesActive) {
+  HugePagePolicyGuard guard;
+  SetHugePagePolicy(HugePagePolicy::kOff);
+  EXPECT_EQ(ActiveHugePagePolicy(), HugePagePolicy::kOff);
+  SetHugePagePolicy(HugePagePolicy::kOn);
+  EXPECT_EQ(ActiveHugePagePolicy(), HugePagePolicy::kOn);
+}
+
+TEST(HugePageTest, OffPolicyNeverAdvises) {
+  HugePagePolicyGuard guard;
+  SetHugePagePolicy(HugePagePolicy::kOff);
+  std::vector<char> big(8 << 20);
+  EXPECT_EQ(AdviseHugePages(big.data(), big.size()), 0u);
+}
+
+TEST(HugePageTest, SmallRangesAreNeverAdvised) {
+  HugePagePolicyGuard guard;
+  SetHugePagePolicy(HugePagePolicy::kOn);
+  std::vector<char> small(64 << 10);
+  EXPECT_EQ(AdviseHugePages(small.data(), small.size()), 0u);
+  EXPECT_EQ(AdviseHugePages(nullptr, 0), 0u);
+}
+
+TEST(HugePageTest, AutoThresholdIsHigherThanOnThreshold) {
+  HugePagePolicyGuard guard;
+  // 3 MiB: above the kOn threshold (one 2 MiB huge page) but below the
+  // kAuto threshold (4 MiB), so only kOn may advise it.
+  std::vector<char> mid(3 << 20);
+  SetHugePagePolicy(HugePagePolicy::kAuto);
+  EXPECT_EQ(AdviseHugePages(mid.data(), mid.size()), 0u);
+  SetHugePagePolicy(HugePagePolicy::kOn);
+  const size_t advised = AdviseHugePages(mid.data(), mid.size());
+  // Best-effort: the kernel may reject the hint, but when it advises,
+  // the advised range is page-aligned and within the buffer.
+  EXPECT_LE(advised, mid.size());
+}
+
+TEST(HugePageTest, LargeRangeAdvisesUnderAuto) {
+  HugePagePolicyGuard guard;
+  SetHugePagePolicy(HugePagePolicy::kAuto);
+  std::vector<char> big(8 << 20);
+  const size_t advised = AdviseHugePages(big.data(), big.size());
+  EXPECT_LE(advised, big.size());
+#if defined(__linux__)
+  // On Linux the hint lands on any kernel with THP compiled in; accept
+  // 0 only if madvise genuinely refused (rare, e.g. THP disabled).
+  if (advised != 0) {
+    EXPECT_GE(advised, size_t{2} << 20);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace cousins

@@ -15,9 +15,17 @@
 //     "processed") must match the baseline exactly — a perf PR that
 //     changes answers is a correctness bug wearing a speedup;
 //   - anything else is informational.
-// A baseline report or result key with no current counterpart fails
-// the gate: losing coverage must be a deliberate baseline refresh (see
-// bench/baselines/README.md), never a silent pass.
+// Key-set drift is reported as two distinct categories so a refresh
+// diff reads unambiguously:
+//   - MISSING: a baseline result key with no current counterpart.
+//     Fails the gate — losing coverage must be a deliberate baseline
+//     refresh (see bench/baselines/README.md), never a silent pass.
+//   - NEW: a current result key with no baseline counterpart.
+//     Informational only, but listed explicitly (and counted in the
+//     summary) so new counters don't ride along ungated for months —
+//     refresh the baseline to start gating them.
+// A baseline report with no current counterpart likewise fails; a
+// current report with no baseline counterpart is reported as NEW.
 
 #include <algorithm>
 #include <cctype>
@@ -335,6 +343,8 @@ KeyClass ClassifyKey(const std::string& key) {
 struct GateResult {
   int checked = 0;
   int failures = 0;
+  int missing = 0;  // baseline keys/reports absent from current (fail)
+  int added = 0;    // current keys/reports absent from baseline (info)
 };
 
 void CompareReports(const Report& base, const Report& current,
@@ -342,8 +352,11 @@ void CompareReports(const Report& base, const Report& current,
   for (const auto& [key, base_value] : base.results) {
     const auto cur_it = current.results.find(key);
     if (cur_it == current.results.end()) {
-      std::printf("FAIL    %s.%s: missing from current report (%s)\n",
+      std::printf("MISSING %s.%s: in baseline but not in current report "
+                  "(%s) — refresh bench/baselines/ if dropping it is "
+                  "intended\n",
                   base.name.c_str(), key.c_str(), current.file.c_str());
+      ++gate->missing;
       ++gate->failures;
       continue;
     }
@@ -397,6 +410,14 @@ void CompareReports(const Report& base, const Report& current,
         break;
     }
   }
+  for (const auto& [key, cur_value] : current.results) {
+    if (base.results.find(key) == base.results.end()) {
+      std::printf("NEW     %s.%s: %.17g (not in baseline; refresh "
+                  "bench/baselines/ to gate it)\n",
+                  base.name.c_str(), key.c_str(), cur_value);
+      ++gate->added;
+    }
+  }
 }
 
 int Usage() {
@@ -448,9 +469,10 @@ int main(int argc, char** argv) {
       }
     }
     if (current == nullptr) {
-      std::printf("FAIL    %s: baseline report has no current "
+      std::printf("MISSING %s: baseline report has no current "
                   "counterpart\n",
                   base.name.c_str());
+      ++gate.missing;
       ++gate.failures;
       continue;
     }
@@ -462,9 +484,25 @@ int main(int argc, char** argv) {
     }
     CompareReports(base, *current, tolerance, &gate);
   }
+  for (const Report& current : currents) {
+    bool known = false;
+    for (const Report& base : baselines) {
+      if (base.name == current.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::printf("NEW     %s: current report has no baseline (%s); "
+                  "refresh bench/baselines/ to gate it\n",
+                  current.name.c_str(), current.file.c_str());
+      ++gate.added;
+    }
+  }
 
   std::printf("bench_diff: %d result(s) checked, %d failure(s), "
-              "tolerance %.0f%%\n",
-              gate.checked, gate.failures, tolerance * 100);
+              "%d missing, %d newly added, tolerance %.0f%%\n",
+              gate.checked, gate.failures, gate.missing, gate.added,
+              tolerance * 100);
   return gate.failures == 0 ? 0 : 1;
 }

@@ -835,4 +835,140 @@ TEST(CliDaemonTest, HealthAndDrainReportPinStorageSchema) {
   std::filesystem::remove_all(wal);
 }
 
+// --- SIMD dispatch flag ----------------------------------------------
+
+TEST(CliSimdTest, RejectsUnknownSimdMode) {
+  RunResult r = RunCli("frequent " + Data("seed_plants.nwk") + " --simd=sse42");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--simd"), std::string::npos) << r.output;
+}
+
+TEST(CliSimdTest, ScalarModeProducesByteIdenticalCsv) {
+  const std::string args =
+      "frequent " + Data("seed_plants.nwk") + " --minsup=2 --csv";
+  RunResult auto_mode = RunCli(args);
+  RunResult scalar = RunCli(args + " --simd=scalar");
+  ASSERT_EQ(auto_mode.exit_code, 0) << auto_mode.output;
+  ASSERT_EQ(scalar.exit_code, 0) << scalar.output;
+  EXPECT_EQ(auto_mode.output, scalar.output);
+}
+
+TEST(CliSimdTest, Avx2ModeMatchesScalarOrRefusesCleanly) {
+  const std::string args =
+      "frequent " + Data("seed_plants.nwk") + " --minsup=2 --csv";
+  RunResult avx2 = RunCli(args + " --simd=avx2");
+  if (avx2.exit_code == 0) {
+    // AVX2 machine: the forced-vector run must be byte-identical to
+    // the forced-scalar run.
+    RunResult scalar = RunCli(args + " --simd=scalar");
+    ASSERT_EQ(scalar.exit_code, 0) << scalar.output;
+    EXPECT_EQ(avx2.output, scalar.output);
+  } else {
+    // No AVX2: an explicit pin must be refused as a usage error, not
+    // silently demoted.
+    EXPECT_EQ(avx2.exit_code, 2);
+    EXPECT_NE(avx2.output.find("AVX2"), std::string::npos) << avx2.output;
+  }
+}
+
+TEST(CliSimdTest, EnvOverrideAcceptsScalar) {
+  const std::string args =
+      "frequent " + Data("seed_plants.nwk") + " --minsup=2 --csv";
+  RunResult env_scalar = RunCli(args, "COUSINS_SIMD=scalar ");
+  RunResult flag_scalar = RunCli(args + " --simd=scalar");
+  ASSERT_EQ(env_scalar.exit_code, 0) << env_scalar.output;
+  EXPECT_EQ(env_scalar.output, flag_scalar.output);
+}
+
+// --- bench_diff key-drift categories ---------------------------------
+
+RunResult RunBenchDiff(const std::string& args) {
+  const std::string command =
+      std::string(BENCH_DIFF_BINARY) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Writes a minimal bench report named `name` with the given results
+/// into `dir`/BENCH_`name`.json and returns the path.
+std::string WriteBenchReport(const std::filesystem::path& dir,
+                             const std::string& name,
+                             const std::string& results_json) {
+  const std::filesystem::path path = dir / ("BENCH_" + name + ".json");
+  std::ofstream out(path);
+  out << "{\"name\":\"" << name << "\",\"status\":\"ok\",\"results\":"
+      << results_json << "}\n";
+  return path.string();
+}
+
+TEST(BenchDiffTest, MissingKeyFailsAsDistinctCategory) {
+  const auto dir = std::filesystem::temp_directory_path() / "bd_missing";
+  std::filesystem::create_directories(dir / "base");
+  std::filesystem::create_directories(dir / "cur");
+  WriteBenchReport(dir / "base", "m", "{\"wall_us\":100,\"extra_us\":5}");
+  WriteBenchReport(dir / "cur", "m", "{\"wall_us\":100}");
+  RunResult r = RunBenchDiff("--baseline " + (dir / "base").string() +
+                             " --current " + (dir / "cur").string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MISSING m.extra_us"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 missing, 0 newly added"), std::string::npos)
+      << r.output;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchDiffTest, NewKeyPassesButIsReportedDistinctly) {
+  const auto dir = std::filesystem::temp_directory_path() / "bd_new";
+  std::filesystem::create_directories(dir / "base");
+  std::filesystem::create_directories(dir / "cur");
+  WriteBenchReport(dir / "base", "n", "{\"wall_us\":100}");
+  WriteBenchReport(dir / "cur", "n",
+                   "{\"wall_us\":100,\"simd_batches\":42}");
+  RunResult r = RunBenchDiff("--baseline " + (dir / "base").string() +
+                             " --current " + (dir / "cur").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("NEW     n.simd_batches"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("0 missing, 1 newly added"), std::string::npos)
+      << r.output;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchDiffTest, NewReportWithoutBaselineIsReportedNotFailed) {
+  const auto dir = std::filesystem::temp_directory_path() / "bd_newrep";
+  std::filesystem::create_directories(dir / "base");
+  std::filesystem::create_directories(dir / "cur");
+  WriteBenchReport(dir / "base", "old", "{\"wall_us\":100}");
+  WriteBenchReport(dir / "cur", "old", "{\"wall_us\":100}");
+  WriteBenchReport(dir / "cur", "brand_new", "{\"wall_us\":7}");
+  RunResult r = RunBenchDiff("--baseline " + (dir / "base").string() +
+                             " --current " + (dir / "cur").string());
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("NEW     brand_new:"), std::string::npos)
+      << r.output;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchDiffTest, MissingReportFailsAsMissingCategory) {
+  const auto dir = std::filesystem::temp_directory_path() / "bd_misrep";
+  std::filesystem::create_directories(dir / "base");
+  std::filesystem::create_directories(dir / "cur");
+  WriteBenchReport(dir / "base", "gone", "{\"wall_us\":100}");
+  WriteBenchReport(dir / "cur", "other", "{\"wall_us\":100}");
+  RunResult r = RunBenchDiff("--baseline " + (dir / "base").string() +
+                             " --current " + (dir / "cur").string());
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MISSING gone:"), std::string::npos) << r.output;
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace

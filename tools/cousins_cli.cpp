@@ -82,6 +82,7 @@
 
 #include "core/checkpoint.h"
 #include "core/item_io.h"
+#include "core/kernel_dispatch.h"
 #include "core/miner_variant.h"
 #include "core/multi_tree_mining.h"
 #include "core/quarantine.h"
@@ -294,6 +295,34 @@ struct CliDegraded {
     return config;
   }
 };
+
+/// Extracts the global --simd=MODE dispatch override (valid for every
+/// command) from `args`. The library would fall back to scalar with a
+/// notice on a forced avx2 the machine cannot run; the CLI rejects it
+/// up front as a usage error instead — an operator pinning a kernel
+/// tier wants the pin honored or the run refused. Returns a usage
+/// message on a bad value, empty on success.
+std::string ExtractSimdFlag(std::vector<std::string>* args) {
+  const std::string text = Flag(*args, "simd", "");
+  if (text.empty()) return "";
+  SimdMode mode;
+  if (!ParseSimdMode(text, &mode)) {
+    return "--simd must be auto, avx2, or scalar";
+  }
+  if (mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) {
+    return internal::Avx2KernelsCompiled()
+               ? "--simd=avx2 requested but this CPU has no AVX2"
+               : "--simd=avx2 requested but this binary has no AVX2 "
+                 "kernels";
+  }
+  SetSimdMode(mode);
+  std::vector<std::string> rest;
+  for (std::string& arg : *args) {
+    if (!StartsWith(arg, "--simd=")) rest.push_back(std::move(arg));
+  }
+  *args = std::move(rest);
+  return "";
+}
 
 /// Extracts the degraded-mode flags (valid for every command) from
 /// `args`, leaving only command-specific flags behind. Returns a usage
@@ -968,6 +997,8 @@ int Run(const std::string& command, const std::string& path,
         std::vector<std::string> args) {
   CliDegraded degraded;
   degraded.input_path = path;
+  const std::string simd_error = ExtractSimdFlag(&args);
+  if (!simd_error.empty()) return UsageError(simd_error);
   const std::string flag_error = ExtractDegradedFlags(&args, &degraded);
   if (!flag_error.empty()) return UsageError(flag_error);
 

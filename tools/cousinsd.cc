@@ -52,6 +52,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "core/kernel_dispatch.h"
 #include "core/miner_variant.h"
 #include "core/multi_tree_mining.h"
 #include "svc/daemon.h"
@@ -167,6 +168,25 @@ void OnTerminate(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 int RunServe(const std::vector<std::string>& args) {
   svc::ServiceConfig config;
+  // Kernel-tier pin, resolved before the service starts so replay and
+  // live ingest run the same dispatch tier. Like the CLI, a forced
+  // avx2 the machine cannot run is refused up front (usage error)
+  // rather than silently demoted.
+  const std::string simd = Flag(args, "simd", "");
+  if (!simd.empty()) {
+    SimdMode simd_mode;
+    if (!ParseSimdMode(simd, &simd_mode)) {
+      std::fprintf(stderr, "error: --simd must be auto, avx2, or scalar\n");
+      return kExitUsage;
+    }
+    if (simd_mode == SimdMode::kAvx2 && !CpuSupportsAvx2()) {
+      std::fprintf(stderr,
+                   "error: --simd=avx2 requested but this machine cannot "
+                   "run the AVX2 kernels\n");
+      return kExitUsage;
+    }
+    SetSimdMode(simd_mode);
+  }
   const std::string mining_error = ParseMiningFlags(args, &config.mining);
   if (!mining_error.empty()) {
     std::fprintf(stderr, "error: %s\n", mining_error.c_str());
